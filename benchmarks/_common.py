@@ -1,0 +1,19 @@
+"""Shared helpers for the figure-reproduction benchmarks.
+
+Every bench delegates to a runner in :mod:`repro.experiments`, prints
+the resulting table, and persists it under ``benchmarks/results/`` so
+the numbers survive the pytest run.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+
+def emit(name: str, text: str) -> None:
+    """Print a bench's table and persist it under benchmarks/results/."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / f"{name}.txt").write_text(text + "\n")
+    print(f"\n{text}\n")

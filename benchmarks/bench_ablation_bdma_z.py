@@ -1,0 +1,14 @@
+"""Ablation A bench: BDMA objective versus alternation depth z.
+
+Thin wrapper over :func:`repro.experiments.run_ablation_bdma_z`.
+"""
+
+from repro.experiments import run_ablation_bdma_z
+
+from _common import emit
+
+
+def bench_ablation_bdma_z(benchmark) -> None:
+    result = benchmark.pedantic(run_ablation_bdma_z, rounds=1, iterations=1)
+    emit("ablation_bdma_z", result.table())
+    result.verify()

@@ -1,0 +1,20 @@
+"""Ablation D bench: demand-weighted budget pacing vs a constant budget.
+
+Thin wrapper over :func:`repro.experiments.run_ablation_budget_pacing`.
+Expected outcome: a *negative* result that validates the DPP mechanism
+-- the virtual queue already paces energy spending through P2-B's
+price/demand response, so static schedules with the same average change
+neither the latency nor the constraint satisfaction.
+"""
+
+from repro.experiments import run_ablation_budget_pacing
+
+from _common import emit
+
+
+def bench_ablation_budget_pacing(benchmark) -> None:
+    result = benchmark.pedantic(
+        run_ablation_budget_pacing, rounds=1, iterations=1
+    )
+    emit("ablation_budget_pacing", result.table())
+    result.verify()

@@ -1,0 +1,18 @@
+"""Ablation B bench: the value of online clock-frequency scaling.
+
+Thin wrapper over :func:`repro.experiments.run_ablation_freq_scaling`:
+DPP meets the budget with latency close to the always-full-speed
+policy, beating every budget-feasible fixed clock.
+"""
+
+from repro.experiments import run_ablation_freq_scaling
+
+from _common import emit
+
+
+def bench_ablation_freq_scaling(benchmark) -> None:
+    result = benchmark.pedantic(
+        run_ablation_freq_scaling, rounds=1, iterations=1
+    )
+    emit("ablation_freq_scaling", result.table())
+    result.verify()

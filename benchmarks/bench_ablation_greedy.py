@@ -1,0 +1,14 @@
+"""Ablation C bench: CGBA versus one-pass greedy selection.
+
+Thin wrapper over :func:`repro.experiments.run_ablation_greedy`.
+"""
+
+from repro.experiments import run_ablation_greedy
+
+from _common import emit
+
+
+def bench_ablation_greedy(benchmark) -> None:
+    result = benchmark.pedantic(run_ablation_greedy, rounds=1, iterations=1)
+    emit("ablation_greedy", result.table())
+    result.verify()

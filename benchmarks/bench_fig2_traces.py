@@ -1,0 +1,15 @@
+"""Fig. 2 bench: non-iid price and workload traces.
+
+Thin wrapper over :func:`repro.experiments.run_fig2`; see that module
+for the experiment's description.
+"""
+
+from repro.experiments import run_fig2
+
+from _common import emit
+
+
+def bench_fig2_traces(benchmark) -> None:
+    result = benchmark(run_fig2)
+    emit("fig2_traces", result.table())
+    result.verify()

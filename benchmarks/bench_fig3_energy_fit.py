@@ -1,0 +1,14 @@
+"""Fig. 3 bench: the energy-consumption fit.
+
+Thin wrapper over :func:`repro.experiments.run_fig3`.
+"""
+
+from repro.experiments import run_fig3
+
+from _common import emit
+
+
+def bench_fig3_energy_fit(benchmark) -> None:
+    result = benchmark(run_fig3)
+    emit("fig3_energy_fit", result.table())
+    result.verify()

@@ -1,0 +1,16 @@
+"""Fig. 4 bench: P2-A objective quality with the paper's parameters.
+
+Thin wrapper over :func:`repro.experiments.run_fig4`: CGBA(0) vs MCBA,
+ROPT, the certified Frank-Wolfe lower bound at I in {80..120}, and exact
+branch-and-bound optima on a reduced topology.
+"""
+
+from repro.experiments import run_fig4
+
+from _common import emit
+
+
+def bench_fig4_p2a_quality(benchmark) -> None:
+    result = benchmark.pedantic(run_fig4, rounds=1, iterations=1)
+    emit("fig4_p2a_quality", result.table())
+    result.verify()

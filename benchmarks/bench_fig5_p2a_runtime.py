@@ -1,0 +1,16 @@
+"""Fig. 5 bench: P2-A decision times with the paper's parameters.
+
+Thin wrapper over :func:`repro.experiments.run_fig5`: ROPT is flat and
+near-instant, CGBA/MCBA grow with I, and exact branch-and-bound is
+orders of magnitude slower where it certifies optimality.
+"""
+
+from repro.experiments import run_fig5
+
+from _common import emit
+
+
+def bench_fig5_p2a_runtime(benchmark) -> None:
+    result = benchmark.pedantic(run_fig5, rounds=1, iterations=1)
+    emit("fig5_p2a_runtime", result.table())
+    result.verify()

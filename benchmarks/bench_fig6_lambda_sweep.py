@@ -1,0 +1,16 @@
+"""Fig. 6 bench: CGBA(lambda) sweep at I = 100.
+
+Thin wrapper over :func:`repro.experiments.run_fig6`: as lambda grows
+the objective degrades mildly while the iteration count falls, matching
+Theorem 2.
+"""
+
+from repro.experiments import run_fig6
+
+from _common import emit
+
+
+def bench_fig6_lambda_sweep(benchmark) -> None:
+    result = benchmark.pedantic(run_fig6, rounds=1, iterations=1)
+    emit("fig6_lambda_sweep", result.table())
+    result.verify()

@@ -1,0 +1,15 @@
+"""Fig. 7 bench: queue backlog trajectories for V in {50, 100}.
+
+Thin wrapper over :func:`repro.experiments.run_fig7`: the backlog ramps
+up, converges, then oscillates with the electricity price.
+"""
+
+from repro.experiments import run_fig7
+
+from _common import emit
+
+
+def bench_fig7_queue_backlog(benchmark) -> None:
+    result = benchmark.pedantic(run_fig7, rounds=1, iterations=1)
+    emit("fig7_queue_backlog", result.table())
+    result.verify()

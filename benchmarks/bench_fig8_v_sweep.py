@@ -1,0 +1,16 @@
+"""Fig. 8 bench: converged backlog and latency versus V.
+
+Thin wrapper over :func:`repro.experiments.run_fig8`, which reports two
+protocols: warm-started runs (measuring the converged backlog, linear in
+V) and the paper's cold-start protocol (whose latency decreases in V).
+"""
+
+from repro.experiments import run_fig8
+
+from _common import emit
+
+
+def bench_fig8_v_sweep(benchmark) -> None:
+    result = benchmark.pedantic(run_fig8, rounds=1, iterations=1)
+    emit("fig8_v_sweep", result.table())
+    result.verify()

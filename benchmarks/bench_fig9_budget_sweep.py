@@ -1,0 +1,16 @@
+"""Fig. 9 bench: latency versus energy-cost budget for the DPP variants.
+
+Thin wrapper over :func:`repro.experiments.run_fig9`: BDMA-based DPP
+beats MCBA- and ROPT-based DPP at every budget, and the realised average
+cost stays under the budget line.
+"""
+
+from repro.experiments import run_fig9
+
+from _common import emit
+
+
+def bench_fig9_budget_sweep(benchmark) -> None:
+    result = benchmark.pedantic(run_fig9, rounds=1, iterations=1)
+    emit("fig9_budget_sweep", result.table())
+    result.verify()

@@ -1,0 +1,17 @@
+"""Robustness bench: BDMA-DPP under increasing server-outage intensity.
+
+Thin wrapper over :func:`repro.experiments.run_fault_sweep` -- a stress
+test beyond the paper's always-up assumption: latency should degrade
+gracefully with downtime while the budget is still respected (offline
+servers draw no power).
+"""
+
+from repro.experiments import run_fault_sweep
+
+from _common import emit
+
+
+def bench_robustness_faults(benchmark) -> None:
+    result = benchmark.pedantic(run_fault_sweep, rounds=1, iterations=1)
+    emit("robustness_faults", result.table())
+    result.verify()

@@ -1,0 +1,88 @@
+"""Budget planning: the latency / energy-cost trade-off curve.
+
+An operator choosing an energy budget for an edge deployment wants the
+curve the paper's Fig. 9 plots: how much latency each extra dollar of
+energy budget buys, and how the paper's BDMA-based DPP compares to the
+ROPT-based baseline at every operating point.
+
+Run:  python examples/budget_planning.py
+"""
+
+from __future__ import annotations
+
+import repro
+from repro.analysis.tables import format_table
+from repro.baselines import ropt_p2a_solver
+from repro.config import PRICE_SCALE
+from repro.energy.cost import suggest_budget
+
+
+def budget_at(scenario: repro.Scenario, fraction: float) -> float:
+    """The budget a given fraction of the way up the feasible range."""
+    return PRICE_SCALE * suggest_budget(
+        scenario.network.energy_models(),
+        scenario.network.freq_min,
+        scenario.network.freq_max,
+        scenario.generator.prices,
+        fraction=fraction,
+    )
+
+
+def evaluate(scenario: repro.Scenario, budget: float, *, use_ropt: bool):
+    name = "ropt" if use_ropt else "bdma"
+    controller = repro.DPPController(
+        scenario.network,
+        scenario.controller_rng(f"{name}-{budget:.4f}"),
+        v=100.0,
+        budget=budget,
+        z=1 if use_ropt else 3,
+        p2a_solver=ropt_p2a_solver() if use_ropt else None,
+    )
+    result = repro.run_simulation(
+        controller, scenario.fresh_states(168), budget=budget
+    )
+    return result.time_average_latency(), result.time_average_cost()
+
+
+def main() -> None:
+    scenario = repro.make_paper_scenario(
+        seed=33, config=repro.ScenarioConfig(num_devices=30)
+    )
+    rows = []
+    for fraction in (0.15, 0.3, 0.5, 0.7, 0.9):
+        budget = budget_at(scenario, fraction)
+        bdma_latency, bdma_cost = evaluate(scenario, budget, use_ropt=False)
+        ropt_latency, _ = evaluate(scenario, budget, use_ropt=True)
+        rows.append(
+            [
+                fraction,
+                budget,
+                bdma_latency,
+                ropt_latency,
+                ropt_latency / bdma_latency,
+                bdma_cost,
+            ]
+        )
+    print(
+        format_table(
+            [
+                "fraction",
+                "budget $/slot",
+                "BDMA-DPP s",
+                "ROPT-DPP s",
+                "ROPT/BDMA",
+                "realised cost",
+            ],
+            rows,
+            title="Latency vs energy budget (one simulated week per point)",
+        )
+    )
+    print()
+    print("Reading the curve: past ~0.5 the budget stops binding -- the")
+    print("servers already run near full speed, so extra budget buys")
+    print("nothing.  Below it, latency climbs as the queue throttles the")
+    print("clocks.  BDMA-DPP dominates ROPT-DPP at every operating point.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,95 @@
+"""Mobility scenario: moving users, correlated channels, handovers.
+
+The paper keeps devices static and redraws channels uniformly; this
+example exercises the richer substrate the library ships: random
+waypoint mobility, a distance-based path-loss channel with AR(1)
+time-correlated fading, and coverage that changes as users walk in and
+out of small cells.  The controller transparently rebuilds its strategy
+space when coverage changes and repairs carried-over decisions.
+
+Run:  python examples/mobility_scenario.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+import repro
+from repro.analysis.tables import format_table
+from repro.radio.channel import DistanceChannelModel
+from repro.radio.fading import CorrelatedChannelModel
+from repro.radio.mobility import RandomWaypointMobility
+
+
+def main() -> None:
+    channel = CorrelatedChannelModel(
+        DistanceChannelModel(se_min=15.0, se_max=50.0, d_edge=6_000.0),
+        rho=0.9,
+        std=3.0,
+    )
+    mobility = RandomWaypointMobility(
+        6_000.0, speed_range=(10.0, 30.0), slot_seconds=120.0
+    )
+    scenario = repro.make_paper_scenario(
+        seed=91,
+        config=repro.ScenarioConfig(num_devices=25),
+        channel=channel,
+        mobility=mobility,
+        num_base_stations=5,
+        num_macro_stations=1,
+        small_cell_radius_range=(800.0, 2_000.0),
+    )
+
+    controller = repro.DPPController(
+        scenario.network,
+        scenario.controller_rng(),
+        v=100.0,
+        budget=scenario.budget,
+        z=2,
+    )
+
+    horizon = 96
+    handovers = {"bs": 0, "server": 0}
+    previous: repro.Assignment | None = None
+
+    def count_handovers(record: repro.SlotRecord) -> None:
+        nonlocal previous
+        if previous is not None:
+            handovers["bs"] += int(np.sum(previous.bs_of != record.assignment.bs_of))
+            handovers["server"] += int(
+                np.sum(previous.server_of != record.assignment.server_of)
+            )
+        previous = record.assignment
+
+    result = repro.run_simulation(
+        controller,
+        scenario.fresh_states(horizon),
+        budget=scenario.budget,
+        on_slot=count_handovers,
+    )
+
+    summary = result.summary()
+    rows = [
+        ["time-average latency (s)", summary.mean_latency],
+        ["time-average cost ($/slot)", summary.mean_cost],
+        ["budget ($/slot)", scenario.budget],
+        ["base-station handovers / slot", handovers["bs"] / (horizon - 1)],
+        ["server migrations / slot", handovers["server"] / (horizon - 1)],
+        ["mean decision time (ms)", 1e3 * summary.mean_solve_seconds],
+    ]
+    print(
+        format_table(
+            ["metric", "value"],
+            rows,
+            title=f"Mobility run: {scenario.network}, {horizon} slots",
+        )
+    )
+    print()
+    print("The controller carries the previous slot's equilibrium forward and")
+    print("repairs only devices whose coverage changed; remaining handovers")
+    print("are re-equilibration moves driven by channel fluctuations (try")
+    print("rho closer to 1 in CorrelatedChannelModel to calm them further).")
+
+
+if __name__ == "__main__":
+    main()

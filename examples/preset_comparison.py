@@ -1,0 +1,79 @@
+"""Comparing deployment shapes with repeated-seed replication.
+
+Which topology serves 40 devices better under the same budget policy:
+the paper's default, a dense small-cell carpet, a fully meshed metro
+deployment, or a handful of low-core edge boxes?  Single runs are noisy,
+so each preset is replicated over several seeds and reported with
+bootstrap confidence intervals.
+
+Run:  python examples/preset_comparison.py
+"""
+
+from __future__ import annotations
+
+from repro.analysis.tables import format_table
+from repro.network.presets import PRESETS, get_preset
+from repro.sim.replication import ReplicationSpec, run_replications
+
+SEEDS = (0, 1, 2)
+NUM_DEVICES = 40
+
+
+def spec_for(preset_name: str) -> ReplicationSpec:
+    builder = get_preset(preset_name, NUM_DEVICES)
+    overrides = tuple(
+        (field, getattr(builder, field))
+        for field in (
+            "num_base_stations",
+            "num_clusters",
+            "servers_per_cluster",
+            "num_macro_stations",
+            "small_cell_radius_range",
+            "wireless_fronthaul_fraction",
+            "core_counts",
+            "area_size",
+        )
+    )
+    return ReplicationSpec(
+        num_devices=NUM_DEVICES,
+        horizon=48,
+        z=2,
+        warm_start_queue=True,  # measure steady state, not the ramp
+        network_overrides=overrides,
+    )
+
+
+def main() -> None:
+    rows = []
+    for name in sorted(PRESETS):
+        report = run_replications(spec_for(name), seeds=SEEDS)
+        assert report.latency is not None and report.cost is not None
+        rows.append(
+            [
+                name,
+                report.latency.mean,
+                f"[{report.latency.ci_low:.2f}, {report.latency.ci_high:.2f}]",
+                report.cost.mean,
+                f"{100 * report.budget_satisfaction_rate():.0f}%",
+            ]
+        )
+    print(
+        format_table(
+            ["preset", "latency (s)", "95% CI", "cost ($/slot)", "budget met"],
+            rows,
+            title=(
+                f"Topology presets, {NUM_DEVICES} devices, "
+                f"{len(SEEDS)} seeds x 48 slots, BDMA-based DPP"
+            ),
+        )
+    )
+    print()
+    print("Notes: 'edge-boxes' is compute-starved (16-core servers), so its")
+    print("latency is dominated by processing; 'metro-rings' meshes every")
+    print("base station to every room, giving the congestion game the most")
+    print("freedom.  Budgets differ per preset (servers differ), so compare")
+    print("latency at 'budget met', not cost across rows.")
+
+
+if __name__ == "__main__":
+    main()

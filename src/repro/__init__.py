@@ -1,0 +1,213 @@
+"""repro: a reproduction of "Energy-Aware Online Task Offloading and
+Resource Allocation for Mobile Edge Computing" (ICDCS 2023).
+
+The package implements the paper's BDMA-based drift-plus-penalty online
+controller and every substrate it runs on: the MEC topology, radio
+channels, workloads, energy models, electricity pricing, the baselines
+(ROPT, MCBA, exact branch and bound), and a discrete-time simulation
+engine.
+
+Quickstart::
+
+    import repro
+
+    scenario = repro.make_paper_scenario(seed=7)
+    controller = repro.DPPController(
+        scenario.network,
+        scenario.controller_rng(),
+        v=100.0,
+        budget=scenario.budget,
+    )
+    result = repro.run_simulation(
+        controller, scenario.fresh_states(48), budget=scenario.budget
+    )
+    print(result.summary())
+"""
+
+from repro._version import __version__
+from repro.config import DEFAULT_PERIOD, ScenarioConfig, make_paper_scenario
+from repro.core import (
+    Assignment,
+    BDMAResult,
+    BudgetSchedule,
+    ConstantBudget,
+    PeriodicBudget,
+    demand_weighted_budget,
+    CGBAResult,
+    Decision,
+    DPPController,
+    OffloadingCongestionGame,
+    ResourceAllocation,
+    SlotRecord,
+    SlotState,
+    VirtualQueue,
+    dpp_objective,
+    optimal_allocation,
+    optimal_total_latency,
+    solve_p2_bdma,
+    solve_p2a_cgba,
+    solve_p2b,
+    total_latency,
+)
+from repro.core.cgba import cgba_approximation_ratio
+from repro.core.controller import OnlineController
+from repro.core.theory import (
+    bdma_approximation_ratio,
+    check_bdma_guarantee,
+    check_cgba_guarantee,
+)
+from repro.analysis import (
+    estimate_equilibrium_backlog,
+    jain_index,
+    line_chart,
+    periodicity_strength,
+    seasonal_decompose,
+    slot_latency_fairness,
+    sparkline,
+)
+from repro.io import load_result, save_result, summary_to_json
+from repro.workload import (
+    fit_periodic_profile,
+    fit_price_model,
+    fit_task_generator,
+)
+from repro.baselines import (
+    BranchAndBoundResult,
+    FixedFrequencyController,
+    MCBAResult,
+    mcba_p2a_solver,
+    p2a_lower_bound,
+    ropt_p2a_solver,
+    solve_p2a_exact,
+    solve_p2a_greedy,
+    solve_p2a_mcba,
+    solve_p2a_ropt,
+)
+from repro.exceptions import (
+    ConfigurationError,
+    ConvergenceError,
+    InfeasibleError,
+    ReproError,
+    SolverError,
+    TopologyError,
+    ValidationError,
+)
+from repro.network import (
+    BaseStation,
+    EdgeServer,
+    MECNetwork,
+    MobileDevice,
+    NetworkBuilder,
+    ServerCluster,
+    StrategySpace,
+    build_paper_network,
+    validate_network,
+)
+from repro.sim import (
+    MarkovOutages,
+    NoOutages,
+    ReplicationReport,
+    ReplicationSpec,
+    Scenario,
+    SeedBank,
+    SimulationResult,
+    SimulationSummary,
+    StateGenerator,
+    run_replications,
+    run_simulation,
+)
+
+__all__ = [
+    "__version__",
+    # configuration
+    "make_paper_scenario",
+    "ScenarioConfig",
+    "DEFAULT_PERIOD",
+    # core state/decisions
+    "SlotState",
+    "Assignment",
+    "ResourceAllocation",
+    "Decision",
+    # core algorithms
+    "optimal_allocation",
+    "optimal_total_latency",
+    "total_latency",
+    "OffloadingCongestionGame",
+    "solve_p2a_cgba",
+    "CGBAResult",
+    "cgba_approximation_ratio",
+    "solve_p2b",
+    "solve_p2_bdma",
+    "BDMAResult",
+    "VirtualQueue",
+    "dpp_objective",
+    "DPPController",
+    "OnlineController",
+    "SlotRecord",
+    # budget schedules
+    "BudgetSchedule",
+    "ConstantBudget",
+    "PeriodicBudget",
+    "demand_weighted_budget",
+    # theory bounds
+    "bdma_approximation_ratio",
+    "check_cgba_guarantee",
+    "check_bdma_guarantee",
+    # analysis
+    "estimate_equilibrium_backlog",
+    "seasonal_decompose",
+    "periodicity_strength",
+    "jain_index",
+    "slot_latency_fairness",
+    "sparkline",
+    "line_chart",
+    # io
+    "save_result",
+    "load_result",
+    "summary_to_json",
+    # trace fitting
+    "fit_periodic_profile",
+    "fit_price_model",
+    "fit_task_generator",
+    # baselines
+    "solve_p2a_ropt",
+    "ropt_p2a_solver",
+    "solve_p2a_mcba",
+    "mcba_p2a_solver",
+    "MCBAResult",
+    "solve_p2a_exact",
+    "BranchAndBoundResult",
+    "p2a_lower_bound",
+    "solve_p2a_greedy",
+    "FixedFrequencyController",
+    # network
+    "MECNetwork",
+    "BaseStation",
+    "EdgeServer",
+    "ServerCluster",
+    "MobileDevice",
+    "NetworkBuilder",
+    "build_paper_network",
+    "StrategySpace",
+    "validate_network",
+    # simulation
+    "Scenario",
+    "StateGenerator",
+    "SeedBank",
+    "run_simulation",
+    "SimulationResult",
+    "SimulationSummary",
+    "run_replications",
+    "ReplicationSpec",
+    "ReplicationReport",
+    "NoOutages",
+    "MarkovOutages",
+    # exceptions
+    "ReproError",
+    "ConfigurationError",
+    "TopologyError",
+    "InfeasibleError",
+    "SolverError",
+    "ConvergenceError",
+    "ValidationError",
+]

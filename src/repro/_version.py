@@ -1,0 +1,3 @@
+"""Version of the repro package; kept in sync with pyproject.toml."""
+
+__version__ = "1.0.0"

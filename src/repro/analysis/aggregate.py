@@ -1,0 +1,89 @@
+"""Aggregation of repeated stochastic runs.
+
+Experiment harnesses repeat each configuration over several seeds; these
+helpers condense the repeats into means with bootstrap confidence
+intervals and compute paired ratios between algorithms evaluated on the
+same instances (the comparisons the paper's Figs. 4 and 9 report).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.exceptions import ConfigurationError
+from repro.types import FloatArray, Rng
+
+
+@dataclass(frozen=True)
+class RunStatistics:
+    """Mean and spread of a metric across repeated runs."""
+
+    mean: float
+    std: float
+    ci_low: float
+    ci_high: float
+    num_runs: int
+
+
+def bootstrap_ci(
+    values: FloatArray,
+    rng: Rng,
+    *,
+    confidence: float = 0.95,
+    resamples: int = 2_000,
+) -> tuple[float, float]:
+    """Percentile bootstrap confidence interval for the mean."""
+    values = np.asarray(values, dtype=np.float64)
+    if values.size == 0:
+        raise ConfigurationError("cannot bootstrap an empty sample")
+    if not 0.0 < confidence < 1.0:
+        raise ConfigurationError("confidence must lie in (0, 1)")
+    if values.size == 1:
+        return float(values[0]), float(values[0])
+    idx = rng.integers(values.size, size=(resamples, values.size))
+    means = values[idx].mean(axis=1)
+    alpha = (1.0 - confidence) / 2.0
+    return (
+        float(np.quantile(means, alpha)),
+        float(np.quantile(means, 1.0 - alpha)),
+    )
+
+
+def summarize_runs(
+    values: FloatArray,
+    rng: Rng | None = None,
+    *,
+    confidence: float = 0.95,
+) -> RunStatistics:
+    """Mean, standard deviation, and bootstrap CI of repeated runs."""
+    values = np.asarray(values, dtype=np.float64)
+    if values.size == 0:
+        raise ConfigurationError("cannot summarise an empty sample")
+    if rng is None:
+        rng = np.random.default_rng(0)
+    lo, hi = bootstrap_ci(values, rng, confidence=confidence)
+    return RunStatistics(
+        mean=float(values.mean()),
+        std=float(values.std(ddof=1)) if values.size > 1 else 0.0,
+        ci_low=lo,
+        ci_high=hi,
+        num_runs=int(values.size),
+    )
+
+
+def paired_ratio(numerators: FloatArray, denominators: FloatArray) -> RunStatistics:
+    """Statistics of per-instance ratios between two paired metric arrays.
+
+    Used for "CGBA achieves around 1.02x the optimum" style claims:
+    ratios are computed instance by instance (same seed, same state)
+    before averaging.
+    """
+    numerators = np.asarray(numerators, dtype=np.float64)
+    denominators = np.asarray(denominators, dtype=np.float64)
+    if numerators.shape != denominators.shape or numerators.size == 0:
+        raise ConfigurationError("paired arrays must match and be non-empty")
+    if np.any(denominators <= 0.0):
+        raise ConfigurationError("denominators must be positive")
+    return summarize_runs(numerators / denominators)

@@ -1,0 +1,150 @@
+"""Steady-state analysis of the DPP virtual queue.
+
+Under BDMA-based DPP the backlog converges to the level ``Q*`` at which
+the *expected* per-slot energy cost of the P2-B frequency response
+equals the budget:
+
+    E[ C( Omega*(Q*) ) ] = Cbar.
+
+Because P2-B's frequencies depend on the backlog only through the
+pressure ``Q p_t / V``, the expected cost is non-increasing in ``Q`` and
+``Q*`` can be found by bisection over a sample of system states.  Two
+uses:
+
+* analysing a deployment without simulating thousands of ramp-up slots
+  (the converged-backlog curves of the paper's Figs. 7-8);
+* warm-starting a simulation at its steady state -- Theorem 4 holds for
+  any ``Q(1)``, so starting at ``Q*`` merely removes the transient.
+"""
+
+from __future__ import annotations
+
+import logging
+from typing import Sequence
+
+import numpy as np
+
+from repro.core.cgba import solve_p2a_cgba
+from repro.core.drift_penalty import energy_cost
+from repro.core.p2b import solve_p2b
+from repro.core.state import Assignment, SlotState
+from repro.exceptions import ConfigurationError
+from repro.network.connectivity import StrategySpace
+from repro.network.topology import MECNetwork
+from repro.types import Rng
+
+logger = logging.getLogger(__name__)
+
+
+def mean_cost_at_backlog(
+    network: MECNetwork,
+    states: Sequence[SlotState],
+    assignments: Sequence[Assignment],
+    *,
+    backlog: float,
+    v: float,
+) -> float:
+    """Expected per-slot energy cost if the queue sat at *backlog*.
+
+    For each sampled state the P2-B frequency response is computed under
+    the given backlog and the resulting cost averaged.
+    """
+    costs = []
+    for state, assignment in zip(states, assignments):
+        frequencies = solve_p2b(
+            network, state, assignment, queue_backlog=backlog, v=v
+        )
+        costs.append(
+            energy_cost(
+                network,
+                frequencies,
+                state.price,
+                available=state.available_servers,
+            )
+        )
+    return float(np.mean(costs))
+
+
+def estimate_equilibrium_backlog(
+    network: MECNetwork,
+    states: Sequence[SlotState],
+    rng: Rng,
+    *,
+    v: float,
+    budget: float,
+    tol: float = 1e-3,
+    max_doublings: int = 60,
+) -> float:
+    """Bisect for the steady-state backlog ``Q*`` of BDMA-based DPP.
+
+    Args:
+        network: Static topology.
+        states: A representative sample of slot states -- at least one
+            full period of the price/workload trends for an unbiased
+            average.
+        rng: Randomness for the per-state CGBA assignment solves.
+        v: The DPP parameter ``V``.
+        budget: The cost budget ``Cbar``.
+        tol: Relative tolerance on the bisection interval.
+        max_doublings: Cap on the exponential search for the upper
+            bracket.
+
+    Returns:
+        ``Q*`` (0.0 when even permanent full speed fits the budget).
+
+    Raises:
+        ConfigurationError: If *states* is empty, or the budget is
+            infeasible (below the all-at-``F^L`` average cost, so no
+            backlog can satisfy it).
+    """
+    states = list(states)
+    if not states:
+        raise ConfigurationError("need at least one sampled state")
+
+    # Fix the assignments once at mid-range frequencies: the discrete
+    # decision is only weakly coupled to the backlog (through Omega) and
+    # the cost responds to Q via P2-B far more strongly.
+    mid = 0.5 * (network.freq_min + network.freq_max)
+    assignments = []
+    for state in states:
+        space = StrategySpace(
+            network, state.coverage(), state.available_servers
+        )
+        assignments.append(
+            solve_p2a_cgba(network, state, space, mid, rng).assignment
+        )
+
+    def mean_cost(q: float) -> float:
+        return mean_cost_at_backlog(
+            network, states, assignments, backlog=q, v=v
+        )
+
+    if mean_cost(0.0) <= budget:
+        return 0.0
+    # Exponential search for an upper bracket where the budget is met.
+    hi = max(v, 1.0)
+    for _ in range(max_doublings):
+        if mean_cost(hi) <= budget:
+            break
+        hi *= 2.0
+    else:
+        raise ConfigurationError(
+            "budget is infeasible: even arbitrarily large backlogs "
+            "(all servers at F^L) cost more than the budget"
+        )
+    lo = 0.0
+    while (hi - lo) > tol * max(1.0, hi):
+        mid_q = 0.5 * (lo + hi)
+        if mean_cost(mid_q) <= budget:
+            hi = mid_q
+        else:
+            lo = mid_q
+    logger.debug(
+        "equilibrium backlog: Q*=%.3f for V=%.1f budget=%.4f "
+        "(%d sampled states)",
+        hi,
+        v,
+        budget,
+        len(states),
+    )
+    return hi

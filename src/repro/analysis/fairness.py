@@ -1,0 +1,97 @@
+"""Per-device fairness metrics.
+
+The paper optimises the *sum* of device latencies; Lemma 1's square-root
+proportional shares are what that objective induces.  These metrics let
+experiments look one level deeper: how evenly a decision treats devices.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.controller import SlotRecord
+from repro.core.latency import per_device_latency
+from repro.core.state import SlotState
+from repro.exceptions import ConfigurationError
+from repro.network.topology import MECNetwork
+from repro.types import FloatArray
+
+
+def jain_index(values: FloatArray) -> float:
+    """Jain's fairness index ``(sum x)^2 / (n sum x^2)`` in ``(0, 1]``.
+
+    1 means perfectly equal allocations; ``1/n`` means one device gets
+    everything.
+
+    Raises:
+        ConfigurationError: On an empty or all-zero input.
+    """
+    values = np.asarray(values, dtype=np.float64)
+    if values.size == 0:
+        raise ConfigurationError("cannot compute fairness of an empty vector")
+    if np.any(values < 0.0):
+        raise ConfigurationError("fairness is defined for non-negative values")
+    square_sum = float(np.sum(values * values))
+    if square_sum == 0.0:
+        raise ConfigurationError("all-zero vector has no fairness index")
+    total = float(np.sum(values))
+    return total * total / (values.size * square_sum)
+
+
+def deadline_miss_rate(
+    latencies: FloatArray, deadline: float
+) -> float:
+    """Fraction of devices whose latency exceeds *deadline* seconds.
+
+    The paper optimises the latency *sum*; service-level analyses care
+    about per-device deadlines.  Pair with
+    :func:`repro.core.latency.per_device_latency`.
+
+    Raises:
+        ConfigurationError: On an empty input or non-positive deadline.
+    """
+    latencies = np.asarray(latencies, dtype=np.float64)
+    if latencies.size == 0:
+        raise ConfigurationError("no latencies to evaluate")
+    if deadline <= 0.0:
+        raise ConfigurationError("deadline must be positive")
+    return float(np.mean(latencies > deadline))
+
+
+@dataclass(frozen=True)
+class LatencyFairness:
+    """Distributional statistics of per-device latency in one slot."""
+
+    mean: float
+    worst: float
+    p95: float
+    jain: float
+
+    @property
+    def worst_to_mean(self) -> float:
+        """Tail ratio: how much worse the unluckiest device fares."""
+        return self.worst / self.mean if self.mean > 0 else float("inf")
+
+
+def slot_latency_fairness(
+    network: MECNetwork, state: SlotState, record: SlotRecord
+) -> LatencyFairness:
+    """Per-device latency statistics for one executed slot."""
+    latencies = per_device_latency(
+        network,
+        state,
+        record.assignment,
+        record.allocation,
+        record.frequencies,
+    )
+    positive = latencies[np.isfinite(latencies)]
+    if positive.size == 0:
+        raise ConfigurationError("no finite per-device latencies in record")
+    return LatencyFairness(
+        mean=float(positive.mean()),
+        worst=float(positive.max()),
+        p95=float(np.quantile(positive, 0.95)),
+        jain=jain_index(positive),
+    )

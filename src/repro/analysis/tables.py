@@ -1,0 +1,55 @@
+"""Plain-text table rendering for benchmark output.
+
+The benchmark harness prints the same rows and series the paper plots;
+this keeps the formatting in one place so every bench reads alike.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence[object]],
+    *,
+    title: str | None = None,
+    float_format: str = "{:.4g}",
+) -> str:
+    """Render rows as an aligned monospace table.
+
+    Args:
+        headers: Column names.
+        rows: Row cell values; floats are formatted with *float_format*,
+            everything else with ``str``.
+        title: Optional title line printed above the table.
+        float_format: Format spec applied to float cells.
+
+    Returns:
+        The rendered table as one string (no trailing newline).
+    """
+    def render(cell: object) -> str:
+        if isinstance(cell, float):
+            return float_format.format(cell)
+        return str(cell)
+
+    rendered = [[render(c) for c in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in rendered:
+        if len(row) != len(headers):
+            raise ValueError(
+                f"row has {len(row)} cells but there are {len(headers)} headers"
+            )
+        for j, cell in enumerate(row):
+            widths[j] = max(widths[j], len(cell))
+
+    def line(cells: Sequence[str]) -> str:
+        return "  ".join(cell.rjust(widths[j]) for j, cell in enumerate(cells))
+
+    parts: list[str] = []
+    if title:
+        parts.append(title)
+    parts.append(line(headers))
+    parts.append(line(["-" * w for w in widths]))
+    parts.extend(line(row) for row in rendered)
+    return "\n".join(parts)

@@ -1,0 +1,109 @@
+"""Terminal-friendly plotting: sparklines and block line charts.
+
+The examples and the CLI render trajectories (queue backlogs, running
+cost averages) without a plotting dependency.  Output is plain unicode;
+pass ``ascii_only=True`` where the terminal cannot render block glyphs.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.exceptions import ConfigurationError
+from repro.types import FloatArray
+
+_BLOCKS = "▁▂▃▄▅▆▇█"
+_ASCII = " .:-=+*#%@"
+
+
+def sparkline(values: FloatArray, *, ascii_only: bool = False) -> str:
+    """One-line sparkline of a series.
+
+    Values are min-max scaled into the glyph ramp; a constant series
+    renders as a flat mid-level line.
+
+    Raises:
+        ConfigurationError: On an empty series.
+    """
+    values = np.asarray(values, dtype=np.float64)
+    if values.size == 0:
+        raise ConfigurationError("cannot sparkline an empty series")
+    ramp = _ASCII if ascii_only else _BLOCKS
+    lo, hi = float(values.min()), float(values.max())
+    if hi - lo < 1e-300:
+        return ramp[len(ramp) // 2] * values.size
+    scaled = (values - lo) / (hi - lo)
+    indices = np.minimum((scaled * len(ramp)).astype(int), len(ramp) - 1)
+    return "".join(ramp[i] for i in indices)
+
+
+def line_chart(
+    values: FloatArray,
+    *,
+    width: int = 72,
+    height: int = 12,
+    title: str | None = None,
+    y_format: str = "{:.3g}",
+) -> str:
+    """A multi-row block chart with a y-axis scale.
+
+    The series is resampled to *width* columns (mean per bucket) and
+    drawn as filled columns; the top and bottom rows are labelled with
+    the data range.
+
+    Args:
+        values: The series to draw.
+        width: Number of character columns.
+        height: Number of character rows.
+        title: Optional title line.
+        y_format: Format spec for the axis labels.
+
+    Returns:
+        The chart as a newline-joined string.
+    """
+    values = np.asarray(values, dtype=np.float64)
+    if values.size == 0:
+        raise ConfigurationError("cannot chart an empty series")
+    if width < 8 or height < 2:
+        raise ConfigurationError("need width >= 8 and height >= 2")
+
+    # Resample to `width` buckets by mean.
+    if values.size >= width:
+        edges = np.linspace(0, values.size, width + 1).astype(int)
+        resampled = np.array(
+            [values[a:b].mean() if b > a else values[min(a, values.size - 1)]
+             for a, b in zip(edges[:-1], edges[1:])]
+        )
+    else:
+        resampled = np.interp(
+            np.linspace(0, values.size - 1, width),
+            np.arange(values.size),
+            values,
+        )
+
+    lo, hi = float(resampled.min()), float(resampled.max())
+    span = hi - lo if hi > lo else 1.0
+    levels = np.clip(((resampled - lo) / span) * height, 0.0, height)
+
+    rows: list[str] = []
+    for row in range(height, 0, -1):
+        cells = []
+        for level in levels:
+            if level >= row:
+                cells.append("█")
+            elif level > row - 1:
+                # Partial block: pick a glyph by the fractional fill.
+                frac = level - (row - 1)
+                cells.append(_BLOCKS[min(int(frac * 8), 7)])
+            else:
+                cells.append(" ")
+        label = y_format.format(hi) if row == height else (
+            y_format.format(lo) if row == 1 else ""
+        )
+        rows.append(f"{label:>10} |" + "".join(cells))
+    out = []
+    if title:
+        out.append(title)
+    out.extend(rows)
+    out.append(" " * 11 + "+" + "-" * width)
+    return "\n".join(out)

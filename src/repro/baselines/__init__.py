@@ -1,0 +1,40 @@
+"""Baseline algorithms the paper compares against, plus ablation policies.
+
+* :mod:`repro.baselines.ropt` -- ROPT: uniformly random selections with
+  Lemma-1 optimal resource allocation (the paper's random baseline).
+* :mod:`repro.baselines.mcba` -- MCBA: Markov-chain Monte Carlo search
+  over assignments [36].
+* :mod:`repro.baselines.branch_and_bound` -- exact best-first
+  branch-and-bound for P2-A; our substitute for the paper's Gurobi
+  optimum.
+* :mod:`repro.baselines.lower_bounds` -- certified lower bounds on P2-A
+  (congestion-free relaxation).
+* :mod:`repro.baselines.greedy` -- one-pass greedy assignment, joint and
+  decoupled variants (ablation).
+* :mod:`repro.baselines.fixed_frequency` -- controllers pinning every
+  server at a fixed clock (ablation on the value of frequency scaling).
+"""
+
+from repro.baselines.ropt import ropt_p2a_solver, solve_p2a_ropt
+from repro.baselines.mcba import MCBAResult, mcba_p2a_solver, solve_p2a_mcba
+from repro.baselines.branch_and_bound import (
+    BranchAndBoundResult,
+    solve_p2a_exact,
+)
+from repro.baselines.lower_bounds import p2a_fractional_bound, p2a_lower_bound
+from repro.baselines.greedy import solve_p2a_greedy
+from repro.baselines.fixed_frequency import FixedFrequencyController
+
+__all__ = [
+    "solve_p2a_ropt",
+    "ropt_p2a_solver",
+    "MCBAResult",
+    "solve_p2a_mcba",
+    "mcba_p2a_solver",
+    "BranchAndBoundResult",
+    "solve_p2a_exact",
+    "p2a_lower_bound",
+    "p2a_fractional_bound",
+    "solve_p2a_greedy",
+    "FixedFrequencyController",
+]

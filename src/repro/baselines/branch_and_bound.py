@@ -1,0 +1,306 @@
+"""Exact branch-and-bound for P2-A (our substitute for Gurobi).
+
+The paper's "optimal" baseline solves P2-A with Gurobi's branch and
+bound.  We implement the same method directly on the congestion
+structure: items (devices) are assigned depth-first in order of
+decreasing solo cost, children are explored cheapest-marginal-first, and
+nodes are pruned with the admissible bound
+
+    cost(partial) + sum over unassigned devices of the cheapest marginal
+    cost under the *current* loads,
+
+which never overestimates because marginal costs only grow as loads grow
+and cross terms between unassigned devices are non-negative.  With an
+exhausted node budget the incumbent (still a feasible assignment) and a
+global lower bound are returned instead of a certificate.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.congestion_game import OffloadingCongestionGame
+from repro.core.latency import effective_fronthaul_se
+from repro.core.state import Assignment, SlotState
+from repro.exceptions import ConfigurationError
+from repro.network.connectivity import StrategySpace
+from repro.network.topology import MECNetwork
+from repro.solvers.assignment import QuadraticCongestionProblem
+from repro.types import FloatArray
+
+
+@dataclass
+class BranchAndBoundResult:
+    """Outcome of an exact (or budget-truncated) P2-A solve.
+
+    Attributes:
+        assignment: Best feasible assignment found.
+        objective: Its P2-A objective ``T_t``.
+        lower_bound: Certified lower bound on the optimum; equals
+            ``objective`` when ``optimal`` is True.
+        optimal: Whether the search ran to completion.
+        nodes: Number of search-tree nodes expanded.
+    """
+
+    assignment: Assignment
+    objective: float
+    lower_bound: float
+    optimal: bool
+    nodes: int
+
+
+def build_p2a_problem(
+    network: MECNetwork,
+    state: SlotState,
+    space: StrategySpace,
+    frequencies: FloatArray,
+) -> QuadraticCongestionProblem:
+    """Translate P2-A into a :class:`QuadraticCongestionProblem`.
+
+    Resource layout: access links occupy indices ``0..K-1``, fronthaul
+    links ``K..2K-1``, compute capacities ``2K..2K+N-1``.
+    """
+    num_bs = network.num_base_stations
+    num_servers = network.num_servers
+    resource_weights = np.concatenate(
+        [
+            1.0 / network.access_bandwidth,
+            1.0
+            / (
+                network.fronthaul_bandwidth
+                * effective_fronthaul_se(network, state)
+            ),
+            1.0 / network.speeds(np.asarray(frequencies, dtype=np.float64)),
+        ]
+    )
+    h = state.spectral_efficiency
+    options: list[list[np.ndarray]] = []
+    item_weights: list[list[np.ndarray]] = []
+    for i in range(network.num_devices):
+        ks, ns = space.pairs(i)
+        opts: list[np.ndarray] = []
+        weights: list[np.ndarray] = []
+        for k, n in zip(ks.tolist(), ns.tolist()):
+            if h[i, k] <= 0.0:
+                continue  # stale strategy space relative to this state
+            opts.append(np.array([k, num_bs + k, 2 * num_bs + n], dtype=np.int64))
+            weights.append(
+                np.array(
+                    [
+                        np.sqrt(state.bits[i] / h[i, k]),
+                        np.sqrt(state.bits[i]),
+                        np.sqrt(state.cycles[i] / network.suitability[i, n]),
+                    ]
+                )
+            )
+        options.append(opts)
+        item_weights.append(weights)
+    return QuadraticCongestionProblem(
+        num_items=network.num_devices,
+        num_resources=2 * num_bs + num_servers,
+        resource_weights=resource_weights,
+        options=options,
+        item_weights=item_weights,
+    )
+
+
+def _greedy_incumbent(
+    problem: QuadraticCongestionProblem, order: np.ndarray
+) -> tuple[list[int], float]:
+    """Cheapest-marginal greedy pass, used as the initial incumbent."""
+    loads = np.zeros(problem.num_resources)
+    choice = [0] * problem.num_items
+    total = 0.0
+    for item in order.tolist():
+        j, cost = problem.cheapest_option(item, loads)
+        choice[item] = j
+        total += cost
+        problem.apply(item, j, loads)
+    return choice, total
+
+
+def solve_p2a_exact(
+    network: MECNetwork,
+    state: SlotState,
+    space: StrategySpace,
+    frequencies: FloatArray,
+    *,
+    node_limit: int = 2_000_000,
+    incumbent: Assignment | None = None,
+    atol: float = 1e-9,
+) -> BranchAndBoundResult:
+    """Solve P2-A to optimality (or to the node budget).
+
+    Args:
+        network: Static topology.
+        state: The slot's system state.
+        space: Feasible strategy sets.
+        frequencies: Fixed server clocks.
+        node_limit: Maximum search-tree nodes before giving up on the
+            certificate; the incumbent remains feasible.
+        incumbent: Optional warm-start upper bound (e.g. a CGBA result);
+            a greedy incumbent is always computed and the better is kept.
+        atol: Pruning slack protecting against float ties.
+
+    Returns:
+        A :class:`BranchAndBoundResult`.
+    """
+    if node_limit <= 0:
+        raise ConfigurationError("node_limit must be positive")
+    problem = build_p2a_problem(network, state, space, frequencies)
+    num_items = problem.num_items
+
+    # Assign the most expensive devices first: their placement constrains
+    # the objective most, tightening bounds early.
+    zero = np.zeros(problem.num_resources)
+    solo = np.array(
+        [problem.cheapest_option(i, zero)[1] for i in range(num_items)]
+    )
+    order = np.argsort(-solo)
+
+    best_choice, best_value = _greedy_incumbent(problem, order)
+    if incumbent is not None:
+        cand = _choice_from_assignment(problem, network, space, incumbent)
+        if cand is not None:
+            value = problem.total_cost(cand)
+            if value < best_value:
+                best_choice, best_value = cand, value
+
+    loads = np.zeros(problem.num_resources)
+    # Each stack frame: (depth, option_queue) where option_queue is the
+    # remaining child options (sorted cheapest-first) for order[depth].
+    nodes = 0
+    exhausted = False
+    partial_cost = [0.0]
+    chosen: list[int] = []
+    stack: list[list[int]] = [_sorted_options(problem, int(order[0]), loads)]
+
+    while stack:
+        depth = len(stack) - 1
+        item = int(order[depth])
+        queue = stack[-1]
+        # Undo the previously explored child at this depth, if any.
+        if len(chosen) > depth:
+            prev = chosen.pop()
+            problem.remove(item, prev, loads)
+            partial_cost.pop()
+        if not queue:
+            stack.pop()
+            continue
+        j = queue.pop(0)
+        nodes += 1
+        if nodes > node_limit:
+            exhausted = True
+            break
+        marginal = problem.marginal_cost(item, j, loads)
+        cost_here = partial_cost[-1] + marginal
+        if cost_here >= best_value - atol:
+            continue  # prune: even without the remaining items it's worse
+        problem.apply(item, j, loads)
+        chosen.append(j)
+        partial_cost.append(cost_here)
+        if depth + 1 == num_items:
+            # Full assignment strictly better than the incumbent.
+            best_value = cost_here
+            best_choice = [0] * num_items
+            for d, jj in enumerate(chosen):
+                best_choice[int(order[d])] = jj
+            # Leave the child applied; the loop's backtracking undoes it.
+            continue
+        bound = cost_here
+        for d in range(depth + 1, num_items):
+            bound += problem.cheapest_option(int(order[d]), loads)[1]
+            if bound >= best_value - atol:
+                break
+        if bound >= best_value - atol:
+            # Prune the subtree: undo this child immediately.
+            chosen.pop()
+            partial_cost.pop()
+            problem.remove(item, j, loads)
+            continue
+        stack.append(_sorted_options(problem, int(order[depth + 1]), loads))
+
+    assignment = _assignment_from_choice(problem, network, space, best_choice, state)
+    lower_bound = best_value if not exhausted else _root_bound(problem)
+    return BranchAndBoundResult(
+        assignment=assignment,
+        objective=best_value,
+        lower_bound=min(lower_bound, best_value),
+        optimal=not exhausted,
+        nodes=nodes,
+    )
+
+
+def _sorted_options(
+    problem: QuadraticCongestionProblem, item: int, loads: np.ndarray
+) -> list[int]:
+    """Child options of *item*, cheapest marginal first under *loads*."""
+    costs = problem.marginal_costs(item, loads)
+    return np.argsort(costs, kind="stable").tolist()
+
+
+def _root_bound(problem: QuadraticCongestionProblem) -> float:
+    """The congestion-free bound at the root (used when the budget ran out)."""
+    zero = np.zeros(problem.num_resources)
+    return float(
+        sum(problem.cheapest_option(i, zero)[1] for i in range(problem.num_items))
+    )
+
+
+def _choice_from_assignment(
+    problem: QuadraticCongestionProblem,
+    network: MECNetwork,
+    space: StrategySpace,
+    assignment: Assignment,
+) -> list[int] | None:
+    """Map an :class:`Assignment` to per-item option indices, if feasible."""
+    num_bs = network.num_base_stations
+    choice: list[int] = []
+    for i in range(problem.num_items):
+        k = int(assignment.bs_of[i])
+        n = int(assignment.server_of[i])
+        target_first = k  # access resource index of option
+        found = None
+        for j, res in enumerate(problem.options[i]):
+            if int(res[0]) == target_first and int(res[2]) == 2 * num_bs + n:
+                found = j
+                break
+        if found is None:
+            return None
+        choice.append(found)
+    return choice
+
+
+def _assignment_from_choice(
+    problem: QuadraticCongestionProblem,
+    network: MECNetwork,
+    space: StrategySpace,
+    choice: list[int],
+    state: SlotState,
+) -> Assignment:
+    """Decode option indices back into an :class:`Assignment`."""
+    del space, state
+    num_bs = network.num_base_stations
+    bs_of = np.empty(problem.num_items, dtype=np.int64)
+    server_of = np.empty(problem.num_items, dtype=np.int64)
+    for i, j in enumerate(choice):
+        res = problem.options[i][j]
+        bs_of[i] = int(res[0])
+        server_of[i] = int(res[2]) - 2 * num_bs
+    return Assignment(bs_of=bs_of, server_of=server_of)
+
+
+def verify_against_game(
+    network: MECNetwork,
+    state: SlotState,
+    space: StrategySpace,
+    frequencies: FloatArray,
+    assignment: Assignment,
+) -> float:
+    """Cross-check helper: the P2-A objective via the congestion game."""
+    game = OffloadingCongestionGame(
+        network, state, space, frequencies, initial=assignment
+    )
+    return game.total_cost()

@@ -1,0 +1,123 @@
+"""Fixed-frequency controllers (ablation on the value of clock scaling).
+
+These policies solve the assignment problem each slot (with CGBA, so the
+comparison isolates frequency scaling) but pin every server's clock at a
+fixed point of its range.  They still track a virtual queue so the
+energy-cost accounting in simulation results is comparable, but the
+queue never influences their decisions.
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+
+from repro.core.allocation import optimal_allocation
+from repro.core.cgba import solve_p2a_cgba
+from repro.core.controller import OnlineController, SlotRecord
+from repro.core.drift_penalty import energy_cost
+from repro.core.latency import optimal_total_latency
+from repro.core.state import Assignment, SlotState
+from repro.core.virtual_queue import VirtualQueue
+from repro.exceptions import ConfigurationError
+from repro.network.connectivity import StrategySpace
+from repro.network.topology import MECNetwork
+from repro.types import Rng
+
+
+class FixedFrequencyController(OnlineController):
+    """CGBA assignment at a constant clock setting.
+
+    Args:
+        network: Static topology.
+        rng: Randomness for CGBA's initial profiles.
+        fraction: Position of every server's clock inside its range:
+            0 pins ``F^L``, 1 pins ``F^U``, 0.5 the midpoint.
+        budget: Reported-against budget ``Cbar`` (accounting only).
+        slack: CGBA's ``lambda``.
+    """
+
+    def __init__(
+        self,
+        network: MECNetwork,
+        rng: Rng,
+        *,
+        fraction: float,
+        budget: float,
+        slack: float = 0.0,
+    ) -> None:
+        if not 0.0 <= fraction <= 1.0:
+            raise ConfigurationError(f"fraction must lie in [0, 1], got {fraction}")
+        self.network = network
+        self.rng = rng
+        self.fraction = float(fraction)
+        self.budget = float(budget)
+        self.slack = float(slack)
+        self.frequencies = (
+            network.freq_min + fraction * (network.freq_max - network.freq_min)
+        )
+        self.queue = VirtualQueue(0.0)
+        self._space: StrategySpace | None = None
+        self._space_key: bytes | None = None
+        self._previous = None
+
+    def step(self, state: SlotState) -> SlotRecord:
+        coverage = state.coverage()
+        key = np.packbits(coverage).tobytes()
+        if state.available_servers is not None:
+            key += np.packbits(state.available_servers).tobytes()
+        if self._space is None or key != self._space_key:
+            self._space = StrategySpace(
+                self.network, coverage, state.available_servers
+            )
+            self._space_key = key
+        if self._previous is not None:
+            bs_of, server_of = self._space.repair(
+                self._previous.bs_of, self._previous.server_of, self.rng
+            )
+            self._previous = Assignment(bs_of=bs_of, server_of=server_of)
+        started = time.perf_counter()
+        result = solve_p2a_cgba(
+            self.network,
+            state,
+            self._space,
+            self.frequencies,
+            self.rng,
+            slack=self.slack,
+            initial=self._previous,
+        )
+        solve_seconds = time.perf_counter() - started
+        self._previous = result.assignment
+
+        allocation = optimal_allocation(self.network, state, result.assignment)
+        latency = optimal_total_latency(
+            self.network, state, result.assignment, self.frequencies
+        )
+        cost = energy_cost(
+            self.network,
+            self.frequencies,
+            state.price,
+            available=state.available_servers,
+        )
+        theta = cost - self.budget
+        backlog_before = self.queue.backlog
+        backlog_after = self.queue.update(theta)
+        return SlotRecord(
+            t=state.t,
+            assignment=result.assignment,
+            frequencies=self.frequencies.copy(),
+            allocation=allocation,
+            latency=latency,
+            cost=cost,
+            theta=theta,
+            backlog_before=backlog_before,
+            backlog_after=backlog_after,
+            solve_seconds=solve_seconds,
+        )
+
+    def reset(self) -> None:
+        self.queue = VirtualQueue(0.0)
+        self._space = None
+        self._space_key = None
+        self._previous = None

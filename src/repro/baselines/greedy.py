@@ -1,0 +1,104 @@
+"""One-pass greedy assignment baselines (ablation).
+
+Two variants, both a single sequential pass over devices:
+
+* *joint* -- each device picks the feasible (base station, server) pair
+  with the cheapest marginal total-latency increase given the loads
+  committed so far; this is "one round of best response from empty".
+* *decoupled* -- each device first picks the base station minimising the
+  communication marginal alone, then the cheapest reachable server; this
+  quantifies what the paper's joint selection buys over the naive
+  two-stage heuristic.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.latency import effective_fronthaul_se
+from repro.core.state import Assignment, SlotState
+from repro.exceptions import ConfigurationError
+from repro.network.connectivity import StrategySpace
+from repro.network.topology import MECNetwork
+from repro.types import FloatArray, IntArray, Rng
+
+
+def solve_p2a_greedy(
+    network: MECNetwork,
+    state: SlotState,
+    space: StrategySpace,
+    frequencies: FloatArray,
+    rng: Rng | None = None,
+    *,
+    joint: bool = True,
+    order: IntArray | None = None,
+) -> Assignment:
+    """Sequential greedy assignment.
+
+    Args:
+        network: Static topology.
+        state: The slot's system state.
+        space: Feasible strategy sets.
+        frequencies: Fixed server clocks.
+        rng: Used to shuffle the device order when *order* is omitted;
+            a deterministic ascending order is used when both are None.
+        joint: Pick (base station, server) jointly (True) or decouple the
+            two choices (False).
+        order: Explicit device processing order.
+
+    Returns:
+        A feasible :class:`Assignment`.
+    """
+    num_devices = network.num_devices
+    if order is None:
+        order = np.arange(num_devices)
+        if rng is not None:
+            order = rng.permutation(num_devices)
+    order = np.asarray(order, dtype=np.int64)
+    if sorted(order.tolist()) != list(range(num_devices)):
+        raise ConfigurationError("order must be a permutation of all devices")
+
+    m_access = 1.0 / network.access_bandwidth
+    m_front = 1.0 / (
+        network.fronthaul_bandwidth * effective_fronthaul_se(network, state)
+    )
+    m_compute = 1.0 / network.speeds(np.asarray(frequencies, dtype=np.float64))
+    h = state.spectral_efficiency
+
+    load_access = np.zeros(network.num_base_stations)
+    load_front = np.zeros(network.num_base_stations)
+    load_compute = np.zeros(network.num_servers)
+
+    bs_of = np.empty(num_devices, dtype=np.int64)
+    server_of = np.empty(num_devices, dtype=np.int64)
+
+    for i in order.tolist():
+        ks, ns = space.pairs(i)
+        with np.errstate(divide="ignore", over="ignore"):
+            pa = np.where(
+                h[i, ks] > 0.0,
+                np.sqrt(state.bits[i] / np.maximum(h[i, ks], 1e-300)),
+                np.inf,
+            )
+        pf = np.sqrt(state.bits[i])
+        pc = np.sqrt(state.cycles[i] / network.suitability[i, ns])
+        comm = m_access[ks] * pa * (2.0 * load_access[ks] + pa) + m_front[ks] * pf * (
+            2.0 * load_front[ks] + pf
+        )
+        comp = m_compute[ns] * pc * (2.0 * load_compute[ns] + pc)
+        if joint:
+            j = int(np.argmin(comm + comp))
+        else:
+            # Stage 1: best base station by communication marginal only.
+            best_k = int(ks[np.argmin(comm)])
+            candidates = np.flatnonzero(ks == best_k)
+            # Stage 2: cheapest reachable server through that station.
+            j = int(candidates[np.argmin(comp[candidates])])
+        k, n = int(ks[j]), int(ns[j])
+        bs_of[i] = k
+        server_of[i] = n
+        load_access[k] += pa[j]
+        load_front[k] += pf
+        load_compute[n] += pc[j]
+
+    return Assignment(bs_of=bs_of, server_of=server_of)

@@ -1,0 +1,40 @@
+"""ROPT: random selection with optimal resource allocation.
+
+Under ROPT every device picks a uniformly random feasible
+(base station, server) pair; bandwidth and compute are then split
+optimally via Lemma 1 (that part is shared with every other policy).
+The paper uses ROPT both as a P2-A baseline (Figs. 4-5) and, composed
+with DPP, as the *ROPT-based DPP* online baseline (Fig. 9).
+"""
+
+from __future__ import annotations
+
+from repro.core.bdma import P2ASolver
+from repro.core.state import Assignment, SlotState
+from repro.network.connectivity import StrategySpace
+from repro.network.topology import MECNetwork
+from repro.types import FloatArray, Rng
+
+
+def solve_p2a_ropt(space: StrategySpace, rng: Rng) -> Assignment:
+    """One uniformly random feasible assignment."""
+    bs_of, server_of = space.random_assignment(rng)
+    return Assignment(bs_of=bs_of, server_of=server_of)
+
+
+def ropt_p2a_solver() -> P2ASolver:
+    """ROPT packaged as a P2-A solver for :class:`~repro.core.DPPController`."""
+
+    def solve(
+        network: MECNetwork,
+        state: SlotState,
+        space: StrategySpace,
+        frequencies: FloatArray,
+        rng: Rng,
+        *,
+        initial: Assignment | None,
+    ) -> Assignment:
+        del network, state, frequencies, initial
+        return solve_p2a_ropt(space, rng)
+
+    return solve

@@ -1,0 +1,227 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands:
+
+* ``simulate`` -- run one DPP simulation on a paper-style scenario and
+  print the summary (optionally a backlog chart and an ``.npz`` dump).
+* ``experiment`` -- run one of the named paper experiments (``fig2`` ..
+  ``fig9``, ``ablation-*``) and print its table.
+* ``equilibrium`` -- estimate the steady-state queue backlog ``Q*`` for
+  a scenario without simulating the ramp.
+* ``info`` -- version and default-scenario overview.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Sequence
+
+import numpy as np
+
+import repro
+from repro.analysis.equilibrium import estimate_equilibrium_backlog
+from repro.analysis.text_plots import line_chart
+from repro.baselines import mcba_p2a_solver, ropt_p2a_solver
+from repro.experiments import RUNNERS, generate_report
+from repro.io import save_result, summary_to_json
+
+_SOLVER_CHOICES = ("bdma", "mcba", "ropt")
+
+
+def _build_scenario(args: argparse.Namespace) -> repro.Scenario:
+    return repro.make_paper_scenario(
+        seed=args.seed,
+        config=repro.ScenarioConfig(
+            num_devices=args.devices,
+            workload=args.workload,
+            budget_fraction=args.budget_fraction,
+        ),
+    )
+
+
+def _build_controller(
+    scenario: repro.Scenario, args: argparse.Namespace
+) -> repro.DPPController:
+    solver = None
+    z = args.z
+    if args.solver == "ropt":
+        solver, z = ropt_p2a_solver(), 1
+    elif args.solver == "mcba":
+        solver, z = mcba_p2a_solver(), 1
+    initial = 0.0
+    if args.warm_start:
+        initial = estimate_equilibrium_backlog(
+            scenario.network,
+            list(scenario.fresh_states(repro.DEFAULT_PERIOD)),
+            scenario.controller_rng("cli-equilibrium"),
+            v=args.v,
+            budget=scenario.budget,
+        )
+    return repro.DPPController(
+        scenario.network,
+        scenario.controller_rng("cli"),
+        v=args.v,
+        budget=scenario.budget,
+        z=z,
+        p2a_solver=solver,
+        initial_backlog=initial,
+    )
+
+
+def _cmd_simulate(args: argparse.Namespace) -> int:
+    scenario = _build_scenario(args)
+    controller = _build_controller(scenario, args)
+    print(
+        f"{scenario.network}; budget {scenario.budget:.4f} $/slot; "
+        f"solver {args.solver}; V={args.v}; horizon {args.horizon}"
+    )
+    result = repro.run_simulation(
+        controller, scenario.fresh_states(args.horizon), budget=scenario.budget
+    )
+    print(summary_to_json(result.summary()))
+    if args.chart:
+        print()
+        print(line_chart(result.backlog, title="virtual queue backlog Q(t)"))
+        print()
+        print(line_chart(result.latency, title="overall latency L_t (s)"))
+    if args.output:
+        written = save_result(result, args.output)
+        print(f"trajectories written to {written}")
+    return 0
+
+
+def _cmd_experiment(args: argparse.Namespace) -> int:
+    if args.list or args.name is None:
+        print("available experiments:")
+        for name in RUNNERS:
+            print(f"  {name}")
+        return 0
+    if args.name not in RUNNERS:
+        print(f"unknown experiment {args.name!r}; use --list", file=sys.stderr)
+        return 2
+    result = RUNNERS[args.name]()
+    print(result.table())
+    if args.verify:
+        result.verify()
+        print("\nall qualitative claims verified")
+    return 0
+
+
+def _cmd_report(args: argparse.Namespace) -> int:
+    names = None
+    if args.all:
+        names = list(RUNNERS)
+    elif args.names:
+        names = args.names
+    text = generate_report(names, path=args.output, verify=not args.no_verify)
+    if args.output:
+        print(f"report written to {args.output}")
+    else:
+        print(text)
+    return 0
+
+
+def _cmd_equilibrium(args: argparse.Namespace) -> int:
+    scenario = _build_scenario(args)
+    backlog = estimate_equilibrium_backlog(
+        scenario.network,
+        list(scenario.fresh_states(repro.DEFAULT_PERIOD)),
+        scenario.controller_rng("cli-equilibrium"),
+        v=args.v,
+        budget=scenario.budget,
+    )
+    print(f"budget            : {scenario.budget:.4f} $/slot")
+    print(f"V                 : {args.v}")
+    print(f"equilibrium Q*    : {backlog:.3f}")
+    print(f"Q*/V              : {backlog / args.v:.4f}")
+    return 0
+
+
+def _cmd_info(args: argparse.Namespace) -> int:
+    scenario = _build_scenario(args)
+    net = scenario.network
+    print(f"repro {repro.__version__}")
+    print(f"paper: Energy-Aware Online Task Offloading and Resource "
+          f"Allocation for Mobile Edge Computing (ICDCS 2023)")
+    print(f"default scenario (seed {args.seed}): {net}")
+    print(f"  budget {scenario.budget:.4f} $/slot "
+          f"(fraction {args.budget_fraction} of the feasible range)")
+    print(f"  frequency ranges: {net.freq_min.min():.1f}-"
+          f"{net.freq_max.max():.1f} GHz")
+    print(f"  core counts: {sorted(set(int(c) for c in net.cores))}")
+    print(f"  R_F (Theorem 3): {net.max_frequency_ratio():.2f}")
+    return 0
+
+
+def _add_scenario_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--seed", type=int, default=7, help="root seed")
+    parser.add_argument("--devices", type=int, default=50,
+                        help="number of mobile devices I")
+    parser.add_argument("--workload", choices=("uniform", "diurnal"),
+                        default="uniform")
+    parser.add_argument("--budget-fraction", type=float, default=0.5,
+                        help="budget position in the feasible cost range")
+    parser.add_argument("--v", type=float, default=100.0,
+                        help="DPP trade-off parameter V")
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The top-level argument parser (exposed for testing)."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Energy-aware online task offloading (ICDCS 2023 reproduction)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sim = sub.add_parser("simulate", help="run one online simulation")
+    _add_scenario_arguments(sim)
+    sim.add_argument("--horizon", type=int, default=48, help="slots to simulate")
+    sim.add_argument("--solver", choices=_SOLVER_CHOICES, default="bdma")
+    sim.add_argument("--z", type=int, default=3, help="BDMA alternation rounds")
+    sim.add_argument("--warm-start", action="store_true",
+                     help="start the queue at its estimated equilibrium")
+    sim.add_argument("--chart", action="store_true",
+                     help="print text charts of backlog and latency")
+    sim.add_argument("--output", type=str, default=None,
+                     help="write trajectories to this .npz file")
+    sim.set_defaults(handler=_cmd_simulate)
+
+    exp = sub.add_parser("experiment", help="run a paper experiment")
+    exp.add_argument("name", nargs="?", default=None,
+                     help="experiment id (fig2..fig9, ablation-*)")
+    exp.add_argument("--list", action="store_true", help="list experiments")
+    exp.add_argument("--verify", action="store_true",
+                     help="assert the paper's qualitative claims")
+    exp.set_defaults(handler=_cmd_experiment)
+
+    rep = sub.add_parser("report", help="run experiments into one report")
+    rep.add_argument("names", nargs="*", help="experiment ids (default: quick set)")
+    rep.add_argument("--all", action="store_true",
+                     help="run every experiment (several minutes)")
+    rep.add_argument("--output", type=str, default=None,
+                     help="write the markdown report to this file")
+    rep.add_argument("--no-verify", action="store_true",
+                     help="skip the qualitative-claim checks")
+    rep.set_defaults(handler=_cmd_report)
+
+    eq = sub.add_parser("equilibrium",
+                        help="estimate the steady-state queue backlog")
+    _add_scenario_arguments(eq)
+    eq.set_defaults(handler=_cmd_equilibrium)
+
+    info = sub.add_parser("info", help="version and scenario overview")
+    _add_scenario_arguments(info)
+    info.set_defaults(handler=_cmd_info)
+    return parser
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return int(args.handler(args))
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__
+    raise SystemExit(main())

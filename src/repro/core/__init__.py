@@ -1,0 +1,87 @@
+"""The paper's primary contribution: BDMA-based DPP and its pieces.
+
+Layout (bottom-up):
+
+* :mod:`repro.core.state` -- per-slot system state ``beta_t`` and the
+  five decision types ``alpha_t`` with constraint validation.
+* :mod:`repro.core.allocation` -- Lemma 1: closed-form optimal bandwidth
+  and computing resource allocations.
+* :mod:`repro.core.latency` -- Eqs. (7)-(20): latencies under arbitrary
+  allocations and the closed forms ``T^P``/``T^C`` under optimal ones.
+* :mod:`repro.core.congestion_game` -- the weighted congestion game view
+  of P2-A (WCG) with incremental loads and an exact potential function.
+* :mod:`repro.core.cgba` -- Algorithm 3, CGBA(lambda).
+* :mod:`repro.core.p2b` -- the convex frequency-scaling subproblem P2-B,
+  solved per server.
+* :mod:`repro.core.bdma` -- Algorithm 2, BDMA(z), alternating P2-A/P2-B.
+* :mod:`repro.core.virtual_queue` -- the DPP virtual queue ``Q(t)``.
+* :mod:`repro.core.drift_penalty` -- the drift-plus-penalty objective
+  ``f(x, y, Omega) = V T_t + Q(t) Theta_t``.
+* :mod:`repro.core.controller` -- Algorithm 1: the online BDMA-based DPP
+  controller, parameterised by the P2-A solver so ROPT-/MCBA-based DPP
+  reuse it.
+"""
+
+from repro.core.state import (
+    Assignment,
+    Decision,
+    ResourceAllocation,
+    SlotState,
+)
+from repro.core.allocation import optimal_allocation
+from repro.core.latency import (
+    communication_latency,
+    optimal_communication_latency,
+    optimal_processing_latency,
+    optimal_total_latency,
+    per_device_latency,
+    processing_latency,
+    total_latency,
+)
+from repro.core.congestion_game import OffloadingCongestionGame
+from repro.core.cgba import CGBAResult, solve_p2a_cgba
+from repro.core.p2b import solve_p2b
+from repro.core.bdma import BDMAResult, solve_p2_bdma
+from repro.core.virtual_queue import VirtualQueue
+from repro.core.drift_penalty import dpp_objective
+from repro.core.budget import (
+    BudgetSchedule,
+    ConstantBudget,
+    PeriodicBudget,
+    demand_weighted_budget,
+)
+from repro.core.controller import (
+    DPPController,
+    P2ASolver,
+    SlotRecord,
+)
+
+__all__ = [
+    "SlotState",
+    "Assignment",
+    "ResourceAllocation",
+    "Decision",
+    "optimal_allocation",
+    "processing_latency",
+    "communication_latency",
+    "total_latency",
+    "per_device_latency",
+    "optimal_processing_latency",
+    "optimal_communication_latency",
+    "optimal_total_latency",
+    "OffloadingCongestionGame",
+    "CGBAResult",
+    "solve_p2a_cgba",
+    "solve_p2b",
+    "BDMAResult",
+    "solve_p2_bdma",
+    "VirtualQueue",
+    "dpp_objective",
+    "BudgetSchedule",
+    "ConstantBudget",
+    "PeriodicBudget",
+    "demand_weighted_budget",
+    "DPPController",
+    "P2ASolver",
+    "SlotRecord",
+]

@@ -1,0 +1,94 @@
+"""Lemma 1: closed-form optimal bandwidth and compute allocations.
+
+Given the discrete selections ``(x_t, y_t)``, the REAL problem is convex
+and its KKT conditions yield square-root proportional-fair shares:
+
+* compute: ``phi_i  proportional to  sqrt(f_i / sigma_{i,n})`` among the
+  devices sharing server ``n`` (Eq. 15);
+* access: ``psi^A_i  proportional to  sqrt(d_i / h_{i,k})`` among the
+  devices sharing base station ``k`` (Eq. 16);
+* fronthaul: ``psi^F_i  proportional to  sqrt(d_i / h^F_k)``; since
+  ``h^F_k`` is common to the group it cancels, leaving ``sqrt(d_i)``
+  (Eq. 17).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.state import Assignment, ResourceAllocation, SlotState
+from repro.exceptions import ValidationError
+from repro.network.topology import MECNetwork
+from repro.types import FloatArray
+
+
+def _proportional_shares(
+    weights: FloatArray, groups: np.ndarray, num_groups: int
+) -> FloatArray:
+    """Normalise *weights* within each group: ``w_i / sum_{j in group_i} w_j``.
+
+    Devices with zero weight (zero demand) get a zero share; a group whose
+    total weight is zero produces all-zero shares, which is harmless since
+    the corresponding latency terms are zero too.
+    """
+    totals = np.bincount(groups, weights=weights, minlength=num_groups)
+    denom = totals[groups]
+    shares = np.zeros_like(weights)
+    positive = denom > 0.0
+    shares[positive] = weights[positive] / denom[positive]
+    return shares
+
+
+def optimal_allocation(
+    network: MECNetwork,
+    state: SlotState,
+    assignment: Assignment,
+) -> ResourceAllocation:
+    """Compute ``(Psi_t^*(x_t), Phi_t^*(y_t))`` per Lemma 1.
+
+    Args:
+        network: Static topology (supplies ``sigma``).
+        state: The slot's system state (supplies ``f_t, d_t, h_t``).
+        assignment: The discrete selections ``(x_t, y_t)``.
+
+    Returns:
+        The optimal :class:`ResourceAllocation`.  Shares within each
+        resource group sum to exactly 1 (when the group has any positive
+        demand), so constraints (4)-(6) hold with equality.
+
+    Raises:
+        ValidationError: If a device's chosen base station does not cover
+            it this slot (``h_{i,k} = 0`` would divide by zero).
+    """
+    devices = np.arange(assignment.num_devices)
+    h_chosen = state.spectral_efficiency[devices, assignment.bs_of]
+    if np.any((h_chosen <= 0.0) & (state.bits > 0.0)):
+        bad = int(np.flatnonzero((h_chosen <= 0.0) & (state.bits > 0.0))[0])
+        raise ValidationError(
+            f"device {bad} selected base station {int(assignment.bs_of[bad])} "
+            "with zero spectral efficiency"
+        )
+
+    sigma_chosen = network.suitability[devices, assignment.server_of]
+    compute_weights = np.sqrt(state.cycles / sigma_chosen)
+    compute_share = _proportional_shares(
+        compute_weights, assignment.server_of, network.num_servers
+    )
+
+    access_weights = np.zeros(assignment.num_devices)
+    positive = h_chosen > 0.0
+    access_weights[positive] = np.sqrt(state.bits[positive] / h_chosen[positive])
+    access_share = _proportional_shares(
+        access_weights, assignment.bs_of, network.num_base_stations
+    )
+
+    fronthaul_weights = np.sqrt(state.bits)
+    fronthaul_share = _proportional_shares(
+        fronthaul_weights, assignment.bs_of, network.num_base_stations
+    )
+
+    return ResourceAllocation(
+        access_share=access_share,
+        fronthaul_share=fronthaul_share,
+        compute_share=compute_share,
+    )

@@ -1,0 +1,185 @@
+"""BDMA (Algorithm 2): alternating minimisation for P2.
+
+P2 couples the NP-hard discrete selection ``(x, y)`` with the convex
+frequency decision ``Omega``.  Motivated by Benders' decomposition, BDMA
+alternates: starting from ``Omega = Omega^L`` (all servers at their
+lowest clock), it solves P2-A for ``(x, y)`` under the current ``Omega``
+(via a pluggable P2-A solver, CGBA by default), then P2-B for ``Omega``
+under the new ``(x, y)``, for ``z`` rounds, returning the best
+``f(x, y, Omega)`` seen.  Theorem 3 gives the
+``R = 2.62 R_F / (1 - 8 lambda)`` guarantee already for ``z = 1``;
+larger ``z`` can only improve the returned objective.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Protocol
+
+from repro.core.cgba import solve_p2a_cgba
+from repro.core.drift_penalty import dpp_objective
+from repro.core.p2b import solve_p2b
+from repro.core.state import Assignment, SlotState
+from repro.exceptions import ConfigurationError
+from repro.network.connectivity import StrategySpace
+from repro.network.topology import MECNetwork
+from repro.types import FloatArray, Rng
+
+
+class P2ASolver(Protocol):
+    """Anything that produces an assignment for P2-A under fixed ``Omega``.
+
+    Implementations: CGBA (the paper's algorithm), ROPT (uniform random),
+    MCBA (Markov-chain Monte Carlo), and the exact branch-and-bound
+    baseline; the DPP controller composes with any of them.
+    """
+
+    def __call__(
+        self,
+        network: MECNetwork,
+        state: SlotState,
+        space: StrategySpace,
+        frequencies: FloatArray,
+        rng: Rng,
+        *,
+        initial: Assignment | None,
+    ) -> Assignment: ...
+
+
+def cgba_p2a_solver(*, slack: float = 0.0, max_iter: int = 100_000) -> P2ASolver:
+    """The default P2-A solver: CGBA(lambda) (Algorithm 3)."""
+
+    def solve(
+        network: MECNetwork,
+        state: SlotState,
+        space: StrategySpace,
+        frequencies: FloatArray,
+        rng: Rng,
+        *,
+        initial: Assignment | None,
+    ) -> Assignment:
+        result = solve_p2a_cgba(
+            network,
+            state,
+            space,
+            frequencies,
+            rng,
+            slack=slack,
+            initial=initial,
+            max_iter=max_iter,
+        )
+        return result.assignment
+
+    return solve
+
+
+@dataclass
+class BDMAResult:
+    """Outcome of one BDMA(z) run on P2.
+
+    Attributes:
+        assignment: Best discrete selections found.
+        frequencies: Best clock frequencies found (GHz).
+        objective: ``f(x, y, Omega)`` of the returned decision.
+        objective_history: Objective after each of the ``z`` rounds
+            (non-increasing in its running minimum by construction).
+    """
+
+    assignment: Assignment
+    frequencies: FloatArray
+    objective: float
+    objective_history: list[float] = field(default_factory=list)
+
+
+def solve_p2_bdma(
+    network: MECNetwork,
+    state: SlotState,
+    space: StrategySpace,
+    rng: Rng,
+    *,
+    queue_backlog: float,
+    v: float,
+    budget: float,
+    z: int = 5,
+    p2a_solver: P2ASolver | None = None,
+    warm_start: bool = True,
+    initial: Assignment | None = None,
+) -> BDMAResult:
+    """Solve P2 by alternating P2-A and P2-B for ``z`` rounds.
+
+    Args:
+        network: Static topology.
+        state: The slot's system state ``beta_t``.
+        space: Feasible strategy sets.
+        rng: Randomness for the P2-A solver's initial profiles.
+        queue_backlog: The virtual queue ``Q(t)``.
+        v: DPP trade-off parameter ``V``.
+        budget: The time-average cost budget ``Cbar``.
+        z: Number of alternation rounds (Algorithm 2's tunable).
+        p2a_solver: P2-A solver; CGBA(0) when omitted.
+        warm_start: Seed each round's P2-A solve with the previous
+            round's assignment.  Algorithm 3 as printed starts from a
+            random profile every time; warm starting reaches the same
+            fixed points in fewer moves and is the practical choice.
+            Set ``False`` for the literal algorithm.
+        initial: Seed the *first* round's P2-A solve with this
+            assignment (e.g. the previous slot's decision); only used
+            when ``warm_start`` is enabled.
+
+    Returns:
+        The best decision by P2 objective across all rounds.
+    """
+    if z < 1:
+        raise ConfigurationError(f"z must be a positive integer, got {z}")
+    if v <= 0.0:
+        raise ConfigurationError(f"V must be positive, got {v}")
+    if queue_backlog < 0.0:
+        raise ConfigurationError("queue backlog cannot be negative")
+    solver = p2a_solver if p2a_solver is not None else cgba_p2a_solver()
+
+    frequencies = network.freq_min.copy()  # Omega^L (Algorithm 2, line 1)
+    best_objective = float("inf")
+    best_assignment: Assignment | None = None
+    best_frequencies = frequencies.copy()
+    history: list[float] = []
+    previous: Assignment | None = initial
+
+    for _ in range(z):
+        assignment = solver(
+            network,
+            state,
+            space,
+            frequencies,
+            rng,
+            initial=previous if warm_start else None,
+        )
+        frequencies = solve_p2b(
+            network,
+            state,
+            assignment,
+            queue_backlog=queue_backlog,
+            v=v,
+        )
+        objective = dpp_objective(
+            network,
+            state,
+            assignment,
+            frequencies,
+            queue_backlog=queue_backlog,
+            v=v,
+            budget=budget,
+        )
+        history.append(objective)
+        if objective < best_objective:
+            best_objective = objective
+            best_assignment = assignment
+            best_frequencies = frequencies.copy()
+        previous = assignment
+
+    assert best_assignment is not None
+    return BDMAResult(
+        assignment=best_assignment,
+        frequencies=best_frequencies,
+        objective=best_objective,
+        objective_history=history,
+    )

@@ -1,0 +1,138 @@
+"""Energy-budget schedules: constant and time-varying pacing.
+
+The paper's constraint is a *time-average* cost budget ``Cbar``; the DPP
+queue enforces it through per-slot overshoots ``theta_t = C_t - Cbar``.
+Nothing in the Lyapunov argument requires the reference to be the same
+every slot -- any schedule ``Cbar_t`` with time-average ``Cbar`` yields
+the identical long-run constraint, because only the running sum of
+``theta`` enters the queue.
+
+That freedom is an extension knob this module exposes: a
+*demand-weighted* schedule allocates more of the budget to slots where
+the workload trend is high (processing speed is worth more) and less to
+idle slots, while maintaining the same average.  The ablation bench
+``bench_ablation_budget_pacing.py`` quantifies what it buys.
+"""
+
+from __future__ import annotations
+
+import abc
+
+import numpy as np
+
+from repro.exceptions import ConfigurationError
+from repro.types import FloatArray
+
+
+class BudgetSchedule(abc.ABC):
+    """Per-slot budget reference with a known time average."""
+
+    @abc.abstractmethod
+    def budget_at(self, t: int) -> float:
+        """The reference ``Cbar_t`` for slot *t*."""
+
+    @property
+    @abc.abstractmethod
+    def average(self) -> float:
+        """The schedule's time-average ``Cbar`` (the actual constraint)."""
+
+
+class ConstantBudget(BudgetSchedule):
+    """The paper's setting: the same ``Cbar`` every slot."""
+
+    def __init__(self, value: float) -> None:
+        if value < 0.0:
+            raise ConfigurationError("budget must be non-negative")
+        self._value = float(value)
+
+    def budget_at(self, t: int) -> float:
+        del t
+        return self._value
+
+    @property
+    def average(self) -> float:
+        return self._value
+
+    def __repr__(self) -> str:
+        return f"ConstantBudget({self._value:.4g})"
+
+
+class PeriodicBudget(BudgetSchedule):
+    """A periodic per-slot budget; its average is the enforced constraint.
+
+    Args:
+        values: One period of per-slot budgets, all non-negative.
+    """
+
+    def __init__(self, values: FloatArray) -> None:
+        values = np.asarray(values, dtype=np.float64)
+        if values.ndim != 1 or values.size == 0:
+            raise ConfigurationError("values must be a non-empty 1-D array")
+        if np.any(values < 0.0):
+            raise ConfigurationError("budgets must be non-negative")
+        self._values = values
+
+    @property
+    def period(self) -> int:
+        """Length of the schedule's period."""
+        return int(self._values.size)
+
+    def budget_at(self, t: int) -> float:
+        return float(self._values[t % self._values.size])
+
+    @property
+    def average(self) -> float:
+        return float(self._values.mean())
+
+    def __repr__(self) -> str:
+        return (
+            f"PeriodicBudget(period={self.period}, "
+            f"average={self.average:.4g})"
+        )
+
+
+def demand_weighted_budget(
+    average: float,
+    profile: FloatArray,
+    *,
+    strength: float = 1.0,
+    floor_fraction: float = 0.1,
+) -> PeriodicBudget:
+    """A periodic budget that follows a demand profile.
+
+    The per-slot budget is ``average * (1 + strength * (profile_t /
+    mean(profile) - 1))``, floored and then renormalised so the average
+    is *exactly* the requested one.
+
+    Args:
+        average: The time-average budget to maintain.
+        profile: Demand trend over one period (e.g. a fitted diurnal
+            profile); only its shape matters.
+        strength: 0 reproduces the constant schedule; 1 tracks the
+            profile proportionally; larger values over-weight peaks.
+        floor_fraction: No slot's budget falls below this fraction of
+            the average (keeps off-peak slots workable).
+
+    Raises:
+        ConfigurationError: On non-positive average/profile or negative
+            strength.
+    """
+    if average <= 0.0:
+        raise ConfigurationError("average budget must be positive")
+    if strength < 0.0:
+        raise ConfigurationError("strength must be non-negative")
+    profile = np.asarray(profile, dtype=np.float64)
+    if profile.ndim != 1 or profile.size == 0 or np.any(profile <= 0.0):
+        raise ConfigurationError("profile must be a positive 1-D array")
+    relative = profile / profile.mean()
+    raw = average * (1.0 + strength * (relative - 1.0))
+    raw = np.maximum(raw, floor_fraction * average)
+    raw = raw * (average / raw.mean())  # renormalise after flooring
+    return PeriodicBudget(raw)
+
+
+def as_schedule(budget: "float | BudgetSchedule") -> BudgetSchedule:
+    """Coerce a plain number into a :class:`ConstantBudget`."""
+    if isinstance(budget, BudgetSchedule):
+        return budget
+    return ConstantBudget(float(budget))

@@ -1,0 +1,107 @@
+"""CGBA (Algorithm 3): best-response dynamics for P2-A.
+
+CGBA interprets P2-A as the weighted congestion game of
+:mod:`repro.core.congestion_game` and runs best-response dynamics with
+the paper's selection rule: the player with the largest absolute
+improvement moves, until no player can shrink its cost by more than the
+relative slack ``lambda``.  Theorem 2 gives the
+``2.62 / (1 - 8 lambda)`` approximation for ``lambda in (0, 0.125)`` and
+convergence to a 2.62-approximate Nash profile for ``lambda = 0``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.congestion_game import OffloadingCongestionGame
+from repro.core.state import Assignment, SlotState
+from repro.network.connectivity import StrategySpace
+from repro.network.topology import MECNetwork
+from repro.solvers.potential_game import best_response_dynamics
+from repro.types import FloatArray, Rng
+
+
+#: Theorem 2's base constant: the price of anarchy bound for weighted
+#: congestion games with affine costs.
+CGBA_BASE_RATIO = 2.62
+
+
+def cgba_approximation_ratio(slack: float) -> float:
+    """The ``2.62 / (1 - 8 lambda)`` bound of Theorem 2.
+
+    Raises:
+        ValueError: When ``slack`` is outside ``[0, 0.125)`` where the
+            bound is meaningful.
+    """
+    if not 0.0 <= slack < 0.125:
+        raise ValueError(f"Theorem 2 requires lambda in [0, 0.125), got {slack}")
+    return CGBA_BASE_RATIO / (1.0 - 8.0 * slack)
+
+
+@dataclass
+class CGBAResult:
+    """Outcome of one CGBA run.
+
+    Attributes:
+        assignment: The final (base station, server) selections.
+        total_latency: ``T_t`` of the final profile under the game's
+            fixed frequencies -- P2-A's objective value.
+        iterations: Number of unilateral best-response moves performed.
+        converged: Whether the ``lambda``-equilibrium test was met.
+        cost_history: Total latency after every move, when recorded.
+    """
+
+    assignment: Assignment
+    total_latency: float
+    iterations: int
+    converged: bool
+    cost_history: list[float] = field(default_factory=list)
+
+
+def solve_p2a_cgba(
+    network: MECNetwork,
+    state: SlotState,
+    space: StrategySpace,
+    frequencies: FloatArray,
+    rng: Rng,
+    *,
+    slack: float = 0.0,
+    initial: Assignment | None = None,
+    max_iter: int = 100_000,
+    record_history: bool = False,
+) -> CGBAResult:
+    """Solve P2-A with CGBA(lambda).
+
+    Args:
+        network: Static topology.
+        state: The slot's system state ``beta_t``.
+        space: Feasible strategy sets ``Z_i``.
+        frequencies: Fixed server clocks ``Omega`` (GHz) for this subproblem.
+        rng: Randomness for the initial profile.
+        slack: The paper's ``lambda``; 0 runs to an exact equilibrium.
+        initial: Warm-start assignment instead of a random profile.
+        max_iter: Cap on best-response moves.
+        record_history: Keep the total-latency trajectory (Fig. 6 benches).
+
+    Returns:
+        A :class:`CGBAResult`; ``total_latency`` equals
+        ``optimal_total_latency(network, state, result.assignment,
+        frequencies)`` up to float rounding.
+    """
+    game = OffloadingCongestionGame(
+        network, state, space, frequencies, initial=initial, rng=rng
+    )
+    outcome = best_response_dynamics(
+        game,
+        slack=slack,
+        max_iter=max_iter,
+        selection="max_gap",
+        record_history=record_history,
+    )
+    return CGBAResult(
+        assignment=game.assignment(),
+        total_latency=outcome.total_cost,
+        iterations=outcome.iterations,
+        converged=outcome.converged,
+        cost_history=outcome.cost_history,
+    )

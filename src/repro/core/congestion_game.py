@@ -1,0 +1,263 @@
+"""The weighted congestion game view of P2-A (the paper's WCG problem).
+
+Resources are the access link of every base station (weight
+``m = 1/W^A_k``), the fronthaul of every base station
+(``m = 1/(W^F_k h^F_k)``), and every server's compute capacity
+(``m = 1/speed_n(omega_n)``).  Device ``i`` playing strategy ``(k, n)``
+places weight
+
+* ``sqrt(d_i / h_{i,k})`` on the access resource of ``k``,
+* ``sqrt(d_i)`` on the fronthaul resource of ``k``,
+* ``sqrt(f_i / sigma_{i,n})`` on the compute resource of ``n``,
+
+and experiences cost ``sum_r m_r p_{i,r} p_r(z)`` where ``p_r(z)`` is the
+total weight on resource ``r``.  Summing player costs gives exactly
+``T_t(x, y, Omega)`` of Eq. (20), and the game admits the weighted
+potential ``Phi(z) = 1/2 sum_r m_r (p_r^2 + sum_{i in r} p_{i,r}^2)``,
+which every best-response move strictly decreases -- the key fact behind
+CGBA's convergence.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.latency import effective_fronthaul_se
+from repro.core.state import Assignment, SlotState
+from repro.exceptions import ConfigurationError
+from repro.network.connectivity import StrategySpace
+from repro.network.topology import MECNetwork
+from repro.solvers.potential_game import FiniteGame
+from repro.types import FloatArray, Rng
+
+
+class OffloadingCongestionGame(FiniteGame):
+    """P2-A as a weighted congestion game with incremental bookkeeping.
+
+    Args:
+        network: Static topology.
+        state: The slot's system state.
+        space: Feasible strategies per device (must match the state's
+            coverage: every listed pair has positive spectral efficiency).
+        frequencies: Server clocks ``Omega`` in GHz, fixed for this game.
+        initial: Starting assignment; drawn uniformly at random from the
+            strategy space when omitted (Algorithm 3, line 1).
+        rng: Required when *initial* is omitted.
+    """
+
+    def __init__(
+        self,
+        network: MECNetwork,
+        state: SlotState,
+        space: StrategySpace,
+        frequencies: FloatArray,
+        *,
+        initial: Assignment | None = None,
+        rng: Rng | None = None,
+    ) -> None:
+        frequencies = np.asarray(frequencies, dtype=np.float64)
+        if frequencies.size != network.num_servers:
+            raise ConfigurationError("one frequency per server is required")
+        self.network = network
+        self.state = state
+        self.space = space
+
+        # Resource weights m_r.
+        self._m_access = 1.0 / network.access_bandwidth
+        self._m_front = 1.0 / (
+            network.fronthaul_bandwidth * effective_fronthaul_se(network, state)
+        )
+        self._m_compute = 1.0 / network.speeds(frequencies)
+
+        # Player weights p_{i,r}.  Access weights are +inf on uncovered
+        # links so an accidental infeasible probe is never the argmin.
+        h = state.spectral_efficiency
+        # np.where evaluates both branches, so silence the overflow the
+        # masked-out h=0 entries would otherwise warn about.
+        with np.errstate(divide="ignore", over="ignore"):
+            self._p_access = np.where(
+                h > 0.0, np.sqrt(state.bits[:, None] / np.maximum(h, 1e-300)), np.inf
+            )
+        self._p_front = np.sqrt(state.bits)
+        self._p_compute = np.sqrt(state.cycles[:, None] / network.suitability)
+
+        if initial is None:
+            if rng is None:
+                raise ConfigurationError("either initial or rng must be provided")
+            bs_of, server_of = space.random_assignment(rng)
+        else:
+            bs_of, server_of = initial.bs_of.copy(), initial.server_of.copy()
+        self._bs_of = np.asarray(bs_of, dtype=np.int64)
+        self._server_of = np.asarray(server_of, dtype=np.int64)
+
+        # Resource loads p_r(z) and squared-weight sums (for the potential).
+        devices = np.arange(self.num_players)
+        pa = self._p_access[devices, self._bs_of]
+        pc = self._p_compute[devices, self._server_of]
+        self._load_access = np.bincount(
+            self._bs_of, weights=pa, minlength=network.num_base_stations
+        )
+        self._load_front = np.bincount(
+            self._bs_of, weights=self._p_front, minlength=network.num_base_stations
+        )
+        self._load_compute = np.bincount(
+            self._server_of, weights=pc, minlength=network.num_servers
+        )
+        self._sq_access = np.bincount(
+            self._bs_of, weights=pa * pa, minlength=network.num_base_stations
+        )
+        self._sq_front = np.bincount(
+            self._bs_of,
+            weights=self._p_front * self._p_front,
+            minlength=network.num_base_stations,
+        )
+        self._sq_compute = np.bincount(
+            self._server_of, weights=pc * pc, minlength=network.num_servers
+        )
+        if not np.all(np.isfinite(self._load_access)):
+            bad = int(np.flatnonzero(~np.isfinite(pa))[0])
+            raise ConfigurationError(
+                f"initial assignment is infeasible: device {bad} selected a "
+                f"base station with zero spectral efficiency this slot"
+            )
+
+    # -- FiniteGame interface ----------------------------------------------
+
+    @property
+    def num_players(self) -> int:
+        return int(self._bs_of.size)
+
+    def strategy_of(self, player: int) -> tuple[int, int]:
+        return int(self._bs_of[player]), int(self._server_of[player])
+
+    def player_cost(self, player: int) -> float:
+        k = self._bs_of[player]
+        n = self._server_of[player]
+        pa = self._p_access[player, k]
+        pf = self._p_front[player]
+        pc = self._p_compute[player, n]
+        return float(
+            self._m_access[k] * pa * self._load_access[k]
+            + self._m_front[k] * pf * self._load_front[k]
+            + self._m_compute[n] * pc * self._load_compute[n]
+        )
+
+    def best_response(self, player: int) -> tuple[tuple[int, int], float]:
+        ks, ns = self.space.pairs(player)
+        k_cur = self._bs_of[player]
+        n_cur = self._server_of[player]
+        pa_cur = self._p_access[player, k_cur]
+        pf = self._p_front[player]
+        pc_cur = self._p_compute[player, n_cur]
+
+        # Loads with the player removed from its current resources.
+        load_a = self._load_access[ks].copy()
+        load_f = self._load_front[ks].copy()
+        load_c = self._load_compute[ns].copy()
+        load_a[ks == k_cur] -= pa_cur
+        load_f[ks == k_cur] -= pf
+        load_c[ns == n_cur] -= pc_cur
+
+        pa = self._p_access[player, ks]
+        pc = self._p_compute[player, ns]
+        costs = (
+            self._m_access[ks] * pa * (load_a + pa)
+            + self._m_front[ks] * pf * (load_f + pf)
+            + self._m_compute[ns] * pc * (load_c + pc)
+        )
+        j = int(np.argmin(costs))
+        return (int(ks[j]), int(ns[j])), float(costs[j])
+
+    def move(self, player: int, strategy: tuple[int, int]) -> None:
+        k_new, n_new = strategy
+        k_old = int(self._bs_of[player])
+        n_old = int(self._server_of[player])
+        pa_old = self._p_access[player, k_old]
+        pa_new = self._p_access[player, k_new]
+        pf = self._p_front[player]
+        pc_old = self._p_compute[player, n_old]
+        pc_new = self._p_compute[player, n_new]
+
+        self._load_access[k_old] -= pa_old
+        self._load_access[k_new] += pa_new
+        self._sq_access[k_old] -= pa_old * pa_old
+        self._sq_access[k_new] += pa_new * pa_new
+
+        self._load_front[k_old] -= pf
+        self._load_front[k_new] += pf
+        self._sq_front[k_old] -= pf * pf
+        self._sq_front[k_new] += pf * pf
+
+        self._load_compute[n_old] -= pc_old
+        self._load_compute[n_new] += pc_new
+        self._sq_compute[n_old] -= pc_old * pc_old
+        self._sq_compute[n_new] += pc_new * pc_new
+
+        self._bs_of[player] = k_new
+        self._server_of[player] = n_new
+
+    def total_cost(self) -> float:
+        """``sum_r m_r p_r(z)^2`` -- equals ``T_t(x, y, Omega)`` of Eq. (20)."""
+        return float(
+            np.sum(self._m_access * self._load_access * self._load_access)
+            + np.sum(self._m_front * self._load_front * self._load_front)
+            + np.sum(self._m_compute * self._load_compute * self._load_compute)
+        )
+
+    # -- extras --------------------------------------------------------------
+
+    def move_delta(self, player: int, strategy: tuple[int, int]) -> float:
+        """Change of :meth:`total_cost` if *player* switched to *strategy*.
+
+        Evaluated without mutating the game; used by the MCBA baseline's
+        Metropolis acceptance test.
+        """
+        k_new, n_new = strategy
+        k_old = int(self._bs_of[player])
+        n_old = int(self._server_of[player])
+        delta = 0.0
+
+        if k_new != k_old:
+            pa_old = self._p_access[player, k_old]
+            pa_new = self._p_access[player, k_new]
+            pf = self._p_front[player]
+            la_old, la_new = self._load_access[k_old], self._load_access[k_new]
+            lf_old, lf_new = self._load_front[k_old], self._load_front[k_new]
+            delta += self._m_access[k_old] * ((la_old - pa_old) ** 2 - la_old**2)
+            delta += self._m_access[k_new] * ((la_new + pa_new) ** 2 - la_new**2)
+            delta += self._m_front[k_old] * ((lf_old - pf) ** 2 - lf_old**2)
+            delta += self._m_front[k_new] * ((lf_new + pf) ** 2 - lf_new**2)
+
+        if n_new != n_old:
+            pc_old = self._p_compute[player, n_old]
+            pc_new = self._p_compute[player, n_new]
+            lc_old, lc_new = self._load_compute[n_old], self._load_compute[n_new]
+            delta += self._m_compute[n_old] * ((lc_old - pc_old) ** 2 - lc_old**2)
+            delta += self._m_compute[n_new] * ((lc_new + pc_new) ** 2 - lc_new**2)
+        return float(delta)
+
+    def potential(self) -> float:
+        """The exact weighted potential ``Phi(z)``.
+
+        Every unilateral move by player ``i`` changes ``Phi`` by exactly
+        the change of ``T_i`` (the defining property of a potential game),
+        so best-response dynamics strictly decrease it -- the invariant
+        the property tests check.
+        """
+        return 0.5 * float(
+            np.sum(
+                self._m_access
+                * (self._load_access * self._load_access + self._sq_access)
+            )
+            + np.sum(
+                self._m_front * (self._load_front * self._load_front + self._sq_front)
+            )
+            + np.sum(
+                self._m_compute
+                * (self._load_compute * self._load_compute + self._sq_compute)
+            )
+        )
+
+    def assignment(self) -> Assignment:
+        """The current profile as an :class:`Assignment`."""
+        return Assignment(bs_of=self._bs_of.copy(), server_of=self._server_of.copy())

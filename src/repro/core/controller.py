@@ -1,0 +1,213 @@
+"""Algorithm 1: the online DPP controller.
+
+Each slot the controller observes ``beta_t``, solves P2 (by BDMA with a
+pluggable P2-A solver, so *BDMA-based DPP*, *ROPT-based DPP*, and
+*MCBA-based DPP* are all instances of the same class), recovers the
+closed-form optimal resource allocation of Lemma 1, and updates the
+virtual queue with the realised energy-cost overshoot.
+"""
+
+from __future__ import annotations
+
+import abc
+import time
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.allocation import optimal_allocation
+from repro.core.bdma import P2ASolver, solve_p2_bdma
+from repro.core.budget import BudgetSchedule, as_schedule
+from repro.core.drift_penalty import energy_cost
+from repro.core.latency import optimal_total_latency
+from repro.core.state import Assignment, Decision, ResourceAllocation, SlotState
+from repro.core.virtual_queue import VirtualQueue
+from repro.exceptions import ConfigurationError
+from repro.network.connectivity import StrategySpace
+from repro.network.topology import MECNetwork
+from repro.types import FloatArray, Rng
+
+__all__ = ["SlotRecord", "OnlineController", "DPPController", "P2ASolver"]
+
+
+@dataclass(frozen=True)
+class SlotRecord:
+    """Everything a controller did and observed in one slot.
+
+    Attributes:
+        t: Slot index.
+        assignment: The discrete selections performed.
+        frequencies: Server clocks (GHz) chosen for the slot.
+        allocation: Lemma-1 optimal shares actually granted.
+        latency: Realised overall latency ``T_t`` (seconds summed over
+            devices).
+        cost: Realised energy cost ``C_t``.
+        theta: ``C_t - Cbar``.
+        backlog_before: ``Q(t)`` used when deciding.
+        backlog_after: ``Q(t+1)`` after the update (Eq. 21).
+        solve_seconds: Wall-clock time spent deciding.
+    """
+
+    t: int
+    assignment: Assignment
+    frequencies: FloatArray
+    allocation: ResourceAllocation
+    latency: float
+    cost: float
+    theta: float
+    backlog_before: float
+    backlog_after: float
+    solve_seconds: float
+
+    def decision(self) -> Decision:
+        """Bundle the slot's choices as a :class:`Decision`."""
+        return Decision(
+            assignment=self.assignment,
+            allocation=self.allocation,
+            frequencies=self.frequencies,
+        )
+
+
+class OnlineController(abc.ABC):
+    """An online policy: one decision per observed slot state."""
+
+    @abc.abstractmethod
+    def step(self, state: SlotState) -> SlotRecord:
+        """Observe ``beta_t``, decide ``alpha_t``, and account for it."""
+
+    @abc.abstractmethod
+    def reset(self) -> None:
+        """Clear internal state between independent runs."""
+
+
+class DPPController(OnlineController):
+    """BDMA-based DPP (Algorithm 1), generic in the P2-A solver.
+
+    Args:
+        network: Static topology.
+        rng: Randomness used by the per-slot solver.
+        v: The DPP trade-off parameter ``V`` (larger favours latency).
+        budget: The time-average energy-cost budget ``Cbar`` -- a float
+            for the paper's constant reference, or a
+            :class:`~repro.core.budget.BudgetSchedule` for time-varying
+            pacing with the same long-run constraint (the queue only
+            sees the running sum of ``C_t - Cbar_t``).
+        z: BDMA alternation rounds (Algorithm 2's tunable).
+        p2a_solver: P2-A solver; CGBA(0) when omitted.  Pass the ROPT or
+            MCBA solvers from :mod:`repro.baselines` to reproduce the
+            paper's *ROPT-based DPP* / *MCBA-based DPP* baselines.
+        initial_backlog: ``Q(1)``.
+        warm_start: Seed each BDMA round with the previous assignment.
+        carry_over: Seed each slot's first BDMA round with the previous
+            slot's assignment.  System states evolve smoothly, so the
+            previous equilibrium is a near-optimal start; disable for the
+            literal Algorithm 1 (fresh random profile every slot).
+    """
+
+    def __init__(
+        self,
+        network: MECNetwork,
+        rng: Rng,
+        *,
+        v: float,
+        budget: "float | BudgetSchedule",
+        z: int = 5,
+        p2a_solver: P2ASolver | None = None,
+        initial_backlog: float = 0.0,
+        warm_start: bool = True,
+        carry_over: bool = True,
+    ) -> None:
+        if v <= 0.0:
+            raise ConfigurationError(f"V must be positive, got {v}")
+        self.network = network
+        self.rng = rng
+        self.v = float(v)
+        self.budget_schedule = as_schedule(budget)
+        #: Time-average budget (the actual constraint), for reporting.
+        self.budget = self.budget_schedule.average
+        self.z = int(z)
+        self.p2a_solver = p2a_solver
+        self.warm_start = bool(warm_start)
+        self.carry_over = bool(carry_over)
+        self._initial_backlog = float(initial_backlog)
+        self.queue = VirtualQueue(initial_backlog)
+        self._space: StrategySpace | None = None
+        self._space_key: bytes | None = None
+        self._previous: Assignment | None = None
+
+    def strategy_space(self, state: SlotState) -> StrategySpace:
+        """The feasible strategy sets under the slot's coverage, cached.
+
+        Coverage is static in the default scenario so the space is built
+        once; with mobility the cache key (the packed coverage mask)
+        changes and the space is rebuilt.
+        """
+        coverage = state.coverage()
+        key = np.packbits(coverage).tobytes()
+        if state.available_servers is not None:
+            key += np.packbits(state.available_servers).tobytes()
+        if self._space is None or key != self._space_key:
+            self._space = StrategySpace(
+                self.network, coverage, state.available_servers
+            )
+            self._space_key = key
+        return self._space
+
+    def step(self, state: SlotState) -> SlotRecord:
+        space = self.strategy_space(state)
+        backlog_before = self.queue.backlog
+        if self.carry_over and self._previous is not None:
+            # Mobility can invalidate last slot's pairs; repair before reuse.
+            bs_of, server_of = space.repair(
+                self._previous.bs_of, self._previous.server_of, self.rng
+            )
+            self._previous = Assignment(bs_of=bs_of, server_of=server_of)
+        slot_budget = self.budget_schedule.budget_at(state.t)
+        started = time.perf_counter()
+        result = solve_p2_bdma(
+            self.network,
+            state,
+            space,
+            self.rng,
+            queue_backlog=backlog_before,
+            v=self.v,
+            budget=slot_budget,
+            z=self.z,
+            p2a_solver=self.p2a_solver,
+            warm_start=self.warm_start,
+            initial=self._previous if self.carry_over else None,
+        )
+        solve_seconds = time.perf_counter() - started
+        if self.carry_over:
+            self._previous = result.assignment
+
+        allocation = optimal_allocation(self.network, state, result.assignment)
+        latency = optimal_total_latency(
+            self.network, state, result.assignment, result.frequencies
+        )
+        cost = energy_cost(
+            self.network,
+            result.frequencies,
+            state.price,
+            available=state.available_servers,
+        )
+        theta = cost - slot_budget
+        backlog_after = self.queue.update(theta)
+        return SlotRecord(
+            t=state.t,
+            assignment=result.assignment,
+            frequencies=result.frequencies,
+            allocation=allocation,
+            latency=latency,
+            cost=cost,
+            theta=theta,
+            backlog_before=backlog_before,
+            backlog_after=backlog_after,
+            solve_seconds=solve_seconds,
+        )
+
+    def reset(self) -> None:
+        self.queue = VirtualQueue(self._initial_backlog)
+        self._space = None
+        self._space_key = None
+        self._previous = None

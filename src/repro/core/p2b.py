@@ -1,0 +1,86 @@
+"""P2-B: the convex frequency-scaling subproblem.
+
+With the discrete selections fixed, P2-B separates per server into
+
+    min_{omega in [F^L, F^U]}  V * A_n / speed_n(omega)
+                               + Q(t) * p_t * g_n(omega),
+
+where ``A_n = (sum_{i on n} sqrt(f_i / sigma_{i,n}))^2`` is the server's
+aggregated demand and ``speed_n(omega) = cores_n * omega * 1e9``.  The
+first term is convex decreasing, the second convex increasing (the
+paper's convex-energy assumption), so each scalar problem is convex on a
+box.  The paper hands this to CVX; we solve it with the golden-section
+substitute in :mod:`repro.solvers.scalar`.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.latency import server_load_roots
+from repro.core.state import Assignment, SlotState
+from repro.network.topology import MECNetwork
+from repro.solvers.scalar import minimize_convex_scalar
+from repro.types import FloatArray
+
+
+def solve_p2b(
+    network: MECNetwork,
+    state: SlotState,
+    assignment: Assignment,
+    *,
+    queue_backlog: float,
+    v: float,
+    tol: float = 1e-8,
+) -> FloatArray:
+    """Optimal clock frequencies ``Omega`` for P2-B.
+
+    Args:
+        network: Static topology (speeds, frequency bounds, energy models).
+        state: Current system state (task sizes, electricity price).
+        assignment: Fixed discrete selections ``(x_t, y_t)``.
+        queue_backlog: The virtual queue ``Q(t)``.
+        v: The DPP trade-off parameter ``V``.
+        tol: Relative tolerance of the scalar search.
+
+    Returns:
+        ``(N,)`` array of frequencies in GHz, elementwise in
+        ``[F^L, F^U]``.
+
+    Notes:
+        Two fast paths avoid the scalar search: with zero energy pressure
+        (``Q p_t = 0``) latency alone drives the decision, so loaded
+        servers run at ``F^U`` and idle ones at ``F^L``; an idle server
+        (``A_n = 0``) always parks at ``F^L`` because only the energy
+        term remains, and it is increasing.
+    """
+    roots = server_load_roots(network, state, assignment)
+    demand = roots * roots  # A_n
+    energy_pressure = queue_backlog * state.price
+
+    frequencies = np.empty(network.num_servers)
+    for n, server in enumerate(network.servers):
+        lo, hi = server.freq_min, server.freq_max
+        if (
+            state.available_servers is not None
+            and not state.available_servers[n]
+        ):
+            # Offline server: parked; it neither serves nor draws power.
+            frequencies[n] = lo
+            continue
+        if demand[n] <= 0.0:
+            frequencies[n] = lo
+            continue
+        if energy_pressure <= 0.0:
+            frequencies[n] = hi
+            continue
+        # speed(omega) is linear in omega, so V A / speed = scale / omega.
+        latency_scale = v * demand[n] / server.speed(1.0)
+        model = server.energy_model
+
+        def objective(freq: float) -> float:
+            return latency_scale / freq + energy_pressure * model.power(freq)
+
+        result = minimize_convex_scalar(objective, lo, hi, tol=tol)
+        frequencies[n] = result.x
+    return frequencies

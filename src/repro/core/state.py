@@ -1,0 +1,268 @@
+"""Per-slot system state ``beta_t`` and decision types ``alpha_t``.
+
+The paper's binary matrices ``x_{i,k,t}`` and ``y_{i,n,t}`` each have a
+single 1 per row (constraints (1)-(2)), so we store them as index
+vectors: ``bs_of[i] = k`` and ``server_of[i] = n``.  Conversion helpers
+produce the one-hot form when the algebra is easier to read that way.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.exceptions import ValidationError
+from repro.network.topology import MECNetwork
+from repro.types import FloatArray, IntArray, as_float_array, as_int_array
+
+
+@dataclass(frozen=True)
+class SlotState:
+    """The observed system state ``beta_t = (f_t, d_t, h_t, p_t)``.
+
+    Attributes:
+        t: Slot index.
+        cycles: ``f_t`` -- task sizes in CPU cycles, shape ``(I,)``.
+        bits: ``d_t`` -- input data lengths in bits, shape ``(I,)``.
+        spectral_efficiency: ``h_t`` -- access-link bps/Hz, shape
+            ``(I, K)``; zero entries mean "out of coverage".
+        price: ``p_t`` -- electricity price for the slot.
+        fronthaul_se: Optional per-slot fronthaul spectral efficiencies
+            ``h^F_{k,t}``, shape ``(K,)``.  The paper treats ``h^F`` as
+            time-invariant but notes the algorithm handles variation;
+            when present this overrides the base stations' static values
+            for the slot.
+        available_servers: Optional per-slot server availability mask,
+            shape ``(N,)``.  ``False`` entries are failed/offline servers:
+            no device may select them and they draw no power this slot.
+            ``None`` (the paper's setting) means every server is up.
+    """
+
+    t: int
+    cycles: FloatArray
+    bits: FloatArray
+    spectral_efficiency: FloatArray
+    price: float
+    fronthaul_se: FloatArray | None = None
+    available_servers: "np.ndarray | None" = None
+
+    def __post_init__(self) -> None:
+        cycles = as_float_array(self.cycles, "cycles")
+        bits = as_float_array(self.bits, "bits")
+        h = as_float_array(self.spectral_efficiency, "spectral_efficiency")
+        if cycles.ndim != 1 or cycles.shape != bits.shape:
+            raise ValidationError("cycles and bits must be matching 1-D arrays")
+        if h.ndim != 2 or h.shape[0] != cycles.size:
+            raise ValidationError(
+                f"spectral_efficiency must be (I, K) with I={cycles.size}, "
+                f"got {h.shape}"
+            )
+        if np.any(h < 0.0):
+            raise ValidationError("spectral efficiencies must be non-negative")
+        if self.price < 0.0:
+            raise ValidationError("price must be non-negative")
+        object.__setattr__(self, "cycles", cycles)
+        object.__setattr__(self, "bits", bits)
+        object.__setattr__(self, "spectral_efficiency", h)
+        if self.fronthaul_se is not None:
+            fr = as_float_array(self.fronthaul_se, "fronthaul_se")
+            if fr.ndim != 1 or fr.size != h.shape[1]:
+                raise ValidationError(
+                    f"fronthaul_se must have shape (K,) = ({h.shape[1]},), "
+                    f"got {fr.shape}"
+                )
+            if np.any(fr <= 0.0):
+                raise ValidationError("fronthaul_se entries must be positive")
+            object.__setattr__(self, "fronthaul_se", fr)
+        if self.available_servers is not None:
+            avail = np.asarray(self.available_servers, dtype=bool)
+            if avail.ndim != 1:
+                raise ValidationError("available_servers must be a 1-D mask")
+            if not np.any(avail):
+                raise ValidationError(
+                    "available_servers cannot mark every server as down"
+                )
+            object.__setattr__(self, "available_servers", avail)
+
+    @property
+    def num_devices(self) -> int:
+        """``I``."""
+        return int(self.cycles.size)
+
+    @property
+    def num_base_stations(self) -> int:
+        """``K``."""
+        return int(self.spectral_efficiency.shape[1])
+
+    def coverage(self) -> np.ndarray:
+        """Boolean ``(I, K)`` mask of usable access links this slot."""
+        return self.spectral_efficiency > 0.0
+
+
+@dataclass(frozen=True)
+class Assignment:
+    """Joint base-station and server selection ``(x_t, y_t)``.
+
+    Attributes:
+        bs_of: ``bs_of[i] = k`` -- the base station chosen by device ``i``.
+        server_of: ``server_of[i] = n`` -- the chosen edge server.
+    """
+
+    bs_of: IntArray
+    server_of: IntArray
+
+    def __post_init__(self) -> None:
+        bs_of = as_int_array(self.bs_of, "bs_of")
+        server_of = as_int_array(self.server_of, "server_of")
+        if bs_of.ndim != 1 or bs_of.shape != server_of.shape:
+            raise ValidationError("bs_of and server_of must be matching 1-D arrays")
+        object.__setattr__(self, "bs_of", bs_of)
+        object.__setattr__(self, "server_of", server_of)
+
+    @property
+    def num_devices(self) -> int:
+        """``I``."""
+        return int(self.bs_of.size)
+
+    def x_matrix(self, num_base_stations: int) -> np.ndarray:
+        """One-hot ``(I, K)`` base-station selection matrix ``x_t``."""
+        x = np.zeros((self.num_devices, num_base_stations))
+        x[np.arange(self.num_devices), self.bs_of] = 1.0
+        return x
+
+    def y_matrix(self, num_servers: int) -> np.ndarray:
+        """One-hot ``(I, N)`` server selection matrix ``y_t``."""
+        y = np.zeros((self.num_devices, num_servers))
+        y[np.arange(self.num_devices), self.server_of] = 1.0
+        return y
+
+    def devices_on_bs(self, k: int) -> IntArray:
+        """``I_k(x_t)`` -- devices that selected base station *k*."""
+        return np.flatnonzero(self.bs_of == k)
+
+    def devices_on_server(self, n: int) -> IntArray:
+        """``I_n(y_t)`` -- devices that selected server *n*."""
+        return np.flatnonzero(self.server_of == n)
+
+    def replace(self, device: int, bs: int, server: int) -> "Assignment":
+        """Copy with *device* reassigned to (bs, server)."""
+        bs_of = self.bs_of.copy()
+        server_of = self.server_of.copy()
+        bs_of[device] = bs
+        server_of[device] = server
+        return Assignment(bs_of=bs_of, server_of=server_of)
+
+
+@dataclass(frozen=True)
+class ResourceAllocation:
+    """Bandwidth and compute shares ``(Psi_t, Phi_t)``.
+
+    Because each device uses exactly one base station and one server, the
+    shares are stored per device: ``compute_share[i]`` is the fraction
+    ``phi`` of its chosen server, ``access_share[i]``/``fronthaul_share[i]``
+    the fractions ``psi^A``/``psi^F`` of its chosen base station.
+    """
+
+    access_share: FloatArray
+    fronthaul_share: FloatArray
+    compute_share: FloatArray
+
+    def __post_init__(self) -> None:
+        access = as_float_array(self.access_share, "access_share")
+        front = as_float_array(self.fronthaul_share, "fronthaul_share")
+        compute = as_float_array(self.compute_share, "compute_share")
+        if not (access.shape == front.shape == compute.shape) or access.ndim != 1:
+            raise ValidationError("all share vectors must be matching 1-D arrays")
+        for name, arr in (
+            ("access_share", access),
+            ("fronthaul_share", front),
+            ("compute_share", compute),
+        ):
+            if np.any(arr < 0.0) or np.any(arr > 1.0 + 1e-9):
+                raise ValidationError(f"{name} entries must lie in [0, 1]")
+        object.__setattr__(self, "access_share", access)
+        object.__setattr__(self, "fronthaul_share", front)
+        object.__setattr__(self, "compute_share", compute)
+
+    @property
+    def num_devices(self) -> int:
+        """``I``."""
+        return int(self.access_share.size)
+
+
+@dataclass(frozen=True)
+class Decision:
+    """The full per-slot decision ``alpha_t``."""
+
+    assignment: Assignment
+    allocation: ResourceAllocation
+    frequencies: FloatArray
+
+    def __post_init__(self) -> None:
+        freqs = as_float_array(self.frequencies, "frequencies")
+        if freqs.ndim != 1:
+            raise ValidationError("frequencies must be a 1-D array")
+        if self.allocation.num_devices != self.assignment.num_devices:
+            raise ValidationError("allocation and assignment sizes differ")
+        object.__setattr__(self, "frequencies", freqs)
+
+
+def validate_decision(
+    network: MECNetwork,
+    state: SlotState,
+    decision: Decision,
+    *,
+    atol: float = 1e-9,
+) -> None:
+    """Check a decision against constraints (1)-(6) and frequency bounds.
+
+    Raises:
+        ValidationError: Describing the first violated constraint.
+    """
+    assignment = decision.assignment
+    allocation = decision.allocation
+    num_devices = network.num_devices
+    if assignment.num_devices != num_devices or state.num_devices != num_devices:
+        raise ValidationError("device-count mismatch between network/state/decision")
+
+    for i in range(num_devices):
+        k = int(assignment.bs_of[i])
+        n = int(assignment.server_of[i])
+        if not 0 <= k < network.num_base_stations:
+            raise ValidationError(f"device {i}: base station {k} out of range")
+        if not 0 <= n < network.num_servers:
+            raise ValidationError(f"device {i}: server {n} out of range")
+        if state.spectral_efficiency[i, k] <= 0.0:
+            raise ValidationError(
+                f"device {i}: selected base station {k} does not cover it"
+            )
+        if state.available_servers is not None and not state.available_servers[n]:
+            raise ValidationError(
+                f"device {i}: selected server {n} is offline this slot"
+            )
+        if n not in network.servers_reachable_from(k):
+            raise ValidationError(
+                f"device {i}: server {n} unreachable through base station {k} "
+                "(constraint (3))"
+            )
+
+    # Capacity constraints (4)-(6): shares on each resource sum to <= 1.
+    for k in range(network.num_base_stations):
+        members = assignment.devices_on_bs(k)
+        if np.sum(allocation.access_share[members]) > 1.0 + atol:
+            raise ValidationError(f"base station {k}: access shares exceed 1")
+        if np.sum(allocation.fronthaul_share[members]) > 1.0 + atol:
+            raise ValidationError(f"base station {k}: fronthaul shares exceed 1")
+    for n in range(network.num_servers):
+        members = assignment.devices_on_server(n)
+        if np.sum(allocation.compute_share[members]) > 1.0 + atol:
+            raise ValidationError(f"server {n}: compute shares exceed 1")
+
+    freqs = decision.frequencies
+    if freqs.size != network.num_servers:
+        raise ValidationError("one frequency per server is required")
+    if np.any(freqs < network.freq_min - atol) or np.any(
+        freqs > network.freq_max + atol
+    ):
+        raise ValidationError("a frequency lies outside [F^L, F^U]")

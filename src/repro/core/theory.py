@@ -1,0 +1,119 @@
+"""The paper's theoretical guarantees as checkable quantities.
+
+* Theorem 2: CGBA(lambda) returns a profile within ``2.62/(1-8 lambda)``
+  of the optimal total latency, in ``O((1/lambda) log(P0/Pmin))`` moves.
+* Theorem 3: BDMA inherits ``R = 2.62 R_F / (1 - 8 lambda)`` on P2,
+  where ``R_F = max_n F^U_n / F^L_n``.
+* Theorem 4: BDMA-based DPP achieves time-average latency at most
+  ``R rho* + B D / V`` while satisfying the budget.
+
+The functions here compute the concrete constants for a given network
+and verify measured results against them -- the checks the benchmark
+verifications and several tests rely on.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.core.cgba import CGBA_BASE_RATIO, cgba_approximation_ratio
+from repro.core.congestion_game import OffloadingCongestionGame
+from repro.network.topology import MECNetwork
+
+
+def bdma_approximation_ratio(network: MECNetwork, slack: float = 0.0) -> float:
+    """Theorem 3's constant ``R = 2.62 R_F / (1 - 8 lambda)``.
+
+    Args:
+        network: Supplies ``R_F``, the largest frequency ratio.
+        slack: CGBA's ``lambda`` in ``[0, 0.125)``.
+    """
+    return cgba_approximation_ratio(slack) * network.max_frequency_ratio()
+
+
+def cgba_iteration_bound(
+    game: OffloadingCongestionGame, slack: float
+) -> float:
+    """Theorem 2's iteration bound ``O((1/lambda) log(P0/Pmin))``.
+
+    ``P0`` is the potential of the game's current (initial) profile;
+    ``Pmin`` is bounded below by the best-response potential floor,
+    which we conservatively estimate as the potential's additive
+    self-interaction term (the load-independent part, which no profile
+    can shed).  The returned value is the bound's leading expression
+    without the suppressed constant -- useful for order-of-magnitude
+    comparisons, not as a hard cap.
+
+    Raises:
+        ValueError: For ``slack <= 0`` (the bound is vacuous at 0).
+    """
+    if slack <= 0.0:
+        raise ValueError("the iteration bound requires lambda > 0")
+    p0 = game.potential()
+    # Potential floor: half the sum of m_r p_{i,r}^2 over the current
+    # profile's cheapest possible placements; the self-interaction term
+    # of the potential cannot vanish.  Use the current profile's
+    # self-term scaled down by the ratio bound as a conservative floor.
+    p_min = p0 / max(
+        CGBA_BASE_RATIO * game.num_players, 1.0
+    )
+    return (1.0 / slack) * math.log(max(p0 / p_min, 1.0 + 1e-12))
+
+
+@dataclass(frozen=True)
+class GuaranteeCheck:
+    """Outcome of checking a measured value against a theoretical bound."""
+
+    measured: float
+    bound: float
+
+    @property
+    def satisfied(self) -> bool:
+        """Whether the measured value respects the bound."""
+        return self.measured <= self.bound * (1.0 + 1e-9)
+
+    @property
+    def headroom(self) -> float:
+        """``bound / measured`` -- how loose the bound is in practice."""
+        if self.measured <= 0.0:
+            return float("inf")
+        return self.bound / self.measured
+
+
+def check_cgba_guarantee(
+    measured_latency: float, optimal_latency: float, slack: float = 0.0
+) -> GuaranteeCheck:
+    """Check a measured CGBA result against Theorem 2.
+
+    Args:
+        measured_latency: ``T(z_hat)`` from a CGBA run.
+        optimal_latency: The optimum (or any lower bound on it -- the
+            check is then conservative).
+        slack: The lambda used.
+    """
+    return GuaranteeCheck(
+        measured=measured_latency,
+        bound=cgba_approximation_ratio(slack) * optimal_latency,
+    )
+
+
+def check_bdma_guarantee(
+    network: MECNetwork,
+    measured_objective: float,
+    reference_objective: float,
+    *,
+    queue_term: float = 0.0,
+    slack: float = 0.0,
+) -> GuaranteeCheck:
+    """Check a measured BDMA result against Theorem 3.
+
+    Theorem 3 states ``V T(bar) + Q Theta(bar) <= R V T(any) +
+    Q Theta(any)``; pass the latency parts through the objectives and
+    any shared queue term via *queue_term*.
+    """
+    ratio = bdma_approximation_ratio(network, slack)
+    return GuaranteeCheck(
+        measured=measured_objective,
+        bound=ratio * (reference_objective - queue_term) + queue_term,
+    )

@@ -1,0 +1,54 @@
+"""The DPP virtual queue ``Q(t)`` (Eq. 21).
+
+The queue accumulates energy-cost overshoot ``theta(t) = C_t - Cbar``
+and drains when the system under-spends.  Its time-average stability is
+what converts the per-slot minimisation into the time-average constraint
+(14): if ``Q(t)/t -> 0`` then the average of ``theta`` is at most 0.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.exceptions import ConfigurationError
+from repro.types import FloatArray
+
+
+class VirtualQueue:
+    """Scalar virtual queue with recorded history.
+
+    Args:
+        initial: ``Q(1)``, non-negative.
+    """
+
+    def __init__(self, initial: float = 0.0) -> None:
+        if initial < 0.0:
+            raise ConfigurationError("queue backlog cannot be negative")
+        self._backlog = float(initial)
+        self._history: list[float] = [self._backlog]
+
+    @property
+    def backlog(self) -> float:
+        """Current ``Q(t)``."""
+        return self._backlog
+
+    def update(self, theta: float) -> float:
+        """Apply ``Q(t+1) = max(Q(t) + theta, 0)`` and return the new backlog."""
+        self._backlog = max(self._backlog + theta, 0.0)
+        self._history.append(self._backlog)
+        return self._backlog
+
+    def history(self) -> FloatArray:
+        """Backlog trajectory including the initial value, shape ``(T+1,)``."""
+        return np.array(self._history)
+
+    def time_average(self) -> float:
+        """Mean backlog over the recorded history."""
+        return float(np.mean(self._history))
+
+    def reset(self, initial: float = 0.0) -> None:
+        """Restart the queue (e.g. between independent simulation runs)."""
+        if initial < 0.0:
+            raise ConfigurationError("queue backlog cannot be negative")
+        self._backlog = float(initial)
+        self._history = [self._backlog]

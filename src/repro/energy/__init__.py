@@ -1,0 +1,65 @@
+"""Energy substrate: server power models and electricity pricing.
+
+This subpackage reproduces the energy side of the paper:
+
+* :mod:`repro.energy.cpu_data` -- the digitised i7-3770K frequency/power
+  measurements of Fig. 3 and their least-squares quadratic fit.
+* :mod:`repro.energy.models` -- convex energy-consumption functions
+  ``g_n(omega)``; the paper leaves the functional form unspecified and
+  only requires convexity, so several families are provided.
+* :mod:`repro.energy.pricing` -- time-varying electricity price processes
+  ``p_t`` modelled as a periodic trend plus iid noise (the paper's
+  NYISO-motivated model, Fig. 2).
+* :mod:`repro.energy.cost` -- per-slot energy cost ``C_t`` (Eq. 13) and
+  budget-selection helpers.
+"""
+
+from repro.energy.cpu_data import (
+    I7_3770K_FREQUENCIES_GHZ,
+    I7_3770K_POWER_WATTS,
+    fit_quadratic_power_curve,
+)
+from repro.energy.models import (
+    CubicEnergyModel,
+    EnergyModel,
+    LinearEnergyModel,
+    PiecewiseLinearEnergyModel,
+    QuadraticEnergyModel,
+    ScaledEnergyModel,
+    perturbed_quadratic_model,
+)
+from repro.energy.pricing import (
+    ConstantPriceModel,
+    PeriodicPriceModel,
+    PriceModel,
+    TracePriceModel,
+    synthetic_nyiso_trend,
+)
+from repro.energy.cost import (
+    max_slot_cost,
+    min_slot_cost,
+    slot_energy_cost,
+    suggest_budget,
+)
+
+__all__ = [
+    "I7_3770K_FREQUENCIES_GHZ",
+    "I7_3770K_POWER_WATTS",
+    "fit_quadratic_power_curve",
+    "EnergyModel",
+    "QuadraticEnergyModel",
+    "LinearEnergyModel",
+    "CubicEnergyModel",
+    "PiecewiseLinearEnergyModel",
+    "ScaledEnergyModel",
+    "perturbed_quadratic_model",
+    "PriceModel",
+    "PeriodicPriceModel",
+    "ConstantPriceModel",
+    "TracePriceModel",
+    "synthetic_nyiso_trend",
+    "slot_energy_cost",
+    "min_slot_cost",
+    "max_slot_cost",
+    "suggest_budget",
+]

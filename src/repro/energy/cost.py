@@ -1,0 +1,78 @@
+"""Per-slot energy cost ``C_t`` (Eq. 13) and budget-selection helpers.
+
+These functions operate on sequences of :class:`~repro.energy.models.EnergyModel`
+plus frequency vectors so they do not depend on the network topology
+types; the topology layer passes its servers' models in.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.energy.models import EnergyModel
+from repro.energy.pricing import PriceModel
+from repro.exceptions import ConfigurationError
+from repro.types import FloatArray
+
+
+def slot_energy_cost(
+    models: Sequence[EnergyModel],
+    frequencies: FloatArray,
+    price: float,
+) -> float:
+    """Total energy cost at one slot: ``C_t = p_t * sum_n g_n(omega_n)``."""
+    frequencies = np.asarray(frequencies, dtype=np.float64)
+    if len(models) != frequencies.size:
+        raise ConfigurationError(
+            f"{len(models)} energy models but {frequencies.size} frequencies"
+        )
+    total_power = sum(m.power(float(f)) for m, f in zip(models, frequencies))
+    return price * total_power
+
+
+def min_slot_cost(
+    models: Sequence[EnergyModel],
+    freq_min: FloatArray,
+    price: float,
+) -> float:
+    """Energy cost when every server idles at its lowest frequency."""
+    return slot_energy_cost(models, freq_min, price)
+
+
+def max_slot_cost(
+    models: Sequence[EnergyModel],
+    freq_max: FloatArray,
+    price: float,
+) -> float:
+    """Energy cost when every server runs flat out at its top frequency."""
+    return slot_energy_cost(models, freq_max, price)
+
+
+def suggest_budget(
+    models: Sequence[EnergyModel],
+    freq_min: FloatArray,
+    freq_max: FloatArray,
+    price_model: PriceModel,
+    *,
+    fraction: float = 0.5,
+) -> float:
+    """Pick a time-average energy budget ``Cbar`` between the extremes.
+
+    The achievable time-average cost lies between the all-at-``F^L`` and
+    all-at-``F^U`` costs evaluated at the mean trend price.  ``fraction``
+    interpolates between them (0 -> barely feasible, 1 -> unconstrained),
+    mirroring how the paper sweeps budgets in its Fig. 9.
+
+    Raises:
+        ConfigurationError: If ``fraction`` lies outside ``[0, 1]``.
+    """
+    if not 0.0 <= fraction <= 1.0:
+        raise ConfigurationError(f"fraction must lie in [0, 1], got {fraction}")
+    mean_price = float(
+        np.mean([price_model.trend(t) for t in range(price_model.period)])
+    )
+    lo = min_slot_cost(models, np.asarray(freq_min, dtype=np.float64), mean_price)
+    hi = max_slot_cost(models, np.asarray(freq_max, dtype=np.float64), mean_price)
+    return lo + fraction * (hi - lo)

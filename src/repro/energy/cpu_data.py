@@ -1,0 +1,55 @@
+"""Digitised i7-3770K frequency/power measurements and quadratic fit.
+
+The paper's Fig. 3 shows the measured power of an Intel i7-3770K core at
+clock frequencies between 1.8 GHz and 3.6 GHz and fits the points with a
+quadratic.  We did not have access to the authors' raw measurements, so
+the table below is a digitisation of the published literature values for
+that part (convex, increasing, ~30 W at 1.8 GHz up to ~75 W at 3.6 GHz);
+only the fitted quadratic and its per-server perturbations enter the
+simulations, exactly as in the paper.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.types import FloatArray
+
+#: Clock frequencies (GHz) at which power was measured.
+I7_3770K_FREQUENCIES_GHZ: FloatArray = np.array(
+    [1.8, 2.0, 2.2, 2.4, 2.6, 2.8, 3.0, 3.2, 3.4, 3.5, 3.6]
+)
+
+#: Measured package power (watts) at the frequencies above.  Convex and
+#: increasing in frequency, matching the shape of the paper's Fig. 3.
+I7_3770K_POWER_WATTS: FloatArray = np.array(
+    [30.1, 33.0, 36.4, 40.2, 44.5, 49.3, 54.7, 60.7, 67.3, 70.9, 74.6]
+)
+
+
+def fit_quadratic_power_curve(
+    frequencies: FloatArray | None = None,
+    powers: FloatArray | None = None,
+) -> tuple[float, float, float]:
+    """Least-squares quadratic fit ``power = a f^2 + b f + c``.
+
+    Args:
+        frequencies: Frequencies in GHz; defaults to the i7-3770K table.
+        powers: Power draws in watts; defaults to the i7-3770K table.
+
+    Returns:
+        The coefficients ``(a, b, c)``.  For the default data ``a > 0``,
+        so the fitted curve is convex as the paper requires.
+    """
+    if frequencies is None:
+        frequencies = I7_3770K_FREQUENCIES_GHZ
+    if powers is None:
+        powers = I7_3770K_POWER_WATTS
+    frequencies = np.asarray(frequencies, dtype=np.float64)
+    powers = np.asarray(powers, dtype=np.float64)
+    if frequencies.shape != powers.shape:
+        raise ValueError("frequencies and powers must have the same shape")
+    if frequencies.size < 3:
+        raise ValueError("need at least three points to fit a quadratic")
+    a, b, c = np.polyfit(frequencies, powers, deg=2)
+    return float(a), float(b), float(c)

@@ -1,0 +1,168 @@
+"""Time-varying electricity price processes ``p_t``.
+
+The paper models the price as a periodic trend plus iid noise,
+``p_t = pbar_t + e^p_t``, motivated by NYISO hourly prices (its Fig. 2).
+We do not ship the proprietary NYISO trace; instead
+:func:`synthetic_nyiso_trend` builds a 24-slot diurnal trend with the
+characteristic morning and evening peaks and a realistic $/MWh range,
+which exercises exactly the structure the algorithm relies on.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.exceptions import ConfigurationError
+from repro.types import FloatArray, Rng, as_float_array
+
+
+class PriceModel(abc.ABC):
+    """Electricity price process; one price per discrete time slot."""
+
+    #: Period of the underlying trend (the paper's ``D``); 1 for constants.
+    period: int
+
+    @abc.abstractmethod
+    def price(self, t: int, rng: Rng) -> float:
+        """Draw the price for slot *t* (slots are numbered from 0)."""
+
+    @abc.abstractmethod
+    def trend(self, t: int) -> float:
+        """The deterministic trend component ``pbar_t``."""
+
+    def generate(self, horizon: int, rng: Rng) -> FloatArray:
+        """Draw a full price trace of length *horizon*."""
+        return np.array([self.price(t, rng) for t in range(horizon)])
+
+
+@dataclass(frozen=True)
+class ConstantPriceModel(PriceModel):
+    """A constant price; handy for unit tests and ablations."""
+
+    value: float
+    period: int = 1
+
+    def __post_init__(self) -> None:
+        if self.value < 0.0:
+            raise ConfigurationError("price must be non-negative")
+
+    def price(self, t: int, rng: Rng) -> float:
+        del t, rng
+        return self.value
+
+    def trend(self, t: int) -> float:
+        del t
+        return self.value
+
+
+class PeriodicPriceModel(PriceModel):
+    """``p_t = trend[t mod D] + e_t`` with iid noise, floored at zero.
+
+    Args:
+        trend_values: The periodic trend ``pbar``; its length is the
+            period ``D``.
+        noise_std: Standard deviation of the iid Gaussian noise ``e^p_t``.
+        floor: Prices below this are clipped up to it (renewable markets
+            occasionally clear near zero but the model keeps ``p_t >= 0``
+            so energy cost stays a cost).
+    """
+
+    def __init__(
+        self,
+        trend_values: FloatArray,
+        *,
+        noise_std: float = 0.0,
+        floor: float = 0.0,
+    ) -> None:
+        values = as_float_array(trend_values, "trend_values")
+        if values.ndim != 1 or values.size == 0:
+            raise ConfigurationError("trend_values must be a non-empty 1-D array")
+        if np.any(values < 0.0):
+            raise ConfigurationError("trend prices must be non-negative")
+        if noise_std < 0.0:
+            raise ConfigurationError("noise_std must be non-negative")
+        self._trend = values
+        self._noise_std = float(noise_std)
+        self._floor = float(floor)
+        self.period = int(values.size)
+
+    @property
+    def noise_std(self) -> float:
+        """Standard deviation of the iid noise component."""
+        return self._noise_std
+
+    def trend(self, t: int) -> float:
+        return float(self._trend[t % self.period])
+
+    def price(self, t: int, rng: Rng) -> float:
+        noise = self._noise_std * float(rng.standard_normal()) if self._noise_std else 0.0
+        return max(self._floor, self.trend(t) + noise)
+
+    def generate(self, horizon: int, rng: Rng) -> FloatArray:
+        reps = int(np.ceil(horizon / self.period))
+        base = np.tile(self._trend, reps)[:horizon]
+        if self._noise_std:
+            base = base + self._noise_std * rng.standard_normal(horizon)
+        return np.maximum(self._floor, base)
+
+
+@dataclass(frozen=True)
+class TracePriceModel(PriceModel):
+    """Replay a recorded price trace, repeating it past its end.
+
+    Use this to plug in a real NYISO (or any other ISO) hourly trace when
+    one is available; the simulator only needs ``price(t)``.
+    """
+
+    trace: FloatArray
+    period: int = field(init=False)
+
+    def __post_init__(self) -> None:
+        trace = as_float_array(self.trace, "trace")
+        if trace.ndim != 1 or trace.size == 0:
+            raise ConfigurationError("trace must be a non-empty 1-D array")
+        object.__setattr__(self, "trace", trace)
+        object.__setattr__(self, "period", int(trace.size))
+
+    def price(self, t: int, rng: Rng) -> float:
+        del rng
+        return float(self.trace[t % self.trace.size])
+
+    def trend(self, t: int) -> float:
+        return float(self.trace[t % self.trace.size])
+
+
+def synthetic_nyiso_trend(
+    *,
+    period: int = 24,
+    base_price: float = 28.0,
+    morning_peak: float = 14.0,
+    evening_peak: float = 24.0,
+    morning_hour: float = 8.0,
+    evening_hour: float = 19.0,
+    peak_width_hours: float = 2.5,
+) -> FloatArray:
+    """Build a diurnal $/MWh trend with morning and evening peaks.
+
+    The shape mimics NYISO day-ahead hourly prices (paper Fig. 2): a flat
+    overnight base with two Gaussian bumps around the commute hours.  All
+    parameters are exposed so experiments can stress different market
+    shapes.
+
+    Returns:
+        An array of length *period* (default 24, one slot per hour).
+    """
+    if period < 2:
+        raise ConfigurationError("period must be at least 2")
+    hours = np.arange(period) * (24.0 / period)
+
+    def bump(center: float, height: float) -> FloatArray:
+        # Wrap-around distance on the 24 h circle keeps the trend periodic.
+        delta = np.minimum(np.abs(hours - center), 24.0 - np.abs(hours - center))
+        return height * np.exp(-0.5 * (delta / peak_width_hours) ** 2)
+
+    trend = base_price + bump(morning_hour, morning_peak) + bump(evening_hour, evening_peak)
+    return trend

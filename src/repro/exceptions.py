@@ -1,0 +1,53 @@
+"""Exception hierarchy for the :mod:`repro` package.
+
+Every error raised by this library derives from :class:`ReproError` so
+callers can catch library failures with a single ``except`` clause while
+letting programming errors (``TypeError`` etc.) propagate.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the :mod:`repro` package."""
+
+
+class ConfigurationError(ReproError):
+    """A scenario, network, or algorithm was configured inconsistently."""
+
+
+class TopologyError(ConfigurationError):
+    """The MEC network topology is malformed (e.g. empty cluster, bad link)."""
+
+
+class InfeasibleError(ReproError):
+    """No feasible decision exists for a device or for the whole problem.
+
+    Raised, for example, when a mobile device is covered by no base
+    station, or when a base station connects to no server cluster.
+    """
+
+    def __init__(self, message: str, *, device: int | None = None) -> None:
+        super().__init__(message)
+        #: Index of the offending mobile device, when known.
+        self.device = device
+
+
+class SolverError(ReproError):
+    """A numerical solver failed to produce a valid answer."""
+
+
+class ConvergenceError(SolverError):
+    """An iterative algorithm exhausted its iteration budget.
+
+    The partially converged answer, when available, is attached as
+    :attr:`best_so_far` so callers may still use it.
+    """
+
+    def __init__(self, message: str, *, best_so_far: object | None = None) -> None:
+        super().__init__(message)
+        self.best_so_far = best_so_far
+
+
+class ValidationError(ReproError):
+    """A decision violates one of the problem's constraints (Eqs. 1-6)."""

@@ -1,0 +1,92 @@
+"""Programmatic runners for every experiment in the paper's evaluation.
+
+Each module reproduces one figure (or one ablation) of the paper as a
+parameterised function returning a structured result object that can
+
+* render itself as the table the paper plots (``.table()``), and
+* verify the paper's qualitative claims about it (``.verify()``).
+
+The benchmark suite under ``benchmarks/`` is a thin wrapper: it calls
+these runners with the paper's parameters, persists the tables, and
+asserts via ``verify()``.  The same runners back the ``python -m repro``
+command line, and can be called with smaller parameters for quick
+exploration.
+"""
+
+from repro.experiments.fig2_traces import Fig2Result, run_fig2
+from repro.experiments.fig3_energy_fit import Fig3Result, run_fig3
+from repro.experiments.fig4_p2a_quality import Fig4Result, run_fig4
+from repro.experiments.fig5_p2a_runtime import Fig5Result, run_fig5
+from repro.experiments.fig6_lambda_sweep import Fig6Result, run_fig6
+from repro.experiments.fig7_queue_backlog import Fig7Result, run_fig7
+from repro.experiments.fig8_v_sweep import Fig8Result, run_fig8
+from repro.experiments.fig9_budget_sweep import Fig9Result, run_fig9
+from repro.experiments.ablations import (
+    BdmaZResult,
+    BudgetPacingResult,
+    FreqScalingResult,
+    GreedyResult,
+    run_ablation_bdma_z,
+    run_ablation_budget_pacing,
+    run_ablation_freq_scaling,
+    run_ablation_greedy,
+)
+from repro.experiments.common import (
+    paper_scenario,
+    reduced_scenario,
+    single_state,
+)
+from repro.experiments.report import QUICK_SET, generate_report
+from repro.experiments.robustness import FaultSweepResult, run_fault_sweep
+
+#: Registry mapping experiment ids to their runners (used by the CLI).
+RUNNERS = {
+    "fig2": run_fig2,
+    "fig3": run_fig3,
+    "fig4": run_fig4,
+    "fig5": run_fig5,
+    "fig6": run_fig6,
+    "fig7": run_fig7,
+    "fig8": run_fig8,
+    "fig9": run_fig9,
+    "ablation-z": run_ablation_bdma_z,
+    "ablation-freq": run_ablation_freq_scaling,
+    "ablation-greedy": run_ablation_greedy,
+    "ablation-pacing": run_ablation_budget_pacing,
+    "robustness-faults": run_fault_sweep,
+}
+
+__all__ = [
+    "RUNNERS",
+    "QUICK_SET",
+    "generate_report",
+    "paper_scenario",
+    "reduced_scenario",
+    "single_state",
+    "run_fig2",
+    "run_fig3",
+    "run_fig4",
+    "run_fig5",
+    "run_fig6",
+    "run_fig7",
+    "run_fig8",
+    "run_fig9",
+    "run_ablation_bdma_z",
+    "run_ablation_freq_scaling",
+    "run_ablation_greedy",
+    "run_ablation_budget_pacing",
+    "BudgetPacingResult",
+    "run_fault_sweep",
+    "FaultSweepResult",
+    "Fig2Result",
+    "Fig3Result",
+    "Fig4Result",
+    "Fig5Result",
+    "Fig6Result",
+    "Fig7Result",
+    "Fig8Result",
+    "Fig9Result",
+    "BdmaZResult",
+    "FreqScalingResult",
+    "GreedyResult",
+]

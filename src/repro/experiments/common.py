@@ -1,0 +1,60 @@
+"""Shared scenario construction and the experiment-result base class."""
+
+from __future__ import annotations
+
+import abc
+import functools
+from dataclasses import dataclass
+
+import repro
+from repro.core.state import SlotState
+from repro.sim.scenario import Scenario
+
+
+@functools.lru_cache(maxsize=64)
+def paper_scenario(seed: int, num_devices: int, workload: str = "uniform") -> Scenario:
+    """The paper's default scenario (K=6, M=2, N=16), cached by arguments."""
+    return repro.make_paper_scenario(
+        seed=seed,
+        config=repro.ScenarioConfig(num_devices=num_devices, workload=workload),
+    )
+
+
+@functools.lru_cache(maxsize=64)
+def reduced_scenario(seed: int, num_devices: int) -> Scenario:
+    """A reduced topology (K=3, M=2, N=4) where exact search is tractable."""
+    return repro.make_paper_scenario(
+        seed=seed,
+        config=repro.ScenarioConfig(num_devices=num_devices),
+        num_base_stations=3,
+        num_clusters=2,
+        servers_per_cluster=2,
+        num_macro_stations=1,
+    )
+
+
+def single_state(scenario: Scenario) -> SlotState:
+    """The first slot state of a scenario's reproducible stream."""
+    return next(iter(scenario.fresh_states(1)))
+
+
+@dataclass
+class ExperimentResult(abc.ABC):
+    """Base class for experiment outcomes.
+
+    Subclasses hold the raw series/rows of one experiment and implement
+    the two consumer-facing views: the table the paper plots, and the
+    verification of its qualitative claims.
+    """
+
+    @abc.abstractmethod
+    def table(self) -> str:
+        """Render the experiment's headline table."""
+
+    @abc.abstractmethod
+    def verify(self) -> None:
+        """Assert the paper's qualitative claims hold on this run.
+
+        Raises:
+            AssertionError: Describing the first violated claim.
+        """

@@ -1,0 +1,73 @@
+"""Fig. 3: the energy-consumption fit and per-server perturbations."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.analysis.tables import format_table
+from repro.energy.cpu_data import (
+    I7_3770K_FREQUENCIES_GHZ,
+    I7_3770K_POWER_WATTS,
+    fit_quadratic_power_curve,
+)
+from repro.energy.models import QuadraticEnergyModel, perturbed_quadratic_model
+from repro.experiments.common import ExperimentResult
+
+
+@dataclass
+class Fig3Result(ExperimentResult):
+    """The fitted quadratic and sampled per-server curves."""
+
+    fit: QuadraticEnergyModel
+    samples: list[QuadraticEnergyModel]
+
+    def max_relative_error(self) -> float:
+        fitted = self.fit.power_many(I7_3770K_FREQUENCIES_GHZ)
+        return float(
+            np.max(np.abs(fitted - I7_3770K_POWER_WATTS) / I7_3770K_POWER_WATTS)
+        )
+
+    def rows(self) -> list[list[object]]:
+        freqs = I7_3770K_FREQUENCIES_GHZ
+        fitted = self.fit.power_many(freqs)
+        sampled = [m.power_many(freqs) for m in self.samples]
+        return [
+            [float(f), float(measured), float(est)]
+            + [float(s[i]) for s in sampled]
+            for i, (f, measured, est) in enumerate(
+                zip(freqs, I7_3770K_POWER_WATTS, fitted)
+            )
+        ]
+
+    def table(self) -> str:
+        headers = ["GHz", "measured W", "quadratic fit"] + [
+            f"server {chr(ord('A') + i)}" for i in range(len(self.samples))
+        ]
+        return format_table(
+            headers,
+            self.rows(),
+            title=(
+                "Fig. 3 -- i7-3770K power fit: "
+                f"g(f) = {self.fit.a:.3f} f^2 + {self.fit.b:.3f} f "
+                f"+ {self.fit.c:.3f}; "
+                f"max rel. err {100 * self.max_relative_error():.2f}%"
+            ),
+        )
+
+    def verify(self) -> None:
+        assert self.fit.a > 0.0, "fit must be convex"
+        assert self.max_relative_error() < 0.03
+        for model in self.samples:
+            assert model.check_convex(1.8, 3.6)
+
+
+def run_fig3(*, num_samples: int = 2, seed: int = 7) -> Fig3Result:
+    """Fit the power curve and draw per-server perturbed copies."""
+    a, b, c = fit_quadratic_power_curve()
+    rng = np.random.default_rng(seed)
+    return Fig3Result(
+        fit=QuadraticEnergyModel(a=a, b=b, c=c),
+        samples=[perturbed_quadratic_model(rng) for _ in range(num_samples)],
+    )

@@ -1,0 +1,152 @@
+"""Fig. 4: P2-A objective quality -- CGBA(0) against baselines and bounds."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.analysis.tables import format_table
+from repro.baselines import (
+    p2a_fractional_bound,
+    solve_p2a_exact,
+    solve_p2a_mcba,
+    solve_p2a_ropt,
+)
+from repro.core import optimal_total_latency, solve_p2a_cgba
+from repro.experiments.common import (
+    ExperimentResult,
+    paper_scenario,
+    reduced_scenario,
+    single_state,
+)
+from repro.network.connectivity import StrategySpace
+
+
+@dataclass
+class Fig4Result(ExperimentResult):
+    """Seed-averaged P2-A objectives per device count, plus exact optima.
+
+    Attributes:
+        device_counts: Swept values of ``I``.
+        paper_rows: Per-``I`` rows ``[I, CGBA, MCBA, ROPT, LB, CGBA/LB]``.
+        reduced_rows: Per-``I`` rows on the reduced topology:
+            ``[I, CGBA, OPT, certified, CGBA/OPT]``.
+        seeds_per_size: Number of random instances averaged per ``I``.
+    """
+
+    device_counts: tuple[int, ...]
+    paper_rows: list[list[object]] = field(default_factory=list)
+    reduced_rows: list[list[object]] = field(default_factory=list)
+    seeds_per_size: int = 3
+
+    def table(self) -> str:
+        table_a = format_table(
+            ["I", "CGBA(0)", "MCBA", "ROPT", "certified LB", "CGBA/LB"],
+            self.paper_rows,
+            title=(
+                "Fig. 4 -- P2-A objective (seconds), paper-scale topology "
+                f"(mean over {self.seeds_per_size} seeds)"
+            ),
+        )
+        table_b = format_table(
+            ["I", "CGBA(0)", "B&B optimum", "certified", "CGBA/OPT"],
+            self.reduced_rows,
+            title="Fig. 4 (companion) -- exact optima on the reduced topology",
+        )
+        return table_a + "\n\n" + table_b
+
+    def verify(self) -> None:
+        cgba_curve = [row[1] for row in self.paper_rows]
+        assert cgba_curve[-1] > cgba_curve[0], "objective should grow with I"
+        if len(cgba_curve) > 2:
+            corr = float(np.corrcoef(self.device_counts, cgba_curve)[0, 1])
+            assert corr > 0.7
+        for row in self.paper_rows:
+            _, cgba_val, mcba_val, ropt_val, _, ratio = row
+            assert cgba_val <= mcba_val * 1.001, "CGBA should beat MCBA"
+            assert cgba_val < ropt_val, "CGBA should beat ROPT"
+            assert ratio < 1.10, "CGBA should be near-optimal (paper: ~1.02)"
+        for row in self.reduced_rows:
+            assert row[4] <= 1.10
+
+
+def run_fig4(
+    *,
+    device_counts: tuple[int, ...] = (80, 90, 100, 110, 120),
+    seeds_per_size: int = 3,
+    exact_device_counts: tuple[int, ...] = (8, 10, 12),
+    bound_iterations: int = 1_200,
+) -> Fig4Result:
+    """Sweep P2-A quality across device counts.
+
+    Args:
+        device_counts: ``I`` values for the paper-scale comparison.
+        seeds_per_size: Random instances averaged per ``I``.
+        exact_device_counts: ``I`` values for the exact branch-and-bound
+            companion on the reduced topology.
+        bound_iterations: Frank-Wolfe iterations for the certified bound.
+    """
+    result = Fig4Result(
+        device_counts=tuple(device_counts), seeds_per_size=seeds_per_size
+    )
+
+    for num_devices in device_counts:
+        cgba_vals, mcba_vals, ropt_vals, bounds = [], [], [], []
+        for rep in range(seeds_per_size):
+            scenario = paper_scenario(100 + rep, num_devices)
+            network, state = scenario.network, single_state(scenario)
+            space = StrategySpace(network, state.coverage())
+            frequencies = network.freq_max.copy()
+            rng = scenario.controller_rng("fig4")
+
+            cgba = solve_p2a_cgba(network, state, space, frequencies, rng)
+            mcba = solve_p2a_mcba(network, state, space, frequencies, rng)
+            ropt = float(
+                np.mean(
+                    [
+                        optimal_total_latency(
+                            network, state, solve_p2a_ropt(space, rng), frequencies
+                        )
+                        for _ in range(5)
+                    ]
+                )
+            )
+            bound = p2a_fractional_bound(
+                network, state, space, frequencies, max_iter=bound_iterations
+            )
+            cgba_vals.append(cgba.total_latency)
+            mcba_vals.append(mcba.total_latency)
+            ropt_vals.append(ropt)
+            bounds.append(bound.lower_bound)
+        result.paper_rows.append(
+            [
+                num_devices,
+                float(np.mean(cgba_vals)),
+                float(np.mean(mcba_vals)),
+                float(np.mean(ropt_vals)),
+                float(np.mean(bounds)),
+                float(np.mean(np.array(cgba_vals) / np.array(bounds))),
+            ]
+        )
+
+    for idx, num_devices in enumerate(exact_device_counts):
+        scenario = reduced_scenario(200 + idx, num_devices)
+        network, state = scenario.network, single_state(scenario)
+        space = StrategySpace(network, state.coverage())
+        frequencies = network.freq_max.copy()
+        rng = scenario.controller_rng("fig4-exact")
+        cgba = solve_p2a_cgba(network, state, space, frequencies, rng)
+        exact = solve_p2a_exact(
+            network, state, space, frequencies, incumbent=cgba.assignment
+        )
+        result.reduced_rows.append(
+            [
+                num_devices,
+                cgba.total_latency,
+                exact.objective,
+                "yes" if exact.optimal else "no",
+                cgba.total_latency / exact.objective,
+            ]
+        )
+    return result

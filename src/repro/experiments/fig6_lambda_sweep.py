@@ -1,0 +1,70 @@
+"""Fig. 6: CGBA(lambda) -- objective quality versus convergence speed."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.analysis.tables import format_table
+from repro.core import solve_p2a_cgba
+from repro.core.cgba import cgba_approximation_ratio
+from repro.experiments.common import ExperimentResult, paper_scenario, single_state
+from repro.network.connectivity import StrategySpace
+
+
+@dataclass
+class Fig6Result(ExperimentResult):
+    """Seed-averaged objective and iteration counts per lambda.
+
+    Attributes:
+        rows: ``[lambda, mean objective, mean iterations, Thm.2 bound]``.
+        num_devices: The fixed ``I`` (paper: 100).
+    """
+
+    rows: list[list[object]] = field(default_factory=list)
+    num_devices: int = 100
+
+    def table(self) -> str:
+        return format_table(
+            ["lambda", "objective (s)", "iterations", "Thm.2 ratio bound"],
+            self.rows,
+            title=f"Fig. 6 -- CGBA(lambda) at I = {self.num_devices}",
+        )
+
+    def verify(self) -> None:
+        objectives = [row[1] for row in self.rows]
+        iterations = [row[2] for row in self.rows]
+        assert iterations[-1] < iterations[0], "slack should cut iterations"
+        assert max(objectives) <= 1.25 * min(objectives)
+        assert objectives[-1] <= objectives[0] * cgba_approximation_ratio(0.12)
+
+
+def run_fig6(
+    *,
+    lambdas: tuple[float, ...] = (0.0, 0.02, 0.04, 0.06, 0.08, 0.10, 0.12),
+    seeds: tuple[int, ...] = (0, 1, 2),
+    num_devices: int = 100,
+    scenario_seed: int = 102,
+) -> Fig6Result:
+    """Sweep CGBA's slack parameter on one paper-scale instance."""
+    scenario = paper_scenario(scenario_seed, num_devices)
+    network, state = scenario.network, single_state(scenario)
+    space = StrategySpace(network, state.coverage())
+    frequencies = network.freq_max.copy()
+
+    result = Fig6Result(num_devices=num_devices)
+    for lam in lambdas:
+        objectives, iterations = [], []
+        for seed in seeds:
+            run = solve_p2a_cgba(
+                network, state, space, frequencies,
+                np.random.default_rng(seed), slack=lam,
+            )
+            objectives.append(run.total_latency)
+            iterations.append(run.iterations)
+        bound = cgba_approximation_ratio(lam) if lam < 0.125 else float("nan")
+        result.rows.append(
+            [lam, float(np.mean(objectives)), float(np.mean(iterations)), bound]
+        )
+    return result

@@ -1,0 +1,106 @@
+"""Fig. 7: virtual-queue backlog trajectories under BDMA-based DPP."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+import repro
+from repro.analysis.tables import format_table
+from repro.experiments.common import ExperimentResult, paper_scenario
+from repro.sim.metrics import converged_tail_mean, slope
+from repro.sim.results import SimulationResult
+
+
+@dataclass
+class Fig7Result(ExperimentResult):
+    """Backlog trajectories for each swept V.
+
+    Attributes:
+        results: Full simulation results keyed by V.
+        horizon: Simulated slots per run.
+        sample_every: Sampling stride of the trajectory table.
+    """
+
+    results: dict[float, SimulationResult] = field(default_factory=dict)
+    horizon: int = 480
+    sample_every: int = 24
+
+    def price_backlog_correlation(self, v: float) -> float:
+        """Correlation between price and backlog increments (post-ramp)."""
+        result = self.results[v]
+        half = self.horizon // 2
+        dq = np.diff(result.backlog)[half - 1:]
+        return float(np.corrcoef(result.price[half:], dq)[0, 1])
+
+    def table(self) -> str:
+        vs = sorted(self.results)
+        rows = []
+        for t in range(0, self.horizon, self.sample_every):
+            rows.append([t] + [float(self.results[v].backlog[t]) for v in vs])
+        trajectory = format_table(
+            ["slot", *(f"Q(t) V={int(v)}" for v in vs)],
+            rows,
+            title="Fig. 7 -- queue backlog vs time (sampled)",
+        )
+        stats = format_table(
+            ["V", "early mean", "converged mean", "tail slope",
+             "corr(price, dQ)"],
+            [
+                [
+                    int(v),
+                    float(self.results[v].backlog[:48].mean()),
+                    converged_tail_mean(self.results[v].backlog, fraction=0.25),
+                    slope(self.results[v].backlog[self.horizon // 2:]),
+                    self.price_backlog_correlation(v),
+                ]
+                for v in vs
+            ],
+            title="Fig. 7 -- convergence statistics",
+        )
+        return trajectory + "\n\n" + stats
+
+    def verify(self) -> None:
+        vs = sorted(self.results)
+        for v in vs:
+            backlog = self.results[v].backlog
+            early = float(backlog[:48].mean())
+            late = converged_tail_mean(backlog, fraction=0.25)
+            assert late > early, "queue should ramp up before converging"
+            assert abs(slope(backlog[self.horizon // 2:])) < 0.05 * max(late, 1.0)
+            assert self.price_backlog_correlation(v) > 0.3, (
+                "backlog increments should track the electricity price"
+            )
+        tails = [
+            converged_tail_mean(self.results[v].backlog, fraction=0.25)
+            for v in vs
+        ]
+        assert all(b > a for a, b in zip(tails, tails[1:])), (
+            "larger V should converge to a larger backlog"
+        )
+
+
+def run_fig7(
+    *,
+    v_values: tuple[float, ...] = (50.0, 100.0),
+    num_devices: int = 40,
+    horizon: int = 480,
+    z: int = 3,
+    scenario_seed: int = 300,
+) -> Fig7Result:
+    """Simulate the queue trajectory for each V from a cold start."""
+    result = Fig7Result(horizon=horizon)
+    for v in v_values:
+        scenario = paper_scenario(scenario_seed, num_devices)
+        controller = repro.DPPController(
+            scenario.network,
+            scenario.controller_rng(f"fig7-v{v}"),
+            v=v,
+            budget=scenario.budget,
+            z=z,
+        )
+        result.results[v] = repro.run_simulation(
+            controller, scenario.fresh_states(horizon), budget=scenario.budget
+        )
+    return result

@@ -1,0 +1,131 @@
+"""Fig. 9: time-average latency and cost versus the energy budget."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+import repro
+from repro.analysis.equilibrium import estimate_equilibrium_backlog
+from repro.analysis.tables import format_table
+from repro.baselines import mcba_p2a_solver, ropt_p2a_solver
+from repro.config import PRICE_SCALE
+from repro.energy.cost import suggest_budget
+from repro.experiments.common import ExperimentResult, paper_scenario
+from repro.sim.metrics import window_averages
+
+#: The three DPP variants the paper compares: (P2-A solver factory, z).
+SOLVER_NAMES = ("BDMA-DPP", "MCBA-DPP", "ROPT-DPP")
+
+
+def _solver_for(name: str, mcba_iterations: int):
+    if name == "BDMA-DPP":
+        return None, 3
+    if name == "MCBA-DPP":
+        return mcba_p2a_solver(iterations=mcba_iterations), 1
+    if name == "ROPT-DPP":
+        return ropt_p2a_solver(), 1
+    raise ValueError(f"unknown DPP variant {name!r}")
+
+
+@dataclass
+class Fig9Result(ExperimentResult):
+    """Per-(variant, budget) outcomes.
+
+    Attributes:
+        budgets: Budget per swept fraction.
+        latencies: ``latencies[name][fraction]`` -- mean of 48-slot
+            window averages, the statistic the paper plots.
+        costs: Realised time-average cost per (name, fraction).
+    """
+
+    fractions: tuple[float, ...] = ()
+    budgets: dict[float, float] = field(default_factory=dict)
+    latencies: dict[str, dict[float, float]] = field(default_factory=dict)
+    costs: dict[str, dict[float, float]] = field(default_factory=dict)
+
+    def table(self) -> str:
+        rows = []
+        for fraction in self.fractions:
+            rows.append(
+                [
+                    fraction,
+                    self.budgets[fraction],
+                    *(self.latencies[name][fraction] for name in SOLVER_NAMES),
+                    self.costs["BDMA-DPP"][fraction],
+                ]
+            )
+        return format_table(
+            ["budget frac", "budget ($/slot)",
+             *(f"{name} latency" for name in SOLVER_NAMES),
+             "BDMA avg cost"],
+            rows,
+            title="Fig. 9 -- latency vs energy-cost budget (48-slot averages)",
+        )
+
+    def verify(self) -> None:
+        for fraction in self.fractions:
+            bdma = self.latencies["BDMA-DPP"][fraction]
+            mcba = self.latencies["MCBA-DPP"][fraction]
+            ropt = self.latencies["ROPT-DPP"][fraction]
+            assert bdma <= mcba * 1.02, "BDMA-DPP should match/beat MCBA-DPP"
+            assert bdma < ropt, "BDMA-DPP should beat ROPT-DPP"
+            assert self.costs["BDMA-DPP"][fraction] <= (
+                self.budgets[fraction] * 1.10
+            ), "realised cost should respect the budget"
+        curve = [self.latencies["BDMA-DPP"][f] for f in self.fractions]
+        assert curve[-1] < curve[0], "latency should fall as budget loosens"
+
+
+def run_fig9(
+    *,
+    fractions: tuple[float, ...] = (0.2, 0.4, 0.6, 0.8),
+    num_devices: int = 30,
+    horizon: int = 240,
+    v: float = 100.0,
+    mcba_iterations: int = 1_500,
+    scenario_seed: int = 302,
+) -> Fig9Result:
+    """Sweep the budget for the three DPP variants."""
+    scenario = paper_scenario(scenario_seed, num_devices)
+    result = Fig9Result(fractions=tuple(fractions))
+    for name in SOLVER_NAMES:
+        result.latencies[name] = {}
+        result.costs[name] = {}
+
+    for fraction in fractions:
+        budget = PRICE_SCALE * suggest_budget(
+            scenario.network.energy_models(),
+            scenario.network.freq_min,
+            scenario.network.freq_max,
+            scenario.generator.prices,
+            fraction=fraction,
+        )
+        result.budgets[fraction] = budget
+        warm = estimate_equilibrium_backlog(
+            scenario.network,
+            list(scenario.fresh_states(24)),
+            scenario.controller_rng(f"fig9-eq-{fraction}"),
+            v=v,
+            budget=budget,
+        )
+        for name in SOLVER_NAMES:
+            solver, z = _solver_for(name, mcba_iterations)
+            controller = repro.DPPController(
+                scenario.network,
+                scenario.controller_rng(f"fig9-{name}-{fraction}"),
+                v=v,
+                budget=budget,
+                z=z,
+                p2a_solver=solver,
+                initial_backlog=warm,
+            )
+            sim = repro.run_simulation(
+                controller, scenario.fresh_states(horizon), budget=budget
+            )
+            result.latencies[name][fraction] = float(
+                np.mean(window_averages(sim.latency, 48))
+            )
+            result.costs[name][fraction] = sim.time_average_cost()
+    return result

@@ -1,0 +1,88 @@
+"""Consolidated experiment report generation.
+
+:func:`generate_report` runs a chosen set of the paper's experiments and
+renders one markdown document with every table and the verification
+verdicts -- the programmatic counterpart of EXPERIMENTS.md.  Exposed on
+the command line as ``python -m repro report``.
+"""
+
+from __future__ import annotations
+
+import time
+from pathlib import Path
+from typing import Callable, Iterable
+
+import repro
+from repro.exceptions import ConfigurationError
+
+#: Experiments cheap enough for the default report (< ~1 min together).
+QUICK_SET = ("fig2", "fig3", "fig6", "ablation-z", "ablation-greedy")
+
+
+def generate_report(
+    names: Iterable[str] | None = None,
+    *,
+    path: str | Path | None = None,
+    verify: bool = True,
+    runners: dict[str, Callable] | None = None,
+) -> str:
+    """Run experiments and render a markdown report.
+
+    Args:
+        names: Experiment ids to include; the quick subset when omitted
+            (pass ``RUNNERS.keys()`` for everything -- several minutes).
+        path: Optional file to write the report to.
+        verify: Run each result's ``verify()`` and record the verdict
+            (verification failures are reported, not raised).
+        runners: Override the runner registry (tests inject stubs).
+
+    Returns:
+        The report as one markdown string.
+
+    Raises:
+        ConfigurationError: On an unknown experiment id.
+    """
+    if runners is not None:
+        registry = runners
+    else:
+        # Imported lazily: this module is re-exported by the package
+        # __init__, which also owns the registry.
+        from repro.experiments import RUNNERS
+
+        registry = RUNNERS
+    selected = list(names) if names is not None else list(QUICK_SET)
+    unknown = [n for n in selected if n not in registry]
+    if unknown:
+        raise ConfigurationError(f"unknown experiment ids: {unknown}")
+
+    lines: list[str] = [
+        "# Experiment report",
+        "",
+        f"repro {repro.__version__} — "
+        f"{len(selected)} experiment(s): {', '.join(selected)}",
+        "",
+    ]
+    for name in selected:
+        started = time.perf_counter()
+        result = registry[name]()
+        elapsed = time.perf_counter() - started
+        lines.append(f"## {name}")
+        lines.append("")
+        lines.append("```")
+        lines.append(result.table())
+        lines.append("```")
+        if verify:
+            try:
+                result.verify()
+            except AssertionError as exc:
+                verdict = f"**FAILED**: {exc}"
+            else:
+                verdict = "all qualitative claims hold"
+            lines.append(f"- verification: {verdict}")
+        lines.append(f"- wall time: {elapsed:.1f} s")
+        lines.append("")
+
+    text = "\n".join(lines)
+    if path is not None:
+        Path(path).write_text(text)
+    return text

@@ -1,0 +1,94 @@
+"""Serialisation of simulation results.
+
+Two formats:
+
+* ``.npz`` -- full per-slot trajectories (lossless, compact), via
+  :func:`save_result` / :func:`load_result`.
+* ``.json`` -- the human-readable summary, via :func:`summary_to_json`.
+
+Assignments/allocations inside ``records`` are intentionally not
+serialised: they are bulky, and every derived statistic the experiments
+need lives in the trajectory arrays.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import numpy as np
+
+from repro.exceptions import ValidationError
+from repro.sim.results import SimulationResult, SimulationSummary
+
+#: Format tag written into every archive; bump on breaking layout changes.
+_FORMAT_VERSION = 1
+
+_ARRAY_FIELDS = ("latency", "cost", "theta", "backlog", "solve_seconds", "price")
+
+
+def save_result(result: SimulationResult, path: str | Path) -> Path:
+    """Write a :class:`SimulationResult`'s trajectories to ``path`` (.npz).
+
+    Returns:
+        The path written (with the ``.npz`` suffix ensured).
+    """
+    path = Path(path)
+    if path.suffix != ".npz":
+        path = path.with_suffix(".npz")
+    payload = {name: getattr(result, name) for name in _ARRAY_FIELDS}
+    payload["format_version"] = np.array(_FORMAT_VERSION)
+    payload["budget"] = np.array(
+        np.nan if result.budget is None else result.budget
+    )
+    np.savez_compressed(path, **payload)
+    return path
+
+
+def load_result(path: str | Path) -> SimulationResult:
+    """Read a :class:`SimulationResult` written by :func:`save_result`.
+
+    Raises:
+        ValidationError: If the file misses fields or has an unsupported
+            format version.
+    """
+    with np.load(Path(path)) as archive:
+        version = int(archive.get("format_version", -1))
+        if version != _FORMAT_VERSION:
+            raise ValidationError(
+                f"unsupported result format version {version} in {path}"
+            )
+        missing = [n for n in _ARRAY_FIELDS if n not in archive]
+        if missing:
+            raise ValidationError(f"{path} is missing fields: {missing}")
+        budget = float(archive["budget"])
+        return SimulationResult(
+            latency=archive["latency"],
+            cost=archive["cost"],
+            theta=archive["theta"],
+            backlog=archive["backlog"],
+            solve_seconds=archive["solve_seconds"],
+            price=archive["price"],
+            budget=None if np.isnan(budget) else budget,
+        )
+
+
+def summary_to_dict(summary: SimulationSummary) -> dict:
+    """A JSON-ready dict of a :class:`SimulationSummary`."""
+    return {
+        "horizon": summary.horizon,
+        "mean_latency": summary.mean_latency,
+        "mean_cost": summary.mean_cost,
+        "mean_backlog": summary.mean_backlog,
+        "final_backlog": summary.final_backlog,
+        "budget_satisfied": summary.budget_satisfied,
+        "mean_solve_seconds": summary.mean_solve_seconds,
+    }
+
+
+def summary_to_json(summary: SimulationSummary, path: str | Path | None = None) -> str:
+    """Serialise a summary to JSON, optionally writing it to *path*."""
+    text = json.dumps(summary_to_dict(summary), indent=2, sort_keys=True)
+    if path is not None:
+        Path(path).write_text(text + "\n")
+    return text

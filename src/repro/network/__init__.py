@@ -1,0 +1,51 @@
+"""MEC network topology substrate (paper Sec. III-A, Fig. 1).
+
+* :mod:`repro.network.topology` -- the entity model: base stations,
+  edge-server clusters (server rooms), edge servers, mobile devices, and
+  the :class:`~repro.network.topology.MECNetwork` container.
+* :mod:`repro.network.coverage` -- planar geometry: which base stations
+  cover which device positions.
+* :mod:`repro.network.builder` -- random scenario construction following
+  the paper's simulation settings (Sec. VI-A).
+* :mod:`repro.network.connectivity` -- feasible strategy sets
+  ``Z_i`` (which (base station, server) pairs each device may choose) and
+  a networkx export of the topology.
+* :mod:`repro.network.validation` -- structural consistency checks.
+"""
+
+from repro.network.topology import (
+    BaseStation,
+    EdgeServer,
+    FronthaulType,
+    MECNetwork,
+    MobileDevice,
+    ServerCluster,
+)
+from repro.network.coverage import coverage_matrix, distances
+from repro.network.builder import NetworkBuilder, build_paper_network
+from repro.network.connectivity import (
+    StrategySpace,
+    reachable_servers,
+    to_networkx_graph,
+)
+from repro.network.validation import validate_network
+from repro.network.presets import PRESETS, get_preset
+
+__all__ = [
+    "PRESETS",
+    "get_preset",
+    "BaseStation",
+    "EdgeServer",
+    "ServerCluster",
+    "MobileDevice",
+    "MECNetwork",
+    "FronthaulType",
+    "coverage_matrix",
+    "distances",
+    "NetworkBuilder",
+    "build_paper_network",
+    "StrategySpace",
+    "reachable_servers",
+    "to_networkx_graph",
+    "validate_network",
+]

@@ -1,0 +1,173 @@
+"""Feasible strategy sets and graph views of the topology.
+
+At each slot, device ``i`` picks a (base station, server) pair out of its
+feasible set ``Z_i`` (constraints (1)-(3)): the base station must cover
+the device and must have a fronthaul link to the server's cluster.
+:class:`StrategySpace` precomputes these pairs from a coverage matrix so
+the game-theoretic algorithms iterate over flat arrays.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import networkx as nx
+
+from repro.exceptions import InfeasibleError
+from repro.network.topology import MECNetwork
+from repro.types import BoolArray, IntArray
+
+
+def reachable_servers(network: MECNetwork, bs_index: int) -> IntArray:
+    """Indices of servers reachable through base station *bs_index*."""
+    return network.servers_reachable_from(bs_index)
+
+
+class StrategySpace:
+    """Per-device feasible (base station, server) pairs.
+
+    Args:
+        network: The static topology.
+        coverage: ``(I, K)`` boolean matrix of which base stations cover
+            which devices at the moment of construction.  When coverage is
+            static (the default scenario) one strategy space serves the
+            whole simulation; with mobility, rebuild it per slot.
+        available_servers: Optional ``(N,)`` availability mask; offline
+            servers are excluded from every device's strategy set.
+
+    Raises:
+        InfeasibleError: If any device ends up with an empty strategy set.
+    """
+
+    def __init__(
+        self,
+        network: MECNetwork,
+        coverage: BoolArray,
+        available_servers: BoolArray | None = None,
+    ) -> None:
+        coverage = np.asarray(coverage, dtype=bool)
+        if coverage.shape != (network.num_devices, network.num_base_stations):
+            raise InfeasibleError(
+                "coverage matrix shape must be (I, K) = "
+                f"({network.num_devices}, {network.num_base_stations}), "
+                f"got {coverage.shape}"
+            )
+        if available_servers is not None:
+            available_servers = np.asarray(available_servers, dtype=bool)
+            if available_servers.shape != (network.num_servers,):
+                raise InfeasibleError(
+                    f"available_servers must have shape (N,) = "
+                    f"({network.num_servers},), got {available_servers.shape}"
+                )
+        self.network = network
+        self.coverage = coverage
+        self.available_servers = available_servers
+        self._bs_choices: list[IntArray] = []
+        self._server_choices: list[IntArray] = []
+        for i in range(network.num_devices):
+            bs_list: list[int] = []
+            server_list: list[int] = []
+            for k in np.flatnonzero(coverage[i]):
+                for n in network.servers_reachable_from(int(k)):
+                    if (
+                        available_servers is not None
+                        and not available_servers[int(n)]
+                    ):
+                        continue
+                    bs_list.append(int(k))
+                    server_list.append(int(n))
+            if not bs_list:
+                raise InfeasibleError(
+                    f"{network.devices[i].label} has an empty strategy set",
+                    device=i,
+                )
+            self._bs_choices.append(np.array(bs_list, dtype=np.int64))
+            self._server_choices.append(np.array(server_list, dtype=np.int64))
+
+    @property
+    def num_devices(self) -> int:
+        """Number of devices the space was built for."""
+        return len(self._bs_choices)
+
+    def pairs(self, device: int) -> tuple[IntArray, IntArray]:
+        """Feasible strategies of *device* as parallel (bs, server) arrays."""
+        return self._bs_choices[device], self._server_choices[device]
+
+    def num_strategies(self, device: int) -> int:
+        """Size of ``Z_i`` for *device*."""
+        return int(self._bs_choices[device].size)
+
+    def contains(self, device: int, bs: int, server: int) -> bool:
+        """Whether (bs, server) is a feasible strategy for *device*."""
+        ks, ns = self.pairs(device)
+        return bool(np.any((ks == bs) & (ns == server)))
+
+    def repair(
+        self,
+        bs_of: IntArray,
+        server_of: IntArray,
+        rng: np.random.Generator,
+    ) -> tuple[IntArray, IntArray]:
+        """Fix entries of an assignment that are infeasible in this space.
+
+        Used when carrying a decision across slots under mobility: a
+        device whose previous (base station, server) pair is no longer
+        feasible gets a fresh uniformly random feasible pair; feasible
+        entries are kept.  Returns new arrays; the inputs are not
+        modified.
+        """
+        bs_of = np.array(bs_of, dtype=np.int64, copy=True)
+        server_of = np.array(server_of, dtype=np.int64, copy=True)
+        for i in range(self.num_devices):
+            if not self.contains(i, int(bs_of[i]), int(server_of[i])):
+                j = int(rng.integers(self._bs_choices[i].size))
+                bs_of[i] = self._bs_choices[i][j]
+                server_of[i] = self._server_choices[i][j]
+        return bs_of, server_of
+
+    def random_assignment(self, rng: np.random.Generator) -> tuple[IntArray, IntArray]:
+        """Draw one uniformly random feasible strategy per device.
+
+        Returns:
+            ``(bs_of, server_of)`` index vectors of length ``I``; this is
+            the selection rule of the ROPT baseline and the starting
+            profile of CGBA (Algorithm 3, line 1).
+        """
+        bs_of = np.empty(self.num_devices, dtype=np.int64)
+        server_of = np.empty(self.num_devices, dtype=np.int64)
+        for i in range(self.num_devices):
+            j = int(rng.integers(self._bs_choices[i].size))
+            bs_of[i] = self._bs_choices[i][j]
+            server_of[i] = self._server_choices[i][j]
+        return bs_of, server_of
+
+
+def to_networkx_graph(network: MECNetwork, coverage: BoolArray | None = None) -> nx.Graph:
+    """Export the topology as a labelled networkx graph.
+
+    Nodes carry a ``kind`` attribute (``"device"``, ``"bs"``,
+    ``"cluster"``, ``"server"``); edges a ``link`` attribute (``"access"``,
+    ``"fronthaul"``, ``"hosting"``).  Handy for plotting and for graph
+    metrics in analyses.
+    """
+    graph = nx.Graph()
+    for d in network.devices:
+        graph.add_node(f"D{d.index}", kind="device", pos=d.position)
+    for b in network.base_stations:
+        graph.add_node(f"B{b.index}", kind="bs", pos=b.position)
+    for c in network.clusters:
+        graph.add_node(f"M{c.index}", kind="cluster")
+    for s in network.servers:
+        graph.add_node(f"S{s.index}", kind="server")
+        graph.add_edge(f"M{s.cluster}", f"S{s.index}", link="hosting")
+    for b in network.base_stations:
+        for c in b.connected_clusters:
+            graph.add_edge(
+                f"B{b.index}",
+                f"M{c}",
+                link="fronthaul",
+                medium=b.fronthaul_type.value,
+            )
+    if coverage is not None:
+        for i, k in zip(*np.nonzero(coverage)):
+            graph.add_edge(f"D{int(i)}", f"B{int(k)}", link="access")
+    return graph

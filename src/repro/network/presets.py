@@ -1,0 +1,96 @@
+"""Named topology presets.
+
+Beyond the paper's default (Sec. VI-A), experiments often want a
+recognisable deployment shape without hand-tuning a dozen builder
+fields.  Each preset returns a configured
+:class:`~repro.network.builder.NetworkBuilder`; callers may still
+override any field afterwards.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.exceptions import ConfigurationError
+from repro.network.builder import NetworkBuilder
+
+
+def paper_default(num_devices: int = 100) -> NetworkBuilder:
+    """The paper's simulation setting: 6 BSs, 2 rooms x 8 servers."""
+    return NetworkBuilder(num_devices=num_devices)
+
+
+def dense_small_cells(num_devices: int = 100) -> NetworkBuilder:
+    """Many short-range cells behind one macro umbrella.
+
+    Twelve base stations (one macro), tight small-cell radii, still two
+    server rooms -- stresses base-station selection: most devices see
+    several viable cells with very different congestion.
+    """
+    return NetworkBuilder(
+        num_devices=num_devices,
+        num_base_stations=12,
+        num_macro_stations=1,
+        small_cell_radius_range=(300.0, 800.0),
+        area_size=4_000.0,
+    )
+
+
+def metro_rings(num_devices: int = 100) -> NetworkBuilder:
+    """A metro deployment: four rooms, wireless fronthaul everywhere.
+
+    Every base station reaches every cluster (mmWave fronthaul), so the
+    server-selection decision dominates -- useful for isolating the
+    compute side of the game.
+    """
+    return NetworkBuilder(
+        num_devices=num_devices,
+        num_base_stations=8,
+        num_clusters=4,
+        servers_per_cluster=4,
+        num_macro_stations=2,
+        wireless_fronthaul_fraction=1.0,
+        area_size=8_000.0,
+    )
+
+
+def edge_boxes(num_devices: int = 60) -> NetworkBuilder:
+    """Small deployment of low-core boxes: compute-scarce.
+
+    Two rooms of three 16-core servers each -- processing congestion
+    dominates, so frequency scaling and server choice carry the run.
+    """
+    return NetworkBuilder(
+        num_devices=num_devices,
+        num_base_stations=4,
+        num_clusters=2,
+        servers_per_cluster=3,
+        num_macro_stations=2,
+        core_counts=(16,),
+        area_size=3_000.0,
+    )
+
+
+#: Registry of preset factories by name (used by tests and tooling).
+PRESETS: dict[str, Callable[..., NetworkBuilder]] = {
+    "paper-default": paper_default,
+    "dense-small-cells": dense_small_cells,
+    "metro-rings": metro_rings,
+    "edge-boxes": edge_boxes,
+}
+
+
+def get_preset(name: str, num_devices: int | None = None) -> NetworkBuilder:
+    """Look up a preset builder by name.
+
+    Raises:
+        ConfigurationError: For an unknown preset name.
+    """
+    if name not in PRESETS:
+        raise ConfigurationError(
+            f"unknown preset {name!r}; available: {sorted(PRESETS)}"
+        )
+    factory = PRESETS[name]
+    if num_devices is None:
+        return factory()
+    return factory(num_devices)

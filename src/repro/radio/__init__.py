@@ -1,0 +1,42 @@
+"""Radio substrate: access-link channel conditions and device mobility.
+
+The paper's channel state ``h_{i,k,t}`` (bps/Hz spectral efficiency)
+varies over time because devices move.  This subpackage provides:
+
+* :mod:`repro.radio.channel` -- channel models producing the ``(I, K)``
+  spectral-efficiency matrix each slot (uniform draws per the paper's
+  settings, and a distance-based log-path-loss model for mobility
+  scenarios).
+* :mod:`repro.radio.fading` -- temporally correlated variation (AR(1)
+  processes) so consecutive slots look like a moving user, not white
+  noise.
+* :mod:`repro.radio.mobility` -- device movement models (static, random
+  waypoint).
+"""
+
+from repro.radio.channel import (
+    ChannelModel,
+    DistanceChannelModel,
+    UniformChannelModel,
+)
+from repro.radio.fading import Ar1Process, CorrelatedChannelModel
+from repro.radio.fronthaul import (
+    FronthaulModel,
+    ScintillatingFronthaul,
+    StaticFronthaul,
+)
+from repro.radio.mobility import MobilityModel, RandomWaypointMobility, StaticMobility
+
+__all__ = [
+    "ChannelModel",
+    "UniformChannelModel",
+    "DistanceChannelModel",
+    "Ar1Process",
+    "CorrelatedChannelModel",
+    "FronthaulModel",
+    "StaticFronthaul",
+    "ScintillatingFronthaul",
+    "MobilityModel",
+    "StaticMobility",
+    "RandomWaypointMobility",
+]

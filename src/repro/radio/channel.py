@@ -1,0 +1,122 @@
+"""Access-link channel models producing ``h_{i,k,t}`` (bps/Hz).
+
+The convention throughout the library: an entry of ``0`` in the
+spectral-efficiency matrix means "device i cannot use base station k this
+slot" (out of coverage); positive entries are usable channels.  The
+paper's simulations draw each covered pair's efficiency uniformly in
+``[15, 50]`` bps/Hz.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.exceptions import ConfigurationError
+from repro.types import BoolArray, FloatArray, Rng
+
+
+class ChannelModel(abc.ABC):
+    """Produces the per-slot spectral-efficiency matrix."""
+
+    @abc.abstractmethod
+    def spectral_efficiency(
+        self,
+        t: int,
+        device_positions: FloatArray,
+        bs_positions: FloatArray,
+        coverage: BoolArray,
+        rng: Rng,
+    ) -> FloatArray:
+        """Return the ``(I, K)`` matrix ``h_t``; zero where uncovered.
+
+        Args:
+            t: Slot index (models may be time-dependent).
+            device_positions: ``(I, 2)`` current device coordinates.
+            bs_positions: ``(K, 2)`` base-station coordinates.
+            coverage: ``(I, K)`` boolean coverage mask this slot.
+            rng: Random generator for the stochastic part of the channel.
+        """
+
+
+@dataclass
+class UniformChannelModel(ChannelModel):
+    """Iid uniform spectral efficiency on covered links (paper Sec. VI-A).
+
+    Each covered (device, base station) pair gets an independent draw
+    from ``[se_min, se_max]`` every slot.  The paper quotes 15-50 bps/Hz
+    for mid-band n77 access links [33].
+    """
+
+    se_min: float = 15.0
+    se_max: float = 50.0
+
+    def __post_init__(self) -> None:
+        if not 0.0 < self.se_min <= self.se_max:
+            raise ConfigurationError(
+                f"need 0 < se_min <= se_max, got [{self.se_min}, {self.se_max}]"
+            )
+
+    def spectral_efficiency(
+        self,
+        t: int,
+        device_positions: FloatArray,
+        bs_positions: FloatArray,
+        coverage: BoolArray,
+        rng: Rng,
+    ) -> FloatArray:
+        del t, device_positions, bs_positions
+        h = rng.uniform(self.se_min, self.se_max, size=coverage.shape)
+        h[~coverage] = 0.0
+        return h
+
+
+@dataclass
+class DistanceChannelModel(ChannelModel):
+    """Log-distance spectral efficiency with shadowing.
+
+    Spectral efficiency decays linearly in log-distance between
+    ``se_max`` (at ``d_ref``) and ``se_min`` (at ``d_edge``), plus
+    Gaussian shadowing, clipped back into ``[se_min, se_max]``.  This
+    couples channel quality to mobility, exercising the algorithms under
+    spatially correlated states rather than uniform noise.
+    """
+
+    se_min: float = 15.0
+    se_max: float = 50.0
+    d_ref: float = 50.0
+    d_edge: float = 3_000.0
+    shadowing_std: float = 2.0
+
+    def __post_init__(self) -> None:
+        if not 0.0 < self.se_min <= self.se_max:
+            raise ConfigurationError("need 0 < se_min <= se_max")
+        if not 0.0 < self.d_ref < self.d_edge:
+            raise ConfigurationError("need 0 < d_ref < d_edge")
+        if self.shadowing_std < 0.0:
+            raise ConfigurationError("shadowing_std must be non-negative")
+
+    def spectral_efficiency(
+        self,
+        t: int,
+        device_positions: FloatArray,
+        bs_positions: FloatArray,
+        coverage: BoolArray,
+        rng: Rng,
+    ) -> FloatArray:
+        del t
+        diff = device_positions[:, None, :] - bs_positions[None, :, :]
+        dist = np.sqrt(np.sum(diff * diff, axis=-1))
+        dist = np.clip(dist, self.d_ref, self.d_edge)
+        # Linear interpolation in log-distance between the two anchors.
+        frac = (np.log10(dist) - np.log10(self.d_ref)) / (
+            np.log10(self.d_edge) - np.log10(self.d_ref)
+        )
+        h = self.se_max - frac * (self.se_max - self.se_min)
+        if self.shadowing_std > 0.0:
+            h = h + self.shadowing_std * rng.standard_normal(h.shape)
+        h = np.clip(h, self.se_min, self.se_max)
+        h[~coverage] = 0.0
+        return h

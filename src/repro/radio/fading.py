@@ -1,0 +1,96 @@
+"""Temporally correlated channel variation.
+
+Redrawing channel gains independently each slot (the paper's setting) is
+the worst case for an online controller; real channels are correlated in
+time.  :class:`CorrelatedChannelModel` wraps any base channel model with
+per-link AR(1) perturbations so experiments can study both regimes.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.exceptions import ConfigurationError
+from repro.radio.channel import ChannelModel
+from repro.types import BoolArray, FloatArray, Rng
+
+
+class Ar1Process:
+    """Vector AR(1) process ``x_{t+1} = rho x_t + sqrt(1-rho^2) eps_t``.
+
+    Stationary with zero mean and unit variance for ``|rho| < 1``, which
+    makes it a drop-in "coloured noise" source: scale by the desired
+    standard deviation at the point of use.
+    """
+
+    def __init__(self, shape: tuple[int, ...], rho: float, rng: Rng) -> None:
+        if not -1.0 < rho < 1.0:
+            raise ConfigurationError(f"rho must lie in (-1, 1), got {rho}")
+        self.rho = float(rho)
+        self._innovation_scale = float(np.sqrt(1.0 - rho * rho))
+        self._state: FloatArray = rng.standard_normal(shape)
+
+    @property
+    def state(self) -> FloatArray:
+        """Current value of the process (read-only copy)."""
+        return self._state.copy()
+
+    def step(self, rng: Rng) -> FloatArray:
+        """Advance one slot and return the new state."""
+        eps = rng.standard_normal(self._state.shape)
+        self._state = self.rho * self._state + self._innovation_scale * eps
+        return self._state.copy()
+
+
+class CorrelatedChannelModel(ChannelModel):
+    """A base channel model plus AR(1)-correlated perturbations.
+
+    The perturbation is additive in bps/Hz, clipped so efficiencies stay
+    positive on covered links.  The AR(1) state is lazily initialised on
+    the first call (the shape depends on the scenario's ``(I, K)``).
+
+    Args:
+        base: The underlying channel model supplying the mean field.
+        rho: Temporal correlation of the perturbation, in ``(-1, 1)``.
+        std: Standard deviation of the perturbation, bps/Hz.
+        floor: Minimum spectral efficiency on covered links.
+    """
+
+    def __init__(
+        self,
+        base: ChannelModel,
+        *,
+        rho: float = 0.9,
+        std: float = 4.0,
+        floor: float = 1.0,
+    ) -> None:
+        if std < 0.0:
+            raise ConfigurationError("std must be non-negative")
+        if floor <= 0.0:
+            raise ConfigurationError("floor must be positive")
+        self.base = base
+        self.rho = rho
+        self.std = float(std)
+        self.floor = float(floor)
+        self._process: Ar1Process | None = None
+
+    def spectral_efficiency(
+        self,
+        t: int,
+        device_positions: FloatArray,
+        bs_positions: FloatArray,
+        coverage: BoolArray,
+        rng: Rng,
+    ) -> FloatArray:
+        mean = self.base.spectral_efficiency(
+            t, device_positions, bs_positions, coverage, rng
+        )
+        if self._process is None or self._process.state.shape != mean.shape:
+            self._process = Ar1Process(mean.shape, self.rho, rng)
+            noise = self._process.state
+        else:
+            noise = self._process.step(rng)
+        h = mean + self.std * noise
+        h = np.maximum(h, self.floor)
+        h[~coverage] = 0.0
+        return h

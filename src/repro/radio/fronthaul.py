@@ -1,0 +1,80 @@
+"""Time-varying fronthaul spectral efficiency models.
+
+The paper fixes ``h^F_k`` because base stations and server rooms do not
+move, but notes its algorithm handles variation -- relevant for wireless
+(mmWave) fronthaul where rain fade and scintillation modulate the link.
+These models produce the per-slot ``(K,)`` override consumed through
+:attr:`repro.core.state.SlotState.fronthaul_se`.
+"""
+
+from __future__ import annotations
+
+import abc
+
+import numpy as np
+
+from repro.exceptions import ConfigurationError
+from repro.radio.fading import Ar1Process
+from repro.types import FloatArray, Rng
+
+
+class FronthaulModel(abc.ABC):
+    """Produces per-slot fronthaul spectral efficiencies."""
+
+    @abc.abstractmethod
+    def spectral_efficiency(
+        self, t: int, base_values: FloatArray, rng: Rng
+    ) -> FloatArray:
+        """The slot's ``h^F`` vector given the static base values."""
+
+
+class StaticFronthaul(FronthaulModel):
+    """The paper's default: fronthaul efficiency never changes."""
+
+    def spectral_efficiency(
+        self, t: int, base_values: FloatArray, rng: Rng
+    ) -> FloatArray:
+        del t, rng
+        return np.asarray(base_values, dtype=np.float64).copy()
+
+
+class ScintillatingFronthaul(FronthaulModel):
+    """AR(1)-modulated fronthaul quality around the static values.
+
+    Models slowly varying atmospheric conditions on wireless fronthaul:
+    the efficiency is the base value times ``exp(std * x_t)`` for a
+    stationary AR(1) process ``x_t``, floored at a fraction of the base.
+
+    Args:
+        rho: Temporal correlation in ``(-1, 1)``.
+        std: Log-scale standard deviation of the modulation.
+        floor_fraction: Lowest allowed fraction of the base efficiency.
+    """
+
+    def __init__(
+        self,
+        *,
+        rho: float = 0.95,
+        std: float = 0.15,
+        floor_fraction: float = 0.2,
+    ) -> None:
+        if std < 0.0:
+            raise ConfigurationError("std must be non-negative")
+        if not 0.0 < floor_fraction <= 1.0:
+            raise ConfigurationError("floor_fraction must lie in (0, 1]")
+        self.rho = rho
+        self.std = float(std)
+        self.floor_fraction = float(floor_fraction)
+        self._process: Ar1Process | None = None
+
+    def spectral_efficiency(
+        self, t: int, base_values: FloatArray, rng: Rng
+    ) -> FloatArray:
+        base = np.asarray(base_values, dtype=np.float64)
+        if self._process is None or self._process.state.shape != base.shape:
+            self._process = Ar1Process(base.shape, self.rho, rng)
+            x = self._process.state
+        else:
+            x = self._process.step(rng)
+        modulated = base * np.exp(self.std * x - 0.5 * self.std * self.std)
+        return np.maximum(modulated, self.floor_fraction * base)

@@ -1,0 +1,99 @@
+"""Device mobility models.
+
+Mobility drives both the coverage matrix (small cells come and go) and
+distance-based channel models.  Positions are planar metres inside a
+square area; models are stateless with respect to the positions array --
+they take the current positions and return the next ones, so the
+simulation engine owns the state.
+"""
+
+from __future__ import annotations
+
+import abc
+
+import numpy as np
+
+from repro.exceptions import ConfigurationError
+from repro.types import FloatArray, Rng
+
+
+class MobilityModel(abc.ABC):
+    """Advances device positions by one slot."""
+
+    @abc.abstractmethod
+    def step(self, positions: FloatArray, rng: Rng) -> FloatArray:
+        """Return the next ``(I, 2)`` positions given the current ones."""
+
+
+class StaticMobility(MobilityModel):
+    """Devices never move (the paper's default simulation)."""
+
+    def step(self, positions: FloatArray, rng: Rng) -> FloatArray:
+        del rng
+        return np.asarray(positions, dtype=np.float64).copy()
+
+
+class RandomWaypointMobility(MobilityModel):
+    """Classic random-waypoint mobility inside a square area.
+
+    Each device holds a target waypoint and moves toward it at its drawn
+    speed; on arrival it draws a fresh waypoint and speed.  Slot duration
+    converts speed to per-slot displacement.
+
+    Args:
+        area_size: Side length of the square arena, metres.
+        speed_range: Uniform draw range of device speeds, metres/second.
+        slot_seconds: Wall-clock duration of one slot.
+    """
+
+    def __init__(
+        self,
+        area_size: float,
+        *,
+        speed_range: tuple[float, float] = (0.5, 2.0),
+        slot_seconds: float = 60.0,
+    ) -> None:
+        if area_size <= 0:
+            raise ConfigurationError("area_size must be positive")
+        lo, hi = speed_range
+        if not 0 <= lo <= hi:
+            raise ConfigurationError("need 0 <= speed_min <= speed_max")
+        if slot_seconds <= 0:
+            raise ConfigurationError("slot_seconds must be positive")
+        self.area_size = float(area_size)
+        self.speed_range = (float(lo), float(hi))
+        self.slot_seconds = float(slot_seconds)
+        self._targets: FloatArray | None = None
+        self._speeds: FloatArray | None = None
+
+    def _ensure_state(self, positions: FloatArray, rng: Rng) -> None:
+        n = positions.shape[0]
+        if self._targets is None or self._targets.shape[0] != n:
+            self._targets = rng.uniform(0.0, self.area_size, size=(n, 2))
+            self._speeds = rng.uniform(*self.speed_range, size=n)
+
+    def step(self, positions: FloatArray, rng: Rng) -> FloatArray:
+        positions = np.asarray(positions, dtype=np.float64).copy()
+        self._ensure_state(positions, rng)
+        assert self._targets is not None and self._speeds is not None
+
+        delta = self._targets - positions
+        dist = np.sqrt(np.sum(delta * delta, axis=1))
+        step_len = self._speeds * self.slot_seconds
+        arrived = dist <= step_len
+
+        # Move non-arrived devices toward their waypoints.
+        moving = ~arrived & (dist > 0)
+        scale = np.zeros_like(dist)
+        scale[moving] = step_len[moving] / dist[moving]
+        positions[moving] += delta[moving] * scale[moving, None]
+
+        # Arrived devices land on the waypoint and redraw target + speed.
+        positions[arrived] = self._targets[arrived]
+        n_arrived = int(np.count_nonzero(arrived))
+        if n_arrived:
+            self._targets[arrived] = rng.uniform(
+                0.0, self.area_size, size=(n_arrived, 2)
+            )
+            self._speeds[arrived] = rng.uniform(*self.speed_range, size=n_arrived)
+        return np.clip(positions, 0.0, self.area_size)

@@ -1,0 +1,46 @@
+"""Discrete-time simulation engine (paper Sec. VI).
+
+* :mod:`repro.sim.seeding` -- reproducible independent RNG streams.
+* :mod:`repro.sim.scenario` -- the per-slot state generator combining
+  workload, channel, mobility, and price models into ``beta_t``.
+* :mod:`repro.sim.engine` -- run a controller over a horizon.
+* :mod:`repro.sim.results` -- the result container with time-average
+  summaries.
+* :mod:`repro.sim.metrics` -- window averages and convergence helpers.
+"""
+
+from repro.sim.seeding import SeedBank
+from repro.sim.faults import MarkovOutages, NoOutages, OutageModel
+from repro.sim.scenario import Scenario, StateGenerator
+from repro.sim.engine import run_simulation
+from repro.sim.results import SimulationResult, SimulationSummary
+from repro.sim.metrics import (
+    converged_tail_mean,
+    cumulative_time_average,
+    window_averages,
+)
+from repro.sim.replication import (
+    ReplicationOutcome,
+    ReplicationReport,
+    ReplicationSpec,
+    run_replications,
+)
+
+__all__ = [
+    "OutageModel",
+    "NoOutages",
+    "MarkovOutages",
+    "ReplicationSpec",
+    "ReplicationOutcome",
+    "ReplicationReport",
+    "run_replications",
+    "SeedBank",
+    "StateGenerator",
+    "Scenario",
+    "run_simulation",
+    "SimulationResult",
+    "SimulationSummary",
+    "window_averages",
+    "cumulative_time_average",
+    "converged_tail_mean",
+]

@@ -1,0 +1,89 @@
+"""The discrete-time simulation loop."""
+
+from __future__ import annotations
+
+import logging
+from typing import Callable, Iterable
+
+import numpy as np
+
+from repro.core.controller import OnlineController, SlotRecord
+from repro.core.state import SlotState
+from repro.sim.results import SimulationResult
+
+logger = logging.getLogger(__name__)
+
+
+def run_simulation(
+    controller: OnlineController,
+    states: Iterable[SlotState],
+    *,
+    budget: float | None = None,
+    keep_records: bool = False,
+    on_slot: Callable[[SlotRecord], None] | None = None,
+) -> SimulationResult:
+    """Drive *controller* through the given state sequence.
+
+    Args:
+        controller: The online policy under test.
+        states: Iterable of per-slot system states ``beta_t`` (e.g. from
+            :meth:`repro.sim.scenario.Scenario.fresh_states`).
+        budget: The budget ``Cbar`` to record on the result (summaries
+            use it to judge constraint satisfaction).
+        keep_records: Retain the full :class:`SlotRecord` objects
+            (assignments, allocations) -- memory-heavy on long runs.
+        on_slot: Optional progress callback invoked after each slot.
+
+    Returns:
+        A :class:`SimulationResult` with per-slot trajectories.
+    """
+    latency: list[float] = []
+    cost: list[float] = []
+    theta: list[float] = []
+    backlog: list[float] = []
+    solve_seconds: list[float] = []
+    price: list[float] = []
+    records: list[SlotRecord] = []
+
+    logger.info(
+        "simulation start: controller=%s budget=%s",
+        type(controller).__name__,
+        budget,
+    )
+    for state in states:
+        record = controller.step(state)
+        logger.debug(
+            "slot %d: latency=%.4f cost=%.4f backlog=%.3f solve=%.3fs",
+            record.t,
+            record.latency,
+            record.cost,
+            record.backlog_after,
+            record.solve_seconds,
+        )
+        latency.append(record.latency)
+        cost.append(record.cost)
+        theta.append(record.theta)
+        backlog.append(record.backlog_after)
+        solve_seconds.append(record.solve_seconds)
+        price.append(state.price)
+        if keep_records:
+            records.append(record)
+        if on_slot is not None:
+            on_slot(record)
+
+    logger.info(
+        "simulation done: %d slots, mean latency %.4f, mean cost %.4f",
+        len(latency),
+        float(np.mean(latency)) if latency else float("nan"),
+        float(np.mean(cost)) if cost else float("nan"),
+    )
+    return SimulationResult(
+        latency=np.array(latency),
+        cost=np.array(cost),
+        theta=np.array(theta),
+        backlog=np.array(backlog),
+        solve_seconds=np.array(solve_seconds),
+        price=np.array(price),
+        budget=budget,
+        records=records,
+    )

@@ -1,0 +1,127 @@
+"""Server-outage (failure-injection) models.
+
+The paper assumes every edge server is always up.  Real deployments see
+maintenance windows and failures; these models produce the per-slot
+availability mask consumed through
+:attr:`repro.core.state.SlotState.available_servers`: offline servers
+are excluded from every device's strategy set and draw no power.
+
+:class:`MarkovOutages` gives each server an independent two-state
+(up/down) Markov chain parameterised by the familiar MTBF/MTTR pair,
+with a guard that never lets the last reachable compute capacity
+disappear (the problem would become infeasible, which is a scenario
+configuration error rather than something an online controller can
+answer).
+"""
+
+from __future__ import annotations
+
+import abc
+
+import numpy as np
+
+from repro.exceptions import ConfigurationError
+from repro.network.topology import MECNetwork
+from repro.types import BoolArray, Rng
+
+
+class OutageModel(abc.ABC):
+    """Produces per-slot server availability masks."""
+
+    @abc.abstractmethod
+    def availability(self, t: int, network: MECNetwork, rng: Rng) -> BoolArray:
+        """The ``(N,)`` availability mask for slot *t*."""
+
+
+class NoOutages(OutageModel):
+    """The paper's setting: every server is always up."""
+
+    def availability(self, t: int, network: MECNetwork, rng: Rng) -> BoolArray:
+        del t, rng
+        return np.ones(network.num_servers, dtype=bool)
+
+
+class MarkovOutages(OutageModel):
+    """Independent per-server up/down Markov chains.
+
+    Each slot an up server fails with probability ``1/mtbf_slots`` and a
+    down server recovers with probability ``1/mttr_slots``.  The
+    stationary unavailability is ``mttr / (mtbf + mttr)``.
+
+    Args:
+        mtbf_slots: Mean time between failures, in slots.
+        mttr_slots: Mean time to repair, in slots.
+        min_up_fraction: Repair-forcing guard: if fewer than this
+            fraction of servers would be up, the longest-down servers
+            are force-repaired (keeps the scenario feasible and bounded
+            away from "everything is dark").
+        min_up_per_cluster: Keep at least this many servers alive in
+            every cluster.  A fully dark room strands devices whose only
+            covering base stations are wired to it, which would make the
+            slot infeasible; 1 preserves feasibility whenever the
+            fault-free scenario was feasible.
+    """
+
+    def __init__(
+        self,
+        *,
+        mtbf_slots: float = 200.0,
+        mttr_slots: float = 6.0,
+        min_up_fraction: float = 0.5,
+        min_up_per_cluster: int = 1,
+    ) -> None:
+        if mtbf_slots <= 0 or mttr_slots <= 0:
+            raise ConfigurationError("mtbf/mttr must be positive")
+        if not 0.0 < min_up_fraction <= 1.0:
+            raise ConfigurationError("min_up_fraction must lie in (0, 1]")
+        if min_up_per_cluster < 0:
+            raise ConfigurationError("min_up_per_cluster must be >= 0")
+        self.fail_prob = min(1.0 / mtbf_slots, 1.0)
+        self.repair_prob = min(1.0 / mttr_slots, 1.0)
+        self.min_up_fraction = float(min_up_fraction)
+        self.min_up_per_cluster = int(min_up_per_cluster)
+        self._up: BoolArray | None = None
+        self._down_since: np.ndarray | None = None
+
+    def availability(self, t: int, network: MECNetwork, rng: Rng) -> BoolArray:
+        n = network.num_servers
+        if self._up is None or self._up.size != n:
+            self._up = np.ones(n, dtype=bool)
+            self._down_since = np.full(n, -1, dtype=np.int64)
+        assert self._down_since is not None
+
+        draws = rng.random(n)
+        failing = self._up & (draws < self.fail_prob)
+        recovering = ~self._up & (draws < self.repair_prob)
+        self._up = (self._up & ~failing) | recovering
+        self._down_since[failing] = t
+        self._down_since[self._up] = -1
+
+        # Guard 1: force-repair the longest-down servers if too few are up.
+        min_up = max(1, int(np.ceil(self.min_up_fraction * n)))
+        if int(self._up.sum()) < min_up:
+            down = np.flatnonzero(~self._up)
+            order = down[np.argsort(self._down_since[down])]
+            need = min_up - int(self._up.sum())
+            revive = order[:need]
+            self._up[revive] = True
+            self._down_since[revive] = -1
+
+        # Guard 2: keep every cluster minimally staffed (feasibility).
+        if self.min_up_per_cluster > 0:
+            for cluster in network.clusters:
+                members = np.array(cluster.servers, dtype=np.int64)
+                up_count = int(self._up[members].sum())
+                need = min(self.min_up_per_cluster, members.size) - up_count
+                if need > 0:
+                    down = members[~self._up[members]]
+                    order = down[np.argsort(self._down_since[down])]
+                    revive = order[:need]
+                    self._up[revive] = True
+                    self._down_since[revive] = -1
+        return self._up.copy()
+
+    def reset(self) -> None:
+        """Bring every server back up (between independent runs)."""
+        self._up = None
+        self._down_since = None

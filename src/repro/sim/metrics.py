@@ -1,0 +1,66 @@
+"""Trajectory metrics: window averages and convergence detection."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.exceptions import ConfigurationError
+from repro.types import FloatArray
+
+
+def window_averages(values: FloatArray, window: int) -> FloatArray:
+    """Non-overlapping window means (the paper's Fig. 9 averages 48 slots).
+
+    Trailing values that do not fill a window are dropped.
+
+    Raises:
+        ConfigurationError: If *window* is not positive or exceeds the
+            series length.
+    """
+    values = np.asarray(values, dtype=np.float64)
+    if window <= 0:
+        raise ConfigurationError("window must be positive")
+    if values.size < window:
+        raise ConfigurationError(
+            f"series of length {values.size} shorter than window {window}"
+        )
+    usable = (values.size // window) * window
+    return values[:usable].reshape(-1, window).mean(axis=1)
+
+
+def cumulative_time_average(values: FloatArray) -> FloatArray:
+    """``(1/t) sum_{s<=t} values[s]`` for every prefix ``t``."""
+    values = np.asarray(values, dtype=np.float64)
+    if values.size == 0:
+        return values.copy()
+    return np.cumsum(values) / np.arange(1, values.size + 1)
+
+
+def converged_tail_mean(values: FloatArray, *, fraction: float = 0.5) -> float:
+    """Mean of the last *fraction* of the series (post-transient value).
+
+    Used for "converged queue backlog" style statistics (Fig. 8): the
+    first part of a DPP run is the queue ramping up; the steady state is
+    the tail.
+    """
+    values = np.asarray(values, dtype=np.float64)
+    if not 0.0 < fraction <= 1.0:
+        raise ConfigurationError("fraction must lie in (0, 1]")
+    if values.size == 0:
+        raise ConfigurationError("empty series")
+    start = int(np.floor(values.size * (1.0 - fraction)))
+    return float(np.mean(values[start:]))
+
+
+def slope(values: FloatArray) -> float:
+    """Least-squares slope of the series against its index.
+
+    A near-zero slope over the tail indicates the virtual queue is
+    stable (its time average converged).
+    """
+    values = np.asarray(values, dtype=np.float64)
+    if values.size < 2:
+        raise ConfigurationError("need at least two points for a slope")
+    x = np.arange(values.size, dtype=np.float64)
+    x = x - x.mean()
+    return float(np.dot(x, values - values.mean()) / np.dot(x, x))

@@ -1,0 +1,183 @@
+"""Repeated-seed replication of simulation runs.
+
+Single simulation runs are noisy; claims in the paper are about
+averages.  :func:`run_replications` executes the same experimental
+configuration under several root seeds -- optionally across processes --
+and aggregates the headline metrics with bootstrap confidence
+intervals.
+
+The unit of work is a :class:`ReplicationSpec`: a plain, picklable
+description (scenario knobs + controller knobs) from which each worker
+rebuilds everything.  This is what makes multiprocessing safe -- no
+controller or network objects ever cross process boundaries.
+"""
+
+from __future__ import annotations
+
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass, field
+
+import numpy as np
+
+import repro
+from repro.analysis.aggregate import RunStatistics, summarize_runs
+from repro.baselines import mcba_p2a_solver, ropt_p2a_solver
+from repro.exceptions import ConfigurationError
+
+
+@dataclass(frozen=True)
+class ReplicationSpec:
+    """A picklable description of one simulation configuration.
+
+    Attributes:
+        num_devices: Devices ``I``.
+        horizon: Slots per run.
+        v: DPP parameter ``V``.
+        z: BDMA alternation rounds.
+        solver: ``"bdma"``, ``"mcba"``, or ``"ropt"``.
+        workload: ``"uniform"`` or ``"diurnal"``.
+        budget_fraction: Budget position in the feasible range.
+        warm_start_queue: Start the queue at its estimated equilibrium.
+        network_overrides: Extra :class:`~repro.network.builder.NetworkBuilder`
+            fields (must be picklable).
+    """
+
+    num_devices: int = 30
+    horizon: int = 96
+    v: float = 100.0
+    z: int = 3
+    solver: str = "bdma"
+    workload: str = "uniform"
+    budget_fraction: float = 0.5
+    warm_start_queue: bool = False
+    network_overrides: tuple[tuple[str, object], ...] = ()
+
+    def __post_init__(self) -> None:
+        if self.solver not in ("bdma", "mcba", "ropt"):
+            raise ConfigurationError(f"unknown solver {self.solver!r}")
+        if self.horizon <= 0:
+            raise ConfigurationError("horizon must be positive")
+
+
+@dataclass(frozen=True)
+class ReplicationOutcome:
+    """Headline metrics of one seed's run."""
+
+    seed: int
+    mean_latency: float
+    mean_cost: float
+    mean_backlog: float
+    budget: float
+
+
+@dataclass
+class ReplicationReport:
+    """Aggregated statistics across seeds.
+
+    Attributes:
+        outcomes: Per-seed results, in seed order.
+        latency: Bootstrap statistics of the time-average latency.
+        cost: Bootstrap statistics of the time-average cost.
+        budget: The (seed-0) budget for reference.
+    """
+
+    outcomes: list[ReplicationOutcome] = field(default_factory=list)
+    latency: RunStatistics | None = None
+    cost: RunStatistics | None = None
+    budget: float = 0.0
+
+    def budget_satisfaction_rate(self) -> float:
+        """Fraction of seeds whose realised cost met their budget."""
+        if not self.outcomes:
+            return 0.0
+        hits = sum(
+            1 for o in self.outcomes if o.mean_cost <= o.budget * (1 + 1e-9)
+        )
+        return hits / len(self.outcomes)
+
+
+def execute_replication(args: tuple[ReplicationSpec, int]) -> ReplicationOutcome:
+    """Run one seed of a spec (module-level so it pickles for workers)."""
+    spec, seed = args
+    scenario = repro.make_paper_scenario(
+        seed=seed,
+        config=repro.ScenarioConfig(
+            num_devices=spec.num_devices,
+            workload=spec.workload,
+            budget_fraction=spec.budget_fraction,
+        ),
+        **dict(spec.network_overrides),
+    )
+    solver = None
+    z = spec.z
+    if spec.solver == "ropt":
+        solver, z = ropt_p2a_solver(), 1
+    elif spec.solver == "mcba":
+        solver, z = mcba_p2a_solver(), 1
+    initial = 0.0
+    if spec.warm_start_queue:
+        from repro.analysis.equilibrium import estimate_equilibrium_backlog
+
+        initial = estimate_equilibrium_backlog(
+            scenario.network,
+            list(scenario.fresh_states(repro.DEFAULT_PERIOD)),
+            scenario.controller_rng("replication-eq"),
+            v=spec.v,
+            budget=scenario.budget,
+        )
+    controller = repro.DPPController(
+        scenario.network,
+        scenario.controller_rng("replication"),
+        v=spec.v,
+        budget=scenario.budget,
+        z=z,
+        p2a_solver=solver,
+        initial_backlog=initial,
+    )
+    result = repro.run_simulation(
+        controller, scenario.fresh_states(spec.horizon), budget=scenario.budget
+    )
+    return ReplicationOutcome(
+        seed=seed,
+        mean_latency=result.time_average_latency(),
+        mean_cost=result.time_average_cost(),
+        mean_backlog=float(np.mean(result.backlog)),
+        budget=scenario.budget,
+    )
+
+
+def run_replications(
+    spec: ReplicationSpec,
+    seeds: tuple[int, ...] | list[int],
+    *,
+    processes: int | None = None,
+) -> ReplicationReport:
+    """Run *spec* under every seed and aggregate.
+
+    Args:
+        spec: The configuration to replicate.
+        seeds: Root seeds; each yields an independent topology and
+            state stream.
+        processes: Worker processes; ``None`` or 1 runs sequentially
+            (no pickling, easier debugging).
+
+    Returns:
+        A :class:`ReplicationReport` with per-seed outcomes and
+        bootstrap statistics of the headline metrics.
+    """
+    seeds = list(seeds)
+    if not seeds:
+        raise ConfigurationError("need at least one seed")
+    jobs = [(spec, seed) for seed in seeds]
+    if processes is None or processes <= 1:
+        outcomes = [execute_replication(job) for job in jobs]
+    else:
+        with ProcessPoolExecutor(max_workers=processes) as pool:
+            outcomes = list(pool.map(execute_replication, jobs))
+
+    report = ReplicationReport(outcomes=outcomes, budget=outcomes[0].budget)
+    report.latency = summarize_runs(
+        np.array([o.mean_latency for o in outcomes])
+    )
+    report.cost = summarize_runs(np.array([o.mean_cost for o in outcomes]))
+    return report

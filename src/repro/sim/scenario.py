@@ -1,0 +1,157 @@
+"""State generation: composing substrates into the per-slot ``beta_t``.
+
+A :class:`StateGenerator` owns a workload generator, a channel model, a
+price model, and a mobility model, and emits :class:`SlotState` objects.
+A :class:`Scenario` bundles the static topology with a state generator
+and a seed bank -- the unit the examples and benchmarks operate on.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator
+
+import numpy as np
+
+from repro.core.state import SlotState
+from repro.energy.pricing import PriceModel
+from repro.exceptions import ConfigurationError
+from repro.network.coverage import coverage_matrix
+from repro.network.topology import MECNetwork
+from repro.radio.channel import ChannelModel
+from repro.radio.fronthaul import FronthaulModel
+from repro.radio.mobility import MobilityModel, StaticMobility
+from repro.sim.faults import OutageModel
+from repro.sim.seeding import SeedBank
+from repro.types import FloatArray, Rng
+from repro.workload.generators import TaskGenerator
+
+
+class StateGenerator:
+    """Produces the system state ``beta_t`` slot by slot.
+
+    Args:
+        network: Static topology (positions, radii).
+        tasks: Per-slot task draws (``f_t, d_t``).
+        channel: Spectral-efficiency model (``h_t``).
+        prices: Electricity price model (``p_t``).
+        mobility: Device movement; static by default (the paper's
+            setting keeps coverage fixed while channels fluctuate).
+        price_scale: Multiplier converting the price model's units into
+            cost-per-watt-per-slot.  With $/MWh prices and hourly slots,
+            ``1e-6`` yields energy costs in dollars per slot.
+        fronthaul: Optional time-varying fronthaul efficiency model; the
+            static topology values are used when omitted (the paper's
+            setting).
+        faults: Optional server-outage model; every server is always up
+            when omitted (the paper's setting).
+    """
+
+    def __init__(
+        self,
+        network: MECNetwork,
+        tasks: TaskGenerator,
+        channel: ChannelModel,
+        prices: PriceModel,
+        *,
+        mobility: MobilityModel | None = None,
+        price_scale: float = 1.0,
+        fronthaul: "FronthaulModel | None" = None,
+        faults: "OutageModel | None" = None,
+    ) -> None:
+        if tasks.num_devices != network.num_devices:
+            raise ConfigurationError(
+                f"task generator covers {tasks.num_devices} devices but the "
+                f"network has {network.num_devices}"
+            )
+        self.network = network
+        self.tasks = tasks
+        self.channel = channel
+        self.prices = prices
+        self.mobility = mobility if mobility is not None else StaticMobility()
+        if price_scale <= 0.0:
+            raise ConfigurationError("price_scale must be positive")
+        self.price_scale = float(price_scale)
+        self.fronthaul = fronthaul
+        self.faults = faults
+        self._positions = network.device_positions()
+        self._bs_positions = network.base_station_positions()
+        self._radii = np.array([b.coverage_radius for b in network.base_stations])
+
+    @property
+    def positions(self) -> FloatArray:
+        """Current device positions (mutated by mobility)."""
+        return self._positions.copy()
+
+    def state(self, t: int, rng: Rng) -> SlotState:
+        """Draw ``beta_t`` for slot *t*, advancing mobility first."""
+        self._positions = self.mobility.step(self._positions, rng)
+        coverage = coverage_matrix(self._positions, self._bs_positions, self._radii)
+        batch = self.tasks.generate(t, rng)
+        h = self.channel.spectral_efficiency(
+            t, self._positions, self._bs_positions, coverage, rng
+        )
+        price = self.prices.price(t, rng) * self.price_scale
+        fronthaul_se = None
+        if self.fronthaul is not None:
+            fronthaul_se = self.fronthaul.spectral_efficiency(
+                t, self.network.fronthaul_se, rng
+            )
+        available = None
+        if self.faults is not None:
+            available = self.faults.availability(t, self.network, rng)
+        return SlotState(
+            t=t,
+            cycles=batch.cycles,
+            bits=batch.bits,
+            spectral_efficiency=h,
+            price=price,
+            fronthaul_se=fronthaul_se,
+            available_servers=available,
+        )
+
+    def states(self, horizon: int, rng: Rng, *, start: int = 0) -> Iterator[SlotState]:
+        """Yield ``beta_t`` for ``t = start, ..., start + horizon - 1``."""
+        for t in range(start, start + horizon):
+            yield self.state(t, rng)
+
+    def reset(self) -> None:
+        """Restore mobility and fault state between independent runs."""
+        self._positions = self.network.device_positions()
+        if self.faults is not None and hasattr(self.faults, "reset"):
+            self.faults.reset()
+
+
+@dataclass
+class Scenario:
+    """A complete, reproducible experimental setup.
+
+    Attributes:
+        network: Static topology.
+        generator: Per-slot state generator.
+        seeds: Root seed bank; components draw named child streams.
+        budget: Default time-average energy-cost budget ``Cbar``.
+    """
+
+    network: MECNetwork
+    generator: StateGenerator
+    seeds: SeedBank
+    budget: float
+
+    def state_rng(self) -> Rng:
+        """Fresh generator over the scenario's state stream."""
+        return self.seeds.rng("states")
+
+    def controller_rng(self, name: str = "controller") -> Rng:
+        """Fresh generator for a controller's internal randomness."""
+        return self.seeds.rng(name)
+
+    def fresh_states(self, horizon: int) -> Iterator[SlotState]:
+        """A reproducible state sequence of length *horizon*.
+
+        Each call restarts the stream from the scenario seed (and resets
+        mobility), so different controllers can be fed *identical*
+        realisations -- a paired comparison.
+        """
+        self.generator.reset()
+        return self.generator.states(horizon, self.state_rng())

@@ -1,0 +1,126 @@
+"""Helpers for discrete assignment problems over congested resources.
+
+Shared by the branch-and-bound exact baseline and by the lower-bound
+computations.  The abstraction here is deliberately small: an assignment
+problem maps each of ``I`` items to one option out of a per-item feasible
+list, and the objective is a sum over resources ``r`` of
+``m_r * (sum of weights of items on r) ** 2`` -- exactly the structure of
+the paper's P1/P2-A after Lemma 1.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from repro.types import FloatArray
+
+
+@dataclass(frozen=True)
+class QuadraticCongestionProblem:
+    """A min-cost assignment problem with quadratic congestion costs.
+
+    The objective of assigning item ``i`` to option ``o`` is captured by
+    the set of resources the option uses and the item's weight on each.
+
+    Attributes:
+        num_items: Number of items (mobile devices).
+        num_resources: Total number of congestible resources.
+        resource_weights: Shape ``(num_resources,)`` -- the ``m_r`` factors.
+        options: ``options[i]`` is the feasible option list for item ``i``;
+            each option is an integer array of resource indices.
+        item_weights: ``item_weights[i][j]`` is an array, aligned with
+            ``options[i][j]``, of the item's load ``p_{i,r}`` on each
+            resource the option uses.
+    """
+
+    num_items: int
+    num_resources: int
+    resource_weights: FloatArray
+    options: list[list[np.ndarray]]
+    item_weights: list[list[np.ndarray]]
+
+    def __post_init__(self) -> None:
+        if len(self.options) != self.num_items:
+            raise ValueError("options must have one entry per item")
+        if len(self.item_weights) != self.num_items:
+            raise ValueError("item_weights must have one entry per item")
+        for i in range(self.num_items):
+            if len(self.options[i]) == 0:
+                raise ValueError(f"item {i} has no feasible option")
+            if len(self.options[i]) != len(self.item_weights[i]):
+                raise ValueError(f"item {i}: options/item_weights mismatch")
+        # Vectorised per-item views for the branch-and-bound hot path:
+        # marginal(i, j, loads) = static[i][j] + 2 * coef[i][j] . loads[res[i][j]].
+        res_stacks: list[np.ndarray] = []
+        coef_stacks: list[np.ndarray] = []
+        static_stacks: list[np.ndarray] = []
+        for i in range(self.num_items):
+            res = np.stack(self.options[i])  # (n_opts, uses)
+            wts = np.stack(self.item_weights[i])
+            m = self.resource_weights[res]
+            res_stacks.append(res)
+            coef_stacks.append(m * wts)
+            static_stacks.append(np.sum(m * wts * wts, axis=1))
+        object.__setattr__(self, "_res_stacks", res_stacks)
+        object.__setattr__(self, "_coef_stacks", coef_stacks)
+        object.__setattr__(self, "_static_stacks", static_stacks)
+
+    def marginal_costs(self, item: int, loads: FloatArray) -> FloatArray:
+        """Marginal cost of every option of *item* under *loads*, vectorised."""
+        res: np.ndarray = self._res_stacks[item]  # type: ignore[attr-defined]
+        coef: np.ndarray = self._coef_stacks[item]  # type: ignore[attr-defined]
+        static: np.ndarray = self._static_stacks[item]  # type: ignore[attr-defined]
+        return static + 2.0 * np.sum(coef * loads[res], axis=1)
+
+    def total_cost(self, choice: Sequence[int]) -> float:
+        """Objective value of a full assignment ``choice[i] -> option index``."""
+        loads = np.zeros(self.num_resources)
+        for i, j in enumerate(choice):
+            loads[self.options[i][j]] += self.item_weights[i][j]
+        return float(self.resource_weights @ (loads * loads))
+
+    def marginal_cost(self, item: int, option: int, loads: FloatArray) -> float:
+        """Increase of the objective if *item* takes *option* given *loads*.
+
+        Adding weight ``p`` to a resource with load ``L`` increases the
+        quadratic term by ``m * (2 L p + p^2)``.  This is monotone in
+        ``L``, which makes per-item minima over options admissible lower
+        bounds in branch-and-bound.
+        """
+        res = self.options[item][option]
+        wts = self.item_weights[item][option]
+        m = self.resource_weights[res]
+        load = loads[res]
+        return float(np.sum(m * (2.0 * load * wts + wts * wts)))
+
+    def cheapest_option(self, item: int, loads: FloatArray) -> tuple[int, float]:
+        """Option of *item* with the smallest marginal cost under *loads*."""
+        costs = self.marginal_costs(item, loads)
+        j = int(np.argmin(costs))
+        return j, float(costs[j])
+
+    def apply(self, item: int, option: int, loads: FloatArray) -> None:
+        """Add *item*'s weights for *option* onto *loads* in place."""
+        loads[self.options[item][option]] += self.item_weights[item][option]
+
+    def remove(self, item: int, option: int, loads: FloatArray) -> None:
+        """Remove *item*'s weights for *option* from *loads* in place."""
+        loads[self.options[item][option]] -= self.item_weights[item][option]
+
+
+def congestion_free_lower_bound(problem: QuadraticCongestionProblem) -> float:
+    """Lower bound that ignores congestion between items.
+
+    Each item is priced as if alone on empty resources, i.e. by
+    ``min_o sum_r m_r p_{i,r}^2``.  Because cross terms ``2 m_r p_i p_j``
+    are non-negative, the sum of these minima never exceeds the optimum.
+    """
+    zero = np.zeros(problem.num_resources)
+    total = 0.0
+    for i in range(problem.num_items):
+        _, cost = problem.cheapest_option(i, zero)
+        total += cost
+    return total

@@ -1,0 +1,174 @@
+"""Generic best-response dynamics over finite games.
+
+The paper's CGBA (Algorithm 3) is best-response dynamics on a weighted
+congestion game with a specific player-selection rule (the player with
+the largest absolute improvement moves) and a relative stopping slack
+``lambda``.  This module implements that engine over an abstract game
+interface so the dynamics can be property-tested on small synthetic games
+independently of the MEC model.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass, field
+from typing import Hashable, Sequence
+
+import numpy as np
+
+from repro.exceptions import ConvergenceError
+from repro.types import Rng
+
+
+class FiniteGame(abc.ABC):
+    """A finite game with a mutable current strategy profile.
+
+    Implementations keep the profile (and any incremental bookkeeping,
+    e.g. congestion-game resource loads) internally; the engine only
+    queries costs and applies moves.
+    """
+
+    @property
+    @abc.abstractmethod
+    def num_players(self) -> int:
+        """Number of players in the game."""
+
+    @abc.abstractmethod
+    def player_cost(self, player: int) -> float:
+        """Cost of *player* under the current profile."""
+
+    @abc.abstractmethod
+    def best_response(self, player: int) -> tuple[Hashable, float]:
+        """Best strategy for *player* holding all other players fixed.
+
+        Returns:
+            ``(strategy, cost)`` -- the minimising strategy and the cost the
+            player would incur after unilaterally deviating to it.
+        """
+
+    @abc.abstractmethod
+    def move(self, player: int, strategy: Hashable) -> None:
+        """Switch *player* to *strategy*, updating internal bookkeeping."""
+
+    @abc.abstractmethod
+    def strategy_of(self, player: int) -> Hashable:
+        """Current strategy of *player*."""
+
+    def total_cost(self) -> float:
+        """Sum of all players' costs under the current profile."""
+        return float(sum(self.player_cost(i) for i in range(self.num_players)))
+
+
+@dataclass
+class BestResponseResult:
+    """Outcome of :func:`best_response_dynamics`.
+
+    Attributes:
+        iterations: Number of unilateral moves performed.
+        converged: ``True`` when no player passed the improvement test.
+        total_cost: Total cost of the final profile.
+        cost_history: Total cost after each move (index 0 is the initial
+            profile), useful for convergence plots (paper Fig. 6).
+    """
+
+    iterations: int
+    converged: bool
+    total_cost: float
+    cost_history: list[float] = field(default_factory=list)
+
+
+def _improvement_gaps(game: FiniteGame, slack: float) -> tuple[np.ndarray, list]:
+    """Return per-player improvement gaps and cached best responses.
+
+    A player is eligible to move when ``(1 - slack) * current > best``;
+    the gap reported is ``current - best`` (Algorithm 3, line 3).
+    """
+    n = game.num_players
+    gaps = np.full(n, -np.inf)
+    responses: list = [None] * n
+    for i in range(n):
+        current = game.player_cost(i)
+        strategy, best = game.best_response(i)
+        responses[i] = strategy
+        if (1.0 - slack) * current > best:
+            gaps[i] = current - best
+    return gaps, responses
+
+
+def best_response_dynamics(
+    game: FiniteGame,
+    *,
+    slack: float = 0.0,
+    max_iter: int = 100_000,
+    rng: Rng | None = None,
+    selection: str = "max_gap",
+    record_history: bool = False,
+) -> BestResponseResult:
+    """Run best-response dynamics until the ``slack``-equilibrium test holds.
+
+    Args:
+        game: The game; its current profile is the starting point and is
+            mutated in place.
+        slack: The paper's ``lambda``: stop once no player can improve its
+            cost by more than the relative factor ``1 / (1 - slack)``.
+            ``slack = 0`` demands an exact Nash equilibrium (CGBA(0)).
+        max_iter: Safety cap on the number of moves.
+        rng: Random generator, required for ``selection="random"``.
+        selection: ``"max_gap"`` (Algorithm 3: the player with the largest
+            absolute improvement moves), ``"round_robin"``, or ``"random"``.
+        record_history: Record the total cost after every move.
+
+    Returns:
+        A :class:`BestResponseResult`.
+
+    Raises:
+        ConvergenceError: If ``max_iter`` moves did not reach the stopping
+            condition.  For exact potential games with ``slack >= 0`` this
+            only happens when ``max_iter`` is too small, since every move
+            strictly decreases the potential.
+        ValueError: On an unknown ``selection`` rule.
+    """
+    if selection not in ("max_gap", "round_robin", "random"):
+        raise ValueError(f"unknown selection rule: {selection!r}")
+    if selection == "random" and rng is None:
+        raise ValueError("selection='random' requires an rng")
+    if not 0.0 <= slack < 1.0:
+        raise ValueError(f"slack must lie in [0, 1), got {slack}")
+
+    history: list[float] = []
+    if record_history:
+        history.append(game.total_cost())
+
+    rr_cursor = 0
+    for iteration in range(max_iter):
+        gaps, responses = _improvement_gaps(game, slack)
+        eligible = np.flatnonzero(gaps > -np.inf)
+        if eligible.size == 0:
+            return BestResponseResult(
+                iterations=iteration,
+                converged=True,
+                total_cost=game.total_cost(),
+                cost_history=history,
+            )
+        if selection == "max_gap":
+            player = int(eligible[np.argmax(gaps[eligible])])
+        elif selection == "random":
+            assert rng is not None
+            player = int(rng.choice(eligible))
+        else:  # round_robin: first eligible player at or after the cursor
+            ordered = np.concatenate([eligible[eligible >= rr_cursor], eligible])
+            player = int(ordered[0])
+            rr_cursor = (player + 1) % game.num_players
+        game.move(player, responses[player])
+        if record_history:
+            history.append(game.total_cost())
+
+    raise ConvergenceError(
+        f"best-response dynamics did not converge within {max_iter} moves",
+        best_so_far=BestResponseResult(
+            iterations=max_iter,
+            converged=False,
+            total_cost=game.total_cost(),
+            cost_history=history,
+        ),
+    )

@@ -1,0 +1,148 @@
+"""Fitting the paper's state models to recorded traces.
+
+The paper assumes each state is a known periodic trend plus iid noise.
+In practice an operator has a trace, not a trend; these helpers close
+the gap:
+
+* :func:`fit_periodic_profile` -- recover the multiplicative diurnal
+  profile and the noise level from one series;
+* :func:`fit_price_model` -- build a
+  :class:`~repro.energy.pricing.PeriodicPriceModel` from a recorded
+  price trace;
+* :func:`fit_task_generator` -- build a
+  :class:`~repro.workload.generators.PeriodicTaskGenerator` whose trend
+  follows a recorded demand trace.
+
+All fits go through :func:`repro.analysis.decomposition.seasonal_decompose`
+and report the periodicity strength so callers can reject traces where
+the paper's model is a poor fit.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.analysis.decomposition import periodicity_strength, seasonal_decompose
+from repro.energy.pricing import PeriodicPriceModel
+from repro.exceptions import ConfigurationError
+from repro.types import FloatArray
+from repro.workload.generators import PeriodicTaskGenerator
+
+
+@dataclass(frozen=True)
+class ProfileFit:
+    """A fitted periodic profile.
+
+    Attributes:
+        profile: Multiplicative profile of length ``period`` with mean 1.
+        mean_level: Mean level of the series.
+        noise_cv: Residual coefficient of variation (std of the residual
+            over the mean level).
+        strength: Fraction of de-levelled variance the profile explains.
+        period: The period used.
+    """
+
+    profile: FloatArray
+    mean_level: float
+    noise_cv: float
+    strength: float
+    period: int
+
+
+def fit_periodic_profile(series: FloatArray, period: int) -> ProfileFit:
+    """Fit a mean-1 multiplicative profile + noise level to a series.
+
+    Raises:
+        ConfigurationError: If the series is non-positive on average or
+            too short (two periods required).
+    """
+    series = np.asarray(series, dtype=np.float64)
+    decomposition = seasonal_decompose(series, period)
+    mean_level = float(series.mean())
+    if mean_level <= 0.0:
+        raise ConfigurationError("series must have a positive mean")
+    additive_profile = decomposition.seasonal_profile
+    profile = 1.0 + additive_profile / mean_level
+    profile = np.maximum(profile, 1e-3)
+    noise_cv = float(np.std(decomposition.residual) / mean_level)
+    return ProfileFit(
+        profile=profile,
+        mean_level=mean_level,
+        noise_cv=noise_cv,
+        strength=periodicity_strength(series, period),
+        period=period,
+    )
+
+
+def fit_price_model(
+    price_trace: FloatArray,
+    *,
+    period: int = 24,
+    floor: float = 0.0,
+) -> PeriodicPriceModel:
+    """Fit a :class:`PeriodicPriceModel` to a recorded price trace.
+
+    The trend is the per-phase mean of the trace; the noise std is the
+    residual standard deviation.
+    """
+    price_trace = np.asarray(price_trace, dtype=np.float64)
+    if np.any(price_trace < 0.0):
+        raise ConfigurationError("price trace must be non-negative")
+    fit = fit_periodic_profile(price_trace, period)
+    trend = fit.mean_level * fit.profile
+    noise_std = fit.noise_cv * fit.mean_level
+    return PeriodicPriceModel(
+        np.maximum(trend, 0.0), noise_std=noise_std, floor=floor
+    )
+
+
+def fit_task_generator(
+    demand_trace: FloatArray,
+    *,
+    period: int = 24,
+    num_devices: int,
+    mean_cycles: float = 125e6,
+    mean_bits: float = 6.5e6,
+    rng: np.random.Generator | None = None,
+    heterogeneity: float = 0.3,
+) -> PeriodicTaskGenerator:
+    """Build a task generator whose diurnal trend follows a demand trace.
+
+    The trace (e.g. hourly video views) sets the *shape*; per-device
+    mean demands are drawn around the given means so devices stay
+    heterogeneous, as in the paper's setting.
+
+    Args:
+        demand_trace: Recorded aggregate demand, one value per slot.
+        period: Trend period ``D``.
+        num_devices: Number of devices to generate for.
+        mean_cycles: Mean per-device compute demand at profile 1.
+        mean_bits: Mean per-device data length at profile 1.
+        rng: Source for the per-device heterogeneity; deterministic
+            means when omitted.
+        heterogeneity: Relative half-width of the per-device mean draw.
+
+    Returns:
+        A :class:`PeriodicTaskGenerator` with the fitted profile and
+        noise level.
+    """
+    if num_devices <= 0:
+        raise ConfigurationError("num_devices must be positive")
+    if not 0.0 <= heterogeneity < 1.0:
+        raise ConfigurationError("heterogeneity must lie in [0, 1)")
+    fit = fit_periodic_profile(demand_trace, period)
+    if rng is None:
+        base_cycles = np.full(num_devices, mean_cycles)
+        base_bits = np.full(num_devices, mean_bits)
+    else:
+        lo, hi = 1.0 - heterogeneity, 1.0 + heterogeneity
+        base_cycles = mean_cycles * rng.uniform(lo, hi, size=num_devices)
+        base_bits = mean_bits * rng.uniform(lo, hi, size=num_devices)
+    return PeriodicTaskGenerator(
+        base_cycles,
+        base_bits,
+        profile=fit.profile,
+        noise_cv=max(fit.noise_cv, 1e-6),
+    )

@@ -1,0 +1,59 @@
+"""Draws of the task-server suitability matrix ``sigma_{i,n}``.
+
+The paper treats ``sigma_{i,n} in (0, 1]`` as fixed and known, drawn
+uniformly from [0.5, 1] in its simulations.  We also provide a clustered
+variant where servers specialise in task types, which makes the server
+selection decision more consequential (used by an ablation bench).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.exceptions import ConfigurationError
+from repro.types import FloatArray, Rng
+
+
+def uniform_suitability(
+    rng: Rng,
+    num_devices: int,
+    num_servers: int,
+    *,
+    low: float = 0.5,
+    high: float = 1.0,
+) -> FloatArray:
+    """Uniform iid suitabilities (the paper's setting)."""
+    if num_devices <= 0 or num_servers <= 0:
+        raise ConfigurationError("dimensions must be positive")
+    if not 0.0 < low <= high <= 1.0:
+        raise ConfigurationError(f"need 0 < low <= high <= 1, got [{low}, {high}]")
+    return rng.uniform(low, high, size=(num_devices, num_servers))
+
+
+def clustered_suitability(
+    rng: Rng,
+    num_devices: int,
+    num_servers: int,
+    *,
+    num_types: int = 4,
+    matched: float = 0.95,
+    mismatched: float = 0.55,
+    jitter: float = 0.04,
+) -> FloatArray:
+    """Suitabilities induced by task types and server specialisations.
+
+    Each device's tasks have one of ``num_types`` types; each server
+    specialises in one type.  Matched pairs get suitability near
+    ``matched``, others near ``mismatched``, with uniform jitter.  Values
+    are clipped into ``(0, 1]``.
+    """
+    if num_types <= 0:
+        raise ConfigurationError("num_types must be positive")
+    if not 0.0 < mismatched <= matched <= 1.0:
+        raise ConfigurationError("need 0 < mismatched <= matched <= 1")
+    device_types = rng.integers(num_types, size=num_devices)
+    server_types = rng.integers(num_types, size=num_servers)
+    match = device_types[:, None] == server_types[None, :]
+    base = np.where(match, matched, mismatched)
+    noisy = base + rng.uniform(-jitter, jitter, size=base.shape)
+    return np.clip(noisy, 1e-3, 1.0)

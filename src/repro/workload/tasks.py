@@ -1,0 +1,55 @@
+"""The per-slot task batch value type."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.exceptions import ValidationError
+from repro.types import FloatArray, as_float_array
+
+
+@dataclass(frozen=True)
+class TaskBatch:
+    """One slot's tasks for all devices.
+
+    Attributes:
+        cycles: ``f_t`` -- CPU cycles required per device, shape ``(I,)``.
+        bits: ``d_t`` -- input data length per device in bits, shape ``(I,)``.
+    """
+
+    cycles: FloatArray
+    bits: FloatArray
+
+    def __post_init__(self) -> None:
+        cycles = as_float_array(self.cycles, "cycles")
+        bits = as_float_array(self.bits, "bits")
+        if cycles.ndim != 1 or bits.ndim != 1 or cycles.shape != bits.shape:
+            raise ValidationError(
+                f"cycles and bits must be matching 1-D arrays, got "
+                f"{cycles.shape} and {bits.shape}"
+            )
+        if np.any(cycles < 0.0) or np.any(bits < 0.0):
+            raise ValidationError("task sizes must be non-negative")
+        object.__setattr__(self, "cycles", cycles)
+        object.__setattr__(self, "bits", bits)
+
+    @property
+    def num_devices(self) -> int:
+        """Number of devices ``I`` the batch covers."""
+        return int(self.cycles.size)
+
+    @property
+    def total_cycles(self) -> float:
+        """Aggregate compute demand of the slot."""
+        return float(np.sum(self.cycles))
+
+    @property
+    def total_bits(self) -> float:
+        """Aggregate upload demand of the slot."""
+        return float(np.sum(self.bits))
+
+    def scaled(self, cycle_factor: float = 1.0, bit_factor: float = 1.0) -> "TaskBatch":
+        """Return a copy with demands multiplied by the given factors."""
+        return TaskBatch(cycles=self.cycles * cycle_factor, bits=self.bits * bit_factor)

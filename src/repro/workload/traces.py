@@ -1,0 +1,99 @@
+"""Synthetic diurnal traces standing in for the paper's real-world data.
+
+The paper's Fig. 2 motivates the non-iid state model with hourly views of
+an online video: high during evening peak hours, low overnight, with a
+clear 24-hour period.  We cannot ship that trace, so
+:func:`diurnal_profile` builds the periodic multiplier (the ``fbar``/
+``dbar`` trend shape) and :func:`synthetic_video_views` draws a full
+views-like time series with the same structure (trend x noise) for the
+Fig. 2 reproduction bench.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.exceptions import ConfigurationError
+from repro.types import FloatArray, Rng
+
+
+def diurnal_profile(
+    *,
+    period: int = 24,
+    low: float = 0.6,
+    high: float = 1.5,
+    peak_hour: float = 20.0,
+    trough_hour: float = 4.0,
+) -> FloatArray:
+    """A smooth periodic multiplier with an evening peak and night trough.
+
+    The profile is a raised cosine in the "hour distance" from the peak,
+    rescaled to span ``[low, high]`` with the minimum at ``trough_hour``.
+    Multiplying a base demand by this profile yields the paper's
+    "periodic trend" component.
+
+    Args:
+        period: Slots per day (the paper's ``D``).
+        low: Minimum multiplier (off-peak).
+        high: Maximum multiplier (peak).
+        peak_hour: Hour of the day (0-24) where demand peaks.
+        trough_hour: Hour where demand bottoms out; used to orient the
+            cosine, must differ from ``peak_hour``.
+
+    Returns:
+        Array of length *period*; its max is ``high`` and min ``low``.
+    """
+    if period < 2:
+        raise ConfigurationError("period must be at least 2")
+    if not 0.0 < low <= high:
+        raise ConfigurationError(f"need 0 < low <= high, got [{low}, {high}]")
+    if abs(peak_hour - trough_hour) < 1e-9:
+        raise ConfigurationError("peak_hour and trough_hour must differ")
+    hours = np.arange(period) * (24.0 / period)
+    # Distance on the 24 h circle from the peak, normalised to [0, 1]
+    # where 1 is the antipode of the peak.
+    delta = np.minimum(np.abs(hours - peak_hour), 24.0 - np.abs(hours - peak_hour))
+    shape = 0.5 * (1.0 + np.cos(np.pi * delta / 12.0))  # 1 at peak, 0 at antipode
+    lo_raw, hi_raw = float(shape.min()), float(shape.max())
+    normalised = (shape - lo_raw) / (hi_raw - lo_raw)
+    return low + (high - low) * normalised
+
+
+def synthetic_video_views(
+    days: int,
+    rng: Rng,
+    *,
+    period: int = 24,
+    base_views: float = 10_000.0,
+    noise_cv: float = 0.08,
+    weekly_weekend_boost: float = 1.15,
+) -> FloatArray:
+    """Draw an hourly views-like trace: diurnal trend x weekly factor x noise.
+
+    This is the Fig. 2 substitute: a non-iid series whose structure
+    (periodic trend plus iid fluctuation) is exactly what the paper
+    assumes for workloads and prices.
+
+    Args:
+        days: Number of days to generate (trace length is ``days * period``).
+        rng: Random generator.
+        period: Slots per day.
+        base_views: Mean hourly views at multiplier 1.
+        noise_cv: Coefficient of variation of the multiplicative noise.
+        weekly_weekend_boost: Multiplier applied on days 5 and 6 of each
+            week (weekend viewing bump).
+
+    Returns:
+        Non-negative array of length ``days * period``.
+    """
+    if days <= 0:
+        raise ConfigurationError("days must be positive")
+    if noise_cv < 0:
+        raise ConfigurationError("noise_cv must be non-negative")
+    profile = diurnal_profile(period=period)
+    trend = np.tile(profile, days) * base_views
+    day_index = np.repeat(np.arange(days), period)
+    weekend = (day_index % 7) >= 5
+    trend = trend * np.where(weekend, weekly_weekend_boost, 1.0)
+    noise = 1.0 + noise_cv * rng.standard_normal(trend.size)
+    return np.maximum(trend * noise, 0.0)

@@ -1,0 +1,83 @@
+"""Reference implementations used to cross-check the optimised code.
+
+Everything here is written for clarity over speed: brute-force
+enumeration of P2-A, naive latency evaluation straight from the paper's
+formulas, and random feasible decisions.
+"""
+
+from __future__ import annotations
+
+import itertools
+
+import numpy as np
+
+from repro.core.latency import optimal_total_latency
+from repro.core.state import Assignment, SlotState
+from repro.network.connectivity import StrategySpace
+from repro.network.topology import MECNetwork
+from repro.types import FloatArray, Rng
+
+
+def brute_force_p2a(
+    network: MECNetwork,
+    state: SlotState,
+    space: StrategySpace,
+    frequencies: FloatArray,
+) -> tuple[Assignment, float]:
+    """Enumerate every feasible assignment; only viable for tiny instances."""
+    choices_per_device = []
+    for i in range(network.num_devices):
+        ks, ns = space.pairs(i)
+        choices_per_device.append(list(zip(ks.tolist(), ns.tolist())))
+    best_value = np.inf
+    best: Assignment | None = None
+    for combo in itertools.product(*choices_per_device):
+        bs_of = np.array([k for k, _ in combo], dtype=np.int64)
+        server_of = np.array([n for _, n in combo], dtype=np.int64)
+        assignment = Assignment(bs_of=bs_of, server_of=server_of)
+        value = optimal_total_latency(network, state, assignment, frequencies)
+        if value < best_value:
+            best_value = value
+            best = assignment
+    assert best is not None
+    return best, float(best_value)
+
+
+def naive_total_latency(
+    network: MECNetwork,
+    state: SlotState,
+    assignment: Assignment,
+    access_share: FloatArray,
+    fronthaul_share: FloatArray,
+    compute_share: FloatArray,
+    frequencies: FloatArray,
+) -> float:
+    """Eqs. (7)-(11) transcribed literally, one device at a time."""
+    total = 0.0
+    for i in range(network.num_devices):
+        k = int(assignment.bs_of[i])
+        n = int(assignment.server_of[i])
+        server = network.servers[n]
+        speed = server.speed_scale * frequencies[n] * 1e9
+        sigma = network.suitability[i, n]
+        if state.cycles[i] > 0:
+            total += state.cycles[i] / (speed * sigma * compute_share[i])
+        bs = network.base_stations[k]
+        if state.bits[i] > 0:
+            total += state.bits[i] / (
+                bs.access_bandwidth
+                * state.spectral_efficiency[i, k]
+                * access_share[i]
+            )
+            total += state.bits[i] / (
+                bs.fronthaul_bandwidth
+                * bs.fronthaul_spectral_efficiency
+                * fronthaul_share[i]
+            )
+    return total
+
+
+def random_feasible_assignment(space: StrategySpace, rng: Rng) -> Assignment:
+    """One random feasible assignment (independent of ROPT's code path)."""
+    bs_of, server_of = space.random_assignment(rng)
+    return Assignment(bs_of=bs_of, server_of=server_of)

@@ -1,0 +1,74 @@
+"""Tests for run aggregation and table formatting."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.analysis.aggregate import bootstrap_ci, paired_ratio, summarize_runs
+from repro.analysis.tables import format_table
+from repro.exceptions import ConfigurationError
+
+
+class TestAggregate:
+    def test_summarize_runs_basics(self) -> None:
+        stats = summarize_runs(np.array([1.0, 2.0, 3.0]))
+        assert stats.mean == pytest.approx(2.0)
+        assert stats.num_runs == 3
+        assert stats.ci_low <= stats.mean <= stats.ci_high
+
+    def test_single_run_degenerate(self) -> None:
+        stats = summarize_runs(np.array([5.0]))
+        assert stats.mean == 5.0
+        assert stats.std == 0.0
+        assert stats.ci_low == stats.ci_high == 5.0
+
+    def test_empty_rejected(self) -> None:
+        with pytest.raises(ConfigurationError):
+            summarize_runs(np.array([]))
+
+    def test_bootstrap_ci_covers_true_mean(self) -> None:
+        rng = np.random.default_rng(0)
+        sample = rng.normal(10.0, 1.0, size=200)
+        lo, hi = bootstrap_ci(sample, np.random.default_rng(1))
+        assert lo < 10.0 < hi
+        assert hi - lo < 0.6  # reasonably tight at n=200
+
+    def test_bootstrap_validation(self) -> None:
+        with pytest.raises(ConfigurationError):
+            bootstrap_ci(np.array([]), np.random.default_rng(0))
+        with pytest.raises(ConfigurationError):
+            bootstrap_ci(np.array([1.0, 2.0]), np.random.default_rng(0),
+                         confidence=1.5)
+
+    def test_paired_ratio(self) -> None:
+        stats = paired_ratio(np.array([2.0, 4.0]), np.array([1.0, 2.0]))
+        assert stats.mean == pytest.approx(2.0)
+
+    def test_paired_ratio_validation(self) -> None:
+        with pytest.raises(ConfigurationError):
+            paired_ratio(np.array([1.0]), np.array([1.0, 2.0]))
+        with pytest.raises(ConfigurationError):
+            paired_ratio(np.array([1.0]), np.array([0.0]))
+
+
+class TestFormatTable:
+    def test_alignment_and_floats(self) -> None:
+        table = format_table(
+            ["name", "value"],
+            [["cgba", 1.23456], ["ropt", 10.0]],
+            title="Results",
+        )
+        lines = table.splitlines()
+        assert lines[0] == "Results"
+        assert "name" in lines[1] and "value" in lines[1]
+        assert "1.235" in table
+        assert "ropt" in table
+
+    def test_row_width_mismatch_rejected(self) -> None:
+        with pytest.raises(ValueError):
+            format_table(["a", "b"], [["only-one"]])
+
+    def test_non_float_cells_stringified(self) -> None:
+        table = format_table(["k", "v"], [[1, "x"], [None, True]])
+        assert "None" in table and "True" in table

@@ -1,0 +1,175 @@
+"""Tests for the steady-state queue analysis and text plots."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+import repro
+from repro.analysis.equilibrium import (
+    estimate_equilibrium_backlog,
+    mean_cost_at_backlog,
+)
+from repro.analysis.text_plots import line_chart, sparkline
+from repro.core.cgba import solve_p2a_cgba
+from repro.exceptions import ConfigurationError
+from repro.network.connectivity import StrategySpace
+
+
+@pytest.fixture(scope="module")
+def setup():
+    scenario = repro.make_paper_scenario(
+        seed=55,
+        config=repro.ScenarioConfig(num_devices=10),
+        num_base_stations=3,
+        num_clusters=2,
+        servers_per_cluster=2,
+        num_macro_stations=1,
+    )
+    states = list(scenario.fresh_states(12))
+    return scenario, states
+
+
+class TestMeanCost:
+    def test_monotone_nonincreasing_in_backlog(self, setup) -> None:
+        scenario, states = setup
+        network = scenario.network
+        rng = scenario.controller_rng("eq-test")
+        mid = 0.5 * (network.freq_min + network.freq_max)
+        assignments = [
+            solve_p2a_cgba(
+                network, s, StrategySpace(network, s.coverage()), mid, rng
+            ).assignment
+            for s in states
+        ]
+        costs = [
+            mean_cost_at_backlog(
+                network, states, assignments, backlog=q, v=100.0
+            )
+            for q in (0.0, 10.0, 100.0, 10_000.0)
+        ]
+        assert all(b <= a + 1e-9 for a, b in zip(costs, costs[1:]))
+
+
+class TestEquilibriumBacklog:
+    def test_zero_when_budget_generous(self, setup) -> None:
+        scenario, states = setup
+        q = estimate_equilibrium_backlog(
+            scenario.network, states, scenario.controller_rng("eq0"),
+            v=100.0, budget=1e9,
+        )
+        assert q == 0.0
+
+    def test_infeasible_budget_raises(self, setup) -> None:
+        scenario, states = setup
+        with pytest.raises(ConfigurationError, match="infeasible"):
+            estimate_equilibrium_backlog(
+                scenario.network, states, scenario.controller_rng("eq1"),
+                v=100.0, budget=scenario.budget * 1e-6,
+            )
+
+    def test_empty_states_rejected(self, setup) -> None:
+        scenario, _ = setup
+        with pytest.raises(ConfigurationError):
+            estimate_equilibrium_backlog(
+                scenario.network, [], scenario.controller_rng("eq2"),
+                v=100.0, budget=scenario.budget,
+            )
+
+    def test_scales_linearly_with_v(self, setup) -> None:
+        scenario, states = setup
+        rng = scenario.controller_rng("eq3")
+        # Use a tight budget so the constraint binds and Q* > 0.
+        budget = 0.6 * scenario.budget
+        q1 = estimate_equilibrium_backlog(
+            scenario.network, states, rng, v=50.0, budget=budget
+        )
+        q2 = estimate_equilibrium_backlog(
+            scenario.network, states, rng, v=200.0, budget=budget
+        )
+        assert q1 > 0.0
+        assert q2 / q1 == pytest.approx(4.0, rel=0.15)
+
+    def test_cost_at_equilibrium_matches_budget(self, setup) -> None:
+        scenario, states = setup
+        network = scenario.network
+        rng = scenario.controller_rng("eq4")
+        q = estimate_equilibrium_backlog(
+            network, states, rng, v=100.0, budget=scenario.budget
+        )
+        mid = 0.5 * (network.freq_min + network.freq_max)
+        assignments = [
+            solve_p2a_cgba(
+                network, s, StrategySpace(network, s.coverage()), mid, rng
+            ).assignment
+            for s in states
+        ]
+        cost = mean_cost_at_backlog(
+            network, states, assignments, backlog=q, v=100.0
+        )
+        assert cost <= scenario.budget * 1.02
+
+    def test_warm_started_simulation_stays_level(self, setup) -> None:
+        scenario, states = setup
+        budget = 0.6 * scenario.budget  # binding constraint -> Q* > 0
+        q = estimate_equilibrium_backlog(
+            scenario.network, states, scenario.controller_rng("eq5"),
+            v=100.0, budget=budget,
+        )
+        assert q > 0.0
+        controller = repro.DPPController(
+            scenario.network,
+            scenario.controller_rng("eq5-run"),
+            v=100.0,
+            budget=budget,
+            z=2,
+            initial_backlog=q,
+        )
+        result = repro.run_simulation(
+            controller, scenario.fresh_states(120), budget=budget
+        )
+        tail = float(result.backlog[-60:].mean())
+        assert tail == pytest.approx(q, rel=0.5)
+        assert result.time_average_cost() <= budget * 1.1
+
+
+class TestTextPlots:
+    def test_sparkline_scales(self) -> None:
+        line = sparkline(np.array([0.0, 0.5, 1.0]))
+        assert len(line) == 3
+        assert line[0] == "▁"
+        assert line[-1] == "█"
+
+    def test_sparkline_constant_series(self) -> None:
+        line = sparkline(np.array([2.0, 2.0]))
+        assert len(line) == 2
+        assert len(set(line)) == 1
+
+    def test_sparkline_ascii_mode(self) -> None:
+        line = sparkline(np.array([0.0, 1.0]), ascii_only=True)
+        assert all(c in " .:-=+*#%@" for c in line)
+
+    def test_sparkline_empty_rejected(self) -> None:
+        with pytest.raises(ConfigurationError):
+            sparkline(np.array([]))
+
+    def test_line_chart_dimensions(self) -> None:
+        chart = line_chart(
+            np.linspace(0, 10, 200), width=40, height=8, title="ramp"
+        )
+        lines = chart.splitlines()
+        assert lines[0] == "ramp"
+        assert len(lines) == 1 + 8 + 1  # title + rows + axis
+        assert all(len(line) <= 12 + 40 for line in lines[1:])
+
+    def test_line_chart_labels_range(self) -> None:
+        # Monotone series: the resampling grid hits both extremes exactly.
+        chart = line_chart(np.array([1.0, 3.0, 5.0]), width=10, height=4)
+        assert "5" in chart
+        assert "1" in chart
+
+    def test_line_chart_validation(self) -> None:
+        with pytest.raises(ConfigurationError):
+            line_chart(np.array([]))
+        with pytest.raises(ConfigurationError):
+            line_chart(np.array([1.0]), width=2)

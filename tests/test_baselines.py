@@ -1,0 +1,213 @@
+"""Tests for ROPT, MCBA, greedy, and the fixed-frequency controller."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.baselines.fixed_frequency import FixedFrequencyController
+from repro.baselines.greedy import solve_p2a_greedy
+from repro.baselines.mcba import mcba_p2a_solver, solve_p2a_mcba
+from repro.baselines.ropt import ropt_p2a_solver, solve_p2a_ropt
+from repro.core.latency import optimal_total_latency
+from repro.exceptions import ConfigurationError
+from repro.network.connectivity import StrategySpace
+
+from conftest import make_tiny_network, make_tiny_state
+from helpers import brute_force_p2a
+
+
+@pytest.fixture
+def setup():
+    network = make_tiny_network()
+    state = make_tiny_state()
+    space = StrategySpace(network, state.coverage())
+    frequencies = np.array([2.0, 3.0, 2.5])
+    return network, state, space, frequencies
+
+
+class TestROPT:
+    def test_feasible(self, setup) -> None:
+        _, _, space, _ = setup
+        rng = np.random.default_rng(0)
+        for _ in range(10):
+            assignment = solve_p2a_ropt(space, rng)
+            for i in range(assignment.num_devices):
+                assert space.contains(
+                    i, int(assignment.bs_of[i]), int(assignment.server_of[i])
+                )
+
+    def test_solver_interface(self, setup) -> None:
+        network, state, space, frequencies = setup
+        solver = ropt_p2a_solver()
+        assignment = solver(
+            network, state, space, frequencies,
+            np.random.default_rng(1), initial=None,
+        )
+        assert assignment.num_devices == 4
+
+
+class TestMCBA:
+    def test_improves_over_random_start(self, setup) -> None:
+        network, state, space, frequencies = setup
+        rng = np.random.default_rng(2)
+        start = solve_p2a_ropt(space, rng)
+        start_latency = optimal_total_latency(network, state, start, frequencies)
+        result = solve_p2a_mcba(
+            network, state, space, frequencies, np.random.default_rng(3),
+            initial=start, iterations=2_000,
+        )
+        assert result.total_latency <= start_latency + 1e-9
+
+    def test_reports_best_not_last(self, setup) -> None:
+        network, state, space, frequencies = setup
+        result = solve_p2a_mcba(
+            network, state, space, frequencies, np.random.default_rng(4),
+            iterations=1_500,
+        )
+        recomputed = optimal_total_latency(
+            network, state, result.assignment, frequencies
+        )
+        assert result.total_latency == pytest.approx(recomputed, rel=1e-9)
+
+    def test_near_optimal_with_enough_iterations(self, setup) -> None:
+        network, state, space, frequencies = setup
+        _, optimum = brute_force_p2a(network, state, space, frequencies)
+        result = solve_p2a_mcba(
+            network, state, space, frequencies, np.random.default_rng(5),
+            iterations=5_000,
+        )
+        assert result.total_latency <= 1.15 * optimum
+
+    def test_accepts_some_uphill_moves_at_high_temperature(self, setup) -> None:
+        network, state, space, frequencies = setup
+        result = solve_p2a_mcba(
+            network, state, space, frequencies, np.random.default_rng(6),
+            iterations=500, initial_temperature_fraction=10.0, cooling=1.0,
+        )
+        # With a huge constant temperature, almost all proposals accept.
+        assert result.accepted > 0.5 * result.iterations
+
+    def test_invalid_parameters_rejected(self, setup) -> None:
+        network, state, space, frequencies = setup
+        rng = np.random.default_rng(0)
+        with pytest.raises(ConfigurationError):
+            solve_p2a_mcba(network, state, space, frequencies, rng, iterations=0)
+        with pytest.raises(ConfigurationError):
+            solve_p2a_mcba(network, state, space, frequencies, rng, cooling=0.0)
+        with pytest.raises(ConfigurationError):
+            solve_p2a_mcba(
+                network, state, space, frequencies, rng,
+                initial_temperature_fraction=0.0,
+            )
+
+    def test_solver_factory(self, setup) -> None:
+        network, state, space, frequencies = setup
+        solver = mcba_p2a_solver(iterations=200)
+        assignment = solver(
+            network, state, space, frequencies,
+            np.random.default_rng(7), initial=None,
+        )
+        assert assignment.num_devices == 4
+
+
+class TestGreedy:
+    def test_joint_feasible_and_reasonable(self, setup) -> None:
+        network, state, space, frequencies = setup
+        assignment = solve_p2a_greedy(network, state, space, frequencies)
+        for i in range(4):
+            assert space.contains(
+                i, int(assignment.bs_of[i]), int(assignment.server_of[i])
+            )
+        _, optimum = brute_force_p2a(network, state, space, frequencies)
+        value = optimal_total_latency(network, state, assignment, frequencies)
+        assert value <= 2.0 * optimum  # one-pass greedy stays in the ballpark
+
+    def test_decoupled_variant_feasible_and_comparable(self, setup) -> None:
+        # Joint vs decoupled is studied statistically in the ablation
+        # bench; here we only require feasibility and the same ballpark
+        # (on tiny instances either variant can win by luck).
+        network, state, space, frequencies = setup
+        for seed in range(10):
+            order = np.random.default_rng(seed).permutation(4)
+            decoupled = solve_p2a_greedy(
+                network, state, space, frequencies, joint=False, order=order
+            )
+            joint = solve_p2a_greedy(
+                network, state, space, frequencies, joint=True, order=order
+            )
+            for i in range(4):
+                assert space.contains(
+                    i, int(decoupled.bs_of[i]), int(decoupled.server_of[i])
+                )
+            d = optimal_total_latency(network, state, decoupled, frequencies)
+            j = optimal_total_latency(network, state, joint, frequencies)
+            assert j <= 1.5 * d
+
+    def test_joint_at_least_matches_decoupled_at_scale(
+        self, small_scenario
+    ) -> None:
+        network = small_scenario.network
+        state = next(iter(small_scenario.fresh_states(1)))
+        space = StrategySpace(network, state.coverage())
+        frequencies = network.freq_max.copy()
+        joint_vals, decoupled_vals = [], []
+        for seed in range(20):
+            order = np.random.default_rng(seed).permutation(network.num_devices)
+            joint = solve_p2a_greedy(
+                network, state, space, frequencies, joint=True, order=order
+            )
+            decoupled = solve_p2a_greedy(
+                network, state, space, frequencies, joint=False, order=order
+            )
+            joint_vals.append(
+                optimal_total_latency(network, state, joint, frequencies)
+            )
+            decoupled_vals.append(
+                optimal_total_latency(network, state, decoupled, frequencies)
+            )
+        assert np.mean(joint_vals) <= 1.02 * np.mean(decoupled_vals)
+
+    def test_order_validation(self, setup) -> None:
+        network, state, space, frequencies = setup
+        with pytest.raises(ConfigurationError):
+            solve_p2a_greedy(
+                network, state, space, frequencies, order=np.array([0, 0, 1, 2])
+            )
+
+
+class TestFixedFrequencyController:
+    def test_frequencies_pinned(self) -> None:
+        network = make_tiny_network()
+        for fraction, expected in ((0.0, 1.8), (1.0, 3.6), (0.5, 2.7)):
+            controller = FixedFrequencyController(
+                network, np.random.default_rng(0), fraction=fraction, budget=10.0
+            )
+            record = controller.step(make_tiny_state())
+            np.testing.assert_allclose(record.frequencies, expected)
+
+    def test_queue_tracks_but_does_not_influence(self) -> None:
+        network = make_tiny_network()
+        controller = FixedFrequencyController(
+            network, np.random.default_rng(0), fraction=1.0, budget=0.0
+        )
+        r1 = controller.step(make_tiny_state(t=0))
+        r2 = controller.step(make_tiny_state(t=1))
+        assert r2.backlog_after > r1.backlog_after > 0.0
+        np.testing.assert_allclose(r1.frequencies, r2.frequencies)
+
+    def test_reset(self) -> None:
+        network = make_tiny_network()
+        controller = FixedFrequencyController(
+            network, np.random.default_rng(0), fraction=0.5, budget=0.0
+        )
+        controller.step(make_tiny_state())
+        controller.reset()
+        assert controller.queue.backlog == 0.0
+
+    def test_invalid_fraction_rejected(self) -> None:
+        network = make_tiny_network()
+        with pytest.raises(ConfigurationError):
+            FixedFrequencyController(
+                network, np.random.default_rng(0), fraction=1.5, budget=0.0
+            )

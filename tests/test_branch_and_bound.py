@@ -1,0 +1,150 @@
+"""Tests for the exact branch-and-bound P2-A solver."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+import repro
+from repro.baselines.branch_and_bound import (
+    build_p2a_problem,
+    solve_p2a_exact,
+    verify_against_game,
+)
+from repro.baselines.lower_bounds import p2a_fractional_bound, p2a_lower_bound
+from repro.core.cgba import solve_p2a_cgba
+from repro.core.latency import optimal_total_latency
+from repro.exceptions import ConfigurationError
+from repro.network.connectivity import StrategySpace
+
+from conftest import make_tiny_network, make_tiny_state
+from helpers import brute_force_p2a
+
+
+@pytest.fixture
+def setup():
+    network = make_tiny_network()
+    state = make_tiny_state()
+    space = StrategySpace(network, state.coverage())
+    frequencies = np.array([2.0, 3.0, 2.5])
+    return network, state, space, frequencies
+
+
+class TestProblemTranslation:
+    def test_objective_matches_latency(self, setup) -> None:
+        network, state, space, frequencies = setup
+        problem = build_p2a_problem(network, state, space, frequencies)
+        rng = np.random.default_rng(0)
+        for _ in range(5):
+            bs_of, server_of = space.random_assignment(rng)
+            assignment = repro.Assignment(bs_of=bs_of, server_of=server_of)
+            # Translate the assignment into option indices by matching
+            # the resource layout (access k, fronthaul K+k, compute 2K+n).
+            choice = []
+            for i in range(4):
+                found = None
+                for j, res in enumerate(problem.options[i]):
+                    if res[0] == bs_of[i] and res[2] == 2 * 2 + server_of[i]:
+                        found = j
+                choice.append(found)
+            assert None not in choice
+            expected = optimal_total_latency(network, state, assignment, frequencies)
+            assert problem.total_cost(choice) == pytest.approx(expected, rel=1e-12)
+
+
+class TestExactness:
+    def test_matches_brute_force_on_tiny(self, setup) -> None:
+        network, state, space, frequencies = setup
+        _, optimum = brute_force_p2a(network, state, space, frequencies)
+        result = solve_p2a_exact(network, state, space, frequencies)
+        assert result.optimal
+        assert result.objective == pytest.approx(optimum, rel=1e-12)
+        assert result.lower_bound == pytest.approx(result.objective)
+        value = verify_against_game(
+            network, state, space, frequencies, result.assignment
+        )
+        assert value == pytest.approx(result.objective, rel=1e-9)
+
+    @settings(max_examples=10, deadline=None)
+    @given(seed=st.integers(0, 10_000))
+    def test_property_matches_brute_force_on_random_small(self, seed: int) -> None:
+        scenario = repro.make_paper_scenario(
+            seed=seed,
+            config=repro.ScenarioConfig(num_devices=5),
+            num_base_stations=3,
+            num_clusters=2,
+            servers_per_cluster=2,
+            num_macro_stations=1,
+        )
+        network = scenario.network
+        state = next(iter(scenario.fresh_states(1)))
+        space = StrategySpace(network, state.coverage())
+        frequencies = network.freq_max.copy()
+        _, optimum = brute_force_p2a(network, state, space, frequencies)
+        result = solve_p2a_exact(network, state, space, frequencies)
+        assert result.optimal
+        assert result.objective == pytest.approx(optimum, rel=1e-9)
+
+    def test_never_worse_than_cgba_incumbent(self, setup) -> None:
+        network, state, space, frequencies = setup
+        cgba = solve_p2a_cgba(
+            network, state, space, frequencies, np.random.default_rng(0)
+        )
+        result = solve_p2a_exact(
+            network, state, space, frequencies, incumbent=cgba.assignment
+        )
+        assert result.objective <= cgba.total_latency + 1e-12
+
+
+class TestNodeBudget:
+    def test_exhaustion_returns_feasible_incumbent(self, setup) -> None:
+        network, state, space, frequencies = setup
+        result = solve_p2a_exact(
+            network, state, space, frequencies, node_limit=2
+        )
+        assert not result.optimal
+        assert np.isfinite(result.objective)
+        assert result.lower_bound <= result.objective + 1e-12
+        value = verify_against_game(
+            network, state, space, frequencies, result.assignment
+        )
+        assert value == pytest.approx(result.objective, rel=1e-9)
+
+    def test_invalid_node_limit(self, setup) -> None:
+        network, state, space, frequencies = setup
+        with pytest.raises(ConfigurationError):
+            solve_p2a_exact(network, state, space, frequencies, node_limit=0)
+
+
+class TestLowerBounds:
+    def test_congestion_free_below_optimum(self, setup) -> None:
+        network, state, space, frequencies = setup
+        _, optimum = brute_force_p2a(network, state, space, frequencies)
+        assert p2a_lower_bound(network, state, space, frequencies) <= optimum + 1e-12
+
+    def test_fractional_bound_between_free_bound_and_optimum(self, setup) -> None:
+        network, state, space, frequencies = setup
+        _, optimum = brute_force_p2a(network, state, space, frequencies)
+        free = p2a_lower_bound(network, state, space, frequencies)
+        frac = p2a_fractional_bound(network, state, space, frequencies)
+        assert frac.lower_bound <= optimum + 1e-9
+        assert frac.lower_bound >= free - 1e-9  # tighter than congestion-free
+
+    def test_fractional_bound_is_tight_at_scale(self) -> None:
+        scenario = repro.make_paper_scenario(
+            seed=11, config=repro.ScenarioConfig(num_devices=40)
+        )
+        network = scenario.network
+        state = next(iter(scenario.fresh_states(1)))
+        space = StrategySpace(network, state.coverage())
+        frequencies = network.freq_max.copy()
+        cgba = solve_p2a_cgba(
+            network, state, space, frequencies, np.random.default_rng(0)
+        )
+        frac = p2a_fractional_bound(
+            network, state, space, frequencies, max_iter=1_500
+        )
+        # The integrality gap closes with instance size; the certified
+        # ratio should already be small at I=40.
+        assert cgba.total_latency / frac.lower_bound < 1.2

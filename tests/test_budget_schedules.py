@@ -1,0 +1,135 @@
+"""Tests for budget schedules and their controller integration."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+import repro
+from repro.core.budget import (
+    ConstantBudget,
+    PeriodicBudget,
+    as_schedule,
+    demand_weighted_budget,
+)
+from repro.exceptions import ConfigurationError
+from repro.workload.traces import diurnal_profile
+
+from conftest import make_tiny_network, make_tiny_state
+
+
+class TestSchedules:
+    def test_constant(self) -> None:
+        schedule = ConstantBudget(3.0)
+        assert schedule.budget_at(0) == 3.0
+        assert schedule.budget_at(999) == 3.0
+        assert schedule.average == 3.0
+
+    def test_constant_negative_rejected(self) -> None:
+        with pytest.raises(ConfigurationError):
+            ConstantBudget(-1.0)
+
+    def test_periodic_wraps_and_averages(self) -> None:
+        schedule = PeriodicBudget(np.array([1.0, 3.0]))
+        assert schedule.budget_at(0) == 1.0
+        assert schedule.budget_at(3) == 3.0
+        assert schedule.average == pytest.approx(2.0)
+        assert schedule.period == 2
+
+    def test_periodic_validation(self) -> None:
+        with pytest.raises(ConfigurationError):
+            PeriodicBudget(np.array([]))
+        with pytest.raises(ConfigurationError):
+            PeriodicBudget(np.array([1.0, -1.0]))
+
+    def test_as_schedule_coercion(self) -> None:
+        assert isinstance(as_schedule(2.0), ConstantBudget)
+        schedule = PeriodicBudget(np.array([1.0]))
+        assert as_schedule(schedule) is schedule
+
+
+class TestDemandWeighted:
+    def test_average_preserved_exactly(self) -> None:
+        profile = diurnal_profile()
+        for strength in (0.0, 0.5, 1.0, 3.0):
+            schedule = demand_weighted_budget(
+                2.0, profile, strength=strength
+            )
+            assert schedule.average == pytest.approx(2.0, rel=1e-12)
+
+    def test_zero_strength_is_constant(self) -> None:
+        schedule = demand_weighted_budget(2.0, diurnal_profile(), strength=0.0)
+        values = [schedule.budget_at(t) for t in range(24)]
+        np.testing.assert_allclose(values, 2.0)
+
+    def test_tracks_profile_shape(self) -> None:
+        profile = diurnal_profile()
+        schedule = demand_weighted_budget(2.0, profile, strength=1.0)
+        values = np.array([schedule.budget_at(t) for t in range(24)])
+        assert int(np.argmax(values)) == int(np.argmax(profile))
+        assert int(np.argmin(values)) == int(np.argmin(profile))
+
+    def test_floor_respected(self) -> None:
+        spiky = np.ones(24)
+        spiky[12] = 100.0
+        schedule = demand_weighted_budget(
+            2.0, spiky, strength=1.0, floor_fraction=0.25
+        )
+        values = np.array([schedule.budget_at(t) for t in range(24)])
+        # Renormalisation scales the floored values but never below
+        # something proportional to the floor.
+        assert values.min() > 0.0
+        assert schedule.average == pytest.approx(2.0, rel=1e-12)
+
+    def test_validation(self) -> None:
+        with pytest.raises(ConfigurationError):
+            demand_weighted_budget(0.0, diurnal_profile())
+        with pytest.raises(ConfigurationError):
+            demand_weighted_budget(1.0, diurnal_profile(), strength=-1.0)
+        with pytest.raises(ConfigurationError):
+            demand_weighted_budget(1.0, np.array([-1.0, 1.0]))
+
+
+class TestControllerIntegration:
+    def test_float_budget_still_works(self) -> None:
+        network = make_tiny_network()
+        controller = repro.DPPController(
+            network, np.random.default_rng(0), v=50.0, budget=20.0, z=1
+        )
+        assert controller.budget == 20.0
+        record = controller.step(make_tiny_state())
+        assert record.theta == pytest.approx(record.cost - 20.0)
+
+    def test_schedule_budget_drives_theta_per_slot(self) -> None:
+        network = make_tiny_network()
+        schedule = PeriodicBudget(np.array([10.0, 30.0]))
+        controller = repro.DPPController(
+            network, np.random.default_rng(0), v=50.0, budget=schedule, z=1
+        )
+        assert controller.budget == pytest.approx(20.0)
+        r0 = controller.step(make_tiny_state(t=0))
+        r1 = controller.step(make_tiny_state(t=1))
+        assert r0.theta == pytest.approx(r0.cost - 10.0)
+        assert r1.theta == pytest.approx(r1.cost - 30.0)
+
+    def test_pacing_shifts_spend_toward_high_budget_slots(self) -> None:
+        # Two-slot world with equal prices: the controller under
+        # pressure runs faster in the high-budget slot.
+        network = make_tiny_network()
+        schedule = PeriodicBudget(np.array([0.0, 1e9]))
+        controller = repro.DPPController(
+            network,
+            np.random.default_rng(0),
+            v=50.0,
+            budget=schedule,
+            z=1,
+            initial_backlog=100.0,
+        )
+        r_low = controller.step(make_tiny_state(t=0))
+        controller.queue.reset(100.0)
+        r_high = controller.step(make_tiny_state(t=1))
+        # Same backlog, same state: identical frequencies (theta differs
+        # only by the constant budget, which P2-B's argmin ignores), but
+        # the queue drains in the generous slot and grows in the tight one.
+        assert r_low.theta > 0.0
+        assert r_high.theta < 0.0

@@ -1,0 +1,94 @@
+"""Tests for the command-line interface."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_a_command(self) -> None:
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_simulate_defaults(self) -> None:
+        args = build_parser().parse_args(["simulate"])
+        assert args.devices == 50
+        assert args.solver == "bdma"
+        assert args.v == 100.0
+        assert args.horizon == 48
+
+    def test_unknown_solver_rejected(self) -> None:
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["simulate", "--solver", "gurobi"])
+
+
+class TestCommands:
+    def test_info(self, capsys) -> None:
+        code = main(["info", "--devices", "10"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "repro 1.0.0" in out
+        assert "I=10" in out
+        assert "R_F" in out
+
+    def test_simulate_small(self, capsys, tmp_path) -> None:
+        out_file = tmp_path / "run.npz"
+        code = main(
+            [
+                "simulate",
+                "--devices", "8",
+                "--horizon", "3",
+                "--z", "1",
+                "--output", str(out_file),
+            ]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        summary = json.loads(out[out.index("{"): out.index("}") + 1])
+        assert summary["horizon"] == 3
+        assert out_file.exists()
+
+    def test_simulate_with_chart_and_ropt(self, capsys) -> None:
+        code = main(
+            ["simulate", "--devices", "8", "--horizon", "3",
+             "--solver", "ropt", "--chart"]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "virtual queue backlog" in out
+
+    def test_experiment_list(self, capsys) -> None:
+        code = main(["experiment", "--list"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "fig4" in out
+        assert "ablation-freq" in out
+
+    def test_experiment_without_name_lists(self, capsys) -> None:
+        code = main(["experiment"])
+        assert code == 0
+        assert "fig2" in capsys.readouterr().out
+
+    def test_experiment_unknown_name(self, capsys) -> None:
+        code = main(["experiment", "fig99"])
+        assert code == 2
+        assert "unknown experiment" in capsys.readouterr().err
+
+    def test_experiment_fig3_runs(self, capsys) -> None:
+        code = main(["experiment", "fig3", "--verify"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "Fig. 3" in out
+        assert "verified" in out
+
+    def test_equilibrium(self, capsys) -> None:
+        code = main(
+            ["equilibrium", "--devices", "8", "--budget-fraction", "0.3"]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "equilibrium Q*" in out

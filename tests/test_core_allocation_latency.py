@@ -1,0 +1,219 @@
+"""Tests for Lemma 1 (closed-form allocation) and the latency algebra.
+
+The two central invariants:
+
+1. Plugging Lemma 1's allocation into the *general* latency formulas
+   (Eqs. 7-11) gives exactly the closed forms ``T^P``/``T^C``
+   (Eqs. 18-19).
+2. Lemma 1's allocation is optimal: random feasible perturbations never
+   achieve lower total latency.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.allocation import optimal_allocation
+from repro.core.latency import (
+    communication_latency,
+    optimal_communication_latency,
+    optimal_processing_latency,
+    optimal_total_latency,
+    per_device_latency,
+    processing_latency,
+    total_latency,
+)
+from repro.core.state import Assignment, ResourceAllocation, SlotState
+from repro.exceptions import ValidationError
+from repro.network.connectivity import StrategySpace
+
+from conftest import make_tiny_network, make_tiny_state
+from helpers import naive_total_latency, random_feasible_assignment
+
+
+@pytest.fixture
+def setup():
+    network = make_tiny_network()
+    state = make_tiny_state()
+    assignment = Assignment(
+        bs_of=np.array([0, 0, 1, 1]), server_of=np.array([0, 1, 2, 2])
+    )
+    frequencies = np.array([2.0, 3.0, 2.5])
+    return network, state, assignment, frequencies
+
+
+class TestLemma1:
+    def test_shares_sum_to_one_per_resource(self, setup) -> None:
+        network, state, assignment, _ = setup
+        allocation = optimal_allocation(network, state, assignment)
+        for n in range(network.num_servers):
+            members = assignment.devices_on_server(n)
+            if members.size:
+                assert allocation.compute_share[members].sum() == pytest.approx(1.0)
+        for k in range(network.num_base_stations):
+            members = assignment.devices_on_bs(k)
+            if members.size:
+                assert allocation.access_share[members].sum() == pytest.approx(1.0)
+                assert allocation.fronthaul_share[members].sum() == pytest.approx(1.0)
+
+    def test_closed_form_square_root_rule(self, setup) -> None:
+        network, state, assignment, _ = setup
+        allocation = optimal_allocation(network, state, assignment)
+        # Devices 2 and 3 share server 2: phi ratio = sqrt(f2/s22)/sqrt(f3/s32).
+        w2 = np.sqrt(state.cycles[2] / network.suitability[2, 2])
+        w3 = np.sqrt(state.cycles[3] / network.suitability[3, 2])
+        assert allocation.compute_share[2] / allocation.compute_share[3] == (
+            pytest.approx(w2 / w3)
+        )
+        # Devices 2 and 3 share BS1's fronthaul: psi^F ~ sqrt(d).
+        assert allocation.fronthaul_share[2] / allocation.fronthaul_share[3] == (
+            pytest.approx(np.sqrt(state.bits[2] / state.bits[3]))
+        )
+
+    def test_plugging_into_general_formulas_matches_closed_form(self, setup) -> None:
+        network, state, assignment, frequencies = setup
+        allocation = optimal_allocation(network, state, assignment)
+        general = total_latency(network, state, assignment, allocation, frequencies)
+        closed = optimal_total_latency(network, state, assignment, frequencies)
+        assert general == pytest.approx(closed, rel=1e-12)
+
+    def test_against_naive_transcription(self, setup) -> None:
+        network, state, assignment, frequencies = setup
+        allocation = optimal_allocation(network, state, assignment)
+        naive = naive_total_latency(
+            network,
+            state,
+            assignment,
+            allocation.access_share,
+            allocation.fronthaul_share,
+            allocation.compute_share,
+            frequencies,
+        )
+        fast = total_latency(network, state, assignment, allocation, frequencies)
+        assert fast == pytest.approx(naive, rel=1e-12)
+
+    @settings(max_examples=40, deadline=None)
+    @given(seed=st.integers(0, 100_000))
+    def test_property_lemma1_is_optimal(self, seed: int) -> None:
+        """Random share perturbations never beat the closed form."""
+        network = make_tiny_network()
+        state = make_tiny_state()
+        rng = np.random.default_rng(seed)
+        space = StrategySpace(network, state.coverage())
+        assignment = random_feasible_assignment(space, rng)
+        frequencies = rng.uniform(1.8, 3.6, size=3)
+        best = optimal_allocation(network, state, assignment)
+        best_latency = total_latency(network, state, assignment, best, frequencies)
+
+        # Perturb: random positive shares renormalised per resource group.
+        def renorm(weights: np.ndarray, groups: np.ndarray, count: int) -> np.ndarray:
+            sums = np.bincount(groups, weights=weights, minlength=count)
+            return weights / sums[groups]
+
+        raw = rng.uniform(0.1, 1.0, size=4)
+        perturbed = ResourceAllocation(
+            access_share=renorm(raw, assignment.bs_of, 2),
+            fronthaul_share=renorm(rng.uniform(0.1, 1.0, size=4), assignment.bs_of, 2),
+            compute_share=renorm(rng.uniform(0.1, 1.0, size=4), assignment.server_of, 3),
+        )
+        perturbed_latency = total_latency(
+            network, state, assignment, perturbed, frequencies
+        )
+        assert best_latency <= perturbed_latency + 1e-9
+
+    def test_uncovered_selected_bs_rejected(self) -> None:
+        network = make_tiny_network()
+        state = make_tiny_state()
+        bad = Assignment(bs_of=np.array([1, 0, 0, 0]), server_of=np.zeros(4, dtype=int))
+        with pytest.raises(ValidationError):
+            optimal_allocation(network, state, bad)
+
+
+class TestLatencyAlgebra:
+    def test_processing_scales_inversely_with_frequency(self, setup) -> None:
+        network, state, assignment, _ = setup
+        slow = optimal_processing_latency(
+            network, state, assignment, np.full(3, 1.8)
+        )
+        fast = optimal_processing_latency(
+            network, state, assignment, np.full(3, 3.6)
+        )
+        assert slow == pytest.approx(2.0 * fast)
+
+    def test_communication_independent_of_frequency(self, setup) -> None:
+        network, state, assignment, _ = setup
+        a = optimal_communication_latency(network, state, assignment)
+        b = optimal_communication_latency(network, state, assignment)
+        assert a == b
+        assert a > 0.0
+
+    def test_total_is_sum_of_parts(self, setup) -> None:
+        network, state, assignment, frequencies = setup
+        total = optimal_total_latency(network, state, assignment, frequencies)
+        parts = optimal_processing_latency(
+            network, state, assignment, frequencies
+        ) + optimal_communication_latency(network, state, assignment)
+        assert total == pytest.approx(parts)
+
+    def test_zero_demand_device_contributes_zero(self) -> None:
+        network = make_tiny_network()
+        state = SlotState(
+            t=0,
+            cycles=np.array([0.0, 150e6, 80e6, 120e6]),
+            bits=np.array([0.0, 8e6, 4e6, 6e6]),
+            spectral_efficiency=make_tiny_state().spectral_efficiency,
+            price=0.5,
+        )
+        assignment = Assignment(
+            bs_of=np.array([0, 0, 1, 1]), server_of=np.array([0, 1, 2, 2])
+        )
+        allocation = optimal_allocation(network, state, assignment)
+        per_device = per_device_latency(
+            network, state, assignment, allocation, np.full(3, 2.0)
+        )
+        assert per_device[0] == 0.0
+        assert np.all(np.isfinite(per_device))
+
+    def test_congestion_superadditivity(self, setup) -> None:
+        """Two devices on one server cost more than the sum of them alone."""
+        network, state, _, frequencies = setup
+        together = Assignment(
+            bs_of=np.array([0, 0, 1, 1]), server_of=np.array([0, 0, 2, 2])
+        )
+        apart = Assignment(
+            bs_of=np.array([0, 0, 1, 1]), server_of=np.array([0, 1, 2, 2])
+        )
+        t_together = optimal_processing_latency(
+            network, state, together, frequencies
+        )
+        t_apart = optimal_processing_latency(network, state, apart, frequencies)
+        assert t_together > t_apart
+
+    def test_per_device_sums_to_total(self, setup) -> None:
+        network, state, assignment, frequencies = setup
+        allocation = optimal_allocation(network, state, assignment)
+        per_device = per_device_latency(
+            network, state, assignment, allocation, frequencies
+        )
+        assert float(per_device.sum()) == pytest.approx(
+            total_latency(network, state, assignment, allocation, frequencies)
+        )
+
+    def test_processing_latency_matches_eq7(self, setup) -> None:
+        network, state, assignment, frequencies = setup
+        allocation = optimal_allocation(network, state, assignment)
+        # Device 1 alone on server 1: phi = 1, latency = f/(speed*sigma).
+        expected = state.cycles[1] / (
+            network.servers[1].speed(frequencies[1]) * network.suitability[1, 1]
+        )
+        lone = processing_latency(
+            network,
+            state,
+            Assignment(bs_of=np.array([0, 0, 1, 1]), server_of=np.array([0, 1, 2, 2])),
+            allocation,
+            frequencies,
+        )
+        assert expected < lone  # total includes everyone
+        assert allocation.compute_share[1] == pytest.approx(1.0)

@@ -1,0 +1,174 @@
+"""Tests for the weighted congestion game representation of P2-A."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.congestion_game import OffloadingCongestionGame
+from repro.core.latency import optimal_total_latency
+from repro.core.state import Assignment
+from repro.exceptions import ConfigurationError
+from repro.network.connectivity import StrategySpace
+
+from conftest import make_tiny_network, make_tiny_state
+from helpers import random_feasible_assignment
+
+
+@pytest.fixture
+def game_setup():
+    network = make_tiny_network()
+    state = make_tiny_state()
+    space = StrategySpace(network, state.coverage())
+    frequencies = np.array([2.0, 3.0, 2.5])
+    return network, state, space, frequencies
+
+
+def make_game(game_setup, seed: int = 0) -> OffloadingCongestionGame:
+    network, state, space, frequencies = game_setup
+    return OffloadingCongestionGame(
+        network, state, space, frequencies, rng=np.random.default_rng(seed)
+    )
+
+
+class TestEquivalenceWithLatency:
+    def test_total_cost_equals_T_t(self, game_setup) -> None:
+        network, state, space, frequencies = game_setup
+        for seed in range(10):
+            assignment = random_feasible_assignment(
+                space, np.random.default_rng(seed)
+            )
+            game = OffloadingCongestionGame(
+                network, state, space, frequencies, initial=assignment
+            )
+            expected = optimal_total_latency(network, state, assignment, frequencies)
+            assert game.total_cost() == pytest.approx(expected, rel=1e-12)
+
+    def test_sum_of_player_costs_equals_total(self, game_setup) -> None:
+        game = make_game(game_setup)
+        total = sum(game.player_cost(i) for i in range(game.num_players))
+        assert total == pytest.approx(game.total_cost(), rel=1e-12)
+
+
+class TestIncrementalBookkeeping:
+    def test_move_keeps_loads_consistent(self, game_setup) -> None:
+        network, state, space, frequencies = game_setup
+        game = make_game(game_setup, seed=1)
+        rng = np.random.default_rng(2)
+        for _ in range(30):
+            player = int(rng.integers(game.num_players))
+            ks, ns = space.pairs(player)
+            j = int(rng.integers(ks.size))
+            game.move(player, (int(ks[j]), int(ns[j])))
+        # Rebuild from scratch and compare every statistic.
+        rebuilt = OffloadingCongestionGame(
+            network, state, space, frequencies, initial=game.assignment()
+        )
+        assert game.total_cost() == pytest.approx(rebuilt.total_cost(), rel=1e-9)
+        assert game.potential() == pytest.approx(rebuilt.potential(), rel=1e-9)
+        for i in range(game.num_players):
+            assert game.player_cost(i) == pytest.approx(
+                rebuilt.player_cost(i), rel=1e-9
+            )
+
+    def test_move_delta_matches_actual_change(self, game_setup) -> None:
+        network, state, space, frequencies = game_setup
+        rng = np.random.default_rng(3)
+        game = make_game(game_setup, seed=3)
+        for _ in range(30):
+            player = int(rng.integers(game.num_players))
+            ks, ns = space.pairs(player)
+            j = int(rng.integers(ks.size))
+            strategy = (int(ks[j]), int(ns[j]))
+            before = game.total_cost()
+            predicted = game.move_delta(player, strategy)
+            game.move(player, strategy)
+            assert game.total_cost() - before == pytest.approx(
+                predicted, rel=1e-9, abs=1e-12
+            )
+
+    def test_noop_move_delta_zero(self, game_setup) -> None:
+        game = make_game(game_setup, seed=4)
+        for player in range(game.num_players):
+            assert game.move_delta(player, game.strategy_of(player)) == 0.0
+
+
+class TestPotential:
+    def test_best_response_changes_potential_by_cost_change(self, game_setup) -> None:
+        """The defining identity of a potential game, checked on moves."""
+        network, state, space, frequencies = game_setup
+        rng = np.random.default_rng(5)
+        game = make_game(game_setup, seed=5)
+        for _ in range(40):
+            player = int(rng.integers(game.num_players))
+            ks, ns = space.pairs(player)
+            j = int(rng.integers(ks.size))
+            strategy = (int(ks[j]), int(ns[j]))
+            cost_before = game.player_cost(player)
+            pot_before = game.potential()
+            game.move(player, strategy)
+            cost_after = game.player_cost(player)
+            pot_after = game.potential()
+            assert pot_after - pot_before == pytest.approx(
+                cost_after - cost_before, rel=1e-9, abs=1e-12
+            )
+
+    def test_best_response_strictly_decreases_potential(self, game_setup) -> None:
+        game = make_game(game_setup, seed=6)
+        for player in range(game.num_players):
+            strategy, cost = game.best_response(player)
+            if cost < game.player_cost(player) - 1e-12:
+                pot_before = game.potential()
+                game.move(player, strategy)
+                assert game.potential() < pot_before
+
+
+class TestBestResponse:
+    def test_best_response_is_argmin_over_strategies(self, game_setup) -> None:
+        network, state, space, frequencies = game_setup
+        game = make_game(game_setup, seed=7)
+        for player in range(game.num_players):
+            strategy, cost = game.best_response(player)
+            # Enumerate all strategies by brute force.
+            ks, ns = space.pairs(player)
+            best = np.inf
+            for k, n in zip(ks.tolist(), ns.tolist()):
+                probe = OffloadingCongestionGame(
+                    network,
+                    state,
+                    space,
+                    frequencies,
+                    initial=game.assignment().replace(player, k, n),
+                )
+                best = min(best, probe.player_cost(player))
+            assert cost == pytest.approx(best, rel=1e-9)
+            assert space.contains(player, *strategy)
+
+    def test_requires_initial_or_rng(self, game_setup) -> None:
+        network, state, space, frequencies = game_setup
+        with pytest.raises(ConfigurationError):
+            OffloadingCongestionGame(network, state, space, frequencies)
+
+    def test_frequency_count_validated(self, game_setup) -> None:
+        network, state, space, _ = game_setup
+        with pytest.raises(ConfigurationError):
+            OffloadingCongestionGame(
+                network, state, space, np.array([2.0]), rng=np.random.default_rng(0)
+            )
+
+    @settings(max_examples=20, deadline=None)
+    @given(seed=st.integers(0, 10_000))
+    def test_property_faster_server_weight(self, seed: int) -> None:
+        """Raising a server's clock lowers costs of its users."""
+        network = make_tiny_network()
+        state = make_tiny_state()
+        space = StrategySpace(network, state.coverage())
+        assignment = random_feasible_assignment(space, np.random.default_rng(seed))
+        slow = OffloadingCongestionGame(
+            network, state, space, np.array([1.8, 1.8, 1.8]), initial=assignment
+        )
+        fast = OffloadingCongestionGame(
+            network, state, space, np.array([3.6, 3.6, 3.6]), initial=assignment
+        )
+        assert fast.total_cost() < slow.total_cost()

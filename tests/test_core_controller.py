@@ -1,0 +1,133 @@
+"""Tests for the online DPP controller (Algorithm 1)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+import repro
+from repro.baselines import ropt_p2a_solver
+from repro.core.controller import DPPController
+from repro.core.state import validate_decision
+from repro.exceptions import ConfigurationError
+
+from conftest import make_tiny_network, make_tiny_state
+
+
+def make_controller(network, **overrides) -> DPPController:
+    defaults = dict(v=50.0, budget=20.0, z=2)
+    defaults.update(overrides)
+    return DPPController(network, np.random.default_rng(0), **defaults)
+
+
+class TestSlotStep:
+    def test_record_is_internally_consistent(self) -> None:
+        network = make_tiny_network()
+        controller = make_controller(network)
+        state = make_tiny_state()
+        record = controller.step(state)
+        assert record.t == state.t
+        assert record.theta == pytest.approx(record.cost - controller.budget)
+        assert record.backlog_after == pytest.approx(
+            max(record.backlog_before + record.theta, 0.0)
+        )
+        assert record.solve_seconds > 0.0
+        validate_decision(network, state, record.decision())
+
+    def test_queue_threads_across_slots(self) -> None:
+        network = make_tiny_network()
+        controller = make_controller(network, budget=0.0)  # always overshoots
+        backlog = 0.0
+        for t in range(5):
+            record = controller.step(make_tiny_state(t=t))
+            assert record.backlog_before == pytest.approx(backlog)
+            backlog = record.backlog_after
+        assert backlog > 0.0
+
+    def test_zero_budget_queue_grows_monotonically(self) -> None:
+        network = make_tiny_network()
+        controller = make_controller(network, budget=0.0)
+        backlogs = [controller.step(make_tiny_state(t=t)).backlog_after
+                    for t in range(6)]
+        assert all(b2 >= b1 for b1, b2 in zip(backlogs, backlogs[1:]))
+
+    def test_huge_budget_queue_stays_empty(self) -> None:
+        network = make_tiny_network()
+        controller = make_controller(network, budget=1e12)
+        for t in range(3):
+            record = controller.step(make_tiny_state(t=t))
+            assert record.backlog_after == 0.0
+            # Unconstrained energy: servers run flat out for latency.
+            np.testing.assert_allclose(record.frequencies, network.freq_max)
+
+    def test_reset_restores_initial_state(self) -> None:
+        network = make_tiny_network()
+        controller = make_controller(network, budget=0.0, initial_backlog=2.0)
+        controller.step(make_tiny_state())
+        controller.reset()
+        assert controller.queue.backlog == 2.0
+        record = controller.step(make_tiny_state())
+        assert record.backlog_before == pytest.approx(2.0)
+
+    def test_invalid_parameters_rejected(self) -> None:
+        network = make_tiny_network()
+        with pytest.raises(ConfigurationError):
+            make_controller(network, v=0.0)
+        with pytest.raises(ConfigurationError):
+            make_controller(network, budget=-1.0)
+
+
+class TestSolverPlugability:
+    def test_ropt_based_dpp_runs_and_is_worse(self) -> None:
+        network = make_tiny_network()
+        state = make_tiny_state()
+        cgba = make_controller(network)
+        ropt = DPPController(
+            network,
+            np.random.default_rng(0),
+            v=50.0,
+            budget=20.0,
+            z=1,
+            p2a_solver=ropt_p2a_solver(),
+        )
+        # Average over repeated fresh slots: CGBA-based DPP achieves
+        # lower latency than ROPT-based DPP.
+        cgba_lat = np.mean([cgba.step(make_tiny_state(t=t)).latency
+                            for t in range(5)])
+        ropt_lat = np.mean([ropt.step(make_tiny_state(t=t)).latency
+                            for t in range(5)])
+        assert cgba_lat <= ropt_lat
+
+    def test_carry_over_toggle(self) -> None:
+        network = make_tiny_network()
+        warm = make_controller(network, carry_over=True)
+        cold = make_controller(network, carry_over=False)
+        for t in range(3):
+            warm.step(make_tiny_state(t=t))
+            cold.step(make_tiny_state(t=t))
+        assert warm._previous is not None
+        assert cold._previous is None
+
+
+class TestStrategySpaceCache:
+    def test_cache_reused_for_same_coverage(self) -> None:
+        network = make_tiny_network()
+        controller = make_controller(network)
+        s1 = controller.strategy_space(make_tiny_state(t=0))
+        s2 = controller.strategy_space(make_tiny_state(t=1))
+        assert s1 is s2
+
+    def test_cache_rebuilt_on_coverage_change(self) -> None:
+        network = make_tiny_network()
+        controller = make_controller(network)
+        state = make_tiny_state()
+        s1 = controller.strategy_space(state)
+        h = state.spectral_efficiency.copy()
+        h[2, 1] = 0.0  # device 2 loses BS1
+        changed = repro.SlotState(
+            t=1, cycles=state.cycles, bits=state.bits,
+            spectral_efficiency=h, price=state.price,
+        )
+        s2 = controller.strategy_space(changed)
+        assert s1 is not s2
+        assert s2.num_strategies(2) == 2

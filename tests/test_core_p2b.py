@@ -1,0 +1,125 @@
+"""Tests for the P2-B frequency-scaling subproblem solver."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.drift_penalty import dpp_objective
+from repro.core.latency import server_load_roots
+from repro.core.p2b import solve_p2b
+from repro.core.state import Assignment
+
+from conftest import make_tiny_network, make_tiny_state
+
+
+@pytest.fixture
+def setup():
+    network = make_tiny_network()
+    state = make_tiny_state()
+    assignment = Assignment(
+        bs_of=np.array([0, 0, 1, 1]), server_of=np.array([0, 1, 2, 2])
+    )
+    return network, state, assignment
+
+
+class TestFastPaths:
+    def test_idle_server_parks_at_fmin(self, setup) -> None:
+        network, state, _ = setup
+        # Nobody selects server 1.
+        assignment = Assignment(
+            bs_of=np.array([0, 0, 1, 1]), server_of=np.array([0, 0, 2, 2])
+        )
+        freqs = solve_p2b(network, state, assignment, queue_backlog=5.0, v=10.0)
+        assert freqs[1] == pytest.approx(network.servers[1].freq_min)
+
+    def test_zero_queue_runs_loaded_servers_flat_out(self, setup) -> None:
+        network, state, assignment = setup
+        freqs = solve_p2b(network, state, assignment, queue_backlog=0.0, v=10.0)
+        for n in range(network.num_servers):
+            assert freqs[n] == pytest.approx(network.servers[n].freq_max)
+
+    def test_zero_price_runs_loaded_servers_flat_out(self, setup) -> None:
+        network, _, assignment = setup
+        state = make_tiny_state(price=0.0)
+        freqs = solve_p2b(network, state, assignment, queue_backlog=100.0, v=10.0)
+        np.testing.assert_allclose(freqs, network.freq_max)
+
+    def test_huge_queue_parks_everything_near_fmin(self, setup) -> None:
+        network, state, assignment = setup
+        freqs = solve_p2b(network, state, assignment, queue_backlog=1e12, v=1.0)
+        np.testing.assert_allclose(freqs, network.freq_min, atol=1e-3)
+
+
+class TestOptimality:
+    def test_beats_grid_search(self, setup) -> None:
+        network, state, assignment = setup
+        q, v = 20.0, 50.0
+        freqs = solve_p2b(network, state, assignment, queue_backlog=q, v=v)
+        demand = server_load_roots(network, state, assignment) ** 2
+
+        def per_server_objective(n: int, w: float) -> float:
+            latency = v * demand[n] / (network.servers[n].cores * w * 1e9)
+            energy = q * state.price * network.servers[n].energy_model.power(w)
+            return latency + energy
+
+        for n in range(network.num_servers):
+            grid = np.linspace(
+                network.servers[n].freq_min, network.servers[n].freq_max, 2_000
+            )
+            best_grid = min(per_server_objective(n, float(w)) for w in grid)
+            ours = per_server_objective(n, float(freqs[n]))
+            assert ours <= best_grid + 1e-9 * max(1.0, abs(best_grid))
+
+    def test_bounds_always_respected(self, setup) -> None:
+        network, state, assignment = setup
+        for q in (0.0, 0.1, 10.0, 1e6):
+            freqs = solve_p2b(network, state, assignment, queue_backlog=q, v=25.0)
+            assert np.all(freqs >= network.freq_min - 1e-12)
+            assert np.all(freqs <= network.freq_max + 1e-12)
+
+    @settings(max_examples=25, deadline=None)
+    @given(
+        q=st.floats(0.0, 1_000.0),
+        v=st.floats(0.1, 1_000.0),
+        seed=st.integers(0, 1_000),
+    )
+    def test_property_better_than_random_feasible_frequencies(
+        self, q: float, v: float, seed: int
+    ) -> None:
+        network = make_tiny_network()
+        state = make_tiny_state()
+        assignment = Assignment(
+            bs_of=np.array([0, 0, 1, 1]), server_of=np.array([0, 1, 2, 2])
+        )
+        budget = 1.0  # constant offset; does not affect the argmin
+        ours = solve_p2b(network, state, assignment, queue_backlog=q, v=v)
+        our_objective = dpp_objective(
+            network, state, assignment, ours, queue_backlog=q, v=v, budget=budget
+        )
+        rng = np.random.default_rng(seed)
+        random_freqs = rng.uniform(network.freq_min, network.freq_max)
+        random_objective = dpp_objective(
+            network, state, assignment, random_freqs,
+            queue_backlog=q, v=v, budget=budget,
+        )
+        assert our_objective <= random_objective + 1e-6 * abs(random_objective)
+
+    def test_monotone_in_queue_pressure(self, setup) -> None:
+        """Higher backlog -> lower (or equal) frequencies everywhere."""
+        network, state, assignment = setup
+        previous = solve_p2b(network, state, assignment, queue_backlog=0.0, v=50.0)
+        for q in (1.0, 10.0, 100.0, 1_000.0):
+            current = solve_p2b(network, state, assignment, queue_backlog=q, v=50.0)
+            assert np.all(current <= previous + 1e-6)
+            previous = current
+
+    def test_monotone_in_v(self, setup) -> None:
+        """Higher V (latency weight) -> higher (or equal) frequencies."""
+        network, state, assignment = setup
+        previous = solve_p2b(network, state, assignment, queue_backlog=50.0, v=0.1)
+        for v in (1.0, 10.0, 100.0):
+            current = solve_p2b(network, state, assignment, queue_backlog=50.0, v=v)
+            assert np.all(current >= previous - 1e-6)
+            previous = current

@@ -1,0 +1,220 @@
+"""Tests for the virtual queue, the DPP objective, and BDMA."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.bdma import cgba_p2a_solver, solve_p2_bdma
+from repro.core.drift_penalty import dpp_objective, energy_cost, theta
+from repro.core.latency import optimal_total_latency
+from repro.core.state import Assignment
+from repro.core.virtual_queue import VirtualQueue
+from repro.exceptions import ConfigurationError
+from repro.network.connectivity import StrategySpace
+
+from conftest import make_tiny_network, make_tiny_state
+
+
+class TestVirtualQueue:
+    def test_update_rule_eq21(self) -> None:
+        queue = VirtualQueue(0.0)
+        assert queue.update(3.0) == 3.0
+        assert queue.update(-1.0) == 2.0
+        assert queue.update(-10.0) == 0.0  # clipped at zero
+        assert queue.update(0.5) == 0.5
+
+    def test_history_and_average(self) -> None:
+        queue = VirtualQueue(1.0)
+        queue.update(1.0)
+        queue.update(1.0)
+        np.testing.assert_allclose(queue.history(), [1.0, 2.0, 3.0])
+        assert queue.time_average() == pytest.approx(2.0)
+
+    def test_reset(self) -> None:
+        queue = VirtualQueue(5.0)
+        queue.update(10.0)
+        queue.reset()
+        assert queue.backlog == 0.0
+        assert queue.history().size == 1
+
+    def test_negative_initial_rejected(self) -> None:
+        with pytest.raises(ConfigurationError):
+            VirtualQueue(-1.0)
+
+    @given(thetas=st.lists(st.floats(-10.0, 10.0), min_size=1, max_size=50))
+    def test_property_backlog_never_negative(self, thetas: list[float]) -> None:
+        queue = VirtualQueue(0.0)
+        for th in thetas:
+            assert queue.update(th) >= 0.0
+
+    @given(thetas=st.lists(st.floats(-5.0, 5.0), min_size=1, max_size=50))
+    def test_property_queue_dominates_running_sum(self, thetas) -> None:
+        """Q(T) >= sum(theta) for any trajectory -- the stability lemma."""
+        queue = VirtualQueue(0.0)
+        for th in thetas:
+            queue.update(th)
+        assert queue.backlog >= sum(thetas) - 1e-9
+
+
+class TestDriftPenalty:
+    def test_objective_composition(self) -> None:
+        network = make_tiny_network()
+        state = make_tiny_state()
+        assignment = Assignment(
+            bs_of=np.array([0, 0, 1, 1]), server_of=np.array([0, 1, 2, 2])
+        )
+        freqs = np.array([2.0, 2.5, 3.0])
+        v, q, budget = 40.0, 7.0, 30.0
+        value = dpp_objective(
+            network, state, assignment, freqs, queue_backlog=q, v=v, budget=budget
+        )
+        latency = optimal_total_latency(network, state, assignment, freqs)
+        expected = v * latency + q * (
+            energy_cost(network, freqs, state.price) - budget
+        )
+        assert value == pytest.approx(expected, rel=1e-12)
+
+    def test_theta_sign(self) -> None:
+        network = make_tiny_network()
+        freqs = np.full(3, 1.8)
+        cost = energy_cost(network, freqs, 0.5)
+        assert theta(network, freqs, 0.5, cost + 1.0) < 0.0
+        assert theta(network, freqs, 0.5, cost - 1.0) > 0.0
+
+
+class TestBDMA:
+    @pytest.fixture
+    def setup(self):
+        network = make_tiny_network()
+        state = make_tiny_state()
+        space = StrategySpace(network, state.coverage())
+        return network, state, space
+
+    def test_returns_feasible_decision(self, setup) -> None:
+        network, state, space = setup
+        result = solve_p2_bdma(
+            network, state, space, np.random.default_rng(0),
+            queue_backlog=5.0, v=50.0, budget=20.0, z=3,
+        )
+        assert np.all(result.frequencies >= network.freq_min)
+        assert np.all(result.frequencies <= network.freq_max)
+        for i in range(network.num_devices):
+            assert space.contains(
+                i,
+                int(result.assignment.bs_of[i]),
+                int(result.assignment.server_of[i]),
+            )
+
+    def test_objective_matches_reported_decision(self, setup) -> None:
+        network, state, space = setup
+        result = solve_p2_bdma(
+            network, state, space, np.random.default_rng(1),
+            queue_backlog=5.0, v=50.0, budget=20.0, z=3,
+        )
+        recomputed = dpp_objective(
+            network, state, result.assignment, result.frequencies,
+            queue_backlog=5.0, v=50.0, budget=20.0,
+        )
+        assert result.objective == pytest.approx(recomputed, rel=1e-9)
+
+    def test_objective_history_has_z_entries_and_best_is_min(self, setup) -> None:
+        network, state, space = setup
+        result = solve_p2_bdma(
+            network, state, space, np.random.default_rng(2),
+            queue_backlog=10.0, v=25.0, budget=15.0, z=4,
+        )
+        assert len(result.objective_history) == 4
+        assert result.objective == pytest.approx(min(result.objective_history))
+
+    def test_more_rounds_never_worse(self, setup) -> None:
+        network, state, space = setup
+        objectives = []
+        for z in (1, 2, 4):
+            result = solve_p2_bdma(
+                network, state, space, np.random.default_rng(3),
+                queue_backlog=10.0, v=25.0, budget=15.0, z=z, warm_start=True,
+            )
+            objectives.append(result.objective)
+        assert objectives[1] <= objectives[0] + 1e-9
+        assert objectives[2] <= objectives[1] + 1e-9
+
+    def test_invalid_parameters_rejected(self, setup) -> None:
+        network, state, space = setup
+        rng = np.random.default_rng(0)
+        with pytest.raises(ConfigurationError):
+            solve_p2_bdma(network, state, space, rng,
+                          queue_backlog=1.0, v=1.0, budget=1.0, z=0)
+        with pytest.raises(ConfigurationError):
+            solve_p2_bdma(network, state, space, rng,
+                          queue_backlog=1.0, v=0.0, budget=1.0)
+        with pytest.raises(ConfigurationError):
+            solve_p2_bdma(network, state, space, rng,
+                          queue_backlog=-1.0, v=1.0, budget=1.0)
+
+    def test_custom_p2a_solver_is_used(self, setup) -> None:
+        network, state, space = setup
+        calls = []
+
+        def spy_solver(network, state, space, frequencies, rng, *, initial):
+            calls.append(frequencies.copy())
+            bs_of, server_of = space.random_assignment(rng)
+            return Assignment(bs_of=bs_of, server_of=server_of)
+
+        solve_p2_bdma(
+            network, state, space, np.random.default_rng(4),
+            queue_backlog=1.0, v=10.0, budget=5.0, z=3, p2a_solver=spy_solver,
+        )
+        assert len(calls) == 3
+        # First round must start from Omega^L (Algorithm 2, line 1).
+        np.testing.assert_allclose(calls[0], network.freq_min)
+
+    def test_literal_algorithm_without_warm_start(self, setup) -> None:
+        network, state, space = setup
+        result = solve_p2_bdma(
+            network, state, space, np.random.default_rng(5),
+            queue_backlog=5.0, v=50.0, budget=20.0, z=2, warm_start=False,
+        )
+        assert np.isfinite(result.objective)
+
+    @settings(max_examples=15, deadline=None)
+    @given(
+        q=st.floats(0.0, 100.0),
+        v=st.floats(1.0, 500.0),
+        seed=st.integers(0, 500),
+    )
+    def test_property_beats_random_feasible_decisions(
+        self, q: float, v: float, seed: int
+    ) -> None:
+        """Theorem 3's spirit: BDMA's P2 objective beats random decisions."""
+        network = make_tiny_network()
+        state = make_tiny_state()
+        space = StrategySpace(network, state.coverage())
+        budget = 10.0
+        result = solve_p2_bdma(
+            network, state, space, np.random.default_rng(seed),
+            queue_backlog=q, v=v, budget=budget, z=2,
+        )
+        rng = np.random.default_rng(seed + 1)
+        bs_of, server_of = space.random_assignment(rng)
+        random_assignment = Assignment(bs_of=bs_of, server_of=server_of)
+        random_freqs = rng.uniform(network.freq_min, network.freq_max)
+        random_objective = dpp_objective(
+            network, state, random_assignment, random_freqs,
+            queue_backlog=q, v=v, budget=budget,
+        )
+        assert result.objective <= random_objective + 1e-9
+
+
+class TestCgbaP2ASolverFactory:
+    def test_factory_solves(self) -> None:
+        network = make_tiny_network()
+        state = make_tiny_state()
+        space = StrategySpace(network, state.coverage())
+        solver = cgba_p2a_solver(slack=0.0)
+        assignment = solver(
+            network, state, space, np.full(3, 2.0),
+            np.random.default_rng(0), initial=None,
+        )
+        assert assignment.num_devices == 4

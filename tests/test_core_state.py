@@ -1,0 +1,195 @@
+"""Tests for state/decision types and constraint validation."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.allocation import optimal_allocation
+from repro.core.state import (
+    Assignment,
+    Decision,
+    ResourceAllocation,
+    SlotState,
+    validate_decision,
+)
+from repro.exceptions import ValidationError
+
+from conftest import make_tiny_network, make_tiny_state
+
+
+class TestSlotState:
+    def test_dimensions(self) -> None:
+        state = make_tiny_state()
+        assert state.num_devices == 4
+        assert state.num_base_stations == 2
+
+    def test_coverage_mask_from_h(self) -> None:
+        state = make_tiny_state()
+        cov = state.coverage()
+        np.testing.assert_array_equal(
+            cov, [[True, False], [True, False], [True, True], [True, True]]
+        )
+
+    def test_shape_mismatch_rejected(self) -> None:
+        with pytest.raises(ValidationError):
+            SlotState(
+                t=0,
+                cycles=np.array([1.0, 2.0]),
+                bits=np.array([1.0, 2.0]),
+                spectral_efficiency=np.ones((3, 2)),
+                price=1.0,
+            )
+
+    def test_negative_price_rejected(self) -> None:
+        with pytest.raises(ValidationError):
+            SlotState(
+                t=0,
+                cycles=np.array([1.0]),
+                bits=np.array([1.0]),
+                spectral_efficiency=np.ones((1, 1)),
+                price=-1.0,
+            )
+
+    def test_negative_h_rejected(self) -> None:
+        with pytest.raises(ValidationError):
+            SlotState(
+                t=0,
+                cycles=np.array([1.0]),
+                bits=np.array([1.0]),
+                spectral_efficiency=np.array([[-1.0]]),
+                price=1.0,
+            )
+
+
+class TestAssignment:
+    def test_one_hot_matrices_satisfy_constraints_1_2(self) -> None:
+        assignment = Assignment(
+            bs_of=np.array([0, 0, 1, 1]), server_of=np.array([0, 1, 2, 2])
+        )
+        x = assignment.x_matrix(2)
+        y = assignment.y_matrix(3)
+        np.testing.assert_array_equal(x.sum(axis=1), 1.0)  # Eq. (1)
+        np.testing.assert_array_equal(y.sum(axis=1), 1.0)  # Eq. (2)
+        assert x[2, 1] == 1.0
+        assert y[3, 2] == 1.0
+
+    def test_group_queries(self) -> None:
+        assignment = Assignment(
+            bs_of=np.array([0, 0, 1]), server_of=np.array([2, 1, 1])
+        )
+        np.testing.assert_array_equal(assignment.devices_on_bs(0), [0, 1])
+        np.testing.assert_array_equal(assignment.devices_on_server(1), [1, 2])
+        np.testing.assert_array_equal(assignment.devices_on_server(0), [])
+
+    def test_replace_is_functional(self) -> None:
+        a = Assignment(bs_of=np.array([0, 0]), server_of=np.array([0, 0]))
+        b = a.replace(1, 1, 2)
+        assert int(a.bs_of[1]) == 0
+        assert int(b.bs_of[1]) == 1
+        assert int(b.server_of[1]) == 2
+
+    def test_shape_mismatch_rejected(self) -> None:
+        with pytest.raises(ValidationError):
+            Assignment(bs_of=np.array([0, 1]), server_of=np.array([0]))
+
+
+class TestResourceAllocation:
+    def test_shares_must_be_in_unit_interval(self) -> None:
+        with pytest.raises(ValidationError):
+            ResourceAllocation(
+                access_share=np.array([1.5]),
+                fronthaul_share=np.array([0.5]),
+                compute_share=np.array([0.5]),
+            )
+        with pytest.raises(ValidationError):
+            ResourceAllocation(
+                access_share=np.array([0.5]),
+                fronthaul_share=np.array([-0.1]),
+                compute_share=np.array([0.5]),
+            )
+
+
+class TestValidateDecision:
+    def make_valid_decision(self):
+        network = make_tiny_network()
+        state = make_tiny_state()
+        assignment = Assignment(
+            bs_of=np.array([0, 0, 1, 0]), server_of=np.array([0, 1, 2, 0])
+        )
+        allocation = optimal_allocation(network, state, assignment)
+        frequencies = np.array([2.0, 2.5, 3.0])
+        return network, state, Decision(
+            assignment=assignment, allocation=allocation, frequencies=frequencies
+        )
+
+    def test_valid_decision_passes(self) -> None:
+        network, state, decision = self.make_valid_decision()
+        validate_decision(network, state, decision)
+
+    def test_uncovered_base_station_rejected(self) -> None:
+        network, state, decision = self.make_valid_decision()
+        bad = Assignment(
+            bs_of=np.array([1, 0, 1, 0]),  # device 0 is not covered by BS1
+            server_of=decision.assignment.server_of,
+        )
+        with pytest.raises(ValidationError, match="does not cover"):
+            validate_decision(
+                network,
+                state,
+                Decision(
+                    assignment=bad,
+                    allocation=decision.allocation,
+                    frequencies=decision.frequencies,
+                ),
+            )
+
+    def test_unreachable_server_rejected(self) -> None:
+        network, state, decision = self.make_valid_decision()
+        bad = Assignment(
+            bs_of=np.array([0, 0, 1, 0]),
+            server_of=np.array([2, 1, 2, 0]),  # server 2 not behind BS0
+        )
+        allocation = decision.allocation
+        with pytest.raises(ValidationError, match="constraint \\(3\\)"):
+            validate_decision(
+                network,
+                state,
+                Decision(
+                    assignment=bad,
+                    allocation=allocation,
+                    frequencies=decision.frequencies,
+                ),
+            )
+
+    def test_overcommitted_compute_rejected(self) -> None:
+        network, state, decision = self.make_valid_decision()
+        shares = decision.allocation
+        bad = ResourceAllocation(
+            access_share=shares.access_share,
+            fronthaul_share=shares.fronthaul_share,
+            compute_share=np.ones_like(shares.compute_share),  # sums to 2 on S0
+        )
+        with pytest.raises(ValidationError, match="compute shares"):
+            validate_decision(
+                network,
+                state,
+                Decision(
+                    assignment=decision.assignment,
+                    allocation=bad,
+                    frequencies=decision.frequencies,
+                ),
+            )
+
+    def test_frequency_out_of_bounds_rejected(self) -> None:
+        network, state, decision = self.make_valid_decision()
+        with pytest.raises(ValidationError, match="frequency"):
+            validate_decision(
+                network,
+                state,
+                Decision(
+                    assignment=decision.assignment,
+                    allocation=decision.allocation,
+                    frequencies=np.array([2.0, 2.5, 4.0]),
+                ),
+            )

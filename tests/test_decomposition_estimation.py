@@ -1,0 +1,171 @@
+"""Tests for seasonal decomposition and trace-model fitting."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.analysis.decomposition import (
+    periodicity_strength,
+    seasonal_decompose,
+)
+from repro.exceptions import ConfigurationError
+from repro.workload.estimation import (
+    fit_periodic_profile,
+    fit_price_model,
+    fit_task_generator,
+)
+from repro.workload.traces import diurnal_profile, synthetic_video_views
+
+
+def make_periodic_series(
+    period: int = 24,
+    cycles: int = 10,
+    noise: float = 0.0,
+    seed: int = 0,
+    level: float = 100.0,
+) -> np.ndarray:
+    profile = diurnal_profile(period=period)
+    series = level * np.tile(profile, cycles)
+    if noise > 0.0:
+        series = series + noise * np.random.default_rng(seed).standard_normal(
+            series.size
+        )
+    return series
+
+
+class TestSeasonalDecompose:
+    def test_reconstruction_is_exact(self) -> None:
+        series = make_periodic_series(noise=5.0)
+        decomposition = seasonal_decompose(series, 24)
+        np.testing.assert_allclose(
+            decomposition.reconstructed(), series, rtol=1e-12
+        )
+
+    def test_seasonal_is_zero_mean_and_periodic(self) -> None:
+        series = make_periodic_series(noise=2.0)
+        decomposition = seasonal_decompose(series, 24)
+        assert abs(float(decomposition.seasonal_profile.mean())) < 1e-9
+        np.testing.assert_allclose(
+            decomposition.seasonal[:24], decomposition.seasonal[24:48]
+        )
+
+    def test_recovers_clean_profile(self) -> None:
+        series = make_periodic_series(noise=0.0)
+        decomposition = seasonal_decompose(series, 24)
+        expected = series[:24] - series[:24].mean()
+        np.testing.assert_allclose(
+            decomposition.seasonal_profile, expected, atol=1e-6
+        )
+        assert float(np.abs(decomposition.residual).max()) < 1e-6
+
+    def test_level_tracks_slow_drift(self) -> None:
+        drift = np.linspace(100.0, 200.0, 24 * 10)
+        series = make_periodic_series() + drift - 100.0
+        decomposition = seasonal_decompose(series, 24)
+        mid = decomposition.level[24:-24]
+        assert np.all(np.diff(mid) >= -1e-6)  # level follows the ramp
+
+    def test_validation(self) -> None:
+        with pytest.raises(ConfigurationError):
+            seasonal_decompose(np.ones(10), 24)
+        with pytest.raises(ConfigurationError):
+            seasonal_decompose(np.ones(100), 1)
+
+    def test_odd_period(self) -> None:
+        profile = np.array([1.0, 2.0, 3.0, 2.0, 1.0])
+        series = np.tile(profile, 8)
+        decomposition = seasonal_decompose(series, 5)
+        np.testing.assert_allclose(
+            decomposition.reconstructed(), series, rtol=1e-12
+        )
+
+
+class TestPeriodicityStrength:
+    def test_clean_periodic_series_scores_high(self) -> None:
+        assert periodicity_strength(make_periodic_series(), 24) > 0.99
+
+    def test_white_noise_scores_low(self) -> None:
+        noise = np.random.default_rng(0).standard_normal(24 * 20)
+        assert periodicity_strength(noise, 24) < 0.2
+
+    def test_monotone_in_noise_level(self) -> None:
+        strengths = [
+            periodicity_strength(make_periodic_series(noise=n, seed=1), 24)
+            for n in (0.0, 10.0, 100.0)
+        ]
+        assert strengths[0] > strengths[1] > strengths[2]
+
+    @settings(max_examples=20, deadline=None)
+    @given(noise=st.floats(0.0, 50.0), seed=st.integers(0, 100))
+    def test_property_in_unit_interval(self, noise: float, seed: int) -> None:
+        value = periodicity_strength(
+            make_periodic_series(noise=noise, seed=seed), 24
+        )
+        assert 0.0 <= value <= 1.0
+
+
+class TestProfileFit:
+    def test_recovers_shape_and_noise(self) -> None:
+        true_profile = diurnal_profile(period=24)
+        series = make_periodic_series(noise=3.0, level=100.0)
+        fit = fit_periodic_profile(series, 24)
+        assert fit.period == 24
+        assert fit.profile.mean() == pytest.approx(1.0, abs=1e-6)
+        # Shape matches the generating profile up to normalisation.
+        normalised_truth = true_profile / true_profile.mean()
+        np.testing.assert_allclose(fit.profile, normalised_truth, atol=0.03)
+        assert fit.noise_cv == pytest.approx(3.0 / fit.mean_level, rel=0.3)
+        assert fit.strength > 0.9
+
+    def test_rejects_nonpositive_series(self) -> None:
+        with pytest.raises(ConfigurationError):
+            fit_periodic_profile(np.zeros(48), 24)
+
+
+class TestFitPriceModel:
+    def test_fitted_model_reproduces_trace_statistics(self) -> None:
+        rng = np.random.default_rng(3)
+        from repro.energy.pricing import PeriodicPriceModel, synthetic_nyiso_trend
+
+        truth = PeriodicPriceModel(synthetic_nyiso_trend(), noise_std=2.5)
+        trace = truth.generate(24 * 30, rng)
+        fitted = fit_price_model(trace)
+        assert fitted.period == 24
+        fitted_trend = np.array([fitted.trend(t) for t in range(24)])
+        true_trend = np.array([truth.trend(t) for t in range(24)])
+        np.testing.assert_allclose(fitted_trend, true_trend, atol=1.5)
+        assert fitted.noise_std == pytest.approx(2.5, rel=0.3)
+
+    def test_negative_prices_rejected(self) -> None:
+        with pytest.raises(ConfigurationError):
+            fit_price_model(np.array([-1.0] * 48))
+
+
+class TestFitTaskGenerator:
+    def test_generator_follows_trace_shape(self) -> None:
+        trace = synthetic_video_views(30, np.random.default_rng(4))
+        generator = fit_task_generator(
+            trace, num_devices=10, rng=np.random.default_rng(5)
+        )
+        assert generator.num_devices == 10
+        assert generator.period == 24
+        # Peak-hour demand exceeds trough-hour demand like the trace.
+        peak_hour = int(np.argmax(generator.profile))
+        trough_hour = int(np.argmin(generator.profile))
+        trend_peak, _ = generator.trend(peak_hour)
+        trend_trough, _ = generator.trend(trough_hour)
+        assert trend_peak.mean() > 1.3 * trend_trough.mean()
+
+    def test_deterministic_means_without_rng(self) -> None:
+        trace = make_periodic_series()
+        generator = fit_task_generator(trace, num_devices=4)
+        assert np.all(generator.base_cycles == generator.base_cycles[0])
+
+    def test_validation(self) -> None:
+        trace = make_periodic_series()
+        with pytest.raises(ConfigurationError):
+            fit_task_generator(trace, num_devices=0)
+        with pytest.raises(ConfigurationError):
+            fit_task_generator(trace, num_devices=3, heterogeneity=1.5)

@@ -1,0 +1,78 @@
+"""Tests for per-slot energy cost and budget helpers."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.energy.cost import (
+    max_slot_cost,
+    min_slot_cost,
+    slot_energy_cost,
+    suggest_budget,
+)
+from repro.energy.models import LinearEnergyModel, QuadraticEnergyModel
+from repro.energy.pricing import ConstantPriceModel, PeriodicPriceModel
+from repro.exceptions import ConfigurationError
+
+
+@pytest.fixture
+def models() -> list:
+    return [
+        QuadraticEnergyModel(a=1.0, b=0.0, c=2.0),
+        LinearEnergyModel(slope=3.0, intercept=1.0),
+    ]
+
+
+class TestSlotCost:
+    def test_sum_of_powers_times_price(self, models: list) -> None:
+        freqs = np.array([2.0, 3.0])
+        # quad: 4 + 2 = 6; linear: 9 + 1 = 10; price 0.5 -> 8.0.
+        assert slot_energy_cost(models, freqs, 0.5) == pytest.approx(8.0)
+
+    def test_zero_price_means_zero_cost(self, models: list) -> None:
+        assert slot_energy_cost(models, np.array([2.0, 3.0]), 0.0) == 0.0
+
+    def test_mismatched_lengths_rejected(self, models: list) -> None:
+        with pytest.raises(ConfigurationError):
+            slot_energy_cost(models, np.array([2.0]), 1.0)
+
+    def test_min_below_max(self, models: list) -> None:
+        lo = min_slot_cost(models, np.array([1.8, 1.8]), 1.0)
+        hi = max_slot_cost(models, np.array([3.6, 3.6]), 1.0)
+        assert lo < hi
+
+
+class TestSuggestBudget:
+    def test_interpolates_between_extremes(self, models: list) -> None:
+        prices = ConstantPriceModel(2.0)
+        fmin = np.array([1.0, 1.0])
+        fmax = np.array([3.0, 3.0])
+        lo = suggest_budget(models, fmin, fmax, prices, fraction=0.0)
+        hi = suggest_budget(models, fmin, fmax, prices, fraction=1.0)
+        mid = suggest_budget(models, fmin, fmax, prices, fraction=0.5)
+        assert lo == pytest.approx(min_slot_cost(models, fmin, 2.0))
+        assert hi == pytest.approx(max_slot_cost(models, fmax, 2.0))
+        assert mid == pytest.approx((lo + hi) / 2.0)
+
+    def test_uses_mean_trend_price(self, models: list) -> None:
+        prices = PeriodicPriceModel(np.array([1.0, 3.0]))  # mean 2.0
+        via_periodic = suggest_budget(
+            models, np.array([1.0, 1.0]), np.array([3.0, 3.0]), prices, fraction=0.3
+        )
+        via_constant = suggest_budget(
+            models,
+            np.array([1.0, 1.0]),
+            np.array([3.0, 3.0]),
+            ConstantPriceModel(2.0),
+            fraction=0.3,
+        )
+        assert via_periodic == pytest.approx(via_constant)
+
+    def test_fraction_out_of_range_rejected(self, models: list) -> None:
+        prices = ConstantPriceModel(1.0)
+        with pytest.raises(ConfigurationError):
+            suggest_budget(
+                models, np.array([1.0, 1.0]), np.array([3.0, 3.0]), prices,
+                fraction=1.5,
+            )

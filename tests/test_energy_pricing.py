@@ -1,0 +1,117 @@
+"""Tests for the electricity-price processes."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.energy.pricing import (
+    ConstantPriceModel,
+    PeriodicPriceModel,
+    TracePriceModel,
+    synthetic_nyiso_trend,
+)
+from repro.exceptions import ConfigurationError
+
+
+class TestConstantPrice:
+    def test_always_the_same(self, rng: np.random.Generator) -> None:
+        model = ConstantPriceModel(30.0)
+        assert model.price(0, rng) == 30.0
+        assert model.price(99, rng) == 30.0
+        assert model.trend(5) == 30.0
+
+    def test_negative_rejected(self) -> None:
+        with pytest.raises(ConfigurationError):
+            ConstantPriceModel(-1.0)
+
+
+class TestPeriodicPrice:
+    def test_trend_wraps_with_period(self, rng: np.random.Generator) -> None:
+        trend = np.array([10.0, 20.0, 30.0])
+        model = PeriodicPriceModel(trend)
+        assert model.period == 3
+        assert model.trend(0) == 10.0
+        assert model.trend(4) == 20.0
+        assert model.price(5, rng) == 30.0  # zero noise -> exact trend
+
+    def test_noise_perturbs_but_respects_floor(self) -> None:
+        model = PeriodicPriceModel(
+            np.array([1.0]), noise_std=100.0, floor=0.0
+        )
+        prices = model.generate(500, np.random.default_rng(0))
+        assert np.all(prices >= 0.0)
+        assert prices.std() > 1.0
+
+    def test_generate_matches_price_distributionally(self) -> None:
+        trend = synthetic_nyiso_trend()
+        model = PeriodicPriceModel(trend, noise_std=2.0)
+        trace = model.generate(24 * 50, np.random.default_rng(1))
+        # Hourly means across days track the trend.
+        hourly = trace.reshape(-1, 24).mean(axis=0)
+        np.testing.assert_allclose(hourly, trend, atol=1.0)
+
+    def test_empty_trend_rejected(self) -> None:
+        with pytest.raises(ConfigurationError):
+            PeriodicPriceModel(np.array([]))
+
+    def test_negative_trend_rejected(self) -> None:
+        with pytest.raises(ConfigurationError):
+            PeriodicPriceModel(np.array([1.0, -2.0]))
+
+    def test_negative_noise_rejected(self) -> None:
+        with pytest.raises(ConfigurationError):
+            PeriodicPriceModel(np.array([1.0]), noise_std=-1.0)
+
+
+class TestTracePrice:
+    def test_replays_and_wraps(self, rng: np.random.Generator) -> None:
+        model = TracePriceModel(np.array([5.0, 7.0]))
+        assert model.price(0, rng) == 5.0
+        assert model.price(3, rng) == 7.0
+        assert model.period == 2
+
+    def test_empty_trace_rejected(self) -> None:
+        with pytest.raises(ConfigurationError):
+            TracePriceModel(np.array([]))
+
+
+class TestSyntheticNyiso:
+    def test_shape_and_range(self) -> None:
+        trend = synthetic_nyiso_trend()
+        assert trend.shape == (24,)
+        assert np.all(trend > 0.0)
+        # Base price overnight, elevated at the peaks.
+        assert trend.min() == pytest.approx(28.0, abs=2.0)
+        assert trend.max() > 45.0
+
+    def test_two_peaks_morning_and_evening(self) -> None:
+        trend = synthetic_nyiso_trend()
+        morning = trend[6:11].max()
+        evening = trend[17:22].max()
+        midday = trend[12:15].min()
+        night = trend[0:5].min()
+        assert morning > midday
+        assert evening > morning  # evening peak is taller by default
+        assert night < midday + 5.0
+
+    def test_periodicity_of_custom_period(self) -> None:
+        trend = synthetic_nyiso_trend(period=48)
+        assert trend.shape == (48,)
+
+    def test_too_short_period_rejected(self) -> None:
+        with pytest.raises(ConfigurationError):
+            synthetic_nyiso_trend(period=1)
+
+    @given(
+        base=st.floats(5.0, 100.0),
+        morning=st.floats(0.0, 50.0),
+        evening=st.floats(0.0, 50.0),
+    )
+    def test_property_bounds(self, base: float, morning: float, evening: float) -> None:
+        trend = synthetic_nyiso_trend(
+            base_price=base, morning_peak=morning, evening_peak=evening
+        )
+        assert np.all(trend >= base - 1e-9)
+        assert np.all(trend <= base + morning + evening + 1e-9)

@@ -1,0 +1,233 @@
+"""Tests for server-outage failure injection."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+import repro
+from repro.core.drift_penalty import energy_cost
+from repro.core.p2b import solve_p2b
+from repro.core.state import Assignment, SlotState, validate_decision
+from repro.exceptions import ConfigurationError, ValidationError
+from repro.network.connectivity import StrategySpace
+from repro.sim.faults import MarkovOutages, NoOutages
+
+from conftest import make_tiny_network, make_tiny_state
+
+
+def state_with_availability(mask) -> SlotState:
+    base = make_tiny_state()
+    return SlotState(
+        t=base.t,
+        cycles=base.cycles,
+        bits=base.bits,
+        spectral_efficiency=base.spectral_efficiency,
+        price=base.price,
+        available_servers=mask,
+    )
+
+
+class TestStateMask:
+    def test_all_down_rejected(self) -> None:
+        with pytest.raises(ValidationError):
+            state_with_availability(np.zeros(3, dtype=bool))
+
+    def test_validate_decision_rejects_offline_selection(self) -> None:
+        network = make_tiny_network()
+        state = state_with_availability(np.array([True, False, True]))
+        assignment = Assignment(
+            bs_of=np.array([0, 0, 1, 1]),
+            server_of=np.array([0, 1, 2, 2]),  # server 1 is offline
+        )
+        from repro.core.allocation import optimal_allocation
+
+        allocation = optimal_allocation(network, state, assignment)
+        with pytest.raises(ValidationError, match="offline"):
+            validate_decision(
+                network,
+                state,
+                repro.Decision(
+                    assignment=assignment,
+                    allocation=allocation,
+                    frequencies=np.full(3, 2.0),
+                ),
+            )
+
+
+class TestStrategySpaceFiltering:
+    def test_offline_servers_excluded(self) -> None:
+        network = make_tiny_network()
+        coverage = make_tiny_state().coverage()
+        space = StrategySpace(
+            network, coverage, np.array([True, False, True])
+        )
+        for i in range(4):
+            _, ns = space.pairs(i)
+            assert 1 not in ns.tolist()
+
+    def test_cluster_outage_makes_small_cell_only_devices_reroute(self) -> None:
+        network = make_tiny_network()
+        coverage = make_tiny_state().coverage()
+        # Cluster 1 (server 2) down: BS1 leads nowhere.
+        space = StrategySpace(
+            network, coverage, np.array([True, True, False])
+        )
+        for i in (2, 3):
+            ks, _ = space.pairs(i)
+            assert set(ks.tolist()) == {0}
+
+
+class TestCostAndFrequencies:
+    def test_offline_servers_draw_no_power(self) -> None:
+        network = make_tiny_network()
+        freqs = np.full(3, 3.6)
+        full = energy_cost(network, freqs, 1.0)
+        masked = energy_cost(
+            network, freqs, 1.0, available=np.array([True, False, True])
+        )
+        expected = full - network.servers[1].energy_model.power(3.6)
+        assert masked == pytest.approx(expected)
+
+    def test_p2b_parks_offline_servers(self) -> None:
+        network = make_tiny_network()
+        state = state_with_availability(np.array([True, False, True]))
+        assignment = Assignment(
+            bs_of=np.array([0, 0, 1, 1]), server_of=np.array([0, 0, 2, 2])
+        )
+        freqs = solve_p2b(
+            network, state, assignment, queue_backlog=0.0, v=10.0
+        )
+        assert freqs[1] == pytest.approx(network.servers[1].freq_min)
+        assert freqs[0] == pytest.approx(network.servers[0].freq_max)
+
+
+class TestControllerUnderOutages:
+    def test_step_avoids_offline_servers(self) -> None:
+        network = make_tiny_network()
+        controller = repro.DPPController(
+            network, np.random.default_rng(0), v=50.0, budget=20.0, z=1
+        )
+        state = state_with_availability(np.array([True, False, True]))
+        record = controller.step(state)
+        assert 1 not in record.assignment.server_of.tolist()
+        validate_decision(network, state, record.decision())
+
+    def test_space_cache_distinguishes_availability(self) -> None:
+        network = make_tiny_network()
+        controller = repro.DPPController(
+            network, np.random.default_rng(0), v=50.0, budget=20.0, z=1
+        )
+        s_full = controller.strategy_space(make_tiny_state())
+        s_masked = controller.strategy_space(
+            state_with_availability(np.array([True, False, True]))
+        )
+        assert s_full is not s_masked
+
+
+class TestMarkovOutages:
+    def test_no_outages_model(self) -> None:
+        network = make_tiny_network()
+        mask = NoOutages().availability(0, network, np.random.default_rng(0))
+        assert mask.all()
+
+    def test_stationary_unavailability(self) -> None:
+        network = make_tiny_network()
+        model = MarkovOutages(
+            mtbf_slots=20.0,
+            mttr_slots=5.0,
+            min_up_fraction=0.0001,
+            min_up_per_cluster=0,
+        )
+        rng = np.random.default_rng(0)
+        ups = np.array(
+            [model.availability(t, network, rng) for t in range(5_000)]
+        )
+        # Stationary availability = mtbf / (mtbf + mttr) = 0.8.
+        assert float(ups.mean()) == pytest.approx(0.8, abs=0.05)
+
+    def test_min_up_fraction_guard(self) -> None:
+        network = make_tiny_network()
+        # Catastrophic failure rates, but the guard holds 50% up.
+        model = MarkovOutages(
+            mtbf_slots=1.01, mttr_slots=1e9, min_up_fraction=0.5
+        )
+        rng = np.random.default_rng(1)
+        for t in range(200):
+            mask = model.availability(t, network, rng)
+            assert int(mask.sum()) >= 2  # ceil(0.5 * 3)
+
+    def test_validation(self) -> None:
+        with pytest.raises(ConfigurationError):
+            MarkovOutages(mtbf_slots=0.0)
+        with pytest.raises(ConfigurationError):
+            MarkovOutages(min_up_fraction=0.0)
+        with pytest.raises(ConfigurationError):
+            MarkovOutages(min_up_per_cluster=-1)
+
+    def test_per_cluster_guard(self) -> None:
+        network = make_tiny_network()  # clusters {0,1} and {2}
+        model = MarkovOutages(
+            mtbf_slots=1.01, mttr_slots=1e9,
+            min_up_fraction=0.0001, min_up_per_cluster=1,
+        )
+        rng = np.random.default_rng(3)
+        for t in range(100):
+            mask = model.availability(t, network, rng)
+            assert mask[:2].any()  # cluster 0 never fully dark
+            assert mask[2]         # cluster 1 has a single server
+
+    def test_reset(self) -> None:
+        network = make_tiny_network()
+        model = MarkovOutages(mtbf_slots=1.01, mttr_slots=1e9)
+        rng = np.random.default_rng(2)
+        for t in range(50):
+            model.availability(t, network, rng)
+        model.reset()
+        # After reset the first availability call starts all-up before
+        # applying one slot of failures; with fresh rng nothing fails.
+        mask = model.availability(0, network, np.random.default_rng(1000))
+        assert mask.sum() >= 2
+
+
+class TestEndToEndWithFaults:
+    def test_simulation_with_outages(self) -> None:
+        scenario = repro.make_paper_scenario(
+            seed=81,
+            config=repro.ScenarioConfig(num_devices=10),
+            num_base_stations=3,
+            num_clusters=2,
+            servers_per_cluster=2,
+            num_macro_stations=1,
+            faults=MarkovOutages(mtbf_slots=10.0, mttr_slots=3.0),
+        )
+        states = list(scenario.fresh_states(40))
+        masks = np.array([s.available_servers for s in states])
+        assert masks.shape == (40, 4)
+        assert not masks.all()  # some outage happened over 40 slots
+        controller = repro.DPPController(
+            scenario.network,
+            scenario.controller_rng(),
+            v=100.0,
+            budget=scenario.budget,
+            z=1,
+        )
+        result = repro.run_simulation(
+            controller, iter(states), budget=scenario.budget
+        )
+        assert np.all(np.isfinite(result.latency))
+
+    def test_fresh_states_reset_fault_state(self) -> None:
+        scenario = repro.make_paper_scenario(
+            seed=82,
+            config=repro.ScenarioConfig(num_devices=8),
+            num_base_stations=3,
+            num_clusters=2,
+            servers_per_cluster=2,
+            num_macro_stations=1,
+            faults=MarkovOutages(mtbf_slots=5.0, mttr_slots=5.0),
+        )
+        first = [s.available_servers.copy() for s in scenario.fresh_states(20)]
+        second = [s.available_servers.copy() for s in scenario.fresh_states(20)]
+        for a, b in zip(first, second):
+            np.testing.assert_array_equal(a, b)

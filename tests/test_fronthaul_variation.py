@@ -1,0 +1,172 @@
+"""Tests for time-varying fronthaul spectral efficiency.
+
+The paper treats ``h^F`` as static but claims the algorithm handles
+variation; these tests pin that capability end to end: the override is
+validated, propagates into the latency algebra, the congestion game,
+the exact solver, and full simulations.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+import repro
+from repro.baselines import solve_p2a_exact
+from repro.core.congestion_game import OffloadingCongestionGame
+from repro.core.latency import (
+    effective_fronthaul_se,
+    optimal_communication_latency,
+)
+from repro.core.state import Assignment, SlotState
+from repro.exceptions import ValidationError
+from repro.network.connectivity import StrategySpace
+from repro.radio.fronthaul import ScintillatingFronthaul, StaticFronthaul
+
+from conftest import make_tiny_network, make_tiny_state
+
+
+def state_with_fronthaul(values) -> SlotState:
+    base = make_tiny_state()
+    return SlotState(
+        t=base.t,
+        cycles=base.cycles,
+        bits=base.bits,
+        spectral_efficiency=base.spectral_efficiency,
+        price=base.price,
+        fronthaul_se=values,
+    )
+
+
+class TestStateOverride:
+    def test_defaults_to_topology_values(self) -> None:
+        network = make_tiny_network()
+        state = make_tiny_state()
+        np.testing.assert_array_equal(
+            effective_fronthaul_se(network, state), network.fronthaul_se
+        )
+
+    def test_override_wins(self) -> None:
+        network = make_tiny_network()
+        state = state_with_fronthaul(np.array([5.0, 20.0]))
+        np.testing.assert_array_equal(
+            effective_fronthaul_se(network, state), [5.0, 20.0]
+        )
+
+    def test_wrong_shape_rejected(self) -> None:
+        with pytest.raises(ValidationError):
+            state_with_fronthaul(np.array([5.0]))
+
+    def test_nonpositive_rejected(self) -> None:
+        with pytest.raises(ValidationError):
+            state_with_fronthaul(np.array([5.0, 0.0]))
+
+
+class TestPropagation:
+    def test_latency_scales_inversely_with_fronthaul_se(self) -> None:
+        network = make_tiny_network()
+        assignment = Assignment(
+            bs_of=np.array([0, 0, 1, 1]), server_of=np.array([0, 1, 2, 2])
+        )
+        base = make_tiny_state()
+        fast = state_with_fronthaul(2.0 * network.fronthaul_se)
+        lat_base = optimal_communication_latency(network, base, assignment)
+        lat_fast = optimal_communication_latency(network, fast, assignment)
+        assert lat_fast < lat_base
+        # The access part is untouched; only the fronthaul part halves.
+        access_only = state_with_fronthaul(1e12 * network.fronthaul_se)
+        access = optimal_communication_latency(network, access_only, assignment)
+        fronthaul_base = lat_base - access
+        fronthaul_fast = lat_fast - access
+        assert fronthaul_fast == pytest.approx(fronthaul_base / 2.0, rel=1e-6)
+
+    def test_game_total_matches_latency_under_override(self) -> None:
+        network = make_tiny_network()
+        state = state_with_fronthaul(np.array([4.0, 25.0]))
+        space = StrategySpace(network, state.coverage())
+        game = OffloadingCongestionGame(
+            network, state, space, np.full(3, 2.0),
+            rng=np.random.default_rng(0),
+        )
+        from repro.core.latency import optimal_total_latency
+
+        expected = optimal_total_latency(
+            network, state, game.assignment(), np.full(3, 2.0)
+        )
+        assert game.total_cost() == pytest.approx(expected, rel=1e-12)
+
+    def test_exact_solver_sees_override(self) -> None:
+        network = make_tiny_network()
+        space = StrategySpace(network, make_tiny_state().coverage())
+        freqs = np.full(3, 2.0)
+        # Make BS1's fronthaul terrible: the optimum should shift
+        # devices 2/3 away from BS1 relative to the generous case.
+        bad = state_with_fronthaul(np.array([10.0, 0.01]))
+        good = state_with_fronthaul(np.array([10.0, 1e4]))
+        res_bad = solve_p2a_exact(network, bad, space, freqs)
+        res_good = solve_p2a_exact(network, good, space, freqs)
+        users_bad = int(np.sum(res_bad.assignment.bs_of == 1))
+        users_good = int(np.sum(res_good.assignment.bs_of == 1))
+        assert users_bad <= users_good
+        assert users_bad == 0  # 0.01 bps/Hz makes BS1 hopeless
+
+
+class TestFronthaulModels:
+    def test_static_model_is_identity(self) -> None:
+        model = StaticFronthaul()
+        base = np.array([10.0, 12.0])
+        out = model.spectral_efficiency(3, base, np.random.default_rng(0))
+        np.testing.assert_array_equal(out, base)
+        assert out is not base
+
+    def test_scintillating_model_statistics(self) -> None:
+        model = ScintillatingFronthaul(rho=0.9, std=0.2, floor_fraction=0.2)
+        base = np.array([10.0, 10.0, 10.0, 10.0])
+        rng = np.random.default_rng(1)
+        draws = np.array(
+            [model.spectral_efficiency(t, base, rng) for t in range(500)]
+        )
+        assert np.all(draws >= 0.2 * 10.0 - 1e-12)
+        # Log-normal correction keeps the mean near the base value.
+        assert float(draws.mean()) == pytest.approx(10.0, rel=0.1)
+        # Temporal correlation: successive draws are close.
+        step = np.abs(np.diff(draws, axis=0)).mean()
+        spread = draws.std()
+        assert step < spread
+
+    def test_scintillating_validation(self) -> None:
+        from repro.exceptions import ConfigurationError
+
+        with pytest.raises(ConfigurationError):
+            ScintillatingFronthaul(std=-0.1)
+        with pytest.raises(ConfigurationError):
+            ScintillatingFronthaul(floor_fraction=0.0)
+
+
+class TestEndToEnd:
+    def test_simulation_with_varying_fronthaul(self) -> None:
+        scenario = repro.make_paper_scenario(
+            seed=71,
+            config=repro.ScenarioConfig(num_devices=8),
+            num_base_stations=3,
+            num_clusters=2,
+            servers_per_cluster=2,
+            num_macro_stations=1,
+            fronthaul=ScintillatingFronthaul(std=0.3),
+        )
+        states = list(scenario.fresh_states(10))
+        values = np.array([s.fronthaul_se for s in states])
+        assert values.shape == (10, 3)
+        assert not np.allclose(values[0], values[5])
+        controller = repro.DPPController(
+            scenario.network,
+            scenario.controller_rng(),
+            v=100.0,
+            budget=scenario.budget,
+            z=1,
+        )
+        result = repro.run_simulation(
+            controller, iter(states), budget=scenario.budget
+        )
+        assert result.horizon == 10
+        assert np.all(np.isfinite(result.latency))

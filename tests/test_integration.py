@@ -1,0 +1,157 @@
+"""End-to-end behavioural tests of the DPP theory (Theorems 2-4).
+
+These run the full pipeline (scenario -> controller -> simulation) on a
+reduced topology and check the *shapes* the paper proves and plots:
+budget satisfaction, the V trade-off, queue stability, and the ordering
+of the three DPP variants.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+import repro
+from repro.baselines import mcba_p2a_solver, ropt_p2a_solver
+from repro.sim.metrics import converged_tail_mean, cumulative_time_average
+
+
+def small_scenario(seed: int = 42, num_devices: int = 12) -> repro.Scenario:
+    return repro.make_paper_scenario(
+        seed=seed,
+        config=repro.ScenarioConfig(num_devices=num_devices),
+        num_base_stations=3,
+        num_clusters=2,
+        servers_per_cluster=2,
+        num_macro_stations=1,
+    )
+
+
+def run_dpp(
+    scenario: repro.Scenario,
+    horizon: int,
+    *,
+    v: float = 100.0,
+    budget: float | None = None,
+    p2a_solver=None,
+    z: int = 2,
+) -> repro.SimulationResult:
+    budget = scenario.budget if budget is None else budget
+    controller = repro.DPPController(
+        scenario.network,
+        scenario.controller_rng(),
+        v=v,
+        budget=budget,
+        z=z,
+        p2a_solver=p2a_solver,
+    )
+    return repro.run_simulation(
+        controller, scenario.fresh_states(horizon), budget=budget
+    )
+
+
+class TestBudgetSatisfaction:
+    def test_long_run_cost_meets_budget(self) -> None:
+        scenario = small_scenario()
+        result = run_dpp(scenario, 300)
+        # Theorem 4 (Eq. 29): time-average cost converges under the budget.
+        assert result.time_average_cost() <= scenario.budget * 1.05
+
+    def test_running_average_cost_stabilises(self) -> None:
+        scenario = small_scenario()
+        result = run_dpp(scenario, 300)
+        running = cumulative_time_average(result.cost)
+        tail = running[150:]
+        assert float(tail.max() - tail.min()) < 0.2 * scenario.budget
+
+    def test_queue_is_stable_not_exploding(self) -> None:
+        scenario = small_scenario()
+        result = run_dpp(scenario, 300)
+        first_half = converged_tail_mean(result.backlog[: 150], fraction=0.5)
+        second_half = converged_tail_mean(result.backlog[150:], fraction=0.5)
+        # Stable queue: the second half is not dramatically above the first.
+        assert second_half < max(4.0 * first_half, first_half + 1.0)
+
+    def test_infeasible_budget_queue_grows_linearly(self) -> None:
+        scenario = small_scenario()
+        # A budget below the minimum achievable cost is infeasible; the
+        # queue must then grow without bound (roughly linearly).
+        result = run_dpp(scenario, 120, budget=scenario.budget * 1e-3)
+        backlog = result.backlog
+        assert backlog[-1] > backlog[len(backlog) // 2] > backlog[10]
+
+
+class TestVTradeoff:
+    def test_latency_decreases_and_backlog_increases_with_v(self) -> None:
+        scenario = small_scenario()
+        horizon = 250
+        latencies, backlogs = [], []
+        for v in (5.0, 50.0, 500.0):
+            result = run_dpp(scenario, horizon, v=v)
+            latencies.append(result.time_average_latency())
+            backlogs.append(converged_tail_mean(result.backlog, fraction=0.3))
+        # Fig. 8's two curves: latency falls with V, backlog rises.
+        assert latencies[0] >= latencies[1] >= latencies[2] * 0.99
+        assert backlogs[0] <= backlogs[1] <= backlogs[2]
+
+    def test_large_v_latency_approaches_unconstrained(self) -> None:
+        scenario = small_scenario()
+        constrained = run_dpp(scenario, 150, v=1000.0)
+        unconstrained = run_dpp(scenario, 150, budget=1e9)
+        assert constrained.time_average_latency() <= (
+            1.25 * unconstrained.time_average_latency()
+        )
+
+
+class TestSolverOrdering:
+    def test_bdma_dpp_beats_ropt_dpp(self) -> None:
+        scenario = small_scenario()
+        bdma = run_dpp(scenario, 100)
+        ropt = run_dpp(scenario, 100, p2a_solver=ropt_p2a_solver(), z=1)
+        assert bdma.time_average_latency() < ropt.time_average_latency()
+
+    def test_bdma_dpp_at_least_matches_mcba_dpp(self) -> None:
+        scenario = small_scenario()
+        bdma = run_dpp(scenario, 60)
+        mcba = run_dpp(
+            scenario, 60, p2a_solver=mcba_p2a_solver(iterations=300), z=1
+        )
+        assert bdma.time_average_latency() <= 1.05 * mcba.time_average_latency()
+
+    def test_all_variants_satisfy_budget(self) -> None:
+        scenario = small_scenario()
+        for solver, z in ((None, 2), (ropt_p2a_solver(), 1)):
+            result = run_dpp(scenario, 250, p2a_solver=solver, z=z)
+            assert result.time_average_cost() <= scenario.budget * 1.1
+
+
+class TestBudgetSweep:
+    def test_latency_decreases_with_budget(self) -> None:
+        """Fig. 9's main shape: looser budgets buy lower latency."""
+        scenario = small_scenario()
+        latencies = []
+        for fraction in (0.15, 0.5, 0.95):
+            budget = scenario.budget / 0.5 * fraction  # rescale the default
+            result = run_dpp(scenario, 200, budget=budget)
+            latencies.append(result.time_average_latency())
+        assert latencies[0] >= latencies[1] >= latencies[2] * 0.99
+
+
+class TestMobilityIntegration:
+    def test_runs_under_mobility_with_changing_coverage(self) -> None:
+        from repro.radio.mobility import RandomWaypointMobility
+
+        scenario = repro.make_paper_scenario(
+            seed=13,
+            config=repro.ScenarioConfig(num_devices=8),
+            num_base_stations=3,
+            num_clusters=2,
+            servers_per_cluster=2,
+            num_macro_stations=1,
+            mobility=RandomWaypointMobility(
+                6_000.0, speed_range=(20.0, 60.0), slot_seconds=60.0
+            ),
+        )
+        result = run_dpp(scenario, 30)
+        assert result.horizon == 30
+        assert np.all(np.isfinite(result.latency))

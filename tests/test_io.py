@@ -1,0 +1,80 @@
+"""Tests for simulation-result serialisation."""
+
+from __future__ import annotations
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ValidationError
+from repro.io import load_result, save_result, summary_to_dict, summary_to_json
+from repro.sim.results import SimulationResult
+
+
+@pytest.fixture
+def result() -> SimulationResult:
+    rng = np.random.default_rng(0)
+    n = 16
+    return SimulationResult(
+        latency=rng.uniform(1.0, 2.0, n),
+        cost=rng.uniform(0.5, 1.0, n),
+        theta=rng.uniform(-0.2, 0.2, n),
+        backlog=np.abs(rng.standard_normal(n)),
+        solve_seconds=rng.uniform(0.001, 0.01, n),
+        price=rng.uniform(20e-6, 60e-6, n),
+        budget=0.8,
+    )
+
+
+class TestNpzRoundTrip:
+    def test_round_trip_preserves_arrays(self, result, tmp_path) -> None:
+        path = save_result(result, tmp_path / "run")
+        assert path.suffix == ".npz"
+        loaded = load_result(path)
+        for field in ("latency", "cost", "theta", "backlog",
+                      "solve_seconds", "price"):
+            np.testing.assert_allclose(
+                getattr(loaded, field), getattr(result, field)
+            )
+        assert loaded.budget == pytest.approx(0.8)
+
+    def test_round_trip_without_budget(self, result, tmp_path) -> None:
+        result.budget = None
+        loaded = load_result(save_result(result, tmp_path / "nb.npz"))
+        assert loaded.budget is None
+
+    def test_summaries_agree(self, result, tmp_path) -> None:
+        loaded = load_result(save_result(result, tmp_path / "s.npz"))
+        assert summary_to_dict(loaded.summary()) == pytest.approx(
+            summary_to_dict(result.summary())
+        )
+
+    def test_missing_field_rejected(self, result, tmp_path) -> None:
+        path = tmp_path / "broken.npz"
+        np.savez(path, latency=result.latency, format_version=np.array(1))
+        with pytest.raises(ValidationError, match="missing fields"):
+            load_result(path)
+
+    def test_wrong_version_rejected(self, result, tmp_path) -> None:
+        path = save_result(result, tmp_path / "v.npz")
+        with np.load(path) as archive:
+            payload = {k: archive[k] for k in archive.files}
+        payload["format_version"] = np.array(99)
+        np.savez(path, **payload)
+        with pytest.raises(ValidationError, match="version"):
+            load_result(path)
+
+
+class TestJsonSummary:
+    def test_json_is_valid_and_complete(self, result, tmp_path) -> None:
+        path = tmp_path / "summary.json"
+        text = summary_to_json(result.summary(), path)
+        parsed = json.loads(text)
+        assert parsed == json.loads(path.read_text())
+        assert parsed["horizon"] == 16
+        assert parsed["budget_satisfied"] in (True, False)
+        assert set(parsed) == {
+            "horizon", "mean_latency", "mean_cost", "mean_backlog",
+            "final_backlog", "budget_satisfied", "mean_solve_seconds",
+        }

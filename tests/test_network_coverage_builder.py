@@ -1,0 +1,115 @@
+"""Tests for coverage geometry, the scenario builder, and validation."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.energy.models import ScaledEnergyModel
+from repro.exceptions import ConfigurationError, InfeasibleError, TopologyError
+from repro.network.builder import NetworkBuilder, build_paper_network
+from repro.network.coverage import coverage_matrix, distances
+from repro.network.topology import FronthaulType
+from repro.network.validation import validate_network
+
+from conftest import make_tiny_network
+
+
+class TestGeometry:
+    def test_distances_shape_and_values(self) -> None:
+        devices = np.array([[0.0, 0.0], [3.0, 4.0]])
+        stations = np.array([[0.0, 0.0]])
+        dist = distances(devices, stations)
+        np.testing.assert_allclose(dist, [[0.0], [5.0]])
+
+    def test_coverage_boundary_inclusive(self) -> None:
+        devices = np.array([[0.0, 0.0], [0.0, 10.0], [0.0, 10.0001]])
+        stations = np.array([[0.0, 0.0]])
+        cov = coverage_matrix(devices, stations, np.array([10.0]))
+        np.testing.assert_array_equal(cov[:, 0], [True, True, False])
+
+    def test_multi_station_overlap(self) -> None:
+        devices = np.array([[5.0, 0.0]])
+        stations = np.array([[0.0, 0.0], [10.0, 0.0]])
+        cov = coverage_matrix(devices, stations, np.array([6.0, 6.0]))
+        assert cov.sum() == 2
+
+
+class TestBuilder:
+    def test_paper_defaults(self, rng: np.random.Generator) -> None:
+        network, coverage = build_paper_network(rng, num_devices=50)
+        assert network.num_base_stations == 6
+        assert network.num_clusters == 2
+        assert network.num_servers == 16
+        assert network.num_devices == 50
+        # Paper: half the servers have 64 cores, half 128.
+        cores = sorted(s.cores for s in network.servers)
+        assert cores == [64] * 8 + [128] * 8
+        # Every device covered (macro cells span the arena).
+        assert np.all(coverage.any(axis=1))
+        validate_network(network, coverage)
+
+    def test_parameter_ranges_respected(self, rng: np.random.Generator) -> None:
+        network, _ = build_paper_network(rng, num_devices=20)
+        for bs in network.base_stations:
+            assert 50e6 <= bs.access_bandwidth <= 100e6
+            assert 0.5e9 <= bs.fronthaul_bandwidth <= 1.0e9
+            assert bs.fronthaul_spectral_efficiency == 10.0
+            assert bs.fronthaul_type is FronthaulType.WIRED
+            assert len(bs.connected_clusters) == 1
+        for server in network.servers:
+            assert server.freq_min == 1.8
+            assert server.freq_max == 3.6
+            assert isinstance(server.energy_model, ScaledEnergyModel)
+        assert np.all(network.suitability >= 0.5)
+        assert np.all(network.suitability <= 1.0)
+
+    def test_wireless_fronthaul_fraction(self, rng: np.random.Generator) -> None:
+        builder = NetworkBuilder(num_devices=10, wireless_fronthaul_fraction=1.0)
+        network, _ = builder.build(rng)
+        for bs in network.base_stations:
+            assert bs.fronthaul_type is FronthaulType.WIRELESS
+            assert len(bs.connected_clusters) == network.num_clusters
+
+    def test_energy_scaling_toggle(self, rng: np.random.Generator) -> None:
+        plain = NetworkBuilder(num_devices=5, scale_energy_with_cores=False)
+        network, _ = plain.build(rng)
+        assert not isinstance(network.servers[0].energy_model, ScaledEnergyModel)
+
+    def test_determinism_under_same_seed(self) -> None:
+        a, _ = build_paper_network(np.random.default_rng(5), num_devices=15)
+        b, _ = build_paper_network(np.random.default_rng(5), num_devices=15)
+        np.testing.assert_allclose(a.suitability, b.suitability)
+        assert [s.cores for s in a.servers] == [s.cores for s in b.servers]
+
+    def test_invalid_configs_rejected(self) -> None:
+        with pytest.raises(ConfigurationError):
+            NetworkBuilder(num_devices=0)
+        with pytest.raises(ConfigurationError):
+            NetworkBuilder(num_macro_stations=0)
+        with pytest.raises(ConfigurationError):
+            NetworkBuilder(num_base_stations=2, num_macro_stations=3)
+
+
+class TestValidation:
+    def test_tiny_network_valid(self) -> None:
+        net = make_tiny_network()
+        validate_network(net)
+
+    def test_uncovered_device_detected(self) -> None:
+        net = make_tiny_network()
+        coverage = np.zeros((4, 2), dtype=bool)
+        coverage[:, 0] = True
+        coverage[1, :] = False  # device 1 loses all coverage
+        with pytest.raises(InfeasibleError) as excinfo:
+            validate_network(net, coverage)
+        assert excinfo.value.device == 1
+
+    def test_wrong_coverage_shape_rejected(self) -> None:
+        net = make_tiny_network()
+        with pytest.raises(TopologyError):
+            validate_network(net, np.ones((2, 2), dtype=bool))
+
+    def test_energy_convexity_check_runs(self) -> None:
+        net = make_tiny_network()
+        validate_network(net, check_energy_convexity=True)

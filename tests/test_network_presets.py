@@ -1,0 +1,69 @@
+"""Tests for the named topology presets."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ConfigurationError
+from repro.network.presets import PRESETS, get_preset
+from repro.network.topology import FronthaulType
+from repro.network.validation import validate_network
+
+
+class TestRegistry:
+    def test_known_names(self) -> None:
+        assert set(PRESETS) == {
+            "paper-default", "dense-small-cells", "metro-rings", "edge-boxes",
+        }
+
+    def test_unknown_name_rejected(self) -> None:
+        with pytest.raises(ConfigurationError, match="unknown preset"):
+            get_preset("hyperscale")
+
+    @pytest.mark.parametrize("name", sorted(PRESETS))
+    def test_every_preset_builds_a_valid_network(self, name: str) -> None:
+        builder = get_preset(name, num_devices=20)
+        network, coverage = builder.build(np.random.default_rng(0))
+        assert network.num_devices == 20
+        validate_network(network, coverage)
+
+    def test_num_devices_default_used_when_omitted(self) -> None:
+        builder = get_preset("edge-boxes")
+        assert builder.num_devices == 60
+
+
+class TestPresetShapes:
+    def test_paper_default_matches_sec_via(self) -> None:
+        builder = get_preset("paper-default")
+        network, _ = builder.build(np.random.default_rng(1))
+        assert network.num_base_stations == 6
+        assert network.num_servers == 16
+
+    def test_dense_small_cells(self) -> None:
+        network, _ = get_preset("dense-small-cells", 15).build(
+            np.random.default_rng(2)
+        )
+        assert network.num_base_stations == 12
+        radii = sorted(b.coverage_radius for b in network.base_stations)
+        assert radii[0] <= 800.0  # small cells are small
+        assert radii[-1] > 4_000.0  # the macro umbrella
+
+    def test_metro_rings_full_fronthaul_mesh(self) -> None:
+        network, _ = get_preset("metro-rings", 10).build(
+            np.random.default_rng(3)
+        )
+        assert network.num_clusters == 4
+        for bs in network.base_stations:
+            assert bs.fronthaul_type is FronthaulType.WIRELESS
+            assert len(bs.connected_clusters) == 4
+        # Every server reachable from every base station.
+        for k in range(network.num_base_stations):
+            assert network.servers_reachable_from(k).size == network.num_servers
+
+    def test_edge_boxes_low_core(self) -> None:
+        network, _ = get_preset("edge-boxes", 10).build(
+            np.random.default_rng(4)
+        )
+        assert all(s.cores == 16 for s in network.servers)
+        assert network.num_servers == 6

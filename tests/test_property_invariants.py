@@ -1,0 +1,197 @@
+"""Property-based invariants over randomly generated scenarios.
+
+Hypothesis drives random topologies, states, and parameters through the
+full per-slot pipeline, checking the invariants that every component
+must preserve regardless of the draw:
+
+* decisions are always feasible (constraints (1)-(6));
+* Lemma-1 shares saturate their resources exactly;
+* the congestion game's total equals the closed-form latency;
+* CGBA terminates at a Nash profile;
+* the DPP record's accounting identities hold.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+import repro
+from repro.core.allocation import optimal_allocation
+from repro.core.congestion_game import OffloadingCongestionGame
+from repro.core.latency import optimal_total_latency, total_latency
+from repro.core.state import validate_decision
+from repro.network.connectivity import StrategySpace
+
+SCENARIO_SETTINGS = settings(
+    max_examples=15,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow, HealthCheck.data_too_large],
+)
+
+
+def random_setup(seed: int, num_devices: int):
+    scenario = repro.make_paper_scenario(
+        seed=seed,
+        config=repro.ScenarioConfig(num_devices=num_devices),
+        num_base_stations=4,
+        num_clusters=2,
+        servers_per_cluster=3,
+        num_macro_stations=2,
+    )
+    state = next(iter(scenario.fresh_states(1)))
+    space = StrategySpace(scenario.network, state.coverage())
+    return scenario, state, space
+
+
+class TestPipelineInvariants:
+    @SCENARIO_SETTINGS
+    @given(
+        seed=st.integers(0, 10_000),
+        num_devices=st.integers(3, 15),
+        v=st.floats(1.0, 500.0),
+        backlog=st.floats(0.0, 100.0),
+    )
+    def test_dpp_step_is_feasible_and_consistent(
+        self, seed: int, num_devices: int, v: float, backlog: float
+    ) -> None:
+        scenario, state, _ = random_setup(seed, num_devices)
+        controller = repro.DPPController(
+            scenario.network,
+            scenario.controller_rng("prop"),
+            v=v,
+            budget=scenario.budget,
+            z=1,
+            initial_backlog=backlog,
+        )
+        record = controller.step(state)
+        validate_decision(scenario.network, state, record.decision())
+        assert record.theta == pytest.approx(record.cost - scenario.budget)
+        assert record.backlog_after == pytest.approx(
+            max(record.backlog_before + record.theta, 0.0)
+        )
+        recomputed = optimal_total_latency(
+            scenario.network, state, record.assignment, record.frequencies
+        )
+        assert record.latency == pytest.approx(recomputed, rel=1e-9)
+
+    @SCENARIO_SETTINGS
+    @given(seed=st.integers(0, 10_000), num_devices=st.integers(3, 15))
+    def test_lemma1_shares_saturate_resources(
+        self, seed: int, num_devices: int
+    ) -> None:
+        scenario, state, space = random_setup(seed, num_devices)
+        bs_of, server_of = space.random_assignment(
+            np.random.default_rng(seed + 1)
+        )
+        assignment = repro.Assignment(bs_of=bs_of, server_of=server_of)
+        allocation = optimal_allocation(scenario.network, state, assignment)
+        for n in range(scenario.network.num_servers):
+            members = assignment.devices_on_server(n)
+            if members.size:
+                assert allocation.compute_share[members].sum() == (
+                    pytest.approx(1.0)
+                )
+        for k in range(scenario.network.num_base_stations):
+            members = assignment.devices_on_bs(k)
+            if members.size:
+                assert allocation.access_share[members].sum() == (
+                    pytest.approx(1.0)
+                )
+
+    @SCENARIO_SETTINGS
+    @given(seed=st.integers(0, 10_000), num_devices=st.integers(3, 15))
+    def test_closed_form_equals_general_formula(
+        self, seed: int, num_devices: int
+    ) -> None:
+        scenario, state, space = random_setup(seed, num_devices)
+        rng = np.random.default_rng(seed + 2)
+        bs_of, server_of = space.random_assignment(rng)
+        assignment = repro.Assignment(bs_of=bs_of, server_of=server_of)
+        frequencies = rng.uniform(
+            scenario.network.freq_min, scenario.network.freq_max
+        )
+        allocation = optimal_allocation(scenario.network, state, assignment)
+        general = total_latency(
+            scenario.network, state, assignment, allocation, frequencies
+        )
+        closed = optimal_total_latency(
+            scenario.network, state, assignment, frequencies
+        )
+        assert general == pytest.approx(closed, rel=1e-9)
+
+    @SCENARIO_SETTINGS
+    @given(seed=st.integers(0, 10_000), num_devices=st.integers(3, 12))
+    def test_game_total_equals_latency_everywhere(
+        self, seed: int, num_devices: int
+    ) -> None:
+        scenario, state, space = random_setup(seed, num_devices)
+        rng = np.random.default_rng(seed + 3)
+        frequencies = rng.uniform(
+            scenario.network.freq_min, scenario.network.freq_max
+        )
+        game = OffloadingCongestionGame(
+            scenario.network, state, space, frequencies, rng=rng
+        )
+        expected = optimal_total_latency(
+            scenario.network, state, game.assignment(), frequencies
+        )
+        assert game.total_cost() == pytest.approx(expected, rel=1e-9)
+
+    @SCENARIO_SETTINGS
+    @given(seed=st.integers(0, 10_000), num_devices=st.integers(3, 12))
+    def test_cgba_reaches_nash_equilibrium(
+        self, seed: int, num_devices: int
+    ) -> None:
+        scenario, state, space = random_setup(seed, num_devices)
+        rng = np.random.default_rng(seed + 4)
+        frequencies = scenario.network.freq_max.copy()
+        result = repro.solve_p2a_cgba(
+            scenario.network, state, space, frequencies, rng
+        )
+        assert result.converged
+        game = OffloadingCongestionGame(
+            scenario.network, state, space, frequencies,
+            initial=result.assignment,
+        )
+        for player in range(game.num_players):
+            _, best = game.best_response(player)
+            assert game.player_cost(player) <= best + 1e-9
+
+    @SCENARIO_SETTINGS
+    @given(
+        seed=st.integers(0, 10_000),
+        num_devices=st.integers(3, 12),
+        q=st.floats(0.0, 1_000.0),
+        v=st.floats(1.0, 500.0),
+    )
+    def test_p2b_frequencies_within_bounds_and_stationary(
+        self, seed: int, num_devices: int, q: float, v: float
+    ) -> None:
+        scenario, state, space = random_setup(seed, num_devices)
+        rng = np.random.default_rng(seed + 5)
+        bs_of, server_of = space.random_assignment(rng)
+        assignment = repro.Assignment(bs_of=bs_of, server_of=server_of)
+        freqs = repro.solve_p2b(
+            scenario.network, state, assignment, queue_backlog=q, v=v
+        )
+        network = scenario.network
+        assert np.all(freqs >= network.freq_min - 1e-9)
+        assert np.all(freqs <= network.freq_max + 1e-9)
+        # Small perturbations within bounds never improve the objective.
+        from repro.core.drift_penalty import dpp_objective
+
+        base = dpp_objective(
+            network, state, assignment, freqs,
+            queue_backlog=q, v=v, budget=scenario.budget,
+        )
+        for delta in (-0.01, 0.01):
+            perturbed = np.clip(
+                freqs + delta, network.freq_min, network.freq_max
+            )
+            value = dpp_objective(
+                network, state, assignment, perturbed,
+                queue_backlog=q, v=v, budget=scenario.budget,
+            )
+            assert base <= value + 1e-6 * max(1.0, abs(value))

@@ -1,0 +1,154 @@
+"""Tests for channel models, fading, and mobility."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ConfigurationError
+from repro.radio.channel import DistanceChannelModel, UniformChannelModel
+from repro.radio.fading import Ar1Process, CorrelatedChannelModel
+from repro.radio.mobility import RandomWaypointMobility, StaticMobility
+
+
+@pytest.fixture
+def geometry() -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    devices = np.array([[0.0, 0.0], [100.0, 0.0], [2_000.0, 0.0]])
+    stations = np.array([[0.0, 0.0], [1_000.0, 0.0]])
+    coverage = np.array([[True, True], [True, False], [False, True]])
+    return devices, stations, coverage
+
+
+class TestUniformChannel:
+    def test_draws_inside_range_and_zero_off_coverage(
+        self, geometry, rng: np.random.Generator
+    ) -> None:
+        devices, stations, coverage = geometry
+        model = UniformChannelModel(se_min=15.0, se_max=50.0)
+        h = model.spectral_efficiency(0, devices, stations, coverage, rng)
+        assert h.shape == coverage.shape
+        assert np.all(h[coverage] >= 15.0)
+        assert np.all(h[coverage] <= 50.0)
+        assert np.all(h[~coverage] == 0.0)
+
+    def test_iid_over_time(self, geometry, rng: np.random.Generator) -> None:
+        devices, stations, coverage = geometry
+        model = UniformChannelModel()
+        h0 = model.spectral_efficiency(0, devices, stations, coverage, rng)
+        h1 = model.spectral_efficiency(1, devices, stations, coverage, rng)
+        assert not np.allclose(h0[coverage], h1[coverage])
+
+    def test_invalid_range_rejected(self) -> None:
+        with pytest.raises(ConfigurationError):
+            UniformChannelModel(se_min=50.0, se_max=15.0)
+
+
+class TestDistanceChannel:
+    def test_nearer_is_better_on_average(self, rng: np.random.Generator) -> None:
+        devices = np.array([[100.0, 0.0], [2_500.0, 0.0]])
+        stations = np.array([[0.0, 0.0]])
+        coverage = np.ones((2, 1), dtype=bool)
+        model = DistanceChannelModel(shadowing_std=0.0)
+        h = model.spectral_efficiency(0, devices, stations, coverage, rng)
+        assert h[0, 0] > h[1, 0]
+
+    def test_clipped_into_range(self, rng: np.random.Generator) -> None:
+        devices = np.array([[1.0, 0.0], [50_000.0, 0.0]])
+        stations = np.array([[0.0, 0.0]])
+        coverage = np.ones((2, 1), dtype=bool)
+        model = DistanceChannelModel(shadowing_std=10.0)
+        h = model.spectral_efficiency(0, devices, stations, coverage, rng)
+        assert np.all(h >= model.se_min)
+        assert np.all(h <= model.se_max)
+
+    def test_bad_anchors_rejected(self) -> None:
+        with pytest.raises(ConfigurationError):
+            DistanceChannelModel(d_ref=100.0, d_edge=50.0)
+
+
+class TestAr1:
+    def test_stationary_moments(self) -> None:
+        rng = np.random.default_rng(0)
+        process = Ar1Process((2_000,), rho=0.8, rng=rng)
+        states = [process.step(rng) for _ in range(50)]
+        flat = np.concatenate(states)
+        assert abs(float(flat.mean())) < 0.05
+        assert float(flat.std()) == pytest.approx(1.0, abs=0.05)
+
+    def test_temporal_correlation_matches_rho(self) -> None:
+        rng = np.random.default_rng(1)
+        process = Ar1Process((5_000,), rho=0.9, rng=rng)
+        x0 = process.state
+        x1 = process.step(rng)
+        corr = float(np.corrcoef(x0, x1)[0, 1])
+        assert corr == pytest.approx(0.9, abs=0.05)
+
+    def test_invalid_rho_rejected(self) -> None:
+        with pytest.raises(ConfigurationError):
+            Ar1Process((1,), rho=1.0, rng=np.random.default_rng(0))
+
+
+class TestCorrelatedChannel:
+    def test_consecutive_slots_are_correlated(self, geometry) -> None:
+        devices, stations, _ = geometry
+        coverage = np.ones((3, 2), dtype=bool)
+        rng = np.random.default_rng(2)
+        # Constant base field isolates the AR(1) perturbation.
+        base = UniformChannelModel(se_min=30.0, se_max=30.0)
+        model = CorrelatedChannelModel(base, rho=0.95, std=5.0)
+        h_prev = model.spectral_efficiency(0, devices, stations, coverage, rng)
+        diffs, steps = [], []
+        for t in range(1, 200):
+            h = model.spectral_efficiency(t, devices, stations, coverage, rng)
+            diffs.append(np.abs(h - h_prev).mean())
+            steps.append(h.copy())
+            h_prev = h
+        # AR(1) with rho=0.95: per-step moves are much smaller than the
+        # stationary spread.
+        spread = np.std([s.mean() for s in steps])
+        assert np.mean(diffs) < 5.0
+        assert np.all(np.concatenate(steps) >= model.floor)
+
+    def test_respects_coverage(self, geometry) -> None:
+        devices, stations, coverage = geometry
+        model = CorrelatedChannelModel(UniformChannelModel(), rho=0.5)
+        h = model.spectral_efficiency(
+            0, devices, stations, coverage, np.random.default_rng(3)
+        )
+        assert np.all(h[~coverage] == 0.0)
+
+
+class TestMobility:
+    def test_static_is_identity(self, rng: np.random.Generator) -> None:
+        positions = rng.uniform(0, 100, size=(5, 2))
+        new = StaticMobility().step(positions, rng)
+        np.testing.assert_array_equal(new, positions)
+        assert new is not positions  # defensive copy
+
+    def test_waypoint_moves_devices(self) -> None:
+        rng = np.random.default_rng(4)
+        mobility = RandomWaypointMobility(1_000.0, speed_range=(5.0, 10.0),
+                                          slot_seconds=10.0)
+        positions = rng.uniform(0, 1_000.0, size=(10, 2))
+        new = mobility.step(positions, rng)
+        moved = np.linalg.norm(new - positions, axis=1)
+        assert np.all(moved > 0.0)
+        assert np.all(moved <= 10.0 * 10.0 + 1e-9)
+
+    def test_waypoint_stays_in_area(self) -> None:
+        rng = np.random.default_rng(5)
+        mobility = RandomWaypointMobility(500.0, speed_range=(50.0, 80.0),
+                                          slot_seconds=10.0)
+        positions = rng.uniform(0, 500.0, size=(20, 2))
+        for _ in range(100):
+            positions = mobility.step(positions, rng)
+            assert np.all(positions >= 0.0)
+            assert np.all(positions <= 500.0)
+
+    def test_invalid_parameters_rejected(self) -> None:
+        with pytest.raises(ConfigurationError):
+            RandomWaypointMobility(0.0)
+        with pytest.raises(ConfigurationError):
+            RandomWaypointMobility(100.0, speed_range=(5.0, 1.0))
+        with pytest.raises(ConfigurationError):
+            RandomWaypointMobility(100.0, slot_seconds=0.0)

@@ -1,0 +1,97 @@
+"""Tests for repeated-seed replication."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ConfigurationError
+from repro.sim.replication import (
+    ReplicationSpec,
+    execute_replication,
+    run_replications,
+)
+
+SMALL_NETWORK = (
+    ("num_base_stations", 3),
+    ("num_clusters", 2),
+    ("servers_per_cluster", 2),
+    ("num_macro_stations", 1),
+)
+
+
+def small_spec(**overrides) -> ReplicationSpec:
+    fields = dict(
+        num_devices=8,
+        horizon=6,
+        z=1,
+        network_overrides=SMALL_NETWORK,
+    )
+    fields.update(overrides)
+    return ReplicationSpec(**fields)
+
+
+class TestSpec:
+    def test_validation(self) -> None:
+        with pytest.raises(ConfigurationError):
+            ReplicationSpec(solver="gurobi")
+        with pytest.raises(ConfigurationError):
+            ReplicationSpec(horizon=0)
+
+    def test_spec_is_hashable_and_picklable(self) -> None:
+        import pickle
+
+        spec = small_spec()
+        assert hash(spec)
+        assert pickle.loads(pickle.dumps(spec)) == spec
+
+
+class TestExecution:
+    def test_single_replication_outcome(self) -> None:
+        outcome = execute_replication((small_spec(), 3))
+        assert outcome.seed == 3
+        assert outcome.mean_latency > 0.0
+        assert outcome.mean_cost > 0.0
+        assert outcome.budget > 0.0
+
+    def test_deterministic_per_seed(self) -> None:
+        a = execute_replication((small_spec(), 5))
+        b = execute_replication((small_spec(), 5))
+        assert a.mean_latency == pytest.approx(b.mean_latency)
+        assert a.mean_cost == pytest.approx(b.mean_cost)
+
+    def test_solvers_run(self) -> None:
+        for solver in ("bdma", "ropt", "mcba"):
+            outcome = execute_replication((small_spec(solver=solver), 1))
+            assert np.isfinite(outcome.mean_latency)
+
+
+class TestAggregation:
+    def test_sequential_report(self) -> None:
+        report = run_replications(small_spec(), seeds=(0, 1, 2))
+        assert len(report.outcomes) == 3
+        assert report.latency is not None
+        assert report.latency.num_runs == 3
+        assert report.latency.ci_low <= report.latency.mean <= report.latency.ci_high
+        assert 0.0 <= report.budget_satisfaction_rate() <= 1.0
+
+    def test_parallel_matches_sequential(self) -> None:
+        seeds = (0, 1)
+        sequential = run_replications(small_spec(), seeds=seeds)
+        parallel = run_replications(small_spec(), seeds=seeds, processes=2)
+        for a, b in zip(sequential.outcomes, parallel.outcomes):
+            assert a.seed == b.seed
+            assert a.mean_latency == pytest.approx(b.mean_latency)
+
+    def test_empty_seeds_rejected(self) -> None:
+        with pytest.raises(ConfigurationError):
+            run_replications(small_spec(), seeds=())
+
+    def test_bdma_beats_ropt_across_seeds(self) -> None:
+        seeds = (0, 1, 2)
+        bdma = run_replications(small_spec(horizon=12), seeds=seeds)
+        ropt = run_replications(
+            small_spec(horizon=12, solver="ropt"), seeds=seeds
+        )
+        assert bdma.latency is not None and ropt.latency is not None
+        assert bdma.latency.mean < ropt.latency.mean

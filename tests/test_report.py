@@ -1,0 +1,71 @@
+"""Tests for the consolidated report generator."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import pytest
+
+from repro.exceptions import ConfigurationError
+from repro.experiments.report import QUICK_SET, generate_report
+
+
+@dataclass
+class _StubResult:
+    text: str = "stub table"
+    fail: bool = False
+
+    def table(self) -> str:
+        return self.text
+
+    def verify(self) -> None:
+        if self.fail:
+            raise AssertionError("stub claim violated")
+
+
+def stub_runners(fail_one: bool = False):
+    return {
+        "good": lambda: _StubResult("GOOD TABLE"),
+        "bad": lambda: _StubResult("BAD TABLE", fail=fail_one),
+    }
+
+
+class TestGenerateReport:
+    def test_renders_tables_and_verdicts(self) -> None:
+        text = generate_report(["good", "bad"], runners=stub_runners())
+        assert "## good" in text
+        assert "GOOD TABLE" in text
+        assert text.count("all qualitative claims hold") == 2
+
+    def test_verification_failure_is_reported_not_raised(self) -> None:
+        text = generate_report(
+            ["good", "bad"], runners=stub_runners(fail_one=True)
+        )
+        assert "**FAILED**: stub claim violated" in text
+        assert "all qualitative claims hold" in text  # the good one
+
+    def test_no_verify_mode(self) -> None:
+        text = generate_report(
+            ["bad"], runners=stub_runners(fail_one=True), verify=False
+        )
+        assert "FAILED" not in text
+
+    def test_unknown_name_rejected(self) -> None:
+        with pytest.raises(ConfigurationError, match="unknown experiment"):
+            generate_report(["nope"], runners=stub_runners())
+
+    def test_writes_to_file(self, tmp_path) -> None:
+        path = tmp_path / "report.md"
+        text = generate_report(["good"], runners=stub_runners(), path=path)
+        assert path.read_text() == text
+
+    def test_quick_set_is_registered(self) -> None:
+        from repro.experiments import RUNNERS
+
+        assert set(QUICK_SET) <= set(RUNNERS)
+
+    def test_real_quick_experiment_end_to_end(self) -> None:
+        # One genuinely cheap experiment through the real registry.
+        text = generate_report(["fig3"])
+        assert "Fig. 3" in text
+        assert "all qualitative claims hold" in text

@@ -1,0 +1,152 @@
+"""Robustness tests: extreme states and failure injection.
+
+A controller running for months will see degenerate slots -- idle
+devices, demand spikes, price spikes, free electricity, coverage
+collapse.  These tests drive such slots through the full pipeline and
+require finite, feasible, constraint-respecting decisions.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+import repro
+from repro.core.state import SlotState, validate_decision
+from repro.exceptions import InfeasibleError
+
+from conftest import make_tiny_network, make_tiny_state
+
+
+def make_controller(network, **overrides) -> repro.DPPController:
+    defaults = dict(v=50.0, budget=20.0, z=2)
+    defaults.update(overrides)
+    return repro.DPPController(network, np.random.default_rng(0), **defaults)
+
+
+def tiny_state(**overrides) -> SlotState:
+    base = make_tiny_state()
+    fields = dict(
+        t=base.t,
+        cycles=base.cycles,
+        bits=base.bits,
+        spectral_efficiency=base.spectral_efficiency,
+        price=base.price,
+    )
+    fields.update(overrides)
+    return SlotState(**fields)
+
+
+class TestDegenerateSlots:
+    def test_all_devices_idle(self) -> None:
+        network = make_tiny_network()
+        controller = make_controller(network)
+        state = tiny_state(cycles=np.zeros(4), bits=np.zeros(4))
+        record = controller.step(state)
+        assert record.latency == 0.0
+        validate_decision(network, state, record.decision())
+        # Idle system + positive queue pressure: clocks park at F^L.
+        controller2 = make_controller(network, initial_backlog=10.0)
+        record2 = controller2.step(state)
+        np.testing.assert_allclose(record2.frequencies, network.freq_min)
+
+    def test_single_active_device(self) -> None:
+        network = make_tiny_network()
+        controller = make_controller(network)
+        cycles = np.zeros(4)
+        cycles[2] = 150e6
+        bits = np.zeros(4)
+        bits[2] = 8e6
+        state = tiny_state(cycles=cycles, bits=bits)
+        record = controller.step(state)
+        assert np.isfinite(record.latency)
+        assert record.latency > 0.0
+        validate_decision(network, state, record.decision())
+
+    def test_demand_spike(self) -> None:
+        network = make_tiny_network()
+        controller = make_controller(network)
+        state = tiny_state(cycles=np.full(4, 1e12), bits=np.full(4, 1e9))
+        record = controller.step(state)
+        assert np.isfinite(record.latency)
+        validate_decision(network, state, record.decision())
+
+    def test_price_spike_with_pressure_throttles_clocks(self) -> None:
+        network = make_tiny_network()
+        controller = make_controller(network, initial_backlog=50.0)
+        cheap = controller.step(tiny_state(price=1e-6))
+        controller.reset()
+        spiky = controller.step(tiny_state(price=1e3))
+        assert spiky.frequencies.mean() < cheap.frequencies.mean()
+        np.testing.assert_allclose(spiky.frequencies, network.freq_min, atol=1e-6)
+
+    def test_free_electricity_runs_flat_out(self) -> None:
+        network = make_tiny_network()
+        controller = make_controller(network, initial_backlog=1e6)
+        record = controller.step(tiny_state(price=0.0))
+        np.testing.assert_allclose(record.frequencies, network.freq_max)
+
+    def test_near_zero_channel_is_finite(self) -> None:
+        network = make_tiny_network()
+        controller = make_controller(network)
+        h = make_tiny_state().spectral_efficiency.copy()
+        h[h > 0] = 1e-6  # abysmal but positive channels
+        record = controller.step(tiny_state(spectral_efficiency=h))
+        assert np.isfinite(record.latency)
+
+
+class TestCoverageFailures:
+    def test_total_coverage_loss_raises_cleanly(self) -> None:
+        network = make_tiny_network()
+        controller = make_controller(network)
+        h = np.zeros((4, 2))
+        h[0, 0] = h[1, 0] = h[3, 0] = 20.0  # device 2 sees nobody
+        with pytest.raises(InfeasibleError) as excinfo:
+            controller.step(tiny_state(spectral_efficiency=h))
+        assert excinfo.value.device == 2
+
+    def test_small_cell_outage_reroutes_devices(self) -> None:
+        network = make_tiny_network()
+        controller = make_controller(network)
+        healthy = controller.step(make_tiny_state(t=0))
+        # BS1 goes dark; devices 2/3 must fall back to the macro cell.
+        h = make_tiny_state().spectral_efficiency.copy()
+        h[:, 1] = 0.0
+        record = controller.step(tiny_state(spectral_efficiency=h))
+        assert np.all(record.assignment.bs_of == 0)
+        validate_decision(
+            network, tiny_state(spectral_efficiency=h), record.decision()
+        )
+        del healthy
+
+    def test_outage_and_recovery_round_trip(self) -> None:
+        network = make_tiny_network()
+        controller = make_controller(network)
+        outage = make_tiny_state().spectral_efficiency.copy()
+        outage[:, 1] = 0.0
+        for t, h in enumerate(
+            [make_tiny_state().spectral_efficiency, outage,
+             make_tiny_state().spectral_efficiency]
+        ):
+            record = controller.step(tiny_state(spectral_efficiency=h))
+            assert np.isfinite(record.latency)
+
+
+class TestLongRunStability:
+    def test_no_drift_over_long_horizon(self, small_scenario) -> None:
+        controller = repro.DPPController(
+            small_scenario.network,
+            small_scenario.controller_rng(),
+            v=100.0,
+            budget=small_scenario.budget,
+            z=1,
+        )
+        result = repro.run_simulation(
+            controller,
+            small_scenario.fresh_states(400),
+            budget=small_scenario.budget,
+        )
+        assert np.all(np.isfinite(result.latency))
+        assert np.all(result.backlog >= 0.0)
+        # Queue stays bounded (stable system under a feasible budget).
+        assert result.backlog.max() < 1e4

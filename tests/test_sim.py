@@ -1,0 +1,206 @@
+"""Tests for seeding, scenario state generation, engine, metrics, results."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+import repro
+from repro.core.controller import OnlineController, SlotRecord
+from repro.core.state import Assignment, ResourceAllocation, SlotState
+from repro.exceptions import ConfigurationError
+from repro.sim.engine import run_simulation
+from repro.sim.metrics import (
+    converged_tail_mean,
+    cumulative_time_average,
+    slope,
+    window_averages,
+)
+from repro.sim.seeding import SeedBank
+
+
+class TestSeedBank:
+    def test_same_name_same_stream(self) -> None:
+        bank = SeedBank(7)
+        a = bank.rng("workload").uniform(size=5)
+        b = bank.rng("workload").uniform(size=5)
+        np.testing.assert_array_equal(a, b)
+
+    def test_different_names_independent(self) -> None:
+        bank = SeedBank(7)
+        a = bank.rng("workload").uniform(size=5)
+        b = bank.rng("channel").uniform(size=5)
+        assert not np.allclose(a, b)
+
+    def test_different_seeds_differ(self) -> None:
+        a = SeedBank(1).rng("x").uniform(size=5)
+        b = SeedBank(2).rng("x").uniform(size=5)
+        assert not np.allclose(a, b)
+
+    def test_child_banks(self) -> None:
+        bank = SeedBank(7)
+        c1 = bank.child("run1").rng("x").uniform(size=3)
+        c2 = bank.child("run2").rng("x").uniform(size=3)
+        again = bank.child("run1").rng("x").uniform(size=3)
+        assert not np.allclose(c1, c2)
+        np.testing.assert_array_equal(c1, again)
+
+
+class TestStateGeneration:
+    def test_states_are_valid_and_sized(self, small_scenario: repro.Scenario) -> None:
+        states = list(small_scenario.fresh_states(5))
+        assert len(states) == 5
+        for t, state in enumerate(states):
+            assert state.t == t
+            assert state.num_devices == small_scenario.network.num_devices
+            assert state.price > 0.0
+            assert np.all(state.cycles > 0.0)
+            assert np.all(state.bits > 0.0)
+            assert np.all(state.coverage().any(axis=1))
+
+    def test_fresh_states_reproducible(self, small_scenario: repro.Scenario) -> None:
+        first = [s.price for s in small_scenario.fresh_states(6)]
+        second = [s.price for s in small_scenario.fresh_states(6)]
+        np.testing.assert_allclose(first, second)
+        c_first = next(iter(small_scenario.fresh_states(1))).cycles
+        c_second = next(iter(small_scenario.fresh_states(1))).cycles
+        np.testing.assert_allclose(c_first, c_second)
+
+    def test_price_scale_applied(self, small_scenario: repro.Scenario) -> None:
+        # $/MWh trends in the tens; scaled to dollars per watt-slot.
+        state = next(iter(small_scenario.fresh_states(1)))
+        assert state.price < 1e-3
+
+    def test_device_count_mismatch_rejected(
+        self, small_scenario: repro.Scenario
+    ) -> None:
+        from repro.radio.channel import UniformChannelModel
+        from repro.sim.scenario import StateGenerator
+        from repro.energy.pricing import ConstantPriceModel
+        from repro.workload.generators import UniformTaskGenerator
+
+        with pytest.raises(ConfigurationError):
+            StateGenerator(
+                small_scenario.network,
+                UniformTaskGenerator(small_scenario.network.num_devices + 1),
+                UniformChannelModel(),
+                ConstantPriceModel(1.0),
+            )
+
+
+class _CountingController(OnlineController):
+    """Minimal controller double for engine tests."""
+
+    def __init__(self) -> None:
+        self.steps = 0
+
+    def step(self, state: SlotState) -> SlotRecord:
+        self.steps += 1
+        n = state.num_devices
+        assignment = Assignment(
+            bs_of=np.zeros(n, dtype=np.int64), server_of=np.zeros(n, dtype=np.int64)
+        )
+        allocation = ResourceAllocation(
+            access_share=np.full(n, 1.0 / n),
+            fronthaul_share=np.full(n, 1.0 / n),
+            compute_share=np.full(n, 1.0 / n),
+        )
+        return SlotRecord(
+            t=state.t,
+            assignment=assignment,
+            frequencies=np.array([2.0]),
+            allocation=allocation,
+            latency=float(state.t + 1),
+            cost=2.0,
+            theta=1.0,
+            backlog_before=float(state.t),
+            backlog_after=float(state.t + 1),
+            solve_seconds=0.001,
+        )
+
+    def reset(self) -> None:
+        self.steps = 0
+
+
+class TestEngine:
+    def make_states(self, horizon: int) -> list[SlotState]:
+        return [
+            SlotState(
+                t=t,
+                cycles=np.array([1.0]),
+                bits=np.array([1.0]),
+                spectral_efficiency=np.array([[20.0]]),
+                price=0.5,
+            )
+            for t in range(horizon)
+        ]
+
+    def test_trajectories_collected(self) -> None:
+        controller = _CountingController()
+        result = run_simulation(controller, self.make_states(4), budget=1.5)
+        assert controller.steps == 4
+        assert result.horizon == 4
+        np.testing.assert_allclose(result.latency, [1.0, 2.0, 3.0, 4.0])
+        np.testing.assert_allclose(result.cost, 2.0)
+        np.testing.assert_allclose(result.price, 0.5)
+        assert result.budget == 1.5
+        assert result.records == []
+
+    def test_keep_records(self) -> None:
+        result = run_simulation(
+            _CountingController(), self.make_states(3), keep_records=True
+        )
+        assert len(result.records) == 3
+        assert result.records[2].t == 2
+
+    def test_on_slot_callback(self) -> None:
+        seen = []
+        run_simulation(
+            _CountingController(), self.make_states(3), on_slot=lambda r: seen.append(r.t)
+        )
+        assert seen == [0, 1, 2]
+
+    def test_summary(self) -> None:
+        result = run_simulation(_CountingController(), self.make_states(4), budget=1.5)
+        summary = result.summary()
+        assert summary.horizon == 4
+        assert summary.mean_latency == pytest.approx(2.5)
+        assert summary.mean_cost == pytest.approx(2.0)
+        assert summary.budget_satisfied is False
+        assert summary.final_backlog == pytest.approx(4.0)
+
+    def test_summary_without_budget(self) -> None:
+        result = run_simulation(_CountingController(), self.make_states(2))
+        assert result.summary().budget_satisfied is None
+
+
+class TestMetrics:
+    def test_window_averages(self) -> None:
+        values = np.arange(10, dtype=float)
+        np.testing.assert_allclose(window_averages(values, 4), [1.5, 5.5])
+
+    def test_window_validation(self) -> None:
+        with pytest.raises(ConfigurationError):
+            window_averages(np.arange(3, dtype=float), 0)
+        with pytest.raises(ConfigurationError):
+            window_averages(np.arange(3, dtype=float), 5)
+
+    def test_cumulative_time_average(self) -> None:
+        np.testing.assert_allclose(
+            cumulative_time_average(np.array([2.0, 4.0, 6.0])), [2.0, 3.0, 4.0]
+        )
+        assert cumulative_time_average(np.array([])).size == 0
+
+    def test_converged_tail_mean(self) -> None:
+        values = np.concatenate([np.full(50, 100.0), np.full(50, 2.0)])
+        assert converged_tail_mean(values, fraction=0.5) == pytest.approx(2.0)
+        with pytest.raises(ConfigurationError):
+            converged_tail_mean(values, fraction=0.0)
+        with pytest.raises(ConfigurationError):
+            converged_tail_mean(np.array([]))
+
+    def test_slope(self) -> None:
+        assert slope(np.array([0.0, 1.0, 2.0, 3.0])) == pytest.approx(1.0)
+        assert slope(np.full(10, 5.0)) == pytest.approx(0.0)
+        with pytest.raises(ConfigurationError):
+            slope(np.array([1.0]))

@@ -1,0 +1,140 @@
+"""Tests for the quadratic congestion assignment substrate."""
+
+from __future__ import annotations
+
+import itertools
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.solvers.assignment import (
+    QuadraticCongestionProblem,
+    congestion_free_lower_bound,
+)
+
+
+def make_problem(
+    num_items: int = 3,
+    num_resources: int = 4,
+    options_per_item: int = 3,
+    seed: int = 0,
+) -> QuadraticCongestionProblem:
+    rng = np.random.default_rng(seed)
+    options = []
+    item_weights = []
+    for _ in range(num_items):
+        opts, weights = [], []
+        for _ in range(options_per_item):
+            used = rng.choice(num_resources, size=2, replace=False)
+            opts.append(np.sort(used).astype(np.int64))
+            weights.append(rng.uniform(0.5, 2.0, size=2))
+        options.append(opts)
+        item_weights.append(weights)
+    return QuadraticCongestionProblem(
+        num_items=num_items,
+        num_resources=num_resources,
+        resource_weights=rng.uniform(0.5, 1.5, size=num_resources),
+        options=options,
+        item_weights=item_weights,
+    )
+
+
+class TestConstruction:
+    def test_empty_option_list_rejected(self) -> None:
+        with pytest.raises(ValueError, match="no feasible option"):
+            QuadraticCongestionProblem(
+                num_items=1,
+                num_resources=1,
+                resource_weights=np.ones(1),
+                options=[[]],
+                item_weights=[[]],
+            )
+
+    def test_mismatched_lengths_rejected(self) -> None:
+        with pytest.raises(ValueError):
+            QuadraticCongestionProblem(
+                num_items=2,
+                num_resources=1,
+                resource_weights=np.ones(1),
+                options=[[np.array([0])]],
+                item_weights=[[np.array([1.0])], [np.array([1.0])]],
+            )
+
+
+class TestCostAlgebra:
+    def test_total_cost_matches_direct_formula(self) -> None:
+        problem = make_problem(seed=1)
+        choice = [0, 1, 2]
+        loads = np.zeros(problem.num_resources)
+        for i, j in enumerate(choice):
+            loads[problem.options[i][j]] += problem.item_weights[i][j]
+        expected = float(problem.resource_weights @ (loads**2))
+        assert problem.total_cost(choice) == pytest.approx(expected)
+
+    def test_marginal_cost_equals_total_difference(self) -> None:
+        problem = make_problem(seed=2)
+        loads = np.zeros(problem.num_resources)
+        problem.apply(0, 1, loads)
+        before = float(problem.resource_weights @ (loads**2))
+        marginal = problem.marginal_cost(1, 0, loads)
+        problem.apply(1, 0, loads)
+        after = float(problem.resource_weights @ (loads**2))
+        assert marginal == pytest.approx(after - before)
+
+    def test_marginal_costs_vectorised_matches_scalar(self) -> None:
+        problem = make_problem(seed=3)
+        loads = np.zeros(problem.num_resources)
+        problem.apply(0, 0, loads)
+        vec = problem.marginal_costs(1, loads)
+        for j in range(len(problem.options[1])):
+            assert vec[j] == pytest.approx(problem.marginal_cost(1, j, loads))
+
+    def test_apply_remove_roundtrip(self) -> None:
+        problem = make_problem(seed=4)
+        loads = np.zeros(problem.num_resources)
+        problem.apply(2, 1, loads)
+        problem.remove(2, 1, loads)
+        np.testing.assert_allclose(loads, 0.0, atol=1e-15)
+
+    def test_cheapest_option_is_argmin(self) -> None:
+        problem = make_problem(seed=5)
+        loads = np.abs(np.random.default_rng(0).standard_normal(4))
+        j, cost = problem.cheapest_option(0, loads)
+        all_costs = [
+            problem.marginal_cost(0, jj, loads)
+            for jj in range(len(problem.options[0]))
+        ]
+        assert cost == pytest.approx(min(all_costs))
+        assert all_costs[j] == pytest.approx(cost)
+
+
+class TestLowerBound:
+    def test_bound_never_exceeds_any_assignment(self) -> None:
+        problem = make_problem(num_items=3, options_per_item=2, seed=6)
+        bound = congestion_free_lower_bound(problem)
+        for combo in itertools.product(range(2), repeat=3):
+            assert bound <= problem.total_cost(list(combo)) + 1e-9
+
+    def test_bound_tight_when_items_never_collide(self) -> None:
+        # One item per resource, one option each: no congestion at all.
+        problem = QuadraticCongestionProblem(
+            num_items=2,
+            num_resources=2,
+            resource_weights=np.array([1.0, 2.0]),
+            options=[[np.array([0])], [np.array([1])]],
+            item_weights=[[np.array([3.0])], [np.array([0.5])]],
+        )
+        bound = congestion_free_lower_bound(problem)
+        assert bound == pytest.approx(problem.total_cost([0, 0]))
+
+    @settings(max_examples=25, deadline=None)
+    @given(seed=st.integers(0, 10_000))
+    def test_property_bound_below_brute_force_optimum(self, seed: int) -> None:
+        problem = make_problem(num_items=3, options_per_item=2, seed=seed)
+        bound = congestion_free_lower_bound(problem)
+        optimum = min(
+            problem.total_cost(list(c))
+            for c in itertools.product(range(2), repeat=3)
+        )
+        assert bound <= optimum + 1e-9

@@ -1,0 +1,72 @@
+"""Tests for the Frank-Wolfe relaxation bound."""
+
+from __future__ import annotations
+
+import itertools
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.exceptions import SolverError
+from repro.solvers.relaxation import solve_fractional_relaxation
+
+from test_solvers_assignment import make_problem
+
+
+def brute_force_optimum(problem) -> float:
+    sizes = [len(problem.options[i]) for i in range(problem.num_items)]
+    return min(
+        problem.total_cost(list(combo))
+        for combo in itertools.product(*(range(s) for s in sizes))
+    )
+
+
+class TestFrankWolfe:
+    def test_lower_bound_below_integer_optimum(self) -> None:
+        problem = make_problem(num_items=4, options_per_item=3, seed=11)
+        result = solve_fractional_relaxation(problem, max_iter=400)
+        optimum = brute_force_optimum(problem)
+        assert result.lower_bound <= optimum + 1e-9
+
+    def test_value_at_least_lower_bound(self) -> None:
+        problem = make_problem(seed=12)
+        result = solve_fractional_relaxation(problem)
+        assert result.value >= result.lower_bound - 1e-9
+
+    def test_gap_shrinks_with_iterations(self) -> None:
+        problem = make_problem(num_items=6, options_per_item=4, seed=13)
+        short = solve_fractional_relaxation(problem, max_iter=5, gap_tol=0.0)
+        long = solve_fractional_relaxation(problem, max_iter=400, gap_tol=0.0)
+        assert long.gap <= short.gap + 1e-12
+
+    def test_single_option_items_are_exact(self) -> None:
+        # With one option each the relaxation IS the integer problem.
+        problem = make_problem(num_items=3, options_per_item=1, seed=14)
+        result = solve_fractional_relaxation(problem, max_iter=50)
+        expected = problem.total_cost([0, 0, 0])
+        assert result.value == pytest.approx(expected, rel=1e-6)
+        assert result.lower_bound == pytest.approx(expected, rel=1e-4)
+
+    def test_invalid_max_iter(self) -> None:
+        problem = make_problem(seed=15)
+        with pytest.raises(SolverError):
+            solve_fractional_relaxation(problem, max_iter=0)
+
+    def test_lower_bound_nonnegative(self) -> None:
+        problem = make_problem(seed=16)
+        result = solve_fractional_relaxation(problem, max_iter=3, gap_tol=0.0)
+        assert result.lower_bound >= 0.0
+
+    @settings(max_examples=20, deadline=None)
+    @given(seed=st.integers(0, 10_000))
+    def test_property_certificate_validity(self, seed: int) -> None:
+        problem = make_problem(num_items=3, options_per_item=2, seed=seed)
+        result = solve_fractional_relaxation(problem, max_iter=200)
+        assert result.lower_bound <= brute_force_optimum(problem) + 1e-9
+
+    def test_converges_tight_on_large_instance(self) -> None:
+        problem = make_problem(num_items=30, options_per_item=5, seed=17)
+        result = solve_fractional_relaxation(problem, max_iter=800)
+        # Relative duality gap should be tiny after enough iterations.
+        assert result.gap <= 1e-3 * max(1.0, result.value)

@@ -1,0 +1,133 @@
+"""Tests for the theory-bound helpers and fairness metrics."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+import repro
+from repro.analysis.fairness import (
+    deadline_miss_rate,
+    jain_index,
+    slot_latency_fairness,
+)
+from repro.core.congestion_game import OffloadingCongestionGame
+from repro.core.theory import (
+    bdma_approximation_ratio,
+    cgba_iteration_bound,
+    check_bdma_guarantee,
+    check_cgba_guarantee,
+)
+from repro.exceptions import ConfigurationError
+from repro.network.connectivity import StrategySpace
+
+from conftest import make_tiny_network, make_tiny_state
+from helpers import brute_force_p2a
+
+
+class TestRatios:
+    def test_bdma_ratio_composition(self) -> None:
+        network = make_tiny_network()  # R_F = 2.0
+        assert bdma_approximation_ratio(network) == pytest.approx(2.62 * 2.0)
+        assert bdma_approximation_ratio(network, slack=0.1) == pytest.approx(
+            2.62 * 2.0 / 0.2
+        )
+
+    def test_cgba_guarantee_holds_on_tiny_instance(self) -> None:
+        network = make_tiny_network()
+        state = make_tiny_state()
+        space = StrategySpace(network, state.coverage())
+        frequencies = np.array([2.0, 3.0, 2.5])
+        _, optimum = brute_force_p2a(network, state, space, frequencies)
+        for seed in range(5):
+            result = repro.solve_p2a_cgba(
+                network, state, space, frequencies, np.random.default_rng(seed)
+            )
+            check = check_cgba_guarantee(result.total_latency, optimum)
+            assert check.satisfied
+            assert check.headroom > 1.0  # bound is loose in practice
+
+    def test_bdma_guarantee_check(self) -> None:
+        network = make_tiny_network()
+        check = check_bdma_guarantee(
+            network, measured_objective=10.0, reference_objective=3.0
+        )
+        assert check.bound == pytest.approx(2.62 * 2.0 * 3.0)
+        assert check.satisfied
+        failing = check_bdma_guarantee(
+            network, measured_objective=100.0, reference_objective=3.0
+        )
+        assert not failing.satisfied
+
+    def test_iteration_bound(self) -> None:
+        network = make_tiny_network()
+        state = make_tiny_state()
+        space = StrategySpace(network, state.coverage())
+        game = OffloadingCongestionGame(
+            network, state, space, np.full(3, 2.0),
+            rng=np.random.default_rng(0),
+        )
+        bound_01 = cgba_iteration_bound(game, 0.1)
+        bound_001 = cgba_iteration_bound(game, 0.01)
+        assert bound_001 == pytest.approx(10.0 * bound_01)
+        with pytest.raises(ValueError):
+            cgba_iteration_bound(game, 0.0)
+
+
+class TestJainIndex:
+    def test_equal_allocation_is_one(self) -> None:
+        assert jain_index(np.full(7, 3.2)) == pytest.approx(1.0)
+
+    def test_single_winner_is_one_over_n(self) -> None:
+        values = np.zeros(10)
+        values[3] = 5.0
+        assert jain_index(values) == pytest.approx(0.1)
+
+    def test_validation(self) -> None:
+        with pytest.raises(ConfigurationError):
+            jain_index(np.array([]))
+        with pytest.raises(ConfigurationError):
+            jain_index(np.zeros(3))
+        with pytest.raises(ConfigurationError):
+            jain_index(np.array([-1.0, 2.0]))
+
+
+class TestDeadlineMissRate:
+    def test_counts_exceedances(self) -> None:
+        latencies = np.array([0.1, 0.2, 0.5, 1.0])
+        assert deadline_miss_rate(latencies, 0.3) == pytest.approx(0.5)
+        assert deadline_miss_rate(latencies, 2.0) == 0.0
+        assert deadline_miss_rate(latencies, 0.05) == 1.0
+
+    def test_validation(self) -> None:
+        with pytest.raises(ConfigurationError):
+            deadline_miss_rate(np.array([]), 1.0)
+        with pytest.raises(ConfigurationError):
+            deadline_miss_rate(np.array([1.0]), 0.0)
+
+
+class TestSlotFairness:
+    def test_statistics_from_dpp_record(self) -> None:
+        network = make_tiny_network()
+        controller = repro.DPPController(
+            network, np.random.default_rng(0), v=50.0, budget=20.0, z=1
+        )
+        state = make_tiny_state()
+        record = controller.step(state)
+        fairness = slot_latency_fairness(network, state, record)
+        assert 0.0 < fairness.jain <= 1.0
+        assert fairness.worst >= fairness.p95 >= fairness.mean > 0.0
+        assert fairness.worst_to_mean >= 1.0
+
+    def test_square_root_fairness_is_reasonably_even(self) -> None:
+        # Lemma 1's sqrt-proportional shares keep per-device latencies in
+        # the same ballpark on homogeneous-ish demands.
+        network = make_tiny_network()
+        controller = repro.DPPController(
+            network, np.random.default_rng(1), v=50.0, budget=20.0, z=2
+        )
+        state = make_tiny_state()
+        fairness = slot_latency_fairness(
+            network, state, controller.step(state)
+        )
+        assert fairness.jain > 0.6

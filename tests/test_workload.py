@@ -1,0 +1,199 @@
+"""Tests for task batches, generators, traces, and suitability draws."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.exceptions import ConfigurationError, ValidationError
+from repro.workload.generators import (
+    PeriodicTaskGenerator,
+    TraceTaskGenerator,
+    UniformTaskGenerator,
+)
+from repro.workload.suitability import clustered_suitability, uniform_suitability
+from repro.workload.tasks import TaskBatch
+from repro.workload.traces import diurnal_profile, synthetic_video_views
+
+
+class TestTaskBatch:
+    def test_basic_properties(self) -> None:
+        batch = TaskBatch(cycles=np.array([1e6, 2e6]), bits=np.array([1e3, 3e3]))
+        assert batch.num_devices == 2
+        assert batch.total_cycles == pytest.approx(3e6)
+        assert batch.total_bits == pytest.approx(4e3)
+
+    def test_scaled(self) -> None:
+        batch = TaskBatch(cycles=np.array([2.0]), bits=np.array([4.0]))
+        scaled = batch.scaled(cycle_factor=0.5, bit_factor=2.0)
+        assert scaled.cycles[0] == pytest.approx(1.0)
+        assert scaled.bits[0] == pytest.approx(8.0)
+
+    def test_mismatched_shapes_rejected(self) -> None:
+        with pytest.raises(ValidationError):
+            TaskBatch(cycles=np.array([1.0, 2.0]), bits=np.array([1.0]))
+
+    def test_negative_rejected(self) -> None:
+        with pytest.raises(ValidationError):
+            TaskBatch(cycles=np.array([-1.0]), bits=np.array([1.0]))
+
+    def test_nan_rejected(self) -> None:
+        with pytest.raises(ValueError):
+            TaskBatch(cycles=np.array([np.nan]), bits=np.array([1.0]))
+
+
+class TestUniformGenerator:
+    def test_paper_ranges(self, rng: np.random.Generator) -> None:
+        gen = UniformTaskGenerator(200)
+        batch = gen.generate(0, rng)
+        assert batch.num_devices == 200
+        assert np.all(batch.cycles >= 50e6) and np.all(batch.cycles <= 200e6)
+        assert np.all(batch.bits >= 3e6) and np.all(batch.bits <= 10e6)
+
+    def test_iid_across_slots(self, rng: np.random.Generator) -> None:
+        gen = UniformTaskGenerator(50)
+        b0, b1 = gen.generate(0, rng), gen.generate(1, rng)
+        assert not np.allclose(b0.cycles, b1.cycles)
+
+    def test_invalid_config_rejected(self) -> None:
+        with pytest.raises(ConfigurationError):
+            UniformTaskGenerator(0)
+        with pytest.raises(ConfigurationError):
+            UniformTaskGenerator(5, cycles_range=(10.0, 1.0))
+
+
+class TestPeriodicGenerator:
+    def make(self, noise_cv: float = 0.0) -> PeriodicTaskGenerator:
+        return PeriodicTaskGenerator(
+            base_cycles=np.full(8, 100e6),
+            base_bits=np.full(8, 5e6),
+            profile=np.array([0.5, 1.0, 1.5, 1.0]),
+            noise_cv=noise_cv,
+        )
+
+    def test_trend_is_periodic(self, rng: np.random.Generator) -> None:
+        gen = self.make()
+        assert gen.period == 4
+        b0 = gen.generate(0, rng)
+        b4 = gen.generate(4, rng)
+        np.testing.assert_allclose(b0.cycles, b4.cycles)
+        np.testing.assert_allclose(b0.cycles, 50e6)
+        np.testing.assert_allclose(gen.generate(2, rng).cycles, 150e6)
+
+    def test_noise_respects_floor(self) -> None:
+        gen = PeriodicTaskGenerator(
+            base_cycles=np.full(100, 1.0),
+            base_bits=np.full(100, 1.0),
+            profile=np.array([0.1]),
+            noise_cv=5.0,
+            floor_fraction=0.05,
+        )
+        batch = gen.generate(0, np.random.default_rng(0))
+        assert np.all(batch.cycles >= 0.05)
+        assert np.all(batch.bits >= 0.05)
+
+    def test_mean_tracks_trend(self) -> None:
+        gen = self.make(noise_cv=0.2)
+        rng = np.random.default_rng(1)
+        draws = np.array([gen.generate(1, rng).cycles for _ in range(300)])
+        assert float(draws.mean()) == pytest.approx(100e6, rel=0.02)
+
+    def test_invalid_configs_rejected(self) -> None:
+        with pytest.raises(ConfigurationError):
+            PeriodicTaskGenerator(np.array([1.0]), np.array([1.0, 2.0]))
+        with pytest.raises(ConfigurationError):
+            PeriodicTaskGenerator(
+                np.array([1.0]), np.array([1.0]), profile=np.array([-1.0])
+            )
+        with pytest.raises(ConfigurationError):
+            PeriodicTaskGenerator(
+                np.array([0.0]), np.array([1.0])
+            )
+
+
+class TestTraceGenerator:
+    def test_replay_and_wraparound(self, rng: np.random.Generator) -> None:
+        cycles = np.arange(6, dtype=float).reshape(3, 2) + 1.0
+        bits = cycles * 10.0
+        gen = TraceTaskGenerator(cycles, bits)
+        assert gen.num_devices == 2
+        np.testing.assert_allclose(gen.generate(0, rng).cycles, [1.0, 2.0])
+        np.testing.assert_allclose(gen.generate(4, rng).cycles, [3.0, 4.0])
+
+    def test_shape_mismatch_rejected(self) -> None:
+        with pytest.raises(ConfigurationError):
+            TraceTaskGenerator(np.ones((2, 3)), np.ones((3, 2)))
+
+
+class TestTraces:
+    def test_diurnal_profile_bounds_and_peak(self) -> None:
+        profile = diurnal_profile(period=24, low=0.6, high=1.5, peak_hour=20.0)
+        assert profile.shape == (24,)
+        assert profile.min() == pytest.approx(0.6)
+        assert profile.max() == pytest.approx(1.5)
+        assert int(np.argmax(profile)) == 20
+
+    def test_profile_validates(self) -> None:
+        with pytest.raises(ConfigurationError):
+            diurnal_profile(period=1)
+        with pytest.raises(ConfigurationError):
+            diurnal_profile(low=2.0, high=1.0)
+        with pytest.raises(ConfigurationError):
+            diurnal_profile(peak_hour=5.0, trough_hour=5.0)
+
+    def test_video_views_structure(self) -> None:
+        trace = synthetic_video_views(14, np.random.default_rng(0))
+        assert trace.shape == (14 * 24,)
+        assert np.all(trace >= 0.0)
+        daily = trace.reshape(14, 24)
+        hourly_mean = daily.mean(axis=0)
+        # Evening peak dominates the overnight trough.
+        assert hourly_mean[20] > 1.5 * hourly_mean[4]
+        # Weekend bump: days 5, 6 busier than days 0-4 on average.
+        weekday = daily[[0, 1, 2, 3, 4, 7, 8, 9, 10, 11]].mean()
+        weekend = daily[[5, 6, 12, 13]].mean()
+        assert weekend > weekday
+
+    def test_video_views_invalid(self) -> None:
+        with pytest.raises(ConfigurationError):
+            synthetic_video_views(0, np.random.default_rng(0))
+
+    @given(days=st.integers(1, 5), cv=st.floats(0.0, 0.5))
+    @settings(max_examples=20, deadline=None)
+    def test_property_views_nonnegative(self, days: int, cv: float) -> None:
+        trace = synthetic_video_views(
+            days, np.random.default_rng(0), noise_cv=cv
+        )
+        assert np.all(trace >= 0.0)
+
+
+class TestSuitability:
+    def test_uniform_range(self, rng: np.random.Generator) -> None:
+        sigma = uniform_suitability(rng, 30, 8)
+        assert sigma.shape == (30, 8)
+        assert np.all(sigma >= 0.5) and np.all(sigma <= 1.0)
+
+    def test_uniform_validation(self, rng: np.random.Generator) -> None:
+        with pytest.raises(ConfigurationError):
+            uniform_suitability(rng, 0, 8)
+        with pytest.raises(ConfigurationError):
+            uniform_suitability(rng, 5, 5, low=0.9, high=0.5)
+
+    def test_clustered_matched_beats_mismatched(self) -> None:
+        rng = np.random.default_rng(0)
+        sigma = clustered_suitability(rng, 200, 40, num_types=2,
+                                      matched=0.95, mismatched=0.55)
+        assert sigma.shape == (200, 40)
+        assert np.all(sigma > 0.0) and np.all(sigma <= 1.0)
+        # Bimodal: values cluster near the two levels.
+        near_match = np.abs(sigma - 0.95) < 0.05
+        near_mismatch = np.abs(sigma - 0.55) < 0.05
+        assert (near_match | near_mismatch).mean() > 0.95
+
+    def test_clustered_validation(self) -> None:
+        rng = np.random.default_rng(0)
+        with pytest.raises(ConfigurationError):
+            clustered_suitability(rng, 5, 5, num_types=0)
+        with pytest.raises(ConfigurationError):
+            clustered_suitability(rng, 5, 5, matched=0.4, mismatched=0.6)
