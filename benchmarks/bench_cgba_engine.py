@@ -1,0 +1,195 @@
+"""Engine bench: reference vs fast best-response engine under CGBA(0).
+
+Times ``solve_p2a_cgba`` end to end (game construction included) with
+the per-player reference engine and the vectorized incremental engine on
+the paper's default topology (K=6, M=2, N=16), from identical initial
+profiles, and checks the two reach the same final potential.  Writes a
+machine-readable ``BENCH_cgba_engine.json`` next to the text table so
+speedups and work counters (moves, gap recomputations, candidate
+evaluations) are tracked across commits, not just wall-clock.
+
+Run directly (``python benchmarks/bench_cgba_engine.py [--quick]``) or
+via pytest (``pytest benchmarks/bench_cgba_engine.py``).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+from pathlib import Path
+
+import numpy as np
+
+sys.path.insert(0, str(Path(__file__).parent))
+
+from _common import RESULTS_DIR, emit  # noqa: E402
+
+JSON_PATH = RESULTS_DIR / "BENCH_cgba_engine.json"
+QUICK_JSON_PATH = RESULTS_DIR / "BENCH_cgba_engine_quick.json"
+
+DEVICE_COUNTS = (50, 100, 200)
+QUICK_DEVICE_COUNTS = (20, 50)
+
+
+def _run_once(network, state, space, frequencies, initial, engine: str):
+    from repro.core.cgba import solve_p2a_cgba
+
+    started = time.perf_counter()
+    result = solve_p2a_cgba(
+        network,
+        state,
+        space,
+        frequencies,
+        rng=None,
+        initial=initial,
+        engine=engine,
+    )
+    elapsed = time.perf_counter() - started
+    return elapsed, result
+
+
+def run_engine_bench(*, quick: bool = False) -> dict:
+    """Time both engines at several instance sizes; return the report."""
+    import repro
+    from repro.core.congestion_game import OffloadingCongestionGame
+    from repro.experiments.common import paper_scenario, single_state
+    from repro.network.connectivity import StrategySpace
+
+    device_counts = QUICK_DEVICE_COUNTS if quick else DEVICE_COUNTS
+    repeats = 1 if quick else 3
+    rows = []
+    for idx, num_devices in enumerate(device_counts):
+        scenario = paper_scenario(300 + idx, num_devices)
+        network, state = scenario.network, single_state(scenario)
+        space = StrategySpace(network, state.coverage())
+        frequencies = network.freq_max.copy()
+
+        ref_seconds, fast_seconds = [], []
+        ref_stats = fast_stats = None
+        ref_potential = fast_potential = float("nan")
+        for repeat in range(repeats):
+            bs_of, server_of = space.random_assignment(
+                np.random.default_rng(1000 * num_devices + repeat)
+            )
+            initial = repro.Assignment(bs_of=bs_of, server_of=server_of)
+            if repeat == 0:
+                # Warm the flattened-candidate caches so the fast engine's
+                # once-per-space setup is not billed to the first repeat.
+                _run_once(network, state, space, frequencies, initial, "fast")
+            t_ref, r_ref = _run_once(
+                network, state, space, frequencies, initial, "reference"
+            )
+            t_fast, r_fast = _run_once(
+                network, state, space, frequencies, initial, "fast"
+            )
+            ref_seconds.append(t_ref)
+            fast_seconds.append(t_fast)
+            ref_stats, fast_stats = r_ref.engine_stats, r_fast.engine_stats
+            game = OffloadingCongestionGame(
+                network, state, space, frequencies, initial=r_ref.assignment
+            )
+            ref_potential = game.potential()
+            game = OffloadingCongestionGame(
+                network, state, space, frequencies, initial=r_fast.assignment
+            )
+            fast_potential = game.potential()
+            if not np.isclose(ref_potential, fast_potential, rtol=1e-9):
+                raise AssertionError(
+                    f"engines disagree at I={num_devices}: "
+                    f"{ref_potential} vs {fast_potential}"
+                )
+        rows.append(
+            {
+                "num_devices": num_devices,
+                "reference_seconds": min(ref_seconds),
+                "fast_seconds": min(fast_seconds),
+                "speedup": min(ref_seconds) / min(fast_seconds),
+                "final_potential_reference": ref_potential,
+                "final_potential_fast": fast_potential,
+                "reference_stats": ref_stats.as_dict() if ref_stats else None,
+                "fast_stats": fast_stats.as_dict() if fast_stats else None,
+            }
+        )
+    return {
+        "bench": "cgba_engine",
+        "topology": {"num_base_stations": 6, "num_clusters": 2, "num_servers": 16},
+        "quick": quick,
+        "repeats": repeats,
+        "rows": rows,
+    }
+
+
+def _table(report: dict) -> str:
+    from repro.analysis.tables import format_table
+
+    rows = [
+        [
+            r["num_devices"],
+            r["reference_seconds"],
+            r["fast_seconds"],
+            r["speedup"],
+            r["fast_stats"]["moves"] if r["fast_stats"] else "-",
+            r["fast_stats"]["gap_recomputations"] if r["fast_stats"] else "-",
+            r["fast_stats"]["candidate_evaluations"] if r["fast_stats"] else "-",
+        ]
+        for r in report["rows"]
+    ]
+    return format_table(
+        [
+            "I",
+            "reference (s)",
+            "fast (s)",
+            "speedup",
+            "moves",
+            "gap recomps",
+            "cand evals",
+        ],
+        rows,
+        title="CGBA best-response engine: reference vs vectorized incremental",
+    )
+
+
+def _verify(report: dict) -> None:
+    for row in report["rows"]:
+        assert row["speedup"] > 1.0, (
+            f"fast engine slower than reference at I={row['num_devices']}"
+        )
+    if not report["quick"]:
+        at_100 = [r for r in report["rows"] if r["num_devices"] == 100]
+        assert at_100 and at_100[0]["speedup"] >= 3.0, (
+            "expected >= 3x speedup for CGBA(0) at I=100"
+        )
+
+
+def _emit(report: dict) -> None:
+    RESULTS_DIR.mkdir(exist_ok=True)
+    # Quick runs (CI smoke) must not clobber the committed full results.
+    path = QUICK_JSON_PATH if report["quick"] else JSON_PATH
+    path.write_text(json.dumps(report, indent=2) + "\n")
+    emit("cgba_engine_quick" if report["quick"] else "cgba_engine", _table(report))
+
+
+def bench_cgba_engine(benchmark) -> None:
+    report = benchmark.pedantic(run_engine_bench, rounds=1, iterations=1)
+    _emit(report)
+    _verify(report)
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--quick",
+        action="store_true",
+        help="smaller instances, single repeat (CI smoke run)",
+    )
+    args = parser.parse_args(argv)
+    report = run_engine_bench(quick=args.quick)
+    _emit(report)
+    _verify(report)
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -59,20 +59,30 @@ class FixedFrequencyController(OnlineController):
         )
         self.queue = VirtualQueue(0.0)
         self._space: StrategySpace | None = None
-        self._space_key: bytes | None = None
         self._previous = None
 
     def step(self, state: SlotState) -> SlotRecord:
         coverage = state.coverage()
-        key = np.packbits(coverage).tobytes()
-        if state.available_servers is not None:
-            key += np.packbits(state.available_servers).tobytes()
-        if self._space is None or key != self._space_key:
+        cached = self._space
+        reused = (
+            cached is not None
+            and (
+                (state.available_servers is None and cached.available_servers is None)
+                or (
+                    state.available_servers is not None
+                    and cached.available_servers is not None
+                    and np.array_equal(
+                        state.available_servers, cached.available_servers
+                    )
+                )
+            )
+            and np.array_equal(coverage, cached.coverage)
+        )
+        if not reused:
             self._space = StrategySpace(
                 self.network, coverage, state.available_servers
             )
-            self._space_key = key
-        if self._previous is not None:
+        if self._previous is not None and not reused:
             bs_of, server_of = self._space.repair(
                 self._previous.bs_of, self._previous.server_of, self.rng
             )
@@ -114,10 +124,10 @@ class FixedFrequencyController(OnlineController):
             backlog_before=backlog_before,
             backlog_after=backlog_after,
             solve_seconds=solve_seconds,
+            engine_stats=result.engine_stats,
         )
 
     def reset(self) -> None:
         self.queue = VirtualQueue(0.0)
         self._space = None
-        self._space_key = None
         self._previous = None

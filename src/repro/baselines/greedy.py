@@ -65,6 +65,15 @@ def solve_p2a_greedy(
     m_compute = 1.0 / network.speeds(np.asarray(frequencies, dtype=np.float64))
     h = state.spectral_efficiency
 
+    # Player weights, computed once for all devices rather than one
+    # np.where/sqrt pass per device inside the loop.
+    with np.errstate(divide="ignore", over="ignore"):
+        p_access = np.where(
+            h > 0.0, np.sqrt(state.bits[:, None] / np.maximum(h, 1e-300)), np.inf
+        )
+    p_front = np.sqrt(state.bits)
+    p_compute = np.sqrt(state.cycles[:, None] / network.suitability)
+
     load_access = np.zeros(network.num_base_stations)
     load_front = np.zeros(network.num_base_stations)
     load_compute = np.zeros(network.num_servers)
@@ -74,14 +83,9 @@ def solve_p2a_greedy(
 
     for i in order.tolist():
         ks, ns = space.pairs(i)
-        with np.errstate(divide="ignore", over="ignore"):
-            pa = np.where(
-                h[i, ks] > 0.0,
-                np.sqrt(state.bits[i] / np.maximum(h[i, ks], 1e-300)),
-                np.inf,
-            )
-        pf = np.sqrt(state.bits[i])
-        pc = np.sqrt(state.cycles[i] / network.suitability[i, ns])
+        pa = p_access[i, ks]
+        pf = p_front[i]
+        pc = p_compute[i, ns]
         comm = m_access[ks] * pa * (2.0 * load_access[ks] + pa) + m_front[ks] * pf * (
             2.0 * load_front[ks] + pf
         )

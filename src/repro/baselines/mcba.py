@@ -111,13 +111,12 @@ def solve_p2a_mcba(
                 best_assignment = game.assignment()
         temperature *= cooling
 
-    # Re-evaluate exactly to shed accumulated float drift from the deltas.
-    final_game = OffloadingCongestionGame(
-        network, state, space, frequencies, initial=best_assignment
-    )
+    # Re-evaluate exactly to shed accumulated float drift from the deltas;
+    # total_cost_of reuses the game's cached weights, so this is three
+    # bincounts rather than a full second game construction.
     return MCBAResult(
         assignment=best_assignment,
-        total_latency=final_game.total_cost(),
+        total_latency=game.total_cost_of(best_assignment),
         iterations=iterations,
         accepted=accepted,
     )

@@ -23,6 +23,7 @@ from repro.core.state import Assignment, SlotState
 from repro.exceptions import ConfigurationError
 from repro.network.connectivity import StrategySpace
 from repro.network.topology import MECNetwork
+from repro.solvers.potential_game import EngineStats
 from repro.types import FloatArray, Rng
 
 
@@ -46,8 +47,16 @@ class P2ASolver(Protocol):
     ) -> Assignment: ...
 
 
-def cgba_p2a_solver(*, slack: float = 0.0, max_iter: int = 100_000) -> P2ASolver:
-    """The default P2-A solver: CGBA(lambda) (Algorithm 3)."""
+def cgba_p2a_solver(
+    *, slack: float = 0.0, max_iter: int = 100_000, engine: str = "fast"
+) -> P2ASolver:
+    """The default P2-A solver: CGBA(lambda) (Algorithm 3).
+
+    The returned callable accumulates the best-response engine's work
+    counters across calls; BDMA drains them via ``pop_stats()`` so each
+    slot's :class:`BDMAResult` reports the engine work it caused.
+    """
+    accumulated = EngineStats()
 
     def solve(
         network: MECNetwork,
@@ -67,9 +76,18 @@ def cgba_p2a_solver(*, slack: float = 0.0, max_iter: int = 100_000) -> P2ASolver
             slack=slack,
             initial=initial,
             max_iter=max_iter,
+            engine=engine,
         )
+        if result.engine_stats is not None:
+            accumulated.merge(result.engine_stats)
         return result.assignment
 
+    def pop_stats() -> EngineStats:
+        nonlocal accumulated
+        stats, accumulated = accumulated, EngineStats()
+        return stats
+
+    solve.pop_stats = pop_stats  # type: ignore[attr-defined]
     return solve
 
 
@@ -83,12 +101,15 @@ class BDMAResult:
         objective: ``f(x, y, Omega)`` of the returned decision.
         objective_history: Objective after each of the ``z`` rounds
             (non-increasing in its running minimum by construction).
+        engine_stats: Aggregated best-response-engine counters across
+            all ``z`` P2-A solves, when the solver reports them.
     """
 
     assignment: Assignment
     frequencies: FloatArray
     objective: float
     objective_history: list[float] = field(default_factory=list)
+    engine_stats: EngineStats | None = None
 
 
 def solve_p2_bdma(
@@ -136,6 +157,9 @@ def solve_p2_bdma(
     if queue_backlog < 0.0:
         raise ConfigurationError("queue backlog cannot be negative")
     solver = p2a_solver if p2a_solver is not None else cgba_p2a_solver()
+    pop_stats = getattr(solver, "pop_stats", None)
+    if callable(pop_stats):
+        pop_stats()  # discard counters accumulated by earlier callers
 
     frequencies = network.freq_min.copy()  # Omega^L (Algorithm 2, line 1)
     best_objective = float("inf")
@@ -182,4 +206,5 @@ def solve_p2_bdma(
         frequencies=best_frequencies,
         objective=best_objective,
         objective_history=history,
+        engine_stats=pop_stats() if callable(pop_stats) else None,
     )

@@ -17,7 +17,8 @@ from repro.core.congestion_game import OffloadingCongestionGame
 from repro.core.state import Assignment, SlotState
 from repro.network.connectivity import StrategySpace
 from repro.network.topology import MECNetwork
-from repro.solvers.potential_game import best_response_dynamics
+from repro.solvers.fast_engine import fast_best_response_dynamics
+from repro.solvers.potential_game import EngineStats, best_response_dynamics
 from repro.types import FloatArray, Rng
 
 
@@ -49,6 +50,8 @@ class CGBAResult:
         iterations: Number of unilateral best-response moves performed.
         converged: Whether the ``lambda``-equilibrium test was met.
         cost_history: Total latency after every move, when recorded.
+        engine_stats: Work counters of the best-response engine (moves,
+            gap recomputations, candidate evaluations, per-phase times).
     """
 
     assignment: Assignment
@@ -56,6 +59,7 @@ class CGBAResult:
     iterations: int
     converged: bool
     cost_history: list[float] = field(default_factory=list)
+    engine_stats: EngineStats | None = None
 
 
 def solve_p2a_cgba(
@@ -69,6 +73,7 @@ def solve_p2a_cgba(
     initial: Assignment | None = None,
     max_iter: int = 100_000,
     record_history: bool = False,
+    engine: str = "fast",
 ) -> CGBAResult:
     """Solve P2-A with CGBA(lambda).
 
@@ -82,16 +87,25 @@ def solve_p2a_cgba(
         initial: Warm-start assignment instead of a random profile.
         max_iter: Cap on best-response moves.
         record_history: Keep the total-latency trajectory (Fig. 6 benches).
+        engine: ``"fast"`` (the default vectorized incremental engine) or
+            ``"reference"`` (the per-player Python loop).  Both produce
+            the same move sequence and final equilibrium; the reference
+            engine is kept as the oracle for equivalence tests.
 
     Returns:
         A :class:`CGBAResult`; ``total_latency`` equals
         ``optimal_total_latency(network, state, result.assignment,
         frequencies)`` up to float rounding.
     """
+    if engine not in ("fast", "reference"):
+        raise ValueError(f"unknown engine: {engine!r}")
     game = OffloadingCongestionGame(
         network, state, space, frequencies, initial=initial, rng=rng
     )
-    outcome = best_response_dynamics(
+    dynamics = (
+        fast_best_response_dynamics if engine == "fast" else best_response_dynamics
+    )
+    outcome = dynamics(
         game,
         slack=slack,
         max_iter=max_iter,
@@ -104,4 +118,5 @@ def solve_p2a_cgba(
         iterations=outcome.iterations,
         converged=outcome.converged,
         cost_history=outcome.cost_history,
+        engine_stats=outcome.stats,
     )

@@ -90,10 +90,18 @@ class OffloadingCongestionGame(FiniteGame):
         self._bs_of = np.asarray(bs_of, dtype=np.int64)
         self._server_of = np.asarray(server_of, dtype=np.int64)
 
+        # Flattened candidate arrays for the vectorized engine, built
+        # lazily on the first batch evaluation.
+        self._cand_ready = False
+
         # Resource loads p_r(z) and squared-weight sums (for the potential).
         devices = np.arange(self.num_players)
         pa = self._p_access[devices, self._bs_of]
         pc = self._p_compute[devices, self._server_of]
+        # Current-strategy weights per player, kept in sync by move();
+        # the batch evaluator reads these instead of re-gathering 2-D.
+        self._pa_cur = pa.copy()
+        self._pc_cur = pc.copy()
         self._load_access = np.bincount(
             self._bs_of, weights=pa, minlength=network.num_base_stations
         )
@@ -168,6 +176,140 @@ class OffloadingCongestionGame(FiniteGame):
         j = int(np.argmin(costs))
         return (int(ks[j]), int(ns[j])), float(costs[j])
 
+    def num_strategies(self, player: int) -> int:
+        return self.space.num_strategies(player)
+
+    # -- vectorized batch interface (the fast engine's substrate) -----------
+
+    def _ensure_candidates(self) -> None:
+        """Precompute per-candidate weights over the flattened space.
+
+        Every product here matches the scalar :meth:`best_response`
+        expression tree term for term (``(m * p) * (load + p)``), so the
+        batch evaluation is bit-identical to the per-player loop.
+        """
+        if self._cand_ready:
+            return
+        flat = self.space.flat()
+        fb, fs, fp = flat.bs, flat.server, flat.player
+        self._cand_pa = self._p_access[fp, fb]
+        self._cand_pf = self._p_front[fp]
+        self._cand_pc = self._p_compute[fp, fs]
+        self._cand_wa = self._m_access[fb] * self._cand_pa
+        self._cand_wf = self._m_front[fb] * self._cand_pf
+        self._cand_wc = self._m_compute[fs] * self._cand_pc
+        self._cand_ready = True
+
+    def candidate_count(self, players: np.ndarray | None = None) -> int:
+        """Total candidate pairs of *players* (all players when ``None``)."""
+        flat = self.space.flat()
+        if players is None:
+            return flat.num_candidates
+        return int(flat.counts[players].sum())
+
+    def batch_best_responses(
+        self, players: np.ndarray | None = None
+    ) -> tuple[np.ndarray, np.ndarray, FloatArray, FloatArray]:
+        """Best responses and current costs for many players in one pass.
+
+        One gather over the flattened candidate arrays plus two
+        ``np.minimum.reduceat`` reductions replaces ``len(players)``
+        calls to :meth:`best_response`/:meth:`player_cost`.
+
+        Args:
+            players: 1-D array of player indices, or ``None`` for all
+                players (which skips the subset-index construction).
+
+        Returns:
+            ``(best_bs, best_server, best_cost, current_cost)`` arrays
+            parallel to *players*, numerically identical to the scalar
+            methods (same IEEE operation order, same first-minimum tie
+            break as ``np.argmin``).
+        """
+        self._ensure_candidates()
+        flat = self.space.flat()
+        if players is None:
+            players = np.arange(self.num_players, dtype=np.int64)
+            idx = slice(None)
+            offsets = flat.offsets[:-1]
+            fb, fs = flat.bs, flat.server
+            wa, wf, wc = self._cand_wa, self._cand_wf, self._cand_wc
+            pa, pf, pc = self._cand_pa, self._cand_pf, self._cand_pc
+            seg_player = flat.player
+        else:
+            players = np.asarray(players, dtype=np.int64)
+            if players.size == 0:
+                empty_i = np.empty(0, dtype=np.int64)
+                empty_f = np.empty(0, dtype=np.float64)
+                return empty_i, empty_i.copy(), empty_f, empty_f.copy()
+            idx, offsets = flat.subset_indices(players)
+            fb, fs = flat.bs[idx], flat.server[idx]
+            wa, wf, wc = self._cand_wa[idx], self._cand_wf[idx], self._cand_wc[idx]
+            pa, pf, pc = self._cand_pa[idx], self._cand_pf[idx], self._cand_pc[idx]
+            seg_player = flat.player[idx]
+
+        k_cur = self._bs_of[seg_player]
+        n_cur = self._server_of[seg_player]
+        # Loads with each candidate's player removed from its current
+        # resources: the masked in-place subtract mirrors the scalar
+        # ``load[ks == k_cur] -= p_cur`` exactly.
+        load_a = self._load_access[fb]
+        load_f = self._load_front[fb]
+        load_c = self._load_compute[fs]
+        same_bs = fb == k_cur
+        same_server = fs == n_cur
+        np.subtract(load_a, self._pa_cur[seg_player], out=load_a, where=same_bs)
+        np.subtract(load_f, pf, out=load_f, where=same_bs)
+        np.subtract(load_c, self._pc_cur[seg_player], out=load_c, where=same_server)
+
+        costs = wa * (load_a + pa) + wf * (load_f + pf) + wc * (load_c + pc)
+        best_cost = np.minimum.reduceat(costs, offsets)
+        # First index attaining the segment minimum == np.argmin's choice.
+        counts = flat.counts[players]
+        positions = np.arange(costs.size, dtype=np.int64)
+        first = np.minimum.reduceat(
+            np.where(costs == np.repeat(best_cost, counts), positions, costs.size),
+            offsets,
+        )
+        if isinstance(idx, slice):
+            best_global = first
+        else:
+            best_global = idx[first]
+        best_bs = flat.bs[best_global]
+        best_server = flat.server[best_global]
+
+        k_of = self._bs_of[players]
+        n_of = self._server_of[players]
+        pa_own = self._pa_cur[players]
+        pc_own = self._pc_cur[players]
+        pf_own = self._p_front[players]
+        current_cost = (
+            self._m_access[k_of] * pa_own * self._load_access[k_of]
+            + self._m_front[k_of] * pf_own * self._load_front[k_of]
+            + self._m_compute[n_of] * pc_own * self._load_compute[n_of]
+        )
+        return best_bs, best_server, best_cost, current_cost
+
+    def affected_players(
+        self, old: tuple[int, int], new: tuple[int, int]
+    ) -> np.ndarray:
+        """Players whose gap can change after a move ``old -> new``.
+
+        A unilateral move only alters the loads of the (at most) four
+        resources it touches, so only players whose strategy set contains
+        one of them -- the mover included, since its own strategies do --
+        need their best responses recomputed.
+        """
+        k_old, n_old = old
+        k_new, n_new = new
+        parts = [self.space.players_touching_bs(k_old)]
+        if k_new != k_old:
+            parts.append(self.space.players_touching_bs(k_new))
+        parts.append(self.space.players_touching_server(n_old))
+        if n_new != n_old:
+            parts.append(self.space.players_touching_server(n_new))
+        return np.unique(np.concatenate(parts))
+
     def move(self, player: int, strategy: tuple[int, int]) -> None:
         k_new, n_new = strategy
         k_old = int(self._bs_of[player])
@@ -195,6 +337,8 @@ class OffloadingCongestionGame(FiniteGame):
 
         self._bs_of[player] = k_new
         self._server_of[player] = n_new
+        self._pa_cur[player] = pa_new
+        self._pc_cur[player] = pc_new
 
     def total_cost(self) -> float:
         """``sum_r m_r p_r(z)^2`` -- equals ``T_t(x, y, Omega)`` of Eq. (20)."""
@@ -205,6 +349,29 @@ class OffloadingCongestionGame(FiniteGame):
         )
 
     # -- extras --------------------------------------------------------------
+
+    def total_cost_of(self, assignment: Assignment) -> float:
+        """``T_t`` of an arbitrary *assignment* under this game's state.
+
+        Reuses the cached player-weight matrices, so evaluating a stored
+        profile (e.g. MCBA's incumbent) costs three ``bincount`` calls
+        instead of constructing a whole new game.
+        """
+        bs_of = np.asarray(assignment.bs_of, dtype=np.int64)
+        server_of = np.asarray(assignment.server_of, dtype=np.int64)
+        devices = np.arange(self.num_players)
+        pa = self._p_access[devices, bs_of]
+        pc = self._p_compute[devices, server_of]
+        k = self.network.num_base_stations
+        n = self.network.num_servers
+        load_a = np.bincount(bs_of, weights=pa, minlength=k)
+        load_f = np.bincount(bs_of, weights=self._p_front, minlength=k)
+        load_c = np.bincount(server_of, weights=pc, minlength=n)
+        return float(
+            np.sum(self._m_access * load_a * load_a)
+            + np.sum(self._m_front * load_f * load_f)
+            + np.sum(self._m_compute * load_c * load_c)
+        )
 
     def move_delta(self, player: int, strategy: tuple[int, int]) -> float:
         """Change of :meth:`total_cost` if *player* switched to *strategy*.

@@ -25,6 +25,7 @@ from repro.core.virtual_queue import VirtualQueue
 from repro.exceptions import ConfigurationError
 from repro.network.connectivity import StrategySpace
 from repro.network.topology import MECNetwork
+from repro.solvers.potential_game import EngineStats
 from repro.types import FloatArray, Rng
 
 __all__ = ["SlotRecord", "OnlineController", "DPPController", "P2ASolver"]
@@ -46,6 +47,9 @@ class SlotRecord:
         backlog_before: ``Q(t)`` used when deciding.
         backlog_after: ``Q(t+1)`` after the update (Eq. 21).
         solve_seconds: Wall-clock time spent deciding.
+        engine_stats: Best-response-engine work counters aggregated over
+            the slot's BDMA rounds (``None`` for P2-A solvers that do
+            not report them).
     """
 
     t: int
@@ -58,6 +62,7 @@ class SlotRecord:
     backlog_before: float
     backlog_after: float
     solve_seconds: float
+    engine_stats: EngineStats | None = None
 
     def decision(self) -> Decision:
         """Bundle the slot's choices as a :class:`Decision`."""
@@ -132,31 +137,41 @@ class DPPController(OnlineController):
         self._initial_backlog = float(initial_backlog)
         self.queue = VirtualQueue(initial_backlog)
         self._space: StrategySpace | None = None
-        self._space_key: bytes | None = None
+        self._space_reused = False
         self._previous: Assignment | None = None
 
     def strategy_space(self, state: SlotState) -> StrategySpace:
         """The feasible strategy sets under the slot's coverage, cached.
 
         Coverage is static in the default scenario so the space is built
-        once; with mobility the cache key (the packed coverage mask)
-        changes and the space is rebuilt.
+        once and every later slot short-circuits on a direct mask
+        comparison (no per-slot key packing); with mobility or server
+        faults the masks differ and the space is rebuilt.  ``step`` also
+        skips the carry-over repair on a cache hit, since an assignment
+        produced under the identical space is feasible by construction.
         """
         coverage = state.coverage()
-        key = np.packbits(coverage).tobytes()
-        if state.available_servers is not None:
-            key += np.packbits(state.available_servers).tobytes()
-        if self._space is None or key != self._space_key:
-            self._space = StrategySpace(
-                self.network, coverage, state.available_servers
+        cached = self._space
+        if cached is not None:
+            same_availability = (
+                state.available_servers is None
+                and cached.available_servers is None
+            ) or (
+                state.available_servers is not None
+                and cached.available_servers is not None
+                and np.array_equal(state.available_servers, cached.available_servers)
             )
-            self._space_key = key
+            if same_availability and np.array_equal(coverage, cached.coverage):
+                self._space_reused = True
+                return cached
+        self._space = StrategySpace(self.network, coverage, state.available_servers)
+        self._space_reused = False
         return self._space
 
     def step(self, state: SlotState) -> SlotRecord:
         space = self.strategy_space(state)
         backlog_before = self.queue.backlog
-        if self.carry_over and self._previous is not None:
+        if self.carry_over and self._previous is not None and not self._space_reused:
             # Mobility can invalidate last slot's pairs; repair before reuse.
             bs_of, server_of = space.repair(
                 self._previous.bs_of, self._previous.server_of, self.rng
@@ -204,10 +219,11 @@ class DPPController(OnlineController):
             backlog_before=backlog_before,
             backlog_after=backlog_after,
             solve_seconds=solve_seconds,
+            engine_stats=result.engine_stats,
         )
 
     def reset(self) -> None:
         self.queue = VirtualQueue(self._initial_backlog)
         self._space = None
-        self._space_key = None
+        self._space_reused = False
         self._previous = None

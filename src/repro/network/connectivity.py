@@ -9,6 +9,8 @@ the game-theoretic algorithms iterate over flat arrays.
 
 from __future__ import annotations
 
+from dataclasses import dataclass
+
 import numpy as np
 import networkx as nx
 
@@ -20,6 +22,54 @@ from repro.types import BoolArray, IntArray
 def reachable_servers(network: MECNetwork, bs_index: int) -> IntArray:
     """Indices of servers reachable through base station *bs_index*."""
     return network.servers_reachable_from(bs_index)
+
+
+@dataclass(frozen=True)
+class FlatStrategies:
+    """All devices' feasible pairs concatenated into parallel arrays.
+
+    Candidate ``c`` belongs to device ``player[c]`` and denotes the pair
+    ``(bs[c], server[c])``; device ``i``'s candidates occupy the
+    contiguous slice ``offsets[i]:offsets[i + 1]``.  This is the index
+    structure the vectorized best-response engine gathers loads through,
+    so one numpy pass scores every candidate of every player at once.
+
+    Attributes:
+        bs: ``(C,)`` base-station index per candidate.
+        server: ``(C,)`` server index per candidate.
+        player: ``(C,)`` owning device per candidate.
+        offsets: ``(I + 1,)`` slice boundaries per device.
+        counts: ``(I,)`` strategy-set sizes ``|Z_i|``.
+    """
+
+    bs: IntArray
+    server: IntArray
+    player: IntArray
+    offsets: IntArray
+    counts: IntArray
+
+    @property
+    def num_candidates(self) -> int:
+        """Total number of (device, bs, server) candidates ``C``."""
+        return int(self.bs.size)
+
+    def subset_indices(self, players: IntArray) -> tuple[IntArray, IntArray]:
+        """Candidate indices of *players* plus subset segment offsets.
+
+        Returns ``(indices, offsets)`` where ``indices`` concatenates the
+        candidate slices of the given players (in their given order) and
+        ``offsets`` bounds each player's segment within ``indices`` --
+        the structure ``np.minimum.reduceat`` needs for per-player
+        reductions over the subset.
+        """
+        counts = self.counts[players]
+        ends = np.cumsum(counts)
+        starts_out = ends - counts
+        # Multi-arange: for each player p, the run offsets[p] + 0..counts[p].
+        indices = np.repeat(self.offsets[players] - starts_out, counts)
+        indices += np.arange(int(ends[-1]) if counts.size else 0, dtype=np.int64)
+        offsets = np.concatenate([[0], ends[:-1]]) if counts.size else np.zeros(1, np.int64)
+        return indices, offsets.astype(np.int64)
 
 
 class StrategySpace:
@@ -82,11 +132,61 @@ class StrategySpace:
                 )
             self._bs_choices.append(np.array(bs_list, dtype=np.int64))
             self._server_choices.append(np.array(server_list, dtype=np.int64))
+        self._flat: FlatStrategies | None = None
+        self._players_by_bs: list[IntArray] | None = None
+        self._players_by_server: list[IntArray] | None = None
 
     @property
     def num_devices(self) -> int:
         """Number of devices the space was built for."""
         return len(self._bs_choices)
+
+    def flat(self) -> FlatStrategies:
+        """The concatenated candidate arrays, built once and cached."""
+        if self._flat is None:
+            counts = np.array(
+                [choice.size for choice in self._bs_choices], dtype=np.int64
+            )
+            offsets = np.zeros(counts.size + 1, dtype=np.int64)
+            np.cumsum(counts, out=offsets[1:])
+            self._flat = FlatStrategies(
+                bs=np.concatenate(self._bs_choices),
+                server=np.concatenate(self._server_choices),
+                player=np.repeat(np.arange(counts.size, dtype=np.int64), counts),
+                offsets=offsets,
+                counts=counts,
+            )
+        return self._flat
+
+    def _build_inverted_index(self) -> None:
+        by_bs: list[list[int]] = [[] for _ in range(self.network.num_base_stations)]
+        by_server: list[list[int]] = [[] for _ in range(self.network.num_servers)]
+        for i in range(self.num_devices):
+            for k in np.unique(self._bs_choices[i]):
+                by_bs[int(k)].append(i)
+            for n in np.unique(self._server_choices[i]):
+                by_server[int(n)].append(i)
+        self._players_by_bs = [np.array(p, dtype=np.int64) for p in by_bs]
+        self._players_by_server = [np.array(p, dtype=np.int64) for p in by_server]
+
+    def players_touching_bs(self, bs: int) -> IntArray:
+        """Devices whose strategy set contains base station *bs*.
+
+        These are exactly the players whose best response can change when
+        the load on *bs* (access or fronthaul) changes -- the inverted
+        index behind the incremental engine's dirty-player tracking.
+        """
+        if self._players_by_bs is None:
+            self._build_inverted_index()
+        assert self._players_by_bs is not None
+        return self._players_by_bs[bs]
+
+    def players_touching_server(self, server: int) -> IntArray:
+        """Devices whose strategy set contains *server* (see above)."""
+        if self._players_by_server is None:
+            self._build_inverted_index()
+        assert self._players_by_server is not None
+        return self._players_by_server[server]
 
     def pairs(self, device: int) -> tuple[IntArray, IntArray]:
         """Feasible strategies of *device* as parallel (bs, server) arrays."""

@@ -19,8 +19,13 @@ from repro.solvers.scalar import (
 )
 from repro.solvers.potential_game import (
     BestResponseResult,
+    EngineStats,
     FiniteGame,
     best_response_dynamics,
+)
+from repro.solvers.fast_engine import (
+    FastBestResponseEngine,
+    fast_best_response_dynamics,
 )
 from repro.solvers.assignment import (
     QuadraticCongestionProblem,
@@ -33,8 +38,11 @@ __all__ = [
     "minimize_convex_scalar",
     "minimize_scalar_newton",
     "BestResponseResult",
+    "EngineStats",
     "FiniteGame",
     "best_response_dynamics",
+    "FastBestResponseEngine",
+    "fast_best_response_dynamics",
     "QuadraticCongestionProblem",
     "congestion_free_lower_bound",
     "RelaxationResult",

@@ -11,6 +11,7 @@ independently of the MEC model.
 from __future__ import annotations
 
 import abc
+import time
 from dataclasses import dataclass, field
 from typing import Hashable, Sequence
 
@@ -55,8 +56,76 @@ class FiniteGame(abc.ABC):
         """Current strategy of *player*."""
 
     def total_cost(self) -> float:
-        """Sum of all players' costs under the current profile."""
+        """Sum of all players' costs under the current profile.
+
+        Subclasses with resource-level bookkeeping should override this
+        with their cheaper closed form (e.g. the congestion game's
+        O(K+N) load sum); this generic fallback is O(I) player-cost
+        evaluations.
+        """
         return float(sum(self.player_cost(i) for i in range(self.num_players)))
+
+    def num_strategies(self, player: int) -> int | None:
+        """Size of *player*'s strategy set, when cheaply known.
+
+        Engines use this for work accounting (candidate evaluations per
+        best-response call).  ``None`` (the default) means unknown.
+        """
+        return None
+
+
+@dataclass
+class EngineStats:
+    """Work counters for one best-response-dynamics run.
+
+    The point of these is that benchmarks can report *work done*, not
+    just wall-clock: a faster engine should show fewer gap
+    recomputations and candidate evaluations for the same move sequence.
+
+    Attributes:
+        moves: Unilateral moves applied (same as the result's
+            ``iterations``).
+        gap_recomputations: Player best-response evaluations performed.
+            The naive engine recomputes every player each iteration
+            (``I * (moves + 1)`` in total); the incremental engine only
+            the players affected by the previous move.
+        candidate_evaluations: Total candidate strategies scored across
+            all gap recomputations (``sum |Z_i|`` over recomputed
+            players); 0 when the game cannot report strategy-set sizes.
+        setup_seconds: Wall-clock spent building engine state (initial
+            full gap sweep included).
+        eval_seconds: Wall-clock spent recomputing gaps/best responses.
+        move_seconds: Wall-clock spent selecting movers and applying
+            moves (including history recording).
+    """
+
+    moves: int = 0
+    gap_recomputations: int = 0
+    candidate_evaluations: int = 0
+    setup_seconds: float = 0.0
+    eval_seconds: float = 0.0
+    move_seconds: float = 0.0
+
+    def merge(self, other: "EngineStats") -> "EngineStats":
+        """Accumulate *other* into self (for multi-round aggregation)."""
+        self.moves += other.moves
+        self.gap_recomputations += other.gap_recomputations
+        self.candidate_evaluations += other.candidate_evaluations
+        self.setup_seconds += other.setup_seconds
+        self.eval_seconds += other.eval_seconds
+        self.move_seconds += other.move_seconds
+        return self
+
+    def as_dict(self) -> dict[str, float]:
+        """Plain-dict view for JSON reports."""
+        return {
+            "moves": self.moves,
+            "gap_recomputations": self.gap_recomputations,
+            "candidate_evaluations": self.candidate_evaluations,
+            "setup_seconds": self.setup_seconds,
+            "eval_seconds": self.eval_seconds,
+            "move_seconds": self.move_seconds,
+        }
 
 
 @dataclass
@@ -69,12 +138,14 @@ class BestResponseResult:
         total_cost: Total cost of the final profile.
         cost_history: Total cost after each move (index 0 is the initial
             profile), useful for convergence plots (paper Fig. 6).
+        stats: Work counters for the run, when the engine collected them.
     """
 
     iterations: int
     converged: bool
     total_cost: float
     cost_history: list[float] = field(default_factory=list)
+    stats: EngineStats | None = None
 
 
 def _improvement_gaps(game: FiniteGame, slack: float) -> tuple[np.ndarray, list]:
@@ -138,18 +209,36 @@ def best_response_dynamics(
     history: list[float] = []
     if record_history:
         history.append(game.total_cost())
+    stats = EngineStats()
+    # Strategy sets are static, so the per-sweep candidate count is too.
+    per_sweep_candidates = 0
+    for i in range(game.num_players):
+        size = game.num_strategies(i)
+        if size is None:
+            per_sweep_candidates = 0
+            break
+        per_sweep_candidates += size
 
     rr_cursor = 0
     for iteration in range(max_iter):
+        started = time.perf_counter()
         gaps, responses = _improvement_gaps(game, slack)
+        stats.eval_seconds += time.perf_counter() - started
+        stats.gap_recomputations += game.num_players
+        stats.candidate_evaluations += per_sweep_candidates
         eligible = np.flatnonzero(gaps > -np.inf)
         if eligible.size == 0:
+            # history[-1] already holds the cost of the final profile, so
+            # don't pay for a second total_cost() on the convergence path.
+            final = history[-1] if history else game.total_cost()
             return BestResponseResult(
                 iterations=iteration,
                 converged=True,
-                total_cost=game.total_cost(),
+                total_cost=final,
                 cost_history=history,
+                stats=stats,
             )
+        started = time.perf_counter()
         if selection == "max_gap":
             player = int(eligible[np.argmax(gaps[eligible])])
         elif selection == "random":
@@ -160,15 +249,18 @@ def best_response_dynamics(
             player = int(ordered[0])
             rr_cursor = (player + 1) % game.num_players
         game.move(player, responses[player])
+        stats.moves += 1
         if record_history:
             history.append(game.total_cost())
+        stats.move_seconds += time.perf_counter() - started
 
     raise ConvergenceError(
         f"best-response dynamics did not converge within {max_iter} moves",
         best_so_far=BestResponseResult(
             iterations=max_iter,
             converged=False,
-            total_cost=game.total_cost(),
+            total_cost=history[-1] if history else game.total_cost(),
             cost_history=history,
+            stats=stats,
         ),
     )
