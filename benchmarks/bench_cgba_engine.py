@@ -108,8 +108,8 @@ def run_engine_bench(*, quick: bool = False) -> dict:
                 "speedup": min(ref_seconds) / min(fast_seconds),
                 "final_potential_reference": ref_potential,
                 "final_potential_fast": fast_potential,
-                "reference_stats": ref_stats.as_dict() if ref_stats else None,
-                "fast_stats": fast_stats.as_dict() if fast_stats else None,
+                "reference_stats": ref_stats.to_dict() if ref_stats else None,
+                "fast_stats": fast_stats.to_dict() if fast_stats else None,
             }
         )
     return {

@@ -6,15 +6,23 @@ energy budget buys, and how the paper's BDMA-based DPP compares to the
 ROPT-based baseline at every operating point.
 
 Run:  python examples/budget_planning.py
+
+Environment overrides (used by the CI smoke job):
+  REPRO_EXAMPLE_HORIZON  slots per operating point (default 168)
+  REPRO_EXAMPLE_DEVICES  number of mobile devices (default 30)
 """
 
 from __future__ import annotations
 
+import os
+
 import repro
 from repro.analysis.tables import format_table
-from repro.baselines import ropt_p2a_solver
 from repro.config import PRICE_SCALE
 from repro.energy.cost import suggest_budget
+
+HORIZON = int(os.environ.get("REPRO_EXAMPLE_HORIZON", "168"))
+DEVICES = int(os.environ.get("REPRO_EXAMPLE_DEVICES", "30"))
 
 
 def budget_at(scenario: repro.Scenario, fraction: float) -> float:
@@ -30,23 +38,20 @@ def budget_at(scenario: repro.Scenario, fraction: float) -> float:
 
 def evaluate(scenario: repro.Scenario, budget: float, *, use_ropt: bool):
     name = "ropt" if use_ropt else "bdma"
-    controller = repro.DPPController(
-        scenario.network,
-        scenario.controller_rng(f"{name}-{budget:.4f}"),
+    result = repro.api.run(
+        scenario=scenario,
+        controller=name,
+        horizon=HORIZON,
         v=100.0,
         budget=budget,
-        z=1 if use_ropt else 3,
-        p2a_solver=ropt_p2a_solver() if use_ropt else None,
-    )
-    result = repro.run_simulation(
-        controller, scenario.fresh_states(168), budget=budget
+        rng_label=f"{name}-{budget:.4f}",
     )
     return result.time_average_latency(), result.time_average_cost()
 
 
 def main() -> None:
     scenario = repro.make_paper_scenario(
-        seed=33, config=repro.ScenarioConfig(num_devices=30)
+        seed=33, config=repro.ScenarioConfig(num_devices=DEVICES)
     )
     rows = []
     for fraction in (0.15, 0.3, 0.5, 0.7, 0.9):

@@ -93,8 +93,11 @@ def main() -> None:
         price=40e-6,  # $40/MWh in per-watt-slot units
     )
 
-    controller = repro.DPPController(
-        network, rng, v=100.0, budget=1.0, z=3, initial_backlog=2.0
+    # No scenario here: the facade also accepts a bare network + rng +
+    # budget for hand-built deployments.
+    controller = repro.make_controller(
+        "dpp", network=network, rng=rng, budget=1.0, v=100.0, z=3,
+        initial_backlog=2.0,
     )
     record = controller.step(state)
     validate_decision(network, state, record.decision())

@@ -13,51 +13,56 @@ latency.  Watch the frequencies dip in the expensive evening hours while
 the queue absorbs the overshoot.
 
 Run:  python examples/diurnal_streaming.py
+
+Environment overrides (used by the CI smoke job):
+  REPRO_EXAMPLE_DAYS     simulated days (default 10)
+  REPRO_EXAMPLE_DEVICES  number of mobile devices (default 40)
 """
 
 from __future__ import annotations
+
+import os
 
 import numpy as np
 
 import repro
 from repro.analysis.tables import format_table
 
+DAYS = int(os.environ.get("REPRO_EXAMPLE_DAYS", "10"))
+DEVICES = int(os.environ.get("REPRO_EXAMPLE_DEVICES", "40"))
+
 
 def main() -> None:
     scenario = repro.make_paper_scenario(
         seed=21,
         config=repro.ScenarioConfig(
-            num_devices=40,
+            num_devices=DEVICES,
             workload="diurnal",       # f_t, d_t = periodic trend + noise
             budget_fraction=0.35,     # tight budget: scaling must work
         ),
     )
-    controller = repro.DPPController(
-        scenario.network,
-        scenario.controller_rng(),
+    days, period = DAYS, repro.DEFAULT_PERIOD
+    result = repro.api.run(
+        scenario=scenario,
+        controller="dpp",
+        horizon=days * period,
         v=150.0,
-        budget=scenario.budget,
         z=3,
-    )
-
-    days, period = 10, repro.DEFAULT_PERIOD
-    result = repro.run_simulation(
-        controller,
-        scenario.fresh_states(days * period),
-        budget=scenario.budget,
+        rng_label="controller",
         keep_records=True,
     )
 
     # Average the last five days hour-by-hour (after queue convergence).
-    tail = slice((days - 5) * period, days * period)
+    tail_days = min(5, days)
+    tail = slice((days - tail_days) * period, days * period)
     records = result.records[tail]
-    latency = result.latency[tail].reshape(5, period).mean(axis=0)
-    cost = result.cost[tail].reshape(5, period).mean(axis=0)
-    price = result.price[tail].reshape(5, period).mean(axis=0)
+    latency = result.latency[tail].reshape(tail_days, period).mean(axis=0)
+    cost = result.cost[tail].reshape(tail_days, period).mean(axis=0)
+    price = result.price[tail].reshape(tail_days, period).mean(axis=0)
     freqs = np.array([r.frequencies.mean() for r in records]).reshape(
-        5, period
+        tail_days, period
     ).mean(axis=0)
-    backlog = result.backlog[tail].reshape(5, period).mean(axis=0)
+    backlog = result.backlog[tail].reshape(tail_days, period).mean(axis=0)
 
     rows = [
         [
@@ -75,7 +80,7 @@ def main() -> None:
             ["hour", "price $/MWh", "mean GHz", "cost $/slot", "latency s", "queue"],
             rows,
             title=(
-                "Steady-state day (mean of last 5 days); "
+                f"Steady-state day (mean of last {tail_days} days); "
                 f"budget {scenario.budget:.3f} $/slot, "
                 f"realised {result.time_average_cost():.3f}"
             ),

@@ -11,9 +11,14 @@ The paper assumes the periodic trends behind workloads and prices are
 4. simulate BDMA-based DPP against the fitted models.
 
 Run:  python examples/fit_from_trace.py
+
+Environment overrides (used by the CI smoke job):
+  REPRO_EXAMPLE_HORIZON  slots to simulate in step 4 (default 96)
 """
 
 from __future__ import annotations
+
+import os
 
 import numpy as np
 
@@ -23,6 +28,8 @@ from repro.analysis.text_plots import sparkline
 from repro.energy.pricing import PeriodicPriceModel, synthetic_nyiso_trend
 from repro.workload.estimation import fit_price_model, fit_task_generator
 from repro.workload.traces import synthetic_video_views
+
+HORIZON = int(os.environ.get("REPRO_EXAMPLE_HORIZON", "96"))
 
 
 def main() -> None:
@@ -67,18 +74,16 @@ def main() -> None:
         tasks=tasks,
         prices=prices,
     )
-    controller = repro.DPPController(
-        scenario.network,
-        scenario.controller_rng(),
+    result = repro.api.run(
+        scenario=scenario,
+        controller="dpp",
+        horizon=HORIZON,
         v=100.0,
-        budget=scenario.budget,
         z=2,
-    )
-    result = repro.run_simulation(
-        controller, scenario.fresh_states(96), budget=scenario.budget
+        rng_label="controller",
     )
     summary = result.summary()
-    print(f"\n4-day simulation against the fitted models:")
+    print(f"\n{HORIZON // 24}-day simulation against the fitted models:")
     print(f"  time-average latency {summary.mean_latency:.2f} s, "
           f"cost {summary.mean_cost:.3f} $/slot "
           f"(budget {scenario.budget:.3f})")

@@ -8,9 +8,15 @@ out of small cells.  The controller transparently rebuilds its strategy
 space when coverage changes and repairs carried-over decisions.
 
 Run:  python examples/mobility_scenario.py
+
+Environment overrides (used by the CI smoke job):
+  REPRO_EXAMPLE_HORIZON  slots to simulate (default 96)
+  REPRO_EXAMPLE_DEVICES  number of mobile devices (default 25)
 """
 
 from __future__ import annotations
+
+import os
 
 import numpy as np
 
@@ -19,6 +25,9 @@ from repro.analysis.tables import format_table
 from repro.radio.channel import DistanceChannelModel
 from repro.radio.fading import CorrelatedChannelModel
 from repro.radio.mobility import RandomWaypointMobility
+
+HORIZON = int(os.environ.get("REPRO_EXAMPLE_HORIZON", "96"))
+DEVICES = int(os.environ.get("REPRO_EXAMPLE_DEVICES", "25"))
 
 
 def main() -> None:
@@ -32,7 +41,7 @@ def main() -> None:
     )
     scenario = repro.make_paper_scenario(
         seed=91,
-        config=repro.ScenarioConfig(num_devices=25),
+        config=repro.ScenarioConfig(num_devices=DEVICES),
         channel=channel,
         mobility=mobility,
         num_base_stations=5,
@@ -40,15 +49,7 @@ def main() -> None:
         small_cell_radius_range=(800.0, 2_000.0),
     )
 
-    controller = repro.DPPController(
-        scenario.network,
-        scenario.controller_rng(),
-        v=100.0,
-        budget=scenario.budget,
-        z=2,
-    )
-
-    horizon = 96
+    horizon = HORIZON
     handovers = {"bs": 0, "server": 0}
     previous: repro.Assignment | None = None
 
@@ -61,10 +62,13 @@ def main() -> None:
             )
         previous = record.assignment
 
-    result = repro.run_simulation(
-        controller,
-        scenario.fresh_states(horizon),
-        budget=scenario.budget,
+    result = repro.api.run(
+        scenario=scenario,
+        controller="dpp",
+        horizon=horizon,
+        v=100.0,
+        z=2,
+        rng_label="controller",
         on_slot=count_handovers,
     )
 

@@ -7,16 +7,27 @@ so each preset is replicated over several seeds and reported with
 bootstrap confidence intervals.
 
 Run:  python examples/preset_comparison.py
+
+Each worker run is wired through :func:`repro.api.make_controller`, so
+``ReplicationSpec.solver`` accepts any facade controller name.
+
+Environment overrides (used by the CI smoke job):
+  REPRO_EXAMPLE_HORIZON  slots per run (default 48)
+  REPRO_EXAMPLE_SEEDS    number of replication seeds (default 3)
+  REPRO_EXAMPLE_DEVICES  number of mobile devices (default 40)
 """
 
 from __future__ import annotations
+
+import os
 
 from repro.analysis.tables import format_table
 from repro.network.presets import PRESETS, get_preset
 from repro.sim.replication import ReplicationSpec, run_replications
 
-SEEDS = (0, 1, 2)
-NUM_DEVICES = 40
+SEEDS = tuple(range(int(os.environ.get("REPRO_EXAMPLE_SEEDS", "3"))))
+NUM_DEVICES = int(os.environ.get("REPRO_EXAMPLE_DEVICES", "40"))
+HORIZON = int(os.environ.get("REPRO_EXAMPLE_HORIZON", "48"))
 
 
 def spec_for(preset_name: str) -> ReplicationSpec:
@@ -36,7 +47,7 @@ def spec_for(preset_name: str) -> ReplicationSpec:
     )
     return ReplicationSpec(
         num_devices=NUM_DEVICES,
-        horizon=48,
+        horizon=HORIZON,
         z=2,
         warm_start_queue=True,  # measure steady state, not the ramp
         network_overrides=overrides,

@@ -2,37 +2,40 @@
 
 Builds the Sec. VI-A simulation setup (6 base stations, 2 server rooms
 with 8 edge servers each, uniform tasks, synthetic NYISO prices), runs
-the online controller for two simulated days, and prints the headline
-time-average statistics.
+the online controller for two simulated days through the
+:func:`repro.api.run` facade, and prints the headline time-average
+statistics.
 
 Run:  python examples/quickstart.py
+
+Environment overrides (used by the CI smoke job):
+  REPRO_EXAMPLE_HORIZON  slots to simulate (default 48)
+  REPRO_EXAMPLE_DEVICES  number of mobile devices (default 60)
 """
 
 from __future__ import annotations
 
+import os
+
 import repro
+
+HORIZON = int(os.environ.get("REPRO_EXAMPLE_HORIZON", "48"))
+DEVICES = int(os.environ.get("REPRO_EXAMPLE_DEVICES", "60"))
 
 
 def main() -> None:
     # One seed controls everything: topology, workloads, channels, prices.
     scenario = repro.make_paper_scenario(
-        seed=7, config=repro.ScenarioConfig(num_devices=60)
+        seed=7, config=repro.ScenarioConfig(num_devices=DEVICES)
     )
     print(f"Scenario: {scenario.network}, budget {scenario.budget:.3f} $/slot")
 
-    controller = repro.DPPController(
-        scenario.network,
-        scenario.controller_rng(),
+    result = repro.api.run(
+        scenario=scenario,
+        controller="dpp",       # the paper's BDMA-based DPP
+        horizon=HORIZON,        # two simulated days of hourly slots
         v=100.0,                # latency/energy trade-off knob (Theorem 4)
-        budget=scenario.budget, # time-average energy-cost constraint
         z=3,                    # BDMA alternation rounds (Algorithm 2)
-    )
-
-    horizon = 48  # two simulated days of hourly slots
-    result = repro.run_simulation(
-        controller,
-        scenario.fresh_states(horizon),
-        budget=scenario.budget,
         on_slot=lambda record: print(
             f"slot {record.t:3d}: latency {record.latency:7.3f} s  "
             f"cost {record.cost:6.3f} $  queue {record.backlog_after:6.3f}"

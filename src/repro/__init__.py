@@ -11,6 +11,19 @@ Quickstart::
 
     import repro
 
+    result = repro.api.run(controller="dpp", horizon=48, seed=7, v=100.0)
+    print(result.summary())
+
+The facade accepts every controller name the paper compares
+(``"dpp"``/``"bdma"``, ``"mcba"``, ``"ropt"``, ``"greedy"``,
+``"fixed"``); :mod:`repro.obs` adds tracing on top::
+
+    probe = repro.obs.Probe()
+    result = repro.api.run(controller="dpp", horizon=48, tracer=probe)
+    print(probe.phases.table())
+
+The pieces remain directly composable when the facade is too coarse::
+
     scenario = repro.make_paper_scenario(seed=7)
     controller = repro.DPPController(
         scenario.network,
@@ -21,7 +34,6 @@ Quickstart::
     result = repro.run_simulation(
         controller, scenario.fresh_states(48), budget=scenario.budget
     )
-    print(result.summary())
 """
 
 from repro._version import __version__
@@ -65,7 +77,7 @@ from repro.analysis import (
     slot_latency_fairness,
     sparkline,
 )
-from repro.io import load_result, save_result, summary_to_json
+from repro.io import load_result, records_to_jsonl, save_result, summary_to_json
 from repro.workload import (
     fit_periodic_profile,
     fit_price_model,
@@ -75,6 +87,7 @@ from repro.baselines import (
     BranchAndBoundResult,
     FixedFrequencyController,
     MCBAResult,
+    greedy_p2a_solver,
     mcba_p2a_solver,
     p2a_lower_bound,
     ropt_p2a_solver,
@@ -108,6 +121,7 @@ from repro.sim import (
     NoOutages,
     ReplicationReport,
     ReplicationSpec,
+    ReplicationSummary,
     Scenario,
     SeedBank,
     SimulationResult,
@@ -116,9 +130,18 @@ from repro.sim import (
     run_replications,
     run_simulation,
 )
+from repro import obs
+
+# Imported last: the facade pulls from nearly every subpackage above.
+from repro import api
+from repro.api import make_controller
 
 __all__ = [
     "__version__",
+    # facade + observability
+    "api",
+    "make_controller",
+    "obs",
     # configuration
     "make_paper_scenario",
     "ScenarioConfig",
@@ -164,6 +187,7 @@ __all__ = [
     # io
     "save_result",
     "load_result",
+    "records_to_jsonl",
     "summary_to_json",
     # trace fitting
     "fit_periodic_profile",
@@ -179,6 +203,7 @@ __all__ = [
     "BranchAndBoundResult",
     "p2a_lower_bound",
     "solve_p2a_greedy",
+    "greedy_p2a_solver",
     "FixedFrequencyController",
     # network
     "MECNetwork",
@@ -200,6 +225,7 @@ __all__ = [
     "run_replications",
     "ReplicationSpec",
     "ReplicationReport",
+    "ReplicationSummary",
     "NoOutages",
     "MarkovOutages",
     # exceptions

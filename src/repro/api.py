@@ -1,0 +1,252 @@
+"""The unified run facade: one entry point for every controller.
+
+Before this module existed, the CLI, the experiments, the examples, and
+the replication workers each re-implemented the same wiring: map a
+solver name to a P2-A solver and a ``z``, derive the rng stream,
+optionally warm-start the virtual queue at its equilibrium, then drive
+:func:`repro.sim.engine.run_simulation`.  :func:`make_controller` and
+:func:`run` are that wiring, once.
+
+Quickstart::
+
+    import repro
+
+    result = repro.api.run(controller="dpp", horizon=48, seed=7)
+    print(result.summary())
+
+    # Or with an explicit scenario, tracer, and baseline controller:
+    scenario = repro.make_paper_scenario(seed=7)
+    probe = repro.obs.Probe()
+    result = repro.api.run(
+        scenario=scenario, controller="mcba", horizon=48, tracer=probe
+    )
+    print(probe.phases.table())
+"""
+
+from __future__ import annotations
+
+from repro.analysis.equilibrium import estimate_equilibrium_backlog
+from repro.baselines.fixed_frequency import FixedFrequencyController
+from repro.baselines.greedy import greedy_p2a_solver
+from repro.baselines.mcba import mcba_p2a_solver
+from repro.baselines.ropt import ropt_p2a_solver
+from repro.config import DEFAULT_PERIOD, ScenarioConfig, make_paper_scenario
+from repro.core.bdma import P2ASolver
+from repro.core.controller import DPPController, OnlineController
+from repro.exceptions import ConfigurationError
+from repro.network.topology import MECNetwork
+from repro.obs.probe import Tracer
+from repro.sim.engine import run_simulation
+from repro.sim.results import SimulationResult
+from repro.sim.scenario import Scenario
+from repro.types import Rng
+
+__all__ = ["CONTROLLER_NAMES", "make_controller", "run"]
+
+#: Controller names :func:`make_controller` understands.  ``"bdma"`` is
+#: an alias of ``"dpp"`` (the paper's BDMA-based DPP); ``"mcba"`` and
+#: ``"ropt"`` are the paper's baselines as DPP P2-A solvers;
+#: ``"greedy"`` is the one-pass ablation solver; ``"fixed"`` pins every
+#: server clock (``fraction=`` selects where in the range).
+CONTROLLER_NAMES = ("dpp", "bdma", "mcba", "ropt", "greedy", "fixed")
+
+#: Default BDMA alternation rounds per controller name.  Single-shot
+#: P2-A solvers (MCBA, ROPT, greedy) gain nothing from re-alternation,
+#: mirroring the paper's baseline setups.
+_DEFAULT_Z = {"dpp": 3, "bdma": 3, "mcba": 1, "ropt": 1, "greedy": 1, "fixed": 1}
+
+
+def _p2a_solver_for(name: str, params: dict) -> P2ASolver | None:
+    """The P2-A solver behind a controller name (``None`` = CGBA)."""
+    if name in ("dpp", "bdma"):
+        return None
+    if name == "mcba":
+        keys = ("iterations", "initial_temperature_fraction", "cooling")
+        return mcba_p2a_solver(**{k: params.pop(k) for k in keys if k in params})
+    if name == "ropt":
+        return ropt_p2a_solver()
+    if name == "greedy":
+        keys = ("joint", "shuffle")
+        return greedy_p2a_solver(**{k: params.pop(k) for k in keys if k in params})
+    raise ConfigurationError(
+        f"unknown controller {name!r}; expected one of {CONTROLLER_NAMES}"
+    )
+
+
+def make_controller(
+    name: str,
+    scenario: Scenario | None = None,
+    *,
+    v: float = 100.0,
+    z: int | None = None,
+    budget: float | None = None,
+    network: MECNetwork | None = None,
+    rng: Rng | None = None,
+    rng_label: str | None = None,
+    equilibrium_rng_label: str | None = None,
+    initial_backlog: float = 0.0,
+    warm_start_queue: bool = False,
+    tracer: "Tracer | None" = None,
+    **params: object,
+) -> OnlineController:
+    """Build a named controller wired to a scenario (or a bare network).
+
+    Args:
+        name: One of :data:`CONTROLLER_NAMES`.
+        scenario: The scenario supplying network, rng streams, and the
+            default budget.  May be omitted when ``network``, ``rng``,
+            and ``budget`` are all given explicitly (e.g. hand-built
+            topologies).
+        v: DPP trade-off parameter ``V`` (ignored by ``"fixed"``).
+        z: BDMA alternation rounds; defaults to 3 for ``"dpp"`` and 1
+            for the single-shot baselines.
+        budget: Energy-cost budget ``Cbar``; defaults to
+            ``scenario.budget``.
+        network: Topology override when no scenario is given.
+        rng: Controller rng override; defaults to
+            ``scenario.controller_rng(rng_label or name)``.
+        rng_label: Name of the scenario rng stream to draw (so callers
+            can keep historical stream names for reproducibility).
+        equilibrium_rng_label: Stream name for the warm-start
+            equilibrium estimate (default ``"<rng_label>-equilibrium"``).
+        initial_backlog: ``Q(1)``; overridden by ``warm_start_queue``.
+        warm_start_queue: Start the virtual queue at its estimated
+            equilibrium backlog (requires a scenario).
+        tracer: Observability tracer threaded into the controller.
+        **params: Controller-family extras -- e.g. ``iterations=`` for
+            MCBA, ``joint=`` for greedy, ``fraction=``/``slack=`` for
+            fixed, ``warm_start=``/``carry_over=`` for DPP.
+
+    Returns:
+        A ready-to-run :class:`~repro.core.controller.OnlineController`.
+
+    Raises:
+        ConfigurationError: On an unknown name, a missing scenario where
+            one is required, or unconsumed ``params``.
+    """
+    if name not in CONTROLLER_NAMES:
+        raise ConfigurationError(
+            f"unknown controller {name!r}; expected one of {CONTROLLER_NAMES}"
+        )
+    if scenario is None and (network is None or rng is None or budget is None):
+        raise ConfigurationError(
+            "make_controller needs a scenario, or explicit network+rng+budget"
+        )
+    if network is None:
+        assert scenario is not None
+        network = scenario.network
+    if budget is None:
+        assert scenario is not None
+        budget = scenario.budget
+    if rng is None:
+        assert scenario is not None
+        rng = scenario.controller_rng(rng_label or name)
+    if warm_start_queue:
+        if scenario is None:
+            raise ConfigurationError("warm_start_queue requires a scenario")
+        label = equilibrium_rng_label or f"{rng_label or name}-equilibrium"
+        initial_backlog = estimate_equilibrium_backlog(
+            network,
+            list(scenario.fresh_states(DEFAULT_PERIOD)),
+            scenario.controller_rng(label),
+            v=v,
+            budget=budget,
+        )
+
+    if name == "fixed":
+        controller: OnlineController = FixedFrequencyController(
+            network,
+            rng,
+            fraction=float(params.pop("fraction", 1.0)),  # type: ignore[arg-type]
+            budget=budget,
+            slack=float(params.pop("slack", 0.0)),  # type: ignore[arg-type]
+            tracer=tracer,
+        )
+    else:
+        solver = _p2a_solver_for(name, params)
+        controller = DPPController(
+            network,
+            rng,
+            v=v,
+            budget=budget,
+            z=_DEFAULT_Z[name] if z is None or name not in ("dpp", "bdma") else z,
+            p2a_solver=solver,
+            initial_backlog=initial_backlog,
+            tracer=tracer,
+            **params,  # type: ignore[arg-type]
+        )
+    if name == "fixed" and params:
+        raise ConfigurationError(f"unused parameters for 'fixed': {sorted(params)}")
+    return controller
+
+
+def run(
+    *,
+    scenario: Scenario | None = None,
+    seed: int = 7,
+    scenario_config: ScenarioConfig | None = None,
+    controller: "str | OnlineController" = "dpp",
+    horizon: int = 48,
+    v: float = 100.0,
+    z: int | None = None,
+    budget: float | None = None,
+    tracer: "Tracer | None" = None,
+    keep_records: bool = False,
+    on_slot=None,
+    warm_start_queue: bool = False,
+    **controller_params: object,
+) -> SimulationResult:
+    """Run one simulation end to end and return its result.
+
+    The single public entry point: builds the scenario (unless given),
+    the controller (unless an instance is given), threads the tracer
+    through both the controller and the simulation loop, and runs
+    ``horizon`` slots.
+
+    Args:
+        scenario: Scenario to simulate; built from ``seed`` /
+            ``scenario_config`` via
+            :func:`repro.config.make_paper_scenario` when omitted.
+        seed: Root seed for the default scenario.
+        scenario_config: Knobs for the default scenario.
+        controller: A name from :data:`CONTROLLER_NAMES` or an already
+            built :class:`~repro.core.controller.OnlineController`.
+        horizon: Number of slots to simulate.
+        v: DPP trade-off parameter ``V``.
+        z: BDMA alternation rounds (see :func:`make_controller`).
+        budget: Energy budget; ``scenario.budget`` when omitted.
+        tracer: Observability tracer (e.g. :class:`repro.obs.Probe`).
+        keep_records: Retain full per-slot records on the result.
+        on_slot: Per-slot progress callback.
+        warm_start_queue: Start the queue at its estimated equilibrium.
+        **controller_params: Passed to :func:`make_controller`
+            (``rng_label=``, ``fraction=``, ``iterations=``, ...).
+
+    Returns:
+        The :class:`~repro.sim.results.SimulationResult`.
+    """
+    if scenario is None:
+        scenario = make_paper_scenario(seed, config=scenario_config)
+    if budget is None:
+        budget = scenario.budget
+    if isinstance(controller, OnlineController):
+        ctrl = controller
+    else:
+        ctrl = make_controller(
+            controller,
+            scenario,
+            v=v,
+            z=z,
+            budget=budget,
+            warm_start_queue=warm_start_queue,
+            tracer=tracer,
+            **controller_params,  # type: ignore[arg-type]
+        )
+    return run_simulation(
+        ctrl,
+        scenario.fresh_states(horizon),
+        budget=budget,
+        keep_records=keep_records,
+        on_slot=on_slot,
+        tracer=tracer,
+    )

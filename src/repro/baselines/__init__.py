@@ -22,7 +22,7 @@ from repro.baselines.branch_and_bound import (
     solve_p2a_exact,
 )
 from repro.baselines.lower_bounds import p2a_fractional_bound, p2a_lower_bound
-from repro.baselines.greedy import solve_p2a_greedy
+from repro.baselines.greedy import greedy_p2a_solver, solve_p2a_greedy
 from repro.baselines.fixed_frequency import FixedFrequencyController
 
 __all__ = [
@@ -36,5 +36,6 @@ __all__ = [
     "p2a_lower_bound",
     "p2a_fractional_bound",
     "solve_p2a_greedy",
+    "greedy_p2a_solver",
     "FixedFrequencyController",
 ]

@@ -23,6 +23,7 @@ from repro.core.virtual_queue import VirtualQueue
 from repro.exceptions import ConfigurationError
 from repro.network.connectivity import StrategySpace
 from repro.network.topology import MECNetwork
+from repro.obs.probe import Tracer, as_tracer
 from repro.types import Rng
 
 
@@ -36,6 +37,9 @@ class FixedFrequencyController(OnlineController):
             0 pins ``F^L``, 1 pins ``F^U``, 0.5 the midpoint.
         budget: Reported-against budget ``Cbar`` (accounting only).
         slack: CGBA's ``lambda``.
+        tracer: Observability tracer; same ``slot``/``state``/``p2a``/
+            ``allocation``/``queue`` span structure as the DPP
+            controller (no ``bdma``/``p2b`` phases -- clocks are fixed).
     """
 
     def __init__(
@@ -46,6 +50,7 @@ class FixedFrequencyController(OnlineController):
         fraction: float,
         budget: float,
         slack: float = 0.0,
+        tracer: "Tracer | None" = None,
     ) -> None:
         if not 0.0 <= fraction <= 1.0:
             raise ConfigurationError(f"fraction must lie in [0, 1], got {fraction}")
@@ -54,65 +59,78 @@ class FixedFrequencyController(OnlineController):
         self.fraction = float(fraction)
         self.budget = float(budget)
         self.slack = float(slack)
+        self.tracer = as_tracer(tracer)
         self.frequencies = (
             network.freq_min + fraction * (network.freq_max - network.freq_min)
         )
-        self.queue = VirtualQueue(0.0)
+        self.queue = VirtualQueue(0.0, tracer=self.tracer)
         self._space: StrategySpace | None = None
         self._previous = None
 
     def step(self, state: SlotState) -> SlotRecord:
-        coverage = state.coverage()
-        cached = self._space
-        reused = (
-            cached is not None
-            and (
-                (state.available_servers is None and cached.available_servers is None)
-                or (
-                    state.available_servers is not None
-                    and cached.available_servers is not None
-                    and np.array_equal(
-                        state.available_servers, cached.available_servers
+        tracer = self.tracer
+        with tracer.span("slot"):
+            with tracer.span("state"):
+                coverage = state.coverage()
+                cached = self._space
+                reused = (
+                    cached is not None
+                    and (
+                        (
+                            state.available_servers is None
+                            and cached.available_servers is None
+                        )
+                        or (
+                            state.available_servers is not None
+                            and cached.available_servers is not None
+                            and np.array_equal(
+                                state.available_servers, cached.available_servers
+                            )
+                        )
                     )
+                    and np.array_equal(coverage, cached.coverage)
                 )
-            )
-            and np.array_equal(coverage, cached.coverage)
-        )
-        if not reused:
-            self._space = StrategySpace(
-                self.network, coverage, state.available_servers
-            )
-        if self._previous is not None and not reused:
-            bs_of, server_of = self._space.repair(
-                self._previous.bs_of, self._previous.server_of, self.rng
-            )
-            self._previous = Assignment(bs_of=bs_of, server_of=server_of)
-        started = time.perf_counter()
-        result = solve_p2a_cgba(
-            self.network,
-            state,
-            self._space,
-            self.frequencies,
-            self.rng,
-            slack=self.slack,
-            initial=self._previous,
-        )
-        solve_seconds = time.perf_counter() - started
-        self._previous = result.assignment
+                if not reused:
+                    self._space = StrategySpace(
+                        self.network, coverage, state.available_servers
+                    )
+                if self._previous is not None and not reused:
+                    bs_of, server_of = self._space.repair(
+                        self._previous.bs_of, self._previous.server_of, self.rng
+                    )
+                    self._previous = Assignment(bs_of=bs_of, server_of=server_of)
+            started = time.perf_counter()
+            with tracer.span("p2a"):
+                result = solve_p2a_cgba(
+                    self.network,
+                    state,
+                    self._space,
+                    self.frequencies,
+                    self.rng,
+                    slack=self.slack,
+                    initial=self._previous,
+                    tracer=tracer,
+                )
+            solve_seconds = time.perf_counter() - started
+            self._previous = result.assignment
 
-        allocation = optimal_allocation(self.network, state, result.assignment)
-        latency = optimal_total_latency(
-            self.network, state, result.assignment, self.frequencies
-        )
-        cost = energy_cost(
-            self.network,
-            self.frequencies,
-            state.price,
-            available=state.available_servers,
-        )
-        theta = cost - self.budget
-        backlog_before = self.queue.backlog
-        backlog_after = self.queue.update(theta)
+            with tracer.span("allocation"):
+                allocation = optimal_allocation(
+                    self.network, state, result.assignment
+                )
+                latency = optimal_total_latency(
+                    self.network, state, result.assignment, self.frequencies
+                )
+                cost = energy_cost(
+                    self.network,
+                    self.frequencies,
+                    state.price,
+                    available=state.available_servers,
+                )
+            with tracer.span("queue"):
+                theta = cost - self.budget
+                backlog_before = self.queue.backlog
+                backlog_after = self.queue.update(theta)
         return SlotRecord(
             t=state.t,
             assignment=result.assignment,
@@ -128,6 +146,6 @@ class FixedFrequencyController(OnlineController):
         )
 
     def reset(self) -> None:
-        self.queue = VirtualQueue(0.0)
+        self.queue = VirtualQueue(0.0, tracer=self.tracer)
         self._space = None
         self._previous = None

@@ -106,3 +106,40 @@ def solve_p2a_greedy(
         load_compute[n] += pc[j]
 
     return Assignment(bs_of=bs_of, server_of=server_of)
+
+
+def greedy_p2a_solver(*, joint: bool = True, shuffle: bool = True):
+    """Greedy packaged as a P2-A solver for the DPP controller.
+
+    The returned callable matches :class:`repro.core.bdma.P2ASolver`;
+    the warm-start ``initial`` assignment is ignored (greedy always
+    builds its pass from an empty profile).
+
+    Args:
+        joint: Joint (base station, server) selection versus the
+            decoupled two-stage variant.
+        shuffle: Shuffle the device processing order each slot (uses the
+            controller's rng); ``False`` processes devices in index
+            order, which is fully deterministic but order-biased.
+    """
+
+    def solve(
+        network: MECNetwork,
+        state: SlotState,
+        space: StrategySpace,
+        frequencies: FloatArray,
+        rng: Rng,
+        *,
+        initial: Assignment | None,
+    ) -> Assignment:
+        del initial  # greedy has no warm start; it is a single pass
+        return solve_p2a_greedy(
+            network,
+            state,
+            space,
+            frequencies,
+            rng if shuffle else None,
+            joint=joint,
+        )
+
+    return solve

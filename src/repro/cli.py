@@ -9,6 +9,10 @@ Commands:
 * ``equilibrium`` -- estimate the steady-state queue backlog ``Q*`` for
   a scenario without simulating the ramp.
 * ``info`` -- version and default-scenario overview.
+
+``simulate`` additionally exposes the observability layer: ``--profile``
+prints the per-phase timing table and ``--trace out.jsonl`` streams
+every span/counter/slot event to disk alongside a run manifest.
 """
 
 from __future__ import annotations
@@ -17,16 +21,15 @@ import argparse
 import sys
 from typing import Sequence
 
-import numpy as np
-
 import repro
 from repro.analysis.equilibrium import estimate_equilibrium_backlog
 from repro.analysis.text_plots import line_chart
-from repro.baselines import mcba_p2a_solver, ropt_p2a_solver
+from repro.api import CONTROLLER_NAMES, make_controller
 from repro.experiments import RUNNERS, generate_report
 from repro.io import save_result, summary_to_json
+from repro.obs import JsonlSink, Probe, RunManifest, manifest_path_for
 
-_SOLVER_CHOICES = ("bdma", "mcba", "ropt")
+_SOLVER_CHOICES = CONTROLLER_NAMES
 
 
 def _build_scenario(args: argparse.Namespace) -> repro.Scenario:
@@ -41,45 +44,77 @@ def _build_scenario(args: argparse.Namespace) -> repro.Scenario:
 
 
 def _build_controller(
-    scenario: repro.Scenario, args: argparse.Namespace
-) -> repro.DPPController:
-    solver = None
-    z = args.z
-    if args.solver == "ropt":
-        solver, z = ropt_p2a_solver(), 1
-    elif args.solver == "mcba":
-        solver, z = mcba_p2a_solver(), 1
-    initial = 0.0
-    if args.warm_start:
-        initial = estimate_equilibrium_backlog(
-            scenario.network,
-            list(scenario.fresh_states(repro.DEFAULT_PERIOD)),
-            scenario.controller_rng("cli-equilibrium"),
-            v=args.v,
-            budget=scenario.budget,
-        )
-    return repro.DPPController(
-        scenario.network,
-        scenario.controller_rng("cli"),
+    scenario: repro.Scenario,
+    args: argparse.Namespace,
+    tracer: "Probe | None" = None,
+) -> repro.OnlineController:
+    """Map CLI flags onto :func:`repro.api.make_controller`.
+
+    The ``"cli"`` / ``"cli-equilibrium"`` rng stream labels predate the
+    facade and are kept so historical runs stay bit-reproducible.
+    """
+    extras: dict[str, object] = {}
+    if args.solver == "fixed":
+        extras["fraction"] = args.fraction
+    return make_controller(
+        args.solver,
+        scenario,
         v=args.v,
-        budget=scenario.budget,
-        z=z,
-        p2a_solver=solver,
-        initial_backlog=initial,
+        z=args.z,
+        rng_label="cli",
+        equilibrium_rng_label="cli-equilibrium",
+        warm_start_queue=args.warm_start,
+        tracer=tracer,
+        **extras,
     )
 
 
 def _cmd_simulate(args: argparse.Namespace) -> int:
     scenario = _build_scenario(args)
-    controller = _build_controller(scenario, args)
+    tracing = bool(args.trace) or args.profile
+    probe: Probe | None = None
+    manifest: RunManifest | None = None
+    if tracing:
+        probe = Probe()
+        if args.trace:
+            probe.add_sink(JsonlSink(args.trace))
+            manifest = RunManifest(
+                config={
+                    "command": "simulate",
+                    "devices": args.devices,
+                    "workload": args.workload,
+                    "budget_fraction": args.budget_fraction,
+                    "v": args.v,
+                    "z": args.z,
+                    "solver": args.solver,
+                    "horizon": args.horizon,
+                    "warm_start": args.warm_start,
+                },
+                seed=args.seed,
+            )
+    controller = _build_controller(scenario, args, tracer=probe)
     print(
         f"{scenario.network}; budget {scenario.budget:.4f} $/slot; "
         f"solver {args.solver}; V={args.v}; horizon {args.horizon}"
     )
     result = repro.run_simulation(
-        controller, scenario.fresh_states(args.horizon), budget=scenario.budget
+        controller,
+        scenario.fresh_states(args.horizon),
+        budget=scenario.budget,
+        tracer=probe,
     )
     print(summary_to_json(result.summary()))
+    if probe is not None:
+        probe.close()
+        if args.profile:
+            print()
+            print(probe.phases.table())
+        if args.trace:
+            manifest_path = manifest_path_for(args.trace)
+            assert manifest is not None
+            manifest.finish().write(manifest_path)
+            print(f"trace written to {args.trace}")
+            print(f"manifest written to {manifest_path}")
     if args.chart:
         print()
         print(line_chart(result.backlog, title="virtual queue backlog Q(t)"))
@@ -179,12 +214,19 @@ def build_parser() -> argparse.ArgumentParser:
     sim.add_argument("--horizon", type=int, default=48, help="slots to simulate")
     sim.add_argument("--solver", choices=_SOLVER_CHOICES, default="bdma")
     sim.add_argument("--z", type=int, default=3, help="BDMA alternation rounds")
+    sim.add_argument("--fraction", type=float, default=1.0,
+                     help="clock position in [0,1] for --solver fixed")
     sim.add_argument("--warm-start", action="store_true",
                      help="start the queue at its estimated equilibrium")
     sim.add_argument("--chart", action="store_true",
                      help="print text charts of backlog and latency")
     sim.add_argument("--output", type=str, default=None,
                      help="write trajectories to this .npz file")
+    sim.add_argument("--trace", type=str, default=None, metavar="PATH",
+                     help="stream span/counter/slot events to this JSONL "
+                          "file (plus a sibling .manifest.json)")
+    sim.add_argument("--profile", action="store_true",
+                     help="print the per-phase timing table after the run")
     sim.set_defaults(handler=_cmd_simulate)
 
     exp = sub.add_parser("experiment", help="run a paper experiment")

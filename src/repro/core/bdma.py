@@ -23,6 +23,7 @@ from repro.core.state import Assignment, SlotState
 from repro.exceptions import ConfigurationError
 from repro.network.connectivity import StrategySpace
 from repro.network.topology import MECNetwork
+from repro.obs.probe import Tracer, as_tracer
 from repro.solvers.potential_game import EngineStats
 from repro.types import FloatArray, Rng
 
@@ -48,7 +49,11 @@ class P2ASolver(Protocol):
 
 
 def cgba_p2a_solver(
-    *, slack: float = 0.0, max_iter: int = 100_000, engine: str = "fast"
+    *,
+    slack: float = 0.0,
+    max_iter: int = 100_000,
+    engine: str = "fast",
+    tracer: "Tracer | None" = None,
 ) -> P2ASolver:
     """The default P2-A solver: CGBA(lambda) (Algorithm 3).
 
@@ -77,6 +82,7 @@ def cgba_p2a_solver(
             initial=initial,
             max_iter=max_iter,
             engine=engine,
+            tracer=tracer,
         )
         if result.engine_stats is not None:
             accumulated.merge(result.engine_stats)
@@ -125,6 +131,7 @@ def solve_p2_bdma(
     p2a_solver: P2ASolver | None = None,
     warm_start: bool = True,
     initial: Assignment | None = None,
+    tracer: "Tracer | None" = None,
 ) -> BDMAResult:
     """Solve P2 by alternating P2-A and P2-B for ``z`` rounds.
 
@@ -146,6 +153,12 @@ def solve_p2_bdma(
         initial: Seed the *first* round's P2-A solve with this
             assignment (e.g. the previous slot's decision); only used
             when ``warm_start`` is enabled.
+        tracer: Observability tracer; when enabled, every round's P2-A
+            and P2-B solve runs inside ``p2a``/``p2b`` spans and a
+            ``bdma.rounds`` counter is emitted.  The default CGBA solver
+            is constructed with the same tracer so engine counters flow
+            through; externally supplied ``p2a_solver`` callables are
+            timed but not internally instrumented.
 
     Returns:
         The best decision by P2 objective across all rounds.
@@ -156,7 +169,10 @@ def solve_p2_bdma(
         raise ConfigurationError(f"V must be positive, got {v}")
     if queue_backlog < 0.0:
         raise ConfigurationError("queue backlog cannot be negative")
-    solver = p2a_solver if p2a_solver is not None else cgba_p2a_solver()
+    tracer = as_tracer(tracer)
+    solver = (
+        p2a_solver if p2a_solver is not None else cgba_p2a_solver(tracer=tracer)
+    )
     pop_stats = getattr(solver, "pop_stats", None)
     if callable(pop_stats):
         pop_stats()  # discard counters accumulated by earlier callers
@@ -169,21 +185,24 @@ def solve_p2_bdma(
     previous: Assignment | None = initial
 
     for _ in range(z):
-        assignment = solver(
-            network,
-            state,
-            space,
-            frequencies,
-            rng,
-            initial=previous if warm_start else None,
-        )
-        frequencies = solve_p2b(
-            network,
-            state,
-            assignment,
-            queue_backlog=queue_backlog,
-            v=v,
-        )
+        with tracer.span("p2a"):
+            assignment = solver(
+                network,
+                state,
+                space,
+                frequencies,
+                rng,
+                initial=previous if warm_start else None,
+            )
+        with tracer.span("p2b"):
+            frequencies = solve_p2b(
+                network,
+                state,
+                assignment,
+                queue_backlog=queue_backlog,
+                v=v,
+                tracer=tracer,
+            )
         objective = dpp_objective(
             network,
             state,
@@ -200,6 +219,8 @@ def solve_p2_bdma(
             best_frequencies = frequencies.copy()
         previous = assignment
 
+    if tracer.enabled:
+        tracer.counter("bdma.rounds", z)
     assert best_assignment is not None
     return BDMAResult(
         assignment=best_assignment,

@@ -17,6 +17,7 @@ from repro.core.congestion_game import OffloadingCongestionGame
 from repro.core.state import Assignment, SlotState
 from repro.network.connectivity import StrategySpace
 from repro.network.topology import MECNetwork
+from repro.obs.probe import Tracer, as_tracer
 from repro.solvers.fast_engine import fast_best_response_dynamics
 from repro.solvers.potential_game import EngineStats, best_response_dynamics
 from repro.types import FloatArray, Rng
@@ -74,6 +75,7 @@ def solve_p2a_cgba(
     max_iter: int = 100_000,
     record_history: bool = False,
     engine: str = "fast",
+    tracer: "Tracer | None" = None,
 ) -> CGBAResult:
     """Solve P2-A with CGBA(lambda).
 
@@ -91,6 +93,10 @@ def solve_p2a_cgba(
             ``"reference"`` (the per-player Python loop).  Both produce
             the same move sequence and final equilibrium; the reference
             engine is kept as the oracle for equivalence tests.
+        tracer: Observability tracer; when enabled, the best-response
+            run is wrapped in a ``cgba`` span and the engine's work
+            counters (moves, sweeps, gap recomputations, candidate
+            evaluations) are emitted as ``engine.*`` counters.
 
     Returns:
         A :class:`CGBAResult`; ``total_latency`` equals
@@ -99,19 +105,27 @@ def solve_p2a_cgba(
     """
     if engine not in ("fast", "reference"):
         raise ValueError(f"unknown engine: {engine!r}")
+    tracer = as_tracer(tracer)
     game = OffloadingCongestionGame(
         network, state, space, frequencies, initial=initial, rng=rng
     )
     dynamics = (
         fast_best_response_dynamics if engine == "fast" else best_response_dynamics
     )
-    outcome = dynamics(
-        game,
-        slack=slack,
-        max_iter=max_iter,
-        selection="max_gap",
-        record_history=record_history,
-    )
+    with tracer.span("cgba"):
+        outcome = dynamics(
+            game,
+            slack=slack,
+            max_iter=max_iter,
+            selection="max_gap",
+            record_history=record_history,
+        )
+    if tracer.enabled and outcome.stats is not None:
+        stats = outcome.stats
+        tracer.counter("engine.moves", stats.moves)
+        tracer.counter("engine.sweeps", stats.sweeps)
+        tracer.counter("engine.gap_recomputations", stats.gap_recomputations)
+        tracer.counter("engine.candidate_evaluations", stats.candidate_evaluations)
     return CGBAResult(
         assignment=game.assignment(),
         total_latency=outcome.total_cost,

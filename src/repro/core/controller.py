@@ -25,6 +25,7 @@ from repro.core.virtual_queue import VirtualQueue
 from repro.exceptions import ConfigurationError
 from repro.network.connectivity import StrategySpace
 from repro.network.topology import MECNetwork
+from repro.obs.probe import Tracer, as_tracer
 from repro.solvers.potential_game import EngineStats
 from repro.types import FloatArray, Rng
 
@@ -72,6 +73,38 @@ class SlotRecord:
             frequencies=self.frequencies,
         )
 
+    def to_dict(self, *, include_arrays: bool = False) -> dict:
+        """JSON-ready view of the record, shared by the JSONL trace sink
+        and :mod:`repro.io`.
+
+        Args:
+            include_arrays: Also include the bulky per-device/per-server
+                decision arrays (assignments, frequencies, allocation
+                shares) as plain lists.
+        """
+        out: dict = {
+            "t": int(self.t),
+            "latency": float(self.latency),
+            "cost": float(self.cost),
+            "theta": float(self.theta),
+            "backlog_before": float(self.backlog_before),
+            "backlog_after": float(self.backlog_after),
+            "solve_seconds": float(self.solve_seconds),
+        }
+        if self.engine_stats is not None:
+            out["engine_stats"] = self.engine_stats.to_dict()
+        if include_arrays:
+            out["bs_of"] = self.assignment.bs_of.tolist()
+            out["server_of"] = self.assignment.server_of.tolist()
+            out["frequencies"] = np.asarray(self.frequencies).tolist()
+            out["access_share"] = np.asarray(
+                self.allocation.access_share
+            ).tolist()
+            out["compute_share"] = np.asarray(
+                self.allocation.compute_share
+            ).tolist()
+        return out
+
 
 class OnlineController(abc.ABC):
     """An online policy: one decision per observed slot state."""
@@ -107,6 +140,10 @@ class DPPController(OnlineController):
             slot's assignment.  System states evolve smoothly, so the
             previous equilibrium is a near-optimal start; disable for the
             literal Algorithm 1 (fresh random profile every slot).
+        tracer: Observability tracer (:class:`repro.obs.Probe` to
+            record, ``None``/:data:`repro.obs.NULL_TRACER` to disable).
+            When enabled, every step is wrapped in a ``slot`` span with
+            nested ``state``/``bdma``/``allocation``/``queue`` phases.
     """
 
     def __init__(
@@ -121,6 +158,7 @@ class DPPController(OnlineController):
         initial_backlog: float = 0.0,
         warm_start: bool = True,
         carry_over: bool = True,
+        tracer: "Tracer | None" = None,
     ) -> None:
         if v <= 0.0:
             raise ConfigurationError(f"V must be positive, got {v}")
@@ -134,8 +172,9 @@ class DPPController(OnlineController):
         self.p2a_solver = p2a_solver
         self.warm_start = bool(warm_start)
         self.carry_over = bool(carry_over)
+        self.tracer = as_tracer(tracer)
         self._initial_backlog = float(initial_backlog)
-        self.queue = VirtualQueue(initial_backlog)
+        self.queue = VirtualQueue(initial_backlog, tracer=self.tracer)
         self._space: StrategySpace | None = None
         self._space_reused = False
         self._previous: Assignment | None = None
@@ -169,45 +208,59 @@ class DPPController(OnlineController):
         return self._space
 
     def step(self, state: SlotState) -> SlotRecord:
-        space = self.strategy_space(state)
-        backlog_before = self.queue.backlog
-        if self.carry_over and self._previous is not None and not self._space_reused:
-            # Mobility can invalidate last slot's pairs; repair before reuse.
-            bs_of, server_of = space.repair(
-                self._previous.bs_of, self._previous.server_of, self.rng
-            )
-            self._previous = Assignment(bs_of=bs_of, server_of=server_of)
-        slot_budget = self.budget_schedule.budget_at(state.t)
-        started = time.perf_counter()
-        result = solve_p2_bdma(
-            self.network,
-            state,
-            space,
-            self.rng,
-            queue_backlog=backlog_before,
-            v=self.v,
-            budget=slot_budget,
-            z=self.z,
-            p2a_solver=self.p2a_solver,
-            warm_start=self.warm_start,
-            initial=self._previous if self.carry_over else None,
-        )
-        solve_seconds = time.perf_counter() - started
-        if self.carry_over:
-            self._previous = result.assignment
+        tracer = self.tracer
+        with tracer.span("slot"):
+            with tracer.span("state"):
+                space = self.strategy_space(state)
+                backlog_before = self.queue.backlog
+                if (
+                    self.carry_over
+                    and self._previous is not None
+                    and not self._space_reused
+                ):
+                    # Mobility can invalidate last slot's pairs; repair
+                    # before reuse.
+                    bs_of, server_of = space.repair(
+                        self._previous.bs_of, self._previous.server_of, self.rng
+                    )
+                    self._previous = Assignment(bs_of=bs_of, server_of=server_of)
+                slot_budget = self.budget_schedule.budget_at(state.t)
+            started = time.perf_counter()
+            with tracer.span("bdma"):
+                result = solve_p2_bdma(
+                    self.network,
+                    state,
+                    space,
+                    self.rng,
+                    queue_backlog=backlog_before,
+                    v=self.v,
+                    budget=slot_budget,
+                    z=self.z,
+                    p2a_solver=self.p2a_solver,
+                    warm_start=self.warm_start,
+                    initial=self._previous if self.carry_over else None,
+                    tracer=tracer,
+                )
+            solve_seconds = time.perf_counter() - started
+            if self.carry_over:
+                self._previous = result.assignment
 
-        allocation = optimal_allocation(self.network, state, result.assignment)
-        latency = optimal_total_latency(
-            self.network, state, result.assignment, result.frequencies
-        )
-        cost = energy_cost(
-            self.network,
-            result.frequencies,
-            state.price,
-            available=state.available_servers,
-        )
-        theta = cost - slot_budget
-        backlog_after = self.queue.update(theta)
+            with tracer.span("allocation"):
+                allocation = optimal_allocation(
+                    self.network, state, result.assignment
+                )
+                latency = optimal_total_latency(
+                    self.network, state, result.assignment, result.frequencies
+                )
+                cost = energy_cost(
+                    self.network,
+                    result.frequencies,
+                    state.price,
+                    available=state.available_servers,
+                )
+            with tracer.span("queue"):
+                theta = cost - slot_budget
+                backlog_after = self.queue.update(theta)
         return SlotRecord(
             t=state.t,
             assignment=result.assignment,
@@ -223,7 +276,7 @@ class DPPController(OnlineController):
         )
 
     def reset(self) -> None:
-        self.queue = VirtualQueue(self._initial_backlog)
+        self.queue = VirtualQueue(self._initial_backlog, tracer=self.tracer)
         self._space = None
         self._space_reused = False
         self._previous = None

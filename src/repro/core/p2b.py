@@ -20,6 +20,7 @@ import numpy as np
 from repro.core.latency import server_load_roots
 from repro.core.state import Assignment, SlotState
 from repro.network.topology import MECNetwork
+from repro.obs.probe import Tracer, as_tracer
 from repro.solvers.scalar import minimize_convex_scalar
 from repro.types import FloatArray
 
@@ -32,6 +33,7 @@ def solve_p2b(
     queue_backlog: float,
     v: float,
     tol: float = 1e-8,
+    tracer: "Tracer | None" = None,
 ) -> FloatArray:
     """Optimal clock frequencies ``Omega`` for P2-B.
 
@@ -42,6 +44,10 @@ def solve_p2b(
         queue_backlog: The virtual queue ``Q(t)``.
         v: The DPP trade-off parameter ``V``.
         tol: Relative tolerance of the scalar search.
+        tracer: Observability tracer; when enabled, emits
+            ``p2b.scalar_solves`` / ``p2b.fastpath`` counters telling
+            how many servers needed the golden-section search versus the
+            closed-form shortcuts.
 
     Returns:
         ``(N,)`` array of frequencies in GHz, elementwise in
@@ -58,6 +64,7 @@ def solve_p2b(
     demand = roots * roots  # A_n
     energy_pressure = queue_backlog * state.price
 
+    scalar_solves = 0
     frequencies = np.empty(network.num_servers)
     for n, server in enumerate(network.servers):
         lo, hi = server.freq_min, server.freq_max
@@ -83,4 +90,9 @@ def solve_p2b(
 
         result = minimize_convex_scalar(objective, lo, hi, tol=tol)
         frequencies[n] = result.x
+        scalar_solves += 1
+    tracer = as_tracer(tracer)
+    if tracer.enabled:
+        tracer.counter("p2b.scalar_solves", scalar_solves)
+        tracer.counter("p2b.fastpath", network.num_servers - scalar_solves)
     return frequencies

@@ -11,6 +11,7 @@ from __future__ import annotations
 import numpy as np
 
 from repro.exceptions import ConfigurationError
+from repro.obs.probe import Tracer, as_tracer
 from repro.types import FloatArray
 
 
@@ -19,13 +20,16 @@ class VirtualQueue:
 
     Args:
         initial: ``Q(1)``, non-negative.
+        tracer: Observability tracer; when enabled, every update emits a
+            ``queue.backlog`` gauge sample.
     """
 
-    def __init__(self, initial: float = 0.0) -> None:
+    def __init__(self, initial: float = 0.0, tracer: "Tracer | None" = None) -> None:
         if initial < 0.0:
             raise ConfigurationError("queue backlog cannot be negative")
         self._backlog = float(initial)
         self._history: list[float] = [self._backlog]
+        self._tracer = as_tracer(tracer)
 
     @property
     def backlog(self) -> float:
@@ -36,6 +40,8 @@ class VirtualQueue:
         """Apply ``Q(t+1) = max(Q(t) + theta, 0)`` and return the new backlog."""
         self._backlog = max(self._backlog + theta, 0.0)
         self._history.append(self._backlog)
+        if self._tracer.enabled:
+            self._tracer.gauge("queue.backlog", self._backlog)
         return self._backlog
 
     def history(self) -> FloatArray:

@@ -21,7 +21,7 @@ import numpy as np
 import repro
 from repro.analysis.equilibrium import estimate_equilibrium_backlog
 from repro.analysis.tables import format_table
-from repro.baselines import FixedFrequencyController, solve_p2a_greedy
+from repro.baselines import solve_p2a_greedy
 from repro.core import optimal_total_latency, solve_p2_bdma, solve_p2a_cgba
 from repro.core.budget import BudgetSchedule, ConstantBudget, demand_weighted_budget
 from repro.workload.traces import diurnal_profile
@@ -149,14 +149,14 @@ def run_ablation_freq_scaling(
                 v=v,
                 budget=budget,
             )
-            controller: repro.OnlineController = repro.DPPController(
-                scenario.network, rng, v=v, budget=budget, z=3,
+            controller: repro.OnlineController = repro.make_controller(
+                "dpp", scenario, v=v, budget=budget, z=3, rng=rng,
                 initial_backlog=warm,
             )
         else:
             fraction = {"F^L": 0.0, "mid": 0.5, "F^U": 1.0}[name]
-            controller = FixedFrequencyController(
-                scenario.network, rng, fraction=fraction, budget=budget
+            controller = repro.make_controller(
+                "fixed", scenario, budget=budget, rng=rng, fraction=fraction
             )
         sim = repro.run_simulation(
             controller, scenario.fresh_states(horizon), budget=budget
@@ -231,12 +231,13 @@ def run_ablation_budget_pacing(
 
     result = BudgetPacingResult(average_budget=average)
     for name, schedule in schedules.items():
-        controller = repro.DPPController(
-            scenario.network,
-            scenario.controller_rng(f"ablation-pacing-{name}"),
+        controller = repro.make_controller(
+            "dpp",
+            scenario,
             v=v,
             budget=schedule,
             z=2,
+            rng=scenario.controller_rng(f"ablation-pacing-{name}"),
             initial_backlog=warm,
         )
         sim = repro.run_simulation(

@@ -93,12 +93,12 @@ def run_fig7(
     result = Fig7Result(horizon=horizon)
     for v in v_values:
         scenario = paper_scenario(scenario_seed, num_devices)
-        controller = repro.DPPController(
-            scenario.network,
-            scenario.controller_rng(f"fig7-v{v}"),
+        controller = repro.make_controller(
+            "dpp",
+            scenario,
             v=v,
-            budget=scenario.budget,
             z=z,
+            rng=scenario.controller_rng(f"fig7-v{v}"),
         )
         result.results[v] = repro.run_simulation(
             controller, scenario.fresh_states(horizon), budget=scenario.budget

@@ -87,12 +87,12 @@ def run_fig8(
             budget=scenario.budget,
         )
         for label, initial in (("warm", warm_backlog), ("cold", 0.0)):
-            controller = repro.DPPController(
-                scenario.network,
-                scenario.controller_rng(f"fig8-{label}-v{v}"),
+            controller = repro.make_controller(
+                "dpp",
+                scenario,
                 v=v,
-                budget=scenario.budget,
                 z=z,
+                rng=scenario.controller_rng(f"fig8-{label}-v{v}"),
                 initial_backlog=initial,
             )
             sim = repro.run_simulation(

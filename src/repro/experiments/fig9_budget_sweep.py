@@ -9,24 +9,15 @@ import numpy as np
 import repro
 from repro.analysis.equilibrium import estimate_equilibrium_backlog
 from repro.analysis.tables import format_table
-from repro.baselines import mcba_p2a_solver, ropt_p2a_solver
 from repro.config import PRICE_SCALE
 from repro.energy.cost import suggest_budget
 from repro.experiments.common import ExperimentResult, paper_scenario
 from repro.sim.metrics import window_averages
 
-#: The three DPP variants the paper compares: (P2-A solver factory, z).
+#: The three DPP variants the paper compares, mapped onto the facade's
+#: controller names (:data:`repro.api.CONTROLLER_NAMES`).
 SOLVER_NAMES = ("BDMA-DPP", "MCBA-DPP", "ROPT-DPP")
-
-
-def _solver_for(name: str, mcba_iterations: int):
-    if name == "BDMA-DPP":
-        return None, 3
-    if name == "MCBA-DPP":
-        return mcba_p2a_solver(iterations=mcba_iterations), 1
-    if name == "ROPT-DPP":
-        return ropt_p2a_solver(), 1
-    raise ValueError(f"unknown DPP variant {name!r}")
+_API_NAMES = {"BDMA-DPP": "dpp", "MCBA-DPP": "mcba", "ROPT-DPP": "ropt"}
 
 
 @dataclass
@@ -111,15 +102,15 @@ def run_fig9(
             budget=budget,
         )
         for name in SOLVER_NAMES:
-            solver, z = _solver_for(name, mcba_iterations)
-            controller = repro.DPPController(
-                scenario.network,
-                scenario.controller_rng(f"fig9-{name}-{fraction}"),
+            extras = {"iterations": mcba_iterations} if name == "MCBA-DPP" else {}
+            controller = repro.make_controller(
+                _API_NAMES[name],
+                scenario,
                 v=v,
                 budget=budget,
-                z=z,
-                p2a_solver=solver,
+                rng=scenario.controller_rng(f"fig9-{name}-{fraction}"),
                 initial_backlog=warm,
+                **extras,
             )
             sim = repro.run_simulation(
                 controller, scenario.fresh_states(horizon), budget=budget

@@ -89,12 +89,12 @@ def run_fault_sweep(
             faults=faults,
         )
         result.budget = scenario.budget
-        controller = repro.DPPController(
-            scenario.network,
-            scenario.controller_rng(f"faults-{u}"),
+        controller = repro.make_controller(
+            "dpp",
+            scenario,
             v=v,
-            budget=scenario.budget,
             z=2,
+            rng=scenario.controller_rng(f"faults-{u}"),
         )
         states = list(scenario.fresh_states(horizon))
         sim = repro.run_simulation(

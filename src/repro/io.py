@@ -5,10 +5,14 @@ Two formats:
 * ``.npz`` -- full per-slot trajectories (lossless, compact), via
   :func:`save_result` / :func:`load_result`.
 * ``.json`` -- the human-readable summary, via :func:`summary_to_json`.
+* ``.jsonl`` -- one line per retained slot record, via
+  :func:`records_to_jsonl` (same per-record schema as the trace sink).
 
 Assignments/allocations inside ``records`` are intentionally not
-serialised: they are bulky, and every derived statistic the experiments
-need lives in the trajectory arrays.
+serialised by :func:`save_result`: they are bulky, and every derived
+statistic the experiments need lives in the trajectory arrays.  Use
+:func:`records_to_jsonl` with ``include_arrays=True`` when the raw
+decisions matter.
 """
 
 from __future__ import annotations
@@ -74,16 +78,43 @@ def load_result(path: str | Path) -> SimulationResult:
 
 
 def summary_to_dict(summary: SimulationSummary) -> dict:
-    """A JSON-ready dict of a :class:`SimulationSummary`."""
-    return {
-        "horizon": summary.horizon,
-        "mean_latency": summary.mean_latency,
-        "mean_cost": summary.mean_cost,
-        "mean_backlog": summary.mean_backlog,
-        "final_backlog": summary.final_backlog,
-        "budget_satisfied": summary.budget_satisfied,
-        "mean_solve_seconds": summary.mean_solve_seconds,
-    }
+    """A JSON-ready dict of a summary.
+
+    Thin wrapper kept for compatibility; delegates to the summary's own
+    ``to_dict`` (which :class:`~repro.sim.replication.ReplicationSummary`
+    shares field names with).
+    """
+    return summary.to_dict()
+
+
+def records_to_jsonl(
+    result: SimulationResult,
+    path: str | Path,
+    *,
+    include_arrays: bool = False,
+) -> Path:
+    """Write a result's retained slot records as JSON Lines.
+
+    One line per :class:`~repro.core.controller.SlotRecord`, using the
+    same :meth:`~repro.core.controller.SlotRecord.to_dict` schema the
+    observability trace sink emits for ``slot`` events -- so offline
+    (``keep_records=True``) and streamed (``--trace``) data line up.
+
+    Raises:
+        ValidationError: If the result retained no records (run with
+            ``keep_records=True``).
+    """
+    if not result.records:
+        raise ValidationError(
+            "result has no records; simulate with keep_records=True"
+        )
+    path = Path(path)
+    with path.open("w", encoding="utf-8") as handle:
+        for record in result.records:
+            handle.write(
+                json.dumps(record.to_dict(include_arrays=include_arrays)) + "\n"
+            )
+    return path
 
 
 def summary_to_json(summary: SimulationSummary, path: str | Path | None = None) -> str:

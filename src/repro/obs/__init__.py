@@ -1,0 +1,29 @@
+"""Structured observability: spans, counters, sinks, manifests.
+
+* :mod:`repro.obs.probe` -- the event bus: the no-op :class:`Tracer`
+  (near-zero overhead when disabled) and the recording :class:`Probe`
+  with nested spans, counters, and gauges.
+* :mod:`repro.obs.sinks` -- in-memory per-phase aggregation with
+  percentiles (:class:`PhaseAggregator`) and streaming JSONL trace
+  files (:class:`JsonlSink`).
+* :mod:`repro.obs.manifest` -- run manifests (config hash, seeds,
+  package version, wall clock) written next to results.
+"""
+
+from repro.obs.manifest import RunManifest, config_hash, manifest_path_for
+from repro.obs.probe import NULL_TRACER, Probe, Sink, Tracer, as_tracer
+from repro.obs.sinks import JsonlSink, PhaseAggregator, read_jsonl
+
+__all__ = [
+    "Tracer",
+    "Probe",
+    "Sink",
+    "NULL_TRACER",
+    "as_tracer",
+    "PhaseAggregator",
+    "JsonlSink",
+    "read_jsonl",
+    "RunManifest",
+    "config_hash",
+    "manifest_path_for",
+]

@@ -1,0 +1,71 @@
+"""Run manifests: what produced a trace/result, written next to it.
+
+A manifest pins the four things needed to interpret (and re-run) a
+recorded trace: the configuration (plus a stable hash of it), the root
+seed(s), the package version, and wall-clock accounting.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from repro._version import __version__
+
+
+def config_hash(config: dict) -> str:
+    """A stable short hash of a JSON-able configuration dict."""
+    canonical = json.dumps(config, sort_keys=True, separators=(",", ":"), default=str)
+    return hashlib.sha256(canonical.encode("utf-8")).hexdigest()[:16]
+
+
+@dataclass
+class RunManifest:
+    """Provenance of one run.
+
+    Attributes:
+        config: The run's configuration knobs (JSON-able).
+        seed: Root seed, or a list of seeds for replications.
+        created_unix: Creation time (``time.time()``).
+        wall_clock_seconds: Total run duration; filled by :meth:`finish`.
+        package: Producing package name.
+        version: Producing package version.
+    """
+
+    config: dict = field(default_factory=dict)
+    seed: "int | list[int] | None" = None
+    created_unix: float = field(default_factory=time.time)
+    wall_clock_seconds: float | None = None
+    package: str = "repro"
+    version: str = __version__
+
+    def finish(self) -> "RunManifest":
+        """Stamp the wall-clock duration since creation."""
+        self.wall_clock_seconds = time.time() - self.created_unix
+        return self
+
+    def to_dict(self) -> dict:
+        return {
+            "package": self.package,
+            "version": self.version,
+            "config": self.config,
+            "config_hash": config_hash(self.config),
+            "seed": self.seed,
+            "created_unix": self.created_unix,
+            "wall_clock_seconds": self.wall_clock_seconds,
+        }
+
+    def write(self, path: "str | Path") -> Path:
+        """Write the manifest as JSON; returns the path written."""
+        path = Path(path)
+        path.write_text(json.dumps(self.to_dict(), indent=2, sort_keys=True) + "\n")
+        return path
+
+
+def manifest_path_for(trace_path: "str | Path") -> Path:
+    """The conventional manifest location next to a trace/result file."""
+    trace_path = Path(trace_path)
+    return trace_path.with_name(trace_path.stem + ".manifest.json")

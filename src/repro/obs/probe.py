@@ -1,0 +1,178 @@
+"""The event bus: tracers, spans, and the no-op fast path.
+
+Two tracers exist.  :data:`NULL_TRACER` (an instance of the base
+:class:`Tracer`) is the disabled path: every method is a constant-return
+no-op and ``span`` hands back a shared, stateless context manager, so
+instrumented hot loops pay only an attribute lookup and an empty call
+per probe point.  :class:`Probe` is the enabled path: it keeps a span
+stack (so span names compose into ``"slot/bdma/p2a"`` paths), stamps
+wall-clock durations, and fans every event out to its sinks.
+
+Events are plain dicts so sinks stay trivially serialisable:
+
+=========  ===========================================================
+``kind``   remaining fields
+=========  ===========================================================
+span       ``name`` (slash path), ``start`` (s since probe creation),
+           ``seconds`` (duration)
+counter    ``name``, ``value`` (accumulated by aggregating sinks)
+gauge      ``name``, ``value`` (sampled, not accumulated)
+event      ``name``, ``data`` (free-form payload, e.g. a slot record)
+=========  ===========================================================
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Any, Iterable, Protocol
+
+
+class Sink(Protocol):
+    """Anything that can receive tracer events."""
+
+    def emit(self, event: dict) -> None: ...
+
+    def close(self) -> None: ...
+
+
+class Tracer:
+    """The disabled tracer: every operation is a no-op.
+
+    Instrumented code holds a ``Tracer`` reference unconditionally and
+    checks :attr:`enabled` only to skip *building* expensive payloads;
+    the calls themselves are always safe.
+    """
+
+    __slots__ = ()
+
+    #: Whether events are actually recorded anywhere.
+    enabled: bool = False
+
+    def span(self, name: str) -> "Any":
+        """A context manager timing the enclosed block (no-op here)."""
+        return _NULL_SPAN
+
+    def counter(self, name: str, value: float = 1.0) -> None:
+        """Accumulate *value* onto the named counter (no-op here)."""
+
+    def gauge(self, name: str, value: float) -> None:
+        """Record an instantaneous sample of *name* (no-op here)."""
+
+    def event(self, name: str, data: dict) -> None:
+        """Emit a free-form payload, e.g. one slot's record (no-op here)."""
+
+    def close(self) -> None:
+        """Flush and close any sinks (no-op here)."""
+
+
+class _NullSpan:
+    """Shared, stateless context manager for the disabled tracer."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> "_NullSpan":
+        return self
+
+    def __exit__(self, *exc: object) -> bool:
+        return False
+
+
+_NULL_SPAN = _NullSpan()
+
+#: The process-wide disabled tracer; safe to share (it has no state).
+NULL_TRACER = Tracer()
+
+
+def as_tracer(tracer: "Tracer | None") -> Tracer:
+    """Normalise an optional tracer argument to a usable object."""
+    return NULL_TRACER if tracer is None else tracer
+
+
+class _Span:
+    """A live timed span; created by :meth:`Probe.span`."""
+
+    __slots__ = ("_probe", "_name", "_path", "_start")
+
+    def __init__(self, probe: "Probe", name: str) -> None:
+        self._probe = probe
+        self._name = name
+
+    def __enter__(self) -> "_Span":
+        stack = self._probe._stack
+        self._path = "/".join((*stack, self._name)) if stack else self._name
+        stack.append(self._name)
+        self._start = time.perf_counter()
+        return self
+
+    def __exit__(self, *exc: object) -> bool:
+        seconds = time.perf_counter() - self._start
+        self._probe._stack.pop()
+        self._probe._emit(
+            {
+                "kind": "span",
+                "name": self._path,
+                "start": self._start - self._probe._t0,
+                "seconds": seconds,
+            }
+        )
+        return False
+
+
+class Probe(Tracer):
+    """The enabled tracer: an event bus fanning out to sinks.
+
+    A probe always owns a
+    :class:`~repro.obs.sinks.PhaseAggregator` (exposed as
+    :attr:`phases`) so per-phase statistics are available without any
+    setup; further sinks (e.g. a
+    :class:`~repro.obs.sinks.JsonlSink`) receive the same event
+    stream.
+
+    Args:
+        sinks: Additional sinks beyond the built-in aggregator.
+    """
+
+    __slots__ = ("phases", "_sinks", "_stack", "_t0")
+
+    enabled = True
+
+    def __init__(self, sinks: Iterable[Sink] = ()) -> None:
+        from repro.obs.sinks import PhaseAggregator
+
+        self.phases = PhaseAggregator()
+        self._sinks: list[Sink] = [self.phases, *sinks]
+        self._stack: list[str] = []
+        self._t0 = time.perf_counter()
+
+    def add_sink(self, sink: Sink) -> None:
+        """Attach another sink to the event stream."""
+        self._sinks.append(sink)
+
+    def span(self, name: str) -> _Span:
+        return _Span(self, name)
+
+    def counter(self, name: str, value: float = 1.0) -> None:
+        self._emit({"kind": "counter", "name": name, "value": float(value)})
+
+    def gauge(self, name: str, value: float) -> None:
+        self._emit({"kind": "gauge", "name": name, "value": float(value)})
+
+    def event(self, name: str, data: dict) -> None:
+        self._emit({"kind": "event", "name": name, "data": data})
+
+    def merge_phase_state(self, state: dict | None) -> None:
+        """Fold a worker aggregator's :meth:`state_dict` into this probe.
+
+        Used by :func:`repro.sim.replication.run_replications` to merge
+        per-process tracers back into the parent's.
+        """
+        if state:
+            self.phases.merge_state(state)
+
+    def close(self) -> None:
+        for sink in self._sinks:
+            sink.close()
+
+    def _emit(self, event: dict) -> None:
+        for sink in self._sinks:
+            sink.emit(event)

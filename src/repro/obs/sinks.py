@@ -1,0 +1,149 @@
+"""Event sinks: in-memory aggregation and JSONL trace files."""
+
+from __future__ import annotations
+
+import json
+import math
+from pathlib import Path
+
+import numpy as np
+
+
+def _percentile(sorted_values: list[float], q: float) -> float:
+    """Nearest-rank percentile on an already-sorted list."""
+    if not sorted_values:
+        return math.nan
+    rank = max(0, min(len(sorted_values) - 1, math.ceil(q * len(sorted_values)) - 1))
+    return sorted_values[rank]
+
+
+class PhaseAggregator:
+    """Accumulates span durations, counters, and gauge samples in memory.
+
+    Span durations are kept per phase name so :meth:`table` can report
+    percentiles; counters collapse to totals; gauges keep their sample
+    series (e.g. the queue-backlog trajectory).
+    """
+
+    def __init__(self) -> None:
+        self.spans: dict[str, list[float]] = {}
+        self.counters: dict[str, float] = {}
+        self.gauges: dict[str, list[float]] = {}
+
+    def emit(self, event: dict) -> None:
+        kind = event["kind"]
+        if kind == "span":
+            self.spans.setdefault(event["name"], []).append(event["seconds"])
+        elif kind == "counter":
+            name = event["name"]
+            self.counters[name] = self.counters.get(name, 0.0) + event["value"]
+        elif kind == "gauge":
+            self.gauges.setdefault(event["name"], []).append(event["value"])
+        # free-form "event" payloads are for streaming sinks, not stats
+
+    def close(self) -> None:  # nothing buffered
+        pass
+
+    def phase_stats(self, name: str) -> dict[str, float]:
+        """Count/total/p50/p95 for one span name."""
+        values = sorted(self.spans.get(name, ()))
+        return {
+            "count": len(values),
+            "total_seconds": float(sum(values)),
+            "p50_seconds": _percentile(values, 0.50),
+            "p95_seconds": _percentile(values, 0.95),
+        }
+
+    def merge(self, other: "PhaseAggregator") -> "PhaseAggregator":
+        """Fold *other*'s accumulations into self."""
+        return self.merge_state(other.state_dict())
+
+    def state_dict(self) -> dict:
+        """A picklable/JSON-able snapshot (for cross-process merging)."""
+        return {
+            "spans": {k: list(v) for k, v in self.spans.items()},
+            "counters": dict(self.counters),
+            "gauges": {k: list(v) for k, v in self.gauges.items()},
+        }
+
+    def merge_state(self, state: dict) -> "PhaseAggregator":
+        """Fold a :meth:`state_dict` snapshot into self."""
+        for name, values in state.get("spans", {}).items():
+            self.spans.setdefault(name, []).extend(values)
+        for name, value in state.get("counters", {}).items():
+            self.counters[name] = self.counters.get(name, 0.0) + value
+        for name, values in state.get("gauges", {}).items():
+            self.gauges.setdefault(name, []).extend(values)
+        return self
+
+    def table(self) -> str:
+        """Render the per-phase profile (count, total s, p50, p95)."""
+        headers = ("phase", "count", "total s", "p50 ms", "p95 ms")
+        rows = []
+        for name in sorted(self.spans):
+            stats = self.phase_stats(name)
+            rows.append(
+                (
+                    name,
+                    str(stats["count"]),
+                    f"{stats['total_seconds']:.3f}",
+                    f"{1e3 * stats['p50_seconds']:.2f}",
+                    f"{1e3 * stats['p95_seconds']:.2f}",
+                )
+            )
+        for name in sorted(self.counters):
+            rows.append((name, f"{self.counters[name]:.0f}", "", "", ""))
+        widths = [
+            max(len(headers[c]), *(len(r[c]) for r in rows)) if rows else len(headers[c])
+            for c in range(len(headers))
+        ]
+        lines = [
+            "  ".join(h.ljust(w) for h, w in zip(headers, widths)).rstrip(),
+            "  ".join("-" * w for w in widths),
+        ]
+        for row in rows:
+            lines.append("  ".join(v.ljust(w) for v, w in zip(row, widths)).rstrip())
+        return "\n".join(lines)
+
+
+def _json_default(value: object) -> object:
+    """Serialise numpy scalars/arrays that leak into event payloads."""
+    if isinstance(value, np.ndarray):
+        return value.tolist()
+    if isinstance(value, np.generic):
+        return value.item()
+    raise TypeError(f"not JSON serialisable: {type(value).__name__}")
+
+
+class JsonlSink:
+    """Streams every event as one JSON line to a file.
+
+    The file is written incrementally, so long horizons never buffer
+    the trace in memory.  Schema: each line is one event dict as
+    documented in :mod:`repro.obs.probe`.
+    """
+
+    def __init__(self, path: "str | Path") -> None:
+        self.path = Path(path)
+        self._fh = open(self.path, "w", encoding="utf-8")
+
+    def emit(self, event: dict) -> None:
+        self._fh.write(
+            json.dumps(event, separators=(",", ":"), default=_json_default)
+        )
+        self._fh.write("\n")
+
+    def close(self) -> None:
+        if not self._fh.closed:
+            self._fh.close()
+
+
+def read_jsonl(path: "str | Path") -> list[dict]:
+    """Load a JSONL trace back into event dicts (testing/analysis aid)."""
+    events = []
+    with open(Path(path), encoding="utf-8") as fh:
+        for line in fh:
+            line = line.strip()
+            if line:
+                events.append(json.loads(line))
+    return events

@@ -23,6 +23,7 @@ from repro.sim.replication import (
     ReplicationOutcome,
     ReplicationReport,
     ReplicationSpec,
+    ReplicationSummary,
     run_replications,
 )
 
@@ -33,6 +34,7 @@ __all__ = [
     "ReplicationSpec",
     "ReplicationOutcome",
     "ReplicationReport",
+    "ReplicationSummary",
     "run_replications",
     "SeedBank",
     "StateGenerator",

@@ -9,6 +9,7 @@ import numpy as np
 
 from repro.core.controller import OnlineController, SlotRecord
 from repro.core.state import SlotState
+from repro.obs.probe import Tracer, as_tracer
 from repro.sim.results import SimulationResult
 
 logger = logging.getLogger(__name__)
@@ -21,6 +22,7 @@ def run_simulation(
     budget: float | None = None,
     keep_records: bool = False,
     on_slot: Callable[[SlotRecord], None] | None = None,
+    tracer: "Tracer | None" = None,
 ) -> SimulationResult:
     """Drive *controller* through the given state sequence.
 
@@ -33,10 +35,18 @@ def run_simulation(
         keep_records: Retain the full :class:`SlotRecord` objects
             (assignments, allocations) -- memory-heavy on long runs.
         on_slot: Optional progress callback invoked after each slot.
+        tracer: Observability tracer.  When enabled, every slot's record
+            is streamed as a ``slot`` event (via
+            :meth:`~repro.core.controller.SlotRecord.to_dict`), so trace
+            sinks capture per-slot data even with ``keep_records=False``
+            -- no :class:`SlotRecord` retention, no memory blow-up on
+            long horizons.  Pass the same tracer to the controller to
+            also get the per-phase spans.
 
     Returns:
         A :class:`SimulationResult` with per-slot trajectories.
     """
+    tracer = as_tracer(tracer)
     latency: list[float] = []
     cost: list[float] = []
     theta: list[float] = []
@@ -68,6 +78,8 @@ def run_simulation(
         price.append(state.price)
         if keep_records:
             records.append(record)
+        if tracer.enabled:
+            tracer.event("slot", record.to_dict())
         if on_slot is not None:
             on_slot(record)
 

@@ -21,8 +21,8 @@ import numpy as np
 
 import repro
 from repro.analysis.aggregate import RunStatistics, summarize_runs
-from repro.baselines import mcba_p2a_solver, ropt_p2a_solver
 from repro.exceptions import ConfigurationError
+from repro.obs.probe import Probe, Tracer
 
 
 @dataclass(frozen=True)
@@ -34,7 +34,9 @@ class ReplicationSpec:
         horizon: Slots per run.
         v: DPP parameter ``V``.
         z: BDMA alternation rounds.
-        solver: ``"bdma"``, ``"mcba"``, or ``"ropt"``.
+        solver: A controller name understood by
+            :func:`repro.api.make_controller` (``"bdma"``/``"dpp"``,
+            ``"mcba"``, ``"ropt"``, ``"greedy"``, or ``"fixed"``).
         workload: ``"uniform"`` or ``"diurnal"``.
         budget_fraction: Budget position in the feasible range.
         warm_start_queue: Start the queue at its estimated equilibrium.
@@ -53,7 +55,7 @@ class ReplicationSpec:
     network_overrides: tuple[tuple[str, object], ...] = ()
 
     def __post_init__(self) -> None:
-        if self.solver not in ("bdma", "mcba", "ropt"):
+        if self.solver not in ("bdma", "dpp", "mcba", "ropt", "greedy", "fixed"):
             raise ConfigurationError(f"unknown solver {self.solver!r}")
         if self.horizon <= 0:
             raise ConfigurationError("horizon must be positive")
@@ -61,13 +63,27 @@ class ReplicationSpec:
 
 @dataclass(frozen=True)
 class ReplicationOutcome:
-    """Headline metrics of one seed's run."""
+    """Headline metrics of one seed's run.
+
+    Attributes:
+        seed: Root seed of the run.
+        mean_latency: Time-average latency.
+        mean_cost: Time-average energy cost.
+        mean_backlog: Time-average virtual-queue backlog.
+        budget: The scenario's budget.
+        mean_solve_seconds: Average per-slot decision time.
+        phase_state: The worker tracer's aggregated phase state
+            (:meth:`repro.obs.PhaseAggregator.state_dict`) when tracing
+            was requested; the parent merges these.
+    """
 
     seed: int
     mean_latency: float
     mean_cost: float
     mean_backlog: float
     budget: float
+    mean_solve_seconds: float = float("nan")
+    phase_state: dict | None = None
 
 
 @dataclass
@@ -95,10 +111,84 @@ class ReplicationReport:
         )
         return hits / len(self.outcomes)
 
+    def summary(self) -> "ReplicationSummary":
+        """Condense the report into a :class:`ReplicationSummary`.
 
-def execute_replication(args: tuple[ReplicationSpec, int]) -> ReplicationOutcome:
-    """Run one seed of a spec (module-level so it pickles for workers)."""
-    spec, seed = args
+        Field names deliberately mirror
+        :class:`repro.sim.results.SimulationSummary` so both result
+        flavours serialise and compare uniformly.
+        """
+        if not self.outcomes:
+            raise ConfigurationError("cannot summarise an empty report")
+        return ReplicationSummary(
+            runs=len(self.outcomes),
+            mean_latency=float(np.mean([o.mean_latency for o in self.outcomes])),
+            mean_cost=float(np.mean([o.mean_cost for o in self.outcomes])),
+            mean_backlog=float(np.mean([o.mean_backlog for o in self.outcomes])),
+            budget_satisfied=self.budget_satisfaction_rate() >= 1.0,
+            mean_solve_seconds=float(
+                np.mean([o.mean_solve_seconds for o in self.outcomes])
+            ),
+            latency_ci=(
+                (self.latency.ci_low, self.latency.ci_high)
+                if self.latency is not None
+                else None
+            ),
+            cost_ci=(
+                (self.cost.ci_low, self.cost.ci_high)
+                if self.cost is not None
+                else None
+            ),
+        )
+
+
+@dataclass(frozen=True)
+class ReplicationSummary:
+    """Headline statistics across seeds.
+
+    Shares ``mean_latency`` / ``mean_cost`` / ``mean_backlog`` /
+    ``budget_satisfied`` / ``mean_solve_seconds`` field names with
+    :class:`repro.sim.results.SimulationSummary`; adds the seed count
+    and bootstrap confidence intervals.
+    """
+
+    runs: int
+    mean_latency: float
+    mean_cost: float
+    mean_backlog: float
+    budget_satisfied: bool | None
+    mean_solve_seconds: float
+    latency_ci: tuple[float, float] | None = None
+    cost_ci: tuple[float, float] | None = None
+
+    def to_dict(self) -> dict:
+        """JSON-ready view, uniform with ``SimulationSummary.to_dict``."""
+        return {
+            "runs": self.runs,
+            "mean_latency": self.mean_latency,
+            "mean_cost": self.mean_cost,
+            "mean_backlog": self.mean_backlog,
+            "budget_satisfied": self.budget_satisfied,
+            "mean_solve_seconds": self.mean_solve_seconds,
+            "latency_ci": list(self.latency_ci) if self.latency_ci else None,
+            "cost_ci": list(self.cost_ci) if self.cost_ci else None,
+        }
+
+
+def execute_replication(
+    args: "tuple[ReplicationSpec, int] | tuple[ReplicationSpec, int, bool]",
+) -> ReplicationOutcome:
+    """Run one seed of a spec (module-level so it pickles for workers).
+
+    Accepts ``(spec, seed)`` or ``(spec, seed, trace_phases)``; with
+    ``trace_phases`` the worker runs under its own
+    :class:`~repro.obs.Probe` and ships the aggregated phase state back
+    in the outcome (tracers themselves never cross process boundaries).
+    """
+    from repro.api import make_controller
+
+    spec, seed = args[0], args[1]
+    trace_phases = bool(args[2]) if len(args) > 2 else False
     scenario = repro.make_paper_scenario(
         seed=seed,
         config=repro.ScenarioConfig(
@@ -108,41 +198,32 @@ def execute_replication(args: tuple[ReplicationSpec, int]) -> ReplicationOutcome
         ),
         **dict(spec.network_overrides),
     )
-    solver = None
-    z = spec.z
-    if spec.solver == "ropt":
-        solver, z = ropt_p2a_solver(), 1
-    elif spec.solver == "mcba":
-        solver, z = mcba_p2a_solver(), 1
-    initial = 0.0
-    if spec.warm_start_queue:
-        from repro.analysis.equilibrium import estimate_equilibrium_backlog
-
-        initial = estimate_equilibrium_backlog(
-            scenario.network,
-            list(scenario.fresh_states(repro.DEFAULT_PERIOD)),
-            scenario.controller_rng("replication-eq"),
-            v=spec.v,
-            budget=scenario.budget,
-        )
-    controller = repro.DPPController(
-        scenario.network,
-        scenario.controller_rng("replication"),
+    probe = Probe() if trace_phases else None
+    controller = make_controller(
+        spec.solver,
+        scenario,
         v=spec.v,
-        budget=scenario.budget,
-        z=z,
-        p2a_solver=solver,
-        initial_backlog=initial,
+        z=spec.z,
+        rng_label="replication",
+        equilibrium_rng_label="replication-eq",
+        warm_start_queue=spec.warm_start_queue,
+        tracer=probe,
     )
     result = repro.run_simulation(
-        controller, scenario.fresh_states(spec.horizon), budget=scenario.budget
+        controller,
+        scenario.fresh_states(spec.horizon),
+        budget=scenario.budget,
+        tracer=probe,
     )
+    summary = result.summary()
     return ReplicationOutcome(
         seed=seed,
         mean_latency=result.time_average_latency(),
         mean_cost=result.time_average_cost(),
         mean_backlog=float(np.mean(result.backlog)),
         budget=scenario.budget,
+        mean_solve_seconds=summary.mean_solve_seconds,
+        phase_state=probe.phases.state_dict() if probe is not None else None,
     )
 
 
@@ -151,6 +232,7 @@ def run_replications(
     seeds: tuple[int, ...] | list[int],
     *,
     processes: int | None = None,
+    tracer: "Tracer | None" = None,
 ) -> ReplicationReport:
     """Run *spec* under every seed and aggregate.
 
@@ -160,6 +242,10 @@ def run_replications(
             state stream.
         processes: Worker processes; ``None`` or 1 runs sequentially
             (no pickling, easier debugging).
+        tracer: Observability tracer.  Each run (worker) records into
+            its own probe; the per-phase aggregations are merged into
+            *tracer* when it is a :class:`repro.obs.Probe`, so the
+            parent sees one profile across all seeds.
 
     Returns:
         A :class:`ReplicationReport` with per-seed outcomes and
@@ -168,12 +254,16 @@ def run_replications(
     seeds = list(seeds)
     if not seeds:
         raise ConfigurationError("need at least one seed")
-    jobs = [(spec, seed) for seed in seeds]
+    trace_phases = tracer is not None and tracer.enabled
+    jobs = [(spec, seed, trace_phases) for seed in seeds]
     if processes is None or processes <= 1:
         outcomes = [execute_replication(job) for job in jobs]
     else:
         with ProcessPoolExecutor(max_workers=processes) as pool:
             outcomes = list(pool.map(execute_replication, jobs))
+    if isinstance(tracer, Probe):
+        for outcome in outcomes:
+            tracer.merge_phase_state(outcome.phase_state)
 
     report = ReplicationReport(outcomes=outcomes, budget=outcomes[0].budget)
     report.latency = summarize_runs(

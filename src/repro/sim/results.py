@@ -33,6 +33,19 @@ class SimulationSummary:
     budget_satisfied: bool | None
     mean_solve_seconds: float
 
+    def to_dict(self) -> dict:
+        """JSON-ready view; field names are shared with
+        :meth:`repro.sim.replication.ReplicationSummary.to_dict`."""
+        return {
+            "horizon": self.horizon,
+            "mean_latency": self.mean_latency,
+            "mean_cost": self.mean_cost,
+            "mean_backlog": self.mean_backlog,
+            "final_backlog": self.final_backlog,
+            "budget_satisfied": self.budget_satisfied,
+            "mean_solve_seconds": self.mean_solve_seconds,
+        }
+
 
 @dataclass
 class SimulationResult:

@@ -101,6 +101,7 @@ class FastBestResponseEngine:
     def _refresh(self, players: np.ndarray | None) -> None:
         """Recompute gaps and cached best responses for *players*."""
         bs, server, best, current = self.game.batch_best_responses(players)
+        self.stats.sweeps += 1
         eligible = (1.0 - self.slack) * current > best
         gaps = np.where(eligible, current - best, -np.inf)
         if players is None:

@@ -12,6 +12,7 @@ from __future__ import annotations
 
 import abc
 import time
+import warnings
 from dataclasses import dataclass, field
 from typing import Hashable, Sequence
 
@@ -85,6 +86,9 @@ class EngineStats:
     Attributes:
         moves: Unilateral moves applied (same as the result's
             ``iterations``).
+        sweeps: Gap-refresh passes performed (one per applied move plus
+            the initial full sweep); both engines count them the same
+            way, so sweep counts are comparable across engines.
         gap_recomputations: Player best-response evaluations performed.
             The naive engine recomputes every player each iteration
             (``I * (moves + 1)`` in total); the incremental engine only
@@ -100,6 +104,7 @@ class EngineStats:
     """
 
     moves: int = 0
+    sweeps: int = 0
     gap_recomputations: int = 0
     candidate_evaluations: int = 0
     setup_seconds: float = 0.0
@@ -109,6 +114,7 @@ class EngineStats:
     def merge(self, other: "EngineStats") -> "EngineStats":
         """Accumulate *other* into self (for multi-round aggregation)."""
         self.moves += other.moves
+        self.sweeps += other.sweeps
         self.gap_recomputations += other.gap_recomputations
         self.candidate_evaluations += other.candidate_evaluations
         self.setup_seconds += other.setup_seconds
@@ -116,16 +122,26 @@ class EngineStats:
         self.move_seconds += other.move_seconds
         return self
 
-    def as_dict(self) -> dict[str, float]:
-        """Plain-dict view for JSON reports."""
+    def to_dict(self) -> dict[str, float]:
+        """Plain-dict view for JSON reports and trace sinks."""
         return {
             "moves": self.moves,
+            "sweeps": self.sweeps,
             "gap_recomputations": self.gap_recomputations,
             "candidate_evaluations": self.candidate_evaluations,
             "setup_seconds": self.setup_seconds,
             "eval_seconds": self.eval_seconds,
             "move_seconds": self.move_seconds,
         }
+
+    def as_dict(self) -> dict[str, float]:
+        """Deprecated alias of :meth:`to_dict`."""
+        warnings.warn(
+            "EngineStats.as_dict() is deprecated; use to_dict()",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        return self.to_dict()
 
 
 @dataclass
@@ -224,6 +240,7 @@ def best_response_dynamics(
         started = time.perf_counter()
         gaps, responses = _improvement_gaps(game, slack)
         stats.eval_seconds += time.perf_counter() - started
+        stats.sweeps += 1
         stats.gap_recomputations += game.num_players
         stats.candidate_evaluations += per_sweep_candidates
         eligible = np.flatnonzero(gaps > -np.inf)

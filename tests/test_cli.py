@@ -92,3 +92,56 @@ class TestCommands:
         out = capsys.readouterr().out
         assert code == 0
         assert "equilibrium Q*" in out
+
+
+class TestObservabilityFlags:
+    def test_simulate_fixed_solver(self, capsys) -> None:
+        code = main(
+            ["simulate", "--devices", "8", "--horizon", "2",
+             "--solver", "fixed", "--fraction", "0.5"]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "solver fixed" in out
+
+    def test_profile_prints_phase_table(self, capsys) -> None:
+        code = main(
+            ["simulate", "--devices", "8", "--horizon", "3", "--profile"]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        for phase in ("slot", "slot/bdma/p2a", "slot/queue"):
+            assert phase in out
+        assert "p50 ms" in out and "p95 ms" in out
+        assert "bdma.rounds" in out
+
+    def test_trace_writes_jsonl_and_manifest(self, capsys, tmp_path) -> None:
+        trace = tmp_path / "run.jsonl"
+        code = main(
+            ["simulate", "--devices", "8", "--horizon", "3",
+             "--seed", "5", "--trace", str(trace)]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert f"trace written to {trace}" in out
+
+        from repro.obs import read_jsonl
+
+        events = read_jsonl(trace)
+        kinds = {e["kind"] for e in events}
+        assert {"span", "counter", "event"} <= kinds
+        slots = [e for e in events if e["kind"] == "event"]
+        assert len(slots) == 3
+
+        manifest = json.loads((tmp_path / "run.manifest.json").read_text())
+        assert manifest["seed"] == 5
+        assert manifest["config"]["horizon"] == 3
+        assert manifest["config_hash"]
+        assert manifest["wall_clock_seconds"] >= 0.0
+
+    def test_profile_without_trace_writes_nothing(self, capsys, tmp_path) -> None:
+        code = main(
+            ["simulate", "--devices", "8", "--horizon", "2", "--profile"]
+        )
+        assert code == 0
+        assert list(tmp_path.iterdir()) == []

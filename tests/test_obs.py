@@ -1,0 +1,256 @@
+"""Tests for the observability layer (repro.obs)."""
+
+from __future__ import annotations
+
+import json
+import time
+
+import pytest
+
+import repro
+from repro.obs import (
+    JsonlSink,
+    NULL_TRACER,
+    PhaseAggregator,
+    Probe,
+    RunManifest,
+    Tracer,
+    as_tracer,
+    config_hash,
+    manifest_path_for,
+    read_jsonl,
+)
+from repro.obs.probe import _NULL_SPAN
+
+
+class TestNullTracer:
+    def test_disabled_and_inert(self) -> None:
+        t = Tracer()
+        assert not t.enabled
+        with t.span("anything"):
+            t.counter("c")
+            t.gauge("g", 1.0)
+            t.event("e", {"x": 1})
+        t.close()
+
+    def test_span_is_shared_singleton(self) -> None:
+        t = Tracer()
+        assert t.span("a") is t.span("b") is _NULL_SPAN
+
+    def test_as_tracer(self) -> None:
+        assert as_tracer(None) is NULL_TRACER
+        probe = Probe()
+        assert as_tracer(probe) is probe
+
+
+class TestProbeSpans:
+    def test_nested_spans_produce_slash_paths(self) -> None:
+        probe = Probe()
+        with probe.span("slot"):
+            with probe.span("bdma"):
+                with probe.span("p2a"):
+                    pass
+            with probe.span("queue"):
+                pass
+        names = set(probe.phases.spans)
+        assert names == {"slot", "slot/bdma", "slot/bdma/p2a", "slot/queue"}
+
+    def test_span_durations_are_positive_and_nested(self) -> None:
+        probe = Probe()
+        with probe.span("outer"):
+            with probe.span("inner"):
+                time.sleep(0.002)
+        outer = probe.phases.phase_stats("outer")
+        inner = probe.phases.phase_stats("outer/inner")
+        assert inner["total_seconds"] >= 0.002
+        assert outer["total_seconds"] >= inner["total_seconds"]
+        assert outer["count"] == inner["count"] == 1
+
+    def test_exception_still_closes_span(self) -> None:
+        probe = Probe()
+        with pytest.raises(ValueError):
+            with probe.span("slot"):
+                raise ValueError("boom")
+        assert probe.phases.phase_stats("slot")["count"] == 1
+        # The stack unwound: a new span is top-level again.
+        with probe.span("next"):
+            pass
+        assert "next" in probe.phases.spans
+
+    def test_counters_accumulate_and_gauges_record(self) -> None:
+        probe = Probe()
+        probe.counter("moves", 3)
+        probe.counter("moves", 2)
+        probe.gauge("backlog", 1.5)
+        probe.gauge("backlog", 2.5)
+        assert probe.phases.counters["moves"] == 5.0
+        assert probe.phases.gauges["backlog"] == [1.5, 2.5]
+
+
+class TestAggregatorMerging:
+    def _probe_with_work(self, n: int) -> Probe:
+        probe = Probe()
+        for _ in range(n):
+            with probe.span("slot"):
+                pass
+        probe.counter("moves", n)
+        return probe
+
+    def test_merge_combines_counts(self) -> None:
+        a = self._probe_with_work(3).phases
+        b = self._probe_with_work(2).phases
+        a.merge(b)
+        assert a.phase_stats("slot")["count"] == 5
+        assert a.counters["moves"] == 5.0
+
+    def test_state_dict_round_trip(self) -> None:
+        probe = self._probe_with_work(4)
+        probe.gauge("q", 7.0)
+        state = probe.phases.state_dict()
+        # state_dict must be JSON/pickle-plain for process transport.
+        json.dumps(state)
+        fresh = PhaseAggregator()
+        fresh.merge_state(state)
+        assert fresh.phase_stats("slot")["count"] == 4
+        assert fresh.counters["moves"] == 4.0
+        assert fresh.gauges["q"] == [7.0]
+
+    def test_probe_merge_phase_state_ignores_none(self) -> None:
+        probe = self._probe_with_work(1)
+        probe.merge_phase_state(None)
+        probe.merge_phase_state(self._probe_with_work(2).phases.state_dict())
+        assert probe.phases.phase_stats("slot")["count"] == 3
+
+    def test_percentiles_nearest_rank(self) -> None:
+        agg = PhaseAggregator()
+        for value in (1.0, 2.0, 3.0, 4.0):
+            agg.emit({"kind": "span", "name": "p", "seconds": value})
+        stats = agg.phase_stats("p")
+        assert stats["p50_seconds"] == 2.0
+        assert stats["p95_seconds"] == 4.0
+        assert stats["total_seconds"] == 10.0
+
+    def test_table_lists_phases_and_counters(self) -> None:
+        probe = self._probe_with_work(2)
+        table = probe.phases.table()
+        assert "slot" in table
+        assert "moves" in table
+        assert "p95" in table
+
+
+class TestJsonlSink:
+    def test_round_trip(self, tmp_path) -> None:
+        path = tmp_path / "trace.jsonl"
+        probe = Probe(sinks=(JsonlSink(path),))
+        with probe.span("slot"):
+            probe.counter("moves", 2)
+        probe.event("slot", {"t": 0, "latency": 1.25})
+        probe.close()
+        events = read_jsonl(path)
+        kinds = [e["kind"] for e in events]
+        assert kinds.count("span") == 1
+        assert kinds.count("counter") == 1
+        assert kinds.count("event") == 1
+        span = next(e for e in events if e["kind"] == "span")
+        assert span["name"] == "slot"
+        assert span["seconds"] >= 0.0
+        event = next(e for e in events if e["kind"] == "event")
+        assert event["data"]["latency"] == 1.25
+
+    def test_schema_fields_stable(self, tmp_path) -> None:
+        path = tmp_path / "trace.jsonl"
+        probe = Probe(sinks=(JsonlSink(path),))
+        with probe.span("a"):
+            pass
+        probe.counter("c", 1.0)
+        probe.gauge("g", 2.0)
+        probe.close()
+        by_kind = {e["kind"]: e for e in read_jsonl(path)}
+        assert set(by_kind["span"]) == {"kind", "name", "start", "seconds"}
+        assert set(by_kind["counter"]) == {"kind", "name", "value"}
+        assert set(by_kind["gauge"]) == {"kind", "name", "value"}
+
+
+class TestManifest:
+    def test_config_hash_is_order_insensitive(self) -> None:
+        assert config_hash({"a": 1, "b": 2}) == config_hash({"b": 2, "a": 1})
+        assert config_hash({"a": 1}) != config_hash({"a": 2})
+
+    def test_write_and_fields(self, tmp_path) -> None:
+        manifest = RunManifest(config={"horizon": 8}, seed=3)
+        path = manifest.finish().write(tmp_path / "run.manifest.json")
+        data = json.loads(path.read_text())
+        assert data["seed"] == 3
+        assert data["config"] == {"horizon": 8}
+        assert data["config_hash"] == config_hash({"horizon": 8})
+        assert data["package"] == "repro"
+        assert data["version"] == repro.__version__
+        assert data["wall_clock_seconds"] >= 0.0
+
+    def test_manifest_path_for(self) -> None:
+        assert str(manifest_path_for("out/run.jsonl")).endswith(
+            "out/run.manifest.json"
+        )
+
+
+class TestInstrumentationEndToEnd:
+    def test_dpp_run_emits_expected_phases(self) -> None:
+        probe = Probe()
+        repro.api.run(
+            controller="dpp", horizon=3, seed=11, tracer=probe,
+            scenario_config=repro.ScenarioConfig(num_devices=8),
+        )
+        expected = {
+            "slot", "slot/state", "slot/bdma", "slot/bdma/p2a",
+            "slot/bdma/p2a/cgba", "slot/bdma/p2b", "slot/allocation",
+            "slot/queue",
+        }
+        assert expected <= set(probe.phases.spans)
+        assert probe.phases.phase_stats("slot")["count"] == 3
+        assert probe.phases.counters["bdma.rounds"] > 0
+        assert probe.phases.counters["engine.moves"] >= 0
+        assert "p2b.scalar_solves" in probe.phases.counters
+        assert probe.phases.gauges["queue.backlog"]
+
+    def test_keep_records_false_still_streams_slot_events(self, tmp_path) -> None:
+        path = tmp_path / "trace.jsonl"
+        probe = Probe(sinks=(JsonlSink(path),))
+        result = repro.api.run(
+            controller="dpp", horizon=4, seed=11, tracer=probe,
+            keep_records=False,
+            scenario_config=repro.ScenarioConfig(num_devices=8),
+        )
+        probe.close()
+        assert result.records == []
+        slots = [e for e in read_jsonl(path) if e["kind"] == "event"
+                 and e["name"] == "slot"]
+        assert [s["data"]["t"] for s in slots] == [0, 1, 2, 3]
+        assert slots[0]["data"]["latency"] == pytest.approx(
+            float(result.latency[0])
+        )
+        assert "engine_stats" in slots[0]["data"]
+
+    def test_replication_merges_worker_phases(self) -> None:
+        probe = Probe()
+        spec = repro.ReplicationSpec(num_devices=8, horizon=3, solver="dpp")
+        repro.run_replications(spec, [1, 2], tracer=probe)
+        assert probe.phases.phase_stats("slot")["count"] == 6
+
+    def test_null_tracer_overhead_is_negligible(self) -> None:
+        scenario = repro.make_paper_scenario(
+            seed=5, config=repro.ScenarioConfig(num_devices=20)
+        )
+
+        def once(tracer) -> float:
+            start = time.perf_counter()
+            repro.api.run(
+                scenario=scenario, controller="dpp", horizon=50,
+                tracer=tracer, rng_label="overhead",
+            )
+            return time.perf_counter() - start
+
+        once(None)  # warm caches
+        base = min(once(None) for _ in range(3))
+        noop = min(once(NULL_TRACER) for _ in range(3))
+        # <5% regression target, with absolute slack against timer noise.
+        assert noop <= base * 1.05 + 0.05
