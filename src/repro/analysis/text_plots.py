@@ -16,17 +16,28 @@ _BLOCKS = "▁▂▃▄▅▆▇█"
 _ASCII = " .:-=+*#%@"
 
 
-def sparkline(values: FloatArray, *, ascii_only: bool = False) -> str:
+def sparkline(
+    values: FloatArray, *, ascii_only: bool = False, empty: str | None = None
+) -> str:
     """One-line sparkline of a series.
 
     Values are min-max scaled into the glyph ramp; a constant series
     renders as a flat mid-level line.
 
+    Args:
+        values: The series to draw.
+        ascii_only: Use the 7-bit ASCII ramp instead of block glyphs.
+        empty: Placeholder returned for an empty series (e.g. the live
+            dashboard's ``"(no data)"``); when ``None`` an empty series
+            raises instead.
+
     Raises:
-        ConfigurationError: On an empty series.
+        ConfigurationError: On an empty series, unless *empty* is given.
     """
     values = np.asarray(values, dtype=np.float64)
     if values.size == 0:
+        if empty is not None:
+            return empty
         raise ConfigurationError("cannot sparkline an empty series")
     ramp = _ASCII if ascii_only else _BLOCKS
     lo, hi = float(values.min()), float(values.max())

@@ -191,6 +191,7 @@ def run(
     z: int | None = None,
     budget: float | None = None,
     tracer: "Tracer | None" = None,
+    monitors: "object | None" = None,
     keep_records: bool = False,
     on_slot=None,
     warm_start_queue: bool = False,
@@ -216,6 +217,14 @@ def run(
         z: BDMA alternation rounds (see :func:`make_controller`).
         budget: Energy budget; ``scenario.budget`` when omitted.
         tracer: Observability tracer (e.g. :class:`repro.obs.Probe`).
+        monitors: Health monitors to watch the run -- a
+            :class:`repro.obs.monitors.MonitorSuite`, an iterable of
+            :class:`~repro.obs.monitors.Monitor`, or ``True`` for
+            :func:`repro.obs.monitors.default_monitors` wired to the
+            run's budget and network.  A recording tracer is created
+            automatically when none was given; the finished
+            :class:`~repro.obs.monitors.HealthReport` lands on
+            ``result.health``.
         keep_records: Retain full per-slot records on the result.
         on_slot: Per-slot progress callback.
         warm_start_queue: Start the queue at its estimated equilibrium.
@@ -229,6 +238,24 @@ def run(
         scenario = make_paper_scenario(seed, config=scenario_config)
     if budget is None:
         budget = scenario.budget
+
+    suite = None
+    if monitors is not None and monitors is not False:
+        from repro.obs.monitors import MonitorSuite, default_monitors
+        from repro.obs.probe import Probe
+
+        if isinstance(monitors, MonitorSuite):
+            suite = monitors
+        elif monitors is True:
+            suite = MonitorSuite(
+                default_monitors(budget=budget, network=scenario.network)
+            )
+        else:
+            suite = MonitorSuite(monitors)  # type: ignore[arg-type]
+        if tracer is None or not tracer.enabled:
+            tracer = Probe()
+        suite.attach(tracer)  # type: ignore[arg-type]
+
     if isinstance(controller, OnlineController):
         ctrl = controller
     else:
@@ -242,7 +269,7 @@ def run(
             tracer=tracer,
             **controller_params,  # type: ignore[arg-type]
         )
-    return run_simulation(
+    result = run_simulation(
         ctrl,
         scenario.fresh_states(horizon),
         budget=budget,
@@ -250,3 +277,6 @@ def run(
         on_slot=on_slot,
         tracer=tracer,
     )
+    if suite is not None:
+        result.health = suite.finish()
+    return result

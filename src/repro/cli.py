@@ -7,12 +7,19 @@ Commands:
 * ``experiment`` -- run one of the named paper experiments (``fig2`` ..
   ``fig9``, ``ablation-*``) and print its table.
 * ``equilibrium`` -- estimate the steady-state queue backlog ``Q*`` for
-  a scenario without simulating the ramp.
+  a scenario without simulating the ramp, and check a sampled CGBA
+  solve against the Theorem 2/3 approximation guarantees.
+* ``trace`` -- inspect recorded JSONL traces: ``trace summary PATH``
+  and ``trace diff BASE NEW`` (nonzero exit on regression, so it can
+  gate CI).
 * ``info`` -- version and default-scenario overview.
 
 ``simulate`` additionally exposes the observability layer: ``--profile``
-prints the per-phase timing table and ``--trace out.jsonl`` streams
-every span/counter/slot event to disk alongside a run manifest.
+prints the per-phase timing table, ``--trace out.jsonl`` streams every
+span/counter/slot event to disk alongside a run manifest,
+``--monitors`` attaches the domain health monitors and prints their
+:class:`~repro.obs.monitors.HealthReport`, and ``--dashboard`` redraws
+a live per-slot terminal dashboard (``--ascii`` for dumb terminals).
 """
 
 from __future__ import annotations
@@ -25,9 +32,21 @@ import repro
 from repro.analysis.equilibrium import estimate_equilibrium_backlog
 from repro.analysis.text_plots import line_chart
 from repro.api import CONTROLLER_NAMES, make_controller
+from repro.baselines.lower_bounds import p2a_lower_bound
+from repro.core.theory import check_bdma_guarantee, check_cgba_guarantee
 from repro.experiments import RUNNERS, generate_report
 from repro.io import save_result, summary_to_json
-from repro.obs import JsonlSink, Probe, RunManifest, manifest_path_for
+from repro.obs import (
+    Dashboard,
+    JsonlSink,
+    MonitorSuite,
+    Probe,
+    RunManifest,
+    default_monitors,
+    diff_traces,
+    load_trace,
+    manifest_path_for,
+)
 
 _SOLVER_CHOICES = CONTROLLER_NAMES
 
@@ -71,13 +90,17 @@ def _build_controller(
 
 def _cmd_simulate(args: argparse.Namespace) -> int:
     scenario = _build_scenario(args)
-    tracing = bool(args.trace) or args.profile
+    tracing = bool(args.trace) or args.profile or args.dashboard or args.monitors
     probe: Probe | None = None
     manifest: RunManifest | None = None
+    suite: MonitorSuite | None = None
+    dashboard: Dashboard | None = None
     if tracing:
         probe = Probe()
         if args.trace:
-            probe.add_sink(JsonlSink(args.trace))
+            # Flush per event so a crashed run still leaves a usable
+            # trace behind (the whole point of post-mortem tooling).
+            probe.add_sink(JsonlSink(args.trace, flush_every=1))
             manifest = RunManifest(
                 config={
                     "command": "simulate",
@@ -92,18 +115,37 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
                 },
                 seed=args.seed,
             )
+        if args.monitors or args.dashboard:
+            # Monitors attach before the dashboard so re-emitted alert
+            # events reach the dashboard's alert panel.
+            suite = MonitorSuite(
+                default_monitors(
+                    budget=scenario.budget, network=scenario.network
+                )
+            ).attach(probe)
+        if args.dashboard:
+            dashboard = Dashboard(
+                budget=scenario.budget, ascii_only=args.ascii
+            )
+            probe.add_sink(dashboard)
     controller = _build_controller(scenario, args, tracer=probe)
-    print(
-        f"{scenario.network}; budget {scenario.budget:.4f} $/slot; "
-        f"solver {args.solver}; V={args.v}; horizon {args.horizon}"
-    )
+    if dashboard is None:
+        print(
+            f"{scenario.network}; budget {scenario.budget:.4f} $/slot; "
+            f"solver {args.solver}; V={args.v}; horizon {args.horizon}"
+        )
     result = repro.run_simulation(
         controller,
         scenario.fresh_states(args.horizon),
         budget=scenario.budget,
         tracer=probe,
     )
+    if dashboard is not None:
+        dashboard.close()
     print(summary_to_json(result.summary()))
+    if suite is not None:
+        print()
+        print(suite.finish().render())
     if probe is not None:
         probe.close()
         if args.profile:
@@ -170,7 +212,63 @@ def _cmd_equilibrium(args: argparse.Namespace) -> int:
     print(f"V                 : {args.v}")
     print(f"equilibrium Q*    : {backlog:.3f}")
     print(f"Q*/V              : {backlog / args.v:.4f}")
+    print()
+    print(_guarantee_lines(scenario))
     return 0
+
+
+def _guarantee_lines(scenario: repro.Scenario) -> str:
+    """Check one sampled CGBA solve against the Theorem 2/3 guarantees.
+
+    Solves P2-A on the scenario's first slot at mid-range clocks and
+    compares the achieved latency against (a) the convex relaxation
+    lower bound scaled by the CGBA approximation ratio (Theorem 2) and
+    (b) the same bound scaled by the BDMA ratio ``2.62 R_F`` (Theorem 3,
+    queue term zero at ``Q=0``).
+    """
+    from repro.core.cgba import solve_p2a_cgba
+    from repro.network.connectivity import StrategySpace
+
+    network = scenario.network
+    state = list(scenario.fresh_states(1))[0]
+    space = StrategySpace(network, state.coverage(), state.available_servers)
+    mid = 0.5 * (network.freq_min + network.freq_max)
+    rng = scenario.controller_rng("cli-guarantee")
+    result = solve_p2a_cgba(network, state, space, mid, rng)
+    measured = result.total_latency
+    lower = p2a_lower_bound(network, state, space, mid)
+    cgba = check_cgba_guarantee(measured, lower)
+    bdma = check_bdma_guarantee(network, measured, lower)
+    lines = ["guarantees (one sampled slot, mid-range clocks):"]
+    for name, check in (("CGBA (Thm 2)", cgba), ("BDMA (Thm 3)", bdma)):
+        verdict = "ok" if check.satisfied else "VIOLATED"
+        lines.append(
+            f"  {name:<13}: measured {check.measured:.4f} <= "
+            f"bound {check.bound:.4f} [{verdict}] "
+            f"(headroom {check.headroom:.2f}x)"
+        )
+    return "\n".join(lines)
+
+
+def _cmd_trace_summary(args: argparse.Namespace) -> int:
+    trace = load_trace(args.path)
+    print(trace.summary())
+    return 0
+
+
+def _cmd_trace_diff(args: argparse.Namespace) -> int:
+    base = load_trace(args.base)
+    new = load_trace(args.new)
+    diff = diff_traces(
+        base,
+        new,
+        time_threshold=args.time_threshold,
+        metric_threshold=args.metric_threshold,
+        min_phase_seconds=args.min_phase_seconds,
+        include_times=not args.ignore_times,
+    )
+    print(diff.render())
+    return 0 if diff.ok else 1
 
 
 def _cmd_info(args: argparse.Namespace) -> int:
@@ -227,6 +325,14 @@ def build_parser() -> argparse.ArgumentParser:
                           "file (plus a sibling .manifest.json)")
     sim.add_argument("--profile", action="store_true",
                      help="print the per-phase timing table after the run")
+    sim.add_argument("--monitors", action="store_true",
+                     help="attach the domain health monitors and print "
+                          "the health report after the run")
+    sim.add_argument("--dashboard", action="store_true",
+                     help="redraw a live per-slot terminal dashboard "
+                          "(implies --monitors wiring for alerts)")
+    sim.add_argument("--ascii", action="store_true",
+                     help="dashboard renders with 7-bit ASCII only")
     sim.set_defaults(handler=_cmd_simulate)
 
     exp = sub.add_parser("experiment", help="run a paper experiment")
@@ -251,6 +357,33 @@ def build_parser() -> argparse.ArgumentParser:
                         help="estimate the steady-state queue backlog")
     _add_scenario_arguments(eq)
     eq.set_defaults(handler=_cmd_equilibrium)
+
+    trace = sub.add_parser("trace", help="inspect recorded JSONL traces")
+    trace_sub = trace.add_subparsers(dest="trace_command", required=True)
+
+    tsum = trace_sub.add_parser("summary", help="summarise one trace")
+    tsum.add_argument("path", help="JSONL trace file")
+    tsum.set_defaults(handler=_cmd_trace_summary)
+
+    tdiff = trace_sub.add_parser(
+        "diff",
+        help="compare two traces; exit 1 on regression (CI gate)",
+    )
+    tdiff.add_argument("base", help="baseline JSONL trace")
+    tdiff.add_argument("new", help="candidate JSONL trace")
+    tdiff.add_argument("--time-threshold", type=float, default=0.5,
+                       help="relative phase-time growth that counts as a "
+                            "regression (0.5 = +50%%)")
+    tdiff.add_argument("--metric-threshold", type=float, default=0.10,
+                       help="relative metric growth that counts as a "
+                            "regression")
+    tdiff.add_argument("--min-phase-seconds", type=float, default=5e-4,
+                       help="ignore phase regressions below this absolute "
+                            "growth (noise floor)")
+    tdiff.add_argument("--ignore-times", action="store_true",
+                       help="compare metrics only (timings are machine-"
+                            "dependent; use for cross-machine CI gates)")
+    tdiff.set_defaults(handler=_cmd_trace_diff)
 
     info = sub.add_parser("info", help="version and scenario overview")
     _add_scenario_arguments(info)

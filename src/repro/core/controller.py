@@ -29,7 +29,13 @@ from repro.obs.probe import Tracer, as_tracer
 from repro.solvers.potential_game import EngineStats
 from repro.types import FloatArray, Rng
 
-__all__ = ["SlotRecord", "OnlineController", "DPPController", "P2ASolver"]
+__all__ = [
+    "SlotRecord",
+    "OnlineController",
+    "DPPController",
+    "P2ASolver",
+    "emit_feasibility_gauges",
+]
 
 
 @dataclass(frozen=True)
@@ -104,6 +110,47 @@ class SlotRecord:
                 self.allocation.compute_share
             ).tolist()
         return out
+
+
+def emit_feasibility_gauges(
+    tracer: Tracer,
+    network: MECNetwork,
+    state: SlotState,
+    assignment: Assignment,
+    allocation: ResourceAllocation,
+    frequencies: FloatArray,
+) -> None:
+    """Emit the per-slot ``feas.*`` gauges consumed by
+    :class:`repro.obs.monitors.FeasibilityMonitor`.
+
+    Gauges are worst cases over the slot: the largest access/fronthaul
+    share sum on any base station, the largest compute share sum on any
+    server (constraints (4)-(6), each must be ``<= 1``), and the largest
+    clock excursion outside ``[F^L, F^U]`` among powered servers (must
+    be 0).  Callers should guard on ``tracer.enabled``.
+    """
+    num_bs = network.num_base_stations
+    access = np.bincount(
+        assignment.bs_of, weights=allocation.access_share, minlength=num_bs
+    )
+    fronthaul = np.bincount(
+        assignment.bs_of, weights=allocation.fronthaul_share, minlength=num_bs
+    )
+    compute = np.bincount(
+        assignment.server_of,
+        weights=allocation.compute_share,
+        minlength=network.num_servers,
+    )
+    freqs = np.asarray(frequencies, dtype=np.float64)
+    excess = np.maximum(freqs - network.freq_max, 0.0) + np.maximum(
+        network.freq_min - freqs, 0.0
+    )
+    if state.available_servers is not None:
+        excess = excess[state.available_servers]
+    tracer.gauge("feas.access_share_max", float(access.max(initial=0.0)))
+    tracer.gauge("feas.fronthaul_share_max", float(fronthaul.max(initial=0.0)))
+    tracer.gauge("feas.compute_share_max", float(compute.max(initial=0.0)))
+    tracer.gauge("feas.freq_excess", float(excess.max(initial=0.0)))
 
 
 class OnlineController(abc.ABC):
@@ -258,6 +305,15 @@ class DPPController(OnlineController):
                     state.price,
                     available=state.available_servers,
                 )
+                if tracer.enabled:
+                    emit_feasibility_gauges(
+                        tracer,
+                        self.network,
+                        state,
+                        result.assignment,
+                        allocation,
+                        result.frequencies,
+                    )
             with tracer.span("queue"):
                 theta = cost - slot_budget
                 backlog_after = self.queue.update(theta)

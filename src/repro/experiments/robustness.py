@@ -18,6 +18,7 @@ import numpy as np
 import repro
 from repro.analysis.tables import format_table
 from repro.experiments.common import ExperimentResult
+from repro.obs import BudgetDriftMonitor, FeasibilityMonitor, MonitorSuite, Probe
 from repro.sim.faults import MarkovOutages
 
 
@@ -26,7 +27,9 @@ class FaultSweepResult(ExperimentResult):
     """Latency/cost per outage intensity.
 
     Attributes:
-        rows: ``[unavailability, measured downtime, latency, cost]``.
+        rows: ``[unavailability, measured downtime, latency, cost,
+            alerts]`` -- the last column counts health-monitor alerts
+            (budget drift + feasibility) raised during the run.
         budget: The (intensity-independent) budget.
     """
 
@@ -40,6 +43,7 @@ class FaultSweepResult(ExperimentResult):
                 "measured unavail.",
                 "avg latency (s)",
                 "avg cost ($/slot)",
+                "alerts",
             ],
             self.rows,
             title=(
@@ -89,23 +93,39 @@ def run_fault_sweep(
             faults=faults,
         )
         result.budget = scenario.budget
+        # Health monitors watch every sweep point.  Feasibility must
+        # hold everywhere; budget alerts surface the DPP transient at
+        # this horizon and shrink with outages (offline servers draw no
+        # power), so the column doubles as a fault-tolerance signal.
+        probe = Probe()
+        suite = MonitorSuite(
+            [BudgetDriftMonitor(scenario.budget), FeasibilityMonitor()]
+        ).attach(probe)
         controller = repro.make_controller(
             "dpp",
             scenario,
             v=v,
             z=2,
             rng=scenario.controller_rng(f"faults-{u}"),
+            tracer=probe,
         )
         states = list(scenario.fresh_states(horizon))
         sim = repro.run_simulation(
-            controller, iter(states), budget=scenario.budget
+            controller, iter(states), budget=scenario.budget, tracer=probe
         )
+        report = suite.finish()
         if u > 0.0:
             masks = np.array([s.available_servers for s in states])
             measured = float(1.0 - masks.mean())
         else:
             measured = 0.0
         result.rows.append(
-            [u, measured, sim.time_average_latency(), sim.time_average_cost()]
+            [
+                u,
+                measured,
+                sim.time_average_latency(),
+                sim.time_average_cost(),
+                len(report.alerts),
+            ]
         )
     return result

@@ -1,4 +1,4 @@
-"""Structured observability: spans, counters, sinks, manifests.
+"""Structured observability: spans, sinks, monitors, traces, dashboard.
 
 * :mod:`repro.obs.probe` -- the event bus: the no-op :class:`Tracer`
   (near-zero overhead when disabled) and the recording :class:`Probe`
@@ -8,11 +8,42 @@
   files (:class:`JsonlSink`).
 * :mod:`repro.obs.manifest` -- run manifests (config hash, seeds,
   package version, wall clock) written next to results.
+* :mod:`repro.obs.monitors` -- domain health monitors on the bus
+  (queue stability, budget drift, feasibility, theory guarantees,
+  anomaly detection) producing structured alerts and a
+  :class:`HealthReport`.
+* :mod:`repro.obs.trace` -- trace analytics: typed JSONL loading,
+  run summaries, regression diffs, and the crash-dump
+  :class:`FlightRecorder`.
+* :mod:`repro.obs.dashboard` -- the live per-slot terminal
+  :class:`Dashboard`.
 """
 
 from repro.obs.manifest import RunManifest, config_hash, manifest_path_for
 from repro.obs.probe import NULL_TRACER, Probe, Sink, Tracer, as_tracer
 from repro.obs.sinks import JsonlSink, PhaseAggregator, read_jsonl
+from repro.obs.dashboard import Dashboard
+from repro.obs.monitors import (
+    Alert,
+    AnomalyMonitor,
+    BudgetDriftMonitor,
+    FeasibilityMonitor,
+    GuaranteeMonitor,
+    HealthReport,
+    Monitor,
+    MonitorStatus,
+    MonitorSuite,
+    QueueStabilityMonitor,
+    default_monitors,
+)
+from repro.obs.trace import (
+    Delta,
+    FlightRecorder,
+    Trace,
+    TraceDiff,
+    diff_traces,
+    load_trace,
+)
 
 __all__ = [
     "Tracer",
@@ -26,4 +57,25 @@ __all__ = [
     "RunManifest",
     "config_hash",
     "manifest_path_for",
+    # monitors
+    "Monitor",
+    "MonitorSuite",
+    "MonitorStatus",
+    "Alert",
+    "HealthReport",
+    "QueueStabilityMonitor",
+    "BudgetDriftMonitor",
+    "FeasibilityMonitor",
+    "GuaranteeMonitor",
+    "AnomalyMonitor",
+    "default_monitors",
+    # trace analytics
+    "Trace",
+    "load_trace",
+    "Delta",
+    "TraceDiff",
+    "diff_traces",
+    "FlightRecorder",
+    # dashboard
+    "Dashboard",
 ]

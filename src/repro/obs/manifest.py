@@ -9,6 +9,7 @@ from __future__ import annotations
 
 import hashlib
 import json
+import os
 import time
 from dataclasses import dataclass, field
 from pathlib import Path
@@ -59,9 +60,16 @@ class RunManifest:
         }
 
     def write(self, path: "str | Path") -> Path:
-        """Write the manifest as JSON; returns the path written."""
+        """Write the manifest as JSON; returns the path written.
+
+        The write is atomic (temp file then rename), so a run killed
+        mid-write never leaves a truncated, unparseable manifest next to
+        an otherwise readable trace.
+        """
         path = Path(path)
-        path.write_text(json.dumps(self.to_dict(), indent=2, sort_keys=True) + "\n")
+        tmp = path.with_name(path.name + ".tmp")
+        tmp.write_text(json.dumps(self.to_dict(), indent=2, sort_keys=True) + "\n")
+        os.replace(tmp, path)
         return path
 
 

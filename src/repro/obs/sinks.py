@@ -121,10 +121,29 @@ class JsonlSink:
     The file is written incrementally, so long horizons never buffer
     the trace in memory.  Schema: each line is one event dict as
     documented in :mod:`repro.obs.probe`.
+
+    Usable as a context manager (the file is closed on exit)::
+
+        with JsonlSink("run.jsonl", flush_every=1) as sink:
+            probe.add_sink(sink)
+            ...
+
+    Args:
+        path: Destination file (truncated).
+        flush_every: Flush the stream after every N events; ``1`` makes
+            each event durable immediately (crash safety at the price of
+            one flush per event), ``None`` (default) leaves flushing to
+            the runtime until :meth:`close`.
     """
 
-    def __init__(self, path: "str | Path") -> None:
+    def __init__(
+        self, path: "str | Path", *, flush_every: int | None = None
+    ) -> None:
+        if flush_every is not None and flush_every < 1:
+            raise ValueError("flush_every must be a positive int or None")
         self.path = Path(path)
+        self.flush_every = flush_every
+        self._since_flush = 0
         self._fh = open(self.path, "w", encoding="utf-8")
 
     def emit(self, event: dict) -> None:
@@ -132,10 +151,21 @@ class JsonlSink:
             json.dumps(event, separators=(",", ":"), default=_json_default)
         )
         self._fh.write("\n")
+        if self.flush_every is not None:
+            self._since_flush += 1
+            if self._since_flush >= self.flush_every:
+                self._fh.flush()
+                self._since_flush = 0
 
     def close(self) -> None:
         if not self._fh.closed:
             self._fh.close()
+
+    def __enter__(self) -> "JsonlSink":
+        return self
+
+    def __exit__(self, *exc: object) -> None:
+        self.close()
 
 
 def read_jsonl(path: "str | Path") -> list[dict]:

@@ -40,11 +40,19 @@ def run_simulation(
             :meth:`~repro.core.controller.SlotRecord.to_dict`), so trace
             sinks capture per-slot data even with ``keep_records=False``
             -- no :class:`SlotRecord` retention, no memory blow-up on
-            long horizons.  Pass the same tracer to the controller to
-            also get the per-phase spans.
+            long horizons.  A ``slot.price`` gauge is emitted per slot
+            (for monitors/dashboards), and if the loop dies a final
+            ``crash`` event carries the failing slot and exception --
+            the trigger for :class:`repro.obs.trace.FlightRecorder`
+            dumps.  Pass the same tracer to the controller to also get
+            the per-phase spans.
 
     Returns:
         A :class:`SimulationResult` with per-slot trajectories.
+
+    Raises:
+        Exception: Whatever the controller (or a callback) raised; the
+            ``crash`` event is emitted before re-raising.
     """
     tracer = as_tracer(tracer)
     latency: list[float] = []
@@ -60,28 +68,45 @@ def run_simulation(
         type(controller).__name__,
         budget,
     )
-    for state in states:
-        record = controller.step(state)
-        logger.debug(
-            "slot %d: latency=%.4f cost=%.4f backlog=%.3f solve=%.3fs",
-            record.t,
-            record.latency,
-            record.cost,
-            record.backlog_after,
-            record.solve_seconds,
-        )
-        latency.append(record.latency)
-        cost.append(record.cost)
-        theta.append(record.theta)
-        backlog.append(record.backlog_after)
-        solve_seconds.append(record.solve_seconds)
-        price.append(state.price)
-        if keep_records:
-            records.append(record)
+    last_t: int | None = None
+    try:
+        for state in states:
+            if tracer.enabled:
+                tracer.gauge("slot.price", float(state.price))
+            record = controller.step(state)
+            last_t = record.t
+            logger.debug(
+                "slot %d: latency=%.4f cost=%.4f backlog=%.3f solve=%.3fs",
+                record.t,
+                record.latency,
+                record.cost,
+                record.backlog_after,
+                record.solve_seconds,
+            )
+            latency.append(record.latency)
+            cost.append(record.cost)
+            theta.append(record.theta)
+            backlog.append(record.backlog_after)
+            solve_seconds.append(record.solve_seconds)
+            price.append(state.price)
+            if keep_records:
+                records.append(record)
+            if tracer.enabled:
+                tracer.event("slot", record.to_dict())
+            if on_slot is not None:
+                on_slot(record)
+    except Exception as exc:
+        logger.exception("simulation crashed after slot %s", last_t)
         if tracer.enabled:
-            tracer.event("slot", record.to_dict())
-        if on_slot is not None:
-            on_slot(record)
+            tracer.event(
+                "crash",
+                {
+                    "slot": last_t,
+                    "error": repr(exc),
+                    "error_type": type(exc).__name__,
+                },
+            )
+        raise
 
     logger.info(
         "simulation done: %d slots, mean latency %.4f, mean cost %.4f",

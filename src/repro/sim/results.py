@@ -3,11 +3,15 @@
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
 
 import numpy as np
 
 from repro.core.controller import SlotRecord
 from repro.types import FloatArray
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.obs.monitors import HealthReport
 
 
 @dataclass(frozen=True)
@@ -51,7 +55,9 @@ class SimulationSummary:
 class SimulationResult:
     """Per-slot trajectories of one simulation run.
 
-    All arrays have length equal to the simulated horizon.
+    All arrays have length equal to the simulated horizon.  ``health``
+    is filled by :func:`repro.api.run` when monitors were attached
+    (``None`` otherwise).
     """
 
     latency: FloatArray
@@ -62,6 +68,7 @@ class SimulationResult:
     price: FloatArray
     budget: float | None = None
     records: list[SlotRecord] = field(default_factory=list)
+    health: "HealthReport | None" = None
 
     @property
     def horizon(self) -> int:

@@ -1,0 +1,106 @@
+"""Tests for the live terminal dashboard (repro.obs.dashboard)."""
+
+from __future__ import annotations
+
+import io
+
+import repro
+from repro.obs import Dashboard, MonitorSuite, FeasibilityMonitor, Probe
+
+
+def feed_slot(dash: Dashboard, t: int, *, latency: float = 0.4,
+              cost: float = 0.6, backlog: float = 1.0) -> None:
+    dash.emit({"kind": "gauge", "name": "queue.backlog", "value": backlog})
+    dash.emit({"kind": "gauge", "name": "slot.price", "value": 0.01})
+    dash.emit({"kind": "counter", "name": "engine.moves", "value": 3.0})
+    dash.emit({"kind": "event", "name": "slot",
+               "data": {"t": t, "latency": latency, "cost": cost}})
+
+
+class TestRendering:
+    def test_frame_shows_series_and_averages(self) -> None:
+        dash = Dashboard(budget=0.75, stream=io.StringIO())
+        for t in range(3):
+            feed_slot(dash, t)
+        frame = dash.render()
+        assert "slot 2" in frame
+        assert "budget 0.75" in frame
+        for label in ("backlog", "latency", "cost", "price", "engine"):
+            assert label in frame
+        assert "engine.moves=9" in frame
+        assert "alerts   (none)" in frame
+
+    def test_empty_series_render_placeholder(self) -> None:
+        dash = Dashboard(stream=io.StringIO())
+        # A slot event with no gauges: price/backlog series stay empty,
+        # but the frame must render rather than raise.
+        dash.emit({"kind": "event", "name": "slot",
+                   "data": {"t": 0, "latency": 0.4, "cost": 0.6}})
+        assert "(no data)" in dash.render()
+
+    def test_alerts_panel_lists_bus_alerts(self) -> None:
+        dash = Dashboard(stream=io.StringIO())
+        dash.emit({"kind": "event", "name": "alert",
+                   "data": {"severity": "critical", "monitor": "budget",
+                            "message": "over budget"}})
+        feed_slot(dash, 0)
+        frame = dash.render()
+        assert "1 raised" in frame
+        assert "[critical] budget: over budget" in frame
+
+    def test_ascii_only_is_pure_7bit(self) -> None:
+        dash = Dashboard(stream=io.StringIO(), ascii_only=True)
+        for t in range(6):
+            feed_slot(dash, t, latency=0.1 * (t + 1), backlog=float(t))
+        frame = dash.render()
+        assert frame == frame.encode("ascii", "replace").decode("ascii")
+
+    def test_unicode_ramp_used_by_default(self) -> None:
+        dash = Dashboard(stream=io.StringIO())
+        for t in range(6):
+            feed_slot(dash, t, latency=0.1 * (t + 1), backlog=float(t))
+        assert any(ord(ch) > 127 for ch in dash.render())
+
+
+class TestStreamBehaviour:
+    def test_frames_written_per_slot_without_ansi(self) -> None:
+        stream = io.StringIO()
+        dash = Dashboard(stream=stream, use_ansi=False)
+        for t in range(2):
+            feed_slot(dash, t)
+        out = stream.getvalue()
+        assert out.count("slot 0") == 1
+        assert out.count("slot 1") == 1
+        assert "\x1b[" not in out
+
+    def test_ansi_mode_redraws_in_place(self) -> None:
+        stream = io.StringIO()
+        dash = Dashboard(stream=stream, use_ansi=True)
+        feed_slot(dash, 0)
+        assert stream.getvalue().startswith("\x1b[H\x1b[J")
+
+    def test_refresh_every_skips_frames(self) -> None:
+        stream = io.StringIO()
+        dash = Dashboard(stream=stream, use_ansi=False, refresh_every=2)
+        for t in range(4):
+            feed_slot(dash, t)
+        out = stream.getvalue()
+        assert "slot 1" in out and "slot 3" in out
+        assert "slot 0 " not in out
+
+    def test_end_to_end_with_probe_and_monitors(self) -> None:
+        stream = io.StringIO()
+        probe = Probe()
+        MonitorSuite([FeasibilityMonitor()]).attach(probe)
+        dash = Dashboard(stream=stream, use_ansi=False)
+        probe.add_sink(dash)
+        repro.api.run(
+            controller="dpp", horizon=3, seed=7, z=1,
+            scenario_config=repro.ScenarioConfig(num_devices=8),
+            tracer=probe,
+        )
+        dash.close()
+        out = stream.getvalue()
+        assert "slot 2" in out
+        assert "backlog" in out
+        assert "engine" in out

@@ -157,6 +157,26 @@ class TestJsonlSink:
         event = next(e for e in events if e["kind"] == "event")
         assert event["data"]["latency"] == 1.25
 
+    def test_context_manager_closes_file(self, tmp_path) -> None:
+        path = tmp_path / "trace.jsonl"
+        with JsonlSink(path) as sink:
+            sink.emit({"kind": "gauge", "name": "g", "value": 1.0})
+            assert not sink._fh.closed
+        assert sink._fh.closed
+        assert read_jsonl(path) == [{"kind": "gauge", "name": "g", "value": 1.0}]
+
+    def test_flush_every_makes_events_durable_before_close(self, tmp_path) -> None:
+        path = tmp_path / "trace.jsonl"
+        sink = JsonlSink(path, flush_every=1)
+        sink.emit({"kind": "gauge", "name": "g", "value": 1.0})
+        # Visible to a concurrent reader without close() -- crash safety.
+        assert read_jsonl(path) == [{"kind": "gauge", "name": "g", "value": 1.0}]
+        sink.close()
+
+    def test_flush_every_validates(self, tmp_path) -> None:
+        with pytest.raises(ValueError):
+            JsonlSink(tmp_path / "t.jsonl", flush_every=0)
+
     def test_schema_fields_stable(self, tmp_path) -> None:
         path = tmp_path / "trace.jsonl"
         probe = Probe(sinks=(JsonlSink(path),))
@@ -191,6 +211,13 @@ class TestManifest:
         assert str(manifest_path_for("out/run.jsonl")).endswith(
             "out/run.manifest.json"
         )
+
+    def test_write_is_atomic_no_temp_left_behind(self, tmp_path) -> None:
+        manifest = RunManifest(config={}, seed=1)
+        path = manifest.finish().write(tmp_path / "run.manifest.json")
+        assert path.exists()
+        # temp-then-rename: only the final file remains.
+        assert [p.name for p in tmp_path.iterdir()] == ["run.manifest.json"]
 
 
 class TestInstrumentationEndToEnd:

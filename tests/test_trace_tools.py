@@ -1,0 +1,213 @@
+"""Tests for the trace toolkit (repro.obs.trace)."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+import repro
+from repro.obs import (
+    FlightRecorder,
+    JsonlSink,
+    Probe,
+    RunManifest,
+    Trace,
+    diff_traces,
+    load_trace,
+    manifest_path_for,
+    read_jsonl,
+)
+
+CONFIG = repro.ScenarioConfig(num_devices=8)
+
+
+def traced_run(path, *, seed: int = 7, horizon: int = 5):
+    """One short traced simulation; returns (result, probe)."""
+    probe = Probe(sinks=(JsonlSink(path),))
+    result = repro.api.run(
+        controller="dpp", horizon=horizon, seed=seed, z=1,
+        scenario_config=CONFIG, tracer=probe,
+    )
+    probe.close()
+    return result, probe
+
+
+class TestLoadTrace:
+    def test_round_trip_from_a_real_run(self, tmp_path) -> None:
+        path = tmp_path / "run.jsonl"
+        result, probe = traced_run(path)
+        trace = load_trace(path)
+        assert len(trace.slots) == 5
+        assert [s["t"] for s in trace.slots] == list(range(5))
+        # Counters collapse to the same totals the in-memory aggregator saw.
+        assert trace.counters == pytest.approx(probe.phases.counters)
+        metrics = trace.metrics()
+        assert metrics["mean_latency"] == pytest.approx(
+            result.time_average_latency()
+        )
+        assert metrics["mean_cost"] == pytest.approx(result.time_average_cost())
+        assert "counter/engine.moves" in metrics
+        totals = trace.phase_totals()
+        assert {"slot", "slot/bdma", "slot/queue"} <= set(totals)
+        assert all(v >= 0.0 for v in totals.values())
+
+    def test_unknown_kinds_are_skipped(self, tmp_path) -> None:
+        path = tmp_path / "t.jsonl"
+        lines = [
+            {"kind": "gauge", "name": "g", "value": 1.0},
+            {"kind": "hologram", "name": "future", "payload": 1},
+        ]
+        path.write_text("\n".join(json.dumps(l) for l in lines) + "\n")
+        trace = load_trace(path)
+        assert trace.gauges["g"] == [1.0]
+
+    def test_summary_mentions_manifest_and_phases(self, tmp_path) -> None:
+        path = tmp_path / "run.jsonl"
+        traced_run(path)
+        RunManifest(config={"h": 5}, seed=7).finish().write(
+            manifest_path_for(path)
+        )
+        text = load_trace(path).summary()
+        assert "seed=7" in text
+        assert "slot/bdma" in text
+        assert "mean_latency" in text
+
+    def test_aggregator_replay_matches_table(self, tmp_path) -> None:
+        path = tmp_path / "run.jsonl"
+        _, probe = traced_run(path)
+        replayed = load_trace(path).aggregator()
+        assert replayed.phase_stats("slot")["count"] == 5
+        assert replayed.counters == pytest.approx(probe.phases.counters)
+
+
+class TestDiffTraces:
+    def _pair(self, tmp_path):
+        a, b = tmp_path / "a.jsonl", tmp_path / "b.jsonl"
+        traced_run(a)
+        traced_run(b)
+        return a, b
+
+    def test_identical_runs_diff_clean(self, tmp_path) -> None:
+        a, b = self._pair(tmp_path)
+        diff = diff_traces(a, b, include_times=False)
+        assert diff.ok
+        assert "no regressions" in diff.render()
+
+    def test_metric_regression_detected(self, tmp_path) -> None:
+        a, b = self._pair(tmp_path)
+        events = read_jsonl(b)
+        for e in events:
+            if e["kind"] == "event" and e["name"] == "slot":
+                e["data"]["latency"] *= 1.5
+        b.write_text("\n".join(json.dumps(e) for e in events) + "\n")
+        diff = diff_traces(a, b, include_times=False)
+        assert not diff.ok
+        assert any("mean_latency" in r for r in diff.regressions)
+
+    def test_improvements_never_regress(self, tmp_path) -> None:
+        a, b = self._pair(tmp_path)
+        events = read_jsonl(b)
+        for e in events:
+            if e["kind"] == "event" and e["name"] == "slot":
+                e["data"]["latency"] *= 0.5
+        b.write_text("\n".join(json.dumps(e) for e in events) + "\n")
+        assert diff_traces(a, b, include_times=False).ok
+
+    def test_phase_time_regression_detected(self, tmp_path) -> None:
+        a, b = self._pair(tmp_path)
+        events = read_jsonl(b)
+        for e in events:
+            if e["kind"] == "span" and e["name"] == "slot/bdma":
+                e["seconds"] = e["seconds"] * 10.0 + 1.0
+        b.write_text("\n".join(json.dumps(e) for e in events) + "\n")
+        diff = diff_traces(a, b)
+        assert not diff.ok
+        assert any("slot/bdma" in r for r in diff.regressions)
+        # The same pair gates clean when timings are excluded.
+        assert diff_traces(a, b, include_times=False).ok
+
+    def test_sub_noise_phase_growth_is_ignored(self, tmp_path) -> None:
+        a = tmp_path / "a.jsonl"
+        b = tmp_path / "b.jsonl"
+        base = [{"kind": "span", "name": "p", "start": 0.0, "seconds": 1e-5}]
+        grown = [{"kind": "span", "name": "p", "start": 0.0, "seconds": 9e-5}]
+        a.write_text(json.dumps(base[0]) + "\n")
+        b.write_text(json.dumps(grown[0]) + "\n")
+        # 9x relative growth but far below the absolute noise floor.
+        assert diff_traces(a, b).ok
+
+    def test_missing_phase_is_a_note_not_a_regression(self, tmp_path) -> None:
+        a = tmp_path / "a.jsonl"
+        b = tmp_path / "b.jsonl"
+        a.write_text(json.dumps(
+            {"kind": "span", "name": "only_base", "start": 0.0, "seconds": 1.0}
+        ) + "\n")
+        b.write_text(json.dumps(
+            {"kind": "span", "name": "only_new", "start": 0.0, "seconds": 1.0}
+        ) + "\n")
+        diff = diff_traces(a, b)
+        assert diff.ok
+        assert len(diff.notes) == 2
+
+    def test_solve_seconds_excluded_without_times(self, tmp_path) -> None:
+        a = tmp_path / "a.jsonl"
+        b = tmp_path / "b.jsonl"
+        for path, solve in ((a, 0.001), (b, 0.5)):
+            path.write_text(json.dumps({
+                "kind": "event", "name": "slot",
+                "data": {"t": 0, "latency": 1.0, "solve_seconds": solve},
+            }) + "\n")
+        assert not diff_traces(a, b).ok
+        assert diff_traces(a, b, include_times=False).ok
+
+
+class TestFlightRecorder:
+    def _event(self, t: int) -> list[dict]:
+        return [
+            {"kind": "gauge", "name": "queue.backlog", "value": float(t)},
+            {"kind": "event", "name": "slot", "data": {"t": t}},
+        ]
+
+    def test_ring_keeps_only_the_last_slots(self, tmp_path) -> None:
+        recorder = FlightRecorder(tmp_path / "dump.jsonl", capacity_slots=2)
+        for t in range(5):
+            for event in self._event(t):
+                recorder.emit(event)
+        slots = [e["data"]["t"] for e in recorder.buffered_events()
+                 if e["kind"] == "event"]
+        assert slots == [3, 4]
+
+    def test_crash_event_triggers_a_dump(self, tmp_path) -> None:
+        path = tmp_path / "dump.jsonl"
+        recorder = FlightRecorder(path, capacity_slots=8)
+        for event in self._event(0):
+            recorder.emit(event)
+        assert recorder.dumped is None
+        recorder.emit({"kind": "event", "name": "crash",
+                       "data": {"slot": 0, "error": "boom"}})
+        assert recorder.dumped == path
+        events = read_jsonl(path)
+        assert events[-1]["name"] == "crash"
+
+    def test_dump_on_simulation_exception(self, tmp_path) -> None:
+        path = tmp_path / "dump.jsonl"
+        recorder = FlightRecorder(path, capacity_slots=2)
+        probe = Probe(sinks=(recorder,))
+
+        def boom(record) -> None:
+            if record.t == 3:
+                raise RuntimeError("injected fault")
+
+        with pytest.raises(RuntimeError, match="injected fault"):
+            repro.api.run(
+                controller="dpp", horizon=6, seed=7, z=1,
+                scenario_config=CONFIG, tracer=probe, on_slot=boom,
+            )
+        trace = load_trace(path)
+        # Only the ring's worth of slots survives, plus the crash event.
+        assert [s["t"] for s in trace.slots] == [2, 3]
+        crash = [e for e in trace.events if e.name == "crash"]
+        assert len(crash) == 1
+        assert crash[0].data["slot"] == 3
+        assert "RuntimeError" in crash[0].data["error"]
