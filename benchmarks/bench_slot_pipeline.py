@@ -1,0 +1,272 @@
+"""End-to-end slot-pipeline bench: compiled states + warm starts + P2-B.
+
+Times ``repro.api.run`` (the whole DPP slot pipeline: compiled state
+stream, CGBA with cross-slot warm starts and the BDMA fixed-point
+short-circuit, batched/scalar P2-B) at three deployment sizes and
+records slots-per-second plus the engine counters and per-phase profile
+of a traced run.  The medium preset is the paper-scale configuration
+(I=40, 240 slots, seed 7); its result fingerprint is pinned so the
+bench doubles as a correctness gate -- a speedup that changes the
+trajectory bit stream fails here before it reaches the figures.
+
+Writes ``benchmarks/results/BENCH_slot_pipeline.json`` next to the text
+table.  The committed JSON also carries the pre-PR baseline measured on
+the same machine and session (an identical timing loop against a
+worktree at the parent commit), so the recorded speedup compares like
+with like; re-measure the baseline before trusting the ratio on new
+hardware.
+
+Run directly (``python benchmarks/bench_slot_pipeline.py [--smoke]``)
+or via pytest (``pytest benchmarks/bench_slot_pipeline.py``).  The
+``--smoke`` mode is the CI job: a tiny horizon, no timing assertions,
+just proof that every fast path actually engaged (compiled states
+bit-equal to per-slot states, warm-start hits, P2-B solves) on the
+runner.
+"""
+
+from __future__ import annotations
+
+import argparse
+import hashlib
+import json
+import platform
+import sys
+import time
+from pathlib import Path
+
+import numpy as np
+
+sys.path.insert(0, str(Path(__file__).parent))
+
+from _common import RESULTS_DIR, emit  # noqa: E402
+
+JSON_PATH = RESULTS_DIR / "BENCH_slot_pipeline.json"
+SMOKE_JSON_PATH = RESULTS_DIR / "BENCH_slot_pipeline_smoke.json"
+
+#: Paper-scale medium preset must reproduce this exact trajectory
+#: stream (sha256 over latency/cost/theta/backlog/price); pinned when
+#: the compiled pipeline landed, bit-identical to the per-slot path.
+MEDIUM_FINGERPRINT = (
+    "21d380f5230daf38751e1c04951c28466fde49023e1f3986efd1c8e59a801e04"
+)
+
+#: Pre-PR throughput of the medium preset, best of 5, measured in the
+#: same session on the same machine from a worktree at the parent
+#: commit (ab8a27d) with this timing loop.  Machine-specific: re-measure
+#: when comparing on different hardware.
+BASELINE = {
+    "commit": "ab8a27d",
+    "preset": "medium",
+    "slots_per_sec": 89.41,
+    "note": "same-session, same-machine, best of 5",
+}
+
+PRESETS = {
+    "small": {"seed": 11, "horizon": 120, "devices": 30},
+    # Paper defaults: I=40, K=6, N=16.
+    "medium": {"seed": 7, "horizon": 240, "devices": None},
+    "large": {"seed": 13, "horizon": 60, "devices": 120},
+}
+
+
+def _fingerprint(result) -> str:
+    digest = hashlib.sha256()
+    for arr in (
+        result.latency,
+        result.cost,
+        result.theta,
+        result.backlog,
+        result.price,
+    ):
+        digest.update(np.ascontiguousarray(arr, dtype=np.float64).tobytes())
+    return digest.hexdigest()
+
+
+def _run_preset(name: str, *, repeats: int) -> dict:
+    from repro.api import run
+    from repro.obs.probe import Probe
+
+    preset = PRESETS[name]
+    kwargs: dict = {"seed": preset["seed"], "horizon": preset["horizon"]}
+    if preset["devices"] is not None:
+        import repro
+
+        kwargs["scenario_config"] = repro.ScenarioConfig(
+            num_devices=preset["devices"]
+        )
+
+    seconds = []
+    fingerprint = None
+    for _ in range(repeats):
+        started = time.perf_counter()
+        result = run(controller="dpp", **kwargs)
+        seconds.append(time.perf_counter() - started)
+        fp = _fingerprint(result)
+        if fingerprint is None:
+            fingerprint = fp
+        elif fp != fingerprint:
+            raise AssertionError(f"{name}: nondeterministic trajectories")
+
+    # One traced (untimed) run for counters and the phase profile.
+    probe = Probe()
+    run(controller="dpp", tracer=probe, **kwargs)
+    counters = {k: v for k, v in sorted(probe.phases.counters.items())}
+
+    best = min(seconds)
+    return {
+        "preset": name,
+        "seed": preset["seed"],
+        "horizon": preset["horizon"],
+        "devices": preset["devices"] or 40,
+        "repeats": repeats,
+        "best_seconds": best,
+        "slots_per_sec": preset["horizon"] / best,
+        "fingerprint": fingerprint,
+        "counters": counters,
+        "phase_table": probe.phases.table(),
+    }
+
+
+def run_pipeline_bench(*, repeats: int = 3) -> dict:
+    rows = [_run_preset(name, repeats=repeats) for name in PRESETS]
+    medium = next(r for r in rows if r["preset"] == "medium")
+    return {
+        "bench": "slot_pipeline",
+        "machine": {
+            "platform": platform.platform(),
+            "python": platform.python_version(),
+            "numpy": np.__version__,
+        },
+        "baseline": BASELINE,
+        "speedup_vs_baseline": medium["slots_per_sec"]
+        / BASELINE["slots_per_sec"],
+        "rows": rows,
+    }
+
+
+def run_smoke() -> dict:
+    """CI smoke: prove the fast paths engage; assert no timings."""
+    import repro
+    from repro.api import run
+    from repro.obs.probe import Probe
+
+    def scenario():
+        return repro.make_paper_scenario(
+            seed=5, config=repro.ScenarioConfig(num_devices=12)
+        )
+
+    probe = Probe()
+    compiled = run(
+        scenario=scenario(), controller="dpp", horizon=12, tracer=probe
+    )
+    per_slot = run(
+        scenario=scenario(), controller="dpp", horizon=12,
+        compiled_states=False,
+    )
+    if _fingerprint(compiled) != _fingerprint(per_slot):
+        raise AssertionError("compiled states diverged from per-slot states")
+
+    counters = probe.phases.counters
+    checks = {
+        "warm_start_hits": counters.get("engine.warm_start_hits", 0) > 0,
+        "p2b_solves": (
+            counters.get("p2b.scalar_solves", 0)
+            + counters.get("p2b.batch_iters", 0)
+        )
+        > 0,
+        "bdma_rounds": counters.get("bdma.rounds", 0) > 0,
+        "compiled_bit_identical": True,
+    }
+    failed = [name for name, ok in checks.items() if not ok]
+    if failed:
+        raise AssertionError(
+            f"fast paths did not engage: {failed}; counters={dict(counters)}"
+        )
+    return {
+        "bench": "slot_pipeline_smoke",
+        "checks": checks,
+        "counters": {k: v for k, v in sorted(counters.items())},
+    }
+
+
+def _table(report: dict) -> str:
+    from repro.analysis.tables import format_table
+
+    rows = [
+        [
+            r["preset"],
+            r["devices"],
+            r["horizon"],
+            r["best_seconds"],
+            r["slots_per_sec"],
+            r["counters"].get("engine.warm_start_hits", 0),
+            r["counters"].get("p2b.scalar_solves", 0)
+            + r["counters"].get("p2b.batch_iters", 0),
+        ]
+        for r in report["rows"]
+    ]
+    table = format_table(
+        ["preset", "I", "slots", "best (s)", "slots/s", "warm hits", "p2b work"],
+        rows,
+        title=(
+            "Slot pipeline end to end (compiled states + warm starts): "
+            f"medium {report['speedup_vs_baseline']:.2f}x vs pre-refactor "
+            f"baseline {report['baseline']['slots_per_sec']:.1f} slots/s"
+        ),
+    )
+    medium = next(r for r in report["rows"] if r["preset"] == "medium")
+    return table + "\n\n" + medium["phase_table"]
+
+
+def _verify(report: dict) -> None:
+    medium = next(r for r in report["rows"] if r["preset"] == "medium")
+    assert medium["fingerprint"] == MEDIUM_FINGERPRINT, (
+        "medium preset trajectories drifted: "
+        f"{medium['fingerprint']} != {MEDIUM_FINGERPRINT}"
+    )
+    assert report["speedup_vs_baseline"] >= 3.0, (
+        "slot pipeline speedup fell below the 3x gate "
+        f"({report['speedup_vs_baseline']:.2f}x); if this is new hardware, "
+        "re-measure BASELINE at the parent commit first"
+    )
+
+
+def _emit(report: dict, *, smoke: bool) -> None:
+    RESULTS_DIR.mkdir(exist_ok=True)
+    path = SMOKE_JSON_PATH if smoke else JSON_PATH
+    path.write_text(json.dumps(report, indent=2) + "\n")
+    if smoke:
+        print(json.dumps(report["checks"], indent=2))
+    else:
+        emit("slot_pipeline", _table(report))
+
+
+def bench_slot_pipeline(benchmark) -> None:
+    report = benchmark.pedantic(run_pipeline_bench, rounds=1, iterations=1)
+    _emit(report, smoke=False)
+    _verify(report)
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--smoke",
+        action="store_true",
+        help="CI smoke: tiny run asserting the fast paths engage "
+        "(no timing assertions, does not touch the committed JSON)",
+    )
+    parser.add_argument(
+        "--repeats", type=int, default=3, help="timed repeats per preset"
+    )
+    args = parser.parse_args(argv)
+    if args.smoke:
+        _emit(run_smoke(), smoke=True)
+        return 0
+    report = run_pipeline_bench(repeats=args.repeats)
+    _emit(report, smoke=False)
+    _verify(report)
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

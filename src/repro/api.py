@@ -195,6 +195,8 @@ def run(
     keep_records: bool = False,
     on_slot=None,
     warm_start_queue: bool = False,
+    compiled_states: bool = True,
+    state_chunk: int = 32,
     **controller_params: object,
 ) -> SimulationResult:
     """Run one simulation end to end and return its result.
@@ -228,6 +230,12 @@ def run(
         keep_records: Retain full per-slot records on the result.
         on_slot: Per-slot progress callback.
         warm_start_queue: Start the queue at its estimated equilibrium.
+        compiled_states: Feed the controller through the compiled state
+            pipeline
+            (:meth:`~repro.sim.scenario.Scenario.fresh_compiled_states`).
+            Bit-identical states either way; the compiled path draws
+            them in chunks.  Disable to exercise the per-slot path.
+        state_chunk: Slots per compiled chunk (with ``compiled_states``).
         **controller_params: Passed to :func:`make_controller`
             (``rng_label=``, ``fraction=``, ``iterations=``, ...).
 
@@ -269,9 +277,14 @@ def run(
             tracer=tracer,
             **controller_params,  # type: ignore[arg-type]
         )
+    states = (
+        scenario.fresh_compiled_states(horizon, chunk=state_chunk)
+        if compiled_states
+        else scenario.fresh_states(horizon)
+    )
     result = run_simulation(
         ctrl,
-        scenario.fresh_states(horizon),
+        states,
         budget=budget,
         keep_records=keep_records,
         on_slot=on_slot,

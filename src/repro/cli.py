@@ -134,9 +134,14 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
             f"{scenario.network}; budget {scenario.budget:.4f} $/slot; "
             f"solver {args.solver}; V={args.v}; horizon {args.horizon}"
         )
+    states = (
+        scenario.fresh_states(args.horizon)
+        if args.no_compiled_states
+        else scenario.fresh_compiled_states(args.horizon, chunk=args.state_chunk)
+    )
     result = repro.run_simulation(
         controller,
-        scenario.fresh_states(args.horizon),
+        states,
         budget=scenario.budget,
         tracer=probe,
     )
@@ -333,6 +338,11 @@ def build_parser() -> argparse.ArgumentParser:
                           "(implies --monitors wiring for alerts)")
     sim.add_argument("--ascii", action="store_true",
                      help="dashboard renders with 7-bit ASCII only")
+    sim.add_argument("--no-compiled-states", action="store_true",
+                     help="draw states one slot at a time instead of the "
+                          "compiled chunked pipeline (identical values)")
+    sim.add_argument("--state-chunk", type=int, default=32,
+                     help="slots per compiled state chunk")
     sim.set_defaults(handler=_cmd_simulate)
 
     exp = sub.add_parser("experiment", help="run a paper experiment")

@@ -16,9 +16,12 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Callable, Protocol
 
+import numpy as np
+
 from repro.core.cgba import solve_p2a_cgba
-from repro.core.drift_penalty import dpp_objective
-from repro.core.p2b import solve_p2b
+from repro.core.drift_penalty import energy_cost
+from repro.core.latency import optimal_total_latency
+from repro.core.p2b import _BATCH_CUTOVER, solve_p2b
 from repro.core.state import Assignment, SlotState
 from repro.exceptions import ConfigurationError
 from repro.network.connectivity import StrategySpace
@@ -54,14 +57,23 @@ def cgba_p2a_solver(
     max_iter: int = 100_000,
     engine: str = "fast",
     tracer: "Tracer | None" = None,
+    reuse_game: bool = True,
 ) -> P2ASolver:
     """The default P2-A solver: CGBA(lambda) (Algorithm 3).
 
     The returned callable accumulates the best-response engine's work
     counters across calls; BDMA drains them via ``pop_stats()`` so each
     slot's :class:`BDMAResult` reports the engine work it caused.
+
+    With ``reuse_game`` (the default), consecutive calls on the same
+    ``(network, state, space)`` triple -- BDMA's alternation rounds --
+    reuse one :class:`OffloadingCongestionGame` instead of rebuilding
+    its candidate arrays every round.  Reuse is bit-identical to fresh
+    construction (``update_frequencies`` + ``reset_profile`` reproduce
+    the constructor's arithmetic and rng consumption exactly).
     """
     accumulated = EngineStats()
+    cache: dict = {"key": None, "game": None}
 
     def solve(
         network: MECNetwork,
@@ -72,6 +84,13 @@ def cgba_p2a_solver(
         *,
         initial: Assignment | None,
     ) -> Assignment:
+        game = None
+        if reuse_game and cache["key"] is not None:
+            # Identity comparison is the point: the cache holds strong
+            # references, so matching ids mean the same live objects.
+            net0, state0, space0 = cache["key"]
+            if net0 is network and state0 is state and space0 is space:
+                game = cache["game"]
         result = solve_p2a_cgba(
             network,
             state,
@@ -83,7 +102,11 @@ def cgba_p2a_solver(
             max_iter=max_iter,
             engine=engine,
             tracer=tracer,
+            game=game,
         )
+        if reuse_game:
+            cache["key"] = (network, state, space)
+            cache["game"] = result.game
         if result.engine_stats is not None:
             accumulated.merge(result.engine_stats)
         return result.assignment
@@ -94,6 +117,11 @@ def cgba_p2a_solver(
         return stats
 
     solve.pop_stats = pop_stats  # type: ignore[attr-defined]
+    # Warm-seeded CGBA is deterministic (max_gap selection, no rng once
+    # an initial profile is given) and returns its seed at a fixed
+    # point, which is what lets BDMA's fixed-point exit replay the
+    # remaining rounds without running them.
+    solve.supports_fixed_point = True  # type: ignore[attr-defined]
     return solve
 
 
@@ -105,6 +133,10 @@ class BDMAResult:
         assignment: Best discrete selections found.
         frequencies: Best clock frequencies found (GHz).
         objective: ``f(x, y, Omega)`` of the returned decision.
+        latency: ``T_t`` of the returned decision -- the latency term
+            already evaluated while scoring the round, so callers
+            (the DPP controller) need not recompute it.
+        cost: ``C_t`` of the returned decision, likewise.
         objective_history: Objective after each of the ``z`` rounds
             (non-increasing in its running minimum by construction).
         engine_stats: Aggregated best-response-engine counters across
@@ -114,6 +146,8 @@ class BDMAResult:
     assignment: Assignment
     frequencies: FloatArray
     objective: float
+    latency: float = 0.0
+    cost: float = 0.0
     objective_history: list[float] = field(default_factory=list)
     engine_stats: EngineStats | None = None
 
@@ -131,6 +165,8 @@ def solve_p2_bdma(
     p2a_solver: P2ASolver | None = None,
     warm_start: bool = True,
     initial: Assignment | None = None,
+    initial_frequencies: FloatArray | None = None,
+    warm_brackets: bool = False,
     tracer: "Tracer | None" = None,
 ) -> BDMAResult:
     """Solve P2 by alternating P2-A and P2-B for ``z`` rounds.
@@ -153,15 +189,45 @@ def solve_p2_bdma(
         initial: Seed the *first* round's P2-A solve with this
             assignment (e.g. the previous slot's decision); only used
             when ``warm_start`` is enabled.
+        initial_frequencies: Start the alternation from these clocks
+            instead of Algorithm 2's ``Omega^L`` (e.g. the previous
+            slot's optimum).  Changes round 1's P2-A landscape, so the
+            trajectory is *not* bit-identical to the literal algorithm
+            -- it reaches an equally good alternation fixed point, just
+            along a shorter path.  Leave ``None`` for exact
+            reproducibility.
+        warm_brackets: Seed each round's P2-B golden-section search with
+            the previous round's frequencies (``bracket_hint``); the
+            optima agree with the cold search to the search tolerance
+            but not bit for bit.  Leave ``False`` for exact
+            reproducibility.  Ignored below the batch cutover fleet
+            size, where the plain scalar loop beats any bracket
+            narrowing (``bracket_hint`` is a batch-path feature).
         tracer: Observability tracer; when enabled, every round's P2-A
-            and P2-B solve runs inside ``p2a``/``p2b`` spans and a
-            ``bdma.rounds`` counter is emitted.  The default CGBA solver
-            is constructed with the same tracer so engine counters flow
-            through; externally supplied ``p2a_solver`` callables are
-            timed but not internally instrumented.
+            and P2-B solve runs inside ``p2a``/``p2b`` spans, and the
+            counters ``bdma.rounds`` (alternation rounds actually
+            executed) and ``engine.warm_start_hits`` (rounds whose
+            warm-seeded P2-A solve returned its seed, counting replayed
+            rounds) are emitted.  The default CGBA solver is constructed
+            with the same tracer so engine counters flow through;
+            externally supplied ``p2a_solver`` callables are timed but
+            not internally instrumented.
 
     Returns:
         The best decision by P2 objective across all rounds.
+
+    Notes:
+        **Fixed-point exit (bit-exact, always on when eligible).**  When
+        ``warm_start`` is enabled and the solver advertises
+        ``supports_fixed_point`` (the default CGBA solver does), a round
+        whose P2-A solve returns its own seed ends the alternation
+        early: P2-B depends only on the assignment, so it would return
+        last round's frequencies bit for bit, the objective would
+        repeat, and the next warm-seeded P2-A solve -- deterministic,
+        consuming no randomness -- would return the same assignment
+        again.  Every remaining round is therefore an exact replay; the
+        returned decision and ``objective_history`` are bit-identical to
+        running all ``z`` rounds, only the engine work counters shrink.
     """
     if z < 1:
         raise ConfigurationError(f"z must be a positive integer, got {z}")
@@ -177,14 +243,27 @@ def solve_p2_bdma(
     if callable(pop_stats):
         pop_stats()  # discard counters accumulated by earlier callers
 
-    frequencies = network.freq_min.copy()  # Omega^L (Algorithm 2, line 1)
+    if initial_frequencies is None:
+        frequencies = network.freq_min.copy()  # Omega^L (Algorithm 2, line 1)
+        hint_ready = False
+    else:
+        frequencies = np.asarray(initial_frequencies, dtype=np.float64).copy()
+        hint_ready = True  # a carried-over optimum is a meaningful hint
     best_objective = float("inf")
     best_assignment: Assignment | None = None
     best_frequencies = frequencies.copy()
+    best_latency = 0.0
+    best_cost = 0.0
     history: list[float] = []
     previous: Assignment | None = initial
+    fixed_point_capable = warm_start and getattr(
+        solver, "supports_fixed_point", False
+    )
+    warm_hits = 0
+    rounds_run = 0
+    use_hints = warm_brackets and network.num_servers >= _BATCH_CUTOVER
 
-    for _ in range(z):
+    for round_idx in range(z):
         with tracer.span("p2a"):
             assignment = solver(
                 network,
@@ -194,6 +273,23 @@ def solve_p2_bdma(
                 rng,
                 initial=previous if warm_start else None,
             )
+        rounds_run += 1
+        if (
+            warm_start
+            and previous is not None
+            and np.array_equal(assignment.bs_of, previous.bs_of)
+            and np.array_equal(assignment.server_of, previous.server_of)
+        ):
+            warm_hits += 1
+            if fixed_point_capable and round_idx > 0:
+                # Alternation fixed point: ``frequencies`` already holds
+                # P2-B of this very assignment (computed last round), so
+                # this round and every later one replay bit for bit --
+                # see the fixed-point note in the docstring.
+                remaining = z - round_idx
+                warm_hits += remaining - 1
+                history.extend([history[-1]] * remaining)
+                break
         with tracer.span("p2b"):
             frequencies = solve_p2b(
                 network,
@@ -201,31 +297,41 @@ def solve_p2_bdma(
                 assignment,
                 queue_backlog=queue_backlog,
                 v=v,
+                bracket_hint=frequencies if (use_hints and hint_ready) else None,
                 tracer=tracer,
             )
-        objective = dpp_objective(
+        hint_ready = True
+        # dpp_objective's arithmetic, with the latency and cost terms
+        # kept so the winning round's values ride along in the result
+        # (the controller reports both; recomputing them per slot would
+        # double the work for identical floats).
+        latency = optimal_total_latency(network, state, assignment, frequencies)
+        cost = energy_cost(
             network,
-            state,
-            assignment,
             frequencies,
-            queue_backlog=queue_backlog,
-            v=v,
-            budget=budget,
+            state.price,
+            available=state.available_servers,
         )
+        objective = v * latency + queue_backlog * (cost - budget)
         history.append(objective)
         if objective < best_objective:
             best_objective = objective
             best_assignment = assignment
             best_frequencies = frequencies.copy()
+            best_latency = latency
+            best_cost = cost
         previous = assignment
 
     if tracer.enabled:
-        tracer.counter("bdma.rounds", z)
+        tracer.counter("bdma.rounds", rounds_run)
+        tracer.counter("engine.warm_start_hits", warm_hits)
     assert best_assignment is not None
     return BDMAResult(
         assignment=best_assignment,
         frequencies=best_frequencies,
         objective=best_objective,
+        latency=best_latency,
+        cost=best_cost,
         objective_history=history,
         engine_stats=pop_stats() if callable(pop_stats) else None,
     )

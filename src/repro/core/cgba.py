@@ -53,6 +53,10 @@ class CGBAResult:
         cost_history: Total latency after every move, when recorded.
         engine_stats: Work counters of the best-response engine (moves,
             gap recomputations, candidate evaluations, per-phase times).
+        game: The congestion game the run was played on.  Callers that
+            solve P2-A repeatedly on the same slot (BDMA's alternation
+            rounds) pass it back via ``solve_p2a_cgba(..., game=...)``
+            to skip rebuilding the candidate arrays.
     """
 
     assignment: Assignment
@@ -61,6 +65,7 @@ class CGBAResult:
     converged: bool
     cost_history: list[float] = field(default_factory=list)
     engine_stats: EngineStats | None = None
+    game: OffloadingCongestionGame | None = None
 
 
 def solve_p2a_cgba(
@@ -76,6 +81,7 @@ def solve_p2a_cgba(
     record_history: bool = False,
     engine: str = "fast",
     tracer: "Tracer | None" = None,
+    game: OffloadingCongestionGame | None = None,
 ) -> CGBAResult:
     """Solve P2-A with CGBA(lambda).
 
@@ -97,6 +103,12 @@ def solve_p2a_cgba(
             run is wrapped in a ``cgba`` span and the engine's work
             counters (moves, sweeps, gap recomputations, candidate
             evaluations) are emitted as ``engine.*`` counters.
+        game: A game from an earlier run on the *same* ``(network,
+            state, space)`` triple to reuse.  Its frequencies are
+            re-fixed and the profile re-seeded exactly as a fresh
+            constructor would (same load bincounts, same rng
+            consumption), so results are bit-identical either way; only
+            the candidate-array construction is saved.
 
     Returns:
         A :class:`CGBAResult`; ``total_latency`` equals
@@ -106,9 +118,13 @@ def solve_p2a_cgba(
     if engine not in ("fast", "reference"):
         raise ValueError(f"unknown engine: {engine!r}")
     tracer = as_tracer(tracer)
-    game = OffloadingCongestionGame(
-        network, state, space, frequencies, initial=initial, rng=rng
-    )
+    if game is None:
+        game = OffloadingCongestionGame(
+            network, state, space, frequencies, initial=initial, rng=rng
+        )
+    else:
+        game.update_frequencies(frequencies)
+        game.reset_profile(initial, rng=rng)
     dynamics = (
         fast_best_response_dynamics if engine == "fast" else best_response_dynamics
     )
@@ -133,4 +149,5 @@ def solve_p2a_cgba(
         converged=outcome.converged,
         cost_history=outcome.cost_history,
         engine_stats=outcome.stats,
+        game=game,
     )

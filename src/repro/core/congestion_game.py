@@ -89,26 +89,57 @@ class OffloadingCongestionGame(FiniteGame):
             bs_of, server_of = initial.bs_of.copy(), initial.server_of.copy()
         self._bs_of = np.asarray(bs_of, dtype=np.int64)
         self._server_of = np.asarray(server_of, dtype=np.int64)
+        self._devices = np.arange(self._bs_of.size)
 
         # Flattened candidate arrays for the vectorized engine, built
         # lazily on the first batch evaluation.
         self._cand_ready = False
+        # Decomposed (product-form) evaluator state, built lazily; see
+        # _ensure_decomposed.  The structure check is cheap and eager so
+        # the engine can pick its refresh strategy up front.
+        self._dc_ready = False
+        menu_sizes = np.array(
+            [menu.size for menu in space.server_menu()], dtype=np.int64
+        )
+        self.supports_lazy_gaps = bool(
+            np.array_equal(
+                space.coverage.astype(np.int64) @ menu_sizes,
+                space.flat().counts,
+            )
+        )
+        #: The decomposed evaluator always refreshes every player (a full
+        #: pass is cheaper than subset gathers at its granularity), so
+        #: the engine should skip dirty-player tracking entirely.
+        self.prefers_full_refresh = True
 
-        # Resource loads p_r(z) and squared-weight sums (for the potential).
-        devices = np.arange(self.num_players)
-        pa = self._p_access[devices, self._bs_of]
-        pc = self._p_compute[devices, self._server_of]
+        # Resource loads p_r(z) live in one contiguous buffer
+        # [access | fronthaul | compute] so the batch evaluator can
+        # gather all three resource loads of every candidate in a single
+        # np.take; the per-resource names are views into it.
+        num_bs = network.num_base_stations
+        num_srv = network.num_servers
+        self._loads = np.empty(2 * num_bs + num_srv)
+        self._load_access = self._loads[:num_bs]
+        self._load_front = self._loads[num_bs : 2 * num_bs]
+        self._load_compute = self._loads[2 * num_bs :]
+        self._init_profile()
+
+    def _init_profile(self) -> None:
+        """(Re)build loads and per-player caches from the profile arrays."""
+        network = self.network
+        pa = self._p_access[self._devices, self._bs_of]
+        pc = self._p_compute[self._devices, self._server_of]
         # Current-strategy weights per player, kept in sync by move();
         # the batch evaluator reads these instead of re-gathering 2-D.
         self._pa_cur = pa.copy()
         self._pc_cur = pc.copy()
-        self._load_access = np.bincount(
+        self._load_access[:] = np.bincount(
             self._bs_of, weights=pa, minlength=network.num_base_stations
         )
-        self._load_front = np.bincount(
+        self._load_front[:] = np.bincount(
             self._bs_of, weights=self._p_front, minlength=network.num_base_stations
         )
-        self._load_compute = np.bincount(
+        self._load_compute[:] = np.bincount(
             self._server_of, weights=pc, minlength=network.num_servers
         )
         self._sq_access = np.bincount(
@@ -128,6 +159,70 @@ class OffloadingCongestionGame(FiniteGame):
                 f"initial assignment is infeasible: device {bad} selected a "
                 f"base station with zero spectral efficiency this slot"
             )
+        if self._dc_ready:
+            self._dc_reset_profile_caches()
+
+    def _dc_reset_profile_caches(self) -> None:
+        """Rebuild the decomposed evaluator's per-profile arrays."""
+        num_bs = self.network.num_base_stations
+        rows = self._devices
+        sub = self._dc_sub
+        sub[:] = 0.0
+        sub[rows, self._bs_of] = self._pa_cur
+        sub[rows, num_bs + self._bs_of] = self._p_front
+        sub[rows, 2 * num_bs + self._server_of] = self._pc_cur
+        wcur = self._dc_wcur
+        wcur[0] = self._m_access[self._bs_of] * self._pa_cur
+        wcur[1] = self._m_front[self._bs_of] * self._p_front
+        wcur[2] = self._m_compute[self._server_of] * self._pc_cur
+        cur_idx = self._dc_cur_idx
+        cur_idx[0] = self._bs_of
+        np.add(self._bs_of, num_bs, out=cur_idx[1])
+        np.add(self._server_of, 2 * num_bs, out=cur_idx[2])
+
+    def reset_profile(
+        self, initial: Assignment | None = None, *, rng: Rng | None = None
+    ) -> None:
+        """Re-seed the strategy profile exactly as the constructor would.
+
+        With the state, space, and frequencies unchanged, a reset game is
+        indistinguishable from a freshly constructed one (same load
+        bincounts, same rng consumption when *initial* is omitted), so
+        BDMA can reuse one game across alternation rounds instead of
+        rebuilding the candidate arrays every round.
+        """
+        if initial is None:
+            if rng is None:
+                raise ConfigurationError("either initial or rng must be provided")
+            bs_of, server_of = self.space.random_assignment(rng)
+        else:
+            bs_of, server_of = initial.bs_of.copy(), initial.server_of.copy()
+        self._bs_of = np.asarray(bs_of, dtype=np.int64)
+        self._server_of = np.asarray(server_of, dtype=np.int64)
+        self._init_profile()
+
+    def update_frequencies(self, frequencies: FloatArray) -> None:
+        """Re-fix the server clocks ``Omega`` without rebuilding the game.
+
+        Only the compute resource weights depend on the frequencies;
+        everything else (player weights, candidate index arrays) is a
+        function of the state and the strategy space alone.
+        """
+        frequencies = np.asarray(frequencies, dtype=np.float64)
+        if frequencies.size != self.network.num_servers:
+            raise ConfigurationError("one frequency per server is required")
+        self._m_compute = 1.0 / self.network.speeds(frequencies)
+        if self._cand_ready:
+            flat = self.space.flat()
+            np.multiply(
+                self._m_compute[flat.server], self._cand_pc, out=self._cand_w[2]
+            )
+        if self._dc_ready:
+            num_bs = self.network.num_base_stations
+            np.multiply(
+                self._m_compute, self._p_compute, out=self._dc_w[:, 2 * num_bs :]
+            )
+            self._dc_wcur[2] = self._m_compute[self._server_of] * self._pc_cur
 
     # -- FiniteGame interface ----------------------------------------------
 
@@ -192,13 +287,104 @@ class OffloadingCongestionGame(FiniteGame):
             return
         flat = self.space.flat()
         fb, fs, fp = flat.bs, flat.server, flat.player
-        self._cand_pa = self._p_access[fp, fb]
-        self._cand_pf = self._p_front[fp]
-        self._cand_pc = self._p_compute[fp, fs]
-        self._cand_wa = self._m_access[fb] * self._cand_pa
-        self._cand_wf = self._m_front[fb] * self._cand_pf
-        self._cand_wc = self._m_compute[fs] * self._cand_pc
+        size = flat.num_candidates
+        # Row-stacked (3, C) layout: one fused numpy op per refresh
+        # touches the access, fronthaul, and compute terms of every
+        # candidate at once.  The per-resource names below are row views.
+        self._cand_p = np.empty((3, size))
+        self._cand_p[0] = self._p_access[fp, fb]
+        self._cand_p[1] = self._p_front[fp]
+        self._cand_p[2] = self._p_compute[fp, fs]
+        self._cand_pa, self._cand_pf, self._cand_pc = self._cand_p
+        self._cand_w = np.empty((3, size))
+        np.multiply(self._m_access[fb], self._cand_pa, out=self._cand_w[0])
+        np.multiply(self._m_front[fb], self._cand_pf, out=self._cand_w[1])
+        np.multiply(self._m_compute[fs], self._cand_pc, out=self._cand_w[2])
+        self._cand_wa, self._cand_wf, self._cand_wc = self._cand_w
         self._cand_ready = True
+
+    def _ensure_decomposed(self) -> None:
+        """Precompute the product-form (decomposed) evaluator state.
+
+        The strategy space is, by construction, a product set per covered
+        base station: device ``i`` may pick any ``(k, n)`` with ``k``
+        covering ``i`` and ``n`` on base station ``k``'s server menu,
+        and the menu does not depend on ``i``.  A candidate's cost
+        splits as ``cost(i, k, n) = A(i, k) + B(i, n)`` (access +
+        fronthaul terms vs. the compute term), so the per-player minimum
+        is ``min_k [A(i, k) + min_{n in menu(k)} B(i, n)]`` -- an
+        ``O(I (K + N))`` pass instead of ``O(C)`` over the flattened
+        candidates, with one server argmin per *distinct* menu.
+
+        Bit-exactness: every array below is filled with the same
+        pairwise products the flat evaluator uses, the per-entry
+        adjustment runs the same ufunc sequence, and strictness of the
+        split (``B >= Bmin`` with equality only at the argmin) makes the
+        two-stage first-minimum tie break coincide with ``np.argmin``
+        over the flat candidate enumeration.
+        """
+        if self._dc_ready:
+            return
+        network = self.network
+        num_bs = network.num_base_stations
+        num_srv = network.num_servers
+        players = self.num_players
+        width = 2 * num_bs + num_srv
+
+        menu_of_bs, menus = self.space.product_patterns()
+        self._dc_menu_of_bs = menu_of_bs
+        self._dc_menus = menus
+        # A contiguous menu (the paper topology's two 8-server halves)
+        # indexes the compute block with a slice -- a view, sparing the
+        # fancy-index gather copy; the argmin over the strided view
+        # reads the same memory with the same first-minimum tie break.
+        self._dc_cols = [
+            slice(2 * num_bs + int(menu[0]), 2 * num_bs + int(menu[-1]) + 1)
+            if np.array_equal(menu, np.arange(menu[0], menu[-1] + 1))
+            else 2 * num_bs + menu
+            for menu in menus
+        ]
+
+        # Static per-entry weights, fused [access | fronthaul | compute]
+        # like the loads buffer so the adjustment is four ufunc calls.
+        self._dc_p = np.empty((players, width))
+        self._dc_p[:, :num_bs] = self._p_access
+        self._dc_p[:, num_bs : 2 * num_bs] = self._p_front[:, None]
+        self._dc_p[:, 2 * num_bs :] = self._p_compute
+        self._dc_w = np.empty((players, width))
+        np.multiply(self._m_access, self._p_access, out=self._dc_w[:, :num_bs])
+        np.multiply(
+            self._m_front,
+            self._p_front[:, None],
+            out=self._dc_w[:, num_bs : 2 * num_bs],
+        )
+        np.multiply(self._m_compute, self._p_compute, out=self._dc_w[:, 2 * num_bs :])
+
+        # Per-profile caches: each player's own weight on its three
+        # current resources (zero elsewhere), its current-cost weights
+        # m_r * p_{i,r}, and its current resources as indices into the
+        # fused loads buffer; all maintained incrementally by move().
+        self._dc_sub = np.zeros((players, width))
+        self._dc_wcur = np.empty((3, players))
+        self._dc_cur_idx = np.empty((3, players), dtype=np.int64)
+
+        # Work buffers reused by every refresh.
+        self._dc_adj = np.empty((players, width))
+        self._dc_t = np.empty((players, num_bs))
+        self._dc_bk = np.empty((players, num_bs))
+        # Column len(menus) stays +inf: base stations with an empty
+        # server menu contribute no candidates, so their total is never
+        # the minimum.
+        self._dc_bvals = np.full((players, len(menus) + 1), np.inf)
+        self._dc_nidx = np.empty((len(menus), players), dtype=np.int64)
+        self._dc_kbest = np.zeros(players, dtype=np.int64)
+        self._dc_rows = self._devices
+        self._dc_cc = np.empty(players)
+        self._dc_cc3 = np.empty((3, players))
+        self._dc_num_bs = num_bs
+
+        self._dc_ready = True
+        self._dc_reset_profile_caches()
 
     def candidate_count(self, players: np.ndarray | None = None) -> int:
         """Total candidate pairs of *players* (all players when ``None``)."""
@@ -290,6 +476,76 @@ class OffloadingCongestionGame(FiniteGame):
         )
         return best_bs, best_server, best_cost, current_cost
 
+    def batch_gap_costs(
+        self, players: np.ndarray | None = None
+    ) -> tuple[FloatArray, FloatArray]:
+        """``(best_cost, current_cost)`` per player, best strategies deferred.
+
+        Product-form evaluation (see :meth:`_ensure_decomposed`): one
+        fused adjustment pass over the ``(I, 2K + N)`` per-entry costs,
+        one server argmin per distinct menu, and one base-station argmin
+        -- numerically identical to :meth:`batch_best_responses` (same
+        IEEE expression tree, same first-minimum tie break).  The full
+        gap vector is always recomputed (it is cheaper than any subset
+        gather at this granularity); when *players* is given only their
+        entries are returned.  The per-player argmins are retained so
+        the engine can resolve the selected mover's best strategy lazily
+        via :meth:`best_strategy_for`.
+        """
+        self._ensure_decomposed()
+        num_bs = self._dc_num_bs
+        rows = self._dc_rows
+        # adj[i, r] = (load_r - own weight if i sits on r + p_{i,r}) * w_{i,r};
+        # subtracting the zero entries of the maintained own-weight array
+        # is a bitwise no-op, so no mask is needed.
+        adj = self._dc_adj
+        np.subtract(self._loads, self._dc_sub, out=adj)
+        np.add(adj, self._dc_p, out=adj)
+        np.multiply(adj, self._dc_w, out=adj)
+        # A(i, k): access + fronthaul; B(i, n): compute.
+        t = self._dc_t
+        np.add(adj[:, :num_bs], adj[:, num_bs : 2 * num_bs], out=t)
+        bvals = self._dc_bvals
+        for g, cols in enumerate(self._dc_cols):
+            sub = adj[:, cols]
+            nidx = sub.argmin(axis=1)
+            self._dc_nidx[g] = nidx
+            bvals[:, g] = sub[rows, nidx]
+        bvals.take(self._dc_menu_of_bs, axis=1, out=self._dc_bk)
+        np.add(t, self._dc_bk, out=t)
+        kbest = t.argmin(axis=1)
+        self._dc_kbest = kbest
+        best_cost = t[rows, kbest]
+
+        # current_cost via one fused gather: row j of cc3 is
+        # wcur[j] * loads[current resource j], so the axis-0 sum is the
+        # same (access + fronthaul) + compute addition order as the
+        # scalar expression.  The result lives in a buffer reused by the
+        # next refresh (callers consume it immediately, as the engine
+        # does).
+        cc3 = self._dc_cc3
+        self._loads.take(self._dc_cur_idx, out=cc3)
+        np.multiply(self._dc_wcur, cc3, out=cc3)
+        cc = self._dc_cc
+        np.add.reduce(cc3, axis=0, out=cc)
+        current_cost = cc
+        if players is None:
+            return best_cost, current_cost
+        players = np.asarray(players, dtype=np.int64)
+        return best_cost[players], current_cost[players]
+
+    def best_strategy_for(self, player: int) -> tuple[int, int]:
+        """The best response of *player* from the last gap refresh.
+
+        Resolved from the retained decomposed argmins: the best base
+        station, then the best server on that base station's menu --
+        the same first-minimum pair :meth:`batch_best_responses` returns.
+        """
+        k = int(self._dc_kbest[player])
+        g = int(self._dc_menu_of_bs[k])
+        n = int(self._dc_menus[g][self._dc_nidx[g, player]])
+        return k, n
+
     def affected_players(
         self, old: tuple[int, int], new: tuple[int, int]
     ) -> np.ndarray:
@@ -308,7 +564,17 @@ class OffloadingCongestionGame(FiniteGame):
         parts.append(self.space.players_touching_server(n_old))
         if n_new != n_old:
             parts.append(self.space.players_touching_server(n_new))
-        return np.unique(np.concatenate(parts))
+        num_players = self.num_players
+        for part in parts:
+            # Any single resource touched by everyone already decides it.
+            if part.size == num_players:
+                return part
+        if len(parts) == 1:
+            return parts[0]
+        mask = np.zeros(num_players, dtype=bool)
+        for part in parts:
+            mask[part] = True
+        return np.flatnonzero(mask)
 
     def move(self, player: int, strategy: tuple[int, int]) -> None:
         k_new, n_new = strategy
@@ -339,6 +605,24 @@ class OffloadingCongestionGame(FiniteGame):
         self._server_of[player] = n_new
         self._pa_cur[player] = pa_new
         self._pc_cur[player] = pc_new
+
+        if self._dc_ready:
+            num_bs = self._dc_num_bs
+            sub = self._dc_sub
+            sub[player, k_old] = 0.0
+            sub[player, num_bs + k_old] = 0.0
+            sub[player, 2 * num_bs + n_old] = 0.0
+            sub[player, k_new] = pa_new
+            sub[player, num_bs + k_new] = pf
+            sub[player, 2 * num_bs + n_new] = pc_new
+            wcur = self._dc_wcur
+            wcur[0, player] = self._m_access[k_new] * pa_new
+            wcur[1, player] = self._m_front[k_new] * pf
+            wcur[2, player] = self._m_compute[n_new] * pc_new
+            cur_idx = self._dc_cur_idx
+            cur_idx[0, player] = k_new
+            cur_idx[1, player] = num_bs + k_new
+            cur_idx[2, player] = 2 * num_bs + n_new
 
     def total_cost(self) -> float:
         """``sum_r m_r p_r(z)^2`` -- equals ``T_t(x, y, Omega)`` of Eq. (20)."""

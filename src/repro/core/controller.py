@@ -18,8 +18,6 @@ import numpy as np
 from repro.core.allocation import optimal_allocation
 from repro.core.bdma import P2ASolver, solve_p2_bdma
 from repro.core.budget import BudgetSchedule, as_schedule
-from repro.core.drift_penalty import energy_cost
-from repro.core.latency import optimal_total_latency
 from repro.core.state import Assignment, Decision, ResourceAllocation, SlotState
 from repro.core.virtual_queue import VirtualQueue
 from repro.exceptions import ConfigurationError
@@ -187,6 +185,15 @@ class DPPController(OnlineController):
             slot's assignment.  System states evolve smoothly, so the
             previous equilibrium is a near-optimal start; disable for the
             literal Algorithm 1 (fresh random profile every slot).
+        freq_carry_over: Also start each slot's BDMA alternation from
+            the previous slot's optimal clocks instead of ``Omega^L``,
+            and warm-start the P2-B bracket searches from the previous
+            round's frequencies.  Unlike ``carry_over`` (which is
+            bit-exact given the same rng draws), this changes the
+            alternation path: the per-slot decisions agree with the
+            cold start only up to the alternation's fixed point and the
+            scalar-search tolerance, not bit for bit.  Off by default;
+            enable for throughput benchmarking.
         tracer: Observability tracer (:class:`repro.obs.Probe` to
             record, ``None``/:data:`repro.obs.NULL_TRACER` to disable).
             When enabled, every step is wrapped in a ``slot`` span with
@@ -205,6 +212,7 @@ class DPPController(OnlineController):
         initial_backlog: float = 0.0,
         warm_start: bool = True,
         carry_over: bool = True,
+        freq_carry_over: bool = False,
         tracer: "Tracer | None" = None,
     ) -> None:
         if v <= 0.0:
@@ -219,12 +227,14 @@ class DPPController(OnlineController):
         self.p2a_solver = p2a_solver
         self.warm_start = bool(warm_start)
         self.carry_over = bool(carry_over)
+        self.freq_carry_over = bool(freq_carry_over)
         self.tracer = as_tracer(tracer)
         self._initial_backlog = float(initial_backlog)
         self.queue = VirtualQueue(initial_backlog, tracer=self.tracer)
         self._space: StrategySpace | None = None
         self._space_reused = False
         self._previous: Assignment | None = None
+        self._previous_freqs: FloatArray | None = None
 
     def strategy_space(self, state: SlotState) -> StrategySpace:
         """The feasible strategy sets under the slot's coverage, cached.
@@ -286,25 +296,26 @@ class DPPController(OnlineController):
                     p2a_solver=self.p2a_solver,
                     warm_start=self.warm_start,
                     initial=self._previous if self.carry_over else None,
+                    initial_frequencies=(
+                        self._previous_freqs if self.freq_carry_over else None
+                    ),
+                    warm_brackets=self.freq_carry_over,
                     tracer=tracer,
                 )
             solve_seconds = time.perf_counter() - started
             if self.carry_over:
                 self._previous = result.assignment
+            if self.freq_carry_over:
+                self._previous_freqs = result.frequencies
 
             with tracer.span("allocation"):
                 allocation = optimal_allocation(
                     self.network, state, result.assignment
                 )
-                latency = optimal_total_latency(
-                    self.network, state, result.assignment, result.frequencies
-                )
-                cost = energy_cost(
-                    self.network,
-                    result.frequencies,
-                    state.price,
-                    available=state.available_servers,
-                )
+                # BDMA scored the winning round with exactly these
+                # calls; reuse its floats instead of recomputing.
+                latency = result.latency
+                cost = result.cost
                 if tracer.enabled:
                     emit_feasibility_gauges(
                         tracer,
@@ -336,3 +347,4 @@ class DPPController(OnlineController):
         self._space = None
         self._space_reused = False
         self._previous = None
+        self._previous_freqs = None

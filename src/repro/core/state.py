@@ -85,6 +85,43 @@ class SlotState:
                 )
             object.__setattr__(self, "available_servers", avail)
 
+    @classmethod
+    def trusted(
+        cls,
+        *,
+        t: int,
+        cycles: FloatArray,
+        bits: FloatArray,
+        spectral_efficiency: FloatArray,
+        price: float,
+        fronthaul_se: FloatArray | None = None,
+        available_servers: "np.ndarray | None" = None,
+    ) -> "SlotState":
+        """Construct without per-field validation.
+
+        The compiled state pipeline
+        (:meth:`repro.sim.scenario.StateGenerator.compile_states`) draws
+        whole chunks of slots at once and validates the stacked arrays
+        in one pass, so re-running ``__post_init__``'s checks and
+        ``as_float_array`` conversions per slot would only repeat work.
+        Callers must guarantee what the normal constructor enforces:
+        contiguous float64 arrays, ``cycles``/``bits`` matching 1-D,
+        ``spectral_efficiency`` a non-negative ``(I, K)`` matrix,
+        ``price >= 0``, and -- when given -- a positive ``(K,)``
+        ``fronthaul_se`` and a boolean availability mask with at least
+        one server up.
+        """
+        state = object.__new__(cls)
+        set_ = object.__setattr__
+        set_(state, "t", t)
+        set_(state, "cycles", cycles)
+        set_(state, "bits", bits)
+        set_(state, "spectral_efficiency", spectral_efficiency)
+        set_(state, "price", price)
+        set_(state, "fronthaul_se", fronthaul_se)
+        set_(state, "available_servers", available_servers)
+        return state
+
     @property
     def num_devices(self) -> int:
         """``I``."""
@@ -226,38 +263,77 @@ def validate_decision(
     if assignment.num_devices != num_devices or state.num_devices != num_devices:
         raise ValidationError("device-count mismatch between network/state/decision")
 
-    for i in range(num_devices):
-        k = int(assignment.bs_of[i])
-        n = int(assignment.server_of[i])
-        if not 0 <= k < network.num_base_stations:
+    # Per-device checks, vectorized.  The masks reproduce the original
+    # per-device loop's report exactly: the lowest-indexed device with
+    # any violation wins, and at that device the checks apply in the
+    # loop's order (bs range, server range, coverage, availability,
+    # reachability).  Out-of-range selections are clamped to 0 for the
+    # later gathers; the clamp cannot misreport, because any clamped
+    # device already fails its range check, which is tested first.
+    bs_of = assignment.bs_of
+    server_of = assignment.server_of
+    num_bs = network.num_base_stations
+    num_servers = network.num_servers
+    bad_bs = (bs_of < 0) | (bs_of >= num_bs)
+    bad_server = (server_of < 0) | (server_of >= num_servers)
+    k_safe = np.where(bad_bs, 0, bs_of)
+    n_safe = np.where(bad_server, 0, server_of)
+    devices = np.arange(num_devices)
+    uncovered = state.spectral_efficiency[devices, k_safe] <= 0.0
+    if state.available_servers is None:
+        offline = np.zeros(num_devices, dtype=bool)
+    else:
+        offline = ~state.available_servers[n_safe]
+    reachable = np.zeros((num_bs, num_servers), dtype=bool)
+    for k in range(num_bs):
+        reachable[k, network.servers_reachable_from(k)] = True
+    unreachable = ~reachable[k_safe, n_safe]
+    violated = bad_bs | bad_server | uncovered | offline | unreachable
+    if violated.any():
+        i = int(np.argmax(violated))
+        k = int(bs_of[i])
+        n = int(server_of[i])
+        if bad_bs[i]:
             raise ValidationError(f"device {i}: base station {k} out of range")
-        if not 0 <= n < network.num_servers:
+        if bad_server[i]:
             raise ValidationError(f"device {i}: server {n} out of range")
-        if state.spectral_efficiency[i, k] <= 0.0:
+        if uncovered[i]:
             raise ValidationError(
                 f"device {i}: selected base station {k} does not cover it"
             )
-        if state.available_servers is not None and not state.available_servers[n]:
+        if offline[i]:
             raise ValidationError(
                 f"device {i}: selected server {n} is offline this slot"
             )
-        if n not in network.servers_reachable_from(k):
-            raise ValidationError(
-                f"device {i}: server {n} unreachable through base station {k} "
-                "(constraint (3))"
-            )
+        raise ValidationError(
+            f"device {i}: server {n} unreachable through base station {k} "
+            "(constraint (3))"
+        )
 
     # Capacity constraints (4)-(6): shares on each resource sum to <= 1.
-    for k in range(network.num_base_stations):
-        members = assignment.devices_on_bs(k)
-        if np.sum(allocation.access_share[members]) > 1.0 + atol:
+    # One bincount per resource kind replaces the per-resource member
+    # scans; the first offending resource in the original loop order
+    # (base stations ascending with access before fronthaul, then
+    # servers) is reported.
+    access_sums = np.bincount(
+        bs_of, weights=allocation.access_share, minlength=num_bs
+    )
+    fronthaul_sums = np.bincount(
+        bs_of, weights=allocation.fronthaul_share, minlength=num_bs
+    )
+    limit = 1.0 + atol
+    bs_over = (access_sums > limit) | (fronthaul_sums > limit)
+    if bs_over.any():
+        k = int(np.argmax(bs_over))
+        if access_sums[k] > limit:
             raise ValidationError(f"base station {k}: access shares exceed 1")
-        if np.sum(allocation.fronthaul_share[members]) > 1.0 + atol:
-            raise ValidationError(f"base station {k}: fronthaul shares exceed 1")
-    for n in range(network.num_servers):
-        members = assignment.devices_on_server(n)
-        if np.sum(allocation.compute_share[members]) > 1.0 + atol:
-            raise ValidationError(f"server {n}: compute shares exceed 1")
+        raise ValidationError(f"base station {k}: fronthaul shares exceed 1")
+    compute_sums = np.bincount(
+        server_of, weights=allocation.compute_share, minlength=num_servers
+    )
+    if np.any(compute_sums > limit):
+        n = int(np.argmax(compute_sums > limit))
+        raise ValidationError(f"server {n}: compute shares exceed 1")
 
     freqs = decision.frequencies
     if freqs.size != network.num_servers:

@@ -135,6 +135,8 @@ class StrategySpace:
         self._flat: FlatStrategies | None = None
         self._players_by_bs: list[IntArray] | None = None
         self._players_by_server: list[IntArray] | None = None
+        self._menus: list[IntArray] | None = None
+        self._patterns: tuple[IntArray, list[IntArray]] | None = None
 
     @property
     def num_devices(self) -> int:
@@ -187,6 +189,58 @@ class StrategySpace:
             self._build_inverted_index()
         assert self._players_by_server is not None
         return self._players_by_server[server]
+
+    def server_menu(self) -> list[IntArray]:
+        """Per-base-station candidate server list, in enumeration order.
+
+        Entry ``k`` holds exactly the servers a device covered by ``k``
+        may pair with -- ``servers_reachable_from(k)`` filtered by the
+        availability mask, in the same order the constructor enumerated
+        them.  The menus are player-independent by construction, which is
+        what makes the space a product set per covered base station.
+        """
+        if self._menus is None:
+            menus: list[IntArray] = []
+            for k in range(self.network.num_base_stations):
+                servers = [
+                    int(n)
+                    for n in self.network.servers_reachable_from(k)
+                    if (
+                        self.available_servers is None
+                        or self.available_servers[int(n)]
+                    )
+                ]
+                menus.append(np.array(servers, dtype=np.int64))
+            self._menus = menus
+        return self._menus
+
+    def product_patterns(self) -> tuple[IntArray, list[IntArray]]:
+        """Distinct server menus and the base-station -> menu mapping.
+
+        Returns ``(menu_of_bs, menus)``: ``menus`` lists the distinct
+        per-BS server menus (each an ordered server index array) and
+        ``menu_of_bs[k]`` indexes the menu of base station ``k``, with
+        ``len(menus)`` standing in for an empty menu (no usable server).
+        The decomposed best-response evaluator minimises over servers
+        once per distinct menu instead of once per candidate.
+        """
+        if self._patterns is None:
+            menus = self.server_menu()
+            distinct: list[IntArray] = []
+            seen: dict[bytes, int] = {}
+            menu_of_bs = np.empty(len(menus), dtype=np.int64)
+            for k, menu in enumerate(menus):
+                if menu.size == 0:
+                    menu_of_bs[k] = -1
+                    continue
+                key = menu.tobytes()
+                if key not in seen:
+                    seen[key] = len(distinct)
+                    distinct.append(menu)
+                menu_of_bs[k] = seen[key]
+            menu_of_bs[menu_of_bs < 0] = len(distinct)
+            self._patterns = (menu_of_bs, distinct)
+        return self._patterns
 
     def pairs(self, device: int) -> tuple[IntArray, IntArray]:
         """Feasible strategies of *device* as parallel (bs, server) arrays."""

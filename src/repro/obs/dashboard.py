@@ -158,9 +158,21 @@ class Dashboard:
         lines.append(row("cost", self._cost))
         lines.append(row("price", self._price))
         if self._counters:
-            shown = sorted(self._counters)[:6]
+            # Engine-panel counters in a curated order (the warm-start
+            # and batched-P2-B counters tell the perf story), then any
+            # remaining counters alphabetically, capped.
+            preferred = (
+                "engine.sweeps",
+                "engine.moves",
+                "engine.warm_start_hits",
+                "p2b.scalar_solves",
+                "p2b.batch_iters",
+                "p2b.fastpath",
+            )
+            shown = [name for name in preferred if name in self._counters]
+            shown += [n for n in sorted(self._counters) if n not in preferred]
             parts = " ".join(
-                f"{name}={self._counters[name]:.0f}" for name in shown
+                f"{name}={self._counters[name]:.0f}" for name in shown[:8]
             )
             lines.append(f"{'engine':<8} {parts}")
         if self._alert_count:

@@ -167,6 +167,24 @@ class Trace:
         metrics = self.metrics()
         for name in sorted(m for m in metrics if not m.startswith("counter/")):
             lines.append(f"{name:<20} : {metrics[name]:.6g}")
+        # Engine work counters, called out by name so warm-start and
+        # batched-P2-B effectiveness is visible without reading the
+        # full phase table.
+        engine_counters = (
+            "engine.sweeps",
+            "engine.moves",
+            "engine.warm_start_hits",
+            "p2b.scalar_solves",
+            "p2b.batch_iters",
+            "p2b.fastpath",
+        )
+        present = [
+            f"{name.split('.', 1)[1]}={self.counters[name]:.0f}"
+            for name in engine_counters
+            if name in self.counters
+        ]
+        if present:
+            lines.append(f"engine   : {' '.join(present)}")
         for alert in self.alerts:
             lines.append(
                 f"alert    : [{alert.get('severity')}] "

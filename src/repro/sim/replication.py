@@ -185,10 +185,36 @@ def execute_replication(
     :class:`~repro.obs.Probe` and ships the aggregated phase state back
     in the outcome (tracers themselves never cross process boundaries).
     """
-    from repro.api import make_controller
-
     spec, seed = args[0], args[1]
     trace_phases = bool(args[2]) if len(args) > 2 else False
+    return _run_one(spec, seed, trace_phases)
+
+
+#: Per-worker replication context installed once by :func:`_init_worker`,
+#: so :func:`run_replications` ships the spec with each worker process
+#: instead of pickling it into every seed's job tuple.
+_WORKER_CONTEXT: "tuple[ReplicationSpec, bool] | None" = None
+
+
+def _init_worker(spec: ReplicationSpec, trace_phases: bool) -> None:
+    """Pool initializer: pin the spec in the worker process."""
+    global _WORKER_CONTEXT
+    _WORKER_CONTEXT = (spec, trace_phases)
+
+
+def _execute_seed(seed: int) -> ReplicationOutcome:
+    """Worker entry point: run one seed against the pinned spec."""
+    assert _WORKER_CONTEXT is not None, "worker pool was not initialised"
+    spec, trace_phases = _WORKER_CONTEXT
+    return _run_one(spec, seed, trace_phases)
+
+
+def _run_one(
+    spec: ReplicationSpec, seed: int, trace_phases: bool
+) -> ReplicationOutcome:
+    """Run one seed of a spec and condense its outcome."""
+    from repro.api import make_controller
+
     scenario = repro.make_paper_scenario(
         seed=seed,
         config=repro.ScenarioConfig(
@@ -211,7 +237,7 @@ def execute_replication(
     )
     result = repro.run_simulation(
         controller,
-        scenario.fresh_states(spec.horizon),
+        scenario.fresh_compiled_states(spec.horizon),
         budget=scenario.budget,
         tracer=probe,
     )
@@ -232,16 +258,23 @@ def run_replications(
     seeds: tuple[int, ...] | list[int],
     *,
     processes: int | None = None,
+    chunksize: int | None = None,
     tracer: "Tracer | None" = None,
 ) -> ReplicationReport:
     """Run *spec* under every seed and aggregate.
 
     Args:
-        spec: The configuration to replicate.
+        spec: The configuration to replicate.  Shipped to each worker
+            process once, through the pool initializer, rather than
+            pickled into every seed's job.
         seeds: Root seeds; each yields an independent topology and
             state stream.
         processes: Worker processes; ``None`` or 1 runs sequentially
             (no pickling, easier debugging).
+        chunksize: Seeds handed to a worker per dispatch.  Defaults to
+            an even split (``ceil(len(seeds) / processes)``, capped at
+            8) so the pool round-trips batches instead of single seeds;
+            ordering of the outcomes is unaffected.
         tracer: Observability tracer.  Each run (worker) records into
             its own probe; the per-phase aggregations are merged into
             *tracer* when it is a :class:`repro.obs.Probe`, so the
@@ -255,12 +288,19 @@ def run_replications(
     if not seeds:
         raise ConfigurationError("need at least one seed")
     trace_phases = tracer is not None and tracer.enabled
-    jobs = [(spec, seed, trace_phases) for seed in seeds]
     if processes is None or processes <= 1:
-        outcomes = [execute_replication(job) for job in jobs]
+        outcomes = [_run_one(spec, seed, trace_phases) for seed in seeds]
     else:
-        with ProcessPoolExecutor(max_workers=processes) as pool:
-            outcomes = list(pool.map(execute_replication, jobs))
+        if chunksize is None:
+            chunksize = min(8, -(-len(seeds) // processes))
+        with ProcessPoolExecutor(
+            max_workers=processes,
+            initializer=_init_worker,
+            initargs=(spec, trace_phases),
+        ) as pool:
+            outcomes = list(
+                pool.map(_execute_seed, seeds, chunksize=max(1, chunksize))
+            )
     if isinstance(tracer, Probe):
         for outcome in outcomes:
             tracer.merge_phase_state(outcome.phase_state)

@@ -14,17 +14,22 @@ from typing import Iterator
 import numpy as np
 
 from repro.core.state import SlotState
-from repro.energy.pricing import PriceModel
-from repro.exceptions import ConfigurationError
+from repro.energy.pricing import (
+    ConstantPriceModel,
+    PeriodicPriceModel,
+    PriceModel,
+    TracePriceModel,
+)
+from repro.exceptions import ConfigurationError, ValidationError
 from repro.network.coverage import coverage_matrix
 from repro.network.topology import MECNetwork
-from repro.radio.channel import ChannelModel
-from repro.radio.fronthaul import FronthaulModel
+from repro.radio.channel import ChannelModel, UniformChannelModel
+from repro.radio.fronthaul import FronthaulModel, StaticFronthaul
 from repro.radio.mobility import MobilityModel, StaticMobility
-from repro.sim.faults import OutageModel
+from repro.sim.faults import NoOutages, OutageModel
 from repro.sim.seeding import SeedBank
 from repro.types import FloatArray, Rng
-from repro.workload.generators import TaskGenerator
+from repro.workload.generators import TaskGenerator, UniformTaskGenerator
 
 
 class StateGenerator:
@@ -115,6 +120,154 @@ class StateGenerator:
         for t in range(start, start + horizon):
             yield self.state(t, rng)
 
+    def _price_consumes_rng(self) -> bool:
+        """Whether the price model draws randomness per slot."""
+        prices = self.prices
+        if type(prices) is ConstantPriceModel or type(prices) is TracePriceModel:
+            return False
+        if type(prices) is PeriodicPriceModel:
+            return prices.noise_std > 0.0
+        return True  # unknown model: assume it draws
+
+    def compile_states(
+        self, horizon: int, rng: Rng, *, chunk: int = 32, start: int = 0
+    ) -> Iterator[SlotState]:
+        """Yield the exact same states as :meth:`states`, compiled.
+
+        Bit-identical to :meth:`states` for every model composition: the
+        per-slot RNG consumption order is preserved, only the way the
+        draws are issued changes.  Three tiers, chosen by inspecting the
+        composed models:
+
+        * **Chunk-blocked** -- static mobility, uniform tasks, uniform
+          channel, and no other per-slot randomness (constant/trace
+          prices or zero price noise, static fronthaul, no fault
+          model).  All of a chunk's uniform draws come from one
+          ``rng.random((chunk, S))`` call; a ``(chunk, S)`` block
+          consumes the bit stream exactly like ``chunk`` sequential
+          per-slot draws, and ``lo + u * (hi - lo)`` is bitwise
+          ``Generator.uniform``.
+        * **Slot-fused** -- as above but some model (price noise, a
+          fronthaul or outage model) draws between slots.  Each slot
+          issues one ``rng.random(S)`` for its uniform draws and calls
+          the interleaving models in :meth:`states`'s order; scaling
+          and coverage-masking still run once per chunk.
+        * **Fallback** -- any other composition (mobility, non-uniform
+          workload/channel models): delegate to the per-slot path,
+          which is trivially identical.
+
+        On the compiled tiers the static-mobility short-circuit
+        computes coverage once per call instead of per slot, and states
+        are built through :meth:`SlotState.trusted` after one
+        whole-chunk validation pass.
+
+        Args:
+            horizon: Number of slots to yield.
+            rng: The state stream (consumed identically to
+                :meth:`states`).
+            chunk: Slots drawn/validated per block; latency/memory
+                knob only -- results do not depend on it.
+            start: First slot index.
+        """
+        if chunk < 1:
+            raise ConfigurationError(f"chunk must be positive, got {chunk}")
+        if horizon <= 0:
+            return
+        fused = (
+            type(self.mobility) is StaticMobility
+            and type(self.tasks) is UniformTaskGenerator
+            and type(self.channel) is UniformChannelModel
+        )
+        if not fused:
+            yield from self.states(horizon, rng, start=start)
+            return
+        interleaved = (
+            self._price_consumes_rng()
+            or not (self.fronthaul is None or type(self.fronthaul) is StaticFronthaul)
+            or not (self.faults is None or type(self.faults) is NoOutages)
+        )
+
+        # Static mobility: one (rng-free) step, one coverage matrix.
+        self._positions = self.mobility.step(self._positions, rng)
+        coverage = coverage_matrix(self._positions, self._bs_positions, self._radii)
+        uncovered = ~coverage
+        num_devices = self.tasks.num_devices
+        num_bs = coverage.shape[1]
+        c_lo, c_hi = self.tasks.cycles_range
+        b_lo, b_hi = self.tasks.bits_range
+        se_lo, se_hi = self.channel.se_min, self.channel.se_max
+        # One slot's uniform doubles: cycles, bits, then the channel
+        # matrix -- the order states() consumes them in.
+        span = 2 * num_devices + num_devices * num_bs
+
+        for begin in range(start, start + horizon, chunk):
+            m = min(chunk, start + horizon - begin)
+            prices: list[float] = []
+            fronthauls: list[FloatArray | None] = []
+            availables: list["np.ndarray | None"] = []
+            if interleaved:
+                block = np.empty((m, span))
+                for j, t in enumerate(range(begin, begin + m)):
+                    rng.random(out=block[j])
+                    prices.append(self.prices.price(t, rng) * self.price_scale)
+                    fronthauls.append(
+                        self.fronthaul.spectral_efficiency(
+                            t, self.network.fronthaul_se, rng
+                        )
+                        if self.fronthaul is not None
+                        else None
+                    )
+                    availables.append(
+                        self.faults.availability(t, self.network, rng)
+                        if self.faults is not None
+                        else None
+                    )
+            else:
+                block = rng.random((m, span))
+                for t in range(begin, begin + m):
+                    prices.append(self.prices.price(t, rng) * self.price_scale)
+                fronthauls = [None] * m
+                availables = [None] * m
+
+            cycles = c_lo + block[:, :num_devices] * (c_hi - c_lo)
+            bits = b_lo + block[:, num_devices : 2 * num_devices] * (b_hi - b_lo)
+            h = se_lo + block[:, 2 * num_devices :].reshape(
+                m, num_devices, num_bs
+            ) * (se_hi - se_lo)
+            h[:, uncovered] = 0.0
+
+            # The chunk-level stand-in for the per-slot constructor
+            # checks.  Positive uniform ranges make the demand/price
+            # checks unfailable here, but the invariants are cheap to
+            # assert on the stacked arrays and guard future models.
+            if cycles.min(initial=0.0) < 0.0 or bits.min(initial=0.0) < 0.0:
+                raise ValidationError("task sizes must be non-negative")
+            if h.min(initial=0.0) < 0.0:
+                raise ValidationError("spectral efficiencies must be non-negative")
+            if min(prices, default=0.0) < 0.0:
+                raise ValidationError("price must be non-negative")
+            for fr in fronthauls:
+                if fr is not None and (
+                    fr.ndim != 1 or fr.size != num_bs or fr.min(initial=1.0) <= 0.0
+                ):
+                    raise ValidationError("fronthaul_se entries must be positive")
+            for avail in availables:
+                if avail is not None and not avail.any():
+                    raise ValidationError(
+                        "available_servers cannot mark every server as down"
+                    )
+
+            for j in range(m):
+                yield SlotState.trusted(
+                    t=begin + j,
+                    cycles=cycles[j],
+                    bits=bits[j],
+                    spectral_efficiency=h[j],
+                    price=prices[j],
+                    fronthaul_se=fronthauls[j],
+                    available_servers=availables[j],
+                )
+
     def reset(self) -> None:
         """Restore mobility and fault state between independent runs."""
         self._positions = self.network.device_positions()
@@ -155,3 +308,15 @@ class Scenario:
         """
         self.generator.reset()
         return self.generator.states(horizon, self.state_rng())
+
+    def fresh_compiled_states(
+        self, horizon: int, *, chunk: int = 32
+    ) -> Iterator[SlotState]:
+        """:meth:`fresh_states` through the compiled pipeline.
+
+        Bit-identical states (same seed, same stream, same values); see
+        :meth:`StateGenerator.compile_states` for the tiers and the
+        ``chunk`` knob.
+        """
+        self.generator.reset()
+        return self.generator.compile_states(horizon, self.state_rng(), chunk=chunk)

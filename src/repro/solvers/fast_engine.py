@@ -88,11 +88,30 @@ class FastBestResponseEngine:
         self.slack = slack
         self.stats = EngineStats()
         n = game.num_players
-        self._best_bs = np.zeros(n, dtype=np.int64)
-        self._best_server = np.zeros(n, dtype=np.int64)
+        # Games exposing the deferred-argmin refresh (batch_gap_costs +
+        # best_strategy_for) skip materialising every player's best
+        # strategy per sweep; only the selected mover's is resolved.
+        self._lazy = (
+            callable(getattr(game, "batch_gap_costs", None))
+            and callable(getattr(game, "best_strategy_for", None))
+            and getattr(game, "supports_lazy_gaps", True)
+        )
+        # Games whose gap refresh is a dense full pass (the decomposed
+        # product-form evaluator) gain nothing from dirty-player
+        # tracking; skip the affected-set computation entirely.
+        self._full_refresh = self._lazy and getattr(
+            game, "prefers_full_refresh", False
+        )
+        if not self._lazy:
+            self._best_bs = np.zeros(n, dtype=np.int64)
+            self._best_server = np.zeros(n, dtype=np.int64)
         #: Improvement gaps ``current - best``; ``-inf`` marks players
         #: failing the eligibility test ``(1 - slack) * current > best``.
         self.gaps = np.full(n, -np.inf)
+        self._inelig = np.empty(n, dtype=bool)
+        # Full-sweep accounting constants, hoisted out of _refresh.
+        self._n = n
+        self._all_candidates = game.candidate_count(None)
         self._rr_cursor = 0
         started = time.perf_counter()
         self._refresh(None)
@@ -100,18 +119,38 @@ class FastBestResponseEngine:
 
     def _refresh(self, players: np.ndarray | None) -> None:
         """Recompute gaps and cached best responses for *players*."""
-        bs, server, best, current = self.game.batch_best_responses(players)
+        if self._lazy:
+            best, current = self.game.batch_gap_costs(players)
+        else:
+            bs, server, best, current = self.game.batch_best_responses(players)
         self.stats.sweeps += 1
+        if players is None and self.slack == 0.0:
+            # Fused full-array path: for slack 0 the eligibility test
+            # ``(1 - 0) * current > best`` is ``current > best``, which
+            # in IEEE doubles holds iff ``current - best > 0`` -- so the
+            # subtraction doubles as the test, in place, no temporaries.
+            gaps = self.gaps
+            np.subtract(current, best, out=gaps)
+            np.less_equal(gaps, 0.0, out=self._inelig)
+            np.copyto(gaps, -np.inf, where=self._inelig)
+            if not self._lazy:
+                self._best_bs[:] = bs
+                self._best_server[:] = server
+            self.stats.gap_recomputations += self._n
+            self.stats.candidate_evaluations += self._all_candidates
+            return
         eligible = (1.0 - self.slack) * current > best
         gaps = np.where(eligible, current - best, -np.inf)
         if players is None:
-            self._best_bs[:] = bs
-            self._best_server[:] = server
+            if not self._lazy:
+                self._best_bs[:] = bs
+                self._best_server[:] = server
             self.gaps[:] = gaps
             self.stats.gap_recomputations += self.game.num_players
         else:
-            self._best_bs[players] = bs
-            self._best_server[players] = server
+            if not self._lazy:
+                self._best_bs[players] = bs
+                self._best_server[players] = server
             self.gaps[players] = gaps
             self.stats.gap_recomputations += int(players.size)
         self.stats.candidate_evaluations += self.game.candidate_count(players)
@@ -126,11 +165,17 @@ class FastBestResponseEngine:
         Implements the same tie-breaking (and randomness consumption) as
         the reference engine so trajectories coincide.
         """
+        if rule == "max_gap":
+            # Ineligible players carry -inf, so the global first-maximum
+            # is the first-maximum over the eligible subset whenever one
+            # exists -- same pick, no index materialisation.
+            player = int(self.gaps.argmax())
+            if self.gaps[player] == -np.inf:
+                return None
+            return player
         eligible = self.eligible_players()
         if eligible.size == 0:
             return None
-        if rule == "max_gap":
-            return int(eligible[np.argmax(self.gaps[eligible])])
         if rule == "random":
             assert rng is not None
             return int(rng.choice(eligible))
@@ -142,14 +187,26 @@ class FastBestResponseEngine:
 
     def step(self, player: int) -> None:
         """Move *player* to its cached best response and refresh caches."""
-        old = self.game.strategy_of(player)
-        new = (int(self._best_bs[player]), int(self._best_server[player]))
+        if self._lazy:
+            new = self.game.best_strategy_for(player)
+        else:
+            new = (int(self._best_bs[player]), int(self._best_server[player]))
+        old = None if self._full_refresh else self.game.strategy_of(player)
         started = time.perf_counter()
         self.game.move(player, new)
         self.stats.moves += 1
         self.stats.move_seconds += time.perf_counter() - started
         started = time.perf_counter()
-        self._refresh(self.game.affected_players(old, new))
+        if self._full_refresh:
+            self._refresh(None)
+        else:
+            affected = self.game.affected_players(old, new)
+            # When the move touches every player anyway, the dense
+            # full-array refresh is cheaper than the subset gather; gaps
+            # and every stats counter come out identical either way.
+            self._refresh(
+                None if affected.size == self.game.num_players else affected
+            )
         self.stats.eval_seconds += time.perf_counter() - started
 
     def run(
@@ -165,6 +222,43 @@ class FastBestResponseEngine:
         history: list[float] = []
         if record_history:
             history.append(game.total_cost())
+        if selection == "max_gap" and self._full_refresh and not record_history:
+            # The hot configuration (CGBA under the decomposed
+            # evaluator): inline select + step with everything bound to
+            # locals.  Same argmax pick, same move, same full refresh,
+            # same stats -- only the per-iteration attribute lookups and
+            # method dispatches are gone.
+            gaps = self.gaps
+            perf = time.perf_counter
+            stats = self.stats
+            refresh = self._refresh
+            for iteration in range(max_iter):
+                player = gaps.argmax()
+                if gaps[player] == -np.inf:
+                    return BestResponseResult(
+                        iterations=iteration,
+                        converged=True,
+                        total_cost=game.total_cost(),
+                        cost_history=history,
+                        stats=stats,
+                    )
+                started = perf()
+                game.move(player, game.best_strategy_for(player))
+                stats.moves += 1
+                stats.move_seconds += perf() - started
+                started = perf()
+                refresh(None)
+                stats.eval_seconds += perf() - started
+            raise ConvergenceError(
+                f"best-response dynamics did not converge within {max_iter} moves",
+                best_so_far=BestResponseResult(
+                    iterations=max_iter,
+                    converged=False,
+                    total_cost=game.total_cost(),
+                    cost_history=history,
+                    stats=stats,
+                ),
+            )
         for iteration in range(max_iter):
             player = self.select(selection, rng)
             if player is None:
