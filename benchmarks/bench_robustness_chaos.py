@@ -1,0 +1,19 @@
+"""Robustness bench: BDMA-DPP under composed link + price-feed chaos.
+
+Thin wrapper over :func:`repro.experiments.run_chaos_sweep` -- the
+second robustness axis beyond the paper: fronthaul links degrade, the
+price feed freezes (the controller acts on stale prices), and base
+stations drop, at increasing severity, with the degraded-mode
+:class:`~repro.core.resilience.ResiliencePolicy` active.  Every slot
+must still produce a feasible decision.
+"""
+
+from repro.experiments import run_chaos_sweep
+
+from _common import emit
+
+
+def bench_robustness_chaos(benchmark) -> None:
+    result = benchmark.pedantic(run_chaos_sweep, rounds=1, iterations=1)
+    emit("robustness_chaos", result.table())
+    result.verify()

@@ -49,9 +49,11 @@ from repro.core import (
     Decision,
     DPPController,
     OffloadingCongestionGame,
+    ResiliencePolicy,
     ResourceAllocation,
     SlotRecord,
     SlotState,
+    SolverChaos,
     VirtualQueue,
     dpp_objective,
     optimal_allocation,
@@ -97,9 +99,12 @@ from repro.baselines import (
     solve_p2a_ropt,
 )
 from repro.exceptions import (
+    CheckpointError,
     ConfigurationError,
     ConvergenceError,
+    DeadlineError,
     InfeasibleError,
+    InjectedFaultError,
     ReproError,
     SolverError,
     TopologyError,
@@ -117,16 +122,21 @@ from repro.network import (
     validate_network,
 )
 from repro.sim import (
+    ChaosSchedule,
+    FaultPlan,
     MarkovOutages,
     NoOutages,
     ReplicationReport,
     ReplicationSpec,
     ReplicationSummary,
+    RunCheckpoint,
     Scenario,
+    ScriptedIncident,
     SeedBank,
     SimulationResult,
     SimulationSummary,
     StateGenerator,
+    run_checkpointed,
     run_replications,
     run_simulation,
 )
@@ -167,6 +177,14 @@ __all__ = [
     "DPPController",
     "OnlineController",
     "SlotRecord",
+    # resilience
+    "ResiliencePolicy",
+    "SolverChaos",
+    "FaultPlan",
+    "ChaosSchedule",
+    "ScriptedIncident",
+    "RunCheckpoint",
+    "run_checkpointed",
     # budget schedules
     "BudgetSchedule",
     "ConstantBudget",
@@ -236,4 +254,7 @@ __all__ = [
     "SolverError",
     "ConvergenceError",
     "ValidationError",
+    "DeadlineError",
+    "InjectedFaultError",
+    "CheckpointError",
 ]

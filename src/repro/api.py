@@ -197,6 +197,9 @@ def run(
     warm_start_queue: bool = False,
     compiled_states: bool = True,
     state_chunk: int = 32,
+    checkpoint: "str | None" = None,
+    checkpoint_every: int = 16,
+    resume: bool = False,
     **controller_params: object,
 ) -> SimulationResult:
     """Run one simulation end to end and return its result.
@@ -236,6 +239,14 @@ def run(
             Bit-identical states either way; the compiled path draws
             them in chunks.  Disable to exercise the per-slot path.
         state_chunk: Slots per compiled chunk (with ``compiled_states``).
+        checkpoint: Path of a run-checkpoint file.  When given, the run
+            snapshots its full cross-slot state there every
+            ``checkpoint_every`` slots (atomically) via
+            :func:`repro.sim.checkpoint.run_checkpointed`.
+        checkpoint_every: Slots between snapshots.
+        resume: With ``checkpoint=``, continue from an existing matching
+            snapshot instead of starting fresh; resumed trajectories are
+            bit-identical to an uninterrupted run's.
         **controller_params: Passed to :func:`make_controller`
             (``rng_label=``, ``fraction=``, ``iterations=``, ...).
 
@@ -277,10 +288,30 @@ def run(
             tracer=tracer,
             **controller_params,  # type: ignore[arg-type]
         )
+    if checkpoint is not None:
+        from repro.sim.checkpoint import run_checkpointed
+
+        result = run_checkpointed(
+            scenario,
+            ctrl,
+            horizon=horizon,
+            path=checkpoint,
+            budget=budget,
+            every=checkpoint_every,
+            resume=resume,
+            tracer=tracer,
+            keep_records=keep_records,
+            on_slot=on_slot,
+            compiled=compiled_states,
+            chunk=state_chunk,
+        )
+        if suite is not None:
+            result.health = suite.finish()
+        return result
     states = (
-        scenario.fresh_compiled_states(horizon, chunk=state_chunk)
+        scenario.fresh_compiled_states(horizon, chunk=state_chunk, tracer=tracer)
         if compiled_states
-        else scenario.fresh_states(horizon)
+        else scenario.fresh_states(horizon, tracer=tracer)
     )
     result = run_simulation(
         ctrl,

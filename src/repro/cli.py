@@ -26,6 +26,7 @@ from __future__ import annotations
 
 import argparse
 import sys
+import traceback
 from typing import Sequence
 
 import repro
@@ -135,16 +136,47 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
             f"solver {args.solver}; V={args.v}; horizon {args.horizon}"
         )
     states = (
-        scenario.fresh_states(args.horizon)
+        scenario.fresh_states(args.horizon, tracer=probe)
         if args.no_compiled_states
-        else scenario.fresh_compiled_states(args.horizon, chunk=args.state_chunk)
+        else scenario.fresh_compiled_states(
+            args.horizon, chunk=args.state_chunk, tracer=probe
+        )
     )
-    result = repro.run_simulation(
-        controller,
-        states,
-        budget=scenario.budget,
-        tracer=probe,
-    )
+
+    def salvage(status: str) -> None:
+        # A dead run must still leave its evidence behind: flush the
+        # partial JSONL trace and write the manifest (atomically, with
+        # the outcome stamped) before exiting nonzero.
+        if dashboard is not None:
+            dashboard.close()
+        if probe is not None:
+            probe.close()
+            if args.trace:
+                assert manifest is not None
+                manifest.status = status
+                manifest_path = manifest.finish().write(
+                    manifest_path_for(args.trace)
+                )
+                print(
+                    f"partial trace written to {args.trace}", file=sys.stderr
+                )
+                print(f"manifest written to {manifest_path}", file=sys.stderr)
+
+    try:
+        result = repro.run_simulation(
+            controller,
+            states,
+            budget=scenario.budget,
+            tracer=probe,
+        )
+    except KeyboardInterrupt:
+        print("\ninterrupted", file=sys.stderr)
+        salvage("interrupted")
+        return 130
+    except Exception:
+        traceback.print_exc()
+        salvage("crashed")
+        return 1
     if dashboard is not None:
         dashboard.close()
     print(summary_to_json(result.summary()))

@@ -22,7 +22,7 @@ from repro.network.validation import validate_network
 from repro.radio.channel import ChannelModel, UniformChannelModel
 from repro.radio.fronthaul import FronthaulModel
 from repro.radio.mobility import MobilityModel
-from repro.sim.faults import OutageModel
+from repro.sim.faults import FaultPlan, OutageModel
 from repro.sim.scenario import Scenario, StateGenerator
 from repro.sim.seeding import SeedBank
 from repro.workload.generators import (
@@ -76,6 +76,7 @@ def make_paper_scenario(
     tasks: TaskGenerator | None = None,
     fronthaul: FronthaulModel | None = None,
     faults: OutageModel | None = None,
+    fault_plan: FaultPlan | None = None,
     **network_overrides: object,
 ) -> Scenario:
     """Build the default reproducible scenario.
@@ -92,6 +93,10 @@ def make_paper_scenario(
             (static per the paper when omitted).
         faults: Optional server-outage model (always-up per the paper
             when omitted).
+        fault_plan: Optional composable :class:`~repro.sim.faults.FaultPlan`
+            applied on top of every drawn state from its own seeded
+            stream (base-station outages, fronthaul degradation,
+            price-feed dropouts, scripted incidents, ...).
         **network_overrides: Passed to
             :class:`repro.network.builder.NetworkBuilder` (e.g.
             ``num_base_stations=8``).
@@ -137,7 +142,13 @@ def make_paper_scenario(
         prices,
         fraction=cfg.budget_fraction,
     )
-    return Scenario(network=network, generator=generator, seeds=seeds, budget=budget)
+    return Scenario(
+        network=network,
+        generator=generator,
+        seeds=seeds,
+        budget=budget,
+        fault_plan=fault_plan,
+    )
 
 
 def _make_tasks(cfg: ScenarioConfig, seeds: SeedBank) -> TaskGenerator:

@@ -55,6 +55,7 @@ from repro.core.controller import (
     P2ASolver,
     SlotRecord,
 )
+from repro.core.resilience import ResiliencePolicy, SolverChaos
 
 __all__ = [
     "SlotState",
@@ -84,4 +85,6 @@ __all__ = [
     "DPPController",
     "P2ASolver",
     "SlotRecord",
+    "ResiliencePolicy",
+    "SolverChaos",
 ]

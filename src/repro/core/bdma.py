@@ -13,6 +13,7 @@ larger ``z`` can only improve the returned objective.
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass, field
 from typing import Callable, Protocol
 
@@ -23,7 +24,7 @@ from repro.core.drift_penalty import energy_cost
 from repro.core.latency import optimal_total_latency
 from repro.core.p2b import _BATCH_CUTOVER, solve_p2b
 from repro.core.state import Assignment, SlotState
-from repro.exceptions import ConfigurationError
+from repro.exceptions import ConfigurationError, DeadlineError
 from repro.network.connectivity import StrategySpace
 from repro.network.topology import MECNetwork
 from repro.obs.probe import Tracer, as_tracer
@@ -58,6 +59,7 @@ def cgba_p2a_solver(
     engine: str = "fast",
     tracer: "Tracer | None" = None,
     reuse_game: bool = True,
+    accept_partial: bool = False,
 ) -> P2ASolver:
     """The default P2-A solver: CGBA(lambda) (Algorithm 3).
 
@@ -71,6 +73,12 @@ def cgba_p2a_solver(
     its candidate arrays every round.  Reuse is bit-identical to fresh
     construction (``update_frequencies`` + ``reset_profile`` reproduce
     the constructor's arithmetic and rng consumption exactly).
+
+    ``accept_partial`` forwards to :func:`solve_p2a_cgba`: a run that
+    exhausts ``max_iter`` returns its best-so-far profile (with a
+    ``resilience.partial_accepts`` counter) instead of raising
+    :class:`~repro.exceptions.ConvergenceError` -- the iteration-cap
+    half of degraded-mode execution.
     """
     accumulated = EngineStats()
     cache: dict = {"key": None, "game": None}
@@ -103,6 +111,7 @@ def cgba_p2a_solver(
             engine=engine,
             tracer=tracer,
             game=game,
+            accept_partial=accept_partial,
         )
         if reuse_game:
             cache["key"] = (network, state, space)
@@ -168,6 +177,7 @@ def solve_p2_bdma(
     initial_frequencies: FloatArray | None = None,
     warm_brackets: bool = False,
     tracer: "Tracer | None" = None,
+    deadline: float | None = None,
 ) -> BDMAResult:
     """Solve P2 by alternating P2-A and P2-B for ``z`` rounds.
 
@@ -212,9 +222,22 @@ def solve_p2_bdma(
             with the same tracer so engine counters flow through;
             externally supplied ``p2a_solver`` callables are timed but
             not internally instrumented.
+        deadline: Optional wall-clock deadline as a ``time.perf_counter``
+            value (the solver-watchdog half of degraded-mode execution).
+            Checked between alternation rounds: once expired, the best
+            decision so far is returned immediately (with a
+            ``resilience.deadline_truncations`` counter).  If the
+            deadline expires before even one round finished, a
+            :class:`~repro.exceptions.DeadlineError` is raised for the
+            caller's fallback chain.  ``None`` (the default) never
+            truncates, so healthy runs are bit-identical.
 
     Returns:
         The best decision by P2 objective across all rounds.
+
+    Raises:
+        DeadlineError: The ``deadline`` expired with zero completed
+            rounds.
 
     Notes:
         **Fixed-point exit (bit-exact, always on when eligible).**  When
@@ -263,7 +286,18 @@ def solve_p2_bdma(
     rounds_run = 0
     use_hints = warm_brackets and network.num_servers >= _BATCH_CUTOVER
 
+    truncated = False
     for round_idx in range(z):
+        if deadline is not None and time.perf_counter() >= deadline:
+            if best_assignment is None:
+                raise DeadlineError(
+                    "slot deadline expired before the first BDMA round finished"
+                )
+            truncated = True
+            # Pad the history like the fixed-point exit does, so its
+            # length stays z regardless of where the truncation hit.
+            history.extend([history[-1]] * (z - round_idx))
+            break
         with tracer.span("p2a"):
             assignment = solver(
                 network,
@@ -325,6 +359,8 @@ def solve_p2_bdma(
     if tracer.enabled:
         tracer.counter("bdma.rounds", rounds_run)
         tracer.counter("engine.warm_start_hits", warm_hits)
+        if truncated:
+            tracer.counter("resilience.deadline_truncations", 1)
     assert best_assignment is not None
     return BDMAResult(
         assignment=best_assignment,

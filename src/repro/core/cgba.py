@@ -15,6 +15,7 @@ from dataclasses import dataclass, field
 
 from repro.core.congestion_game import OffloadingCongestionGame
 from repro.core.state import Assignment, SlotState
+from repro.exceptions import ConvergenceError
 from repro.network.connectivity import StrategySpace
 from repro.network.topology import MECNetwork
 from repro.obs.probe import Tracer, as_tracer
@@ -82,6 +83,7 @@ def solve_p2a_cgba(
     engine: str = "fast",
     tracer: "Tracer | None" = None,
     game: OffloadingCongestionGame | None = None,
+    accept_partial: bool = False,
 ) -> CGBAResult:
     """Solve P2-A with CGBA(lambda).
 
@@ -103,6 +105,13 @@ def solve_p2a_cgba(
             run is wrapped in a ``cgba`` span and the engine's work
             counters (moves, sweeps, gap recomputations, candidate
             evaluations) are emitted as ``engine.*`` counters.
+        accept_partial: When the dynamics exhaust ``max_iter`` without
+            converging, consume :attr:`ConvergenceError.best_so_far` and
+            return the last profile (``converged=False``) instead of
+            raising.  Every best-response move strictly improves the
+            potential, so the partial profile is feasible and typically
+            near-equilibrium; a ``resilience.partial_accepts`` counter
+            records the event.
         game: A game from an earlier run on the *same* ``(network,
             state, space)`` triple to reuse.  Its frequencies are
             re-fixed and the profile re-seeded exactly as a fresh
@@ -129,13 +138,23 @@ def solve_p2a_cgba(
         fast_best_response_dynamics if engine == "fast" else best_response_dynamics
     )
     with tracer.span("cgba"):
-        outcome = dynamics(
-            game,
-            slack=slack,
-            max_iter=max_iter,
-            selection="max_gap",
-            record_history=record_history,
-        )
+        try:
+            outcome = dynamics(
+                game,
+                slack=slack,
+                max_iter=max_iter,
+                selection="max_gap",
+                record_history=record_history,
+            )
+        except ConvergenceError as exc:
+            if not accept_partial or exc.best_so_far is None:
+                raise
+            # The game's profile already holds the last (best-so-far)
+            # state -- moves are applied in place -- so the result below
+            # reads the partial equilibrium via game.assignment().
+            outcome = exc.best_so_far
+            if tracer.enabled:
+                tracer.counter("resilience.partial_accepts", 1)
     if tracer.enabled and outcome.stats is not None:
         stats = outcome.stats
         tracer.counter("engine.moves", stats.moves)

@@ -16,11 +16,17 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.core.allocation import optimal_allocation
-from repro.core.bdma import P2ASolver, solve_p2_bdma
+from repro.core.bdma import P2ASolver, cgba_p2a_solver, solve_p2_bdma
 from repro.core.budget import BudgetSchedule, as_schedule
+from repro.core.resilience import (
+    ResiliencePolicy,
+    fallback_decision,
+    find_infeasible_devices,
+    quarantine_state,
+)
 from repro.core.state import Assignment, Decision, ResourceAllocation, SlotState
 from repro.core.virtual_queue import VirtualQueue
-from repro.exceptions import ConfigurationError
+from repro.exceptions import ConfigurationError, InfeasibleError, InjectedFaultError, SolverError
 from repro.network.connectivity import StrategySpace
 from repro.network.topology import MECNetwork
 from repro.obs.probe import Tracer, as_tracer
@@ -55,6 +61,12 @@ class SlotRecord:
         engine_stats: Best-response-engine work counters aggregated over
             the slot's BDMA rounds (``None`` for P2-A solvers that do
             not report them).
+        fallback: Which solver produced the decision: ``"primary"`` (the
+            healthy path) or a degraded tier (``"greedy"``,
+            ``"last_good"``, ``"random"``) from the resilience fallback
+            chain.
+        quarantined: Devices excluded this slot because their strategy
+            set was genuinely empty (served with zero demand).
     """
 
     t: int
@@ -68,6 +80,8 @@ class SlotRecord:
     backlog_after: float
     solve_seconds: float
     engine_stats: EngineStats | None = None
+    fallback: str = "primary"
+    quarantined: tuple[int, ...] = ()
 
     def decision(self) -> Decision:
         """Bundle the slot's choices as a :class:`Decision`."""
@@ -97,6 +111,12 @@ class SlotRecord:
         }
         if self.engine_stats is not None:
             out["engine_stats"] = self.engine_stats.to_dict()
+        # Only present on degraded slots, so healthy traces (and the CI
+        # trace baseline) keep their exact shape.
+        if self.fallback != "primary":
+            out["fallback"] = self.fallback
+        if self.quarantined:
+            out["quarantined"] = list(self.quarantined)
         if include_arrays:
             out["bs_of"] = self.assignment.bs_of.tolist()
             out["server_of"] = self.assignment.server_of.tolist()
@@ -198,6 +218,13 @@ class DPPController(OnlineController):
             record, ``None``/:data:`repro.obs.NULL_TRACER` to disable).
             When enabled, every step is wrapped in a ``slot`` span with
             nested ``state``/``bdma``/``allocation``/``queue`` phases.
+        resilience: Degraded-mode policy
+            (:class:`repro.core.resilience.ResiliencePolicy`).  ``None``
+            (the default) keeps the historical fail-fast behaviour; with
+            a policy, solver failures run the fallback chain, infeasible
+            devices are quarantined with explicit accounting, and the
+            per-slot watchdog (deadline + iteration cap) bounds solve
+            time.  Healthy slots are bit-identical either way.
     """
 
     def __init__(
@@ -214,6 +241,7 @@ class DPPController(OnlineController):
         carry_over: bool = True,
         freq_carry_over: bool = False,
         tracer: "Tracer | None" = None,
+        resilience: ResiliencePolicy | None = None,
     ) -> None:
         if v <= 0.0:
             raise ConfigurationError(f"V must be positive, got {v}")
@@ -229,12 +257,33 @@ class DPPController(OnlineController):
         self.carry_over = bool(carry_over)
         self.freq_carry_over = bool(freq_carry_over)
         self.tracer = as_tracer(tracer)
+        self.resilience = resilience
+        if (
+            resilience is not None
+            and p2a_solver is None
+            and (resilience.max_engine_iter is not None or resilience.accept_partial)
+        ):
+            # Same default CGBA solver solve_p2_bdma would build, with
+            # the watchdog's iteration cap and partial-acceptance knobs.
+            self.p2a_solver = cgba_p2a_solver(
+                tracer=self.tracer,
+                max_iter=(
+                    resilience.max_engine_iter
+                    if resilience.max_engine_iter is not None
+                    else 100_000
+                ),
+                accept_partial=resilience.accept_partial,
+            )
         self._initial_backlog = float(initial_backlog)
         self.queue = VirtualQueue(initial_backlog, tracer=self.tracer)
         self._space: StrategySpace | None = None
         self._space_reused = False
         self._previous: Assignment | None = None
         self._previous_freqs: FloatArray | None = None
+        # Last accepted decision, kept regardless of the carry-over
+        # knobs: it feeds the fallback chain's last-known-good tier.
+        self._last_assignment: Assignment | None = None
+        self._last_frequencies: FloatArray | None = None
 
     def strategy_space(self, state: SlotState) -> StrategySpace:
         """The feasible strategy sets under the slot's coverage, cached.
@@ -266,9 +315,30 @@ class DPPController(OnlineController):
 
     def step(self, state: SlotState) -> SlotRecord:
         tracer = self.tracer
+        policy = self.resilience
         with tracer.span("slot"):
             with tracer.span("state"):
-                space = self.strategy_space(state)
+                quarantined = np.empty(0, dtype=np.int64)
+                effective = state
+                if policy is not None and policy.quarantine:
+                    try:
+                        space = self.strategy_space(state)
+                    except InfeasibleError:
+                        quarantined = find_infeasible_devices(self.network, state)
+                        effective = quarantine_state(
+                            self.network, state, quarantined
+                        )
+                        space = self.strategy_space(effective)
+                        if tracer.enabled:
+                            tracer.counter(
+                                "resilience.quarantined", int(quarantined.size)
+                            )
+                            tracer.event(
+                                "quarantine",
+                                {"t": state.t, "devices": quarantined.tolist()},
+                            )
+                else:
+                    space = self.strategy_space(state)
                 backlog_before = self.queue.backlog
                 if (
                     self.carry_over
@@ -283,34 +353,73 @@ class DPPController(OnlineController):
                     self._previous = Assignment(bs_of=bs_of, server_of=server_of)
                 slot_budget = self.budget_schedule.budget_at(state.t)
             started = time.perf_counter()
+            fallback_tier = "primary"
+            deadline = (
+                started + policy.deadline_seconds
+                if policy is not None and policy.deadline_seconds is not None
+                else None
+            )
             with tracer.span("bdma"):
-                result = solve_p2_bdma(
-                    self.network,
-                    state,
-                    space,
-                    self.rng,
-                    queue_backlog=backlog_before,
-                    v=self.v,
-                    budget=slot_budget,
-                    z=self.z,
-                    p2a_solver=self.p2a_solver,
-                    warm_start=self.warm_start,
-                    initial=self._previous if self.carry_over else None,
-                    initial_frequencies=(
-                        self._previous_freqs if self.freq_carry_over else None
-                    ),
-                    warm_brackets=self.freq_carry_over,
-                    tracer=tracer,
-                )
+                try:
+                    if (
+                        policy is not None
+                        and policy.chaos is not None
+                        and policy.chaos.trips(state.t)
+                    ):
+                        raise InjectedFaultError(
+                            f"chaos: injected solver failure at slot {state.t}"
+                        )
+                    result = solve_p2_bdma(
+                        self.network,
+                        effective,
+                        space,
+                        self.rng,
+                        queue_backlog=backlog_before,
+                        v=self.v,
+                        budget=slot_budget,
+                        z=self.z,
+                        p2a_solver=self.p2a_solver,
+                        warm_start=self.warm_start,
+                        initial=self._previous if self.carry_over else None,
+                        initial_frequencies=(
+                            self._previous_freqs if self.freq_carry_over else None
+                        ),
+                        warm_brackets=self.freq_carry_over,
+                        tracer=tracer,
+                        deadline=deadline,
+                    )
+                except SolverError as exc:
+                    if policy is None or not policy.fallback:
+                        raise
+                    if tracer.enabled:
+                        tracer.event(
+                            "solver_failure",
+                            {"t": state.t, "error": str(exc)},
+                        )
+                    result, fallback_tier = fallback_decision(
+                        self.network,
+                        effective,
+                        space,
+                        self.rng,
+                        queue_backlog=backlog_before,
+                        v=self.v,
+                        budget=slot_budget,
+                        previous=self._last_assignment,
+                        previous_frequencies=self._last_frequencies,
+                        quarantined=quarantined if quarantined.size else None,
+                        tracer=tracer,
+                    )
             solve_seconds = time.perf_counter() - started
             if self.carry_over:
                 self._previous = result.assignment
             if self.freq_carry_over:
                 self._previous_freqs = result.frequencies
+            self._last_assignment = result.assignment
+            self._last_frequencies = result.frequencies
 
             with tracer.span("allocation"):
                 allocation = optimal_allocation(
-                    self.network, state, result.assignment
+                    self.network, effective, result.assignment
                 )
                 # BDMA scored the winning round with exactly these
                 # calls; reuse its floats instead of recomputing.
@@ -320,7 +429,7 @@ class DPPController(OnlineController):
                     emit_feasibility_gauges(
                         tracer,
                         self.network,
-                        state,
+                        effective,
                         result.assignment,
                         allocation,
                         result.frequencies,
@@ -340,6 +449,8 @@ class DPPController(OnlineController):
             backlog_after=backlog_after,
             solve_seconds=solve_seconds,
             engine_stats=result.engine_stats,
+            fallback=fallback_tier,
+            quarantined=tuple(int(i) for i in quarantined),
         )
 
     def reset(self) -> None:
@@ -348,3 +459,57 @@ class DPPController(OnlineController):
         self._space_reused = False
         self._previous = None
         self._previous_freqs = None
+        self._last_assignment = None
+        self._last_frequencies = None
+
+    def state_dict(self) -> dict:
+        """Serializable controller state (for checkpoint/resume).
+
+        Captures everything :meth:`step` reads across slots: the virtual
+        queue backlog, the solver rng's bit-generator state, and the
+        carried-over assignment/frequencies.  The strategy-space cache is
+        deliberately omitted -- it is rebuilt from the first resumed
+        slot's coverage, and :meth:`repair` draws randomness only for
+        infeasible entries, so a rebuild consumes no rng when coverage
+        is unchanged.
+        """
+
+        def _assignment(a: Assignment | None) -> dict | None:
+            if a is None:
+                return None
+            return {"bs_of": a.bs_of.tolist(), "server_of": a.server_of.tolist()}
+
+        def _freqs(f: FloatArray | None) -> list | None:
+            return None if f is None else np.asarray(f, dtype=np.float64).tolist()
+
+        return {
+            "backlog": float(self.queue.backlog),
+            "rng": self.rng.bit_generator.state,
+            "previous": _assignment(self._previous),
+            "previous_freqs": _freqs(self._previous_freqs),
+            "last_assignment": _assignment(self._last_assignment),
+            "last_frequencies": _freqs(self._last_frequencies),
+        }
+
+    def load_state_dict(self, state: dict) -> None:
+        """Restore controller state captured by :meth:`state_dict`."""
+
+        def _assignment(data: dict | None) -> Assignment | None:
+            if data is None:
+                return None
+            return Assignment(
+                bs_of=np.asarray(data["bs_of"], dtype=np.int64),
+                server_of=np.asarray(data["server_of"], dtype=np.int64),
+            )
+
+        def _freqs(data) -> FloatArray | None:
+            return None if data is None else np.asarray(data, dtype=np.float64)
+
+        self.queue = VirtualQueue(float(state["backlog"]), tracer=self.tracer)
+        self.rng.bit_generator.state = state["rng"]
+        self._previous = _assignment(state.get("previous"))
+        self._previous_freqs = _freqs(state.get("previous_freqs"))
+        self._last_assignment = _assignment(state.get("last_assignment"))
+        self._last_frequencies = _freqs(state.get("last_frequencies"))
+        self._space = None
+        self._space_reused = False

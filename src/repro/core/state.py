@@ -251,8 +251,21 @@ def validate_decision(
     decision: Decision,
     *,
     atol: float = 1e-9,
+    quarantined: "np.ndarray | Sequence[int] | None" = None,
 ) -> None:
     """Check a decision against constraints (1)-(6) and frequency bounds.
+
+    Args:
+        network: Static topology.
+        state: The slot's observed state.
+        decision: The decision to check.
+        atol: Numerical tolerance on share sums and frequency bounds.
+        quarantined: Optional device indices excluded from the
+            per-device checks and from the capacity sums.  Degraded-mode
+            control (:mod:`repro.core.resilience`) quarantines devices
+            whose strategy set is genuinely empty; their placeholder
+            assignment entries carry zero demand and zero shares, so
+            they cannot affect any other device's constraints.
 
     Raises:
         ValidationError: Describing the first violated constraint.
@@ -262,6 +275,12 @@ def validate_decision(
     num_devices = network.num_devices
     if assignment.num_devices != num_devices or state.num_devices != num_devices:
         raise ValidationError("device-count mismatch between network/state/decision")
+    active = np.ones(num_devices, dtype=bool)
+    if quarantined is not None:
+        idx = np.asarray(quarantined, dtype=np.int64)
+        if idx.size and (idx.min() < 0 or idx.max() >= num_devices):
+            raise ValidationError("quarantined device index out of range")
+        active[idx] = False
 
     # Per-device checks, vectorized.  The masks reproduce the original
     # per-device loop's report exactly: the lowest-indexed device with
@@ -288,7 +307,7 @@ def validate_decision(
     for k in range(num_bs):
         reachable[k, network.servers_reachable_from(k)] = True
     unreachable = ~reachable[k_safe, n_safe]
-    violated = bad_bs | bad_server | uncovered | offline | unreachable
+    violated = (bad_bs | bad_server | uncovered | offline | unreachable) & active
     if violated.any():
         i = int(np.argmax(violated))
         k = int(bs_of[i])
@@ -316,10 +335,10 @@ def validate_decision(
     # (base stations ascending with access before fronthaul, then
     # servers) is reported.
     access_sums = np.bincount(
-        bs_of, weights=allocation.access_share, minlength=num_bs
+        bs_of[active], weights=allocation.access_share[active], minlength=num_bs
     )
     fronthaul_sums = np.bincount(
-        bs_of, weights=allocation.fronthaul_share, minlength=num_bs
+        bs_of[active], weights=allocation.fronthaul_share[active], minlength=num_bs
     )
     limit = 1.0 + atol
     bs_over = (access_sums > limit) | (fronthaul_sums > limit)
@@ -329,7 +348,7 @@ def validate_decision(
             raise ValidationError(f"base station {k}: access shares exceed 1")
         raise ValidationError(f"base station {k}: fronthaul shares exceed 1")
     compute_sums = np.bincount(
-        server_of, weights=allocation.compute_share, minlength=num_servers
+        server_of[active], weights=allocation.compute_share[active], minlength=num_servers
     )
     if np.any(compute_sums > limit):
         n = int(np.argmax(compute_sums > limit))

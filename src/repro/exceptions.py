@@ -37,6 +37,23 @@ class SolverError(ReproError):
     """A numerical solver failed to produce a valid answer."""
 
 
+class DeadlineError(SolverError):
+    """A per-slot solver watchdog deadline expired before any usable
+    decision was produced (see :class:`repro.core.resilience.ResiliencePolicy`)."""
+
+
+class InjectedFaultError(SolverError):
+    """A deliberately injected solver failure (chaos testing).
+
+    Raised by :class:`repro.core.resilience.SolverChaos` so the degraded-mode
+    fallback chain can be exercised deterministically.
+    """
+
+
+class CheckpointError(ReproError):
+    """A run checkpoint could not be written, read, or safely resumed."""
+
+
 class ConvergenceError(SolverError):
     """An iterative algorithm exhausted its iteration budget.
 

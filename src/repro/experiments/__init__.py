@@ -37,7 +37,12 @@ from repro.experiments.common import (
     single_state,
 )
 from repro.experiments.report import QUICK_SET, generate_report
-from repro.experiments.robustness import FaultSweepResult, run_fault_sweep
+from repro.experiments.robustness import (
+    ChaosSweepResult,
+    FaultSweepResult,
+    run_chaos_sweep,
+    run_fault_sweep,
+)
 
 #: Registry mapping experiment ids to their runners (used by the CLI).
 RUNNERS = {
@@ -54,6 +59,7 @@ RUNNERS = {
     "ablation-greedy": run_ablation_greedy,
     "ablation-pacing": run_ablation_budget_pacing,
     "robustness-faults": run_fault_sweep,
+    "robustness-chaos": run_chaos_sweep,
 }
 
 __all__ = [
@@ -78,6 +84,8 @@ __all__ = [
     "BudgetPacingResult",
     "run_fault_sweep",
     "FaultSweepResult",
+    "run_chaos_sweep",
+    "ChaosSweepResult",
     "Fig2Result",
     "Fig3Result",
     "Fig4Result",

@@ -34,6 +34,7 @@ from repro.obs.monitors import (
     MonitorStatus,
     MonitorSuite,
     QueueStabilityMonitor,
+    ResilienceMonitor,
     default_monitors,
 )
 from repro.obs.trace import (
@@ -68,6 +69,7 @@ __all__ = [
     "FeasibilityMonitor",
     "GuaranteeMonitor",
     "AnomalyMonitor",
+    "ResilienceMonitor",
     "default_monitors",
     # trace analytics
     "Trace",

@@ -4,7 +4,8 @@
 :class:`~repro.obs.probe.Probe` (``repro simulate --dashboard`` does
 this) and it redraws a compact text frame after every simulated slot --
 backlog/latency/cost/price sparklines, running averages against the
-budget, engine work counters, and the latest monitor alerts.
+budget, engine work counters, degraded-mode (``resilience.*``)
+counters, and the latest monitor alerts.
 
 Rendering reuses :func:`repro.analysis.text_plots.sparkline`; pass
 ``ascii_only=True`` for dumb terminals and every glyph in the frame
@@ -157,7 +158,13 @@ class Dashboard:
         lines.append(row("latency", self._latency))
         lines.append(row("cost", self._cost))
         lines.append(row("price", self._price))
-        if self._counters:
+        resilience = {
+            n: v for n, v in self._counters.items() if n.startswith("resilience.")
+        }
+        engine_counters = {
+            n: v for n, v in self._counters.items() if n not in resilience
+        }
+        if engine_counters:
             # Engine-panel counters in a curated order (the warm-start
             # and batched-P2-B counters tell the perf story), then any
             # remaining counters alphabetically, capped.
@@ -169,12 +176,20 @@ class Dashboard:
                 "p2b.batch_iters",
                 "p2b.fastpath",
             )
-            shown = [name for name in preferred if name in self._counters]
-            shown += [n for n in sorted(self._counters) if n not in preferred]
+            shown = [name for name in preferred if name in engine_counters]
+            shown += [n for n in sorted(engine_counters) if n not in preferred]
             parts = " ".join(
-                f"{name}={self._counters[name]:.0f}" for name in shown[:8]
+                f"{name}={engine_counters[name]:.0f}" for name in shown[:8]
             )
             lines.append(f"{'engine':<8} {parts}")
+        if resilience:
+            # The degraded-mode panel: faults injected, fallback tiers
+            # used, quarantines, checkpoints -- the resilience story.
+            parts = " ".join(
+                f"{name.removeprefix('resilience.')}={resilience[name]:.0f}"
+                for name in sorted(resilience)[:8]
+            )
+            lines.append(f"{'resil':<8} {parts}")
         if self._alert_count:
             lines.append(f"alerts   {self._alert_count} raised; latest:")
             for alert in self._alerts:

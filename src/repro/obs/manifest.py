@@ -34,6 +34,10 @@ class RunManifest:
         wall_clock_seconds: Total run duration; filled by :meth:`finish`.
         package: Producing package name.
         version: Producing package version.
+        status: How the run ended: ``"completed"``, ``"interrupted"``
+            (Ctrl-C), or ``"crashed"``.  Outside the config hash, so a
+            partial trace's manifest still hashes like the completed
+            run it was meant to be.
     """
 
     config: dict = field(default_factory=dict)
@@ -42,6 +46,7 @@ class RunManifest:
     wall_clock_seconds: float | None = None
     package: str = "repro"
     version: str = __version__
+    status: str = "completed"
 
     def finish(self) -> "RunManifest":
         """Stamp the wall-clock duration since creation."""
@@ -57,6 +62,7 @@ class RunManifest:
             "seed": self.seed,
             "created_unix": self.created_unix,
             "wall_clock_seconds": self.wall_clock_seconds,
+            "status": self.status,
         }
 
     def write(self, path: "str | Path") -> Path:

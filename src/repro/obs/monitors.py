@@ -21,6 +21,9 @@ and raises structured :class:`Alert`\\ s when a *domain* signal goes bad
   :func:`repro.core.theory.check_bdma_guarantee`.
 * :class:`AnomalyMonitor` -- EWMA z-score anomaly detection on latency,
   price, and engine-counter series.
+* :class:`ResilienceMonitor` -- degraded-mode activity (faults,
+  fallbacks, quarantines, checkpoints, replication retries) from the
+  ``resilience.*`` counters and events.
 
 Monitors are grouped in a :class:`MonitorSuite`, itself a tracer sink:
 ``suite.attach(probe)`` subscribes it to the bus.  Every alert is
@@ -50,6 +53,7 @@ __all__ = [
     "FeasibilityMonitor",
     "GuaranteeMonitor",
     "AnomalyMonitor",
+    "ResilienceMonitor",
     "default_monitors",
 ]
 
@@ -682,6 +686,90 @@ class AnomalyMonitor(Monitor):
         return f"watched {watched}"
 
 
+class ResilienceMonitor(Monitor):
+    """Watches the degraded-mode machinery of the resilience layer.
+
+    Consumes the ``resilience.*`` counters plus the ``fault`` /
+    ``fallback`` / ``quarantine`` / ``solver_failure`` / ``checkpoint``
+    / ``replication.*`` events, and turns sustained degradation into
+    alerts:
+
+    * warning when the fallback chain served more than
+      ``fallback_rate_threshold`` of the slots (the primary solver is
+      effectively down);
+    * warning when the last-resort ``random`` tier was ever used (the
+      decision quality floor, worth a look even once);
+    * warning for every replication seed that failed permanently.
+
+    A run with occasional fallbacks below the threshold stays ``ok`` --
+    that is the resilience layer doing its job.
+
+    Args:
+        fallback_rate_threshold: Fraction of slots served by fallback
+            above which the run is flagged as degraded.
+    """
+
+    name = "resilience"
+
+    def __init__(self, *, fallback_rate_threshold: float = 0.25) -> None:
+        super().__init__()
+        self.fallback_rate_threshold = float(fallback_rate_threshold)
+        self.counts: dict[str, float] = {}
+        self.slots = 0
+        self.fallback_slots = 0
+        self.failed_seeds: list[int] = []
+
+    def observe(self, event: dict) -> None:
+        kind = event["kind"]
+        if kind == "counter" and event["name"].startswith("resilience."):
+            name = event["name"]
+            self.counts[name] = self.counts.get(name, 0.0) + float(event["value"])
+        elif kind == "event":
+            name = event["name"]
+            if name == "slot":
+                self.slots += 1
+                if event["data"].get("fallback", "primary") != "primary":
+                    self.fallback_slots += 1
+            elif name == "replication.seed_failed":
+                seed = event["data"].get("seed")
+                self.failed_seeds.append(seed)
+                self.alert(
+                    "warning",
+                    f"replication seed {seed} failed permanently after "
+                    f"{event['data'].get('attempts')} attempt(s)",
+                )
+
+    def finish(self) -> MonitorStatus:
+        if self.slots:
+            rate = self.fallback_slots / self.slots
+            if rate > self.fallback_rate_threshold:
+                self.alert(
+                    "warning",
+                    f"fallback chain served {self.fallback_slots}/{self.slots} "
+                    f"slots ({rate:.0%} > {self.fallback_rate_threshold:.0%}); "
+                    "the primary solver is effectively degraded",
+                    rate=rate,
+                )
+        if self.counts.get("resilience.fallback.random", 0.0) > 0:
+            self.alert(
+                "warning",
+                "the last-resort random fallback tier was used "
+                f"{int(self.counts['resilience.fallback.random'])} time(s)",
+            )
+        return self.status(self.detail())
+
+    def detail(self) -> str:
+        if not self.counts and not self.fallback_slots and not self.failed_seeds:
+            return "no degraded-mode activity"
+        parts = [
+            f"{name.removeprefix('resilience.')}={int(value)}"
+            for name, value in sorted(self.counts.items())
+        ]
+        if self.slots:
+            parts.append(f"fallback slots {self.fallback_slots}/{self.slots}")
+        return ", ".join(parts)
+
+
 def default_monitors(
     *,
     budget: float | None = None,
@@ -691,14 +779,15 @@ def default_monitors(
 ) -> list[Monitor]:
     """The standard monitor set for a DPP run.
 
-    Always includes queue-stability, feasibility, and anomaly monitors;
-    adds the budget monitor when *budget* is known and the guarantee
-    monitor when a *network* is supplied.
+    Always includes queue-stability, feasibility, anomaly, and
+    resilience monitors; adds the budget monitor when *budget* is known
+    and the guarantee monitor when a *network* is supplied.
     """
     monitors: list[Monitor] = [
         QueueStabilityMonitor(),
         FeasibilityMonitor(),
         AnomalyMonitor(),
+        ResilienceMonitor(),
     ]
     if budget is not None:
         monitors.append(BudgetDriftMonitor(budget))

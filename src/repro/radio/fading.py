@@ -41,6 +41,20 @@ class Ar1Process:
         self._state = self.rho * self._state + self._innovation_scale * eps
         return self._state.copy()
 
+    @classmethod
+    def restore(cls, rho: float, state: FloatArray) -> "Ar1Process":
+        """Rebuild a process from a saved state without consuming RNG.
+
+        Used by checkpoint/resume: the restored process continues from
+        ``state`` exactly as the original would have, so the next
+        :meth:`step` consumes the same draws as an uninterrupted run.
+        """
+        process = cls.__new__(cls)
+        process.rho = float(rho)
+        process._innovation_scale = float(np.sqrt(1.0 - rho * rho))
+        process._state = np.asarray(state, dtype=np.float64).copy()
+        return process
+
 
 class CorrelatedChannelModel(ChannelModel):
     """A base channel model plus AR(1)-correlated perturbations.
@@ -94,3 +108,20 @@ class CorrelatedChannelModel(ChannelModel):
         h = np.maximum(h, self.floor)
         h[~coverage] = 0.0
         return h
+
+    def reset(self) -> None:
+        """Drop the AR(1) state so the next call re-initialises it."""
+        self._process = None
+
+    def state_dict(self) -> dict:
+        """Serializable AR(1) state (for checkpoint/resume)."""
+        if self._process is None:
+            return {}
+        return {"ar1": self._process._state.tolist()}
+
+    def load_state_dict(self, state: dict) -> None:
+        """Restore AR(1) state captured by :meth:`state_dict`."""
+        if not state:
+            self._process = None
+            return
+        self._process = Ar1Process.restore(self.rho, np.asarray(state["ar1"]))

@@ -78,3 +78,20 @@ class ScintillatingFronthaul(FronthaulModel):
             x = self._process.step(rng)
         modulated = base * np.exp(self.std * x - 0.5 * self.std * self.std)
         return np.maximum(modulated, self.floor_fraction * base)
+
+    def reset(self) -> None:
+        """Drop the AR(1) state so the next call re-initialises it."""
+        self._process = None
+
+    def state_dict(self) -> dict:
+        """Serializable AR(1) state (for checkpoint/resume)."""
+        if self._process is None:
+            return {}
+        return {"ar1": self._process._state.tolist()}
+
+    def load_state_dict(self, state: dict) -> None:
+        """Restore AR(1) state captured by :meth:`state_dict`."""
+        if not state:
+            self._process = None
+            return
+        self._process = Ar1Process.restore(self.rho, np.asarray(state["ar1"]))

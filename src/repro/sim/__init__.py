@@ -10,7 +10,21 @@
 """
 
 from repro.sim.seeding import SeedBank
-from repro.sim.faults import MarkovOutages, NoOutages, OutageModel
+from repro.sim.faults import (
+    BaseStationOutages,
+    ChannelStaleness,
+    ChaosSchedule,
+    FaultPlan,
+    FronthaulDegradation,
+    MarkovOutages,
+    NoOutages,
+    OutageModel,
+    PriceFeedDropouts,
+    ScriptedIncident,
+    ServerOutages,
+    StateFault,
+)
+from repro.sim.checkpoint import RunCheckpoint, run_checkpointed
 from repro.sim.scenario import Scenario, StateGenerator
 from repro.sim.engine import run_simulation
 from repro.sim.results import SimulationResult, SimulationSummary
@@ -31,6 +45,17 @@ __all__ = [
     "OutageModel",
     "NoOutages",
     "MarkovOutages",
+    "StateFault",
+    "ServerOutages",
+    "BaseStationOutages",
+    "FronthaulDegradation",
+    "PriceFeedDropouts",
+    "ChannelStaleness",
+    "ScriptedIncident",
+    "ChaosSchedule",
+    "FaultPlan",
+    "RunCheckpoint",
+    "run_checkpointed",
     "ReplicationSpec",
     "ReplicationOutcome",
     "ReplicationReport",

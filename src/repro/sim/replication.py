@@ -14,15 +14,21 @@ controller or network objects ever cross process boundaries.
 
 from __future__ import annotations
 
+import logging
+import time
 from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures import TimeoutError as FuturesTimeout
+from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass, field
 
 import numpy as np
 
 import repro
 from repro.analysis.aggregate import RunStatistics, summarize_runs
-from repro.exceptions import ConfigurationError
-from repro.obs.probe import Probe, Tracer
+from repro.exceptions import ConfigurationError, SolverError
+from repro.obs.probe import Probe, Tracer, as_tracer
+
+logger = logging.getLogger(__name__)
 
 
 @dataclass(frozen=True)
@@ -42,6 +48,12 @@ class ReplicationSpec:
         warm_start_queue: Start the queue at its estimated equilibrium.
         network_overrides: Extra :class:`~repro.network.builder.NetworkBuilder`
             fields (must be picklable).
+        fail_seeds: Seeds whose runs always raise (failure injection for
+            testing the retry/salvage machinery; never use in real
+            experiments).
+        flaky_seeds: Seeds whose runs fail on their first attempt in
+            each process and succeed on retry (transient-failure
+            injection).
     """
 
     num_devices: int = 30
@@ -53,6 +65,8 @@ class ReplicationSpec:
     budget_fraction: float = 0.5
     warm_start_queue: bool = False
     network_overrides: tuple[tuple[str, object], ...] = ()
+    fail_seeds: tuple[int, ...] = ()
+    flaky_seeds: tuple[int, ...] = ()
 
     def __post_init__(self) -> None:
         if self.solver not in ("bdma", "dpp", "mcba", "ropt", "greedy", "fixed"):
@@ -91,19 +105,25 @@ class ReplicationReport:
     """Aggregated statistics across seeds.
 
     Attributes:
-        outcomes: Per-seed results, in seed order.
+        outcomes: Per-seed results for the seeds that *succeeded*, in
+            seed order.
         latency: Bootstrap statistics of the time-average latency.
         cost: Bootstrap statistics of the time-average cost.
-        budget: The (seed-0) budget for reference.
+        budget: The (first successful seed's) budget for reference;
+            ``0.0`` when every seed failed.
+        failed_seeds: Seeds that produced no outcome after all retry
+            attempts (empty on a healthy run).
     """
 
     outcomes: list[ReplicationOutcome] = field(default_factory=list)
     latency: RunStatistics | None = None
     cost: RunStatistics | None = None
     budget: float = 0.0
+    failed_seeds: list[int] = field(default_factory=list)
 
     def budget_satisfaction_rate(self) -> float:
-        """Fraction of seeds whose realised cost met their budget."""
+        """Fraction of *successful* seeds whose realised cost met their
+        budget; ``0.0`` when no seed succeeded."""
         if not self.outcomes:
             return 0.0
         hits = sum(
@@ -117,11 +137,23 @@ class ReplicationReport:
         Field names deliberately mirror
         :class:`repro.sim.results.SimulationSummary` so both result
         flavours serialise and compare uniformly.
+
+        Raises:
+            ConfigurationError: The report has no successful outcomes to
+                average (e.g. every seed landed in ``failed_seeds``).
         """
         if not self.outcomes:
-            raise ConfigurationError("cannot summarise an empty report")
+            raise ConfigurationError(
+                "cannot summarise an empty report"
+                + (
+                    f" (all {len(self.failed_seeds)} seeds failed)"
+                    if self.failed_seeds
+                    else ""
+                )
+            )
         return ReplicationSummary(
             runs=len(self.outcomes),
+            failed_runs=len(self.failed_seeds),
             mean_latency=float(np.mean([o.mean_latency for o in self.outcomes])),
             mean_cost=float(np.mean([o.mean_cost for o in self.outcomes])),
             mean_backlog=float(np.mean([o.mean_backlog for o in self.outcomes])),
@@ -160,11 +192,13 @@ class ReplicationSummary:
     mean_solve_seconds: float
     latency_ci: tuple[float, float] | None = None
     cost_ci: tuple[float, float] | None = None
+    failed_runs: int = 0
 
     def to_dict(self) -> dict:
         """JSON-ready view, uniform with ``SimulationSummary.to_dict``."""
         return {
             "runs": self.runs,
+            "failed_runs": self.failed_runs,
             "mean_latency": self.mean_latency,
             "mean_cost": self.mean_cost,
             "mean_backlog": self.mean_backlog,
@@ -209,11 +243,24 @@ def _execute_seed(seed: int) -> ReplicationOutcome:
     return _run_one(spec, seed, trace_phases)
 
 
+#: Per-process attempt counts for ``flaky_seeds`` injection.  Worker
+#: processes each get their own copy, so "fails once then succeeds"
+#: holds per process -- exactly the transient crash being simulated.
+_FLAKY_ATTEMPTS: dict[int, int] = {}
+
+
 def _run_one(
     spec: ReplicationSpec, seed: int, trace_phases: bool
 ) -> ReplicationOutcome:
     """Run one seed of a spec and condense its outcome."""
     from repro.api import make_controller
+
+    if seed in spec.fail_seeds:
+        raise SolverError(f"injected failure for seed {seed}")
+    if seed in spec.flaky_seeds:
+        _FLAKY_ATTEMPTS[seed] = _FLAKY_ATTEMPTS.get(seed, 0) + 1
+        if _FLAKY_ATTEMPTS[seed] == 1:
+            raise SolverError(f"injected transient failure for seed {seed}")
 
     scenario = repro.make_paper_scenario(
         seed=seed,
@@ -253,6 +300,126 @@ def _run_one(
     )
 
 
+class _SeedTracker:
+    """Retry bookkeeping shared by the sequential and pooled paths."""
+
+    def __init__(
+        self,
+        max_retries: int,
+        backoff_seconds: float,
+        tracer: Tracer,
+    ) -> None:
+        self.max_retries = max_retries
+        self.backoff_seconds = backoff_seconds
+        self.tracer = tracer
+        self.attempts: dict[int, int] = {}
+        self.failed: list[int] = []
+
+    def note_failure(self, seed: int, error: Exception) -> bool:
+        """Record a failed attempt; return ``True`` when *seed* should
+        be retried (after the backoff sleep), ``False`` when it is
+        permanently failed."""
+        self.attempts[seed] = self.attempts.get(seed, 0) + 1
+        attempt = self.attempts[seed]
+        if attempt <= self.max_retries:
+            logger.warning(
+                "seed %d failed (attempt %d/%d): %s; retrying",
+                seed,
+                attempt,
+                self.max_retries + 1,
+                error,
+            )
+            if self.tracer.enabled:
+                self.tracer.counter("resilience.retries", 1)
+                self.tracer.event(
+                    "replication.retry",
+                    {"seed": seed, "attempt": attempt, "error": str(error)},
+                )
+            if self.backoff_seconds > 0.0:
+                time.sleep(self.backoff_seconds * attempt)
+            return True
+        logger.error(
+            "seed %d failed permanently after %d attempts: %s",
+            seed,
+            attempt,
+            error,
+        )
+        if self.tracer.enabled:
+            self.tracer.counter("resilience.seed_failures", 1)
+            self.tracer.event(
+                "replication.seed_failed",
+                {"seed": seed, "attempts": attempt, "error": str(error)},
+            )
+        self.failed.append(seed)
+        return False
+
+
+def _run_pool_resilient(
+    spec: ReplicationSpec,
+    seeds: list[int],
+    *,
+    processes: int,
+    trace_phases: bool,
+    timeout_seconds: float | None,
+    tracker: _SeedTracker,
+) -> dict[int, ReplicationOutcome]:
+    """The salvage-everything pooled path.
+
+    Submits every pending seed, collects results in order, and survives
+    the three ways a worker can die: an exception inside the run
+    (retried per seed), a per-seed timeout, and a crashed worker
+    process (``BrokenProcessPool``).  The latter two poison the whole
+    pool, so the pool is torn down, rebuilt, and the not-yet-collected
+    seeds are resubmitted -- the run finishes with a ``failed_seeds``
+    list instead of a dead pool.  Terminates because every round either
+    resolves at least the first pending seed or consumes one of its
+    bounded retry attempts.
+    """
+    def make_pool() -> ProcessPoolExecutor:
+        return ProcessPoolExecutor(
+            max_workers=processes,
+            initializer=_init_worker,
+            initargs=(spec, trace_phases),
+        )
+
+    results: dict[int, ReplicationOutcome] = {}
+    pending = list(seeds)
+    pool = make_pool()
+    try:
+        while pending:
+            futures = {seed: pool.submit(_execute_seed, seed) for seed in pending}
+            next_pending: list[int] = []
+            rebuild = False
+            for position, seed in enumerate(pending):
+                try:
+                    results[seed] = futures[seed].result(timeout=timeout_seconds)
+                except (FuturesTimeout, BrokenProcessPool) as exc:
+                    # The pool itself is now unusable (a hung seed's
+                    # worker keeps running; a crashed worker breaks the
+                    # executor).  Fail this seed's attempt, salvage the
+                    # rest into the next round on a fresh pool.
+                    if tracker.note_failure(seed, exc):
+                        next_pending.append(seed)
+                    next_pending.extend(pending[position + 1 :])
+                    rebuild = True
+                    break
+                except Exception as exc:  # worker raised inside the run
+                    if tracker.note_failure(seed, exc):
+                        next_pending.append(seed)
+            if rebuild:
+                pool.shutdown(wait=False, cancel_futures=True)
+                pool = make_pool()
+                if tracker.tracer.enabled:
+                    tracker.tracer.event(
+                        "replication.pool_rebuilt",
+                        {"pending": len(next_pending)},
+                    )
+            pending = next_pending
+    finally:
+        pool.shutdown(wait=False, cancel_futures=True)
+    return results
+
+
 def run_replications(
     spec: ReplicationSpec,
     seeds: tuple[int, ...] | list[int],
@@ -260,6 +427,9 @@ def run_replications(
     processes: int | None = None,
     chunksize: int | None = None,
     tracer: "Tracer | None" = None,
+    timeout_seconds: float | None = None,
+    max_retries: int = 0,
+    retry_backoff_seconds: float = 0.25,
 ) -> ReplicationReport:
     """Run *spec* under every seed and aggregate.
 
@@ -274,23 +444,60 @@ def run_replications(
         chunksize: Seeds handed to a worker per dispatch.  Defaults to
             an even split (``ceil(len(seeds) / processes)``, capped at
             8) so the pool round-trips batches instead of single seeds;
-            ordering of the outcomes is unaffected.
+            ordering of the outcomes is unaffected.  Ignored on the
+            resilient path (per-seed submission).
         tracer: Observability tracer.  Each run (worker) records into
             its own probe; the per-phase aggregations are merged into
             *tracer* when it is a :class:`repro.obs.Probe`, so the
-            parent sees one profile across all seeds.
+            parent sees one profile across all seeds.  Retry and
+            seed-failure events land here too.
+        timeout_seconds: Per-seed wall-clock deadline for collecting a
+            pooled result; a seed that blows it burns one attempt and
+            the pool is rebuilt (a hung worker cannot be cancelled).
+            ``None`` disables the watchdog.
+        max_retries: Extra attempts per seed after its first failure.
+            With the default 0 and no injection knobs, a failing seed
+            on the plain pooled path propagates as before.
+        retry_backoff_seconds: Base sleep before attempt ``n``'s retry
+            (linear backoff: ``base * n``).
 
     Returns:
-        A :class:`ReplicationReport` with per-seed outcomes and
-        bootstrap statistics of the headline metrics.
+        A :class:`ReplicationReport` with per-seed outcomes, bootstrap
+        statistics of the headline metrics, and ``failed_seeds`` for
+        any seed that never produced an outcome.  All seeds failing
+        yields an empty report (``summary()`` then raises), not an
+        exception here.
     """
     seeds = list(seeds)
     if not seeds:
         raise ConfigurationError("need at least one seed")
+    if max_retries < 0:
+        raise ConfigurationError("max_retries must be >= 0")
+    if timeout_seconds is not None and timeout_seconds <= 0.0:
+        raise ConfigurationError("timeout_seconds must be positive")
     trace_phases = tracer is not None and tracer.enabled
+    resilient = (
+        timeout_seconds is not None
+        or max_retries > 0
+        or bool(spec.fail_seeds)
+        or bool(spec.flaky_seeds)
+    )
+    tracker = _SeedTracker(max_retries, retry_backoff_seconds, as_tracer(tracer))
     if processes is None or processes <= 1:
-        outcomes = [_run_one(spec, seed, trace_phases) for seed in seeds]
-    else:
+        if not resilient:
+            outcomes = [_run_one(spec, seed, trace_phases) for seed in seeds]
+        else:
+            by_seed: dict[int, ReplicationOutcome] = {}
+            for seed in seeds:
+                while True:
+                    try:
+                        by_seed[seed] = _run_one(spec, seed, trace_phases)
+                        break
+                    except Exception as exc:
+                        if not tracker.note_failure(seed, exc):
+                            break
+            outcomes = [by_seed[s] for s in seeds if s in by_seed]
+    elif not resilient:
         if chunksize is None:
             chunksize = min(8, -(-len(seeds) // processes))
         with ProcessPoolExecutor(
@@ -301,13 +508,28 @@ def run_replications(
             outcomes = list(
                 pool.map(_execute_seed, seeds, chunksize=max(1, chunksize))
             )
+    else:
+        results = _run_pool_resilient(
+            spec,
+            seeds,
+            processes=processes,
+            trace_phases=trace_phases,
+            timeout_seconds=timeout_seconds,
+            tracker=tracker,
+        )
+        outcomes = [results[s] for s in seeds if s in results]
     if isinstance(tracer, Probe):
         for outcome in outcomes:
             tracer.merge_phase_state(outcome.phase_state)
 
-    report = ReplicationReport(outcomes=outcomes, budget=outcomes[0].budget)
-    report.latency = summarize_runs(
-        np.array([o.mean_latency for o in outcomes])
+    report = ReplicationReport(
+        outcomes=outcomes,
+        budget=outcomes[0].budget if outcomes else 0.0,
+        failed_seeds=sorted(tracker.failed),
     )
-    report.cost = summarize_runs(np.array([o.mean_cost for o in outcomes]))
+    if outcomes:
+        report.latency = summarize_runs(
+            np.array([o.mean_latency for o in outcomes])
+        )
+        report.cost = summarize_runs(np.array([o.mean_cost for o in outcomes]))
     return report

@@ -26,7 +26,7 @@ from repro.network.topology import MECNetwork
 from repro.radio.channel import ChannelModel, UniformChannelModel
 from repro.radio.fronthaul import FronthaulModel, StaticFronthaul
 from repro.radio.mobility import MobilityModel, StaticMobility
-from repro.sim.faults import NoOutages, OutageModel
+from repro.sim.faults import FaultPlan, NoOutages, OutageModel
 from repro.sim.seeding import SeedBank
 from repro.types import FloatArray, Rng
 from repro.workload.generators import TaskGenerator, UniformTaskGenerator
@@ -269,10 +269,57 @@ class StateGenerator:
                 )
 
     def reset(self) -> None:
-        """Restore mobility and fault state between independent runs."""
+        """Restore mobility and per-model state between independent runs."""
         self._positions = self.network.device_positions()
-        if self.faults is not None and hasattr(self.faults, "reset"):
-            self.faults.reset()
+        for name in self._STATEFUL_MODELS:
+            model = getattr(self, name)
+            if model is not None and hasattr(model, "reset"):
+                model.reset()
+
+    # Component models that may carry cross-slot state.  Positions are
+    # always captured; a model participates iff it exposes state_dict().
+    _STATEFUL_MODELS = ("tasks", "channel", "prices", "mobility", "fronthaul", "faults")
+
+    def state_dict(self) -> dict:
+        """Serializable generator state (for checkpoint/resume).
+
+        Captures device positions plus the state of every component
+        model that exposes ``state_dict()``.  Models with hidden state
+        and no ``state_dict()`` make a resumed run diverge; the
+        checkpoint layer warns about them via :meth:`unresumable_models`.
+        """
+        out: dict = {"positions": self._positions.tolist()}
+        models: dict = {}
+        for name in self._STATEFUL_MODELS:
+            model = getattr(self, name)
+            if model is not None and hasattr(model, "state_dict"):
+                models[name] = model.state_dict()
+        out["models"] = models
+        return out
+
+    def load_state_dict(self, state: dict) -> None:
+        """Restore generator state captured by :meth:`state_dict`."""
+        self._positions = np.asarray(state["positions"], dtype=float)
+        models = state.get("models", {})
+        for name in self._STATEFUL_MODELS:
+            model = getattr(self, name)
+            if model is not None and hasattr(model, "load_state_dict"):
+                model.load_state_dict(models.get(name, {}))
+
+    def unresumable_models(self) -> list[str]:
+        """Names of stateful-looking models that cannot be checkpointed.
+
+        A model is suspect when it has a ``reset`` or ``step`` method
+        (suggesting cross-slot state) but no ``state_dict``.
+        """
+        suspects = []
+        for name in self._STATEFUL_MODELS:
+            model = getattr(self, name)
+            if model is None or hasattr(model, "state_dict"):
+                continue
+            if hasattr(model, "reset"):
+                suspects.append(name)
+        return suspects
 
 
 @dataclass
@@ -284,12 +331,17 @@ class Scenario:
         generator: Per-slot state generator.
         seeds: Root seed bank; components draw named child streams.
         budget: Default time-average energy-cost budget ``Cbar``.
+        fault_plan: Optional composable fault-injection plan applied to
+            every drawn state from its own seeded stream
+            (:meth:`fault_rng`), so the base state stream -- and the
+            compiled pipeline -- stays bit-identical with or without it.
     """
 
     network: MECNetwork
     generator: StateGenerator
     seeds: SeedBank
     budget: float
+    fault_plan: "FaultPlan | None" = None
 
     def state_rng(self) -> Rng:
         """Fresh generator over the scenario's state stream."""
@@ -299,24 +351,44 @@ class Scenario:
         """Fresh generator for a controller's internal randomness."""
         return self.seeds.rng(name)
 
-    def fresh_states(self, horizon: int) -> Iterator[SlotState]:
+    def fault_rng(self) -> Rng:
+        """Fresh generator over the fault plan's dedicated stream."""
+        return self.seeds.rng("fault-plan")
+
+    def _with_faults(self, states: Iterator[SlotState], tracer=None):
+        if self.fault_plan is None or not self.fault_plan:
+            return states
+        self.fault_plan.reset()
+        return self.fault_plan.stream(
+            states, self.network, self.fault_rng(), tracer
+        )
+
+    def fresh_states(self, horizon: int, *, tracer=None) -> Iterator[SlotState]:
         """A reproducible state sequence of length *horizon*.
 
         Each call restarts the stream from the scenario seed (and resets
         mobility), so different controllers can be fed *identical*
-        realisations -- a paired comparison.
+        realisations -- a paired comparison.  When the scenario carries a
+        :attr:`fault_plan` it is reset and applied on top; fault events
+        go to *tracer* when one is given.
         """
         self.generator.reset()
-        return self.generator.states(horizon, self.state_rng())
+        return self._with_faults(
+            self.generator.states(horizon, self.state_rng()), tracer
+        )
 
     def fresh_compiled_states(
-        self, horizon: int, *, chunk: int = 32
+        self, horizon: int, *, chunk: int = 32, tracer=None
     ) -> Iterator[SlotState]:
         """:meth:`fresh_states` through the compiled pipeline.
 
         Bit-identical states (same seed, same stream, same values); see
         :meth:`StateGenerator.compile_states` for the tiers and the
-        ``chunk`` knob.
+        ``chunk`` knob.  The :attr:`fault_plan`, when present, wraps the
+        compiled stream without touching its RNG consumption.
         """
         self.generator.reset()
-        return self.generator.compile_states(horizon, self.state_rng(), chunk=chunk)
+        return self._with_faults(
+            self.generator.compile_states(horizon, self.state_rng(), chunk=chunk),
+            tracer,
+        )

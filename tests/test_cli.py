@@ -239,6 +239,80 @@ class TestTraceCommands:
             build_parser().parse_args(["trace"])
 
 
+class TestCrashSalvage:
+    """A dying simulate run must still flush its trace and manifest."""
+
+    ARGS = ["simulate", "--devices", "8", "--horizon", "6", "--z", "1",
+            "--seed", "5"]
+
+    def _die_after(self, monkeypatch, exc: type, slots: int) -> None:
+        import repro as repro_pkg
+
+        original = repro_pkg.run_simulation
+
+        def dying(controller, states, **kwargs):
+            seen = {"n": 0}
+            user_on_slot = kwargs.pop("on_slot", None)
+
+            def on_slot(record):
+                if user_on_slot is not None:
+                    user_on_slot(record)
+                seen["n"] += 1
+                if seen["n"] >= slots:
+                    raise exc("boom")
+
+            return original(controller, states, on_slot=on_slot, **kwargs)
+
+        monkeypatch.setattr(repro_pkg, "run_simulation", dying)
+
+    def test_interrupt_exits_130_and_salvages(
+        self, monkeypatch, capsys, tmp_path
+    ) -> None:
+        self._die_after(monkeypatch, KeyboardInterrupt, 2)
+        trace = tmp_path / "run.jsonl"
+        code = main(self.ARGS + ["--trace", str(trace)])
+        captured = capsys.readouterr()
+        assert code == 130
+        assert "interrupted" in captured.err
+        assert f"partial trace written to {trace}" in captured.err
+
+        from repro.obs import read_jsonl
+
+        slots = [
+            e for e in read_jsonl(trace)
+            if e["kind"] == "event" and e["name"] == "slot"
+        ]
+        assert len(slots) == 2  # the decided slots survived the death
+        manifest = json.loads((tmp_path / "run.manifest.json").read_text())
+        assert manifest["status"] == "interrupted"
+        assert manifest["seed"] == 5
+
+    def test_crash_exits_1_and_stamps_the_manifest(
+        self, monkeypatch, capsys, tmp_path
+    ) -> None:
+        self._die_after(monkeypatch, RuntimeError, 1)
+        trace = tmp_path / "run.jsonl"
+        code = main(self.ARGS + ["--trace", str(trace)])
+        captured = capsys.readouterr()
+        assert code == 1
+        assert "RuntimeError" in captured.err  # traceback reaches stderr
+        manifest = json.loads((tmp_path / "run.manifest.json").read_text())
+        assert manifest["status"] == "crashed"
+
+    def test_interrupt_without_trace_still_exits_130(
+        self, monkeypatch, capsys, tmp_path
+    ) -> None:
+        self._die_after(monkeypatch, KeyboardInterrupt, 1)
+        assert main(self.ARGS) == 130
+        assert list(tmp_path.iterdir()) == []
+
+    def test_healthy_run_stamps_completed(self, capsys, tmp_path) -> None:
+        trace = tmp_path / "run.jsonl"
+        assert main(self.ARGS + ["--trace", str(trace)]) == 0
+        manifest = json.loads((tmp_path / "run.manifest.json").read_text())
+        assert manifest["status"] == "completed"
+
+
 class TestEquilibriumGuarantees:
     def test_equilibrium_prints_guarantee_checks(self, capsys) -> None:
         code = main(["equilibrium", "--devices", "8"])

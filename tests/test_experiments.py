@@ -30,7 +30,7 @@ class TestRegistry:
         assert set(RUNNERS) == {
             "fig2", "fig3", "fig4", "fig5", "fig6", "fig7", "fig8", "fig9",
             "ablation-z", "ablation-freq", "ablation-greedy",
-            "ablation-pacing", "robustness-faults",
+            "ablation-pacing", "robustness-faults", "robustness-chaos",
         }
 
 
@@ -130,6 +130,15 @@ class TestReducedParameterRunners:
         )
         assert len(result.rows) == 2
         assert result.rows[1][1] > 0.0  # downtime actually happened
+        result.verify()
+
+    def test_chaos_sweep_reduced(self) -> None:
+        from repro.experiments import run_chaos_sweep
+
+        result = run_chaos_sweep(num_devices=8, horizon=30)
+        assert len(result.rows) == 3
+        assert result.horizons == [30, 30, 30]  # never-abort, every level
+        assert any(row[1] > 0 for row in result.rows[1:])  # faults injected
         result.verify()
 
     def test_ablation_z_reduced(self) -> None:

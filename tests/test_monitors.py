@@ -15,6 +15,7 @@ from repro.obs import (
     MonitorSuite,
     Probe,
     QueueStabilityMonitor,
+    ResilienceMonitor,
     default_monitors,
 )
 from repro.sim.faults import MarkovOutages
@@ -216,6 +217,92 @@ class TestAnomalyMonitor:
         assert len(monitor.alerts) == 1
 
 
+def counter(name: str, value: float = 1.0) -> dict:
+    return {"kind": "counter", "name": name, "value": value}
+
+
+class TestResilienceMonitor:
+    def test_quiet_run_is_ok(self) -> None:
+        monitor = ResilienceMonitor()
+        for t in range(8):
+            monitor.observe(slot(t))
+        status = monitor.finish()
+        assert status.status == "ok"
+        assert "no degraded-mode activity" in status.detail
+
+    def test_occasional_fallbacks_stay_ok(self) -> None:
+        monitor = ResilienceMonitor(fallback_rate_threshold=0.25)
+        for t in range(10):
+            fields = {"fallback": "greedy"} if t == 3 else {}
+            monitor.observe(slot(t, **fields))
+        monitor.observe(counter("resilience.fallbacks"))
+        status = monitor.finish()
+        assert status.status == "ok"
+        assert "fallbacks=1" in status.detail
+        assert "fallback slots 1/10" in status.detail
+
+    def test_sustained_fallback_rate_warns(self) -> None:
+        monitor = ResilienceMonitor(fallback_rate_threshold=0.25)
+        for t in range(10):
+            fields = {"fallback": "greedy"} if t % 2 else {}
+            monitor.observe(slot(t, **fields))
+        status = monitor.finish()
+        assert status.status == "warning"
+        assert any("effectively degraded" in a.message for a in monitor.alerts)
+
+    def test_random_tier_always_warns(self) -> None:
+        monitor = ResilienceMonitor()
+        monitor.observe(slot(0, fallback="random"))
+        monitor.observe(counter("resilience.fallback.random"))
+        monitor.finish()
+        assert any("random" in a.message for a in monitor.alerts)
+
+    def test_failed_replication_seed_warns_immediately(self) -> None:
+        monitor = ResilienceMonitor()
+        monitor.observe(
+            {
+                "kind": "event",
+                "name": "replication.seed_failed",
+                "data": {"seed": 9, "attempts": 3, "error": "boom"},
+            }
+        )
+        assert len(monitor.alerts) == 1
+        assert "seed 9" in monitor.alerts[0].message
+        assert monitor.failed_seeds == [9]
+
+    def test_non_resilience_counters_are_ignored(self) -> None:
+        monitor = ResilienceMonitor()
+        monitor.observe(counter("engine.moves", 50))
+        monitor.observe(counter("resilience.quarantined", 2))
+        assert monitor.counts == {"resilience.quarantined": 2.0}
+
+    def test_end_to_end_chaos_run_reaches_the_monitor(self) -> None:
+        from repro.core.resilience import ResiliencePolicy, SolverChaos
+
+        scenario = repro.make_paper_scenario(seed=29, config=self.CONFIG)
+        monitor = ResilienceMonitor(fallback_rate_threshold=0.9)
+        probe = Probe()
+        MonitorSuite([monitor]).attach(probe)
+        controller = repro.DPPController(
+            scenario.network,
+            scenario.controller_rng(),
+            v=100.0,
+            budget=scenario.budget,
+            z=1,
+            resilience=ResiliencePolicy(chaos=SolverChaos(fail_slots=(1, 3))),
+            tracer=probe,
+        )
+        repro.run_simulation(
+            controller, scenario.fresh_states(6, tracer=probe),
+            budget=scenario.budget, tracer=probe,
+        )
+        assert monitor.fallback_slots == 2
+        assert monitor.counts["resilience.fallbacks"] == 2.0
+        assert monitor.finish().status == "ok"
+
+    CONFIG = repro.ScenarioConfig(num_devices=8)
+
+
 class TestHealthReport:
     def _report(self, *, over_budget: bool) -> HealthReport:
         suite = MonitorSuite([BudgetDriftMonitor(1.0), FeasibilityMonitor()])
@@ -300,12 +387,13 @@ class TestEndToEnd:
     def test_default_monitors_composition(self) -> None:
         bare = default_monitors()
         assert {m.name for m in bare} == {
-            "queue_stability", "feasibility", "anomaly"
+            "queue_stability", "feasibility", "anomaly", "resilience"
         }
         network = repro.make_paper_scenario(
             seed=3, config=self.CONFIG
         ).network
         full = default_monitors(budget=1.0, network=network)
         assert {m.name for m in full} == {
-            "queue_stability", "feasibility", "anomaly", "budget", "guarantee"
+            "queue_stability", "feasibility", "anomaly", "resilience",
+            "budget", "guarantee"
         }
