@@ -87,6 +87,7 @@ def make_controller(
     initial_backlog: float = 0.0,
     warm_start_queue: bool = False,
     tracer: "Tracer | None" = None,
+    engine_backend: str | None = None,
     **params: object,
 ) -> OnlineController:
     """Build a named controller wired to a scenario (or a bare network).
@@ -113,6 +114,10 @@ def make_controller(
         warm_start_queue: Start the virtual queue at its estimated
             equilibrium backlog (requires a scenario).
         tracer: Observability tracer threaded into the controller.
+        engine_backend: Array-kernel backend (``"numpy"`` or ``"jit"``)
+            for the DPP family's hot loops; see :mod:`repro.kernels`.
+            Bit-identical across backends -- wall-clock only.  The
+            ``"fixed"`` controller has no array hot loop and ignores it.
         **params: Controller-family extras -- e.g. ``iterations=`` for
             MCBA, ``joint=`` for greedy, ``fraction=``/``slack=`` for
             fixed, ``warm_start=``/``carry_over=`` for DPP.
@@ -173,6 +178,7 @@ def make_controller(
             p2a_solver=solver,
             initial_backlog=initial_backlog,
             tracer=tracer,
+            engine_backend=engine_backend,
             **params,  # type: ignore[arg-type]
         )
     if name == "fixed" and params:
@@ -191,6 +197,7 @@ def run(
     z: int | None = None,
     budget: float | None = None,
     tracer: "Tracer | None" = None,
+    engine_backend: str | None = None,
     monitors: "object | None" = None,
     keep_records: bool = False,
     on_slot=None,
@@ -222,6 +229,11 @@ def run(
         z: BDMA alternation rounds (see :func:`make_controller`).
         budget: Energy budget; ``scenario.budget`` when omitted.
         tracer: Observability tracer (e.g. :class:`repro.obs.Probe`).
+        engine_backend: Array-kernel backend for the controller's hot
+            loops (``"numpy"``/``"jit"``; see :mod:`repro.kernels`).
+            Results are bit-identical across backends -- only the slot
+            throughput changes.  Ignored when ``controller`` is an
+            already built instance (configure it at construction).
         monitors: Health monitors to watch the run -- a
             :class:`repro.obs.monitors.MonitorSuite`, an iterable of
             :class:`~repro.obs.monitors.Monitor`, or ``True`` for
@@ -286,6 +298,7 @@ def run(
             budget=budget,
             warm_start_queue=warm_start_queue,
             tracer=tracer,
+            engine_backend=engine_backend,
             **controller_params,  # type: ignore[arg-type]
         )
     if checkpoint is not None:

@@ -85,6 +85,7 @@ def _build_controller(
         equilibrium_rng_label="cli-equilibrium",
         warm_start_queue=args.warm_start,
         tracer=tracer,
+        engine_backend=args.backend,
         **extras,
     )
 
@@ -113,6 +114,7 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
                     "solver": args.solver,
                     "horizon": args.horizon,
                     "warm_start": args.warm_start,
+                    "backend": args.backend,
                 },
                 seed=args.seed,
             )
@@ -348,6 +350,10 @@ def build_parser() -> argparse.ArgumentParser:
     _add_scenario_arguments(sim)
     sim.add_argument("--horizon", type=int, default=48, help="slots to simulate")
     sim.add_argument("--solver", choices=_SOLVER_CHOICES, default="bdma")
+    sim.add_argument("--backend", choices=("numpy", "jit"), default="numpy",
+                     help="array-kernel backend for the solver hot loops "
+                          "(bit-identical results; jit needs numba or a C "
+                          "compiler, else it falls back to numpy)")
     sim.add_argument("--z", type=int, default=3, help="BDMA alternation rounds")
     sim.add_argument("--fraction", type=float, default=1.0,
                      help="clock position in [0,1] for --solver fixed")

@@ -25,6 +25,7 @@ from repro.core.latency import optimal_total_latency
 from repro.core.p2b import _BATCH_CUTOVER, solve_p2b
 from repro.core.state import Assignment, SlotState
 from repro.exceptions import ConfigurationError, DeadlineError
+from repro.kernels import KernelBackend
 from repro.network.connectivity import StrategySpace
 from repro.network.topology import MECNetwork
 from repro.obs.probe import Tracer, as_tracer
@@ -60,6 +61,7 @@ def cgba_p2a_solver(
     tracer: "Tracer | None" = None,
     reuse_game: bool = True,
     accept_partial: bool = False,
+    backend: "KernelBackend | str | None" = None,
 ) -> P2ASolver:
     """The default P2-A solver: CGBA(lambda) (Algorithm 3).
 
@@ -79,6 +81,9 @@ def cgba_p2a_solver(
     ``resilience.partial_accepts`` counter) instead of raising
     :class:`~repro.exceptions.ConvergenceError` -- the iteration-cap
     half of degraded-mode execution.
+
+    ``backend`` selects the array-kernel backend for the congestion
+    game's hot loops (bit-identical across backends; wall-clock only).
     """
     accumulated = EngineStats()
     cache: dict = {"key": None, "game": None}
@@ -112,6 +117,7 @@ def cgba_p2a_solver(
             tracer=tracer,
             game=game,
             accept_partial=accept_partial,
+            backend=backend,
         )
         if reuse_game:
             cache["key"] = (network, state, space)
@@ -178,6 +184,7 @@ def solve_p2_bdma(
     warm_brackets: bool = False,
     tracer: "Tracer | None" = None,
     deadline: float | None = None,
+    backend: "KernelBackend | str | None" = None,
 ) -> BDMAResult:
     """Solve P2 by alternating P2-A and P2-B for ``z`` rounds.
 
@@ -231,6 +238,12 @@ def solve_p2_bdma(
             :class:`~repro.exceptions.DeadlineError` is raised for the
             caller's fallback chain.  ``None`` (the default) never
             truncates, so healthy runs are bit-identical.
+        backend: Array-kernel backend (``"numpy"``/``"jit"``) used by
+            the default CGBA solver's congestion game and by the P2-B
+            frequency search.  Backends are bit-identical by contract,
+            so this changes wall-clock only.  An externally supplied
+            ``p2a_solver`` is not affected (configure its backend at
+            construction); P2-B still honours the choice.
 
     Returns:
         The best decision by P2 objective across all rounds.
@@ -252,6 +265,77 @@ def solve_p2_bdma(
         returned decision and ``objective_history`` are bit-identical to
         running all ``z`` rounds, only the engine work counters shrink.
     """
+    return drive_p2b(
+        bdma_request_stream(
+            network,
+            state,
+            space,
+            rng,
+            queue_backlog=queue_backlog,
+            v=v,
+            budget=budget,
+            z=z,
+            p2a_solver=p2a_solver,
+            warm_start=warm_start,
+            initial=initial,
+            initial_frequencies=initial_frequencies,
+            warm_brackets=warm_brackets,
+            tracer=tracer,
+            deadline=deadline,
+            backend=backend,
+        )
+    )
+
+
+def drive_p2b(stream):
+    """Run a P2-B request stream to completion, one solve at a time.
+
+    *stream* is a generator that yields :func:`~repro.core.p2b.solve_p2b`
+    keyword dicts, receives the resulting frequencies back, and returns
+    its final value -- the protocol produced by
+    :func:`bdma_request_stream` and
+    :meth:`repro.core.controller.DPPController.step_requests`.  This
+    driver is the sequential interpreter; lockstep drivers
+    (:mod:`repro.sim.batched`) advance several streams together and fuse
+    their P2-B searches into one kernel invocation instead.
+    """
+    try:
+        request = next(stream)
+        while True:
+            request = stream.send(solve_p2b(**request))
+    except StopIteration as stop:
+        return stop.value
+
+
+def bdma_request_stream(
+    network: MECNetwork,
+    state: SlotState,
+    space: StrategySpace,
+    rng: Rng,
+    *,
+    queue_backlog: float,
+    v: float,
+    budget: float,
+    z: int = 5,
+    p2a_solver: P2ASolver | None = None,
+    warm_start: bool = True,
+    initial: Assignment | None = None,
+    initial_frequencies: FloatArray | None = None,
+    warm_brackets: bool = False,
+    tracer: "Tracer | None" = None,
+    deadline: float | None = None,
+    backend: "KernelBackend | str | None" = None,
+):
+    """Generator form of :func:`solve_p2_bdma` (same arguments).
+
+    Yields one :func:`~repro.core.p2b.solve_p2b` keyword dict per
+    alternation round, expects the resulting frequency array to be sent
+    back, and returns the :class:`BDMAResult`.  Driving it with
+    :func:`drive_p2b` *is* ``solve_p2_bdma``; batched replication drives
+    several streams in lockstep so their P2-B searches can share one
+    kernel call (bit-identical either way -- the search lanes are
+    independent).
+    """
     if z < 1:
         raise ConfigurationError(f"z must be a positive integer, got {z}")
     if v <= 0.0:
@@ -260,7 +344,9 @@ def solve_p2_bdma(
         raise ConfigurationError("queue backlog cannot be negative")
     tracer = as_tracer(tracer)
     solver = (
-        p2a_solver if p2a_solver is not None else cgba_p2a_solver(tracer=tracer)
+        p2a_solver
+        if p2a_solver is not None
+        else cgba_p2a_solver(tracer=tracer, backend=backend)
     )
     pop_stats = getattr(solver, "pop_stats", None)
     if callable(pop_stats):
@@ -325,14 +411,15 @@ def solve_p2_bdma(
                 history.extend([history[-1]] * remaining)
                 break
         with tracer.span("p2b"):
-            frequencies = solve_p2b(
-                network,
-                state,
-                assignment,
+            frequencies = yield dict(
+                network=network,
+                state=state,
+                assignment=assignment,
                 queue_backlog=queue_backlog,
                 v=v,
                 bracket_hint=frequencies if (use_hints and hint_ready) else None,
                 tracer=tracer,
+                backend=backend,
             )
         hint_ready = True
         # dpp_objective's arithmetic, with the latency and cost terms

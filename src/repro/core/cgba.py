@@ -16,6 +16,7 @@ from dataclasses import dataclass, field
 from repro.core.congestion_game import OffloadingCongestionGame
 from repro.core.state import Assignment, SlotState
 from repro.exceptions import ConvergenceError
+from repro.kernels import KernelBackend
 from repro.network.connectivity import StrategySpace
 from repro.network.topology import MECNetwork
 from repro.obs.probe import Tracer, as_tracer
@@ -84,6 +85,7 @@ def solve_p2a_cgba(
     tracer: "Tracer | None" = None,
     game: OffloadingCongestionGame | None = None,
     accept_partial: bool = False,
+    backend: "KernelBackend | str | None" = None,
 ) -> CGBAResult:
     """Solve P2-A with CGBA(lambda).
 
@@ -117,7 +119,12 @@ def solve_p2a_cgba(
             re-fixed and the profile re-seeded exactly as a fresh
             constructor would (same load bincounts, same rng
             consumption), so results are bit-identical either way; only
-            the candidate-array construction is saved.
+            the candidate-array construction is saved.  A reused game
+            keeps the kernel backend it was built with.
+        backend: Array-kernel backend for the game's hot loops
+            (:func:`repro.kernels.get_kernels` argument).  Every backend
+            is bit-identical to the NumPy oracle, so this changes
+            wall-clock only.
 
     Returns:
         A :class:`CGBAResult`; ``total_latency`` equals
@@ -129,7 +136,8 @@ def solve_p2a_cgba(
     tracer = as_tracer(tracer)
     if game is None:
         game = OffloadingCongestionGame(
-            network, state, space, frequencies, initial=initial, rng=rng
+            network, state, space, frequencies, initial=initial, rng=rng,
+            kernels=backend,
         )
     else:
         game.update_frequencies(frequencies)

@@ -25,6 +25,7 @@ import numpy as np
 from repro.core.latency import effective_fronthaul_se
 from repro.core.state import Assignment, SlotState
 from repro.exceptions import ConfigurationError
+from repro.kernels import DecomposedState, KernelBackend, get_kernels
 from repro.network.connectivity import StrategySpace
 from repro.network.topology import MECNetwork
 from repro.solvers.potential_game import FiniteGame
@@ -43,6 +44,10 @@ class OffloadingCongestionGame(FiniteGame):
         initial: Starting assignment; drawn uniformly at random from the
             strategy space when omitted (Algorithm 3, line 1).
         rng: Required when *initial* is omitted.
+        kernels: Array-kernel backend for the batch evaluators (a
+            :class:`~repro.kernels.KernelBackend`, a backend name, or
+            ``None`` for the NumPy reference kernels).  Every backend
+            is bit-identical by contract, so this only changes speed.
     """
 
     def __init__(
@@ -54,6 +59,7 @@ class OffloadingCongestionGame(FiniteGame):
         *,
         initial: Assignment | None = None,
         rng: Rng | None = None,
+        kernels: KernelBackend | str | None = None,
     ) -> None:
         frequencies = np.asarray(frequencies, dtype=np.float64)
         if frequencies.size != network.num_servers:
@@ -61,6 +67,7 @@ class OffloadingCongestionGame(FiniteGame):
         self.network = network
         self.state = state
         self.space = space
+        self.kernels = get_kernels(kernels)
 
         # Resource weights m_r.
         self._m_access = 1.0 / network.access_bandwidth
@@ -98,6 +105,7 @@ class OffloadingCongestionGame(FiniteGame):
         # _ensure_decomposed.  The structure check is cheap and eager so
         # the engine can pick its refresh strategy up front.
         self._dc_ready = False
+        self._ks: DecomposedState | None = None
         menu_sizes = np.array(
             [menu.size for menu in space.server_menu()], dtype=np.int64
         )
@@ -122,17 +130,31 @@ class OffloadingCongestionGame(FiniteGame):
         self._load_access = self._loads[:num_bs]
         self._load_front = self._loads[num_bs : 2 * num_bs]
         self._load_compute = self._loads[2 * num_bs :]
+        self._pa_cur: np.ndarray | None = None
         self._init_profile()
 
     def _init_profile(self) -> None:
-        """(Re)build loads and per-player caches from the profile arrays."""
+        """(Re)build loads and per-player caches from the profile arrays.
+
+        Rebuilds fill the same buffers in place rather than re-binding
+        fresh arrays: the kernel-state view (and the jit backends'
+        cached pointer conversions) alias these buffers, and a stable
+        identity keeps those caches hot across BDMA-round resets.
+        """
         network = self.network
         pa = self._p_access[self._devices, self._bs_of]
         pc = self._p_compute[self._devices, self._server_of]
         # Current-strategy weights per player, kept in sync by move();
         # the batch evaluator reads these instead of re-gathering 2-D.
-        self._pa_cur = pa.copy()
-        self._pc_cur = pc.copy()
+        if self._pa_cur is None:
+            self._pa_cur = pa.copy()
+            self._pc_cur = pc.copy()
+            self._sq_access = np.empty(network.num_base_stations)
+            self._sq_front = np.empty(network.num_base_stations)
+            self._sq_compute = np.empty(network.num_servers)
+        else:
+            self._pa_cur[:] = pa
+            self._pc_cur[:] = pc
         self._load_access[:] = np.bincount(
             self._bs_of, weights=pa, minlength=network.num_base_stations
         )
@@ -142,15 +164,15 @@ class OffloadingCongestionGame(FiniteGame):
         self._load_compute[:] = np.bincount(
             self._server_of, weights=pc, minlength=network.num_servers
         )
-        self._sq_access = np.bincount(
+        self._sq_access[:] = np.bincount(
             self._bs_of, weights=pa * pa, minlength=network.num_base_stations
         )
-        self._sq_front = np.bincount(
+        self._sq_front[:] = np.bincount(
             self._bs_of,
             weights=self._p_front * self._p_front,
             minlength=network.num_base_stations,
         )
-        self._sq_compute = np.bincount(
+        self._sq_compute[:] = np.bincount(
             self._server_of, weights=pc * pc, minlength=network.num_servers
         )
         if not np.all(np.isfinite(self._load_access)):
@@ -179,6 +201,18 @@ class OffloadingCongestionGame(FiniteGame):
         cur_idx[0] = self._bs_of
         np.add(self._bs_of, num_bs, out=cur_idx[1])
         np.add(self._server_of, 2 * num_bs, out=cur_idx[2])
+        # The profile arrays above are re-bound (not mutated) by
+        # _init_profile/reset_profile, so the kernel-state view must
+        # re-capture them; everything else in it aliases stable buffers.
+        ks = self._ks
+        if ks is not None:
+            ks.bs_of = self._bs_of
+            ks.server_of = self._server_of
+            ks.pa_cur = self._pa_cur
+            ks.pc_cur = self._pc_cur
+            ks.sq_access = self._sq_access
+            ks.sq_front = self._sq_front
+            ks.sq_compute = self._sq_compute
 
     def reset_profile(
         self, initial: Assignment | None = None, *, rng: Rng | None = None
@@ -197,8 +231,9 @@ class OffloadingCongestionGame(FiniteGame):
             bs_of, server_of = self.space.random_assignment(rng)
         else:
             bs_of, server_of = initial.bs_of.copy(), initial.server_of.copy()
-        self._bs_of = np.asarray(bs_of, dtype=np.int64)
-        self._server_of = np.asarray(server_of, dtype=np.int64)
+        # In place: the kernel-state view aliases these index arrays.
+        np.copyto(self._bs_of, np.asarray(bs_of, dtype=np.int64))
+        np.copyto(self._server_of, np.asarray(server_of, dtype=np.int64))
         self._init_profile()
 
     def update_frequencies(self, frequencies: FloatArray) -> None:
@@ -211,7 +246,9 @@ class OffloadingCongestionGame(FiniteGame):
         frequencies = np.asarray(frequencies, dtype=np.float64)
         if frequencies.size != self.network.num_servers:
             raise ConfigurationError("one frequency per server is required")
-        self._m_compute = 1.0 / self.network.speeds(frequencies)
+        # In place (same `1.0 / x` ufunc): the kernel-state view and the
+        # jit pointer caches alias this buffer.
+        np.divide(1.0, self.network.speeds(frequencies), out=self._m_compute)
         if self._cand_ready:
             flat = self.space.flat()
             np.multiply(
@@ -223,6 +260,8 @@ class OffloadingCongestionGame(FiniteGame):
                 self._m_compute, self._p_compute, out=self._dc_w[:, 2 * num_bs :]
             )
             self._dc_wcur[2] = self._m_compute[self._server_of] * self._pc_cur
+            if self._ks is not None:
+                self._ks.m_compute = self._m_compute
 
     # -- FiniteGame interface ----------------------------------------------
 
@@ -376,12 +415,61 @@ class OffloadingCongestionGame(FiniteGame):
         # server menu contribute no candidates, so their total is never
         # the minimum.
         self._dc_bvals = np.full((players, len(menus) + 1), np.inf)
-        self._dc_nidx = np.empty((len(menus), players), dtype=np.int64)
-        self._dc_kbest = np.zeros(players, dtype=np.int64)
+        # intp (== int64 here) so np.argmin can write them in place.
+        self._dc_nidx = np.empty((len(menus), players), dtype=np.intp)
+        self._dc_kbest = np.zeros(players, dtype=np.intp)
         self._dc_rows = self._devices
         self._dc_cc = np.empty(players)
         self._dc_cc3 = np.empty((3, players))
         self._dc_num_bs = num_bs
+
+        # Flattened menu tables for the non-NumPy kernels (the column
+        # specs above are numpy gather syntax, not plain arrays).
+        menu_offsets = np.zeros(len(menus) + 1, dtype=np.int64)
+        if menus:
+            np.cumsum([menu.size for menu in menus], out=menu_offsets[1:])
+        menu_servers = (
+            np.ascontiguousarray(np.concatenate(menus), dtype=np.int64)
+            if menus
+            else np.empty(0, dtype=np.int64)
+        )
+        self._ks = DecomposedState(
+            num_players=players,
+            num_bs=num_bs,
+            num_servers=num_srv,
+            loads=self._loads,
+            p=self._dc_p,
+            w=self._dc_w,
+            sub=self._dc_sub,
+            wcur=self._dc_wcur,
+            cur_idx=self._dc_cur_idx,
+            menu_of_bs=np.ascontiguousarray(menu_of_bs, dtype=np.int64),
+            menu_offsets=menu_offsets,
+            menu_servers=menu_servers,
+            cols=self._dc_cols,
+            adj=self._dc_adj,
+            t=self._dc_t,
+            bk=self._dc_bk,
+            bvals=self._dc_bvals,
+            nidx=self._dc_nidx,
+            kbest=self._dc_kbest,
+            cc=self._dc_cc,
+            cc3=self._dc_cc3,
+            rows=self._dc_rows,
+            p_access=self._p_access,
+            p_front=self._p_front,
+            p_compute=self._p_compute,
+            m_access=self._m_access,
+            m_front=self._m_front,
+            m_compute=self._m_compute,
+            bs_of=self._bs_of,
+            server_of=self._server_of,
+            pa_cur=self._pa_cur,
+            pc_cur=self._pc_cur,
+            sq_access=self._sq_access,
+            sq_front=self._sq_front,
+            sq_compute=self._sq_compute,
+        )
 
         self._dc_ready = True
         self._dc_reset_profile_caches()
@@ -448,15 +536,12 @@ class OffloadingCongestionGame(FiniteGame):
         np.subtract(load_f, pf, out=load_f, where=same_bs)
         np.subtract(load_c, self._pc_cur[seg_player], out=load_c, where=same_server)
 
-        costs = wa * (load_a + pa) + wf * (load_f + pf) + wc * (load_c + pc)
-        best_cost = np.minimum.reduceat(costs, offsets)
+        costs = self.kernels.candidate_costs(
+            wa, wf, wc, pa, pf, pc, load_a, load_f, load_c
+        )
         # First index attaining the segment minimum == np.argmin's choice.
         counts = flat.counts[players]
-        positions = np.arange(costs.size, dtype=np.int64)
-        first = np.minimum.reduceat(
-            np.where(costs == np.repeat(best_cost, counts), positions, costs.size),
-            offsets,
-        )
+        best_cost, first = self.kernels.segment_first_min(costs, offsets, counts)
         if isinstance(idx, slice):
             best_global = first
         else:
@@ -481,58 +566,34 @@ class OffloadingCongestionGame(FiniteGame):
     ) -> tuple[FloatArray, FloatArray]:
         """``(best_cost, current_cost)`` per player, best strategies deferred.
 
-        Product-form evaluation (see :meth:`_ensure_decomposed`): one
-        fused adjustment pass over the ``(I, 2K + N)`` per-entry costs,
-        one server argmin per distinct menu, and one base-station argmin
-        -- numerically identical to :meth:`batch_best_responses` (same
+        Product-form evaluation (see :meth:`_ensure_decomposed`),
+        delegated to the selected kernel backend's ``gap_sweep`` --
+        numerically identical to :meth:`batch_best_responses` (same
         IEEE expression tree, same first-minimum tie break).  The full
         gap vector is always recomputed (it is cheaper than any subset
         gather at this granularity); when *players* is given only their
-        entries are returned.  The per-player argmins are retained so
-        the engine can resolve the selected mover's best strategy lazily
-        via :meth:`best_strategy_for`.
+        entries are returned.  The per-player argmins are retained (in
+        the kernel state) so the engine can resolve the selected
+        mover's best strategy lazily via :meth:`best_strategy_for`.
         """
         self._ensure_decomposed()
-        num_bs = self._dc_num_bs
-        rows = self._dc_rows
-        # adj[i, r] = (load_r - own weight if i sits on r + p_{i,r}) * w_{i,r};
-        # subtracting the zero entries of the maintained own-weight array
-        # is a bitwise no-op, so no mask is needed.
-        adj = self._dc_adj
-        np.subtract(self._loads, self._dc_sub, out=adj)
-        np.add(adj, self._dc_p, out=adj)
-        np.multiply(adj, self._dc_w, out=adj)
-        # A(i, k): access + fronthaul; B(i, n): compute.
-        t = self._dc_t
-        np.add(adj[:, :num_bs], adj[:, num_bs : 2 * num_bs], out=t)
-        bvals = self._dc_bvals
-        for g, cols in enumerate(self._dc_cols):
-            sub = adj[:, cols]
-            nidx = sub.argmin(axis=1)
-            self._dc_nidx[g] = nidx
-            bvals[:, g] = sub[rows, nidx]
-        bvals.take(self._dc_menu_of_bs, axis=1, out=self._dc_bk)
-        np.add(t, self._dc_bk, out=t)
-        kbest = t.argmin(axis=1)
-        self._dc_kbest = kbest
-        best_cost = t[rows, kbest]
-
-        # current_cost via one fused gather: row j of cc3 is
-        # wcur[j] * loads[current resource j], so the axis-0 sum is the
-        # same (access + fronthaul) + compute addition order as the
-        # scalar expression.  The result lives in a buffer reused by the
-        # next refresh (callers consume it immediately, as the engine
-        # does).
-        cc3 = self._dc_cc3
-        self._loads.take(self._dc_cur_idx, out=cc3)
-        np.multiply(self._dc_wcur, cc3, out=cc3)
-        cc = self._dc_cc
-        np.add.reduce(cc3, axis=0, out=cc)
-        current_cost = cc
+        best_cost, current_cost = self.kernels.gap_sweep(self._ks)
         if players is None:
             return best_cost, current_cost
         players = np.asarray(players, dtype=np.int64)
         return best_cost[players], current_cost[players]
+
+    def kernel_state(self) -> "DecomposedState":
+        """The struct-of-arrays view driven by the kernel backends.
+
+        Engines hand this to :attr:`kernels`' ``run_dynamics`` to run
+        whole best-response trajectories without re-entering Python;
+        all arrays alias this game's state, so kernel mutations are
+        game mutations.
+        """
+        self._ensure_decomposed()
+        assert self._ks is not None
+        return self._ks
 
     def best_strategy_for(self, player: int) -> tuple[int, int]:
         """The best response of *player* from the last gap refresh.

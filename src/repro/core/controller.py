@@ -16,7 +16,12 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.core.allocation import optimal_allocation
-from repro.core.bdma import P2ASolver, cgba_p2a_solver, solve_p2_bdma
+from repro.core.bdma import (
+    P2ASolver,
+    bdma_request_stream,
+    cgba_p2a_solver,
+    drive_p2b,
+)
 from repro.core.budget import BudgetSchedule, as_schedule
 from repro.core.resilience import (
     ResiliencePolicy,
@@ -27,6 +32,7 @@ from repro.core.resilience import (
 from repro.core.state import Assignment, Decision, ResourceAllocation, SlotState
 from repro.core.virtual_queue import VirtualQueue
 from repro.exceptions import ConfigurationError, InfeasibleError, InjectedFaultError, SolverError
+from repro.kernels import get_kernels
 from repro.network.connectivity import StrategySpace
 from repro.network.topology import MECNetwork
 from repro.obs.probe import Tracer, as_tracer
@@ -225,6 +231,12 @@ class DPPController(OnlineController):
             devices are quarantined with explicit accounting, and the
             per-slot watchdog (deadline + iteration cap) bounds solve
             time.  Healthy slots are bit-identical either way.
+        engine_backend: Array-kernel backend (``"numpy"``/``"jit"``)
+            for the per-slot solvers' hot loops; resolved once at
+            construction via :func:`repro.kernels.get_kernels`.
+            Backends are bit-identical by contract, so this changes
+            wall-clock only.  Externally supplied ``p2a_solver``
+            callables keep whatever backend they were built with.
     """
 
     def __init__(
@@ -242,6 +254,7 @@ class DPPController(OnlineController):
         freq_carry_over: bool = False,
         tracer: "Tracer | None" = None,
         resilience: ResiliencePolicy | None = None,
+        engine_backend: str | None = None,
     ) -> None:
         if v <= 0.0:
             raise ConfigurationError(f"V must be positive, got {v}")
@@ -258,6 +271,9 @@ class DPPController(OnlineController):
         self.freq_carry_over = bool(freq_carry_over)
         self.tracer = as_tracer(tracer)
         self.resilience = resilience
+        # Resolve once so an unavailable jit provider warns here, at
+        # construction, rather than on every slot.
+        self.engine_backend = get_kernels(engine_backend)
         if (
             resilience is not None
             and p2a_solver is None
@@ -273,6 +289,7 @@ class DPPController(OnlineController):
                     else 100_000
                 ),
                 accept_partial=resilience.accept_partial,
+                backend=self.engine_backend,
             )
         self._initial_backlog = float(initial_backlog)
         self.queue = VirtualQueue(initial_backlog, tracer=self.tracer)
@@ -314,6 +331,19 @@ class DPPController(OnlineController):
         return self._space
 
     def step(self, state: SlotState) -> SlotRecord:
+        return drive_p2b(self.step_requests(state))
+
+    def step_requests(self, state: SlotState):
+        """Generator form of :meth:`step` for lockstep batch drivers.
+
+        Yields :func:`~repro.core.p2b.solve_p2b` keyword dicts (the
+        slot's BDMA rounds), expects the frequency arrays sent back, and
+        returns the :class:`SlotRecord`.  Driving it with
+        :func:`~repro.core.bdma.drive_p2b` is exactly ``step``; the
+        batched replication runner advances several controllers'
+        streams together so their P2-B searches share one kernel call.
+        Bit-identical to ``step`` either way.
+        """
         tracer = self.tracer
         policy = self.resilience
         with tracer.span("slot"):
@@ -369,7 +399,7 @@ class DPPController(OnlineController):
                         raise InjectedFaultError(
                             f"chaos: injected solver failure at slot {state.t}"
                         )
-                    result = solve_p2_bdma(
+                    result = yield from bdma_request_stream(
                         self.network,
                         effective,
                         space,
@@ -387,6 +417,7 @@ class DPPController(OnlineController):
                         warm_brackets=self.freq_carry_over,
                         tracer=tracer,
                         deadline=deadline,
+                        backend=self.engine_backend,
                     )
                 except SolverError as exc:
                     if policy is None or not policy.fallback:

@@ -21,11 +21,14 @@ call at N=16 on the paper scenario).
 
 from __future__ import annotations
 
+from dataclasses import dataclass
+
 import numpy as np
 
 from repro.core.latency import server_load_roots
 from repro.core.state import Assignment, SlotState
 from repro.energy.models import QuadraticEnergyModel, ScaledEnergyModel
+from repro.kernels import KernelBackend, get_kernels
 from repro.network.topology import MECNetwork
 from repro.obs.probe import Tracer, as_tracer
 from repro.solvers.scalar import (
@@ -53,6 +56,7 @@ def solve_p2b(
     bracket_hint: FloatArray | None = None,
     bracket_margin: float = 0.25,
     tracer: "Tracer | None" = None,
+    backend: "KernelBackend | str | None" = None,
 ) -> FloatArray:
     """Optimal clock frequencies ``Omega`` for P2-B.
 
@@ -86,6 +90,12 @@ def solve_p2b(
             closed-form shortcuts, plus ``p2b.batch_iters`` (total
             golden-section iterations across the batch) on the batch
             path.
+        backend: Kernel backend for the golden-section search.  A
+            backend providing a native ``golden_quad`` (the ``jit``
+            backend) replaces the search core on lanes with quadratic
+            energy models, bit-identically; method resolution and the
+            emitted counters are unchanged, so traces diff clean across
+            backends.  ``None`` keeps the NumPy search.
 
     Returns:
         ``(N,)`` array of frequencies in GHz, elementwise in
@@ -113,8 +123,22 @@ def solve_p2b(
     demand = roots * roots  # A_n
     energy_pressure = queue_backlog * state.price
     tracer = as_tracer(tracer)
+    kernels = get_kernels(backend)
+    native = kernels.golden_quad is not None
 
     if method == "scalar":
+        if native:
+            solved = _solve_p2b_scalar_native(
+                network, state, demand, energy_pressure, v, tol, kernels
+            )
+            if solved is not None:
+                frequencies, searched = solved
+                if tracer.enabled:
+                    tracer.counter("p2b.scalar_solves", searched)
+                    tracer.counter(
+                        "p2b.fastpath", network.num_servers - searched
+                    )
+                return frequencies
         return _solve_p2b_scalar(
             network, state, demand, energy_pressure, v, tol, tracer
         )
@@ -140,37 +164,37 @@ def solve_p2b(
         # speed(omega) is linear in omega, so V A / speed = scale / omega.
         speed_one = network.speed_scale[servers] * 1.0 * 1e9
         latency_scale = v * demand[servers] / speed_one
-        objective = _batch_objective(network, servers, latency_scale, energy_pressure)
+        search_kernels = kernels if native else None
         lo_s, hi_s = lo[servers], hi[servers]
         if bracket_hint is None:
-            result = minimize_convex_scalar_batch(objective, lo_s, hi_s, tol=tol)
-            frequencies[servers] = result.x
-            batch_iters = int(result.iterations.sum())
+            best, batch_iters = _golden_search(
+                search_kernels, network, servers, latency_scale,
+                energy_pressure, lo_s, hi_s, tol,
+            )
+            frequencies[servers] = best
         else:
             hint = np.clip(np.asarray(bracket_hint, dtype=np.float64)[servers],
                            lo_s, hi_s)
             span = bracket_margin * (hi_s - lo_s)
             lo_w = np.maximum(lo_s, hint - span)
             hi_w = np.minimum(hi_s, hint + span)
-            result = minimize_convex_scalar_batch(objective, lo_w, hi_w, tol=tol)
-            best = result.x
-            batch_iters = int(result.iterations.sum())
+            best, batch_iters = _golden_search(
+                search_kernels, network, servers, latency_scale,
+                energy_pressure, lo_w, hi_w, tol,
+            )
             # A minimum on an artificial bracket edge may be a false
             # boundary optimum; rerun those lanes on the full box.
             redo = ((best == lo_w) & (lo_w > lo_s)) | ((best == hi_w) & (hi_w < hi_s))
             if np.any(redo):
                 idx = np.flatnonzero(redo)
-                retry = minimize_convex_scalar_batch(
-                    _batch_objective(
-                        network, servers[idx], latency_scale[idx], energy_pressure
-                    ),
-                    lo_s[idx],
-                    hi_s[idx],
-                    tol=tol,
+                retry_x, retry_iters = _golden_search(
+                    search_kernels, network, servers[idx],
+                    latency_scale[idx], energy_pressure,
+                    lo_s[idx], hi_s[idx], tol,
                 )
                 best = best.copy()
-                best[idx] = retry.x
-                batch_iters += int(retry.iterations.sum())
+                best[idx] = retry_x
+                batch_iters += retry_iters
             frequencies[servers] = best
 
     if tracer.enabled:
@@ -229,6 +253,101 @@ def _batch_objective(
         return out
 
     return objective
+
+
+def _quad_columns(
+    network: MECNetwork, servers: np.ndarray
+) -> tuple[FloatArray, FloatArray, FloatArray, FloatArray] | None:
+    """Per-lane ``(scale, a, b, c)`` arrays, or ``None`` on any non-quad."""
+    quads = [
+        _as_scaled_quadratic(network.servers[int(n)].energy_model)
+        for n in servers
+    ]
+    if any(q is None for q in quads):
+        return None
+    scale, a, b, c = (np.array(col) for col in zip(*quads))
+    return scale, a, b, c
+
+
+def _golden_search(
+    kernels: "KernelBackend | None",
+    network: MECNetwork,
+    servers: np.ndarray,
+    latency_scale: FloatArray,
+    energy_pressure: float,
+    lo: FloatArray,
+    hi: FloatArray,
+    tol: float,
+) -> tuple[FloatArray, int]:
+    """``(x, total_evals)`` for the per-lane golden-section search.
+
+    Uses the kernel backend's native ``golden_quad`` when every lane has
+    a (scaled) quadratic energy model -- bit-identical to the NumPy
+    batch search, including the evaluation counts -- and the NumPy
+    search otherwise.
+    """
+    if kernels is not None and kernels.golden_quad is not None:
+        cols = _quad_columns(network, servers)
+        if cols is not None:
+            scale, a, b, c = cols
+            ep = np.full(servers.size, energy_pressure)
+            x, evals = kernels.golden_quad(
+                lo, hi, latency_scale, ep, scale, a, b, c, tol
+            )
+            return x, int(evals.sum())
+    result = minimize_convex_scalar_batch(
+        _batch_objective(network, servers, latency_scale, energy_pressure),
+        lo,
+        hi,
+        tol=tol,
+    )
+    return result.x, int(result.iterations.sum())
+
+
+def _solve_p2b_scalar_native(
+    network: MECNetwork,
+    state: SlotState,
+    demand: FloatArray,
+    energy_pressure: float,
+    v: float,
+    tol: float,
+    kernels: "KernelBackend",
+) -> tuple[FloatArray, int] | None:
+    """The scalar method's result via the native golden kernel.
+
+    Applies the scalar loop's fast paths as masks (the batch path's
+    construction, itself bit-identical to the loop) and hands every lane
+    that needs the search to ``golden_quad`` in one call.  Returns
+    ``(frequencies, searched_lanes)``, or ``None`` when any searched
+    lane has a non-quadratic energy model (the caller then runs the
+    Python loop, which handles arbitrary models).
+    """
+    lo = network.freq_min
+    hi = network.freq_max
+    frequencies = lo.copy()
+    if state.available_servers is None:
+        online = np.ones(network.num_servers, dtype=bool)
+    else:
+        online = np.asarray(state.available_servers, dtype=bool)
+    loaded = online & (demand > 0.0)
+    if energy_pressure <= 0.0:
+        frequencies[loaded] = hi[loaded]
+        return frequencies, 0
+    servers = np.flatnonzero(loaded)
+    if servers.size == 0:
+        return frequencies, 0
+    cols = _quad_columns(network, servers)
+    if cols is None:
+        return None
+    scale, a, b, c = cols
+    speed_one = network.speed_scale[servers] * 1.0 * 1e9
+    latency_scale = v * demand[servers] / speed_one
+    ep = np.full(servers.size, energy_pressure)
+    x, _ = kernels.golden_quad(
+        lo[servers], hi[servers], latency_scale, ep, scale, a, b, c, tol
+    )
+    frequencies[servers] = x
+    return frequencies, int(servers.size)
 
 
 def _solve_p2b_scalar(
@@ -314,3 +433,165 @@ def _solve_p2b_scalar(
         tracer.counter("p2b.scalar_solves", scalar_solves)
         tracer.counter("p2b.fastpath", network.num_servers - scalar_solves)
     return frequencies
+
+@dataclass
+class _FusedLanes:
+    """One request's contribution to a fused ``golden_quad`` call."""
+
+    frequencies: FloatArray  # output array, fast paths already applied
+    servers: np.ndarray  # lanes that need the search
+    lo: FloatArray
+    hi: FloatArray
+    latency_scale: FloatArray
+    ep: FloatArray
+    scale: FloatArray
+    qa: FloatArray
+    qb: FloatArray
+    qc: FloatArray
+    method: str  # resolved method, for counter parity
+    tracer: Tracer
+    kernels: KernelBackend
+    tol: float
+    num_servers: int
+
+
+def _fuse_prep(
+    network: MECNetwork,
+    state: SlotState,
+    assignment: Assignment,
+    *,
+    queue_backlog: float,
+    v: float,
+    tol: float = 1e-8,
+    method: str = "auto",
+    bracket_hint: FloatArray | None = None,
+    bracket_margin: float = 0.25,
+    tracer: "Tracer | None" = None,
+    backend: "KernelBackend | str | None" = None,
+) -> _FusedLanes | None:
+    """The search-prologue of :func:`solve_p2b`, packaged for fusion.
+
+    Returns ``None`` when the request cannot join a fused kernel call --
+    no native ``golden_quad``, a bracket hint (its redo loop is
+    data-dependent), or a non-quadratic energy model on a searched lane
+    -- in which case the caller solves it solo.  The returned lanes
+    reproduce the solo call's masks, brackets, and coefficient columns
+    exactly, so concatenating them with other requests' lanes cannot
+    change any lane's arithmetic.
+    """
+    if bracket_hint is not None or method not in ("auto", "batch", "scalar"):
+        return None
+    kernels = get_kernels(backend)
+    if kernels.golden_quad is None:
+        return None
+    if method == "auto":
+        method = "scalar" if network.num_servers < _BATCH_CUTOVER else "batch"
+    roots = server_load_roots(network, state, assignment)
+    demand = roots * roots
+    energy_pressure = queue_backlog * state.price
+    lo = network.freq_min
+    hi = network.freq_max
+    frequencies = lo.copy()
+    if state.available_servers is None:
+        online = np.ones(network.num_servers, dtype=bool)
+    else:
+        online = np.asarray(state.available_servers, dtype=bool)
+    loaded = online & (demand > 0.0)
+    if energy_pressure <= 0.0:
+        frequencies[loaded] = hi[loaded]
+        servers = np.empty(0, dtype=np.int64)
+    else:
+        servers = np.flatnonzero(loaded)
+    if servers.size:
+        cols = _quad_columns(network, servers)
+        if cols is None:
+            return None
+        scale, qa, qb, qc = cols
+        speed_one = network.speed_scale[servers] * 1.0 * 1e9
+        latency_scale = v * demand[servers] / speed_one
+    else:
+        empty = np.empty(0)
+        scale = qa = qb = qc = latency_scale = empty
+    return _FusedLanes(
+        frequencies=frequencies,
+        servers=servers,
+        lo=lo[servers],
+        hi=hi[servers],
+        latency_scale=latency_scale,
+        ep=np.full(servers.size, energy_pressure),
+        scale=scale,
+        qa=qa,
+        qb=qb,
+        qc=qc,
+        method=method,
+        tracer=as_tracer(tracer),
+        kernels=kernels,
+        tol=tol,
+        num_servers=network.num_servers,
+    )
+
+
+def solve_p2b_many(requests: "list[dict]") -> "list[FloatArray]":
+    """Solve several independent P2-B instances, fused where possible.
+
+    Args:
+        requests: :func:`solve_p2b` keyword dicts, e.g. as yielded by
+            :func:`repro.core.bdma.bdma_request_stream` -- typically one
+            per replication seed advancing in lockstep.
+
+    Returns:
+        The frequency arrays in request order, each bit-identical to
+        ``solve_p2b(**request)`` run alone.
+
+    Requests that would run the un-hinted search on a native
+    ``golden_quad`` kernel are stacked -- all their server lanes in one
+    kernel invocation per distinct ``(backend, tol)`` -- which is what
+    makes cross-seed batched replication cheaper than R solo runs.
+    The kernel treats lanes independently, so fusion cannot change any
+    lane's result; per-request counters (``p2b.scalar_solves`` /
+    ``p2b.fastpath`` / ``p2b.batch_iters``) are emitted to each
+    request's own tracer exactly as the solo call would.  Requests that
+    cannot fuse (numpy backend, bracket hints, non-quadratic energy
+    models) fall back to a plain :func:`solve_p2b` call.
+    """
+    out: "list[FloatArray | None]" = [None] * len(requests)
+    groups: dict = {}
+    for idx, request in enumerate(requests):
+        prep = _fuse_prep(**request)
+        if prep is None:
+            out[idx] = solve_p2b(**request)
+        else:
+            groups.setdefault((id(prep.kernels), prep.tol), []).append(
+                (idx, prep)
+            )
+    for members in groups.values():
+        lanes = [prep for _, prep in members]
+        sizes = [int(prep.servers.size) for prep in lanes]
+        if sum(sizes):
+            x_all, evals_all = lanes[0].kernels.golden_quad(
+                np.concatenate([p.lo for p in lanes]),
+                np.concatenate([p.hi for p in lanes]),
+                np.concatenate([p.latency_scale for p in lanes]),
+                np.concatenate([p.ep for p in lanes]),
+                np.concatenate([p.scale for p in lanes]),
+                np.concatenate([p.qa for p in lanes]),
+                np.concatenate([p.qb for p in lanes]),
+                np.concatenate([p.qc for p in lanes]),
+                lanes[0].tol,
+            )
+        else:
+            x_all = np.empty(0)
+            evals_all = np.empty(0, dtype=np.int64)
+        offset = 0
+        for (idx, prep), size in zip(members, sizes):
+            prep.frequencies[prep.servers] = x_all[offset : offset + size]
+            evals = evals_all[offset : offset + size]
+            offset += size
+            tracer = prep.tracer
+            if tracer.enabled:
+                tracer.counter("p2b.scalar_solves", size)
+                tracer.counter("p2b.fastpath", prep.num_servers - size)
+                if prep.method == "batch":
+                    tracer.counter("p2b.batch_iters", int(evals.sum()))
+            out[idx] = prep.frequencies
+    return out

@@ -1,0 +1,239 @@
+"""Numba implementation of the kernels (used when numba is installed).
+
+A line-for-line transliteration of the C kernels in
+:mod:`repro.kernels.native`, compiled with ``@njit(fastmath=False)`` so
+IEEE semantics match the NumPy oracle exactly (numba without fastmath
+performs no reassociation or FMA contraction).  Import of numba is
+deferred to :func:`make_numba_backend` so the module is importable --
+and the provider skippable -- when numba is absent.
+
+Warm-up caveat: the first call of each kernel triggers numba's JIT
+compilation (a few seconds); benchmarks warm the kernels on a small
+problem before timing.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.kernels._adapt import wrap_raw_backend
+from repro.kernels.interface import KernelBackend
+
+__all__ = ["make_numba_backend"]
+
+_INVPHI = (math.sqrt(5.0) - 1.0) / 2.0
+_INVPHI2 = (3.0 - math.sqrt(5.0)) / 2.0
+
+_backend: KernelBackend | None = None
+
+
+def _build_raw_kernels():
+    from numba import njit
+
+    inf = math.inf
+    invphi = _INVPHI
+    invphi2 = _INVPHI2
+
+    @njit(cache=False, fastmath=False)
+    def sweep_player(i, I, K, N, G, loads, p, w, sub, wcur, cur_idx,
+                     menu_of_bs, menu_off, menu_srv, nidx, adj, t, bvals):
+        W = 2 * K + N
+        for r in range(W):
+            adj[r] = ((loads[r] - sub[i, r]) + p[i, r]) * w[i, r]
+        for k in range(K):
+            t[k] = adj[k] + adj[K + k]
+        for g in range(G):
+            off = menu_off[g]
+            cnt = menu_off[g + 1] - off
+            bidx = 0
+            bv = adj[2 * K + menu_srv[off]]
+            for j in range(1, cnt):
+                v = adj[2 * K + menu_srv[off + j]]
+                if v < bv:
+                    bv = v
+                    bidx = j
+            nidx[g, i] = bidx
+            bvals[g] = bv
+        kb = 0
+        best = t[0] + bvals[menu_of_bs[0]]
+        for k in range(1, K):
+            v = t[k] + bvals[menu_of_bs[k]]
+            if v < best:
+                best = v
+                kb = k
+        c0 = wcur[0, i] * loads[cur_idx[0, i]]
+        c1 = wcur[1, i] * loads[cur_idx[1, i]]
+        c2 = wcur[2, i] * loads[cur_idx[2, i]]
+        cur = (c0 + c1) + c2
+        return best, cur, kb
+
+    @njit(cache=False, fastmath=False)
+    def raw_gap_sweep(I, K, N, G, loads, p, w, sub, wcur, cur_idx,
+                      menu_of_bs, menu_off, menu_srv, nidx, kbest,
+                      best_out, cur_out, adj, t, bvals):
+        for i in range(I):
+            best, cur, kb = sweep_player(
+                i, I, K, N, G, loads, p, w, sub, wcur, cur_idx,
+                menu_of_bs, menu_off, menu_srv, nidx, adj, t, bvals)
+            best_out[i] = best
+            cur_out[i] = cur
+            kbest[i] = kb
+
+    @njit(cache=False, fastmath=False)
+    def raw_run_dynamics(I, K, N, G, slack, max_iter,
+                         loads, p, w, sub, wcur, cur_idx,
+                         menu_of_bs, menu_off, menu_srv,
+                         nidx, kbest, gaps,
+                         p_access, p_front, p_compute,
+                         m_access, m_front, m_compute,
+                         bs_of, server_of, pa_cur, pc_cur,
+                         sq_access, sq_front, sq_compute,
+                         adj, t, bvals, converged_out):
+        one_minus = 1.0 - slack
+        moves = 0
+        for _ in range(max_iter):
+            pl = 0
+            g = gaps[0]
+            for i in range(1, I):
+                if gaps[i] > g:
+                    g = gaps[i]
+                    pl = i
+            if g == -inf:
+                converged_out[0] = 1
+                return moves
+
+            k_new = kbest[pl]
+            grp = menu_of_bs[k_new]
+            n_new = menu_srv[menu_off[grp] + nidx[grp, pl]]
+            k_old = bs_of[pl]
+            n_old = server_of[pl]
+            pa_old = p_access[pl, k_old]
+            pa_new = p_access[pl, k_new]
+            pf = p_front[pl]
+            pc_old = p_compute[pl, n_old]
+            pc_new = p_compute[pl, n_new]
+
+            loads[k_old] -= pa_old
+            loads[k_new] += pa_new
+            sq_access[k_old] -= pa_old * pa_old
+            sq_access[k_new] += pa_new * pa_new
+
+            loads[K + k_old] -= pf
+            loads[K + k_new] += pf
+            sq_front[k_old] -= pf * pf
+            sq_front[k_new] += pf * pf
+
+            loads[2 * K + n_old] -= pc_old
+            loads[2 * K + n_new] += pc_new
+            sq_compute[n_old] -= pc_old * pc_old
+            sq_compute[n_new] += pc_new * pc_new
+
+            bs_of[pl] = k_new
+            server_of[pl] = n_new
+            pa_cur[pl] = pa_new
+            pc_cur[pl] = pc_new
+
+            sub[pl, k_old] = 0.0
+            sub[pl, K + k_old] = 0.0
+            sub[pl, 2 * K + n_old] = 0.0
+            sub[pl, k_new] = pa_new
+            sub[pl, K + k_new] = pf
+            sub[pl, 2 * K + n_new] = pc_new
+            wcur[0, pl] = m_access[k_new] * pa_new
+            wcur[1, pl] = m_front[k_new] * pf
+            wcur[2, pl] = m_compute[n_new] * pc_new
+            cur_idx[0, pl] = k_new
+            cur_idx[1, pl] = K + k_new
+            cur_idx[2, pl] = 2 * K + n_new
+            moves += 1
+
+            for i in range(I):
+                best, cur, kb = sweep_player(
+                    i, I, K, N, G, loads, p, w, sub, wcur, cur_idx,
+                    menu_of_bs, menu_off, menu_srv, nidx, adj, t, bvals)
+                kbest[i] = kb
+                if slack == 0.0:
+                    gap = cur - best
+                    gaps[i] = -inf if gap <= 0.0 else gap
+                else:
+                    gaps[i] = (cur - best) if one_minus * cur > best else -inf
+        converged_out[0] = 0
+        return moves
+
+    @njit(cache=False, fastmath=False)
+    def raw_golden_quad(n, lo, hi, tol, max_iter,
+                        ls, ep, scale, qa, qb, qc, x_out, evals_out):
+        for i in range(n):
+            a = lo[i]
+            b = hi[i]
+            L = ls[i]
+            E = ep[i]
+            S = scale[i]
+            A = qa[i]
+            B = qb[i]
+            C = qc[i]
+            if b == a:
+                x_out[i] = a
+                evals_out[i] = 1
+                continue
+            width = b - a
+            threshold = tol * (width if width > 1.0 else 1.0)
+            c = a + invphi2 * (b - a)
+            d = a + invphi * (b - a)
+            fc = L / c + E * (S * (A * c * c + B * c + C))
+            fd = L / d + E * (S * (A * d * d + B * d + C))
+            evals = 2
+            for _ in range(max_iter):
+                if (b - a) <= threshold:
+                    break
+                if fc <= fd:
+                    b = d
+                    d = c
+                    fd = fc
+                    c = a + invphi2 * (b - a)
+                    fc = L / c + E * (S * (A * c * c + B * c + C))
+                else:
+                    a = c
+                    c = d
+                    fc = fd
+                    d = a + invphi * (b - a)
+                    fd = L / d + E * (S * (A * d * d + B * d + C))
+                evals += 1
+            xl = lo[i]
+            xh = hi[i]
+            fl = L / xl + E * (S * (A * xl * xl + B * xl + C))
+            fh = L / xh + E * (S * (A * xh * xh + B * xh + C))
+            evals += 2
+            bv = fl
+            bx = xl
+            if fh < bv:
+                bv = fh
+                bx = xh
+            if fc < bv:
+                bv = fc
+                bx = c
+            if fd < bv:
+                bv = fd
+                bx = d
+            x_out[i] = bx
+            evals_out[i] = evals
+        return None
+
+    return raw_gap_sweep, raw_run_dynamics, raw_golden_quad
+
+
+def make_numba_backend() -> KernelBackend:
+    """Build (once per process) the numba-provided ``jit`` backend.
+
+    Raises:
+        ImportError: When numba is not installed; callers fall back to
+            the C provider or the NumPy kernels.
+    """
+    global _backend
+    if _backend is not None:
+        return _backend
+    raw_gap_sweep, raw_run_dynamics, raw_golden_quad = _build_raw_kernels()
+    _backend = wrap_raw_backend(
+        "jit", "numba", raw_gap_sweep, raw_run_dynamics, raw_golden_quad
+    )
+    return _backend

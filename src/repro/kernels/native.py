@@ -1,0 +1,399 @@
+"""C implementation of the kernels, compiled at first use via ctypes.
+
+When numba is not installed, the ``jit`` backend falls back to this
+provider: a single small C translation unit, compiled once with the
+system compiler into a content-addressed shared library under a
+per-user scratch directory, and bound through :mod:`ctypes`.
+
+Bit-exactness: the C code replays the NumPy oracle's expression trees
+exactly -- same association, strict ``<``/``>`` first-occurrence tie
+breaks -- and the build forbids the two compiler liberties that change
+IEEE results (``-fno-fast-math`` against reassociation, and
+``-ffp-contract=off`` against FMA contraction, which GCC otherwise
+enables at any optimisation level).
+"""
+
+from __future__ import annotations
+
+import ctypes
+import getpass
+import hashlib
+import os
+import shutil
+import subprocess
+import tempfile
+from pathlib import Path
+
+import numpy as np
+
+from repro.kernels._adapt import wrap_raw_backend
+from repro.kernels.interface import KernelBackend
+
+__all__ = ["KernelBuildError", "find_compiler", "make_cc_backend"]
+
+
+class KernelBuildError(RuntimeError):
+    """Raised when the C kernels cannot be compiled or loaded."""
+
+
+_SOURCE = r"""
+#include <math.h>
+
+/* Inverse golden ratios; sqrt(5.0) is correctly rounded at compile
+ * time, so these bits match Python's (math.sqrt(5.0) - 1.0) / 2.0. */
+#define INVPHI  ((sqrt(5.0) - 1.0) / 2.0)
+#define INVPHI2 ((3.0 - sqrt(5.0)) / 2.0)
+
+typedef long long i64;
+
+/* One player's decomposed sweep: adjusted per-entry costs, per-menu
+ * server argmin, per-bs total argmin, current cost.  Mirrors the NumPy
+ * gap_sweep row for row (first-minimum tie breaks via strict <). */
+static double sweep_player(
+    i64 i, i64 I, i64 K, i64 N, i64 G,
+    const double *loads, const double *p, const double *w,
+    const double *sub, const double *wcur, const i64 *cur_idx,
+    const i64 *menu_of_bs, const i64 *menu_off, const i64 *menu_srv,
+    i64 *nidx, double *adj, double *t, double *bvals,
+    i64 *kbest_out, double *cur_out)
+{
+    i64 W = 2 * K + N;
+    const double *pi = p + i * W;
+    const double *wi = w + i * W;
+    const double *si = sub + i * W;
+    for (i64 r = 0; r < W; ++r)
+        adj[r] = ((loads[r] - si[r]) + pi[r]) * wi[r];
+    for (i64 k = 0; k < K; ++k)
+        t[k] = adj[k] + adj[K + k];
+    for (i64 g = 0; g < G; ++g) {
+        i64 off = menu_off[g];
+        i64 cnt = menu_off[g + 1] - off;
+        i64 bidx = 0;
+        double bv = adj[2 * K + menu_srv[off]];
+        for (i64 j = 1; j < cnt; ++j) {
+            double v = adj[2 * K + menu_srv[off + j]];
+            if (v < bv) { bv = v; bidx = j; }
+        }
+        nidx[g * I + i] = bidx;
+        bvals[g] = bv;
+    }
+    i64 kb = 0;
+    double best = t[0] + bvals[menu_of_bs[0]];
+    for (i64 k = 1; k < K; ++k) {
+        double v = t[k] + bvals[menu_of_bs[k]];
+        if (v < best) { best = v; kb = k; }
+    }
+    *kbest_out = kb;
+    {
+        double c0 = wcur[0 * I + i] * loads[cur_idx[0 * I + i]];
+        double c1 = wcur[1 * I + i] * loads[cur_idx[1 * I + i]];
+        double c2 = wcur[2 * I + i] * loads[cur_idx[2 * I + i]];
+        *cur_out = (c0 + c1) + c2;
+    }
+    return best;
+}
+
+void repro_gap_sweep(
+    i64 I, i64 K, i64 N, i64 G,
+    const double *loads, const double *p, const double *w,
+    const double *sub, const double *wcur, const i64 *cur_idx,
+    const i64 *menu_of_bs, const i64 *menu_off, const i64 *menu_srv,
+    i64 *nidx, i64 *kbest,
+    double *best_out, double *cur_out,
+    double *adj, double *t, double *bvals)
+{
+    for (i64 i = 0; i < I; ++i)
+        best_out[i] = sweep_player(i, I, K, N, G, loads, p, w, sub, wcur,
+                                   cur_idx, menu_of_bs, menu_off, menu_srv,
+                                   nidx, adj, t, bvals, &kbest[i], &cur_out[i]);
+}
+
+/* The fused best-response loop: argmax gap pick, apply the cached best
+ * response, full sweep, gap update -- one iteration per move, exactly
+ * the engine's hot Python loop.  Returns the move count; *converged_out
+ * is 1 when the gap argmax hit -inf within the budget. */
+i64 repro_run_dynamics(
+    i64 I, i64 K, i64 N, i64 G,
+    double slack, i64 max_iter,
+    double *loads, const double *p, const double *w,
+    double *sub, double *wcur, i64 *cur_idx,
+    const i64 *menu_of_bs, const i64 *menu_off, const i64 *menu_srv,
+    i64 *nidx, i64 *kbest, double *gaps,
+    const double *p_access, const double *p_front, const double *p_compute,
+    const double *m_access, const double *m_front, const double *m_compute,
+    i64 *bs_of, i64 *server_of,
+    double *pa_cur, double *pc_cur,
+    double *sq_access, double *sq_front, double *sq_compute,
+    double *adj, double *t, double *bvals,
+    i64 *converged_out)
+{
+    double one_minus = 1.0 - slack;
+    i64 W = 2 * K + N;
+    i64 moves = 0;
+    for (i64 it = 0; it < max_iter; ++it) {
+        i64 pl = 0;
+        double g = gaps[0];
+        for (i64 i = 1; i < I; ++i)
+            if (gaps[i] > g) { g = gaps[i]; pl = i; }
+        if (g == -INFINITY) { *converged_out = 1; return moves; }
+
+        /* Apply the cached best response of player pl (same float op
+         * order as OffloadingCongestionGame.move). */
+        {
+            i64 k_new = kbest[pl];
+            i64 grp = menu_of_bs[k_new];
+            i64 n_new = menu_srv[menu_off[grp] + nidx[grp * I + pl]];
+            i64 k_old = bs_of[pl];
+            i64 n_old = server_of[pl];
+            double pa_old = p_access[pl * K + k_old];
+            double pa_new = p_access[pl * K + k_new];
+            double pf = p_front[pl];
+            double pc_old = p_compute[pl * N + n_old];
+            double pc_new = p_compute[pl * N + n_new];
+            double *sp = sub + pl * W;
+
+            loads[k_old] -= pa_old;
+            loads[k_new] += pa_new;
+            sq_access[k_old] -= pa_old * pa_old;
+            sq_access[k_new] += pa_new * pa_new;
+
+            loads[K + k_old] -= pf;
+            loads[K + k_new] += pf;
+            sq_front[k_old] -= pf * pf;
+            sq_front[k_new] += pf * pf;
+
+            loads[2 * K + n_old] -= pc_old;
+            loads[2 * K + n_new] += pc_new;
+            sq_compute[n_old] -= pc_old * pc_old;
+            sq_compute[n_new] += pc_new * pc_new;
+
+            bs_of[pl] = k_new;
+            server_of[pl] = n_new;
+            pa_cur[pl] = pa_new;
+            pc_cur[pl] = pc_new;
+
+            sp[k_old] = 0.0;
+            sp[K + k_old] = 0.0;
+            sp[2 * K + n_old] = 0.0;
+            sp[k_new] = pa_new;
+            sp[K + k_new] = pf;
+            sp[2 * K + n_new] = pc_new;
+            wcur[0 * I + pl] = m_access[k_new] * pa_new;
+            wcur[1 * I + pl] = m_front[k_new] * pf;
+            wcur[2 * I + pl] = m_compute[n_new] * pc_new;
+            cur_idx[0 * I + pl] = k_new;
+            cur_idx[1 * I + pl] = K + k_new;
+            cur_idx[2 * I + pl] = 2 * K + n_new;
+        }
+        ++moves;
+
+        /* Full refresh: new gaps under the slack eligibility test. */
+        for (i64 i = 0; i < I; ++i) {
+            i64 kb;
+            double cur;
+            double best = sweep_player(i, I, K, N, G, loads, p, w, sub,
+                                       wcur, cur_idx, menu_of_bs, menu_off,
+                                       menu_srv, nidx, adj, t, bvals,
+                                       &kb, &cur);
+            kbest[i] = kb;
+            if (slack == 0.0) {
+                double gap = cur - best;
+                gaps[i] = (gap <= 0.0) ? -INFINITY : gap;
+            } else {
+                gaps[i] = (one_minus * cur > best) ? (cur - best) : -INFINITY;
+            }
+        }
+    }
+    *converged_out = 0;
+    return moves;
+}
+
+/* Per-lane golden-section search on the P2-B quadratic-energy
+ * objective f(x) = ls/x + ep * (scale * (qa x^2 + qb x + qc)).
+ * Replays minimize_convex_scalar lane by lane: same probe points, same
+ * fc <= fd branch, same endpoint-included candidate comparison with
+ * the first-minimum tie break, same evaluation counting. */
+void repro_golden_quad(
+    i64 n, const double *lo, const double *hi,
+    double tol, i64 max_iter,
+    const double *ls, const double *ep, const double *scale,
+    const double *qa, const double *qb, const double *qc,
+    double *x_out, i64 *evals_out)
+{
+    for (i64 i = 0; i < n; ++i) {
+        double a = lo[i], b = hi[i];
+        double L = ls[i], E = ep[i], S = scale[i];
+        double A = qa[i], B = qb[i], C = qc[i];
+        double width, threshold, c, d, fc, fd, xl, xh, fl, fh, bv, bx;
+        i64 evals;
+        if (b == a) {
+            x_out[i] = a;
+            evals_out[i] = 1;
+            continue;
+        }
+        width = b - a;
+        threshold = tol * (width > 1.0 ? width : 1.0);
+        c = a + INVPHI2 * (b - a);
+        d = a + INVPHI * (b - a);
+        fc = L / c + E * (S * (A * c * c + B * c + C));
+        fd = L / d + E * (S * (A * d * d + B * d + C));
+        evals = 2;
+        for (i64 it = 0; it < max_iter; ++it) {
+            if ((b - a) <= threshold)
+                break;
+            if (fc <= fd) {
+                b = d; d = c; fd = fc;
+                c = a + INVPHI2 * (b - a);
+                fc = L / c + E * (S * (A * c * c + B * c + C));
+            } else {
+                a = c; c = d; fc = fd;
+                d = a + INVPHI * (b - a);
+                fd = L / d + E * (S * (A * d * d + B * d + C));
+            }
+            ++evals;
+        }
+        xl = lo[i];
+        xh = hi[i];
+        fl = L / xl + E * (S * (A * xl * xl + B * xl + C));
+        fh = L / xh + E * (S * (A * xh * xh + B * xh + C));
+        evals += 2;
+        bv = fl; bx = xl;
+        if (fh < bv) { bv = fh; bx = xh; }
+        if (fc < bv) { bv = fc; bx = c; }
+        if (fd < bv) { bv = fd; bx = d; }
+        x_out[i] = bx;
+        evals_out[i] = evals;
+    }
+}
+"""
+
+#: Flags that pin IEEE semantics: no reassociation, no FMA contraction.
+_CFLAGS = ["-O3", "-fPIC", "-shared", "-fno-fast-math", "-ffp-contract=off"]
+
+
+def find_compiler() -> str | None:
+    """Path of a usable C compiler, or ``None``."""
+    for name in ("cc", "gcc", "clang"):
+        path = shutil.which(name)
+        if path:
+            return path
+    return None
+
+
+def _cache_dir() -> Path:
+    override = os.environ.get("REPRO_KERNEL_CACHE")
+    if override:
+        return Path(override)
+    try:
+        user = getpass.getuser()
+    except Exception:  # no passwd entry in minimal containers
+        user = "shared"
+    return Path(tempfile.gettempdir()) / f"repro-kernels-{user}"
+
+
+def _build_library() -> Path:
+    """Compile (or reuse) the shared library; content-addressed cache."""
+    compiler = find_compiler()
+    if compiler is None:
+        raise KernelBuildError("no C compiler found (tried cc, gcc, clang)")
+    digest = hashlib.sha256(_SOURCE.encode()).hexdigest()[:16]
+    cache = _cache_dir()
+    lib_path = cache / f"reprokern-{digest}.so"
+    if lib_path.exists():
+        return lib_path
+    cache.mkdir(parents=True, exist_ok=True)
+    src_path = cache / f"reprokern-{digest}.c"
+    src_path.write_text(_SOURCE)
+    tmp_path = cache / f".reprokern-{digest}.{os.getpid()}.so"
+    cmd = [compiler, *_CFLAGS, "-o", str(tmp_path), str(src_path), "-lm"]
+    try:
+        proc = subprocess.run(cmd, capture_output=True, text=True, timeout=120)
+    except (OSError, subprocess.TimeoutExpired) as exc:
+        raise KernelBuildError(f"kernel compile failed to run: {exc}") from exc
+    if proc.returncode != 0:
+        raise KernelBuildError(
+            f"kernel compile failed ({compiler}):\n{proc.stderr.strip()}"
+        )
+    os.replace(tmp_path, lib_path)  # atomic: concurrent builds converge
+    return lib_path
+
+
+# Arrays are passed as raw data pointers: ndpointer's per-call
+# dtype/flags validation costs microseconds per argument, which
+# dominates once the kernels themselves are sub-millisecond.  The
+# adapter (_adapt._StateCache) validates dtype/contiguity once per
+# array binding and caches the converted pointer.
+_f64 = ctypes.c_void_p
+_i64 = ctypes.c_void_p
+_ll = ctypes.c_longlong
+_dbl = ctypes.c_double
+
+
+def _as_ptr(arr: np.ndarray) -> ctypes.c_void_p:
+    """The array's data pointer, for the c_void_p argument slots."""
+    return ctypes.c_void_p(arr.ctypes.data)
+
+
+def _bind(lib: ctypes.CDLL) -> tuple:
+    gap_sweep = lib.repro_gap_sweep
+    gap_sweep.restype = None
+    gap_sweep.argtypes = [
+        _ll, _ll, _ll, _ll,
+        _f64, _f64, _f64, _f64, _f64, _i64,
+        _i64, _i64, _i64,
+        _i64, _i64,
+        _f64, _f64,
+        _f64, _f64, _f64,
+    ]
+    run_dynamics = lib.repro_run_dynamics
+    run_dynamics.restype = _ll
+    run_dynamics.argtypes = [
+        _ll, _ll, _ll, _ll,
+        _dbl, _ll,
+        _f64, _f64, _f64, _f64, _f64, _i64,
+        _i64, _i64, _i64,
+        _i64, _i64, _f64,
+        _f64, _f64, _f64,
+        _f64, _f64, _f64,
+        _i64, _i64,
+        _f64, _f64,
+        _f64, _f64, _f64,
+        _f64, _f64, _f64,
+        _i64,
+    ]
+    golden_quad = lib.repro_golden_quad
+    golden_quad.restype = None
+    golden_quad.argtypes = [
+        _ll, _f64, _f64,
+        _dbl, _ll,
+        _f64, _f64, _f64,
+        _f64, _f64, _f64,
+        _f64, _i64,
+    ]
+    return gap_sweep, run_dynamics, golden_quad
+
+
+_backend: KernelBackend | None = None
+
+
+def make_cc_backend() -> KernelBackend:
+    """Compile, load, and wrap the C kernels (cached per process).
+
+    Raises:
+        KernelBuildError: When no compiler is available or the build or
+            load fails; callers fall back to the NumPy kernels.
+    """
+    global _backend
+    if _backend is not None:
+        return _backend
+    lib_path = _build_library()
+    try:
+        lib = ctypes.CDLL(str(lib_path))
+        raw_gap_sweep, raw_run_dynamics, raw_golden_quad = _bind(lib)
+    except OSError as exc:
+        raise KernelBuildError(f"failed to load kernel library: {exc}") from exc
+    _backend = wrap_raw_backend(
+        "jit", "cc", raw_gap_sweep, raw_run_dynamics, raw_golden_quad,
+        convert=_as_ptr,
+    )
+    return _backend

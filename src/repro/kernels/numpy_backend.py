@@ -1,0 +1,90 @@
+"""NumPy reference kernels -- the bit-exactness oracle.
+
+These are the exact ufunc sequences that previously lived inline in
+:class:`~repro.core.congestion_game.OffloadingCongestionGame`; every
+other backend must reproduce their results bit for bit (same IEEE
+operation order, same first-minimum tie breaks).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.kernels.interface import DecomposedState, KernelBackend
+
+__all__ = ["make_numpy_backend"]
+
+
+def candidate_costs(wa, wf, wc, pa, pf, pc, load_a, load_f, load_c):
+    """Flat candidate costs, term for term the scalar best-response tree."""
+    return wa * (load_a + pa) + wf * (load_f + pf) + wc * (load_c + pc)
+
+
+def segment_first_min(costs, offsets, counts):
+    """Per-segment minimum and the first index attaining it.
+
+    The first-index construction matches ``np.argmin``'s tie break: ties
+    map to their position, everything else to ``costs.size``, and the
+    segment minimum of that picks the earliest tied position.
+    """
+    best = np.minimum.reduceat(costs, offsets)
+    positions = np.arange(costs.size, dtype=np.int64)
+    first = np.minimum.reduceat(
+        np.where(costs == np.repeat(best, counts), positions, costs.size),
+        offsets,
+    )
+    return best, first
+
+
+def gap_sweep(state: DecomposedState):
+    """One full decomposed gap sweep over every player.
+
+    Returns ``(best_cost, current_cost)`` and retains the per-player
+    argmins in ``state.nidx`` / ``state.kbest`` so the caller can
+    resolve the selected mover's strategy lazily.
+    """
+    num_bs = state.num_bs
+    rows = state.rows
+    # adj[i, r] = (load_r - own weight if i sits on r + p_{i,r}) * w_{i,r};
+    # subtracting the zero entries of the maintained own-weight array
+    # is a bitwise no-op, so no mask is needed.
+    adj = state.adj
+    np.subtract(state.loads, state.sub, out=adj)
+    np.add(adj, state.p, out=adj)
+    np.multiply(adj, state.w, out=adj)
+    # A(i, k): access + fronthaul; B(i, n): compute.
+    t = state.t
+    np.add(adj[:, :num_bs], adj[:, num_bs : 2 * num_bs], out=t)
+    bvals = state.bvals
+    nidx = state.nidx
+    for g, cols in enumerate(state.cols):
+        sub = adj[:, cols]
+        np.argmin(sub, axis=1, out=nidx[g])
+        bvals[:, g] = sub[rows, nidx[g]]
+    bvals.take(state.menu_of_bs, axis=1, out=state.bk)
+    np.add(t, state.bk, out=t)
+    np.argmin(t, axis=1, out=state.kbest)
+    best_cost = t[rows, state.kbest]
+
+    # current_cost via one fused gather: row j of cc3 is
+    # wcur[j] * loads[current resource j], so the axis-0 sum is the
+    # same (access + fronthaul) + compute addition order as the
+    # scalar expression.
+    cc3 = state.cc3
+    state.loads.take(state.cur_idx, out=cc3)
+    np.multiply(state.wcur, cc3, out=cc3)
+    np.add.reduce(cc3, axis=0, out=state.cc)
+    return best_cost, state.cc
+
+
+def make_numpy_backend() -> KernelBackend:
+    """The reference backend: no fused loop, no native golden section."""
+    return KernelBackend(
+        name="numpy",
+        provider="numpy",
+        candidate_costs=candidate_costs,
+        segment_first_min=segment_first_min,
+        gap_sweep=gap_sweep,
+        run_dynamics=None,
+        golden_quad=None,
+    )

@@ -38,6 +38,12 @@ class RunManifest:
             (Ctrl-C), or ``"crashed"``.  Outside the config hash, so a
             partial trace's manifest still hashes like the completed
             run it was meant to be.
+        backends: Kernel-backend availability on the producing machine
+            (:func:`repro.kernels.available_backends`), plus which
+            provider would back ``"jit"``.  Recorded so a trace replayed
+            elsewhere can tell whether a backend difference could even
+            exist (it never changes results, only wall-clock).  Outside
+            the config hash for the same reason as ``status``.
     """
 
     config: dict = field(default_factory=dict)
@@ -47,6 +53,7 @@ class RunManifest:
     package: str = "repro"
     version: str = __version__
     status: str = "completed"
+    backends: dict | None = None
 
     def finish(self) -> "RunManifest":
         """Stamp the wall-clock duration since creation."""
@@ -54,6 +61,12 @@ class RunManifest:
         return self
 
     def to_dict(self) -> dict:
+        if self.backends is None:
+            from repro.kernels import available_backends, jit_provider
+
+            self.backends = dict(
+                available_backends(), jit_provider=jit_provider()
+            )
         return {
             "package": self.package,
             "version": self.version,
@@ -63,6 +76,7 @@ class RunManifest:
             "created_unix": self.created_unix,
             "wall_clock_seconds": self.wall_clock_seconds,
             "status": self.status,
+            "backends": self.backends,
         }
 
     def write(self, path: "str | Path") -> Path:

@@ -1,0 +1,178 @@
+"""Lockstep execution of several independent simulations.
+
+Batched replication runs R seeds' simulations *slot by slot* in one
+process: every lane (seed) advances its controller through
+:meth:`~repro.core.controller.DPPController.step_requests`, and the
+P2-B searches the lanes yield within each BDMA round are fused into a
+single kernel invocation by :func:`repro.core.p2b.solve_p2b_many`.
+The lanes never interact -- each has its own scenario, controller, rng,
+and tracer -- so every lane's trajectory is bit-identical to running it
+alone through :func:`repro.sim.engine.run_simulation`; only the
+wall-clock changes (fewer, larger kernel calls).
+
+A lane that raises is dropped with its error recorded while the others
+keep running; callers (:func:`repro.sim.replication.run_replications`)
+feed failed lanes back through the per-seed retry machinery.
+"""
+
+from __future__ import annotations
+
+import logging
+from dataclasses import dataclass
+from typing import Iterable
+
+import numpy as np
+
+from repro.core.controller import OnlineController, SlotRecord
+from repro.core.p2b import solve_p2b_many
+from repro.core.state import SlotState
+from repro.obs.probe import Tracer, as_tracer
+from repro.sim.results import SimulationResult
+
+__all__ = ["LockstepLane", "run_simulations_lockstep"]
+
+logger = logging.getLogger(__name__)
+
+
+@dataclass
+class LockstepLane:
+    """One independent simulation advancing in lockstep with others.
+
+    Attributes:
+        controller: The lane's policy.  Must expose ``step_requests``
+            (the :class:`~repro.core.controller.DPPController` family);
+            lanes whose controller does not are rejected up front by
+            :func:`run_simulations_lockstep`.
+        states: The lane's per-slot state stream.
+        budget: Budget recorded on the lane's result.
+        tracer: The lane's observability tracer (per-lane probes keep
+            counter totals identical to solo runs).
+    """
+
+    controller: OnlineController
+    states: Iterable[SlotState]
+    budget: float | None = None
+    tracer: "Tracer | None" = None
+
+
+class _LaneRun:
+    """Mutable per-lane bookkeeping for the lockstep loop."""
+
+    def __init__(self, lane: LockstepLane) -> None:
+        self.lane = lane
+        self.tracer = as_tracer(lane.tracer)
+        self.states = iter(lane.states)
+        self.latency: list[float] = []
+        self.cost: list[float] = []
+        self.theta: list[float] = []
+        self.backlog: list[float] = []
+        self.solve_seconds: list[float] = []
+        self.price: list[float] = []
+        self.error: Exception | None = None
+        self.done = False
+
+    def accumulate(self, state: SlotState, record: SlotRecord) -> None:
+        self.latency.append(record.latency)
+        self.cost.append(record.cost)
+        self.theta.append(record.theta)
+        self.backlog.append(record.backlog_after)
+        self.solve_seconds.append(record.solve_seconds)
+        self.price.append(state.price)
+        if self.tracer.enabled:
+            self.tracer.event("slot", record.to_dict())
+
+    def fail(self, exc: Exception) -> None:
+        self.error = exc
+        self.done = True
+
+    def result(self) -> SimulationResult:
+        return SimulationResult(
+            latency=np.array(self.latency),
+            cost=np.array(self.cost),
+            theta=np.array(self.theta),
+            backlog=np.array(self.backlog),
+            solve_seconds=np.array(self.solve_seconds),
+            price=np.array(self.price),
+            budget=self.lane.budget,
+            records=[],
+        )
+
+
+def run_simulations_lockstep(
+    lanes: "list[LockstepLane]",
+) -> "list[tuple[SimulationResult | None, Exception | None]]":
+    """Drive every lane through its state stream, slot by slot together.
+
+    Returns one ``(result, error)`` pair per lane, in lane order:
+    ``(SimulationResult, None)`` for lanes that finished, ``(None,
+    exception)`` for lanes that raised (the others still finish).  Each
+    finished lane's trajectories are bit-identical to a solo
+    :func:`repro.sim.engine.run_simulation` of the same lane.
+
+    Raises:
+        TypeError: A lane's controller has no ``step_requests`` -- the
+            caller should run such configurations per seed instead.
+    """
+    for lane in lanes:
+        if not callable(getattr(lane.controller, "step_requests", None)):
+            raise TypeError(
+                f"{type(lane.controller).__name__} has no step_requests; "
+                "lockstep needs the DPP controller family"
+            )
+    runs = [_LaneRun(lane) for lane in lanes]
+    logger.info("lockstep start: %d lanes", len(runs))
+    while True:
+        # Draw every active lane's next slot state.
+        slot_states: dict[int, SlotState] = {}
+        for i, run in enumerate(runs):
+            if run.done:
+                continue
+            try:
+                slot_states[i] = next(run.states)
+            except StopIteration:
+                run.done = True
+            except Exception as exc:  # a poisoned state stream
+                run.fail(exc)
+        if not slot_states:
+            break
+        # Start each lane's slot generator, collecting its first P2-B
+        # request (a lane whose slot needs none finishes immediately).
+        generators: dict[int, object] = {}
+        pending: dict[int, dict] = {}
+        records: dict[int, SlotRecord] = {}
+        for i, state in slot_states.items():
+            run = runs[i]
+            try:
+                if run.tracer.enabled:
+                    run.tracer.gauge("slot.price", float(state.price))
+                gen = run.lane.controller.step_requests(state)
+                generators[i] = gen
+                pending[i] = next(gen)
+            except StopIteration as stop:
+                records[i] = stop.value
+            except Exception as exc:
+                run.fail(exc)
+        # Advance all lanes round by round, fusing the rounds' searches.
+        while pending:
+            order = sorted(pending)
+            answers = solve_p2b_many([pending[i] for i in order])
+            next_pending: dict[int, dict] = {}
+            for i, frequencies in zip(order, answers):
+                try:
+                    next_pending[i] = generators[i].send(frequencies)
+                except StopIteration as stop:
+                    records[i] = stop.value
+                except Exception as exc:
+                    runs[i].fail(exc)
+            pending = next_pending
+        for i, record in records.items():
+            runs[i].accumulate(slot_states[i], record)
+    logger.info(
+        "lockstep done: %d lanes, %d failed",
+        len(runs),
+        sum(1 for run in runs if run.error is not None),
+    )
+    return [
+        (None, run.error) if run.error is not None else (run.result(), None)
+        for run in runs
+    ]

@@ -223,6 +223,48 @@ class FastBestResponseEngine:
         if record_history:
             history.append(game.total_cost())
         if selection == "max_gap" and self._full_refresh and not record_history:
+            # A kernel backend with a fused loop (the jit backend's
+            # native run_dynamics) replaces the whole Python iteration:
+            # same argmax pick, same move, same full refresh, same
+            # final state -- the stats are reconstructed from the move
+            # count (one sweep, n gap recomputations, and the full
+            # candidate count per move, exactly what _refresh(None)
+            # would have accumulated).
+            kernels = getattr(game, "kernels", None)
+            if (
+                kernels is not None
+                and kernels.run_dynamics is not None
+                and callable(getattr(game, "kernel_state", None))
+            ):
+                stats = self.stats
+                started = time.perf_counter()
+                moves, converged = kernels.run_dynamics(
+                    game.kernel_state(), self.gaps, self.slack, max_iter
+                )
+                stats.eval_seconds += time.perf_counter() - started
+                stats.moves += moves
+                stats.sweeps += moves
+                stats.gap_recomputations += moves * self._n
+                stats.candidate_evaluations += moves * self._all_candidates
+                if converged:
+                    return BestResponseResult(
+                        iterations=moves,
+                        converged=True,
+                        total_cost=game.total_cost(),
+                        cost_history=history,
+                        stats=stats,
+                    )
+                raise ConvergenceError(
+                    f"best-response dynamics did not converge within "
+                    f"{max_iter} moves",
+                    best_so_far=BestResponseResult(
+                        iterations=max_iter,
+                        converged=False,
+                        total_cost=game.total_cost(),
+                        cost_history=history,
+                        stats=stats,
+                    ),
+                )
             # The hot configuration (CGBA under the decomposed
             # evaluator): inline select + step with everything bound to
             # locals.  Same argmax pick, same move, same full refresh,

@@ -12,7 +12,6 @@ from __future__ import annotations
 
 import abc
 import time
-import warnings
 from dataclasses import dataclass, field
 from typing import Hashable, Sequence
 
@@ -133,15 +132,6 @@ class EngineStats:
             "eval_seconds": self.eval_seconds,
             "move_seconds": self.move_seconds,
         }
-
-    def as_dict(self) -> dict[str, float]:
-        """Deprecated alias of :meth:`to_dict`."""
-        warnings.warn(
-            "EngineStats.as_dict() is deprecated; use to_dict()",
-            DeprecationWarning,
-            stacklevel=2,
-        )
-        return self.to_dict()
 
 
 @dataclass

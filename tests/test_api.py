@@ -191,10 +191,12 @@ class TestUniformSummaries:
         assert len(rich["bs_of"]) == 8
         assert len(rich["frequencies"]) > 0
 
-    def test_engine_stats_as_dict_deprecated(self) -> None:
+    def test_engine_stats_to_dict(self) -> None:
         stats = EngineStats(moves=1, sweeps=2)
-        with pytest.deprecated_call():
-            legacy = stats.as_dict()
         with warnings.catch_warnings():
             warnings.simplefilter("error")
-            assert stats.to_dict() == legacy
+            plain = stats.to_dict()
+        assert plain["moves"] == 1
+        assert plain["sweeps"] == 2
+        # The deprecated as_dict alias is gone.
+        assert not hasattr(stats, "as_dict")

@@ -1,0 +1,360 @@
+"""Cross-backend parity: jit kernels must be bit-identical to NumPy.
+
+The kernel contract (:mod:`repro.kernels.interface`) promises that
+selecting ``backend="jit"`` changes wall-clock, never results.  These
+tests enforce it end to end: slot-record streams, trajectory
+fingerprints, engine counters, the fused multi-request P2-B solver, and
+batched replication must all match the NumPy oracle bit for bit --
+including under injected faults and chaos, where the resilience
+fallback chain runs on top of the kernels.
+
+Tests that exercise the real jit provider are skipped when neither
+numba nor a C compiler is available (``available_backends()["jit"]``
+is then ``False`` and ``jit`` would silently alias the oracle).
+"""
+
+from __future__ import annotations
+
+import hashlib
+
+import numpy as np
+import pytest
+
+import repro
+from repro.api import run
+from repro.core.p2b import solve_p2b, solve_p2b_many
+from repro.core.resilience import ResiliencePolicy, SolverChaos
+from repro.core.state import Assignment
+from repro.exceptions import ConfigurationError
+from repro.kernels import (
+    BACKEND_NAMES,
+    KernelBackend,
+    available_backends,
+    get_kernels,
+    jit_provider,
+)
+from repro.obs import Probe
+from repro.sim.faults import (
+    ChannelStaleness,
+    FaultPlan,
+    FronthaulDegradation,
+    PriceFeedDropouts,
+    ScriptedIncident,
+)
+from repro.sim.replication import ReplicationSpec, run_replications
+from repro.solvers.scalar import minimize_convex_scalar_batch
+
+from conftest import make_tiny_network, make_tiny_state
+
+requires_jit = pytest.mark.skipif(
+    not available_backends()["jit"],
+    reason="backend 'jit' has no real provider (needs numba or a C compiler)",
+)
+
+#: Mirror of the pin in benchmarks/bench_slot_pipeline.py: the
+#: paper-scale medium preset (seed 7, I=40, 240 slots) must reproduce
+#: this trajectory stream on EVERY backend.
+MEDIUM_FINGERPRINT = (
+    "21d380f5230daf38751e1c04951c28466fde49023e1f3986efd1c8e59a801e04"
+)
+
+
+def fingerprint(result) -> str:
+    digest = hashlib.sha256()
+    for arr in (
+        result.latency,
+        result.cost,
+        result.theta,
+        result.backlog,
+        result.price,
+    ):
+        digest.update(np.ascontiguousarray(arr, dtype=np.float64).tobytes())
+    return digest.hexdigest()
+
+
+def assert_records_identical(a, b) -> None:
+    """Every SlotRecord field, arrays included, must match bitwise."""
+    assert len(a) == len(b)
+    for rec_a, rec_b in zip(a, b):
+        da = rec_a.to_dict(include_arrays=True)
+        db = rec_b.to_dict(include_arrays=True)
+        assert set(da) == set(db)
+        for key in da:
+            if isinstance(da[key], (list, np.ndarray)):
+                np.testing.assert_array_equal(da[key], db[key], err_msg=key)
+            elif key not in ("solve_seconds", "engine_stats"):
+                assert da[key] == db[key], key
+
+
+class TestRegistry:
+    def test_numpy_is_always_available(self) -> None:
+        availability = available_backends()
+        assert set(availability) == set(BACKEND_NAMES)
+        assert availability["numpy"] is True
+
+    def test_unknown_backend_rejected(self) -> None:
+        with pytest.raises(ConfigurationError, match="unknown kernel backend"):
+            get_kernels("cuda")
+
+    def test_resolved_backends_pass_through_and_cache(self) -> None:
+        numpy_kernels = get_kernels("numpy")
+        assert get_kernels("numpy") is numpy_kernels
+        assert get_kernels(numpy_kernels) is numpy_kernels
+        assert get_kernels(None).name == "numpy"
+        assert isinstance(numpy_kernels, KernelBackend)
+
+    def test_manifest_surfaces_backend_availability(self) -> None:
+        from repro.obs.manifest import RunManifest, config_hash
+
+        manifest = RunManifest(config={"horizon": 4}, seed=1)
+        plain = manifest.to_dict()
+        assert plain["backends"] == dict(
+            available_backends(), jit_provider=jit_provider()
+        )
+        # Availability is machine-dependent provenance, not configuration:
+        # it must not perturb the config hash.
+        assert plain["config_hash"] == config_hash({"horizon": 4})
+
+    @requires_jit
+    def test_jit_backend_resolves_to_real_provider(self) -> None:
+        kernels = get_kernels("jit")
+        assert kernels.name == "jit"
+        assert kernels.provider in ("numba", "cc")
+        assert kernels.golden_quad is not None
+        assert kernels.run_dynamics is not None
+
+
+@requires_jit
+class TestGoldenQuadKernel:
+    """The native golden-section kernel vs the NumPy batch search."""
+
+    def _lanes(self, size: int, seed: int):
+        rng = np.random.default_rng(seed)
+        lo = rng.uniform(0.5, 1.5, size)
+        hi = lo + rng.uniform(0.0, 2.5, size)
+        latency_scale = rng.uniform(0.1, 50.0, size)
+        ep = rng.uniform(1e-6, 2e-4, size)
+        scale = np.where(rng.random(size) < 0.5, 1.0, rng.uniform(0.5, 2.0, size))
+        qa = rng.uniform(0.5, 4.0, size)
+        qb = rng.uniform(0.0, 2.0, size)
+        qc = rng.uniform(0.0, 10.0, size)
+        return lo, hi, latency_scale, ep, scale, qa, qb, qc
+
+    @pytest.mark.parametrize("seed", (0, 1, 2))
+    def test_bit_identical_to_numpy_batch_search(self, seed: int) -> None:
+        lo, hi, ls, ep, scale, qa, qb, qc = self._lanes(64, seed)
+        tol = 1e-8
+
+        def objective(freq):
+            return ls / freq + ep * (scale * (qa * freq * freq + qb * freq + qc))
+
+        reference = minimize_convex_scalar_batch(objective, lo, hi, tol=tol)
+        x, evals = get_kernels("jit").golden_quad(
+            lo, hi, ls, ep, scale, qa, qb, qc, tol
+        )
+        np.testing.assert_array_equal(x, reference.x)
+        np.testing.assert_array_equal(evals, reference.iterations)
+
+    def test_degenerate_lane_counts_one_eval(self) -> None:
+        lo, hi, ls, ep, scale, qa, qb, qc = self._lanes(4, 3)
+        hi[2] = lo[2]  # pinned bracket: hi == lo
+
+        def objective(freq):
+            return ls / freq + ep * (scale * (qa * freq * freq + qb * freq + qc))
+
+        reference = minimize_convex_scalar_batch(objective, lo, hi, tol=1e-8)
+        x, evals = get_kernels("jit").golden_quad(
+            lo, hi, ls, ep, scale, qa, qb, qc, 1e-8
+        )
+        assert evals[2] == 1 == reference.iterations[2]
+        assert x[2] == lo[2]
+        np.testing.assert_array_equal(x, reference.x)
+        np.testing.assert_array_equal(evals, reference.iterations)
+
+
+@requires_jit
+class TestSlotStreamParity:
+    """Full pipeline runs must be bit-identical across backends."""
+
+    def _run(self, backend: str, *, seed: int, horizon: int, devices: int,
+             **kwargs):
+        probe = Probe()
+        result = run(
+            controller="dpp",
+            seed=seed,
+            horizon=horizon,
+            scenario_config=repro.ScenarioConfig(num_devices=devices),
+            engine_backend=backend,
+            keep_records=True,
+            tracer=probe,
+            **kwargs,
+        )
+        return result, dict(probe.phases.counters)
+
+    def test_small_preset_records_and_counters(self) -> None:
+        base, counters_np = self._run("numpy", seed=11, horizon=24, devices=12)
+        fast, counters_jit = self._run("jit", seed=11, horizon=24, devices=12)
+        assert fingerprint(fast) == fingerprint(base)
+        assert_records_identical(base.records, fast.records)
+        assert counters_jit == counters_np
+
+    def test_medium_preset_matches_pinned_fingerprint(self) -> None:
+        """Paper-scale run hits the committed fingerprint on both backends."""
+        for backend in ("numpy", "jit"):
+            result = run(
+                controller="dpp", seed=7, horizon=240, engine_backend=backend
+            )
+            assert fingerprint(result) == MEDIUM_FINGERPRINT, backend
+
+    def test_parity_under_faults_and_chaos(self) -> None:
+        """Fault-injected states + chaos-driven fallbacks stay identical."""
+
+        def scenario():
+            return repro.make_paper_scenario(
+                seed=17,
+                config=repro.ScenarioConfig(num_devices=10),
+                fault_plan=FaultPlan(
+                    faults=(
+                        FronthaulDegradation(
+                            mtbf_slots=8.0, mttr_slots=4.0, factor=0.4
+                        ),
+                        PriceFeedDropouts(mtbf_slots=9.0, mttr_slots=3.0),
+                        ChannelStaleness(prob=0.2),
+                    ),
+                    schedule=[
+                        ScriptedIncident(at=5, duration=3, kind="price_freeze")
+                    ],
+                ),
+            )
+
+        def chaos_run(backend: str):
+            return run(
+                scenario=scenario(),
+                controller="dpp",
+                horizon=20,
+                engine_backend=backend,
+                keep_records=True,
+                resilience=ResiliencePolicy(
+                    chaos=SolverChaos(fail_slots=(2, 7))
+                ),
+            )
+
+        base = chaos_run("numpy")
+        fast = chaos_run("jit")
+        assert fingerprint(fast) == fingerprint(base)
+        assert_records_identical(base.records, fast.records)
+
+
+class TestSolveP2bMany:
+    def _requests(self, backend: str, tracers: "list[Probe] | None" = None):
+        network = make_tiny_network()
+        configs = [
+            (Assignment(bs_of=np.array([0, 0, 1, 1]),
+                        server_of=np.array([0, 1, 2, 2])), 20.0, 50.0),
+            (Assignment(bs_of=np.array([0, 0, 1, 1]),
+                        server_of=np.array([0, 0, 2, 2])), 5.0, 10.0),
+            (Assignment(bs_of=np.array([0, 1, 1, 0]),
+                        server_of=np.array([1, 2, 2, 0])), 300.0, 25.0),
+        ]
+        return [
+            dict(
+                network=network,
+                state=make_tiny_state(),
+                assignment=assignment,
+                queue_backlog=q,
+                v=v,
+                backend=backend,
+                tracer=tracers[i] if tracers else None,
+            )
+            for i, (assignment, q, v) in enumerate(configs)
+        ]
+
+    @pytest.mark.parametrize(
+        "backend",
+        ("numpy", pytest.param("jit", marks=requires_jit)),
+    )
+    def test_fused_solve_matches_solo(self, backend: str) -> None:
+        fused_tracers = [Probe() for _ in range(3)]
+        solo_tracers = [Probe() for _ in range(3)]
+        fused = solve_p2b_many(self._requests(backend, fused_tracers))
+        solo = [
+            solve_p2b(**request)
+            for request in self._requests(backend, solo_tracers)
+        ]
+        assert len(fused) == 3
+        for got, want in zip(fused, solo):
+            np.testing.assert_array_equal(got, want)
+        # Counters land on each request's own tracer, exactly as solo.
+        for fused_probe, solo_probe in zip(fused_tracers, solo_tracers):
+            assert dict(fused_probe.phases.counters) == dict(
+                solo_probe.phases.counters
+            )
+
+    def test_empty_request_list(self) -> None:
+        assert solve_p2b_many([]) == []
+
+    @requires_jit
+    def test_bracket_hints_fall_back_to_solo_path(self) -> None:
+        requests = self._requests("jit")
+        hint = solve_p2b(**{k: v for k, v in requests[0].items() if k != "tracer"})
+        requests[0]["bracket_hint"] = hint
+        solo = [solve_p2b(**request) for request in self._requests("jit")]
+        solo[0] = solve_p2b(
+            **{k: v for k, v in self._requests("jit")[0].items()},
+            bracket_hint=hint,
+        )
+        for got, want in zip(solve_p2b_many(requests), solo):
+            np.testing.assert_array_equal(got, want)
+
+
+class TestBatchedReplication:
+    def _spec(self, **overrides) -> ReplicationSpec:
+        fields = dict(num_devices=8, horizon=6)
+        fields.update(overrides)
+        return ReplicationSpec(**fields)
+
+    def _outcome_tuples(self, report):
+        # mean_solve_seconds is wall-clock, so it legitimately differs
+        # between lockstep and solo execution; everything else is
+        # arithmetic and must match bitwise.
+        return [
+            (o.seed, o.mean_latency, o.mean_cost, o.mean_backlog, o.budget)
+            for o in report.outcomes
+        ]
+
+    def test_spec_validation(self) -> None:
+        with pytest.raises(ConfigurationError):
+            self._spec(batch_seeds=0)
+        with pytest.raises(ConfigurationError):
+            self._spec(engine_backend="cuda")
+
+    @pytest.mark.parametrize("batch_seeds", (2, 4))
+    def test_lockstep_batches_are_bit_identical(self, batch_seeds: int) -> None:
+        seeds = [1, 2, 3, 4, 5]
+        base = run_replications(self._spec(), seeds)
+        batched = run_replications(
+            self._spec(batch_seeds=batch_seeds), seeds
+        )
+        assert batched.failed_seeds == []
+        assert self._outcome_tuples(batched) == self._outcome_tuples(base)
+
+    @requires_jit
+    def test_jit_batches_match_numpy(self) -> None:
+        seeds = [1, 2, 3]
+        base = run_replications(self._spec(), seeds)
+        batched = run_replications(
+            self._spec(batch_seeds=3, engine_backend="jit"), seeds
+        )
+        assert self._outcome_tuples(batched) == self._outcome_tuples(base)
+
+    def test_failed_lane_is_retried_solo(self) -> None:
+        seeds = [1, 2, 3]
+        base = run_replications(self._spec(), seeds)
+        # flaky_seeds flips run_replications into its resilient mode;
+        # the failed lane drops out of the lockstep batch and is retried
+        # solo, which is the exact arithmetic of an unbatched run.
+        flaky = run_replications(
+            self._spec(batch_seeds=3, flaky_seeds=(2,)), seeds, max_retries=2
+        )
+        assert flaky.failed_seeds == []
+        assert self._outcome_tuples(flaky) == self._outcome_tuples(base)
