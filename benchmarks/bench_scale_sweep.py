@@ -1,0 +1,355 @@
+"""Multi-cell scale-out bench: sharded slots/s out to 100k+ devices.
+
+The monolithic slot solve costs superlinearly in the device count, so
+one controller over a metro-scale topology is hopeless; the sharding
+layer (``repro.sharding``) carves the network into cells, runs one DPP
+controller per cell, and coordinates the global budget.  This bench is
+the evidence and the gate:
+
+* **identity** -- the 1-cell sharded run is *bit-identical* (pinned
+  sha256 fingerprint) to ``repro.api.run`` without sharding: the
+  sharded engine is the same arithmetic, not an approximation.
+* **sweep** -- a fixed 2400-device metro topology partitioned into
+  1/2/4/8 cells.  Sharding wins twice per cell: fewer devices in the
+  quadratic-cost game *and* fewer reachable strategies.  The gate
+  requires >= 0.8x linear slots/s scaling from 1 to 8 cells (on one
+  core -- the win is algorithmic, processes only add to it).
+* **giant** -- a 102,400-device run across 128 cells completes end to
+  end, demonstrating a scale two orders of magnitude past the paper's
+  I=40 setting.
+
+Writes ``benchmarks/results/BENCH_scale_sweep.json``.  ``--smoke`` is
+the CI job: a tiny 2-cell preset asserting the 1-cell identity against
+its own pinned fingerprint plus exact budget conservation; it writes
+the ``_smoke`` JSON and never touches the committed numbers.
+
+Run directly (``python benchmarks/bench_scale_sweep.py [--smoke]``) or
+via pytest (``pytest benchmarks/bench_scale_sweep.py``).
+"""
+
+from __future__ import annotations
+
+import argparse
+import hashlib
+import json
+import platform
+import sys
+import time
+from pathlib import Path
+
+import numpy as np
+
+sys.path.insert(0, str(Path(__file__).parent))
+
+from _common import RESULTS_DIR, emit  # noqa: E402
+
+JSON_PATH = RESULTS_DIR / "BENCH_scale_sweep.json"
+SMOKE_JSON_PATH = RESULTS_DIR / "BENCH_scale_sweep_smoke.json"
+
+#: The smoke preset's trajectory stream (sha256 over latency / cost /
+#: theta / backlog / price), produced identically by the unsharded
+#: facade and the 1-cell sharded engine.  Pinned when the sharding
+#: layer landed.
+SMOKE_FINGERPRINT = (
+    "93b7ee91b2dd78a940aa022c6e81c81b3881200026ce8eb719e59b826bad8809"
+)
+
+#: The sweep topology's 1-cell trajectory stream, same dual-producer
+#: pin as SMOKE_FINGERPRINT but at metro scale (I=2400, K=32).
+SWEEP_FINGERPRINT = (
+    "d35f6f7ceb87ffcf2a4a680e4a808e20b561cba22cd92fcb702b71a3f26b0119"
+)
+
+#: All-macro, all-wireless topologies: every base station covers every
+#: device and fronthauls to every cluster, so k-means cells never
+#: strand a device and the partition is free to follow geometry.
+_METRO = {
+    "num_macro_stations": None,  # filled per config with num_base_stations
+    "wireless_fronthaul_fraction": 1.0,
+}
+
+#: The scaling sweep: one metro topology, repartitioned.
+SWEEP = {
+    "seed": 7,
+    "devices": 2400,
+    "base_stations": 32,
+    "clusters": 8,
+    "servers_per_cluster": 2,
+    "horizon": 4,
+    "epoch": 2,
+    "cells": (1, 2, 4, 8),
+}
+
+#: The completion run: >= 100k devices end to end.
+GIANT = {
+    "seed": 11,
+    "devices": 102_400,
+    "base_stations": 128,
+    "clusters": 128,
+    "servers_per_cluster": 1,
+    "horizon": 2,
+    "epoch": 2,
+    "cells": 128,
+    "partition_restarts": 2,
+}
+
+#: The CI smoke preset: small enough for every runner.
+SMOKE = {
+    "seed": 5,
+    "devices": 24,
+    "base_stations": 4,
+    "clusters": 2,
+    "servers_per_cluster": 2,
+    "horizon": 8,
+    "epoch": 4,
+}
+
+
+def _scenario(config: dict):
+    import repro
+
+    return repro.make_paper_scenario(
+        config["seed"],
+        config=repro.ScenarioConfig(num_devices=config["devices"]),
+        num_base_stations=config["base_stations"],
+        num_macro_stations=config["base_stations"],
+        wireless_fronthaul_fraction=1.0,
+        num_clusters=config["clusters"],
+        servers_per_cluster=config["servers_per_cluster"],
+    )
+
+
+def _fingerprint(result) -> str:
+    digest = hashlib.sha256()
+    for arr in (
+        result.latency,
+        result.cost,
+        result.theta,
+        result.backlog,
+        result.price,
+    ):
+        digest.update(np.ascontiguousarray(arr, dtype=np.float64).tobytes())
+    return digest.hexdigest()
+
+
+def _identity_check(config: dict, pinned: str) -> dict:
+    """Unsharded facade vs 1-cell sharded engine: same bit stream."""
+    import repro
+
+    unsharded = repro.api.run(
+        scenario=_scenario(config), horizon=config["horizon"]
+    )
+    sharded = repro.api.run(
+        scenario=_scenario(config), horizon=config["horizon"], cells=1
+    )
+    return {
+        "unsharded_fingerprint": _fingerprint(unsharded),
+        "sharded_fingerprint": _fingerprint(sharded),
+        "identical": _fingerprint(unsharded) == _fingerprint(sharded),
+        "pinned": pinned,
+    }
+
+
+def _sharded_row(scenario, config: dict, num_cells: int) -> dict:
+    from repro import sharding
+
+    plan = sharding.partition_cells(
+        scenario.network,
+        num_cells,
+        rng=scenario.seeds.rng("cell-partition"),
+        restarts=config.get("partition_restarts", 8),
+    )
+    started = time.perf_counter()
+    result = sharding.run_sharded(
+        scenario,
+        horizon=config["horizon"],
+        cells=plan,
+        epoch=config["epoch"],
+    )
+    seconds = time.perf_counter() - started
+    return {
+        "cells": plan.num_cells,
+        "device_counts": plan.device_counts().tolist(),
+        "seconds": seconds,
+        "slots_per_sec": config["horizon"] / seconds,
+        "fingerprint": _fingerprint(result.merged),
+        "mean_cost": result.merged.time_average_cost(),
+        "budget": result.merged.budget,
+        "budget_rows_sum": (
+            result.budgets.sum(axis=1).tolist()
+            if result.budgets is not None
+            else []
+        ),
+    }
+
+
+def run_scale_sweep() -> dict:
+    """The full bench: identity pin, 1->8 cell sweep, 100k completion."""
+    identity = _identity_check(SWEEP, SWEEP_FINGERPRINT)
+
+    rows = []
+    for num_cells in SWEEP["cells"]:
+        # A fresh scenario per row: partitioning and execution must not
+        # leak generator state across configurations.
+        rows.append(_sharded_row(_scenario(SWEEP), SWEEP, num_cells))
+    by_cells = {row["cells"]: row for row in rows}
+    low, high = min(by_cells), max(by_cells)
+    linear_fraction = by_cells[high]["slots_per_sec"] / (
+        (high / low) * by_cells[low]["slots_per_sec"]
+    )
+
+    giant_scenario = _scenario(GIANT)
+    giant = _sharded_row(giant_scenario, GIANT, GIANT["cells"])
+    giant["devices"] = giant_scenario.network.num_devices
+
+    return {
+        "bench": "scale_sweep",
+        "machine": {
+            "platform": platform.platform(),
+            "python": platform.python_version(),
+            "numpy": np.__version__,
+        },
+        "identity": identity,
+        "sweep": {
+            "devices": SWEEP["devices"],
+            "base_stations": SWEEP["base_stations"],
+            "horizon": SWEEP["horizon"],
+            "rows": rows,
+            "linear_fraction_1_to_8": linear_fraction,
+        },
+        "giant": giant,
+    }
+
+
+def run_smoke() -> dict:
+    """CI smoke: identity pin + conservation on a tiny 2-cell preset."""
+    from repro import sharding
+
+    identity = _identity_check(SMOKE, SMOKE_FINGERPRINT)
+    scenario = _scenario(SMOKE)
+    plan = sharding.partition_cells(
+        scenario.network, 2, rng=scenario.seeds.rng("cell-partition")
+    )
+    result = sharding.run_sharded(
+        scenario, horizon=SMOKE["horizon"], cells=plan, epoch=SMOKE["epoch"]
+    )
+    conserved = bool(
+        np.allclose(
+            result.budgets.sum(axis=1), scenario.budget, rtol=0, atol=1e-12
+        )
+    )
+    checks = {
+        "one_cell_identical_to_unsharded": identity["identical"],
+        "one_cell_fingerprint_pinned": (
+            identity["sharded_fingerprint"] == identity["pinned"]
+        ),
+        "two_cell_horizon_complete": result.merged.horizon == SMOKE["horizon"],
+        "budget_conserved_every_epoch": conserved,
+        "every_device_in_a_cell": (
+            int(plan.device_counts().sum()) == SMOKE["devices"]
+        ),
+    }
+    failed = [name for name, ok in checks.items() if not ok]
+    if failed:
+        raise AssertionError(f"scale smoke failed: {failed}; {identity}")
+    return {
+        "bench": "scale_sweep_smoke",
+        "checks": checks,
+        "identity": identity,
+        "cells": plan.num_cells,
+        "device_counts": plan.device_counts().tolist(),
+    }
+
+
+def _table(report: dict) -> str:
+    from repro.analysis.tables import format_table
+
+    rows = [
+        [
+            r["cells"],
+            min(r["device_counts"]),
+            max(r["device_counts"]),
+            r["seconds"],
+            r["slots_per_sec"],
+        ]
+        for r in report["sweep"]["rows"]
+    ]
+    giant = report["giant"]
+    sweep_table = format_table(
+        ["cells", "min I/cell", "max I/cell", "seconds", "slots/s"],
+        rows,
+        title=(
+            f"Sharded scale sweep (I={report['sweep']['devices']}, "
+            f"K={report['sweep']['base_stations']}, one core): "
+            f"{report['sweep']['linear_fraction_1_to_8']:.2f}x of linear "
+            "1->8 cells"
+        ),
+    )
+    giant_line = (
+        f"giant run: {giant['devices']} devices across {giant['cells']} "
+        f"cells, {giant['seconds']:.1f}s for {GIANT['horizon']} slots "
+        f"({giant['slots_per_sec']:.2f} slots/s)"
+    )
+    return sweep_table + "\n\n" + giant_line
+
+
+def _verify(report: dict) -> None:
+    identity = report["identity"]
+    assert identity["identical"], (
+        "1-cell sharded trajectories diverged from the unsharded facade: "
+        f"{identity}"
+    )
+    assert identity["sharded_fingerprint"] == identity["pinned"], (
+        "sweep trajectories drifted from the pinned fingerprint: "
+        f"{identity['sharded_fingerprint']} != {identity['pinned']}"
+    )
+    fraction = report["sweep"]["linear_fraction_1_to_8"]
+    assert fraction >= 0.8, (
+        f"1->8 cell scaling fell below the 0.8x-linear gate ({fraction:.2f}x)"
+    )
+    assert report["giant"]["devices"] >= 100_000, (
+        f"giant run covered only {report['giant']['devices']} devices"
+    )
+    for row in report["sweep"]["rows"] + [report["giant"]]:
+        sums = np.asarray(row["budget_rows_sum"])
+        assert np.allclose(sums, row["budget"], rtol=0, atol=1e-9), (
+            f"budget not conserved at {row['cells']} cells: {sums.tolist()}"
+        )
+
+
+def _emit(report: dict, *, smoke: bool) -> None:
+    RESULTS_DIR.mkdir(exist_ok=True)
+    path = SMOKE_JSON_PATH if smoke else JSON_PATH
+    path.write_text(json.dumps(report, indent=2) + "\n")
+    if smoke:
+        print(json.dumps(report["checks"], indent=2))
+    else:
+        emit("scale_sweep", _table(report))
+
+
+def bench_scale_sweep(benchmark) -> None:
+    report = benchmark.pedantic(run_scale_sweep, rounds=1, iterations=1)
+    _emit(report, smoke=False)
+    _verify(report)
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--smoke",
+        action="store_true",
+        help="CI smoke: tiny 2-cell preset, identity + conservation "
+        "asserts only (does not touch the committed JSON)",
+    )
+    args = parser.parse_args(argv)
+    if args.smoke:
+        _emit(run_smoke(), smoke=True)
+        return 0
+    report = run_scale_sweep()
+    _emit(report, smoke=False)
+    _verify(report)
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

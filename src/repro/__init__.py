@@ -144,14 +144,18 @@ from repro import obs
 
 # Imported last: the facade pulls from nearly every subpackage above.
 from repro import api
-from repro.api import make_controller
+from repro import sharding
+from repro.api import CellConfig, RunConfig, make_controller
 
 __all__ = [
     "__version__",
     # facade + observability
     "api",
     "make_controller",
+    "RunConfig",
+    "CellConfig",
     "obs",
+    "sharding",
     # configuration
     "make_paper_scenario",
     "ScenarioConfig",

@@ -7,12 +7,25 @@ optionally warm-start the virtual queue at its equilibrium, then drive
 :func:`repro.sim.engine.run_simulation`.  :func:`make_controller` and
 :func:`run` are that wiring, once.
 
+As the facade grew (checkpoints, kernels, monitors, and now multi-cell
+sharding) the flat keyword list did too, so the knobs are grouped into
+a frozen :class:`RunConfig` of cohesive blocks -- :class:`EngineConfig`,
+:class:`CheckpointConfig`, :class:`ObsConfig`, :class:`CellConfig`.
+``run(config=...)`` accepts one, bare keywords keep working and
+*override* the config, and :meth:`RunConfig.to_dict` feeds
+:class:`repro.obs.manifest.RunManifest` so provenance captures the full
+configuration.
+
 Quickstart::
 
     import repro
 
-    result = repro.api.run(controller="dpp", horizon=48, seed=7)
+    config = repro.api.RunConfig(controller="dpp", horizon=48, seed=7)
+    result = repro.api.run(config=config)
     print(result.summary())
+
+    # Bare keywords still work, and override the config:
+    result = repro.api.run(config=config, horizon=96)
 
     # Or with an explicit scenario, tracer, and baseline controller:
     scenario = repro.make_paper_scenario(seed=7)
@@ -25,6 +38,9 @@ Quickstart::
 
 from __future__ import annotations
 
+import difflib
+from dataclasses import asdict, dataclass, field
+
 from repro.analysis.equilibrium import estimate_equilibrium_backlog
 from repro.baselines.fixed_frequency import FixedFrequencyController
 from repro.baselines.greedy import greedy_p2a_solver
@@ -32,6 +48,7 @@ from repro.baselines.mcba import mcba_p2a_solver
 from repro.baselines.ropt import ropt_p2a_solver
 from repro.config import DEFAULT_PERIOD, ScenarioConfig, make_paper_scenario
 from repro.core.bdma import P2ASolver
+from repro.core.budget import BudgetSchedule
 from repro.core.controller import DPPController, OnlineController
 from repro.exceptions import ConfigurationError
 from repro.network.topology import MECNetwork
@@ -41,7 +58,16 @@ from repro.sim.results import SimulationResult
 from repro.sim.scenario import Scenario
 from repro.types import Rng
 
-__all__ = ["CONTROLLER_NAMES", "make_controller", "run"]
+__all__ = [
+    "CONTROLLER_NAMES",
+    "CellConfig",
+    "CheckpointConfig",
+    "EngineConfig",
+    "ObsConfig",
+    "RunConfig",
+    "make_controller",
+    "run",
+]
 
 #: Controller names :func:`make_controller` understands.  ``"bdma"`` is
 #: an alias of ``"dpp"`` (the paper's BDMA-based DPP); ``"mcba"`` and
@@ -54,6 +80,34 @@ CONTROLLER_NAMES = ("dpp", "bdma", "mcba", "ropt", "greedy", "fixed")
 #: P2-A solvers (MCBA, ROPT, greedy) gain nothing from re-alternation,
 #: mirroring the paper's baseline setups.
 _DEFAULT_Z = {"dpp": 3, "bdma": 3, "mcba": 1, "ropt": 1, "greedy": 1, "fixed": 1}
+
+#: Extra construction knobs each controller family accepts via
+#: ``**params`` (beyond :func:`make_controller`'s named keywords).
+_DPP_KNOBS = frozenset({"warm_start", "carry_over", "freq_carry_over", "resilience"})
+_FAMILY_KNOBS: "dict[str, frozenset[str]]" = {
+    "dpp": _DPP_KNOBS,
+    "bdma": _DPP_KNOBS,
+    "ropt": _DPP_KNOBS,
+    "mcba": _DPP_KNOBS | {"iterations", "initial_temperature_fraction", "cooling"},
+    "greedy": _DPP_KNOBS | {"joint", "shuffle"},
+    "fixed": frozenset({"fraction", "slack"}),
+}
+
+
+def _validate_params(name: str, params: dict) -> None:
+    """Reject unknown family knobs with a did-you-mean message."""
+    allowed = _FAMILY_KNOBS[name]
+    unknown = sorted(set(params) - allowed)
+    if not unknown:
+        return
+    described = []
+    for key in unknown:
+        close = difflib.get_close_matches(key, sorted(allowed), n=1)
+        described.append(f"{key!r} (did you mean {close[0]!r}?)" if close else repr(key))
+    raise ConfigurationError(
+        f"unknown parameter(s) for controller {name!r}: {', '.join(described)}; "
+        f"accepted knobs: {sorted(allowed)}"
+    )
 
 
 def _p2a_solver_for(name: str, params: dict) -> P2ASolver | None:
@@ -79,7 +133,7 @@ def make_controller(
     *,
     v: float = 100.0,
     z: int | None = None,
-    budget: float | None = None,
+    budget: "float | BudgetSchedule | None" = None,
     network: MECNetwork | None = None,
     rng: Rng | None = None,
     rng_label: str | None = None,
@@ -101,8 +155,9 @@ def make_controller(
         v: DPP trade-off parameter ``V`` (ignored by ``"fixed"``).
         z: BDMA alternation rounds; defaults to 3 for ``"dpp"`` and 1
             for the single-shot baselines.
-        budget: Energy-cost budget ``Cbar``; defaults to
-            ``scenario.budget``.
+        budget: Energy-cost budget ``Cbar`` -- a number or, for the DPP
+            family, any :class:`~repro.core.budget.BudgetSchedule`;
+            defaults to ``scenario.budget``.
         network: Topology override when no scenario is given.
         rng: Controller rng override; defaults to
             ``scenario.controller_rng(rng_label or name)``.
@@ -120,19 +175,22 @@ def make_controller(
             ``"fixed"`` controller has no array hot loop and ignores it.
         **params: Controller-family extras -- e.g. ``iterations=`` for
             MCBA, ``joint=`` for greedy, ``fraction=``/``slack=`` for
-            fixed, ``warm_start=``/``carry_over=`` for DPP.
+            fixed, ``warm_start=``/``carry_over=`` for DPP.  Unknown
+            keys are rejected up front with the family's accepted list
+            (and a did-you-mean hint).
 
     Returns:
         A ready-to-run :class:`~repro.core.controller.OnlineController`.
 
     Raises:
         ConfigurationError: On an unknown name, a missing scenario where
-            one is required, or unconsumed ``params``.
+            one is required, or unknown ``params`` keys.
     """
     if name not in CONTROLLER_NAMES:
         raise ConfigurationError(
             f"unknown controller {name!r}; expected one of {CONTROLLER_NAMES}"
         )
+    _validate_params(name, params)
     if scenario is None and (network is None or rng is None or budget is None):
         raise ConfigurationError(
             "make_controller needs a scenario, or explicit network+rng+budget"
@@ -155,10 +213,12 @@ def make_controller(
             list(scenario.fresh_states(DEFAULT_PERIOD)),
             scenario.controller_rng(label),
             v=v,
-            budget=budget,
+            budget=budget.average if isinstance(budget, BudgetSchedule) else budget,
         )
 
     if name == "fixed":
+        if isinstance(budget, BudgetSchedule):
+            budget = budget.average
         controller: OnlineController = FixedFrequencyController(
             network,
             rng,
@@ -181,32 +241,264 @@ def make_controller(
             engine_backend=engine_backend,
             **params,  # type: ignore[arg-type]
         )
-    if name == "fixed" and params:
-        raise ConfigurationError(f"unused parameters for 'fixed': {sorted(params)}")
     return controller
+
+
+# -- the RunConfig blocks ------------------------------------------------
+
+
+@dataclass(frozen=True)
+class EngineConfig:
+    """How states are drawn and kernels executed.
+
+    Attributes:
+        backend: Array-kernel backend for the controller's hot loops
+            (``"numpy"``/``"jit"``; ``None`` = default).  Bit-identical
+            across backends -- wall-clock only.
+        compiled_states: Feed the controller through the compiled state
+            pipeline (bit-identical states, drawn in chunks).
+        state_chunk: Slots per compiled chunk.
+    """
+
+    backend: str | None = None
+    compiled_states: bool = True
+    state_chunk: int = 32
+
+
+@dataclass(frozen=True)
+class CheckpointConfig:
+    """Snapshot/resume policy (see :mod:`repro.sim.checkpoint`).
+
+    Attributes:
+        path: Checkpoint file; ``None`` disables checkpointing.
+        every: Slots between snapshots.
+        resume: Continue from an existing matching snapshot.
+    """
+
+    path: str | None = None
+    every: int = 16
+    resume: bool = False
+
+
+@dataclass(frozen=True)
+class ObsConfig:
+    """Observability defaults carried by the config.
+
+    Attributes:
+        monitors: Attach :func:`repro.obs.monitors.default_monitors`.
+        keep_records: Retain full per-slot records on the result.
+    """
+
+    monitors: bool = False
+    keep_records: bool = False
+
+
+@dataclass(frozen=True)
+class CellConfig:
+    """Multi-cell sharding block (see :mod:`repro.sim.sharded`).
+
+    Attributes:
+        count: Number of cells to partition the network into (1 runs
+            the sharded engine over the whole network -- bit-identical
+            to an unsharded run).
+        epoch: Slots between budget-coordinator re-splits.
+        coordinator: ``"proportional"`` or ``"static"`` pacing.
+        floor_fraction: Per-cell budget floor (fraction of fair share).
+        smoothing: Exponential smoothing on observed per-cell spends.
+        processes: Worker processes for cell execution (``None``/1 =
+            sequential in-process).
+        backends: Per-cell kernel backends (``None`` = the engine
+            block's backend everywhere).
+        partition_restarts: K-means restarts when partitioning.
+        balance_weight: Weight of the workload-balance term in the
+            partition score.
+        timeout_seconds: Per-epoch-job deadline on the pooled path.
+        max_retries: Retries per (cell, epoch) job after a failure.
+    """
+
+    count: int = 1
+    epoch: int = 24
+    coordinator: str = "proportional"
+    floor_fraction: float = 0.1
+    smoothing: float = 0.5
+    processes: int | None = None
+    backends: "tuple[str | None, ...] | None" = None
+    partition_restarts: int = 8
+    balance_weight: float = 1.0
+    timeout_seconds: float | None = None
+    max_retries: int = 2
+
+
+def _as_pairs(params: "dict | tuple") -> "tuple[tuple[str, object], ...]":
+    if isinstance(params, dict):
+        return tuple(sorted(params.items()))
+    return tuple((str(k), v) for k, v in params)
+
+
+@dataclass(frozen=True)
+class RunConfig:
+    """Everything :func:`run` needs, as one frozen value.
+
+    Scalar knobs stay top-level; cohesive groups live in blocks
+    (:attr:`engine`, :attr:`checkpoint`, :attr:`obs`, :attr:`cells`).
+    Bare keywords passed to :func:`run` override the corresponding
+    config fields, so a config can serve as a base profile.
+
+    Attributes:
+        controller: Name from :data:`CONTROLLER_NAMES`.
+        seed: Root seed for the default scenario.
+        scenario_config: Knobs for the default scenario.
+        horizon: Number of slots to simulate.
+        v: DPP trade-off parameter ``V``.
+        z: BDMA alternation rounds.
+        budget: Energy budget override (``None`` = scenario's).
+        warm_start_queue: Start the queue at its estimated equilibrium.
+        engine: State-pipeline and kernel block.
+        checkpoint: Snapshot/resume block.
+        obs: Observability block.
+        cells: Sharding block; ``None`` runs unsharded.
+        controller_params: Extra family knobs as ``(key, value)`` pairs
+            (kept as a tuple so the config stays hashable); a dict is
+            accepted and normalised.
+    """
+
+    controller: str = "dpp"
+    seed: int = 7
+    scenario_config: ScenarioConfig | None = None
+    horizon: int = 48
+    v: float = 100.0
+    z: int | None = None
+    budget: float | None = None
+    warm_start_queue: bool = False
+    engine: EngineConfig = field(default_factory=EngineConfig)
+    checkpoint: CheckpointConfig = field(default_factory=CheckpointConfig)
+    obs: ObsConfig = field(default_factory=ObsConfig)
+    cells: CellConfig | None = None
+    controller_params: "tuple[tuple[str, object], ...]" = ()
+
+    def __post_init__(self) -> None:
+        object.__setattr__(
+            self, "controller_params", _as_pairs(self.controller_params)
+        )
+
+    def to_dict(self) -> dict:
+        """JSON-ready nested view, for :class:`~repro.obs.manifest.RunManifest`.
+
+        Field names mirror the dataclass structure so a manifest diff
+        reads like a config diff.
+        """
+        out: dict = {
+            "controller": self.controller,
+            "seed": self.seed,
+            "scenario_config": (
+                asdict(self.scenario_config) if self.scenario_config else None
+            ),
+            "horizon": self.horizon,
+            "v": self.v,
+            "z": self.z,
+            "budget": self.budget,
+            "warm_start_queue": self.warm_start_queue,
+            "engine": asdict(self.engine),
+            "checkpoint": asdict(self.checkpoint),
+            "obs": asdict(self.obs),
+            "cells": asdict(self.cells) if self.cells else None,
+            "controller_params": dict(self.controller_params),
+        }
+        if out["cells"] and out["cells"]["backends"] is not None:
+            out["cells"]["backends"] = list(out["cells"]["backends"])
+        return out
+
+
+class _Unset:
+    """Sentinel distinguishing 'not passed' from an explicit ``None``."""
+
+    __slots__ = ()
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return "<unset>"
+
+
+_UNSET = _Unset()
+
+
+def _pick(value, fallback):
+    return fallback if value is _UNSET else value
+
+
+def _run_sharded_path(
+    scenario: Scenario,
+    cfg: CellConfig,
+    *,
+    controller: str,
+    horizon: int,
+    v: float,
+    z: "int | None",
+    budget: "float | None",
+    tracer: "Tracer | None",
+    engine_backend: "str | None",
+    compiled_states: bool,
+    state_chunk: int,
+    controller_params: dict,
+) -> SimulationResult:
+    from repro.network.partition import partition_cells
+    from repro.sim.sharded import run_sharded
+
+    plan = partition_cells(
+        scenario.network,
+        cfg.count,
+        rng=scenario.seeds.rng("cell-partition"),
+        restarts=cfg.partition_restarts,
+        balance_weight=cfg.balance_weight,
+    )
+    sharded = run_sharded(
+        scenario,
+        horizon=horizon,
+        cells=plan,
+        controller=controller,
+        v=v,
+        z=z,
+        budget=budget,
+        epoch=cfg.epoch,
+        coordinator=cfg.coordinator,
+        floor_fraction=cfg.floor_fraction,
+        smoothing=cfg.smoothing,
+        engine_backend=(
+            cfg.backends if cfg.backends is not None else engine_backend
+        ),
+        processes=cfg.processes,
+        timeout_seconds=cfg.timeout_seconds,
+        max_retries=cfg.max_retries,
+        tracer=tracer,
+        compiled_states=compiled_states,
+        state_chunk=state_chunk,
+        **controller_params,
+    )
+    return sharded.merged
 
 
 def run(
     *,
+    config: RunConfig | None = None,
     scenario: Scenario | None = None,
-    seed: int = 7,
-    scenario_config: ScenarioConfig | None = None,
-    controller: "str | OnlineController" = "dpp",
-    horizon: int = 48,
-    v: float = 100.0,
-    z: int | None = None,
-    budget: float | None = None,
+    seed: "int | _Unset" = _UNSET,
+    scenario_config: "ScenarioConfig | None | _Unset" = _UNSET,
+    controller: "str | OnlineController | _Unset" = _UNSET,
+    horizon: "int | _Unset" = _UNSET,
+    v: "float | _Unset" = _UNSET,
+    z: "int | None | _Unset" = _UNSET,
+    budget: "float | None | _Unset" = _UNSET,
     tracer: "Tracer | None" = None,
-    engine_backend: str | None = None,
+    engine_backend: "str | None | _Unset" = _UNSET,
     monitors: "object | None" = None,
-    keep_records: bool = False,
+    keep_records: "bool | _Unset" = _UNSET,
     on_slot=None,
-    warm_start_queue: bool = False,
-    compiled_states: bool = True,
-    state_chunk: int = 32,
-    checkpoint: "str | None" = None,
-    checkpoint_every: int = 16,
-    resume: bool = False,
+    warm_start_queue: "bool | _Unset" = _UNSET,
+    compiled_states: "bool | _Unset" = _UNSET,
+    state_chunk: "int | _Unset" = _UNSET,
+    checkpoint: "str | None | _Unset" = _UNSET,
+    checkpoint_every: "int | _Unset" = _UNSET,
+    resume: "bool | _Unset" = _UNSET,
+    cells: "int | CellConfig | None | _Unset" = _UNSET,
     **controller_params: object,
 ) -> SimulationResult:
     """Run one simulation end to end and return its result.
@@ -214,9 +506,12 @@ def run(
     The single public entry point: builds the scenario (unless given),
     the controller (unless an instance is given), threads the tracer
     through both the controller and the simulation loop, and runs
-    ``horizon`` slots.
+    ``horizon`` slots.  All knobs can come from a :class:`RunConfig`
+    (``config=``); bare keywords override its fields.
 
     Args:
+        config: Base configuration; any bare keyword below overrides
+            the corresponding field/block entry.
         scenario: Scenario to simulate; built from ``seed`` /
             ``scenario_config`` via
             :func:`repro.config.make_paper_scenario` when omitted.
@@ -232,8 +527,9 @@ def run(
         engine_backend: Array-kernel backend for the controller's hot
             loops (``"numpy"``/``"jit"``; see :mod:`repro.kernels`).
             Results are bit-identical across backends -- only the slot
-            throughput changes.  Ignored when ``controller`` is an
-            already built instance (configure it at construction).
+            throughput changes.  Incompatible with an already built
+            ``controller`` instance (configure the backend at
+            construction instead).
         monitors: Health monitors to watch the run -- a
             :class:`repro.obs.monitors.MonitorSuite`, an iterable of
             :class:`~repro.obs.monitors.Monitor`, or ``True`` for
@@ -259,16 +555,86 @@ def run(
         resume: With ``checkpoint=``, continue from an existing matching
             snapshot instead of starting fresh; resumed trajectories are
             bit-identical to an uninterrupted run's.
+        cells: Shard the run across cells -- a cell count or a full
+            :class:`CellConfig`.  Returns the merged cross-cell result;
+            one cell is bit-identical to the unsharded path.  Sharded
+            runs do not combine with checkpoints, monitors, per-slot
+            callbacks, record keeping, queue warm starts, or prebuilt
+            controller instances.
         **controller_params: Passed to :func:`make_controller`
-            (``rng_label=``, ``fraction=``, ``iterations=``, ...).
+            (``rng_label=``, ``fraction=``, ``iterations=``, ...),
+            merged over ``config.controller_params``.
 
     Returns:
         The :class:`~repro.sim.results.SimulationResult`.
     """
+    cfg = config if config is not None else RunConfig()
+    seed = _pick(seed, cfg.seed)
+    scenario_config = _pick(scenario_config, cfg.scenario_config)
+    controller = _pick(controller, cfg.controller)
+    horizon = _pick(horizon, cfg.horizon)
+    v = _pick(v, cfg.v)
+    z = _pick(z, cfg.z)
+    budget = _pick(budget, cfg.budget)
+    engine_backend = _pick(engine_backend, cfg.engine.backend)
+    keep_records = _pick(keep_records, cfg.obs.keep_records)
+    warm_start_queue = _pick(warm_start_queue, cfg.warm_start_queue)
+    compiled_states = _pick(compiled_states, cfg.engine.compiled_states)
+    state_chunk = _pick(state_chunk, cfg.engine.state_chunk)
+    checkpoint = _pick(checkpoint, cfg.checkpoint.path)
+    checkpoint_every = _pick(checkpoint_every, cfg.checkpoint.every)
+    resume = _pick(resume, cfg.checkpoint.resume)
+    cells = _pick(cells, cfg.cells)
+    if monitors is None and cfg.obs.monitors:
+        monitors = True
+    merged_params = dict(cfg.controller_params)
+    merged_params.update(controller_params)
+
     if scenario is None:
         scenario = make_paper_scenario(seed, config=scenario_config)
     if budget is None:
         budget = scenario.budget
+
+    if isinstance(controller, OnlineController) and engine_backend is not None:
+        raise ConfigurationError(
+            "engine_backend cannot be applied to an already built controller "
+            "instance; pass it to the controller's constructor instead"
+        )
+
+    if cells is not None:
+        if isinstance(cells, int):
+            cells = CellConfig(count=cells)
+        if isinstance(controller, OnlineController):
+            raise ConfigurationError(
+                "sharded runs build one controller per cell; pass a "
+                "controller name, not an instance"
+            )
+        conflicts = {
+            "checkpoint": checkpoint is not None,
+            "monitors": monitors is not None and monitors is not False,
+            "keep_records": bool(keep_records),
+            "on_slot": on_slot is not None,
+            "warm_start_queue": bool(warm_start_queue),
+        }
+        active = sorted(k for k, bad in conflicts.items() if bad)
+        if active:
+            raise ConfigurationError(
+                f"cells= does not combine with: {', '.join(active)}"
+            )
+        return _run_sharded_path(
+            scenario,
+            cells,
+            controller=controller,
+            horizon=horizon,
+            v=v,
+            z=z,
+            budget=budget,
+            tracer=tracer,
+            engine_backend=engine_backend,
+            compiled_states=compiled_states,
+            state_chunk=state_chunk,
+            controller_params=merged_params,
+        )
 
     suite = None
     if monitors is not None and monitors is not False:
@@ -299,7 +665,7 @@ def run(
             warm_start_queue=warm_start_queue,
             tracer=tracer,
             engine_backend=engine_backend,
-            **controller_params,  # type: ignore[arg-type]
+            **merged_params,  # type: ignore[arg-type]
         )
     if checkpoint is not None:
         from repro.sim.checkpoint import run_checkpointed

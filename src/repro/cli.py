@@ -63,6 +63,46 @@ def _build_scenario(args: argparse.Namespace) -> repro.Scenario:
     )
 
 
+def _run_config_from(args: argparse.Namespace) -> repro.RunConfig:
+    """Map ``simulate`` flags onto one :class:`repro.api.RunConfig`.
+
+    The config is both the sharded execution recipe (``--cells``) and
+    the provenance record: its :meth:`~repro.api.RunConfig.to_dict`
+    feeds the run manifest, so traces capture every knob.
+    """
+    cells = None
+    if args.cells > 1:
+        cells = repro.CellConfig(
+            count=args.cells,
+            epoch=args.cell_epoch,
+            processes=args.cell_processes,
+            coordinator=args.coordinator,
+        )
+    params: dict[str, object] = {}
+    if args.solver == "fixed":
+        params["fraction"] = args.fraction
+    return repro.RunConfig(
+        controller=args.solver,
+        seed=args.seed,
+        scenario_config=repro.ScenarioConfig(
+            num_devices=args.devices,
+            workload=args.workload,
+            budget_fraction=args.budget_fraction,
+        ),
+        horizon=args.horizon,
+        v=args.v,
+        z=args.z,
+        warm_start_queue=args.warm_start,
+        engine=repro.api.EngineConfig(
+            backend=args.backend,
+            compiled_states=not args.no_compiled_states,
+            state_chunk=args.state_chunk,
+        ),
+        cells=cells,
+        controller_params=params,
+    )
+
+
 def _build_controller(
     scenario: repro.Scenario,
     args: argparse.Namespace,
@@ -92,6 +132,15 @@ def _build_controller(
 
 def _cmd_simulate(args: argparse.Namespace) -> int:
     scenario = _build_scenario(args)
+    run_config = _run_config_from(args)
+    sharded = run_config.cells is not None
+    if sharded and (args.monitors or args.dashboard or args.warm_start):
+        print(
+            "--cells does not combine with --monitors, --dashboard, or "
+            "--warm-start",
+            file=sys.stderr,
+        )
+        return 2
     tracing = bool(args.trace) or args.profile or args.dashboard or args.monitors
     probe: Probe | None = None
     manifest: RunManifest | None = None
@@ -104,18 +153,7 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
             # trace behind (the whole point of post-mortem tooling).
             probe.add_sink(JsonlSink(args.trace, flush_every=1))
             manifest = RunManifest(
-                config={
-                    "command": "simulate",
-                    "devices": args.devices,
-                    "workload": args.workload,
-                    "budget_fraction": args.budget_fraction,
-                    "v": args.v,
-                    "z": args.z,
-                    "solver": args.solver,
-                    "horizon": args.horizon,
-                    "warm_start": args.warm_start,
-                    "backend": args.backend,
-                },
+                config={"command": "simulate", **run_config.to_dict()},
                 seed=args.seed,
             )
         if args.monitors or args.dashboard:
@@ -131,19 +169,23 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
                 budget=scenario.budget, ascii_only=args.ascii
             )
             probe.add_sink(dashboard)
-    controller = _build_controller(scenario, args, tracer=probe)
+    controller = None if sharded else _build_controller(scenario, args, tracer=probe)
     if dashboard is None:
+        cells_note = f"; cells {args.cells}" if sharded else ""
         print(
             f"{scenario.network}; budget {scenario.budget:.4f} $/slot; "
             f"solver {args.solver}; V={args.v}; horizon {args.horizon}"
+            f"{cells_note}"
         )
-    states = (
-        scenario.fresh_states(args.horizon, tracer=probe)
-        if args.no_compiled_states
-        else scenario.fresh_compiled_states(
-            args.horizon, chunk=args.state_chunk, tracer=probe
+    states = None
+    if not sharded:
+        states = (
+            scenario.fresh_states(args.horizon, tracer=probe)
+            if args.no_compiled_states
+            else scenario.fresh_compiled_states(
+                args.horizon, chunk=args.state_chunk, tracer=probe
+            )
         )
-    )
 
     def salvage(status: str) -> None:
         # A dead run must still leave its evidence behind: flush the
@@ -165,12 +207,17 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
                 print(f"manifest written to {manifest_path}", file=sys.stderr)
 
     try:
-        result = repro.run_simulation(
-            controller,
-            states,
-            budget=scenario.budget,
-            tracer=probe,
-        )
+        if sharded:
+            result = repro.api.run(
+                config=run_config, scenario=scenario, tracer=probe
+            )
+        else:
+            result = repro.run_simulation(
+                controller,
+                states,
+                budget=scenario.budget,
+                tracer=probe,
+            )
     except KeyboardInterrupt:
         print("\ninterrupted", file=sys.stderr)
         salvage("interrupted")
@@ -381,6 +428,18 @@ def build_parser() -> argparse.ArgumentParser:
                           "compiled chunked pipeline (identical values)")
     sim.add_argument("--state-chunk", type=int, default=32,
                      help="slots per compiled state chunk")
+    sim.add_argument("--cells", type=int, default=1,
+                     help="shard the network into this many cells, each "
+                          "with its own controller under one coordinated "
+                          "budget (1 = unsharded)")
+    sim.add_argument("--cell-epoch", type=int, default=24,
+                     help="slots between budget-coordinator re-splits")
+    sim.add_argument("--cell-processes", type=int, default=None,
+                     help="worker processes for cell execution "
+                          "(default: sequential in-process)")
+    sim.add_argument("--coordinator", choices=("proportional", "static"),
+                     default="proportional",
+                     help="budget re-split policy across cells")
     sim.set_defaults(handler=_cmd_simulate)
 
     exp = sub.add_parser("experiment", help="run a paper experiment")

@@ -45,8 +45,10 @@ from repro.core.bdma import BDMAResult, solve_p2_bdma
 from repro.core.virtual_queue import VirtualQueue
 from repro.core.drift_penalty import dpp_objective
 from repro.core.budget import (
+    BudgetCoordinator,
     BudgetSchedule,
     ConstantBudget,
+    CoordinatedBudget,
     PeriodicBudget,
     demand_weighted_budget,
 )
@@ -81,6 +83,8 @@ __all__ = [
     "BudgetSchedule",
     "ConstantBudget",
     "PeriodicBudget",
+    "CoordinatedBudget",
+    "BudgetCoordinator",
     "demand_weighted_budget",
     "DPPController",
     "P2ASolver",

@@ -136,3 +136,148 @@ def as_schedule(budget: "float | BudgetSchedule") -> BudgetSchedule:
     if isinstance(budget, BudgetSchedule):
         return budget
     return ConstantBudget(float(budget))
+
+
+class CoordinatedBudget(BudgetSchedule):
+    """A per-cell budget reference steered by a :class:`BudgetCoordinator`.
+
+    Within an epoch the reference is constant; between epochs the
+    coordinator re-splits the global budget and calls :meth:`set`.  The
+    same drift algebra as the time-varying schedules applies: the queue
+    only sees the running sum of ``C_t - Cbar_t``, so any sequence of
+    per-cell references that *sums* to the global ``Cbar`` every epoch
+    enforces exactly the global constraint across cells.
+    """
+
+    def __init__(self, value: float) -> None:
+        if value < 0.0:
+            raise ConfigurationError("budget must be non-negative")
+        self._value = float(value)
+
+    def set(self, value: float) -> None:
+        """Update the reference (called by the coordinator per epoch)."""
+        if value < 0.0:
+            raise ConfigurationError("budget must be non-negative")
+        self._value = float(value)
+
+    def budget_at(self, t: int) -> float:
+        del t
+        return self._value
+
+    @property
+    def average(self) -> float:
+        """The *current* reference (the long-run average is the
+        coordinator's conserved total split across cells)."""
+        return self._value
+
+    def __repr__(self) -> str:
+        return f"CoordinatedBudget({self._value:.4g})"
+
+
+class BudgetCoordinator:
+    """Splits one global ``Cbar`` across cells, re-pacing each epoch.
+
+    Each cell's controller runs against its own
+    :class:`CoordinatedBudget`; after every epoch the coordinator
+    observes per-cell mean spend and re-splits the total proportionally
+    to (smoothed) demand, floored at a fraction of the fair share and
+    renormalised so the per-cell references sum *exactly* to the total
+    -- the same floor-then-renormalise algebra as
+    :func:`demand_weighted_budget`, applied across cells instead of
+    across slots.
+
+    Args:
+        total: The global time-average budget ``Cbar``.
+        shares: Initial per-cell weights (e.g. device counts); only
+            their proportions matter.
+        mode: ``"proportional"`` re-paces on observed spend each epoch;
+            ``"static"`` keeps the initial split for the whole run.
+        floor_fraction: No cell's budget falls below this fraction of
+            its *initial* share (keeps a quiet cell workable when its
+            demand returns).
+        smoothing: Exponential-smoothing factor on observed spends
+            (0 reacts instantly, values near 1 change slowly).
+    """
+
+    MODES = ("proportional", "static")
+
+    def __init__(
+        self,
+        total: float,
+        shares: FloatArray,
+        *,
+        mode: str = "proportional",
+        floor_fraction: float = 0.1,
+        smoothing: float = 0.5,
+    ) -> None:
+        if total <= 0.0:
+            raise ConfigurationError("total budget must be positive")
+        if mode not in self.MODES:
+            raise ConfigurationError(
+                f"unknown coordinator mode {mode!r}; expected one of {self.MODES}"
+            )
+        if not 0.0 <= floor_fraction < 1.0:
+            raise ConfigurationError("floor_fraction must lie in [0, 1)")
+        if not 0.0 <= smoothing < 1.0:
+            raise ConfigurationError("smoothing must lie in [0, 1)")
+        shares = np.asarray(shares, dtype=np.float64)
+        if shares.ndim != 1 or shares.size == 0 or np.any(shares <= 0.0):
+            raise ConfigurationError("shares must be a positive 1-D array")
+        self.total = float(total)
+        self.mode = mode
+        self.floor_fraction = float(floor_fraction)
+        self.smoothing = float(smoothing)
+        self._shares = shares / shares.sum()
+        self._demand: FloatArray | None = None
+        self.epochs = 0
+        initial = self._renormalise(self.total * self._shares)
+        self.schedules = tuple(CoordinatedBudget(b) for b in initial)
+
+    @property
+    def num_cells(self) -> int:
+        return len(self.schedules)
+
+    def budgets(self) -> FloatArray:
+        """Current per-cell budget references (sum == ``total``)."""
+        return np.array([s.average for s in self.schedules])
+
+    def _renormalise(self, raw: FloatArray) -> FloatArray:
+        """Floor at a fraction of each cell's fair share, then scale so
+        the split sums exactly to the total (conservation)."""
+        raw = np.maximum(raw, self.floor_fraction * self.total * self._shares)
+        return raw * (self.total / raw.sum())
+
+    def update(self, spends: FloatArray) -> FloatArray:
+        """Re-split the budget from one epoch's per-cell mean spends.
+
+        Args:
+            spends: Observed mean energy cost per cell over the epoch
+                just finished (non-negative, one entry per cell).
+
+        Returns:
+            The new per-cell budgets (also installed on
+            :attr:`schedules`); unchanged in ``"static"`` mode.
+        """
+        spends = np.asarray(spends, dtype=np.float64)
+        if spends.shape != (self.num_cells,):
+            raise ConfigurationError(
+                f"expected {self.num_cells} spends, got shape {spends.shape}"
+            )
+        if np.any(spends < 0.0):
+            raise ConfigurationError("spends must be non-negative")
+        self.epochs += 1
+        if self.mode == "static":
+            return self.budgets()
+        if self._demand is None:
+            self._demand = spends.copy()
+        else:
+            self._demand = (
+                self.smoothing * self._demand + (1.0 - self.smoothing) * spends
+            )
+        demand = self._demand
+        if demand.sum() <= 0.0:  # nothing spent anywhere: keep fair shares
+            demand = self._shares
+        budgets = self._renormalise(self.total * demand / demand.sum())
+        for schedule, value in zip(self.schedules, budgets):
+            schedule.set(float(value))
+        return budgets

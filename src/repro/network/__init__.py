@@ -11,6 +11,8 @@
   ``Z_i`` (which (base station, server) pairs each device may choose) and
   a networkx export of the topology.
 * :mod:`repro.network.validation` -- structural consistency checks.
+* :mod:`repro.network.partition` -- k-means cell partitioning and
+  per-cell sub-topology extraction for multi-cell scale-out.
 """
 
 from repro.network.topology import (
@@ -29,6 +31,13 @@ from repro.network.connectivity import (
     to_networkx_graph,
 )
 from repro.network.validation import validate_network
+from repro.network.partition import (
+    Cell,
+    CellIndexMaps,
+    CellPlan,
+    extract_subnetwork,
+    partition_cells,
+)
 from repro.network.presets import PRESETS, get_preset
 
 __all__ = [
@@ -48,4 +57,9 @@ __all__ = [
     "reachable_servers",
     "to_networkx_graph",
     "validate_network",
+    "Cell",
+    "CellIndexMaps",
+    "CellPlan",
+    "partition_cells",
+    "extract_subnetwork",
 ]

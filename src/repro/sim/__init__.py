@@ -40,6 +40,13 @@ from repro.sim.replication import (
     ReplicationSummary,
     run_replications,
 )
+from repro.sim.sharded import (
+    ShardedController,
+    ShardedResult,
+    merge_cell_metrics,
+    run_sharded,
+    shard_scenarios,
+)
 
 __all__ = [
     "OutageModel",
@@ -70,4 +77,9 @@ __all__ = [
     "window_averages",
     "cumulative_time_average",
     "converged_tail_mean",
+    "ShardedController",
+    "ShardedResult",
+    "merge_cell_metrics",
+    "run_sharded",
+    "shard_scenarios",
 ]

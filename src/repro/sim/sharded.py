@@ -1,0 +1,659 @@
+"""Sharded multi-cell simulation: one DPP controller per cell.
+
+The monolithic slot solve costs superlinearly in the device count
+``I``, so one controller over a metro-scale deployment is hopeless.
+This module runs an independent :class:`~repro.core.controller.DPPController`
+(own virtual queue, own rng streams, own state stream) inside each cell
+of a :class:`~repro.network.partition.CellPlan`, while a
+:class:`~repro.core.budget.BudgetCoordinator` splits the global energy
+budget ``Cbar`` across cells every *epoch* -- proportional pacing on
+observed per-cell spend, conserving the total exactly, so the sum of
+the per-cell virtual-queue constraints is the global constraint.
+
+Execution is epoch-segmented exactly like checkpoint/resume: each cell
+keeps one continuing state rng and draws its compiled states segment by
+segment (``compile_states(count, rng, start=completed)``), which is
+bit-identical to one uninterrupted pass.  With ``processes > 1`` the
+segments are shipped to a worker pool using the replication machinery's
+idiom -- a pinned per-worker context, per-job carry of the controller /
+generator / rng state (so any worker can run any cell's next epoch),
+per-job timeouts, pool rebuilds on crashes, and bounded retries.
+
+The one-cell plan degenerates to the unsharded pipeline: the original
+scenario object is reused verbatim, the coordinator's single share is
+the whole budget, and the merged trajectories are bit-identical to
+``repro.api.run`` without sharding (asserted by
+``benchmarks/bench_scale_sweep.py`` and ``tests/test_sharding.py``).
+"""
+
+from __future__ import annotations
+
+import copy
+import logging
+from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures import TimeoutError as FuturesTimeout
+from concurrent.futures.process import BrokenProcessPool
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.budget import BudgetCoordinator, ConstantBudget
+from repro.exceptions import ConfigurationError, SolverError
+from repro.network.partition import CellPlan, extract_subnetwork, partition_cells
+from repro.obs.probe import Probe, Tracer, as_tracer
+from repro.radio.mobility import StaticMobility
+from repro.sim.engine import run_simulation
+from repro.sim.results import SimulationResult, SimulationSummary
+from repro.sim.scenario import Scenario, StateGenerator
+
+logger = logging.getLogger(__name__)
+
+__all__ = [
+    "ShardedController",
+    "ShardedResult",
+    "merge_cell_metrics",
+    "run_sharded",
+    "shard_scenarios",
+]
+
+_METRIC_KEYS = ("latency", "cost", "theta", "backlog", "solve_seconds", "price")
+
+
+def shard_scenarios(scenario: Scenario, plan: CellPlan) -> list[Scenario]:
+    """Carve one scenario into an independent scenario per cell.
+
+    The one-cell plan returns ``[scenario]`` -- the *same object*, same
+    seed bank, same stream labels -- which is what makes the one-cell
+    sharded run bit-identical to the unsharded pipeline.  Multi-cell
+    plans give each cell its own sub-topology
+    (:func:`~repro.network.partition.extract_subnetwork`), a sliced
+    task generator, deep-copied channel/price models, a child seed bank
+    (independent streams per cell), and a fair share of the budget.
+
+    Raises:
+        ConfigurationError: The scenario uses features the sharded
+            engine does not support (mobility, a fronthaul/outage
+            model, a fault plan, or an unsliceable task generator).
+    """
+    if plan.num_cells == 1:
+        return [scenario]
+    generator = scenario.generator
+    if type(generator.mobility) is not StaticMobility:
+        raise ConfigurationError(
+            "sharded runs require static mobility (devices must stay in "
+            "their cell)"
+        )
+    if generator.fronthaul is not None or generator.faults is not None:
+        raise ConfigurationError(
+            "sharded runs do not support fronthaul or outage models yet"
+        )
+    if scenario.fault_plan:
+        raise ConfigurationError("sharded runs do not support fault plans yet")
+    total_devices = scenario.network.num_devices
+    out = []
+    for cell in plan.cells:
+        subnetwork, maps = extract_subnetwork(scenario.network, cell)
+        tasks = generator.tasks.subset(maps.devices)
+        cell_generator = StateGenerator(
+            subnetwork,
+            tasks,
+            copy.deepcopy(generator.channel),
+            copy.deepcopy(generator.prices),
+            price_scale=generator.price_scale,
+        )
+        out.append(
+            Scenario(
+                network=subnetwork,
+                generator=cell_generator,
+                seeds=scenario.seeds.child(f"cell{cell.index}"),
+                budget=scenario.budget * cell.num_devices / total_devices,
+            )
+        )
+    return out
+
+
+def merge_cell_metrics(
+    metrics_by_cell: "list[dict[str, list[float]]]", budget: float
+) -> SimulationResult:
+    """Fold per-cell trajectories into one cross-cell result.
+
+    Latency, cost, theta, backlog, and solve time are *totals* across
+    devices/queues, so they sum across cells per slot; the price is
+    averaged (cells draw their own price noise).  Budget conservation
+    makes the merged theta exactly ``C_t - Cbar`` -- the same semantics
+    as an unsharded run against the global budget.
+    """
+    if not metrics_by_cell:
+        raise ConfigurationError("nothing to merge")
+    horizons = {len(m["latency"]) for m in metrics_by_cell}
+    if len(horizons) != 1:
+        raise ConfigurationError(
+            f"cells disagree on the simulated horizon: {sorted(horizons)}"
+        )
+    stacked = {
+        key: np.array([m[key] for m in metrics_by_cell], dtype=np.float64)
+        for key in _METRIC_KEYS
+    }
+    return SimulationResult(
+        latency=stacked["latency"].sum(axis=0),
+        cost=stacked["cost"].sum(axis=0),
+        theta=stacked["theta"].sum(axis=0),
+        backlog=stacked["backlog"].sum(axis=0),
+        solve_seconds=stacked["solve_seconds"].sum(axis=0),
+        price=stacked["price"].mean(axis=0),
+        budget=budget,
+    )
+
+
+@dataclass
+class ShardedResult:
+    """Outcome of one sharded run.
+
+    Attributes:
+        merged: The cross-cell :class:`~repro.sim.results.SimulationResult`
+            (global totals per slot; drop-in comparable to an unsharded
+            run against the global budget).
+        cells: Per-cell summaries, in cell order.
+        budgets: ``(epochs, cells)`` budget references applied per
+            epoch; every row sums to the global budget.
+        plan: The cell plan the run executed.
+    """
+
+    merged: SimulationResult
+    cells: list[SimulationSummary] = field(default_factory=list)
+    budgets: "np.ndarray | None" = None
+    plan: CellPlan | None = None
+
+    def speedup_basis(self) -> int:
+        """Total devices simulated (for slots/s-per-device accounting)."""
+        return int(sum(c.num_devices for c in self.plan.cells)) if self.plan else 0
+
+
+# -- worker-pool plumbing (mirrors repro.sim.replication) ----------------
+
+#: Per-worker context installed once by :func:`_init_shard_worker`.
+_SHARD_CONTEXT: "dict | None" = None
+
+
+def _init_shard_worker(context: dict) -> None:
+    """Pool initializer: pin the cell scenarios + controller recipe."""
+    global _SHARD_CONTEXT
+    _SHARD_CONTEXT = context
+
+
+def _build_cell_controller(
+    scenario: Scenario,
+    *,
+    controller: str,
+    v: float,
+    z: "int | None",
+    budget,
+    engine_backend: "str | None",
+    tracer: "Tracer | None",
+    controller_params: dict,
+):
+    """One cell's controller, built the way ``api.run`` builds the
+    unsharded one (same rng stream label, same defaults)."""
+    from repro.api import make_controller
+
+    return make_controller(
+        controller,
+        scenario,
+        v=v,
+        z=z,
+        budget=budget,
+        tracer=tracer,
+        engine_backend=engine_backend,
+        **controller_params,
+    )
+
+
+def _run_epoch_job(job: dict) -> dict:
+    """Worker entry point: run one cell's epoch segment.
+
+    The job carries everything the segment needs -- the budget value
+    for the epoch and the cross-slot carry (controller / generator /
+    state-rng state) -- so any worker can run any cell's next epoch,
+    and a retried job replays bit-identically.
+    """
+    assert _SHARD_CONTEXT is not None, "shard worker pool was not initialised"
+    ctx = _SHARD_CONTEXT
+    cell = job["cell"]
+    scenario: Scenario = ctx["scenarios"][cell]
+    probe = Probe() if ctx["trace_phases"] else None
+    controller = _build_cell_controller(
+        scenario,
+        controller=ctx["controller"],
+        v=ctx["v"],
+        z=ctx["z"],
+        budget=ConstantBudget(job["budget"]),
+        engine_backend=ctx["backends"][cell],
+        tracer=probe,
+        controller_params=ctx["controller_params"],
+    )
+    generator = scenario.generator
+    rng = scenario.state_rng()
+    if job["carry"] is None:
+        generator.reset()
+    else:
+        controller.load_state_dict(job["carry"]["controller"])
+        generator.load_state_dict(job["carry"]["generator"])
+        rng.bit_generator.state = job["carry"]["state_rng"]
+    # The budget reference for this epoch (load_state_dict does not
+    # touch the schedule, so this holds after a carry restore too).
+    controller.budget_schedule = ConstantBudget(job["budget"])
+    controller.budget = job["budget"]
+    if ctx["compiled"]:
+        segment = generator.compile_states(
+            job["count"], rng, chunk=ctx["chunk"], start=job["start"]
+        )
+    else:
+        segment = generator.states(job["count"], rng, start=job["start"])
+    part = run_simulation(controller, segment, tracer=probe)
+    return {
+        "cell": cell,
+        "metrics": {k: getattr(part, k).tolist() for k in _METRIC_KEYS},
+        "carry": {
+            "controller": controller.state_dict(),
+            "generator": generator.state_dict(),
+            "state_rng": rng.bit_generator.state,
+        },
+        "phase_state": probe.phases.state_dict() if probe is not None else None,
+    }
+
+
+class ShardedController:
+    """Runs one controller per cell under a shared budget coordinator.
+
+    Args:
+        scenario: The global scenario to shard.
+        cells: A prebuilt :class:`~repro.network.partition.CellPlan` or
+            a target cell count (partitioned with
+            :func:`~repro.network.partition.partition_cells` from the
+            scenario's ``"cell-partition"`` seed stream).
+        controller: Controller family name (any DPP-family name from
+            :data:`repro.api.CONTROLLER_NAMES`; ``"fixed"`` has no
+            budget-tracking queue and is rejected).
+        v: DPP trade-off parameter ``V`` (every cell shares it).
+        z: BDMA alternation rounds.
+        budget: Global time-average budget ``Cbar``; the scenario's
+            when omitted.
+        epoch: Slots between budget re-splits.
+        coordinator: ``"proportional"`` or ``"static"``
+            (:class:`~repro.core.budget.BudgetCoordinator` modes).
+        floor_fraction / smoothing: Coordinator pacing knobs.
+        engine_backend: Kernel backend for every cell, or one entry per
+            cell (heterogeneous shards).
+        processes: Worker processes; ``None``/1 runs cells sequentially
+            in-process (no pickling), which on a single core is just as
+            fast and is bit-identical to the pooled path.
+        timeout_seconds: Per-epoch-job deadline on the pooled path; a
+            blown deadline burns one retry and rebuilds the pool.
+        max_retries: Extra attempts per (cell, epoch) job after its
+            first failure on the pooled path.
+        tracer: Parent observability tracer; per-cell probes are merged
+            into it (``shard.*`` events mark epochs and re-splits).
+        **controller_params: Extra family knobs, validated by
+            :func:`repro.api.make_controller`.
+    """
+
+    def __init__(
+        self,
+        scenario: Scenario,
+        cells: "CellPlan | int" = 1,
+        *,
+        controller: str = "dpp",
+        v: float = 100.0,
+        z: "int | None" = None,
+        budget: "float | None" = None,
+        epoch: int = 24,
+        coordinator: str = "proportional",
+        floor_fraction: float = 0.1,
+        smoothing: float = 0.5,
+        engine_backend: "str | list | tuple | None" = None,
+        processes: "int | None" = None,
+        timeout_seconds: "float | None" = None,
+        max_retries: int = 2,
+        tracer: "Tracer | None" = None,
+        **controller_params: object,
+    ) -> None:
+        if controller == "fixed":
+            raise ConfigurationError(
+                "sharded runs need a budget-tracking controller; "
+                "'fixed' has no virtual queue to coordinate"
+            )
+        if epoch < 1:
+            raise ConfigurationError(f"epoch must be >= 1, got {epoch}")
+        if max_retries < 0:
+            raise ConfigurationError("max_retries must be >= 0")
+        if isinstance(cells, CellPlan):
+            plan = cells
+        else:
+            plan = partition_cells(
+                scenario.network, int(cells), rng=scenario.seeds.rng("cell-partition")
+            )
+        self.plan = plan
+        self.scenario = scenario
+        self.cell_scenarios = shard_scenarios(scenario, plan)
+        self.controller_name = controller
+        self.v = v
+        self.z = z
+        self.total_budget = float(
+            scenario.budget if budget is None else budget
+        )
+        self.epoch = int(epoch)
+        self.processes = processes
+        self.timeout_seconds = timeout_seconds
+        self.max_retries = int(max_retries)
+        self.tracer = as_tracer(tracer)
+        self.controller_params = dict(controller_params)
+        self.backends = self._resolve_backends(engine_backend)
+        self.coordinator = BudgetCoordinator(
+            self.total_budget,
+            np.maximum(plan.device_counts().astype(np.float64), 1.0),
+            mode=coordinator,
+            floor_fraction=floor_fraction,
+            smoothing=smoothing,
+        )
+
+    def _resolve_backends(self, engine_backend) -> list:
+        if engine_backend is None or isinstance(engine_backend, str):
+            return [engine_backend] * self.plan.num_cells
+        backends = list(engine_backend)
+        if len(backends) != self.plan.num_cells:
+            raise ConfigurationError(
+                f"engine_backend lists one backend per cell: got "
+                f"{len(backends)} for {self.plan.num_cells} cells"
+            )
+        return backends
+
+    # -- sequential path -------------------------------------------------
+
+    def _run_sequential(
+        self, horizon: int, *, compiled: bool, chunk: int
+    ) -> "tuple[list[dict], list[np.ndarray]]":
+        trace = self.tracer.enabled
+        probes: list = [Probe() if trace else None for _ in self.cell_scenarios]
+        controllers = [
+            _build_cell_controller(
+                sc,
+                controller=self.controller_name,
+                v=self.v,
+                z=self.z,
+                budget=self.coordinator.schedules[c],
+                engine_backend=self.backends[c],
+                tracer=probes[c],
+                controller_params=self.controller_params,
+            )
+            for c, sc in enumerate(self.cell_scenarios)
+        ]
+        rngs = []
+        for sc in self.cell_scenarios:
+            sc.generator.reset()
+            rngs.append(sc.state_rng())
+        metrics = [
+            {k: [] for k in _METRIC_KEYS} for _ in self.cell_scenarios
+        ]
+        budgets_applied: list[np.ndarray] = []
+        completed = 0
+        while completed < horizon:
+            count = min(self.epoch, horizon - completed)
+            budgets_applied.append(self.coordinator.budgets())
+            spends = np.zeros(len(self.cell_scenarios))
+            for c, sc in enumerate(self.cell_scenarios):
+                if compiled:
+                    segment = sc.generator.compile_states(
+                        count, rngs[c], chunk=chunk, start=completed
+                    )
+                else:
+                    segment = sc.generator.states(
+                        count, rngs[c], start=completed
+                    )
+                part = run_simulation(controllers[c], segment, tracer=probes[c])
+                for key in _METRIC_KEYS:
+                    metrics[c][key].extend(getattr(part, key).tolist())
+                spends[c] = part.time_average_cost()
+            completed += count
+            new_budgets = self.coordinator.update(spends)
+            if trace:
+                self.tracer.event(
+                    "shard.epoch",
+                    {
+                        "completed": completed,
+                        "spends": spends.tolist(),
+                        "budgets": new_budgets.tolist(),
+                    },
+                )
+        if trace and isinstance(self.tracer, Probe):
+            for probe in probes:
+                self.tracer.merge_phase_state(probe.phases.state_dict())
+        return metrics, budgets_applied
+
+    # -- pooled path -------------------------------------------------------
+
+    def _run_pooled(
+        self, horizon: int, *, compiled: bool, chunk: int
+    ) -> "tuple[list[dict], list[np.ndarray]]":
+        trace = self.tracer.enabled
+        context = {
+            "scenarios": self.cell_scenarios,
+            "controller": self.controller_name,
+            "v": self.v,
+            "z": self.z,
+            "backends": self.backends,
+            "controller_params": self.controller_params,
+            "compiled": compiled,
+            "chunk": chunk,
+            "trace_phases": trace,
+        }
+
+        def make_pool() -> ProcessPoolExecutor:
+            return ProcessPoolExecutor(
+                max_workers=self.processes,
+                initializer=_init_shard_worker,
+                initargs=(context,),
+            )
+
+        num_cells = len(self.cell_scenarios)
+        metrics = [{k: [] for k in _METRIC_KEYS} for _ in range(num_cells)]
+        budgets_applied: list[np.ndarray] = []
+        carries: list = [None] * num_cells
+        attempts: dict[int, int] = {}
+        completed = 0
+        pool = make_pool()
+        try:
+            while completed < horizon:
+                count = min(self.epoch, horizon - completed)
+                budgets = self.coordinator.budgets()
+                budgets_applied.append(budgets)
+                jobs = {
+                    c: {
+                        "cell": c,
+                        "start": completed,
+                        "count": count,
+                        "budget": float(budgets[c]),
+                        "carry": carries[c],
+                    }
+                    for c in range(num_cells)
+                }
+                pending = list(range(num_cells))
+                spends = np.zeros(num_cells)
+                attempts.clear()
+                while pending:
+                    futures = {
+                        c: pool.submit(_run_epoch_job, jobs[c]) for c in pending
+                    }
+                    next_pending: list[int] = []
+                    rebuild = False
+                    for position, c in enumerate(pending):
+                        try:
+                            out = futures[c].result(
+                                timeout=self.timeout_seconds
+                            )
+                        except (FuturesTimeout, BrokenProcessPool) as exc:
+                            # The pool is poisoned; salvage the rest of
+                            # this round onto a fresh one, burn one of
+                            # this cell's attempts.
+                            if self._note_failure(attempts, c, exc):
+                                next_pending.append(c)
+                            else:
+                                raise SolverError(
+                                    f"cell {c} failed permanently at slot "
+                                    f"{completed}: {exc}"
+                                ) from exc
+                            next_pending.extend(pending[position + 1 :])
+                            rebuild = True
+                            break
+                        except Exception as exc:
+                            if self._note_failure(attempts, c, exc):
+                                next_pending.append(c)
+                            else:
+                                raise SolverError(
+                                    f"cell {c} failed permanently at slot "
+                                    f"{completed}: {exc}"
+                                ) from exc
+                        else:
+                            for key in _METRIC_KEYS:
+                                metrics[c][key].extend(out["metrics"][key])
+                            carries[c] = out["carry"]
+                            spends[c] = float(
+                                np.mean(out["metrics"]["cost"])
+                            )
+                            if trace and isinstance(self.tracer, Probe):
+                                self.tracer.merge_phase_state(
+                                    out["phase_state"]
+                                )
+                    if rebuild:
+                        pool.shutdown(wait=False, cancel_futures=True)
+                        pool = make_pool()
+                        if trace:
+                            self.tracer.event(
+                                "shard.pool_rebuilt",
+                                {"pending": len(next_pending)},
+                            )
+                    pending = next_pending
+                completed += count
+                new_budgets = self.coordinator.update(spends)
+                if trace:
+                    self.tracer.event(
+                        "shard.epoch",
+                        {
+                            "completed": completed,
+                            "spends": spends.tolist(),
+                            "budgets": new_budgets.tolist(),
+                        },
+                    )
+        finally:
+            pool.shutdown(wait=False, cancel_futures=True)
+        return metrics, budgets_applied
+
+    def _note_failure(self, attempts: dict, cell: int, exc: Exception) -> bool:
+        attempts[cell] = attempts.get(cell, 0) + 1
+        retry = attempts[cell] <= self.max_retries
+        logger.warning(
+            "cell %d epoch job failed (attempt %d/%d): %s",
+            cell,
+            attempts[cell],
+            self.max_retries + 1,
+            exc,
+        )
+        if self.tracer.enabled:
+            self.tracer.counter("resilience.shard_retries", 1)
+            self.tracer.event(
+                "shard.retry",
+                {"cell": cell, "attempt": attempts[cell], "error": str(exc)},
+            )
+        return retry
+
+    # -- public ------------------------------------------------------------
+
+    def run(
+        self,
+        horizon: int,
+        *,
+        compiled_states: bool = True,
+        state_chunk: int = 32,
+    ) -> ShardedResult:
+        """Simulate *horizon* slots across every cell and merge.
+
+        Cells advance in lockstep epochs; after each epoch the budget
+        coordinator re-splits ``Cbar`` from the observed spends.  The
+        pooled and sequential paths produce bit-identical trajectories
+        (the pooled path replays the same carry-state arithmetic the
+        checkpoint layer proved exact).
+        """
+        if horizon < 0:
+            raise ConfigurationError(f"horizon must be >= 0, got {horizon}")
+        if self.processes is not None and self.processes > 1:
+            metrics, budgets = self._run_pooled(
+                horizon, compiled=compiled_states, chunk=state_chunk
+            )
+        else:
+            metrics, budgets = self._run_sequential(
+                horizon, compiled=compiled_states, chunk=state_chunk
+            )
+        merged = merge_cell_metrics(metrics, self.total_budget)
+        cell_summaries = [
+            SimulationResult(
+                **{k: np.asarray(m[k], dtype=np.float64) for k in _METRIC_KEYS},
+                budget=float(b),
+            ).summary()
+            for m, b in zip(metrics, self.coordinator.budgets())
+        ]
+        return ShardedResult(
+            merged=merged,
+            cells=cell_summaries,
+            budgets=np.array(budgets) if budgets else None,
+            plan=self.plan,
+        )
+
+
+def run_sharded(
+    scenario: Scenario,
+    *,
+    horizon: int,
+    cells: "CellPlan | int",
+    controller: str = "dpp",
+    v: float = 100.0,
+    z: "int | None" = None,
+    budget: "float | None" = None,
+    epoch: int = 24,
+    coordinator: str = "proportional",
+    floor_fraction: float = 0.1,
+    smoothing: float = 0.5,
+    engine_backend: "str | list | tuple | None" = None,
+    processes: "int | None" = None,
+    timeout_seconds: "float | None" = None,
+    max_retries: int = 2,
+    tracer: "Tracer | None" = None,
+    compiled_states: bool = True,
+    state_chunk: int = 32,
+    **controller_params: object,
+) -> ShardedResult:
+    """One-call sharded run: partition, coordinate, execute, merge.
+
+    See :class:`ShardedController` for the knobs.  Returns the
+    :class:`ShardedResult`; ``result.merged`` is the drop-in
+    cross-cell :class:`~repro.sim.results.SimulationResult`.
+    """
+    sharded = ShardedController(
+        scenario,
+        cells,
+        controller=controller,
+        v=v,
+        z=z,
+        budget=budget,
+        epoch=epoch,
+        coordinator=coordinator,
+        floor_fraction=floor_fraction,
+        smoothing=smoothing,
+        engine_backend=engine_backend,
+        processes=processes,
+        timeout_seconds=timeout_seconds,
+        max_retries=max_retries,
+        tracer=tracer,
+        **controller_params,
+    )
+    return sharded.run(
+        horizon, compiled_states=compiled_states, state_chunk=state_chunk
+    )

@@ -37,6 +37,30 @@ class TaskGenerator(abc.ABC):
     def generate(self, t: int, rng: Rng) -> TaskBatch:
         """Draw the tasks for slot *t*."""
 
+    def subset(self, indices: "tuple[int, ...] | list[int]") -> "TaskGenerator":
+        """A generator covering only the given device indices.
+
+        Used by the sharding layer to carve per-cell workloads out of a
+        global one.  Families whose devices are exchangeable (uniform
+        draws) just shrink; families with per-device parameters slice
+        them.  Subclasses without a meaningful restriction inherit this
+        error.
+        """
+        raise ConfigurationError(
+            f"{type(self).__name__} does not support device subsetting"
+        )
+
+
+def _check_subset(indices, num_devices: int) -> list[int]:
+    indices = [int(i) for i in indices]
+    if not indices:
+        raise ConfigurationError("subset needs at least one device")
+    if any(not 0 <= i < num_devices for i in indices):
+        raise ConfigurationError(
+            f"subset indices out of range for {num_devices} devices"
+        )
+    return indices
+
 
 class UniformTaskGenerator(TaskGenerator):
     """Iid uniform task draws (paper Sec. VI-A).
@@ -72,6 +96,14 @@ class UniformTaskGenerator(TaskGenerator):
         return TaskBatch(
             cycles=rng.uniform(*self.cycles_range, size=self.num_devices),
             bits=rng.uniform(*self.bits_range, size=self.num_devices),
+        )
+
+    def subset(self, indices) -> "UniformTaskGenerator":
+        indices = _check_subset(indices, self.num_devices)
+        return UniformTaskGenerator(
+            len(indices),
+            cycles_range=self.cycles_range,
+            bits_range=self.bits_range,
         )
 
 
@@ -145,6 +177,16 @@ class PeriodicTaskGenerator(TaskGenerator):
         bits = np.maximum(bits, self.floor_fraction * self.base_bits)
         return TaskBatch(cycles=cycles, bits=bits)
 
+    def subset(self, indices) -> "PeriodicTaskGenerator":
+        indices = _check_subset(indices, self.num_devices)
+        return PeriodicTaskGenerator(
+            self.base_cycles[indices],
+            self.base_bits[indices],
+            profile=self.profile,
+            noise_cv=self.noise_cv,
+            floor_fraction=self.floor_fraction,
+        )
+
 
 class TraceTaskGenerator(TaskGenerator):
     """Replay recorded per-slot demand arrays, repeating past the end.
@@ -176,4 +218,10 @@ class TraceTaskGenerator(TaskGenerator):
         return TaskBatch(
             cycles=self.cycles_trace[row].copy(),
             bits=self.bits_trace[row].copy(),
+        )
+
+    def subset(self, indices) -> "TraceTaskGenerator":
+        indices = _check_subset(indices, self.num_devices)
+        return TraceTaskGenerator(
+            self.cycles_trace[:, indices], self.bits_trace[:, indices]
         )

@@ -8,7 +8,16 @@ import numpy as np
 import pytest
 
 import repro
-from repro.api import CONTROLLER_NAMES, make_controller, run
+from repro.api import (
+    CONTROLLER_NAMES,
+    CellConfig,
+    CheckpointConfig,
+    EngineConfig,
+    ObsConfig,
+    RunConfig,
+    make_controller,
+    run,
+)
 from repro.baselines import FixedFrequencyController
 from repro.core.controller import DPPController
 from repro.exceptions import ConfigurationError
@@ -158,6 +167,106 @@ class TestRun:
             keep_records=True,
         )
         assert len(result.records) == 2
+
+
+class TestRunConfig:
+    def test_config_matches_bare_kwargs(self) -> None:
+        config = RunConfig(
+            controller="dpp", horizon=3, seed=9,
+            scenario_config=repro.ScenarioConfig(num_devices=8),
+        )
+        via_config = run(config=config)
+        via_kwargs = run(
+            controller="dpp", horizon=3, seed=9,
+            scenario_config=repro.ScenarioConfig(num_devices=8),
+        )
+        np.testing.assert_array_equal(via_config.latency, via_kwargs.latency)
+        np.testing.assert_array_equal(via_config.cost, via_kwargs.cost)
+
+    def test_bare_kwargs_override_config(self) -> None:
+        config = RunConfig(
+            controller="dpp", horizon=5, seed=9,
+            scenario_config=repro.ScenarioConfig(num_devices=8),
+        )
+        result = run(config=config, horizon=2)
+        assert result.horizon == 2
+
+    def test_controller_params_merge_and_override(self) -> None:
+        config = RunConfig(
+            controller="fixed", horizon=1, seed=9,
+            scenario_config=repro.ScenarioConfig(num_devices=8),
+            controller_params={"fraction": 0.25},
+        )
+        baseline = run(config=config)
+        overridden = run(config=config, fraction=1.0)
+        assert baseline.horizon == overridden.horizon == 1
+        assert not np.array_equal(baseline.cost, overridden.cost)
+
+    def test_to_dict_is_json_ready_and_feeds_manifest(self) -> None:
+        import json
+
+        config = RunConfig(
+            controller="mcba",
+            horizon=4,
+            engine=EngineConfig(backend="numpy", state_chunk=16),
+            checkpoint=CheckpointConfig(path="/tmp/ck.json", every=8),
+            obs=ObsConfig(monitors=True),
+            cells=CellConfig(count=2, backends=("numpy", "numpy")),
+            controller_params={"iterations": 5},
+        )
+        plain = config.to_dict()
+        assert json.loads(json.dumps(plain)) == plain
+        assert plain["engine"]["backend"] == "numpy"
+        assert plain["cells"]["count"] == 2
+        assert plain["cells"]["backends"] == ["numpy", "numpy"]
+        assert plain["controller_params"] == {"iterations": 5}
+        manifest = repro.obs.RunManifest(config=plain, seed=config.seed)
+        assert manifest.to_dict()["config"]["controller"] == "mcba"
+
+    def test_controller_params_normalised_for_hashing(self) -> None:
+        a = RunConfig(controller_params={"joint": True, "shuffle": False})
+        b = RunConfig(controller_params={"shuffle": False, "joint": True})
+        assert a == b
+        assert a.to_dict() == b.to_dict()
+
+    def test_unknown_knob_gets_did_you_mean(self) -> None:
+        with pytest.raises(ConfigurationError, match="did you mean"):
+            make_controller("mcba", small_scenario(), iteration=5)
+
+    def test_unknown_knob_lists_accepted(self) -> None:
+        with pytest.raises(ConfigurationError, match="accepted knobs"):
+            make_controller("dpp", small_scenario(), bogus_knob=1)
+
+    def test_prebuilt_controller_rejects_engine_backend(self) -> None:
+        scenario = small_scenario()
+        controller = make_controller("dpp", scenario)
+        with pytest.raises(ConfigurationError, match="already built"):
+            run(
+                scenario=scenario, controller=controller, horizon=1,
+                engine_backend="numpy",
+            )
+
+    def test_cells_conflicts_are_rejected(self) -> None:
+        with pytest.raises(ConfigurationError, match="does not combine"):
+            run(
+                controller="dpp", horizon=2, seed=9,
+                scenario_config=repro.ScenarioConfig(num_devices=8),
+                cells=2, keep_records=True,
+            )
+
+    def test_one_cell_run_identical_to_unsharded(self) -> None:
+        plain = run(
+            controller="dpp", horizon=3, seed=9,
+            scenario_config=repro.ScenarioConfig(num_devices=8),
+        )
+        sharded = run(
+            controller="dpp", horizon=3, seed=9,
+            scenario_config=repro.ScenarioConfig(num_devices=8),
+            cells=1,
+        )
+        np.testing.assert_array_equal(plain.latency, sharded.latency)
+        np.testing.assert_array_equal(plain.cost, sharded.cost)
+        np.testing.assert_array_equal(plain.backlog, sharded.backlog)
 
 
 class TestUniformSummaries:

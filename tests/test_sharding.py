@@ -1,0 +1,243 @@
+"""Tests for the multi-cell sharding layer.
+
+Covers the three pillars: cell-partition invariants (every entity in
+exactly one cell, coverage preserved), budget-coordinator conservation
+(per-cell budgets sum exactly to ``Cbar`` every epoch), and the sharded
+engine's reproducibility contract (1 cell bit-identical to the
+unsharded facade; pooled execution bit-identical to sequential).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+import repro
+from repro import sharding
+from repro.core.budget import BudgetCoordinator, CoordinatedBudget
+from repro.exceptions import ConfigurationError
+from repro.radio.mobility import RandomWaypointMobility
+
+
+def metro_scenario(
+    seed: int = 9,
+    *,
+    devices: int = 24,
+    base_stations: int = 4,
+    clusters: int = 2,
+    **extra,
+) -> repro.Scenario:
+    """A small all-macro, all-wireless topology that partitions cleanly."""
+    return repro.make_paper_scenario(
+        seed,
+        config=repro.ScenarioConfig(num_devices=devices),
+        num_base_stations=base_stations,
+        num_macro_stations=base_stations,
+        wireless_fronthaul_fraction=1.0,
+        num_clusters=clusters,
+        servers_per_cluster=2,
+        **extra,
+    )
+
+
+def trajectories(result) -> tuple:
+    return (result.latency, result.cost, result.theta, result.backlog, result.price)
+
+
+def assert_identical(a, b) -> None:
+    for left, right in zip(trajectories(a), trajectories(b)):
+        np.testing.assert_array_equal(left, right)
+
+
+class TestPartitionCells:
+    def test_every_entity_in_exactly_one_cell(self) -> None:
+        scenario = metro_scenario()
+        network = scenario.network
+        plan = sharding.partition_cells(
+            network, 2, rng=np.random.default_rng(3)
+        )
+        for attr, total in (
+            ("base_stations", network.num_base_stations),
+            ("clusters", len(network.clusters)),
+            ("servers", network.num_servers),
+            ("devices", network.num_devices),
+        ):
+            seen = [i for cell in plan.cells for i in getattr(cell, attr)]
+            assert sorted(seen) == list(range(total)), attr
+
+    def test_device_counts_cover_population(self) -> None:
+        scenario = metro_scenario(devices=30)
+        plan = sharding.partition_cells(
+            scenario.network, 3, rng=np.random.default_rng(0)
+        )
+        assert int(plan.device_counts().sum()) == 30
+        assert plan.num_cells <= 3
+
+    def test_single_cell_plan_is_trivial(self) -> None:
+        network = metro_scenario().network
+        plan = sharding.partition_cells(network, 1)
+        assert plan.num_cells == 1
+        assert plan.cells[0].num_devices == network.num_devices
+
+    def test_invalid_cell_counts_rejected(self) -> None:
+        network = metro_scenario().network
+        with pytest.raises(ConfigurationError, match="num_cells"):
+            sharding.partition_cells(network, 0)
+        with pytest.raises(ConfigurationError, match="base stations"):
+            sharding.partition_cells(network, network.num_base_stations + 1)
+
+    def test_extract_subnetwork_renumbers_consistently(self) -> None:
+        scenario = metro_scenario()
+        plan = sharding.partition_cells(
+            scenario.network, 2, rng=np.random.default_rng(3)
+        )
+        for cell in plan.cells:
+            subnetwork, maps = sharding.extract_subnetwork(
+                scenario.network, cell
+            )
+            assert subnetwork.num_devices == len(cell.devices)
+            assert subnetwork.num_base_stations == len(cell.base_stations)
+            assert subnetwork.num_servers == len(cell.servers)
+            assert maps.devices == cell.devices
+            # Positions survive the renumbering: local device j is
+            # global device maps.devices[j].
+            np.testing.assert_array_equal(
+                subnetwork.device_positions(),
+                scenario.network.device_positions()[list(maps.devices)],
+            )
+
+
+class TestBudgetCoordinator:
+    def test_budgets_conserve_total_every_epoch(self) -> None:
+        coordinator = BudgetCoordinator(2.0, np.array([3.0, 1.0, 2.0]))
+        rng = np.random.default_rng(1)
+        assert coordinator.budgets().sum() == pytest.approx(2.0, abs=1e-12)
+        for _ in range(20):
+            budgets = coordinator.update(rng.random(3))
+            assert budgets.sum() == pytest.approx(2.0, abs=1e-12)
+            assert (budgets > 0).all()
+
+    def test_static_mode_keeps_initial_split(self) -> None:
+        coordinator = BudgetCoordinator(
+            1.0, np.array([1.0, 1.0]), mode="static"
+        )
+        initial = coordinator.budgets()
+        updated = coordinator.update(np.array([5.0, 0.1]))
+        np.testing.assert_array_equal(updated, initial)
+
+    def test_proportional_mode_follows_spend(self) -> None:
+        coordinator = BudgetCoordinator(
+            1.0, np.array([1.0, 1.0]), smoothing=0.0
+        )
+        budgets = coordinator.update(np.array([3.0, 1.0]))
+        assert budgets[0] > budgets[1]
+
+    def test_zero_spend_falls_back_to_fair_shares(self) -> None:
+        coordinator = BudgetCoordinator(1.0, np.array([1.0, 3.0]))
+        budgets = coordinator.update(np.zeros(2))
+        assert budgets.sum() == pytest.approx(1.0, abs=1e-12)
+        assert budgets[1] > budgets[0]
+
+    def test_invalid_inputs_rejected(self) -> None:
+        with pytest.raises(ConfigurationError, match="mode"):
+            BudgetCoordinator(1.0, np.ones(2), mode="greedy")
+        with pytest.raises(ConfigurationError, match="positive"):
+            BudgetCoordinator(0.0, np.ones(2))
+        coordinator = BudgetCoordinator(1.0, np.ones(2))
+        with pytest.raises(ConfigurationError, match="spends"):
+            coordinator.update(np.ones(3))
+        with pytest.raises(ConfigurationError, match="non-negative"):
+            coordinator.update(np.array([-1.0, 0.0]))
+
+    def test_coordinated_budget_is_a_schedule(self) -> None:
+        schedule = CoordinatedBudget(0.5)
+        assert schedule.budget_at(0) == 0.5
+        schedule.set(0.25)
+        assert schedule.budget_at(7) == 0.25
+        assert schedule.average == 0.25
+        with pytest.raises(ConfigurationError):
+            schedule.set(-1.0)
+
+
+class TestShardScenarios:
+    def test_one_cell_returns_the_scenario_itself(self) -> None:
+        scenario = metro_scenario()
+        plan = sharding.partition_cells(scenario.network, 1)
+        shards = sharding.shard_scenarios(scenario, plan)
+        assert len(shards) == 1 and shards[0] is scenario
+
+    def test_cells_get_independent_scenarios(self) -> None:
+        scenario = metro_scenario()
+        plan = sharding.partition_cells(
+            scenario.network, 2, rng=np.random.default_rng(3)
+        )
+        shards = sharding.shard_scenarios(scenario, plan)
+        assert len(shards) == plan.num_cells
+        assert sum(s.network.num_devices for s in shards) == 24
+        budgets = sum(s.budget for s in shards)
+        assert budgets == pytest.approx(scenario.budget)
+        # Child seed banks give each cell its own streams.
+        seeds = {s.seeds.seed for s in shards}
+        assert len(seeds) == len(shards)
+
+    def test_mobility_is_rejected(self) -> None:
+        scenario = metro_scenario(mobility=RandomWaypointMobility(6000.0))
+        plan = sharding.partition_cells(
+            scenario.network, 2, rng=np.random.default_rng(3)
+        )
+        with pytest.raises(ConfigurationError, match="static mobility"):
+            sharding.shard_scenarios(scenario, plan)
+
+
+class TestShardedRun:
+    def test_one_cell_bit_identical_to_unsharded(self) -> None:
+        baseline = repro.api.run(scenario=metro_scenario(), horizon=6)
+        sharded = sharding.run_sharded(
+            metro_scenario(), horizon=6, cells=1, epoch=3
+        )
+        assert_identical(baseline, sharded.merged)
+        assert sharded.plan.num_cells == 1
+
+    def test_merged_metrics_sum_across_cells(self) -> None:
+        scenario = metro_scenario()
+        plan = sharding.partition_cells(
+            scenario.network, 2, rng=np.random.default_rng(3)
+        )
+        result = sharding.run_sharded(scenario, horizon=6, cells=plan, epoch=3)
+        assert result.merged.horizon == 6
+        cell_cost = sum(c.mean_cost for c in result.cells)
+        assert result.merged.time_average_cost() == pytest.approx(cell_cost)
+
+    def test_budgets_conserved_across_epochs(self) -> None:
+        scenario = metro_scenario()
+        plan = sharding.partition_cells(
+            scenario.network, 2, rng=np.random.default_rng(3)
+        )
+        result = sharding.run_sharded(scenario, horizon=6, cells=plan, epoch=2)
+        assert result.budgets.shape == (3, plan.num_cells)
+        np.testing.assert_allclose(
+            result.budgets.sum(axis=1), scenario.budget, rtol=0, atol=1e-12
+        )
+
+    def test_pooled_matches_sequential(self) -> None:
+        scenario = metro_scenario()
+        plan = sharding.partition_cells(
+            scenario.network, 2, rng=np.random.default_rng(3)
+        )
+        sequential = sharding.run_sharded(
+            scenario, horizon=4, cells=plan, epoch=2
+        )
+        pooled = sharding.run_sharded(
+            metro_scenario(), horizon=4, cells=plan, epoch=2, processes=2
+        )
+        assert_identical(sequential.merged, pooled.merged)
+
+    def test_fixed_controller_rejected(self) -> None:
+        with pytest.raises(ConfigurationError, match="fixed"):
+            sharding.ShardedController(metro_scenario(), 2, controller="fixed")
+
+    def test_backend_list_must_match_cells(self) -> None:
+        with pytest.raises(ConfigurationError, match="per cell"):
+            sharding.ShardedController(
+                metro_scenario(), 2, engine_backend=["numpy"] * 3
+            )
