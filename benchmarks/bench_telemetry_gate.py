@@ -1,0 +1,331 @@
+"""Telemetry perf gate: per-kernel/per-phase latency budgets + overhead.
+
+Two jobs in one bench:
+
+1. **Perf-regression gate.**  Runs the paper-scale medium preset with a
+   :class:`~repro.obs.telemetry.MetricsRegistry` attached and compares
+   the per-phase (``repro_phase_seconds``) and per-kernel
+   (``repro_kernel_seconds``) histograms against the committed baseline
+   ``benchmarks/results/BENCH_telemetry_gate.json``:
+
+   * observation **counts must match exactly** -- the run is seeded, so
+     any count drift is a behaviour change, not noise;
+   * **p50/p95 must stay within configurable ratios** of the baseline
+     (``--p50-threshold`` / ``--p95-threshold``; machine-dependent, so
+     the defaults are generous and ``--smoke`` is more generous still);
+   * the medium-preset trajectory fingerprint must stay pinned -- the
+     telemetry layer must never change results.
+
+2. **Overhead measurement** (``--overhead`` / part of ``--record``).
+   Times the medium preset with telemetry off vs on and writes
+   ``BENCH_telemetry_overhead.json``: slots/s both ways, the overhead
+   percentage (target: under 2%), and proof the fingerprints match.
+
+``--record`` re-measures this machine and rewrites the committed
+baseline (do this once per hardware change, at the tree's current
+behaviour).  Run directly or via pytest.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import platform
+import sys
+import time
+from pathlib import Path
+
+import numpy as np
+
+sys.path.insert(0, str(Path(__file__).parent))
+
+from _common import RESULTS_DIR, emit  # noqa: E402
+from bench_slot_pipeline import (  # noqa: E402
+    MEDIUM_FINGERPRINT,
+    PRESETS,
+    _fingerprint,
+)
+
+GATE_JSON_PATH = RESULTS_DIR / "BENCH_telemetry_gate.json"
+OVERHEAD_JSON_PATH = RESULTS_DIR / "BENCH_telemetry_overhead.json"
+
+#: Histogram families the gate watches.
+PROFILE_FAMILIES = ("repro_phase_seconds", "repro_kernel_seconds")
+
+#: Series whose baseline p50 is below this are pure noise at CI
+#: resolution; their counts still gate, their timings do not.
+TIMING_FLOOR_SECONDS = 2e-4
+
+
+def _series_label(labels: dict) -> str:
+    return ",".join(f"{k}={v}" for k, v in sorted(labels.items())) or "(all)"
+
+
+def _profile_run(*, preset: str = "medium") -> dict:
+    """One telemetry-attached run of *preset*; returns the profile."""
+    import repro
+    from repro.api import run
+    from repro.obs.telemetry import MetricsRegistry, histogram_summaries
+
+    cfg = PRESETS[preset]
+    kwargs: dict = {"seed": cfg["seed"], "horizon": cfg["horizon"]}
+    if cfg["devices"] is not None:
+        kwargs["scenario_config"] = repro.ScenarioConfig(
+            num_devices=cfg["devices"]
+        )
+    registry = MetricsRegistry()
+    result = run(controller="dpp", metrics_registry=registry, **kwargs)
+    profile = {
+        family: {
+            _series_label(row["labels"]): {
+                "count": row["count"],
+                "p50": row["p50"],
+                "p95": row["p95"],
+            }
+            for row in histogram_summaries(registry, family)
+        }
+        for family in PROFILE_FAMILIES
+    }
+    return {
+        "preset": preset,
+        "fingerprint": _fingerprint(result),
+        "profile": profile,
+    }
+
+
+def run_gate(
+    *,
+    p50_threshold: float = 3.0,
+    p95_threshold: float = 3.5,
+) -> dict:
+    """Profile the medium preset and diff against the committed baseline."""
+    current = _profile_run()
+    try:
+        baseline = json.loads(GATE_JSON_PATH.read_text())
+    except (OSError, ValueError):
+        baseline = None
+
+    failures: list[str] = []
+    if current["fingerprint"] != MEDIUM_FINGERPRINT:
+        failures.append(
+            "medium trajectories drifted with telemetry attached: "
+            f"{current['fingerprint']} != {MEDIUM_FINGERPRINT}"
+        )
+    comparisons = 0
+    if baseline is not None:
+        for family in PROFILE_FAMILIES:
+            base_rows = baseline["profile"].get(family, {})
+            cur_rows = current["profile"].get(family, {})
+            if set(base_rows) != set(cur_rows):
+                failures.append(
+                    f"{family}: series set changed "
+                    f"(-{sorted(set(base_rows) - set(cur_rows))} "
+                    f"+{sorted(set(cur_rows) - set(base_rows))})"
+                )
+                continue
+            for label, base in base_rows.items():
+                cur = cur_rows[label]
+                comparisons += 1
+                if cur["count"] != base["count"]:
+                    failures.append(
+                        f"{family}{{{label}}}: observation count "
+                        f"{cur['count']} != baseline {base['count']} "
+                        "(seeded run -- this is a behaviour change)"
+                    )
+                if base["p50"] < TIMING_FLOOR_SECONDS:
+                    continue
+                for quantile, threshold in (
+                    ("p50", p50_threshold),
+                    ("p95", p95_threshold),
+                ):
+                    ratio = cur[quantile] / base[quantile]
+                    if ratio > threshold:
+                        failures.append(
+                            f"{family}{{{label}}}: {quantile} regressed "
+                            f"{ratio:.2f}x over baseline "
+                            f"({cur[quantile] * 1e3:.3f}ms vs "
+                            f"{base[quantile] * 1e3:.3f}ms; gate "
+                            f"{threshold:.1f}x)"
+                        )
+    return {
+        "bench": "telemetry_gate",
+        "machine": {
+            "platform": platform.platform(),
+            "python": platform.python_version(),
+            "numpy": np.__version__,
+        },
+        "thresholds": {"p50": p50_threshold, "p95": p95_threshold},
+        "baseline_present": baseline is not None,
+        "series_compared": comparisons,
+        "failures": failures,
+        "current": current,
+    }
+
+
+def run_overhead(*, repeats: int = 3) -> dict:
+    """Medium-preset slots/s with telemetry off vs on (best of N)."""
+    import repro
+    from repro.api import run
+    from repro.obs.telemetry import MetricsRegistry
+
+    cfg = PRESETS["medium"]
+    kwargs: dict = {"seed": cfg["seed"], "horizon": cfg["horizon"]}
+    if cfg["devices"] is not None:
+        kwargs["scenario_config"] = repro.ScenarioConfig(
+            num_devices=cfg["devices"]
+        )
+
+    def best_of(telemetry: bool) -> tuple[float, str]:
+        seconds, fingerprint = [], None
+        for _ in range(repeats):
+            registry = MetricsRegistry() if telemetry else None
+            started = time.perf_counter()
+            result = run(
+                controller="dpp", metrics_registry=registry, **kwargs
+            )
+            seconds.append(time.perf_counter() - started)
+            fingerprint = _fingerprint(result)
+        return min(seconds), fingerprint
+
+    off_seconds, off_fp = best_of(False)
+    on_seconds, on_fp = best_of(True)
+    horizon = cfg["horizon"]
+    off_rate = horizon / off_seconds
+    on_rate = horizon / on_seconds
+    return {
+        "bench": "telemetry_overhead",
+        "preset": "medium",
+        "machine": {
+            "platform": platform.platform(),
+            "python": platform.python_version(),
+            "numpy": np.__version__,
+        },
+        "repeats": repeats,
+        "slots_per_sec_off": off_rate,
+        "slots_per_sec_on": on_rate,
+        "overhead_pct": 100.0 * (on_seconds / off_seconds - 1.0),
+        "target_pct": 2.0,
+        "fingerprint_match": off_fp == on_fp == MEDIUM_FINGERPRINT,
+    }
+
+
+def _verify_gate(report: dict) -> None:
+    assert report["baseline_present"], (
+        f"no committed baseline at {GATE_JSON_PATH}; run with --record first"
+    )
+    assert report["series_compared"] > 0, "baseline compared zero series"
+    assert not report["failures"], "telemetry perf gate failed:\n" + "\n".join(
+        f"  - {line}" for line in report["failures"]
+    )
+
+
+def _verify_overhead(report: dict) -> None:
+    assert report["fingerprint_match"], (
+        "telemetry changed the medium-preset trajectories"
+    )
+    # The 2% figure is the recorded target on quiet hardware; the hard
+    # gate leaves room for CI-runner noise.
+    assert report["overhead_pct"] < 10.0, (
+        f"telemetry overhead {report['overhead_pct']:.2f}% exceeds the "
+        "10% hard ceiling (target 2%)"
+    )
+
+
+def _gate_table(report: dict) -> str:
+    lines = [
+        "Telemetry perf gate (medium preset, per-phase + per-kernel "
+        "histograms vs committed baseline)",
+        f"  series compared : {report['series_compared']}",
+        f"  thresholds      : p50 {report['thresholds']['p50']:.1f}x, "
+        f"p95 {report['thresholds']['p95']:.1f}x",
+        f"  failures        : {len(report['failures'])}",
+    ]
+    lines.extend(f"    - {f}" for f in report["failures"])
+    return "\n".join(lines)
+
+
+def _record() -> dict:
+    report = _profile_run()
+    assert report["fingerprint"] == MEDIUM_FINGERPRINT, (
+        "refusing to record a baseline from drifted trajectories: "
+        f"{report['fingerprint']}"
+    )
+    payload = {
+        "bench": "telemetry_gate_baseline",
+        "machine": {
+            "platform": platform.platform(),
+            "python": platform.python_version(),
+            "numpy": np.__version__,
+        },
+        **report,
+    }
+    RESULTS_DIR.mkdir(exist_ok=True)
+    GATE_JSON_PATH.write_text(json.dumps(payload, indent=2) + "\n")
+    return payload
+
+
+def bench_telemetry_gate(benchmark) -> None:
+    report = benchmark.pedantic(run_gate, rounds=1, iterations=1)
+    emit("telemetry_gate", _gate_table(report))
+    _verify_gate(report)
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--smoke",
+        action="store_true",
+        help="CI mode: same seeded count gate, but timing thresholds "
+        "open up to 10x (shared runners are noisy)",
+    )
+    parser.add_argument(
+        "--record",
+        action="store_true",
+        help="re-measure and rewrite the committed baseline JSON "
+        "(plus the overhead record)",
+    )
+    parser.add_argument(
+        "--overhead",
+        action="store_true",
+        help="also measure telemetry on/off overhead and write "
+        "BENCH_telemetry_overhead.json",
+    )
+    parser.add_argument("--p50-threshold", type=float, default=3.0)
+    parser.add_argument("--p95-threshold", type=float, default=3.5)
+    parser.add_argument("--repeats", type=int, default=3)
+    args = parser.parse_args(argv)
+
+    if args.record:
+        _record()
+        print(f"baseline recorded to {GATE_JSON_PATH}")
+        overhead = run_overhead(repeats=args.repeats)
+        RESULTS_DIR.mkdir(exist_ok=True)
+        OVERHEAD_JSON_PATH.write_text(json.dumps(overhead, indent=2) + "\n")
+        _verify_overhead(overhead)
+        print(
+            f"overhead recorded to {OVERHEAD_JSON_PATH}: "
+            f"{overhead['overhead_pct']:.2f}% "
+            f"({overhead['slots_per_sec_off']:.1f} -> "
+            f"{overhead['slots_per_sec_on']:.1f} slots/s)"
+        )
+        return 0
+
+    p50 = 10.0 if args.smoke else args.p50_threshold
+    p95 = 10.0 if args.smoke else args.p95_threshold
+    report = run_gate(p50_threshold=p50, p95_threshold=p95)
+    emit("telemetry_gate", _gate_table(report))
+    _verify_gate(report)
+    if args.overhead:
+        overhead = run_overhead(repeats=args.repeats)
+        RESULTS_DIR.mkdir(exist_ok=True)
+        OVERHEAD_JSON_PATH.write_text(json.dumps(overhead, indent=2) + "\n")
+        _verify_overhead(overhead)
+        print(
+            f"telemetry overhead: {overhead['overhead_pct']:.2f}% "
+            f"(target {overhead['target_pct']}%)"
+        )
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -287,10 +287,14 @@ class ObsConfig:
     Attributes:
         monitors: Attach :func:`repro.obs.monitors.default_monitors`.
         keep_records: Retain full per-slot records on the result.
+        metrics_port: Serve live OpenMetrics on this local port for the
+            duration of the run (``0`` picks an ephemeral port; ``None``
+            disables the endpoint).  See :mod:`repro.obs.server`.
     """
 
     monitors: bool = False
     keep_records: bool = False
+    metrics_port: int | None = None
 
 
 @dataclass(frozen=True)
@@ -439,6 +443,8 @@ def _run_sharded_path(
     compiled_states: bool,
     state_chunk: int,
     controller_params: dict,
+    registry=None,
+    monitors: bool = False,
 ) -> SimulationResult:
     from repro.network.partition import partition_cells
     from repro.sim.sharded import run_sharded
@@ -469,6 +475,8 @@ def _run_sharded_path(
         timeout_seconds=cfg.timeout_seconds,
         max_retries=cfg.max_retries,
         tracer=tracer,
+        registry=registry,
+        monitors=monitors,
         compiled_states=compiled_states,
         state_chunk=state_chunk,
         **controller_params,
@@ -490,6 +498,8 @@ def run(
     tracer: "Tracer | None" = None,
     engine_backend: "str | None | _Unset" = _UNSET,
     monitors: "object | None" = None,
+    metrics_port: "int | None | _Unset" = _UNSET,
+    metrics_registry=None,
     keep_records: "bool | _Unset" = _UNSET,
     on_slot=None,
     warm_start_queue: "bool | _Unset" = _UNSET,
@@ -538,6 +548,19 @@ def run(
             automatically when none was given; the finished
             :class:`~repro.obs.monitors.HealthReport` lands on
             ``result.health``.
+        metrics_port: Serve live OpenMetrics at
+            ``http://127.0.0.1:<port>/metrics`` for the duration of the
+            run (``0`` = ephemeral port).  A
+            :class:`~repro.obs.telemetry.MetricsRegistry` is created
+            (unless ``metrics_registry`` is given) and fed by the run:
+            slot counters, queue/budget gauges, per-phase and per-kernel
+            latency histograms.  The endpoint is torn down before the
+            call returns.
+        metrics_registry: Publish the run's telemetry into this
+            :class:`~repro.obs.telemetry.MetricsRegistry` (created
+            automatically when only ``metrics_port`` is given).  Pass
+            your own to scrape/inspect after the run, e.g. via
+            :meth:`~repro.obs.telemetry.MetricsRegistry.render_openmetrics`.
         keep_records: Retain full per-slot records on the result.
         on_slot: Per-slot progress callback.
         warm_start_queue: Start the queue at its estimated equilibrium.
@@ -558,9 +581,13 @@ def run(
         cells: Shard the run across cells -- a cell count or a full
             :class:`CellConfig`.  Returns the merged cross-cell result;
             one cell is bit-identical to the unsharded path.  Sharded
-            runs do not combine with checkpoints, monitors, per-slot
-            callbacks, record keeping, queue warm starts, or prebuilt
-            controller instances.
+            runs combine with ``monitors=True`` (per-cell default
+            monitor suites, folded into ``result.health`` with
+            ``cell<i>/`` status names) and with telemetry
+            (``metrics_port=`` / ``metrics_registry=`` stream live
+            per-cell metrics), but not with custom monitor suites,
+            checkpoints, per-slot callbacks, record keeping, queue warm
+            starts, or prebuilt controller instances.
         **controller_params: Passed to :func:`make_controller`
             (``rng_label=``, ``fraction=``, ``iterations=``, ...),
             merged over ``config.controller_params``.
@@ -585,10 +612,84 @@ def run(
     checkpoint_every = _pick(checkpoint_every, cfg.checkpoint.every)
     resume = _pick(resume, cfg.checkpoint.resume)
     cells = _pick(cells, cfg.cells)
+    metrics_port = _pick(metrics_port, cfg.obs.metrics_port)
     if monitors is None and cfg.obs.monitors:
         monitors = True
     merged_params = dict(cfg.controller_params)
     merged_params.update(controller_params)
+
+    registry = metrics_registry
+    server = None
+    if registry is None and metrics_port is not None:
+        from repro.obs.telemetry import MetricsRegistry
+
+        registry = MetricsRegistry()
+    if metrics_port is not None:
+        from repro.obs.server import MetricsServer
+
+        server = MetricsServer(registry, port=metrics_port)
+        server.start()
+    try:
+        return _run_resolved(
+            scenario=scenario,
+            seed=seed,
+            scenario_config=scenario_config,
+            controller=controller,
+            horizon=horizon,
+            v=v,
+            z=z,
+            budget=budget,
+            tracer=tracer,
+            engine_backend=engine_backend,
+            monitors=monitors,
+            registry=registry,
+            keep_records=keep_records,
+            on_slot=on_slot,
+            warm_start_queue=warm_start_queue,
+            compiled_states=compiled_states,
+            state_chunk=state_chunk,
+            checkpoint=checkpoint,
+            checkpoint_every=checkpoint_every,
+            resume=resume,
+            cells=cells,
+            merged_params=merged_params,
+        )
+    finally:
+        if server is not None:
+            server.close()
+
+
+def _run_resolved(
+    *,
+    scenario,
+    seed,
+    scenario_config,
+    controller,
+    horizon,
+    v,
+    z,
+    budget,
+    tracer,
+    engine_backend,
+    monitors,
+    registry,
+    keep_records,
+    on_slot,
+    warm_start_queue,
+    compiled_states,
+    state_chunk,
+    checkpoint,
+    checkpoint_every,
+    resume,
+    cells,
+    merged_params,
+) -> SimulationResult:
+    """The body of :func:`run` after config resolution.
+
+    Split out so the metrics endpoint in :func:`run` can wrap the whole
+    execution in one ``try/finally`` regardless of which path returns.
+    """
+    from repro.obs.telemetry import telemetry_context
 
     if scenario is None:
         scenario = make_paper_scenario(seed, config=scenario_config)
@@ -610,8 +711,10 @@ def run(
                 "controller name, not an instance"
             )
         conflicts = {
+            # monitors=True shards fine (per-cell default suites);
+            # custom suites/iterables cannot be split across cells.
+            "monitors": monitors not in (None, False, True),
             "checkpoint": checkpoint is not None,
-            "monitors": monitors is not None and monitors is not False,
             "keep_records": bool(keep_records),
             "on_slot": on_slot is not None,
             "warm_start_queue": bool(warm_start_queue),
@@ -634,7 +737,19 @@ def run(
             compiled_states=compiled_states,
             state_chunk=state_chunk,
             controller_params=merged_params,
+            registry=registry,
+            monitors=monitors is True,
         )
+
+    if registry is not None:
+        from repro.obs.probe import Probe
+        from repro.obs.telemetry import TelemetrySink
+
+        if tracer is None or not tracer.enabled:
+            tracer = Probe()
+        add_sink = getattr(tracer, "add_sink", None)
+        if add_sink is not None:
+            add_sink(TelemetrySink(registry))
 
     suite = None
     if monitors is not None and monitors is not False:
@@ -656,17 +771,18 @@ def run(
     if isinstance(controller, OnlineController):
         ctrl = controller
     else:
-        ctrl = make_controller(
-            controller,
-            scenario,
-            v=v,
-            z=z,
-            budget=budget,
-            warm_start_queue=warm_start_queue,
-            tracer=tracer,
-            engine_backend=engine_backend,
-            **merged_params,  # type: ignore[arg-type]
-        )
+        with telemetry_context(registry):
+            ctrl = make_controller(
+                controller,
+                scenario,
+                v=v,
+                z=z,
+                budget=budget,
+                warm_start_queue=warm_start_queue,
+                tracer=tracer,
+                engine_backend=engine_backend,
+                **merged_params,  # type: ignore[arg-type]
+            )
     if checkpoint is not None:
         from repro.sim.checkpoint import run_checkpointed
 

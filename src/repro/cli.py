@@ -12,14 +12,21 @@ Commands:
 * ``trace`` -- inspect recorded JSONL traces: ``trace summary PATH``
   and ``trace diff BASE NEW`` (nonzero exit on regression, so it can
   gate CI).
+* ``metrics snapshot`` -- run one simulation with telemetry and dump
+  the OpenMetrics exposition text (to stdout or ``--output``).
+* ``profile report`` -- run one simulation and print the per-phase /
+  per-kernel latency histograms (count, total, p50/p95, bucket shape).
 * ``info`` -- version and default-scenario overview.
 
 ``simulate`` additionally exposes the observability layer: ``--profile``
 prints the per-phase timing table, ``--trace out.jsonl`` streams every
 span/counter/slot event to disk alongside a run manifest,
 ``--monitors`` attaches the domain health monitors and prints their
-:class:`~repro.obs.monitors.HealthReport`, and ``--dashboard`` redraws
-a live per-slot terminal dashboard (``--ascii`` for dumb terminals).
+:class:`~repro.obs.monitors.HealthReport`, ``--dashboard`` redraws
+a live per-slot terminal dashboard (``--ascii`` for dumb terminals),
+and ``--metrics-port`` serves live OpenMetrics over HTTP while the run
+is in flight (works with ``--cells``: per-cell series stream in as
+epochs complete).
 """
 
 from __future__ import annotations
@@ -40,13 +47,18 @@ from repro.io import save_result, summary_to_json
 from repro.obs import (
     Dashboard,
     JsonlSink,
+    MetricsRegistry,
+    MetricsServer,
     MonitorSuite,
     Probe,
     RunManifest,
+    TelemetrySink,
     default_monitors,
     diff_traces,
     load_trace,
     manifest_path_for,
+    render_profile_report,
+    telemetry_context,
 )
 
 _SOLVER_CHOICES = CONTROLLER_NAMES
@@ -169,7 +181,25 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
                 budget=scenario.budget, ascii_only=args.ascii
             )
             probe.add_sink(dashboard)
-    controller = None if sharded else _build_controller(scenario, args, tracer=probe)
+    registry: MetricsRegistry | None = None
+    server: MetricsServer | None = None
+    if args.metrics_port is not None:
+        registry = MetricsRegistry()
+        if not sharded:
+            # The sharded path feeds the registry itself (per-cell
+            # sinks inside run_sharded); unsharded runs publish via a
+            # TelemetrySink on the event bus.
+            if probe is None:
+                probe = Probe()
+            probe.add_sink(TelemetrySink(registry))
+        server = MetricsServer(registry, port=args.metrics_port)
+        server.start()
+        print(f"serving OpenMetrics at {server.url}", file=sys.stderr)
+    if sharded:
+        controller = None
+    else:
+        with telemetry_context(registry):
+            controller = _build_controller(scenario, args, tracer=probe)
     if dashboard is None:
         cells_note = f"; cells {args.cells}" if sharded else ""
         print(
@@ -191,6 +221,8 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
         # A dead run must still leave its evidence behind: flush the
         # partial JSONL trace and write the manifest (atomically, with
         # the outcome stamped) before exiting nonzero.
+        if server is not None:
+            server.close()
         if dashboard is not None:
             dashboard.close()
         if probe is not None:
@@ -198,6 +230,8 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
             if args.trace:
                 assert manifest is not None
                 manifest.status = status
+                if registry is not None:
+                    manifest.record_telemetry(registry)
                 manifest_path = manifest.finish().write(
                     manifest_path_for(args.trace)
                 )
@@ -209,7 +243,10 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
     try:
         if sharded:
             result = repro.api.run(
-                config=run_config, scenario=scenario, tracer=probe
+                config=run_config,
+                scenario=scenario,
+                tracer=probe,
+                metrics_registry=registry,
             )
         else:
             result = repro.run_simulation(
@@ -226,6 +263,8 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
         traceback.print_exc()
         salvage("crashed")
         return 1
+    if server is not None:
+        server.close()
     if dashboard is not None:
         dashboard.close()
     print(summary_to_json(result.summary()))
@@ -240,9 +279,14 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
         if args.trace:
             manifest_path = manifest_path_for(args.trace)
             assert manifest is not None
+            if registry is not None:
+                manifest.record_telemetry(registry)
             manifest.finish().write(manifest_path)
             print(f"trace written to {args.trace}")
             print(f"manifest written to {manifest_path}")
+    if args.profile and registry is not None:
+        print()
+        print(render_profile_report(registry, ascii_only=args.ascii))
     if args.chart:
         print()
         print(line_chart(result.backlog, title="virtual queue backlog Q(t)"))
@@ -334,6 +378,50 @@ def _guarantee_lines(scenario: repro.Scenario) -> str:
             f"(headroom {check.headroom:.2f}x)"
         )
     return "\n".join(lines)
+
+
+def _telemetry_run(args: argparse.Namespace) -> MetricsRegistry:
+    """Run one simulation publishing telemetry into a fresh registry.
+
+    Shared by ``metrics snapshot`` and ``profile report``: both need a
+    finished run's registry, differing only in how they render it.
+    """
+    registry = MetricsRegistry()
+    scenario = _build_scenario(args)
+    cells = None
+    if args.cells > 1:
+        cells = repro.CellConfig(
+            count=args.cells, processes=args.cell_processes
+        )
+    repro.api.run(
+        scenario=scenario,
+        controller=args.solver,
+        horizon=args.horizon,
+        v=args.v,
+        z=args.z,
+        engine_backend=args.backend,
+        cells=cells,
+        metrics_registry=registry,
+    )
+    return registry
+
+
+def _cmd_metrics_snapshot(args: argparse.Namespace) -> int:
+    registry = _telemetry_run(args)
+    text = registry.render_openmetrics()
+    if args.output:
+        with open(args.output, "w", encoding="utf-8") as fh:
+            fh.write(text)
+        print(f"OpenMetrics snapshot written to {args.output}")
+    else:
+        sys.stdout.write(text)
+    return 0
+
+
+def _cmd_profile_report(args: argparse.Namespace) -> int:
+    registry = _telemetry_run(args)
+    print(render_profile_report(registry, top=args.top, ascii_only=args.ascii))
+    return 0
 
 
 def _cmd_trace_summary(args: argparse.Namespace) -> int:
@@ -440,6 +528,11 @@ def build_parser() -> argparse.ArgumentParser:
     sim.add_argument("--coordinator", choices=("proportional", "static"),
                      default="proportional",
                      help="budget re-split policy across cells")
+    sim.add_argument("--metrics-port", type=int, default=None, metavar="PORT",
+                     help="serve live OpenMetrics at "
+                          "http://127.0.0.1:PORT/metrics for the duration "
+                          "of the run (0 = ephemeral port; the URL is "
+                          "printed to stderr)")
     sim.set_defaults(handler=_cmd_simulate)
 
     exp = sub.add_parser("experiment", help="run a paper experiment")
@@ -491,6 +584,47 @@ def build_parser() -> argparse.ArgumentParser:
                        help="compare metrics only (timings are machine-"
                             "dependent; use for cross-machine CI gates)")
     tdiff.set_defaults(handler=_cmd_trace_diff)
+
+    def _add_telemetry_run_arguments(p: argparse.ArgumentParser) -> None:
+        _add_scenario_arguments(p)
+        p.add_argument("--horizon", type=int, default=48,
+                       help="slots to simulate")
+        p.add_argument("--solver", choices=_SOLVER_CHOICES, default="bdma")
+        p.add_argument("--backend", choices=("numpy", "jit"), default="numpy")
+        p.add_argument("--z", type=int, default=3,
+                       help="BDMA alternation rounds")
+        p.add_argument("--cells", type=int, default=1,
+                       help="shard into this many cells (1 = unsharded)")
+        p.add_argument("--cell-processes", type=int, default=None,
+                       help="worker processes for cell execution")
+
+    metrics = sub.add_parser(
+        "metrics", help="run with telemetry and export OpenMetrics"
+    )
+    metrics_sub = metrics.add_subparsers(dest="metrics_command", required=True)
+    msnap = metrics_sub.add_parser(
+        "snapshot",
+        help="run one simulation and dump its OpenMetrics exposition",
+    )
+    _add_telemetry_run_arguments(msnap)
+    msnap.add_argument("--output", type=str, default=None, metavar="PATH",
+                       help="write the exposition text here (default: stdout)")
+    msnap.set_defaults(handler=_cmd_metrics_snapshot)
+
+    prof = sub.add_parser(
+        "profile", help="per-kernel/per-phase latency profiling views"
+    )
+    prof_sub = prof.add_subparsers(dest="profile_command", required=True)
+    preport = prof_sub.add_parser(
+        "report",
+        help="run one simulation and print the hot-path latency profile",
+    )
+    _add_telemetry_run_arguments(preport)
+    preport.add_argument("--top", type=int, default=12,
+                         help="rows per histogram family")
+    preport.add_argument("--ascii", action="store_true",
+                         help="render sparklines with 7-bit ASCII only")
+    preport.set_defaults(handler=_cmd_profile_report)
 
     info = sub.add_parser("info", help="version and scenario overview")
     _add_scenario_arguments(info)

@@ -36,6 +36,7 @@ from repro.kernels import get_kernels
 from repro.network.connectivity import StrategySpace
 from repro.network.topology import MECNetwork
 from repro.obs.probe import Tracer, as_tracer
+from repro.obs.telemetry import maybe_instrument_kernels
 from repro.solvers.potential_game import EngineStats
 from repro.types import FloatArray, Rng
 
@@ -272,8 +273,15 @@ class DPPController(OnlineController):
         self.tracer = as_tracer(tracer)
         self.resilience = resilience
         # Resolve once so an unavailable jit provider warns here, at
-        # construction, rather than on every slot.
-        self.engine_backend = get_kernels(engine_backend)
+        # construction, rather than on every slot.  Under an active
+        # telemetry context the resolved backend gains per-call
+        # wall-clock histograms (repro_kernel_seconds); get_kernels
+        # passes resolved backends through unchanged, so the
+        # instrumented callables reach every downstream call site
+        # (P2-B, the congestion game, the fast engine).
+        self.engine_backend = maybe_instrument_kernels(
+            get_kernels(engine_backend)
+        )
         if (
             resilience is not None
             and p2a_solver is None

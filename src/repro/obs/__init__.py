@@ -17,12 +17,17 @@
   :class:`FlightRecorder`.
 * :mod:`repro.obs.dashboard` -- the live per-slot terminal
   :class:`Dashboard`.
+* :mod:`repro.obs.telemetry` -- the fleet metrics registry:
+  process-safe counters/gauges/histograms, OpenMetrics rendering,
+  cross-process snapshot merging, and per-kernel profiling hooks.
+* :mod:`repro.obs.server` -- the stdlib HTTP exposition endpoint
+  serving ``GET /metrics`` from a registry.
 """
 
 from repro.obs.manifest import RunManifest, config_hash, manifest_path_for
 from repro.obs.probe import NULL_TRACER, Probe, Sink, Tracer, as_tracer
 from repro.obs.sinks import JsonlSink, PhaseAggregator, read_jsonl
-from repro.obs.dashboard import Dashboard
+from repro.obs.dashboard import Dashboard, render_profile_report
 from repro.obs.monitors import (
     Alert,
     AnomalyMonitor,
@@ -36,6 +41,19 @@ from repro.obs.monitors import (
     QueueStabilityMonitor,
     ResilienceMonitor,
     default_monitors,
+)
+from repro.obs.server import MetricsServer
+from repro.obs.telemetry import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    TelemetrySink,
+    histogram_summaries,
+    instrument_kernels,
+    metric_name,
+    parse_openmetrics,
+    telemetry_context,
 )
 from repro.obs.trace import (
     Delta,
@@ -80,4 +98,17 @@ __all__ = [
     "FlightRecorder",
     # dashboard
     "Dashboard",
+    "render_profile_report",
+    # telemetry
+    "MetricsRegistry",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "TelemetrySink",
+    "MetricsServer",
+    "metric_name",
+    "parse_openmetrics",
+    "telemetry_context",
+    "instrument_kernels",
+    "histogram_summaries",
 ]

@@ -200,3 +200,79 @@ class Dashboard:
         else:
             lines.append("alerts   (none)")
         return "\n".join(lines)
+
+
+def render_profile_report(
+    registry,
+    *,
+    names: "tuple[str, ...]" = ("repro_phase_seconds", "repro_kernel_seconds"),
+    top: int = 12,
+    ascii_only: bool = False,
+) -> str:
+    """Render the per-phase/per-kernel latency profile of a registry.
+
+    One table per histogram family in *names* (missing families are
+    skipped): the ``top`` hottest label sets by total seconds, with
+    count, total, p50/p95 (interpolated from the histogram buckets),
+    and a sparkline of the bucket occupancy -- a quick shape check that
+    distinguishes "uniformly slow" from "bimodal with a slow tail".
+
+    Args:
+        registry: A :class:`~repro.obs.telemetry.MetricsRegistry`.
+        names: Histogram family names to report.
+        top: Rows per family.
+        ascii_only: Sparklines render with 7-bit ASCII ramps only.
+    """
+    # Imported lazily: repro.analysis pulls repro.core, which imports
+    # repro.obs back -- a module-level import here would cycle.
+    from repro.analysis.text_plots import sparkline
+    from repro.obs.telemetry import histogram_summaries
+
+    out: list[str] = []
+    for name in names:
+        rows = histogram_summaries(registry, name)
+        if not rows:
+            continue
+        if out:
+            out.append("")
+        out.append(name)
+        headers = ("series", "count", "total s", "p50 ms", "p95 ms", "buckets")
+        table = []
+        for row in rows[: max(1, top)]:
+            label = (
+                ",".join(f"{k}={v}" for k, v in sorted(row["labels"].items()))
+                or "(all)"
+            )
+            table.append(
+                (
+                    label,
+                    str(row["count"]),
+                    f"{row['sum']:.3f}",
+                    f"{1e3 * row['p50']:.2f}",
+                    f"{1e3 * row['p95']:.2f}",
+                    sparkline(
+                        [float(c) for c in row["bucket_counts"]],
+                        ascii_only=ascii_only,
+                        empty="(no data)",
+                    ),
+                )
+            )
+        widths = [
+            max(len(headers[c]), *(len(r[c]) for r in table))
+            for c in range(len(headers) - 1)
+        ]
+        out.append(
+            "  ".join(h.ljust(w) for h, w in zip(headers, widths)).rstrip()
+            + "  "
+            + headers[-1]
+        )
+        out.append("  ".join("-" * w for w in widths) + "  " + "-" * 7)
+        for r in table:
+            out.append(
+                "  ".join(v.ljust(w) for v, w in zip(r, widths)).rstrip()
+                + "  "
+                + r[-1]
+            )
+    if not out:
+        return "(no profile histograms recorded)"
+    return "\n".join(out)

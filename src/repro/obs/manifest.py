@@ -44,6 +44,11 @@ class RunManifest:
             elsewhere can tell whether a backend difference could even
             exist (it never changes results, only wall-clock).  Outside
             the config hash for the same reason as ``status``.
+        telemetry: Telemetry accounting for the run, when a
+            :class:`~repro.obs.telemetry.MetricsRegistry` was attached
+            -- see :meth:`record_telemetry`.  Family names and sample
+            counts only (never sample values, which are machine- and
+            timing-dependent); outside the config hash like ``status``.
     """
 
     config: dict = field(default_factory=dict)
@@ -54,6 +59,23 @@ class RunManifest:
     version: str = __version__
     status: str = "completed"
     backends: dict | None = None
+    telemetry: dict | None = None
+
+    def record_telemetry(self, registry) -> "RunManifest":
+        """Stamp which metric families (and how many series) a run produced.
+
+        Args:
+            registry: The run's
+                :class:`~repro.obs.telemetry.MetricsRegistry`.
+        """
+        self.telemetry = {
+            "families": registry.families(),
+            "series": {
+                name: len(family._series)
+                for name, family in sorted(registry._families.items())
+            },
+        }
+        return self
 
     def finish(self) -> "RunManifest":
         """Stamp the wall-clock duration since creation."""
@@ -77,6 +99,7 @@ class RunManifest:
             "wall_clock_seconds": self.wall_clock_seconds,
             "status": self.status,
             "backends": self.backends,
+            "telemetry": self.telemetry,
         }
 
     def write(self, path: "str | Path") -> Path:

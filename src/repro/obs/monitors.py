@@ -188,9 +188,14 @@ class Monitor:
         """Raise an alert (recorded here, re-emitted on the bus)."""
         if t is None and self._suite is not None:
             t = self._suite.current_t
+        payload: dict = dict(data)
+        if self._suite is not None and self._suite.labels:
+            # Suite labels (e.g. {"cell": 3} under sharding) ride on
+            # every alert so merged cross-cell reports stay attributable.
+            payload = {**self._suite.labels, **payload}
         alert = Alert(
             monitor=self.name, severity=severity, message=message, t=t,
-            data=dict(data),
+            data=payload,
         )
         self.alerts.append(alert)
         if self._suite is not None:
@@ -217,13 +222,22 @@ class MonitorSuite:
         monitors: The monitors to run.
         tracer: Optional tracer alerts are re-emitted on; set
             automatically by :meth:`attach`.
+        labels: Constant labels merged into every alert's ``data``
+            payload (e.g. ``{"cell": 3}`` for a per-cell suite under
+            sharding), so alerts stay attributable after cross-cell
+            merging.
     """
 
     def __init__(
-        self, monitors: Iterable[Monitor], tracer: "Tracer | None" = None
+        self,
+        monitors: Iterable[Monitor],
+        tracer: "Tracer | None" = None,
+        *,
+        labels: "dict | None" = None,
     ) -> None:
         self.monitors = list(monitors)
         self._tracer = tracer
+        self.labels = dict(labels or {})
         #: Slot index of the most recent ``slot`` event seen.
         self.current_t: int | None = None
         self._report: HealthReport | None = None

@@ -61,6 +61,9 @@ class Tracer:
     def event(self, name: str, data: dict) -> None:
         """Emit a free-form payload, e.g. one slot's record (no-op here)."""
 
+    def flush(self) -> None:
+        """Push buffered sink state to durable storage (no-op here)."""
+
     def close(self) -> None:
         """Flush and close any sinks (no-op here)."""
 
@@ -160,14 +163,36 @@ class Probe(Tracer):
     def event(self, name: str, data: dict) -> None:
         self._emit({"kind": "event", "name": name, "data": data})
 
-    def merge_phase_state(self, state: dict | None) -> None:
+    def merge_phase_state(
+        self, state: dict | None, *, order: "tuple | None" = None
+    ) -> None:
         """Fold a worker aggregator's :meth:`state_dict` into this probe.
 
-        Used by :func:`repro.sim.replication.run_replications` to merge
-        per-process tracers back into the parent's.
+        Used by :func:`repro.sim.replication.run_replications` and
+        :class:`repro.sim.sharded.ShardedController` to merge
+        per-process tracers back into the parent's.  Pass *order* -- a
+        sortable key such as ``(start_slot, cell)`` or ``(seed,)`` --
+        when snapshots arrive in arbitrary completion order: gauge
+        series are then re-assembled in key order, preserving the
+        last-value semantics a recency-sensitive consumer expects (see
+        :meth:`repro.obs.sinks.PhaseAggregator.merge_state`).
         """
         if state:
-            self.phases.merge_state(state)
+            self.phases.merge_state(state, order=order)
+
+    def flush(self) -> None:
+        """Push every sink's buffered state to durable storage.
+
+        Sinks without a ``flush`` method (aggregators, dashboards) are
+        skipped; streaming sinks like
+        :class:`~repro.obs.sinks.JsonlSink` get their file flushed.
+        Called by the sharded salvage path so a killed worker never
+        leaves a trace truncated mid-record.
+        """
+        for sink in self._sinks:
+            flush = getattr(sink, "flush", None)
+            if flush is not None:
+                flush()
 
     def close(self) -> None:
         for sink in self._sinks:

@@ -1,0 +1,126 @@
+"""A pull-based metrics endpoint over stdlib ``http.server``.
+
+:class:`MetricsServer` serves one :class:`~repro.obs.telemetry.MetricsRegistry`
+as OpenMetrics text on ``GET /metrics``, from a daemon thread, so a
+running simulation (sharded or not) can be scraped live::
+
+    registry = MetricsRegistry()
+    with MetricsServer(registry, port=9464) as server:
+        print("scrape me:", server.url)   # curl http://127.0.0.1:9464/metrics
+        ...run the simulation...
+
+``port=0`` binds an ephemeral port (the bound port is available as
+:attr:`MetricsServer.port` after :meth:`start`), which is what the tests
+and the CI smoke job use.  No third-party dependency: the payload is
+rendered by :meth:`MetricsRegistry.render_openmetrics` and the handler
+is a ~30-line ``BaseHTTPRequestHandler``.
+"""
+
+from __future__ import annotations
+
+import threading
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.obs.telemetry import MetricsRegistry
+
+__all__ = ["CONTENT_TYPE", "MetricsServer"]
+
+#: The OpenMetrics content type (Prometheus negotiates the same string).
+CONTENT_TYPE = "application/openmetrics-text; version=1.0.0; charset=utf-8"
+
+
+class _Handler(BaseHTTPRequestHandler):
+    """Serves ``/metrics`` (exposition) and ``/`` (a tiny index)."""
+
+    # The registry is attached to the *server* by MetricsServer.start().
+    def do_GET(self) -> None:  # noqa: N802 - http.server API
+        if self.path in ("/metrics", "/metrics/"):
+            body = self.server.registry.render_openmetrics().encode("utf-8")  # type: ignore[attr-defined]
+            self.send_response(200)
+            self.send_header("Content-Type", CONTENT_TYPE)
+            self.send_header("Content-Length", str(len(body)))
+            self.end_headers()
+            self.wfile.write(body)
+        elif self.path == "/":
+            body = b'repro telemetry: scrape <a href="/metrics">/metrics</a>\n'
+            self.send_response(200)
+            self.send_header("Content-Type", "text/html; charset=utf-8")
+            self.send_header("Content-Length", str(len(body)))
+            self.end_headers()
+            self.wfile.write(body)
+        else:
+            self.send_error(404, "only / and /metrics exist here")
+
+    def log_message(self, format: str, *args: object) -> None:
+        """Silence per-request stderr logging (scrapes are periodic)."""
+
+
+class MetricsServer:
+    """Serve a registry's OpenMetrics text from a daemon thread.
+
+    Args:
+        registry: The registry to expose (shared with the running
+            simulation; its internal lock makes scrapes consistent).
+        port: TCP port; ``0`` binds an ephemeral one.
+        host: Bind address (loopback by default -- telemetry is not
+            an authenticated surface).
+    """
+
+    def __init__(
+        self,
+        registry: "MetricsRegistry",
+        *,
+        port: int = 0,
+        host: str = "127.0.0.1",
+    ) -> None:
+        self.registry = registry
+        self._requested_port = int(port)
+        self.host = host
+        self._httpd: "ThreadingHTTPServer | None" = None
+        self._thread: "threading.Thread | None" = None
+
+    def start(self) -> "MetricsServer":
+        """Bind the socket and start serving; returns self (chainable)."""
+        if self._httpd is not None:
+            return self
+        httpd = ThreadingHTTPServer((self.host, self._requested_port), _Handler)
+        httpd.daemon_threads = True
+        httpd.registry = self.registry  # type: ignore[attr-defined]
+        self._httpd = httpd
+        self._thread = threading.Thread(
+            target=httpd.serve_forever,
+            name="repro-metrics-server",
+            daemon=True,
+        )
+        self._thread.start()
+        return self
+
+    @property
+    def port(self) -> int:
+        """The bound TCP port (resolves ``port=0`` after :meth:`start`)."""
+        if self._httpd is None:
+            return self._requested_port
+        return int(self._httpd.server_address[1])
+
+    @property
+    def url(self) -> str:
+        """The scrape URL, e.g. ``http://127.0.0.1:9464/metrics``."""
+        return f"http://{self.host}:{self.port}/metrics"
+
+    def close(self) -> None:
+        """Stop serving and release the socket (idempotent)."""
+        if self._httpd is not None:
+            self._httpd.shutdown()
+            self._httpd.server_close()
+            self._httpd = None
+        if self._thread is not None:
+            self._thread.join(timeout=5.0)
+            self._thread = None
+
+    def __enter__(self) -> "MetricsServer":
+        return self.start()
+
+    def __exit__(self, *exc: object) -> None:
+        self.close()

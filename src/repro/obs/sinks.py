@@ -4,6 +4,7 @@ from __future__ import annotations
 
 import json
 import math
+from bisect import insort
 from pathlib import Path
 
 import numpy as np
@@ -29,6 +30,11 @@ class PhaseAggregator:
         self.spans: dict[str, list[float]] = {}
         self.counters: dict[str, float] = {}
         self.gauges: dict[str, list[float]] = {}
+        # Ordered gauge segments from merge_state(order=...): per gauge
+        # name, (order_key, samples) pairs kept sorted by key so the
+        # public `gauges` lists stay in logical (slot, cell) order no
+        # matter what order pooled workers complete in.
+        self._gauge_segments: dict[str, list[tuple[tuple, list[float]]]] = {}
 
     def emit(self, event: dict) -> None:
         kind = event["kind"]
@@ -66,14 +72,40 @@ class PhaseAggregator:
             "gauges": {k: list(v) for k, v in self.gauges.items()},
         }
 
-    def merge_state(self, state: dict) -> "PhaseAggregator":
-        """Fold a :meth:`state_dict` snapshot into self."""
+    def merge_state(
+        self, state: dict, *, order: "tuple | None" = None
+    ) -> "PhaseAggregator":
+        """Fold a :meth:`state_dict` snapshot into self.
+
+        Spans and counters are order-insensitive (lists of durations,
+        additive totals), but gauges carry *last-value* semantics: the
+        tail of ``gauges["queue.backlog"]`` is "the current backlog".
+        Pooled workers complete in arbitrary order, so appending their
+        snapshots naively can leave an *older* epoch's samples at the
+        tail.  Pass *order* -- any sortable key, conventionally
+        ``(start_slot, cell)`` for sharded epochs or ``(seed,)`` for
+        replications -- and each gauge list is re-assembled from its
+        segments in key order.  Samples emitted directly on this
+        aggregator before the first ordered merge sort before every
+        merged segment.  ``order=None`` keeps the historical
+        append-in-arrival-order behaviour.
+        """
         for name, values in state.get("spans", {}).items():
             self.spans.setdefault(name, []).extend(values)
         for name, value in state.get("counters", {}).items():
             self.counters[name] = self.counters.get(name, 0.0) + value
         for name, values in state.get("gauges", {}).items():
-            self.gauges.setdefault(name, []).extend(values)
+            if order is None:
+                self.gauges.setdefault(name, []).extend(values)
+                continue
+            segments = self._gauge_segments.setdefault(name, [])
+            if not segments and self.gauges.get(name):
+                # First ordered merge for this gauge: keep any locally
+                # emitted samples as the leading segment (the empty
+                # tuple sorts before every real key).
+                segments.append(((), list(self.gauges[name])))
+            insort(segments, (tuple(order), list(values)), key=lambda s: s[0])
+            self.gauges[name] = [v for _, vals in segments for v in vals]
         return self
 
     def table(self) -> str:
@@ -156,6 +188,18 @@ class JsonlSink:
             if self._since_flush >= self.flush_every:
                 self._fh.flush()
                 self._since_flush = 0
+
+    def flush(self) -> None:
+        """Push buffered lines to the OS now (safe after close).
+
+        The sharded salvage path calls this (via
+        :meth:`repro.obs.probe.Probe.flush`) before retrying a
+        timed-out epoch job, so the trace on disk is whole-record
+        durable even if the parent dies during the retry.
+        """
+        if not self._fh.closed:
+            self._fh.flush()
+            self._since_flush = 0
 
     def close(self) -> None:
         if not self._fh.closed:

@@ -796,7 +796,7 @@ def run_replications(
         outcomes = [results[s] for s in seeds if s in results]
     if isinstance(tracer, Probe):
         for outcome in outcomes:
-            tracer.merge_phase_state(outcome.phase_state)
+            tracer.merge_phase_state(outcome.phase_state, order=(outcome.seed,))
 
     report = ReplicationReport(
         outcomes=outcomes,

@@ -40,7 +40,15 @@ import numpy as np
 from repro.core.budget import BudgetCoordinator, ConstantBudget
 from repro.exceptions import ConfigurationError, SolverError
 from repro.network.partition import CellPlan, extract_subnetwork, partition_cells
+from repro.obs.monitors import (
+    Alert,
+    HealthReport,
+    MonitorStatus,
+    MonitorSuite,
+    default_monitors,
+)
 from repro.obs.probe import Probe, Tracer, as_tracer
+from repro.obs.telemetry import MetricsRegistry, TelemetrySink, telemetry_context
 from repro.radio.mobility import StaticMobility
 from repro.sim.engine import run_simulation
 from repro.sim.results import SimulationResult, SimulationSummary
@@ -57,6 +65,10 @@ __all__ = [
 ]
 
 _METRIC_KEYS = ("latency", "cost", "theta", "backlog", "solve_seconds", "price")
+
+#: Monitor-status severity ranking used when folding per-epoch worker
+#: statuses into one cross-run verdict per (cell, monitor).
+_STATUS_RANK = {"ok": 0, "warning": 1, "critical": 2}
 
 
 def shard_scenarios(scenario: Scenario, plan: CellPlan) -> list[Scenario]:
@@ -157,12 +169,17 @@ class ShardedResult:
         budgets: ``(epochs, cells)`` budget references applied per
             epoch; every row sums to the global budget.
         plan: The cell plan the run executed.
+        health: Combined per-cell :class:`~repro.obs.monitors.HealthReport`
+            when monitors were requested (statuses are named
+            ``cell<N>/<monitor>``; every alert carries a ``cell`` label
+            in its data), ``None`` otherwise.
     """
 
     merged: SimulationResult
     cells: list[SimulationSummary] = field(default_factory=list)
     budgets: "np.ndarray | None" = None
     plan: CellPlan | None = None
+    health: "HealthReport | None" = None
 
     def speedup_basis(self) -> int:
         """Total devices simulated (for slots/s-per-device accounting)."""
@@ -220,17 +237,35 @@ def _run_epoch_job(job: dict) -> dict:
     ctx = _SHARD_CONTEXT
     cell = job["cell"]
     scenario: Scenario = ctx["scenarios"][cell]
-    probe = Probe() if ctx["trace_phases"] else None
-    controller = _build_cell_controller(
-        scenario,
-        controller=ctx["controller"],
-        v=ctx["v"],
-        z=ctx["z"],
-        budget=ConstantBudget(job["budget"]),
-        engine_backend=ctx["backends"][cell],
-        tracer=probe,
-        controller_params=ctx["controller_params"],
+    telemetry = ctx.get("telemetry", False)
+    monitors = ctx.get("monitors", False)
+    probe = (
+        Probe() if (ctx["trace_phases"] or telemetry or monitors) else None
     )
+    registry = None
+    if telemetry:
+        # A fresh per-job registry: every series is this epoch's delta,
+        # which is exactly what the parent's merge_snapshot() wants
+        # (counters/histograms add; gauges win by epoch generation).
+        registry = MetricsRegistry()
+        probe.add_sink(TelemetrySink(registry, labels={"cell": cell}))
+    suite = None
+    if monitors:
+        suite = MonitorSuite(
+            default_monitors(budget=job["budget"], network=scenario.network),
+            labels={"cell": cell},
+        ).attach(probe)
+    with telemetry_context(registry, {"cell": cell}):
+        controller = _build_cell_controller(
+            scenario,
+            controller=ctx["controller"],
+            v=ctx["v"],
+            z=ctx["z"],
+            budget=ConstantBudget(job["budget"]),
+            engine_backend=ctx["backends"][cell],
+            tracer=probe,
+            controller_params=ctx["controller_params"],
+        )
     generator = scenario.generator
     rng = scenario.state_rng()
     if job["carry"] is None:
@@ -250,7 +285,7 @@ def _run_epoch_job(job: dict) -> dict:
     else:
         segment = generator.states(job["count"], rng, start=job["start"])
     part = run_simulation(controller, segment, tracer=probe)
-    return {
+    result = {
         "cell": cell,
         "metrics": {k: getattr(part, k).tolist() for k in _METRIC_KEYS},
         "carry": {
@@ -258,8 +293,27 @@ def _run_epoch_job(job: dict) -> dict:
             "generator": generator.state_dict(),
             "state_rng": rng.bit_generator.state,
         },
-        "phase_state": probe.phases.state_dict() if probe is not None else None,
+        "phase_state": (
+            probe.phases.state_dict()
+            if probe is not None and ctx["trace_phases"]
+            else None
+        ),
     }
+    if registry is not None:
+        result["telemetry"] = registry.snapshot()
+    if suite is not None:
+        report = suite.finish()
+        result["alerts"] = [a.to_dict() for a in report.alerts]
+        result["statuses"] = [
+            {
+                "name": s.name,
+                "status": s.status,
+                "detail": s.detail,
+                "alerts": s.alerts,
+            }
+            for s in report.statuses
+        ]
+    return result
 
 
 class ShardedController:
@@ -293,6 +347,22 @@ class ShardedController:
             first failure on the pooled path.
         tracer: Parent observability tracer; per-cell probes are merged
             into it (``shard.*`` events mark epochs and re-splits).
+        registry: A live :class:`~repro.obs.telemetry.MetricsRegistry`
+            the run streams into -- per-cell gauges and per-kernel /
+            per-phase histograms, labelled ``cell="<index>"``.  On the
+            pooled path each epoch job ships a registry snapshot back
+            with its carry state and the parent merges it as soon as
+            the job completes, so a scrape *during* the run sees every
+            finished epoch, not just the final merge.
+        monitors: Attach the default health monitors per cell
+            (:func:`repro.obs.monitors.default_monitors` wired to each
+            cell's budget share and sub-network).  Alerts carry a
+            ``cell`` label, are re-emitted on the parent tracer, and the
+            combined report lands on ``ShardedResult.health``.  On the
+            pooled path monitors run per epoch job, so windowed
+            detectors see one epoch at a time; the end-of-run budget
+            constraint check still fires every epoch against that
+            epoch's share.
         **controller_params: Extra family knobs, validated by
             :func:`repro.api.make_controller`.
     """
@@ -315,6 +385,8 @@ class ShardedController:
         timeout_seconds: "float | None" = None,
         max_retries: int = 2,
         tracer: "Tracer | None" = None,
+        registry: "MetricsRegistry | None" = None,
+        monitors: bool = False,
         **controller_params: object,
     ) -> None:
         if controller == "fixed":
@@ -346,6 +418,9 @@ class ShardedController:
         self.timeout_seconds = timeout_seconds
         self.max_retries = int(max_retries)
         self.tracer = as_tracer(tracer)
+        self.registry = registry
+        self.monitors = bool(monitors)
+        self._health: "HealthReport | None" = None
         self.controller_params = dict(controller_params)
         self.backends = self._resolve_backends(engine_backend)
         self.coordinator = BudgetCoordinator(
@@ -373,20 +448,42 @@ class ShardedController:
         self, horizon: int, *, compiled: bool, chunk: int
     ) -> "tuple[list[dict], list[np.ndarray]]":
         trace = self.tracer.enabled
-        probes: list = [Probe() if trace else None for _ in self.cell_scenarios]
-        controllers = [
-            _build_cell_controller(
-                sc,
-                controller=self.controller_name,
-                v=self.v,
-                z=self.z,
-                budget=self.coordinator.schedules[c],
-                engine_backend=self.backends[c],
-                tracer=probes[c],
-                controller_params=self.controller_params,
-            )
-            for c, sc in enumerate(self.cell_scenarios)
+        # Per-cell probes exist whenever anything consumes events: the
+        # parent tracer, the live metrics registry, or the monitors.
+        want_probe = trace or self.registry is not None or self.monitors
+        probes: list = [
+            Probe() if want_probe else None for _ in self.cell_scenarios
         ]
+        suites: list = [None] * len(self.cell_scenarios)
+        if self.registry is not None:
+            for c, probe in enumerate(probes):
+                probe.add_sink(
+                    TelemetrySink(self.registry, labels={"cell": c})
+                )
+        if self.monitors:
+            for c, sc in enumerate(self.cell_scenarios):
+                suites[c] = MonitorSuite(
+                    default_monitors(
+                        budget=float(self.coordinator.budgets()[c]),
+                        network=sc.network,
+                    ),
+                    labels={"cell": c},
+                ).attach(probes[c])
+        controllers = []
+        for c, sc in enumerate(self.cell_scenarios):
+            with telemetry_context(self.registry, {"cell": c}):
+                controllers.append(
+                    _build_cell_controller(
+                        sc,
+                        controller=self.controller_name,
+                        v=self.v,
+                        z=self.z,
+                        budget=self.coordinator.schedules[c],
+                        engine_backend=self.backends[c],
+                        tracer=probes[c],
+                        controller_params=self.controller_params,
+                    )
+                )
         rngs = []
         for sc in self.cell_scenarios:
             sc.generator.reset()
@@ -415,6 +512,7 @@ class ShardedController:
                 spends[c] = part.time_average_cost()
             completed += count
             new_budgets = self.coordinator.update(spends)
+            self._publish_epoch(completed, new_budgets)
             if trace:
                 self.tracer.event(
                     "shard.epoch",
@@ -425,8 +523,12 @@ class ShardedController:
                     },
                 )
         if trace and isinstance(self.tracer, Probe):
-            for probe in probes:
-                self.tracer.merge_phase_state(probe.phases.state_dict())
+            for c, probe in enumerate(probes):
+                self.tracer.merge_phase_state(
+                    probe.phases.state_dict(), order=(0, c)
+                )
+        if self.monitors:
+            self._health = self._assemble_health_sequential(suites)
         return metrics, budgets_applied
 
     # -- pooled path -------------------------------------------------------
@@ -445,7 +547,11 @@ class ShardedController:
             "compiled": compiled,
             "chunk": chunk,
             "trace_phases": trace,
+            "telemetry": self.registry is not None,
+            "monitors": self.monitors,
         }
+        monitor_rollup: "dict[tuple[int, str], dict]" = {}
+        collected_alerts: list[Alert] = []
 
         def make_pool() -> ProcessPoolExecutor:
             return ProcessPoolExecutor(
@@ -520,10 +626,37 @@ class ShardedController:
                                 np.mean(out["metrics"]["cost"])
                             )
                             if trace and isinstance(self.tracer, Probe):
+                                # (start_slot, cell) keeps gauge series
+                                # in logical order regardless of which
+                                # future completed first.
                                 self.tracer.merge_phase_state(
-                                    out["phase_state"]
+                                    out["phase_state"],
+                                    order=(completed, c),
+                                )
+                            if self.registry is not None:
+                                # Stream this epoch's snapshot into the
+                                # live registry immediately -- a scrape
+                                # mid-run sees it while other cells are
+                                # still computing.  generation =
+                                # start_slot + 1 keeps later epochs'
+                                # gauges winning over stragglers.
+                                self.registry.merge_snapshot(
+                                    out.get("telemetry"),
+                                    generation=completed + 1,
+                                )
+                            if self.monitors:
+                                self._fold_worker_monitors(
+                                    c,
+                                    out,
+                                    monitor_rollup,
+                                    collected_alerts,
                                 )
                     if rebuild:
+                        # Make the partial trace durable before the
+                        # salvage retry: a parent killed while the pool
+                        # rebuilds must not leave a JSONL record
+                        # truncated mid-line.
+                        self.tracer.flush()
                         pool.shutdown(wait=False, cancel_futures=True)
                         pool = make_pool()
                         if trace:
@@ -534,6 +667,7 @@ class ShardedController:
                     pending = next_pending
                 completed += count
                 new_budgets = self.coordinator.update(spends)
+                self._publish_epoch(completed, new_budgets)
                 if trace:
                     self.tracer.event(
                         "shard.epoch",
@@ -545,6 +679,10 @@ class ShardedController:
                     )
         finally:
             pool.shutdown(wait=False, cancel_futures=True)
+        if self.monitors:
+            self._health = self._assemble_health_pooled(
+                monitor_rollup, collected_alerts
+            )
         return metrics, budgets_applied
 
     def _note_failure(self, attempts: dict, cell: int, exc: Exception) -> bool:
@@ -563,7 +701,113 @@ class ShardedController:
                 "shard.retry",
                 {"cell": cell, "attempt": attempts[cell], "error": str(exc)},
             )
+            # Every failure path flushes streaming sinks: whether the
+            # job is retried or about to raise permanently, the partial
+            # trace on disk stays whole-record durable.
+            self.tracer.flush()
+        if self.registry is not None:
+            self.registry.counter(
+                "repro_shard_retries_total",
+                "Sharded epoch jobs that failed and were retried",
+            ).inc(1.0, cell=cell)
         return retry
+
+    # -- telemetry / monitor plumbing --------------------------------------
+
+    def _publish_epoch(self, completed: int, budgets: np.ndarray) -> None:
+        """Parent-side epoch gauges: progress and the per-cell splits."""
+        if self.registry is None:
+            return
+        self.registry.gauge(
+            "repro_shard_completed_slots",
+            "Slots completed by the sharded run so far",
+        ).set(float(completed))
+        budget_gauge = self.registry.gauge(
+            "repro_cell_budget",
+            "Per-cell budget share applied for the next epoch ($/slot)",
+        )
+        for c, value in enumerate(budgets):
+            budget_gauge.set(float(value), cell=c)
+
+    def _fold_worker_monitors(
+        self,
+        cell: int,
+        out: dict,
+        rollup: "dict[tuple[int, str], dict]",
+        alerts: "list[Alert]",
+    ) -> None:
+        """Fold one epoch job's monitor output into the run's rollup.
+
+        Worker alerts are re-emitted on the parent tracer (the
+        "re-emission under sharding" contract: dashboards and JSONL
+        traces attached to the parent see per-cell alerts live), and
+        per-monitor statuses fold by worst severity with alert counts
+        summed across epochs.
+        """
+        for data in out.get("alerts", ()):
+            alerts.append(
+                Alert(
+                    monitor=data["monitor"],
+                    severity=data["severity"],
+                    message=data["message"],
+                    t=data.get("t"),
+                    data=dict(data.get("data", {})),
+                )
+            )
+            if self.tracer.enabled:
+                self.tracer.event("alert", data)
+        for status in out.get("statuses", ()):
+            key = (cell, status["name"])
+            entry = rollup.get(key)
+            if entry is None:
+                rollup[key] = dict(status)
+            else:
+                if (
+                    _STATUS_RANK.get(status["status"], 0)
+                    > _STATUS_RANK.get(entry["status"], 0)
+                ):
+                    entry["status"] = status["status"]
+                entry["alerts"] += status["alerts"]
+                # Detail from the most recent epoch (jobs for one cell
+                # complete in epoch order) reads as the final state.
+                entry["detail"] = status["detail"]
+
+    def _assemble_health_sequential(
+        self, suites: "list[MonitorSuite | None]"
+    ) -> HealthReport:
+        statuses: list[MonitorStatus] = []
+        alerts: list[Alert] = []
+        for c, suite in enumerate(suites):
+            if suite is None:
+                continue
+            report = suite.finish()
+            statuses.extend(
+                MonitorStatus(
+                    name=f"cell{c}/{s.name}",
+                    status=s.status,
+                    detail=s.detail,
+                    alerts=s.alerts,
+                )
+                for s in report.statuses
+            )
+            alerts.extend(report.alerts)
+        return HealthReport(statuses=tuple(statuses), alerts=tuple(alerts))
+
+    def _assemble_health_pooled(
+        self,
+        rollup: "dict[tuple[int, str], dict]",
+        alerts: "list[Alert]",
+    ) -> HealthReport:
+        statuses = tuple(
+            MonitorStatus(
+                name=f"cell{cell}/{name}",
+                status=entry["status"],
+                detail=entry["detail"],
+                alerts=entry["alerts"],
+            )
+            for (cell, name), entry in sorted(rollup.items())
+        )
+        return HealthReport(statuses=statuses, alerts=tuple(alerts))
 
     # -- public ------------------------------------------------------------
 
@@ -584,6 +828,7 @@ class ShardedController:
         """
         if horizon < 0:
             raise ConfigurationError(f"horizon must be >= 0, got {horizon}")
+        self._health = None
         if self.processes is not None and self.processes > 1:
             metrics, budgets = self._run_pooled(
                 horizon, compiled=compiled_states, chunk=state_chunk
@@ -600,11 +845,14 @@ class ShardedController:
             ).summary()
             for m, b in zip(metrics, self.coordinator.budgets())
         ]
+        if self._health is not None:
+            merged.health = self._health
         return ShardedResult(
             merged=merged,
             cells=cell_summaries,
             budgets=np.array(budgets) if budgets else None,
             plan=self.plan,
+            health=self._health,
         )
 
 
@@ -626,6 +874,8 @@ def run_sharded(
     timeout_seconds: "float | None" = None,
     max_retries: int = 2,
     tracer: "Tracer | None" = None,
+    registry: "MetricsRegistry | None" = None,
+    monitors: bool = False,
     compiled_states: bool = True,
     state_chunk: int = 32,
     **controller_params: object,
@@ -652,6 +902,8 @@ def run_sharded(
         timeout_seconds=timeout_seconds,
         max_retries=max_retries,
         tracer=tracer,
+        registry=registry,
+        monitors=monitors,
         **controller_params,
     )
     return sharded.run(

@@ -74,6 +74,34 @@ class TestSuitePlumbing:
         assert first is suite.finish()
         assert len(first.alerts) == 1  # the critical fired exactly once
 
+    def test_suite_labels_stamp_alert_payloads(self) -> None:
+        # Sharded runs attach labels={"cell": c} so per-cell alerts stay
+        # attributable after cross-cell folding.
+        probe = Probe()
+        suite = MonitorSuite(
+            [FeasibilityMonitor()], labels={"cell": 3}
+        ).attach(probe)
+        probe.gauge("feas.access_share_max", 2.0)
+        assert suite.alerts[0].data["cell"] == 3
+        # Alert-specific fields survive alongside the labels.
+        assert "share" in suite.alerts[0].data or len(suite.alerts[0].data) > 1
+
+    def test_alert_payload_fields_win_over_labels(self) -> None:
+        suite = MonitorSuite(
+            [BudgetDriftMonitor(1.0)], labels={"budget": -1.0, "cell": 0}
+        )
+        suite.emit(slot(0, cost=5.0))
+        report = suite.finish()
+        # The monitor's own `budget` datum overrides the label of the
+        # same name; the cell label still lands.
+        assert report.alerts[0].data["budget"] == 1.0
+        assert report.alerts[0].data["cell"] == 0
+
+    def test_unlabelled_suite_payloads_unchanged(self) -> None:
+        suite = MonitorSuite([BudgetDriftMonitor(1.0)])
+        suite.emit(slot(0, cost=5.0))
+        assert "cell" not in suite.finish().alerts[0].data
+
 
 class TestQueueStabilityMonitor:
     def _feed(self, monitor: Monitor, values: list[float]) -> None:

@@ -121,6 +121,40 @@ class TestAggregatorMerging:
         probe.merge_phase_state(self._probe_with_work(2).phases.state_dict())
         assert probe.phases.phase_stats("slot")["count"] == 3
 
+    def test_ordered_merge_restores_gauge_recency(self) -> None:
+        # Pooled workers complete in arbitrary order; with order= keys
+        # the folded gauge series must come out in logical order no
+        # matter the arrival order, so the tail stays "current value".
+        import random
+
+        segments = [
+            ((epoch, cell), [float(10 * epoch + cell)])
+            for epoch in range(4)
+            for cell in range(2)
+        ]
+        expected = [v for _, vals in sorted(segments) for v in vals]
+        for trial in range(5):
+            shuffled = list(segments)
+            random.Random(trial).shuffle(shuffled)
+            agg = PhaseAggregator()
+            for key, values in shuffled:
+                agg.merge_state({"gauges": {"q": values}}, order=key)
+            assert agg.gauges["q"] == expected, f"trial {trial}"
+            assert agg.gauges["q"][-1] == 31.0  # last epoch, last cell
+
+    def test_ordered_merge_keeps_local_samples_first(self) -> None:
+        agg = PhaseAggregator()
+        agg.emit({"kind": "gauge", "name": "q", "value": 0.5})
+        agg.merge_state({"gauges": {"q": [2.0]}}, order=(1, 0))
+        agg.merge_state({"gauges": {"q": [1.0]}}, order=(0, 0))
+        assert agg.gauges["q"] == [0.5, 1.0, 2.0]
+
+    def test_unordered_merge_keeps_arrival_order(self) -> None:
+        agg = PhaseAggregator()
+        agg.merge_state({"gauges": {"q": [2.0]}})
+        agg.merge_state({"gauges": {"q": [1.0]}})
+        assert agg.gauges["q"] == [2.0, 1.0]
+
     def test_percentiles_nearest_rank(self) -> None:
         agg = PhaseAggregator()
         for value in (1.0, 2.0, 3.0, 4.0):
@@ -172,6 +206,27 @@ class TestJsonlSink:
         # Visible to a concurrent reader without close() -- crash safety.
         assert read_jsonl(path) == [{"kind": "gauge", "name": "g", "value": 1.0}]
         sink.close()
+
+    def test_flush_pushes_buffered_lines_and_is_safe_after_close(
+        self, tmp_path
+    ) -> None:
+        path = tmp_path / "trace.jsonl"
+        sink = JsonlSink(path)  # no flush_every: runtime buffering
+        sink.emit({"kind": "gauge", "name": "g", "value": 1.0})
+        sink.flush()
+        # The salvage path's contract: flushed events are durable even
+        # though the sink stays open for the retried epoch job.
+        assert read_jsonl(path) == [{"kind": "gauge", "name": "g", "value": 1.0}]
+        sink.close()
+        sink.flush()  # no-op on a closed file, never raises
+
+    def test_probe_flush_reaches_streaming_sinks(self, tmp_path) -> None:
+        path = tmp_path / "trace.jsonl"
+        probe = Probe(sinks=(JsonlSink(path),))
+        probe.gauge("q", 3.0)
+        probe.flush()  # PhaseAggregator has no flush; must be skipped
+        assert read_jsonl(path) == [{"kind": "gauge", "name": "q", "value": 3.0}]
+        probe.close()
 
     def test_flush_every_validates(self, tmp_path) -> None:
         with pytest.raises(ValueError):
