@@ -318,6 +318,16 @@ class CellConfig:
             partition score.
         timeout_seconds: Per-epoch-job deadline on the pooled path.
         max_retries: Retries per (cell, epoch) job after a failure.
+        runtime: Pooled execution runtime -- ``"resident"`` (stateful
+            long-lived workers, the default) or ``"legacy"`` (one
+            process pool job per cell per epoch).
+        shared_states: Ship compiled slot states to resident workers
+            through shared memory (``None`` = automatic: on whenever
+            the scenario's state stream supports parent-side
+            compilation).
+        carry_every: Pull worker carry state back to the parent every
+            N epochs as a salvage base (``None`` = only at the end and
+            at checkpoints).
     """
 
     count: int = 1
@@ -331,6 +341,9 @@ class CellConfig:
     balance_weight: float = 1.0
     timeout_seconds: float | None = None
     max_retries: int = 2
+    runtime: str = "resident"
+    shared_states: bool | None = None
+    carry_every: int | None = None
 
 
 def _as_pairs(params: "dict | tuple") -> "tuple[tuple[str, object], ...]":
@@ -445,6 +458,9 @@ def _run_sharded_path(
     controller_params: dict,
     registry=None,
     monitors: bool = False,
+    checkpoint: "str | None" = None,
+    checkpoint_every: "int | None" = None,
+    resume: bool = False,
 ) -> SimulationResult:
     from repro.network.partition import partition_cells
     from repro.sim.sharded import run_sharded
@@ -474,11 +490,17 @@ def _run_sharded_path(
         processes=cfg.processes,
         timeout_seconds=cfg.timeout_seconds,
         max_retries=cfg.max_retries,
+        runtime=cfg.runtime,
+        shared_states=cfg.shared_states,
+        carry_every=cfg.carry_every,
         tracer=tracer,
         registry=registry,
         monitors=monitors,
         compiled_states=compiled_states,
         state_chunk=state_chunk,
+        checkpoint=checkpoint,
+        checkpoint_every=checkpoint_every,
+        resume=resume,
         **controller_params,
     )
     return sharded.merged
@@ -573,7 +595,9 @@ def run(
         checkpoint: Path of a run-checkpoint file.  When given, the run
             snapshots its full cross-slot state there every
             ``checkpoint_every`` slots (atomically) via
-            :func:`repro.sim.checkpoint.run_checkpointed`.
+            :func:`repro.sim.checkpoint.run_checkpointed`, or -- with
+            ``cells=`` -- via the sharded runtime's epoch-boundary
+            :class:`~repro.sim.checkpoint.ShardCheckpoint` snapshots.
         checkpoint_every: Slots between snapshots.
         resume: With ``checkpoint=``, continue from an existing matching
             snapshot instead of starting fresh; resumed trajectories are
@@ -585,9 +609,10 @@ def run(
             monitor suites, folded into ``result.health`` with
             ``cell<i>/`` status names) and with telemetry
             (``metrics_port=`` / ``metrics_registry=`` stream live
-            per-cell metrics), but not with custom monitor suites,
-            checkpoints, per-slot callbacks, record keeping, queue warm
-            starts, or prebuilt controller instances.
+            per-cell metrics) and with ``checkpoint=`` (epoch-boundary
+            shard snapshots, resumable across runtimes), but not with
+            custom monitor suites, per-slot callbacks, record keeping,
+            queue warm starts, or prebuilt controller instances.
         **controller_params: Passed to :func:`make_controller`
             (``rng_label=``, ``fraction=``, ``iterations=``, ...),
             merged over ``config.controller_params``.
@@ -714,7 +739,6 @@ def _run_resolved(
             # monitors=True shards fine (per-cell default suites);
             # custom suites/iterables cannot be split across cells.
             "monitors": monitors not in (None, False, True),
-            "checkpoint": checkpoint is not None,
             "keep_records": bool(keep_records),
             "on_slot": on_slot is not None,
             "warm_start_queue": bool(warm_start_queue),
@@ -739,6 +763,9 @@ def _run_resolved(
             controller_params=merged_params,
             registry=registry,
             monitors=monitors is True,
+            checkpoint=checkpoint,
+            checkpoint_every=checkpoint_every,
+            resume=resume,
         )
 
     if registry is not None:

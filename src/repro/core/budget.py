@@ -247,6 +247,37 @@ class BudgetCoordinator:
         raw = np.maximum(raw, self.floor_fraction * self.total * self._shares)
         return raw * (self.total / raw.sum())
 
+    def state_dict(self) -> dict:
+        """Serializable coordinator state (for sharded checkpoint/resume).
+
+        Captures the smoothed demand estimate, the epoch counter, and
+        the per-cell references currently installed on
+        :attr:`schedules`; restoring it makes the next :meth:`update`
+        bit-identical to the uninterrupted run's.
+        """
+        return {
+            "demand": None if self._demand is None else self._demand.tolist(),
+            "epochs": int(self.epochs),
+            "budgets": [s.average for s in self.schedules],
+        }
+
+    def load_state_dict(self, state: dict) -> None:
+        """Restore state captured by :meth:`state_dict`."""
+        demand = state.get("demand")
+        self._demand = (
+            None if demand is None else np.asarray(demand, dtype=np.float64)
+        )
+        self.epochs = int(state.get("epochs", 0))
+        budgets = state.get("budgets")
+        if budgets is not None:
+            if len(budgets) != self.num_cells:
+                raise ConfigurationError(
+                    f"coordinator state has {len(budgets)} cells, "
+                    f"expected {self.num_cells}"
+                )
+            for schedule, value in zip(self.schedules, budgets):
+                schedule.set(float(value))
+
     def update(self, spends: FloatArray) -> FloatArray:
         """Re-split the budget from one epoch's per-cell mean spends.
 

@@ -20,12 +20,14 @@ import warnings
 from repro.exceptions import ConfigurationError
 from repro.kernels.interface import DecomposedState, KernelBackend
 from repro.kernels.numpy_backend import make_numpy_backend
+from repro.kernels.shm import SharedStateBlock
 
 __all__ = [
     "BACKEND_NAMES",
     "DEFAULT_BACKEND",
     "DecomposedState",
     "KernelBackend",
+    "SharedStateBlock",
     "available_backends",
     "get_kernels",
     "jit_provider",

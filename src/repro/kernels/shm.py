@@ -1,0 +1,151 @@
+"""Shared-memory struct-of-arrays blocks for zero-copy state shipping.
+
+The resident sharded runtime (:mod:`repro.sim.shard_runtime`) compiles
+each epoch's slot states in the parent and hands them to worker
+processes.  Pickling a ``(count, I, K)`` spectral-efficiency stack per
+epoch per cell would rebuild the serialization tax the runtime exists to
+remove, so the compiled arrays live here instead: one
+:class:`multiprocessing.shared_memory.SharedMemory` segment per cell,
+laid out as a struct of arrays (the same flat-array discipline as
+:class:`~repro.kernels.interface.DecomposedState`), double-buffered so
+the parent can fill epoch ``e + 1`` while workers still read epoch
+``e``.  Workers attach by name and build NumPy views directly over the
+segment -- no copies cross the process boundary after the parent's
+single write.
+
+Lifetime: the creating process owns the segment and unlinks it on
+:meth:`SharedStateBlock.close`; attached processes only close their
+mapping.  Attaching unregisters the segment from the child's
+``resource_tracker`` (on Python < 3.13 there is no ``track=False``), so
+a worker exiting -- or being killed mid-epoch by the salvage path --
+never tears the block down under the parent.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["SharedStateBlock"]
+
+
+def _normalise_fields(fields: dict) -> "dict[str, tuple[tuple[int, ...], np.dtype]]":
+    out = {}
+    for name, (shape, dtype) in fields.items():
+        out[str(name)] = (tuple(int(s) for s in shape), np.dtype(dtype))
+    return out
+
+
+class SharedStateBlock:
+    """A buffered struct-of-arrays region in shared memory.
+
+    Args:
+        fields: ``name -> (shape, dtype)`` for one buffer's arrays.
+        buffers: Independent copies of the field set (2 = the classic
+            fill-ahead double buffer).
+
+    Use :meth:`create` in the owning process, ship :meth:`descriptor`
+    (a small picklable dict) to workers, and :meth:`attach` there.
+    :meth:`arrays` returns the NumPy views for one buffer index.
+    """
+
+    def __init__(self, shm, fields: dict, buffers: int, *, owner: bool) -> None:
+        self._shm = shm
+        self._owner = owner
+        self.fields = _normalise_fields(fields)
+        self.buffers = int(buffers)
+        self._views: "list[dict[str, np.ndarray]] | None" = []
+        offset = 0
+        for _ in range(self.buffers):
+            views = {}
+            for name, (shape, dtype) in self.fields.items():
+                nbytes = int(np.prod(shape, dtype=np.int64)) * dtype.itemsize
+                views[name] = np.ndarray(
+                    shape, dtype=dtype, buffer=shm.buf, offset=offset
+                )
+                offset += nbytes
+            self._views.append(views)
+        self.nbytes = offset
+
+    @classmethod
+    def _size(cls, fields: dict, buffers: int) -> int:
+        total = 0
+        for shape, dtype in _normalise_fields(fields).values():
+            total += int(np.prod(shape, dtype=np.int64)) * dtype.itemsize
+        # SharedMemory refuses size=0; keep degenerate blocks mappable.
+        return max(total * buffers, 1)
+
+    @classmethod
+    def create(cls, fields: dict, *, buffers: int = 2) -> "SharedStateBlock":
+        """Allocate a new segment sized for *buffers* copies of *fields*."""
+        from multiprocessing import shared_memory
+
+        shm = shared_memory.SharedMemory(
+            create=True, size=cls._size(fields, buffers)
+        )
+        return cls(shm, fields, buffers, owner=True)
+
+    def descriptor(self) -> dict:
+        """Picklable handle a worker passes to :meth:`attach`."""
+        return {
+            "name": self._shm.name,
+            "fields": {
+                name: (list(shape), dtype.str)
+                for name, (shape, dtype) in self.fields.items()
+            },
+            "buffers": self.buffers,
+        }
+
+    @classmethod
+    def attach(cls, descriptor: dict) -> "SharedStateBlock":
+        """Map an existing segment created by another process."""
+        from multiprocessing import resource_tracker, shared_memory
+
+        # Only the creator owns the segment's lifetime.  Suppress the
+        # tracker registration during the map (no ``track=False`` before
+        # Python 3.13): registering here would either unlink the block
+        # under the parent when this worker exits, or -- under the fork
+        # start method, where the tracker daemon is shared -- corrupt
+        # the parent's own bookkeeping on unregister.
+        original = resource_tracker.register
+
+        def _skip(name, rtype):  # pragma: no cover - trivial shim
+            if rtype != "shared_memory":
+                original(name, rtype)
+
+        resource_tracker.register = _skip
+        try:
+            shm = shared_memory.SharedMemory(name=descriptor["name"])
+        finally:
+            resource_tracker.register = original
+        fields = {
+            name: (tuple(shape), np.dtype(dtype))
+            for name, (shape, dtype) in descriptor["fields"].items()
+        }
+        return cls(shm, fields, descriptor["buffers"], owner=False)
+
+    def arrays(self, buffer: int = 0) -> "dict[str, np.ndarray]":
+        """The field views of one buffer (references into the segment)."""
+        if self._views is None:
+            raise ValueError("shared state block is closed")
+        return self._views[buffer]
+
+    def close(self) -> None:
+        """Drop the mapping; the owner also unlinks the segment."""
+        if self._views is None:
+            return
+        self._views = None
+        try:
+            self._shm.close()
+        except BufferError:  # pragma: no cover - stray exported views
+            pass
+        if self._owner:
+            try:
+                self._shm.unlink()
+            except FileNotFoundError:  # pragma: no cover - already gone
+                pass
+
+    def __del__(self) -> None:  # pragma: no cover - GC ordering varies
+        try:
+            self.close()
+        except Exception:
+            pass

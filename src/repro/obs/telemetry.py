@@ -22,6 +22,11 @@ Three integration surfaces:
   live registry (counters/histograms add; gauges keep the most recent
   value by a ``(generation, sequence)`` recency stamp, so out-of-order
   epoch completions cannot roll a gauge backwards).
+  :meth:`MetricsRegistry.snapshot_delta` is the incremental variant for
+  long-lived resident workers: it ships only the series that changed
+  since the worker's previous flush (a per-registry flush generation
+  counter tracks the baseline), in the same wire format, so the
+  per-epoch merge cost stays flat as cell counts grow.
 * kernel profiling -- :func:`instrument_kernels` wraps a resolved
   :class:`~repro.kernels.interface.KernelBackend` so every hot call
   (``candidate_costs`` / ``segment_first_min`` / ``gap_sweep`` /
@@ -330,6 +335,10 @@ class MetricsRegistry:
         self._lock = threading.Lock()
         self._families: "dict[str, _Family]" = {}
         self._seq = 0
+        # snapshot_delta() baseline: what the last flush already shipped,
+        # keyed (kind, family name) -> per-series flushed value.
+        self._flushed: dict = {}
+        self._flush_generation = 0
 
     # -- family accessors ------------------------------------------------
 
@@ -433,6 +442,96 @@ class MetricsRegistry:
                         },
                     }
             return out
+
+    def snapshot_delta(self) -> "dict | None":
+        """Only the series that changed since the previous flush.
+
+        Same wire format as :meth:`snapshot` -- counter and histogram
+        series are *increments* relative to the last ``snapshot_delta``
+        call, gauges carry their current value and stamp -- so the
+        receiving side folds a delta with the same
+        :meth:`merge_snapshot` it uses for full snapshots.  Unchanged
+        series are omitted entirely; a flush with no changes at all
+        returns ``None`` (callers skip the ship).
+
+        This is the resident-worker flush path: a long-lived sharded
+        worker keeps one registry for the whole run and ships one small
+        delta per epoch, instead of rebuilding a registry per epoch job
+        and shipping every series every time.  Each call advances
+        :attr:`flush_generation` (recorded in the delta under
+        ``"flush_generation"``; :meth:`merge_snapshot` ignores the key).
+        """
+        with self._lock:
+            self._flush_generation += 1
+            out: dict = {
+                "counters": {},
+                "gauges": {},
+                "histograms": {},
+                "flush_generation": self._flush_generation,
+            }
+            for name, family in self._families.items():
+                if isinstance(family, Counter):
+                    # A never-flushed family (or series) ships even with
+                    # nothing counted yet, so pre-bound counters (e.g. a
+                    # sink's crash counter) appear on the receiving side
+                    # exactly as a full snapshot would expose them.
+                    fresh = ("counter", name) not in self._flushed
+                    base = self._flushed.setdefault(("counter", name), {})
+                    series = {}
+                    for key, value in family._series.items():
+                        if key not in base or value != base[key]:
+                            series[key] = value - base.get(key, 0.0)
+                            base[key] = value
+                    if series or fresh:
+                        out["counters"][name] = {
+                            "help": family.help, "series": series,
+                        }
+                elif isinstance(family, Gauge):
+                    fresh = ("gauge", name) not in self._flushed
+                    base = self._flushed.setdefault(("gauge", name), {})
+                    series = {}
+                    for key, (value, stamp) in family._series.items():
+                        if base.get(key) != stamp:
+                            series[key] = (value, stamp)
+                            base[key] = stamp
+                    if series or fresh:
+                        out["gauges"][name] = {
+                            "help": family.help, "series": series,
+                        }
+                else:
+                    assert isinstance(family, Histogram)
+                    fresh = ("histogram", name) not in self._flushed
+                    base = self._flushed.setdefault(("histogram", name), {})
+                    series = {}
+                    for key, slot in family._series.items():
+                        previous = base.get(key)
+                        if previous is None:
+                            if slot[2] == 0:
+                                continue  # pre-bound, never observed
+                            series[key] = [list(slot[0]), slot[1], slot[2]]
+                        elif previous[2] != slot[2]:
+                            series[key] = [
+                                [c - p for c, p in zip(slot[0], previous[0])],
+                                slot[1] - previous[1],
+                                slot[2] - previous[2],
+                            ]
+                        else:
+                            continue
+                        base[key] = [list(slot[0]), slot[1], slot[2]]
+                    if series or fresh:
+                        out["histograms"][name] = {
+                            "help": family.help,
+                            "bounds": family.bounds,
+                            "series": series,
+                        }
+            if not (out["counters"] or out["gauges"] or out["histograms"]):
+                return None
+            return out
+
+    @property
+    def flush_generation(self) -> int:
+        """How many :meth:`snapshot_delta` flushes have happened."""
+        return self._flush_generation
 
     def merge_snapshot(
         self, snap: "dict | None", *, generation: "int | None" = None

@@ -25,7 +25,15 @@ from repro.network.partition import (
     extract_subnetwork,
     partition_cells,
 )
+from repro.sim.checkpoint import ShardCheckpoint
+from repro.sim.shard_runtime import (
+    CellRuntime,
+    ResidentWorker,
+    SharedStatePlanner,
+    WorkerFailure,
+)
 from repro.sim.sharded import (
+    RUNTIME_NAMES,
     ShardedController,
     ShardedResult,
     merge_cell_metrics,
@@ -38,9 +46,15 @@ __all__ = [
     "Cell",
     "CellIndexMaps",
     "CellPlan",
+    "CellRuntime",
     "CoordinatedBudget",
+    "RUNTIME_NAMES",
+    "ResidentWorker",
+    "ShardCheckpoint",
+    "SharedStatePlanner",
     "ShardedController",
     "ShardedResult",
+    "WorkerFailure",
     "extract_subnetwork",
     "merge_cell_metrics",
     "partition_cells",

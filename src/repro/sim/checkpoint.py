@@ -46,7 +46,7 @@ from repro.types import Rng
 
 logger = logging.getLogger(__name__)
 
-__all__ = ["RunCheckpoint", "run_checkpointed"]
+__all__ = ["RunCheckpoint", "ShardCheckpoint", "run_checkpointed"]
 
 #: Metric trajectories snapshotted per segment, in
 #: :class:`~repro.sim.results.SimulationResult` field order.
@@ -120,6 +120,78 @@ class RunCheckpoint:
             raise CheckpointError(f"cannot read checkpoint {path}: {exc}") from exc
         if not isinstance(data, dict) or "config_hash" not in data:
             raise CheckpointError(f"{path} is not a run checkpoint")
+        version = int(data.get("version", 0))
+        if version != 1:
+            raise CheckpointError(
+                f"unsupported checkpoint version {version} in {path}"
+            )
+        known = {f for f in cls.__dataclass_fields__}
+        return cls(**{k: v for k, v in data.items() if k in known})
+
+
+@dataclass
+class ShardCheckpoint:
+    """One atomic snapshot of a sharded run in progress.
+
+    The sharded engine's cross-slot state is the per-cell *carry* (the
+    same controller / generator / rng / fault-plan cursor bundle the
+    resident workers ship on ``pull``) plus the budget coordinator's
+    pacing state, so that is what the snapshot holds -- written at epoch
+    boundaries by :meth:`repro.sim.sharded.ShardedController.run` when
+    ``checkpoint=`` is set, restored on ``resume=True``.  A resumed
+    sharded run is bit-identical to an uninterrupted one, on both the
+    sequential and the resident execution paths (the carries are
+    runtime-agnostic, so a snapshot written sequentially resumes under
+    resident workers and vice versa).
+
+    Attributes:
+        config_hash: Digest of the sharded run configuration (seed,
+            horizon, budget, controller name, fleet size, cell count,
+            epoch length, coordinator mode).
+        horizon: Total slots the run was asked for.
+        completed: Slots finished when the snapshot was taken.
+        coordinator: The budget coordinator's ``state_dict()``.
+        carries: Per-cell carry dicts, in cell order.
+        metrics: Per-cell metric trajectories accumulated so far.
+        budgets: Per-epoch applied budget splits, in epoch order.
+        version: Snapshot format version.
+    """
+
+    config_hash: str
+    horizon: int
+    completed: int
+    coordinator: dict
+    carries: list = field(default_factory=list)
+    metrics: list = field(default_factory=list)
+    budgets: list = field(default_factory=list)
+    version: int = 1
+
+    def write(self, path: "str | Path") -> None:
+        """Atomically persist the snapshot (same pattern as
+        :meth:`RunCheckpoint.write`)."""
+        path = Path(path)
+        tmp = path.with_suffix(path.suffix + ".tmp")
+        try:
+            tmp.write_text(json.dumps(asdict(self)))
+            os.replace(tmp, path)
+        except (OSError, TypeError, ValueError) as exc:
+            raise CheckpointError(f"cannot write checkpoint {path}: {exc}") from exc
+
+    @classmethod
+    def load(cls, path: "str | Path") -> "ShardCheckpoint":
+        """Read a snapshot previously written by :meth:`write`.
+
+        Raises:
+            CheckpointError: The file is missing, unreadable, or not a
+                sharded-run snapshot.
+        """
+        path = Path(path)
+        try:
+            data = json.loads(path.read_text())
+        except (OSError, ValueError) as exc:
+            raise CheckpointError(f"cannot read checkpoint {path}: {exc}") from exc
+        if not isinstance(data, dict) or "coordinator" not in data:
+            raise CheckpointError(f"{path} is not a sharded-run checkpoint")
         version = int(data.get("version", 0))
         if version != 1:
             raise CheckpointError(

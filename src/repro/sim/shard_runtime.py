@@ -1,0 +1,614 @@
+"""Resident workers for the sharded engine: state lives where it runs.
+
+PR 7's pooled path treated every epoch as a stateless job: the parent
+pickled each cell's full carry (controller state dict, generator state,
+rng bit-stream) into a fresh :class:`~concurrent.futures.ProcessPoolExecutor`
+job, the worker rebuilt the controller (and its strategy-space cache)
+from scratch, ran the segment, and pickled the whole carry back.  That
+round-trip is pure serialization tax -- the arithmetic is identical
+whether the controller object survives between epochs or not.
+
+This module keeps the state resident instead:
+
+* :class:`CellRuntime` -- one cell's long-lived execution state: the
+  controller (built once, strategy-space cache kept hot), the state
+  generator and its rng, the fault-plan cursor (plan state + plan rng),
+  the per-cell probe/monitor suite.  The sequential path drives these
+  in-process; resident workers hold the same objects across epochs.
+* ``_worker_main`` / :class:`_WorkerRuntime` -- the worker process: its
+  cells are pinned at spawn, and per epoch it receives only
+  ``(slot range, budget shares, shared-state buffer index)`` and
+  returns compact deltas (metric lists, a telemetry
+  :meth:`~repro.obs.telemetry.MetricsRegistry.snapshot_delta`, new
+  monitor alerts).  Carry state crosses the pipe only on ``pull``
+  (checkpoint/salvage) and ``load``/``replay`` (resume/rebuild).
+* :class:`ResidentWorker` -- the parent-side handle: spawn, command
+  round-trips with deadline, kill/respawn for the salvage path.
+* :class:`SharedStatePlanner` -- the parent-side epoch pipeline: it
+  owns each cell's live state stream, compiles epoch ``e + 1``'s slot
+  states into double-buffered
+  :class:`~repro.kernels.shm.SharedStateBlock` struct-of-arrays
+  segments while the workers are still solving epoch ``e``, and the
+  workers map them zero-copy (:meth:`~repro.core.state.SlotState.trusted`
+  views over shared memory).
+
+Bit-identity: every byte of cross-slot state is either deterministic in
+the slot index or an exactly-captured rng stream, so a worker rebuilt
+after a crash can *replay* its cells from slot 0 (or from the last
+pulled carry) under the recorded per-epoch budget shares and land in
+exactly the state the dead worker held -- the same argument the
+checkpoint layer proves for resume, applied per cell.
+"""
+
+from __future__ import annotations
+
+import logging
+import multiprocessing as mp
+
+import numpy as np
+
+from repro.core.budget import CoordinatedBudget
+from repro.core.state import SlotState
+from repro.kernels.shm import SharedStateBlock
+from repro.obs.monitors import MonitorSuite, default_monitors
+from repro.obs.probe import Probe
+from repro.obs.telemetry import MetricsRegistry, TelemetrySink, telemetry_context
+from repro.sim.engine import run_simulation
+from repro.sim.scenario import Scenario
+
+logger = logging.getLogger(__name__)
+
+__all__ = [
+    "CellRuntime",
+    "ResidentWorker",
+    "SharedStatePlanner",
+    "WorkerFailure",
+]
+
+_METRIC_KEYS = ("latency", "cost", "theta", "backlog", "solve_seconds", "price")
+
+
+def _mp_context():
+    """Fork when the platform has it (fast spawn, no import re-exec);
+    the default start method otherwise."""
+    methods = mp.get_all_start_methods()
+    return mp.get_context("fork" if "fork" in methods else None)
+
+
+class WorkerFailure(RuntimeError):
+    """A resident worker died, timed out, or reported a command error."""
+
+
+class CellRuntime:
+    """One cell's execution state, advanced in place epoch by epoch.
+
+    Mirrors exactly what the sequential sharded path keeps between
+    epochs -- same controller construction (same rng stream labels,
+    same telemetry context), same continuing state stream, same
+    fault-plan cursor -- so a run driven through :meth:`run_epoch` is
+    bit-identical whether the runtime lives in the parent or inside a
+    resident worker.
+
+    Args:
+        cell: Cell index (labels telemetry/monitors).
+        scenario: The cell's scenario (its optional ``fault_plan`` is
+            applied on top of every segment from the plan's own stream).
+        schedule: The cell's budget reference; created when omitted.
+        own_states: Draw slot states from the cell's own stream.  With
+            shared-memory states the parent owns the live stream and
+            passes each epoch's states in; the runtime's local stream
+            is then only the replay/salvage base.
+    """
+
+    def __init__(
+        self,
+        cell: int,
+        scenario: Scenario,
+        *,
+        controller: str,
+        v: float,
+        z: "int | None",
+        backend: "str | None",
+        controller_params: dict,
+        budget: float,
+        compiled: bool,
+        chunk: int,
+        probe: "Probe | None" = None,
+        registry: "MetricsRegistry | None" = None,
+        monitors: bool = False,
+        schedule: "CoordinatedBudget | None" = None,
+        own_states: bool = True,
+    ) -> None:
+        from repro.api import make_controller
+
+        self.cell = int(cell)
+        self.scenario = scenario
+        self.compiled = bool(compiled)
+        self.chunk = int(chunk)
+        self.probe = probe
+        self.own_states = bool(own_states)
+        self.suite: "MonitorSuite | None" = None
+        if monitors:
+            self.suite = MonitorSuite(
+                default_monitors(budget=float(budget), network=scenario.network),
+                labels={"cell": self.cell},
+            ).attach(probe)
+        self.schedule = (
+            schedule if schedule is not None else CoordinatedBudget(float(budget))
+        )
+        with telemetry_context(registry, {"cell": self.cell}):
+            self.controller = make_controller(
+                controller,
+                scenario,
+                v=v,
+                z=z,
+                budget=self.schedule,
+                tracer=probe,
+                engine_backend=backend,
+                **controller_params,
+            )
+        self.generator = scenario.generator
+        self.generator.reset()
+        self.state_rng = scenario.state_rng()
+        self.plan = scenario.fault_plan if scenario.fault_plan else None
+        if self.plan is not None:
+            self.plan.reset()
+            self.plan_rng = scenario.fault_rng()
+        else:
+            self.plan_rng = None
+        self._alerts_shipped = 0
+
+    def segment(self, start: int, count: int, states=None):
+        """The slot-state iterator for one epoch (fault plan applied)."""
+        if states is None:
+            if self.compiled:
+                states = self.generator.compile_states(
+                    count, self.state_rng, chunk=self.chunk, start=start
+                )
+            else:
+                states = self.generator.states(count, self.state_rng, start=start)
+        if self.plan is not None:
+            states = self.plan.stream(
+                states, self.scenario.network, self.plan_rng, self.probe
+            )
+        return states
+
+    def run_epoch(
+        self, start: int, count: int, budget: float, states=None
+    ) -> "tuple[dict, float]":
+        """Advance the cell *count* slots under *budget*; return the
+        segment's metric lists and its mean spend."""
+        self.schedule.set(float(budget))
+        part = run_simulation(
+            self.controller, self.segment(start, count, states), tracer=self.probe
+        )
+        metrics = {k: getattr(part, k).tolist() for k in _METRIC_KEYS}
+        return metrics, float(part.time_average_cost())
+
+    # -- carry (checkpoint / salvage only; never per epoch) ---------------
+
+    def carry(self) -> dict:
+        out = {
+            "controller": self.controller.state_dict(),
+            "generator": self.generator.state_dict(),
+            "state_rng": self.state_rng.bit_generator.state,
+        }
+        if self.plan is not None:
+            out["plan"] = self.plan.state_dict()
+            out["plan_rng"] = self.plan_rng.bit_generator.state
+        return out
+
+    def load_carry(self, carry: dict) -> None:
+        self.controller.load_state_dict(carry["controller"])
+        self.generator.load_state_dict(carry["generator"])
+        self.state_rng.bit_generator.state = carry["state_rng"]
+        if self.plan is not None and carry.get("plan") is not None:
+            self.plan.load_state_dict(carry["plan"])
+            self.plan_rng.bit_generator.state = carry["plan_rng"]
+
+    # -- monitor alert shipping -------------------------------------------
+
+    def new_alerts(self) -> "list[dict]":
+        """Alerts raised since the last call (shipped per epoch)."""
+        if self.suite is None:
+            return []
+        alerts = self.suite.alerts
+        fresh = alerts[self._alerts_shipped :]
+        self._alerts_shipped = len(alerts)
+        return [a.to_dict() for a in fresh]
+
+    def mark_alerts_shipped(self) -> None:
+        """Swallow replayed-epoch alerts (the parent already saw them
+        live from the worker that died)."""
+        if self.suite is not None:
+            self._alerts_shipped = len(self.suite.alerts)
+
+
+# -- the worker process ----------------------------------------------------
+
+
+class _WorkerRuntime:
+    """Everything one resident worker owns for its pinned cells."""
+
+    def __init__(self, payload: dict) -> None:
+        self.cells: "list[int]" = list(payload["cells"])
+        self.trace_phases: bool = payload["trace_phases"]
+        telemetry: bool = payload["telemetry"]
+        monitors: bool = payload["monitors"]
+        self.registry = MetricsRegistry() if telemetry else None
+        self.blocks: "dict[int, SharedStateBlock]" = {}
+        for c, descriptor in (payload.get("shared") or {}).items():
+            self.blocks[c] = SharedStateBlock.attach(descriptor)
+        want_probe = self.trace_phases or telemetry or monitors
+        self.runtimes: "dict[int, CellRuntime]" = {}
+        for c in self.cells:
+            probe = Probe() if want_probe else None
+            if self.registry is not None:
+                probe.add_sink(TelemetrySink(self.registry, labels={"cell": c}))
+            self.runtimes[c] = CellRuntime(
+                c,
+                payload["scenarios"][c],
+                controller=payload["controller"],
+                v=payload["v"],
+                z=payload["z"],
+                backend=payload["backends"][c],
+                controller_params=payload["controller_params"],
+                budget=payload["initial_budgets"][c],
+                compiled=payload["compiled"],
+                chunk=payload["chunk"],
+                probe=probe,
+                registry=self.registry,
+                monitors=monitors,
+                own_states=c not in self.blocks,
+            )
+
+    def _block_states(self, cell: int, buffer: int, start: int, count: int):
+        arrays = self.blocks[cell].arrays(buffer)
+        cycles = arrays["cycles"]
+        bits = arrays["bits"]
+        se = arrays["se"]
+        price = arrays["price"]
+        for j in range(count):
+            yield SlotState.trusted(
+                t=start + j,
+                cycles=cycles[j],
+                bits=bits[j],
+                spectral_efficiency=se[j],
+                price=float(price[j]),
+            )
+
+    def run_epoch(self, data: dict) -> dict:
+        start, count = data["start"], data["count"]
+        buffer = data.get("buffer")
+        budgets = data["budgets"]
+        cells_out = {}
+        for c in self.cells:
+            runtime = self.runtimes[c]
+            states = (
+                self._block_states(c, buffer, start, count)
+                if buffer is not None and c in self.blocks
+                else None
+            )
+            metrics, spend = runtime.run_epoch(
+                start, count, budgets[c], states=states
+            )
+            out = {"metrics": metrics, "spend": spend}
+            if runtime.suite is not None:
+                out["alerts"] = runtime.new_alerts()
+            cells_out[c] = out
+        reply = {"cells": cells_out}
+        if self.registry is not None:
+            reply["telemetry"] = self.registry.snapshot_delta()
+        return reply
+
+    def pull(self) -> dict:
+        return {c: self.runtimes[c].carry() for c in self.cells}
+
+    def load(self, data: dict) -> None:
+        for c, carry in data["carries"].items():
+            self.runtimes[c].load_carry(carry)
+
+    def replay(self, data: dict) -> None:
+        """Re-run recorded epochs to rebuild in-place state (salvage).
+
+        Metrics are discarded (the parent kept the originals), the
+        telemetry delta is swallowed (the dead worker already shipped
+        those epochs), and replayed alerts are marked shipped -- only
+        the cross-slot state matters, and it lands bit-identical
+        because every input (budgets, streams) is the recorded one.
+        """
+        for start, count, budgets in data["epochs"]:
+            for c in self.cells:
+                self.runtimes[c].run_epoch(start, count, budgets[c])
+        if self.registry is not None:
+            self.registry.snapshot_delta()
+        for runtime in self.runtimes.values():
+            runtime.mark_alerts_shipped()
+
+    def finish(self) -> dict:
+        out = {}
+        for c in self.cells:
+            runtime = self.runtimes[c]
+            cell: dict = {}
+            if runtime.suite is not None:
+                report = runtime.suite.finish()
+                cell["statuses"] = [
+                    {
+                        "name": s.name,
+                        "status": s.status,
+                        "detail": s.detail,
+                        "alerts": s.alerts,
+                    }
+                    for s in report.statuses
+                ]
+                cell["alerts"] = [a.to_dict() for a in report.alerts]
+            if self.trace_phases and runtime.probe is not None:
+                cell["phase_state"] = runtime.probe.phases.state_dict()
+            out[c] = cell
+        reply = {"cells": out}
+        if self.registry is not None:
+            # End-of-run monitor checks count into the registry after
+            # the last epoch's delta shipped; flush the remainder.
+            reply["telemetry"] = self.registry.snapshot_delta()
+        return reply
+
+    def close(self) -> None:
+        for block in self.blocks.values():
+            block.close()
+
+
+def _worker_main(conn, payload: dict) -> None:
+    """Resident worker loop: build once, answer commands until stopped."""
+    try:
+        runtime = _WorkerRuntime(payload)
+    except BaseException as exc:  # noqa: BLE001 - ship init failures home
+        try:
+            conn.send(("error", {"stage": "init", "error": repr(exc)}))
+        except Exception:
+            pass
+        return
+    try:
+        while True:
+            try:
+                command, data = conn.recv()
+            except (EOFError, OSError):
+                break
+            try:
+                if command == "epoch":
+                    conn.send(("ok", runtime.run_epoch(data)))
+                elif command == "pull":
+                    conn.send(("ok", runtime.pull()))
+                elif command == "load":
+                    runtime.load(data)
+                    conn.send(("ok", None))
+                elif command == "replay":
+                    runtime.replay(data)
+                    conn.send(("ok", None))
+                elif command == "finish":
+                    conn.send(("ok", runtime.finish()))
+                elif command == "stop":
+                    break
+                else:
+                    conn.send(
+                        ("error", {"error": f"unknown command {command!r}"})
+                    )
+            except BaseException as exc:  # noqa: BLE001 - report, then die
+                # In-place state may be mid-epoch (poisoned); the parent
+                # kills and rebuilds this worker rather than reusing it.
+                try:
+                    conn.send(
+                        ("error", {"cmd": command, "error": repr(exc)})
+                    )
+                except Exception:
+                    pass
+                break
+    finally:
+        runtime.close()
+        try:
+            conn.close()
+        except Exception:
+            pass
+
+
+# -- the parent-side handle ------------------------------------------------
+
+
+class ResidentWorker:
+    """Parent handle for one resident worker process.
+
+    The init *payload* (cell scenarios, controller recipe, initial
+    budget shares, shared-block descriptors) is kept so :meth:`respawn`
+    can rebuild a dead worker identically; the salvage path then
+    replays it back to the current slot.
+    """
+
+    def __init__(self, index: int, cells: "list[int]", payload: dict, ctx=None) -> None:
+        self.index = int(index)
+        self.cells = list(cells)
+        self._payload = payload
+        self._ctx = ctx if ctx is not None else _mp_context()
+        self.process = None
+        self.conn = None
+        self.spawn()
+
+    def spawn(self) -> None:
+        parent_conn, child_conn = self._ctx.Pipe()
+        self.process = self._ctx.Process(
+            target=_worker_main, args=(child_conn, self._payload), daemon=True
+        )
+        self.process.start()
+        child_conn.close()
+        self.conn = parent_conn
+
+    def send(self, command: str, data: "dict | None" = None) -> None:
+        try:
+            self.conn.send((command, data))
+        except (BrokenPipeError, OSError) as exc:
+            raise WorkerFailure(
+                f"worker {self.index}: pipe broken sending {command!r}: {exc}"
+            ) from exc
+
+    def recv(self, timeout: "float | None" = None):
+        try:
+            if timeout is not None and not self.conn.poll(timeout):
+                raise WorkerFailure(
+                    f"worker {self.index}: no reply within {timeout}s"
+                )
+            status, payload = self.conn.recv()
+        except WorkerFailure:
+            raise
+        except (EOFError, OSError, ConnectionError) as exc:
+            raise WorkerFailure(f"worker {self.index} died: {exc}") from exc
+        if status != "ok":
+            raise WorkerFailure(f"worker {self.index} failed: {payload}")
+        return payload
+
+    def call(self, command: str, data: "dict | None" = None,
+             timeout: "float | None" = None):
+        self.send(command, data)
+        return self.recv(timeout)
+
+    def kill(self) -> None:
+        if self.conn is not None:
+            try:
+                self.conn.close()
+            except Exception:
+                pass
+            self.conn = None
+        if self.process is not None:
+            if self.process.is_alive():
+                self.process.kill()
+            self.process.join(timeout=5)
+            self.process = None
+
+    def respawn(self) -> None:
+        """Replace a dead worker with a fresh one (state at slot 0)."""
+        self.kill()
+        self.spawn()
+
+    def stop(self) -> None:
+        """Graceful shutdown; falls back to kill."""
+        try:
+            if self.conn is not None:
+                self.send("stop")
+        except WorkerFailure:
+            pass
+        if self.process is not None:
+            self.process.join(timeout=5)
+        self.kill()
+
+
+# -- parent-side shared-state pipeline -------------------------------------
+
+
+class SharedStatePlanner:
+    """Owns the live per-cell state streams and fills shared blocks.
+
+    The parent draws each epoch's slot states exactly the way the
+    sequential path would (same generator calls, same rng consumption)
+    and writes them into per-cell double-buffered struct-of-arrays
+    blocks; workers map the blocks zero-copy.  Buffer ``e % 2`` holds
+    epoch ``e``, so filling epoch ``e + 1`` never races the workers
+    still reading epoch ``e``, and the fill for ``e + 2`` only starts
+    after ``e``'s results were collected.
+    """
+
+    #: Slot-state fields materialised per cell (optional arrays --
+    #: fronthaul/availability -- are unsupported; see :meth:`supported`).
+    _BUFFERS = 2
+
+    def __init__(
+        self, scenarios: "list[Scenario]", *, epoch: int, compiled: bool, chunk: int
+    ) -> None:
+        self.scenarios = scenarios
+        self.compiled = bool(compiled)
+        self.chunk = int(chunk)
+        self.blocks: "dict[int, SharedStateBlock]" = {}
+        self.rngs = {}
+        # Boundary stream states captured at each fill: the pipelined
+        # fill of epoch ``e + 1`` advances the live stream past the
+        # carry pull at the end of epoch ``e``, so carries must read
+        # the state snapshotted when ``e`` itself was compiled.
+        self._boundaries: "dict[int, dict[int, dict]]" = {}
+        for c, sc in enumerate(scenarios):
+            devices = sc.network.num_devices
+            stations = sc.network.num_base_stations
+            self.blocks[c] = SharedStateBlock.create(
+                {
+                    "cycles": ((epoch, devices), np.float64),
+                    "bits": ((epoch, devices), np.float64),
+                    "se": ((epoch, devices, stations), np.float64),
+                    "price": ((epoch,), np.float64),
+                },
+                buffers=self._BUFFERS,
+            )
+            sc.generator.reset()
+            self.rngs[c] = sc.state_rng()
+
+    @staticmethod
+    def supported(scenarios: "list[Scenario]") -> bool:
+        """Whether every cell's states fit the fixed-field layout.
+
+        Fronthaul/outage models emit optional per-slot arrays the
+        struct-of-arrays blocks do not carry, and a fault plan must
+        wrap the stream inside the worker (its components build new
+        states); those compositions fall back to worker-side drawing.
+        """
+        for sc in scenarios:
+            generator = sc.generator
+            if generator.fronthaul is not None or generator.faults is not None:
+                return False
+            if sc.fault_plan:
+                return False
+        return True
+
+    def descriptors(self) -> dict:
+        return {c: block.descriptor() for c, block in self.blocks.items()}
+
+    def fill(self, epoch_index: int, start: int, count: int) -> int:
+        """Compile slots ``[start, start + count)`` for every cell into
+        the epoch's buffer; returns the buffer index workers read.
+
+        Also snapshots the end-of-epoch stream state (generator + rng)
+        under *epoch_index* for :meth:`stream_state`; only the last two
+        boundaries are kept (the double buffer's working set).
+        """
+        buffer = epoch_index % self._BUFFERS
+        boundary = {}
+        for c, sc in enumerate(self.scenarios):
+            arrays = self.blocks[c].arrays(buffer)
+            if self.compiled:
+                stream = sc.generator.compile_states(
+                    count, self.rngs[c], chunk=self.chunk, start=start
+                )
+            else:
+                stream = sc.generator.states(count, self.rngs[c], start=start)
+            for j, state in enumerate(stream):
+                arrays["cycles"][j] = state.cycles
+                arrays["bits"][j] = state.bits
+                arrays["se"][j] = state.spectral_efficiency
+                arrays["price"][j] = state.price
+            boundary[c] = {
+                "generator": sc.generator.state_dict(),
+                "state_rng": self.rngs[c].bit_generator.state,
+            }
+        self._boundaries[epoch_index] = boundary
+        for old in [k for k in self._boundaries if k < epoch_index - 1]:
+            del self._boundaries[old]
+        return buffer
+
+    # -- stream state for carries (the parent owns the live stream) -------
+
+    def stream_state(self, cell: int, epoch_index: int) -> dict:
+        """The stream state as of the *end* of epoch *epoch_index* --
+        i.e. the boundary captured when that epoch's states compiled,
+        immune to the fill-ahead having advanced the live stream."""
+        return self._boundaries[epoch_index][cell]
+
+    def load_stream_state(self, cell: int, carry: dict) -> None:
+        self.scenarios[cell].generator.load_state_dict(carry["generator"])
+        self.rngs[cell].bit_generator.state = carry["state_rng"]
+
+    def close(self) -> None:
+        for block in self.blocks.values():
+            block.close()

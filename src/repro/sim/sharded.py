@@ -14,31 +14,53 @@ Execution is epoch-segmented exactly like checkpoint/resume: each cell
 keeps one continuing state rng and draws its compiled states segment by
 segment (``compile_states(count, rng, start=completed)``), which is
 bit-identical to one uninterrupted pass.  With ``processes > 1`` the
-segments are shipped to a worker pool using the replication machinery's
-idiom -- a pinned per-worker context, per-job carry of the controller /
-generator / rng state (so any worker can run any cell's next epoch),
-per-job timeouts, pool rebuilds on crashes, and bounded retries.
+default ``runtime="resident"`` pins each cell's carry state inside a
+long-lived worker process (:mod:`repro.sim.shard_runtime`): controllers
+advance in place for the whole run, the parent ships only ``(slot
+range, budget shares)`` per epoch and receives compact metric /
+telemetry deltas back, compiled slot states travel through
+double-buffered shared-memory struct-of-arrays blocks (epoch ``e + 1``
+compiles while epoch ``e`` solves), and carry state crosses the process
+boundary only for checkpoints and salvage.  ``runtime="legacy"`` keeps
+PR 7's stateless epoch-job pool (full carry pickled per epoch) as the
+comparison oracle; ``benchmarks/bench_shard_runtime.py`` gates the two
+paths' fingerprints against each other.
+
+Fault tolerance: a resident worker that dies or times out is killed,
+respawned, and *replayed* -- its cells re-run from slot 0 (or from the
+last pulled carry) under the recorded per-epoch budget shares, which
+lands bit-identically in the state the dead worker held, so the merged
+trajectories match an undisturbed run exactly.  ``checkpoint=`` /
+``resume=`` on :meth:`ShardedController.run` extend the same carry
+machinery to on-disk snapshots
+(:class:`~repro.sim.checkpoint.ShardCheckpoint`).
 
 The one-cell plan degenerates to the unsharded pipeline: the original
 scenario object is reused verbatim, the coordinator's single share is
 the whole budget, and the merged trajectories are bit-identical to
 ``repro.api.run`` without sharding (asserted by
-``benchmarks/bench_scale_sweep.py`` and ``tests/test_sharding.py``).
+``benchmarks/bench_scale_sweep.py`` and ``tests/test_sharding.py``) --
+including a scenario-level :class:`~repro.sim.faults.FaultPlan`, which
+every execution path applies from the plan's own stream with its cursor
+(plan state + plan rng) carried across epochs.
 """
 
 from __future__ import annotations
 
 import copy
+import hashlib
+import json
 import logging
 from concurrent.futures import ProcessPoolExecutor
 from concurrent.futures import TimeoutError as FuturesTimeout
 from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass, field
+from pathlib import Path
 
 import numpy as np
 
 from repro.core.budget import BudgetCoordinator, ConstantBudget
-from repro.exceptions import ConfigurationError, SolverError
+from repro.exceptions import CheckpointError, ConfigurationError, SolverError
 from repro.network.partition import CellPlan, extract_subnetwork, partition_cells
 from repro.obs.monitors import (
     Alert,
@@ -50,19 +72,46 @@ from repro.obs.monitors import (
 from repro.obs.probe import Probe, Tracer, as_tracer
 from repro.obs.telemetry import MetricsRegistry, TelemetrySink, telemetry_context
 from repro.radio.mobility import StaticMobility
+from repro.sim.checkpoint import ShardCheckpoint
 from repro.sim.engine import run_simulation
 from repro.sim.results import SimulationResult, SimulationSummary
 from repro.sim.scenario import Scenario, StateGenerator
+from repro.sim.shard_runtime import (
+    CellRuntime,
+    ResidentWorker,
+    SharedStatePlanner,
+    WorkerFailure,
+    _mp_context,
+)
 
 logger = logging.getLogger(__name__)
 
 __all__ = [
+    "RUNTIME_NAMES",
     "ShardedController",
     "ShardedResult",
     "merge_cell_metrics",
     "run_sharded",
     "shard_scenarios",
 ]
+
+#: Pooled execution runtimes: ``"resident"`` keeps each cell's state
+#: inside a long-lived worker (the default); ``"legacy"`` is PR 7's
+#: stateless epoch-job pool, kept as the bit-identical oracle.
+RUNTIME_NAMES = ("resident", "legacy")
+
+
+class _HaltRequested(RuntimeError):
+    """Test seam: the run was asked to stop right after a checkpoint
+    write (set ``ShardedController._halt_after_slots``)."""
+
+
+@dataclass
+class _CheckpointPlan:
+    """Where and how often :meth:`ShardedController.run` snapshots."""
+
+    path: Path
+    every: int
 
 _METRIC_KEYS = ("latency", "cost", "theta", "backlog", "solve_seconds", "price")
 
@@ -75,17 +124,18 @@ def shard_scenarios(scenario: Scenario, plan: CellPlan) -> list[Scenario]:
     """Carve one scenario into an independent scenario per cell.
 
     The one-cell plan returns ``[scenario]`` -- the *same object*, same
-    seed bank, same stream labels -- which is what makes the one-cell
-    sharded run bit-identical to the unsharded pipeline.  Multi-cell
-    plans give each cell its own sub-topology
+    seed bank, same stream labels, fault plan included -- which is what
+    makes the one-cell sharded run bit-identical to the unsharded
+    pipeline.  Multi-cell plans give each cell its own sub-topology
     (:func:`~repro.network.partition.extract_subnetwork`), a sliced
     task generator, deep-copied channel/price models, a child seed bank
     (independent streams per cell), and a fair share of the budget.
 
     Raises:
-        ConfigurationError: The scenario uses features the sharded
-            engine does not support (mobility, a fronthaul/outage
-            model, a fault plan, or an unsliceable task generator).
+        ConfigurationError: A *multi-cell* plan was requested for a
+            scenario using features the sharded engine cannot split
+            (mobility, a fronthaul/outage model, a fault plan, or an
+            unsliceable task generator).
     """
     if plan.num_cells == 1:
         return [scenario]
@@ -340,11 +390,28 @@ class ShardedController:
             cell (heterogeneous shards).
         processes: Worker processes; ``None``/1 runs cells sequentially
             in-process (no pickling), which on a single core is just as
-            fast and is bit-identical to the pooled path.
-        timeout_seconds: Per-epoch-job deadline on the pooled path; a
-            blown deadline burns one retry and rebuilds the pool.
-        max_retries: Extra attempts per (cell, epoch) job after its
-            first failure on the pooled path.
+            fast and is bit-identical to the pooled paths.
+        runtime: Pooled execution runtime (``processes > 1`` only).
+            ``"resident"`` (default) pins each cell's carry state in a
+            long-lived worker and ships only slot ranges and budget
+            shares per epoch; ``"legacy"`` re-pickles the full carry
+            into a stateless pool job every epoch (PR 7 behaviour).
+            Both are bit-identical to the sequential path.
+        shared_states: Ship compiled slot states to resident workers
+            through double-buffered shared-memory blocks, compiling
+            epoch ``e + 1`` while epoch ``e`` solves.  ``None`` (auto)
+            enables it whenever the scenario's states fit the fixed
+            layout (no fronthaul/outage models, no fault plan);
+            ``True`` insists and raises when they do not.
+        carry_every: Pull per-cell carry state from resident workers
+            every N epochs so salvage replays at most N epochs instead
+            of the whole run.  ``None`` (default) skips the periodic
+            pull; a checkpoint write always pulls.
+        timeout_seconds: Per-epoch reply deadline on the pooled paths;
+            a blown deadline burns one retry and rebuilds the worker
+            (resident) or the pool (legacy).
+        max_retries: Extra attempts per epoch, per cell (legacy) or per
+            worker (resident), after the first failure.
         tracer: Parent observability tracer; per-cell probes are merged
             into it (``shard.*`` events mark epochs and re-splits).
         registry: A live :class:`~repro.obs.telemetry.MetricsRegistry`
@@ -382,6 +449,9 @@ class ShardedController:
         smoothing: float = 0.5,
         engine_backend: "str | list | tuple | None" = None,
         processes: "int | None" = None,
+        runtime: str = "resident",
+        shared_states: "bool | None" = None,
+        carry_every: "int | None" = None,
         timeout_seconds: "float | None" = None,
         max_retries: int = 2,
         tracer: "Tracer | None" = None,
@@ -398,6 +468,15 @@ class ShardedController:
             raise ConfigurationError(f"epoch must be >= 1, got {epoch}")
         if max_retries < 0:
             raise ConfigurationError("max_retries must be >= 0")
+        if runtime not in RUNTIME_NAMES:
+            raise ConfigurationError(
+                f"unknown sharded runtime {runtime!r}; "
+                f"expected one of {RUNTIME_NAMES}"
+            )
+        if carry_every is not None and int(carry_every) < 1:
+            raise ConfigurationError(
+                f"carry_every must be >= 1, got {carry_every}"
+            )
         if isinstance(cells, CellPlan):
             plan = cells
         else:
@@ -415,12 +494,21 @@ class ShardedController:
         )
         self.epoch = int(epoch)
         self.processes = processes
+        self.runtime = runtime
+        self.shared_states = shared_states
+        self.carry_every = None if carry_every is None else int(carry_every)
         self.timeout_seconds = timeout_seconds
         self.max_retries = int(max_retries)
         self.tracer = as_tracer(tracer)
         self.registry = registry
         self.monitors = bool(monitors)
         self._health: "HealthReport | None" = None
+        # Test seams (chaos/resilience suites set these post-construction):
+        # kill worker w right after dispatching epoch e; halt the run
+        # right after the first checkpoint write at/after a slot count.
+        self._chaos_kill: "tuple[int, int] | None" = None
+        self._chaos_fired = False
+        self._halt_after_slots: "int | None" = None
         self.controller_params = dict(controller_params)
         self.backends = self._resolve_backends(engine_backend)
         self.coordinator = BudgetCoordinator(
@@ -445,71 +533,75 @@ class ShardedController:
     # -- sequential path -------------------------------------------------
 
     def _run_sequential(
-        self, horizon: int, *, compiled: bool, chunk: int
-    ) -> "tuple[list[dict], list[np.ndarray]]":
+        self,
+        horizon: int,
+        *,
+        compiled: bool,
+        chunk: int,
+        ckpt: "_CheckpointPlan | None" = None,
+        resume_state: "ShardCheckpoint | None" = None,
+    ) -> "tuple[list[dict], list]":
         trace = self.tracer.enabled
+        if resume_state is not None:
+            self.coordinator.load_state_dict(resume_state.coordinator)
         # Per-cell probes exist whenever anything consumes events: the
         # parent tracer, the live metrics registry, or the monitors.
         want_probe = trace or self.registry is not None or self.monitors
-        probes: list = [
-            Probe() if want_probe else None for _ in self.cell_scenarios
-        ]
-        suites: list = [None] * len(self.cell_scenarios)
-        if self.registry is not None:
-            for c, probe in enumerate(probes):
-                probe.add_sink(
-                    TelemetrySink(self.registry, labels={"cell": c})
-                )
-        if self.monitors:
-            for c, sc in enumerate(self.cell_scenarios):
-                suites[c] = MonitorSuite(
-                    default_monitors(
-                        budget=float(self.coordinator.budgets()[c]),
-                        network=sc.network,
-                    ),
-                    labels={"cell": c},
-                ).attach(probes[c])
-        controllers = []
+        initial = self.coordinator.budgets()
+        runtimes: "list[CellRuntime]" = []
         for c, sc in enumerate(self.cell_scenarios):
-            with telemetry_context(self.registry, {"cell": c}):
-                controllers.append(
-                    _build_cell_controller(
-                        sc,
-                        controller=self.controller_name,
-                        v=self.v,
-                        z=self.z,
-                        budget=self.coordinator.schedules[c],
-                        engine_backend=self.backends[c],
-                        tracer=probes[c],
-                        controller_params=self.controller_params,
-                    )
+            probe = Probe() if want_probe else None
+            if self.registry is not None:
+                probe.add_sink(TelemetrySink(self.registry, labels={"cell": c}))
+            # The same CellRuntime objects the resident workers hold:
+            # state advances in place, no state_dict()/load_state_dict()
+            # round-trip between epochs (asserted by test_sharding).
+            runtimes.append(
+                CellRuntime(
+                    c,
+                    sc,
+                    controller=self.controller_name,
+                    v=self.v,
+                    z=self.z,
+                    backend=self.backends[c],
+                    controller_params=self.controller_params,
+                    budget=float(initial[c]),
+                    compiled=compiled,
+                    chunk=chunk,
+                    probe=probe,
+                    registry=self.registry,
+                    monitors=self.monitors,
+                    schedule=self.coordinator.schedules[c],
                 )
-        rngs = []
-        for sc in self.cell_scenarios:
-            sc.generator.reset()
-            rngs.append(sc.state_rng())
+            )
         metrics = [
             {k: [] for k in _METRIC_KEYS} for _ in self.cell_scenarios
         ]
-        budgets_applied: list[np.ndarray] = []
+        budgets_applied: list = []
         completed = 0
+        if resume_state is not None:
+            completed = int(resume_state.completed)
+            metrics = [
+                {k: list(m.get(k, [])) for k in _METRIC_KEYS}
+                for m in resume_state.metrics
+            ]
+            budgets_applied = [
+                np.asarray(b, dtype=np.float64) for b in resume_state.budgets
+            ]
+            for c, runtime in enumerate(runtimes):
+                runtime.load_carry(resume_state.carries[c])
+        last_ckpt = completed
         while completed < horizon:
             count = min(self.epoch, horizon - completed)
-            budgets_applied.append(self.coordinator.budgets())
+            budgets = self.coordinator.budgets()
+            budgets_applied.append(budgets)
             spends = np.zeros(len(self.cell_scenarios))
-            for c, sc in enumerate(self.cell_scenarios):
-                if compiled:
-                    segment = sc.generator.compile_states(
-                        count, rngs[c], chunk=chunk, start=completed
-                    )
-                else:
-                    segment = sc.generator.states(
-                        count, rngs[c], start=completed
-                    )
-                part = run_simulation(controllers[c], segment, tracer=probes[c])
+            for c, runtime in enumerate(runtimes):
+                out, spends[c] = runtime.run_epoch(
+                    completed, count, float(budgets[c])
+                )
                 for key in _METRIC_KEYS:
-                    metrics[c][key].extend(getattr(part, key).tolist())
-                spends[c] = part.time_average_cost()
+                    metrics[c][key].extend(out[key])
             completed += count
             new_budgets = self.coordinator.update(spends)
             self._publish_epoch(completed, new_budgets)
@@ -522,14 +614,453 @@ class ShardedController:
                         "budgets": new_budgets.tolist(),
                     },
                 )
+            if ckpt is not None and completed - last_ckpt >= ckpt.every:
+                self._write_shard_checkpoint(
+                    ckpt.path,
+                    horizon,
+                    completed,
+                    {c: rt.carry() for c, rt in enumerate(runtimes)},
+                    metrics,
+                    budgets_applied,
+                )
+                last_ckpt = completed
         if trace and isinstance(self.tracer, Probe):
-            for c, probe in enumerate(probes):
+            for c, runtime in enumerate(runtimes):
                 self.tracer.merge_phase_state(
-                    probe.phases.state_dict(), order=(0, c)
+                    runtime.probe.phases.state_dict(), order=(0, c)
                 )
         if self.monitors:
-            self._health = self._assemble_health_sequential(suites)
+            self._health = self._assemble_health_sequential(
+                [rt.suite for rt in runtimes]
+            )
         return metrics, budgets_applied
+
+    # -- resident path -----------------------------------------------------
+
+    def _run_resident(
+        self,
+        horizon: int,
+        *,
+        compiled: bool,
+        chunk: int,
+        ckpt: "_CheckpointPlan | None" = None,
+        resume_state: "ShardCheckpoint | None" = None,
+    ) -> "tuple[list[dict], list]":
+        """The resident-worker epoch loop (the default pooled runtime).
+
+        Cells are pinned round-robin onto long-lived workers at spawn;
+        each epoch the parent ships only ``(slot range, budget shares,
+        shared-buffer index)`` and receives metric/telemetry deltas
+        back.  While the workers solve epoch ``e`` the parent compiles
+        epoch ``e + 1``'s slot states into the shared-memory double
+        buffer (when :class:`SharedStatePlanner` supports the scenario)
+        and the coordinator's spends arrive just in time for the next
+        split.  A dead or hung worker is killed, respawned, restored
+        from the last pulled carry (or slot 0), and *replayed* through
+        the recorded budget history -- bit-identical, so the merged
+        trajectories match an undisturbed run exactly.
+        """
+        trace = self.tracer.enabled
+        num_cells = len(self.cell_scenarios)
+        workers_n = max(1, min(int(self.processes), num_cells))
+        if resume_state is not None:
+            self.coordinator.load_state_dict(resume_state.coordinator)
+        shared_ok = SharedStatePlanner.supported(self.cell_scenarios)
+        if self.shared_states is True and not shared_ok:
+            raise ConfigurationError(
+                "shared_states=True needs plain state streams "
+                "(no fronthaul/outage models, no fault plan)"
+            )
+        use_shared = shared_ok if self.shared_states is None else bool(self.shared_states)
+        planner = (
+            SharedStatePlanner(
+                self.cell_scenarios, epoch=self.epoch, compiled=compiled, chunk=chunk
+            )
+            if use_shared
+            else None
+        )
+        ctx = _mp_context()
+        initial = self.coordinator.budgets()
+        descriptors = planner.descriptors() if planner is not None else {}
+        workers: "list[ResidentWorker]" = []
+        metrics = [{k: [] for k in _METRIC_KEYS} for _ in range(num_cells)]
+        budgets_applied: list = []
+        completed = 0
+        if resume_state is not None:
+            completed = int(resume_state.completed)
+            metrics = [
+                {k: list(m.get(k, [])) for k in _METRIC_KEYS}
+                for m in resume_state.metrics
+            ]
+            budgets_applied = [
+                np.asarray(b, dtype=np.float64) for b in resume_state.budgets
+            ]
+        last_ckpt = completed
+        # Salvage bookkeeping: the recorded per-epoch budget shares of
+        # *this* session, and the most recent full carry pull a rebuilt
+        # worker can restart from (None = replay from slot 0).
+        budget_history: "list[tuple[int, int, dict]]" = []
+        base_carries: "dict | None" = None
+        base_epoch = 0
+        if resume_state is not None:
+            base_carries = {
+                c: resume_state.carries[c] for c in range(num_cells)
+            }
+        attempts: dict[int, int] = {}
+
+        def rebuild(worker, exc, replay_to, epoch_data):
+            """Respawn a failed worker and replay it to *replay_to*
+            session epochs; re-dispatch *epoch_data* when given."""
+            while True:
+                if not self._note_worker_failure(attempts, worker, exc):
+                    raise SolverError(
+                        f"worker {worker.index} (cells {worker.cells}) "
+                        f"failed permanently: {exc}"
+                    ) from exc
+                worker.respawn()
+                history = budget_history[
+                    base_epoch if base_carries is not None else 0 : replay_to
+                ]
+                deadline = self.timeout_seconds
+                try:
+                    if base_carries is not None:
+                        worker.call(
+                            "load",
+                            {
+                                "carries": {
+                                    c: base_carries[c] for c in worker.cells
+                                }
+                            },
+                            timeout=deadline,
+                        )
+                    if history:
+                        worker.call(
+                            "replay",
+                            {"epochs": history},
+                            timeout=(
+                                None
+                                if deadline is None
+                                else deadline * max(1, len(history))
+                            ),
+                        )
+                    if epoch_data is not None:
+                        worker.send("epoch", epoch_data(worker))
+                except WorkerFailure as next_exc:
+                    exc = next_exc
+                    continue
+                if trace:
+                    self.tracer.event(
+                        "shard.worker_rebuilt",
+                        {"worker": worker.index, "cells": worker.cells},
+                    )
+                return
+
+        epochs: "list[tuple[int, int]]" = []
+        s = completed
+        while s < horizon:
+            n = min(self.epoch, horizon - s)
+            epochs.append((s, n))
+            s += n
+
+        try:
+            for w in range(workers_n):
+                cells_w = list(range(w, num_cells, workers_n))
+                payload = {
+                    "cells": cells_w,
+                    "scenarios": {c: self.cell_scenarios[c] for c in cells_w},
+                    "controller": self.controller_name,
+                    "v": self.v,
+                    "z": self.z,
+                    "backends": {c: self.backends[c] for c in cells_w},
+                    "controller_params": self.controller_params,
+                    "initial_budgets": {c: float(initial[c]) for c in cells_w},
+                    "compiled": compiled,
+                    "chunk": chunk,
+                    "trace_phases": trace,
+                    "telemetry": self.registry is not None,
+                    "monitors": self.monitors,
+                    "shared": (
+                        {c: descriptors[c] for c in cells_w}
+                        if planner is not None
+                        else None
+                    ),
+                }
+                workers.append(ResidentWorker(w, cells_w, payload, ctx=ctx))
+            if resume_state is not None:
+                for worker in workers:
+                    worker.call(
+                        "load",
+                        {
+                            "carries": {
+                                c: resume_state.carries[c]
+                                for c in worker.cells
+                            }
+                        },
+                        timeout=self.timeout_seconds,
+                    )
+                if planner is not None:
+                    for c in range(num_cells):
+                        planner.load_stream_state(c, resume_state.carries[c])
+            if planner is not None and epochs:
+                buffer = planner.fill(0, *epochs[0])
+            else:
+                buffer = None
+            next_buffer = None
+            for e, (start, count) in enumerate(epochs):
+                budgets = self.coordinator.budgets()
+                budgets_applied.append(budgets)
+                shares = {c: float(budgets[c]) for c in range(num_cells)}
+                budget_history.append((start, count, shares))
+                attempts.clear()
+
+                def epoch_data(worker, _start=start, _count=count,
+                               _buffer=buffer, _shares=shares):
+                    return {
+                        "start": _start,
+                        "count": _count,
+                        "buffer": _buffer,
+                        "budgets": {c: _shares[c] for c in worker.cells},
+                    }
+
+                for worker in workers:
+                    try:
+                        worker.send("epoch", epoch_data(worker))
+                    except WorkerFailure as exc:
+                        rebuild(worker, exc, e, epoch_data)
+                # Pipelining: compile the next epoch's states into the
+                # other buffer while the workers are solving this one.
+                if planner is not None and e + 1 < len(epochs):
+                    next_buffer = planner.fill(e + 1, *epochs[e + 1])
+                if (
+                    self._chaos_kill is not None
+                    and not self._chaos_fired
+                    and self._chaos_kill[0] == e
+                ):
+                    self._chaos_fired = True
+                    victim = workers[self._chaos_kill[1] % len(workers)]
+                    if victim.process is not None:
+                        victim.process.kill()
+                spends = np.zeros(num_cells)
+                for worker in workers:
+                    while True:
+                        try:
+                            reply = worker.recv(self.timeout_seconds)
+                            break
+                        except WorkerFailure as exc:
+                            rebuild(worker, exc, e, epoch_data)
+                    for c, out in reply["cells"].items():
+                        for key in _METRIC_KEYS:
+                            metrics[c][key].extend(out["metrics"][key])
+                        spends[c] = out["spend"]
+                        for data in out.get("alerts", ()):
+                            if trace:
+                                self.tracer.event("alert", data)
+                    if self.registry is not None:
+                        self.registry.merge_snapshot(
+                            reply.get("telemetry"), generation=start + 1
+                        )
+                buffer = next_buffer
+                completed = start + count
+                session_done = e + 1
+                new_budgets = self.coordinator.update(spends)
+                self._publish_epoch(completed, new_budgets)
+                if trace:
+                    self.tracer.event(
+                        "shard.epoch",
+                        {
+                            "completed": completed,
+                            "spends": spends.tolist(),
+                            "budgets": new_budgets.tolist(),
+                        },
+                    )
+                pull_due = (
+                    self.carry_every is not None
+                    and session_done % self.carry_every == 0
+                    and completed < horizon
+                )
+                ckpt_due = (
+                    ckpt is not None and completed - last_ckpt >= ckpt.every
+                )
+                if pull_due or ckpt_due:
+                    carries: dict = {}
+                    for worker in workers:
+                        while True:
+                            try:
+                                carries.update(
+                                    worker.call(
+                                        "pull", timeout=self.timeout_seconds
+                                    )
+                                )
+                                break
+                            except WorkerFailure as exc:
+                                rebuild(worker, exc, session_done, None)
+                    if planner is not None:
+                        # The parent owns the live state stream in
+                        # shared mode; patch this epoch's boundary
+                        # snapshot into the carries so a restore
+                        # re-creates both sides consistently.
+                        for c in range(num_cells):
+                            carries[c] = dict(carries[c])
+                            carries[c].update(planner.stream_state(c, e))
+                    base_carries = carries
+                    base_epoch = session_done
+                    if ckpt_due:
+                        self._write_shard_checkpoint(
+                            ckpt.path,
+                            horizon,
+                            completed,
+                            carries,
+                            metrics,
+                            budgets_applied,
+                        )
+                        last_ckpt = completed
+            finish_out: dict = {}
+            for worker in workers:
+                while True:
+                    try:
+                        reply = worker.call(
+                            "finish", timeout=self.timeout_seconds
+                        )
+                        break
+                    except WorkerFailure as exc:
+                        rebuild(worker, exc, len(budget_history), None)
+                finish_out.update(reply["cells"])
+                if self.registry is not None:
+                    self.registry.merge_snapshot(
+                        reply.get("telemetry"), generation=horizon + 1
+                    )
+            if trace and isinstance(self.tracer, Probe):
+                for c in range(num_cells):
+                    state = finish_out.get(c, {}).get("phase_state")
+                    if state is not None:
+                        self.tracer.merge_phase_state(state, order=(0, c))
+            if self.monitors:
+                self._health = self._assemble_health_resident(finish_out)
+        finally:
+            for worker in workers:
+                worker.stop()
+            if planner is not None:
+                planner.close()
+        return metrics, budgets_applied
+
+    def _note_worker_failure(
+        self, attempts: dict, worker: "ResidentWorker", exc: Exception
+    ) -> bool:
+        attempts[worker.index] = attempts.get(worker.index, 0) + 1
+        retry = attempts[worker.index] <= self.max_retries
+        logger.warning(
+            "resident worker %d (cells %s) failed (attempt %d/%d): %s",
+            worker.index,
+            worker.cells,
+            attempts[worker.index],
+            self.max_retries + 1,
+            exc,
+        )
+        if self.tracer.enabled:
+            self.tracer.counter("resilience.shard_retries", 1)
+            self.tracer.event(
+                "shard.retry",
+                {
+                    "worker": worker.index,
+                    "cells": worker.cells,
+                    "attempt": attempts[worker.index],
+                    "error": str(exc),
+                },
+            )
+            # Keep the partial trace whole-record durable before the
+            # salvage replay (same contract as the legacy pool path).
+            self.tracer.flush()
+        if self.registry is not None:
+            counter = self.registry.counter(
+                "repro_shard_retries_total",
+                "Sharded epoch jobs that failed and were retried",
+            )
+            for c in worker.cells:
+                counter.inc(1.0, cell=c)
+        return retry
+
+    def _assemble_health_resident(self, finish_out: dict) -> HealthReport:
+        statuses: list[MonitorStatus] = []
+        alerts: list[Alert] = []
+        for c in sorted(finish_out):
+            cell = finish_out[c]
+            for s in cell.get("statuses", ()):
+                statuses.append(
+                    MonitorStatus(
+                        name=f"cell{c}/{s['name']}",
+                        status=s["status"],
+                        detail=s["detail"],
+                        alerts=s["alerts"],
+                    )
+                )
+            for data in cell.get("alerts", ()):
+                alerts.append(
+                    Alert(
+                        monitor=data["monitor"],
+                        severity=data["severity"],
+                        message=data["message"],
+                        t=data.get("t"),
+                        data=dict(data.get("data", {})),
+                    )
+                )
+        return HealthReport(statuses=tuple(statuses), alerts=tuple(alerts))
+
+    # -- checkpoint plumbing -----------------------------------------------
+
+    def _config_hash(self, horizon: int) -> str:
+        config = {
+            "seed": self.scenario.seeds.seed,
+            "horizon": int(horizon),
+            "budget": float(self.total_budget),
+            "controller": self.controller_name,
+            "devices": self.scenario.network.num_devices,
+            "cells": self.plan.num_cells,
+            "epoch": self.epoch,
+            "coordinator": self.coordinator.mode,
+        }
+        return hashlib.sha256(
+            json.dumps(config, sort_keys=True).encode()
+        ).hexdigest()[:16]
+
+    def _write_shard_checkpoint(
+        self, path, horizon, completed, carries, metrics, budgets_applied
+    ) -> None:
+        ShardCheckpoint(
+            config_hash=self._config_hash(horizon),
+            horizon=int(horizon),
+            completed=int(completed),
+            coordinator=self.coordinator.state_dict(),
+            carries=[carries[c] for c in range(len(self.cell_scenarios))],
+            metrics=[{k: list(m[k]) for k in _METRIC_KEYS} for m in metrics],
+            budgets=[list(map(float, b)) for b in budgets_applied],
+        ).write(path)
+        if self.tracer.enabled:
+            self.tracer.counter("resilience.checkpoints", 1)
+            self.tracer.event(
+                "checkpoint", {"slot": int(completed), "path": str(path)}
+            )
+        if (
+            self._halt_after_slots is not None
+            and completed >= self._halt_after_slots
+        ):
+            raise _HaltRequested(
+                f"halted after checkpoint at slot {completed}"
+            )
+
+    def _load_shard_checkpoint(self, path: Path, horizon: int) -> ShardCheckpoint:
+        ck = ShardCheckpoint.load(path)
+        if ck.config_hash != self._config_hash(horizon):
+            raise CheckpointError(
+                f"checkpoint {path} belongs to a different sharded run "
+                f"(hash {ck.config_hash} != {self._config_hash(horizon)}); "
+                "pass resume=False to overwrite it"
+            )
+        if ck.horizon != horizon:
+            raise CheckpointError(
+                f"checkpoint {path} was taken for horizon {ck.horizon}, "
+                f"requested {horizon}"
+            )
+        return ck
 
     # -- pooled path -------------------------------------------------------
 
@@ -817,25 +1348,70 @@ class ShardedController:
         *,
         compiled_states: bool = True,
         state_chunk: int = 32,
+        checkpoint: "str | Path | None" = None,
+        checkpoint_every: "int | None" = None,
+        resume: bool = False,
     ) -> ShardedResult:
         """Simulate *horizon* slots across every cell and merge.
 
         Cells advance in lockstep epochs; after each epoch the budget
         coordinator re-splits ``Cbar`` from the observed spends.  The
         pooled and sequential paths produce bit-identical trajectories
-        (the pooled path replays the same carry-state arithmetic the
+        (the pooled paths replay the same carry-state arithmetic the
         checkpoint layer proved exact).
+
+        Args:
+            checkpoint: Snapshot the run to this path at epoch
+                boundaries (a :class:`~repro.sim.checkpoint.ShardCheckpoint`;
+                sequential and resident runtimes only).
+            checkpoint_every: Minimum slots between snapshots; defaults
+                to the epoch length (one snapshot per epoch).
+            resume: Continue from a matching snapshot at *checkpoint*;
+                without one the run starts fresh.  Resumed trajectories
+                are bit-identical to an uninterrupted run's.
         """
         if horizon < 0:
             raise ConfigurationError(f"horizon must be >= 0, got {horizon}")
         self._health = None
-        if self.processes is not None and self.processes > 1:
+        self._chaos_fired = False
+        pooled = self.processes is not None and self.processes > 1
+        ckpt = None
+        resume_state = None
+        if checkpoint is not None:
+            if pooled and self.runtime == "legacy":
+                raise ConfigurationError(
+                    "checkpointing needs the resident or sequential "
+                    "sharded runtime (the legacy pool keeps no parent-"
+                    "side carry between epochs)"
+                )
+            every = self.epoch if checkpoint_every is None else int(checkpoint_every)
+            if every < 1:
+                raise ConfigurationError(
+                    f"checkpoint interval must be >= 1, got {checkpoint_every}"
+                )
+            path = Path(checkpoint)
+            ckpt = _CheckpointPlan(path=path, every=every)
+            if resume and path.exists():
+                resume_state = self._load_shard_checkpoint(path, horizon)
+        if pooled and self.runtime == "resident":
+            metrics, budgets = self._run_resident(
+                horizon,
+                compiled=compiled_states,
+                chunk=state_chunk,
+                ckpt=ckpt,
+                resume_state=resume_state,
+            )
+        elif pooled:
             metrics, budgets = self._run_pooled(
                 horizon, compiled=compiled_states, chunk=state_chunk
             )
         else:
             metrics, budgets = self._run_sequential(
-                horizon, compiled=compiled_states, chunk=state_chunk
+                horizon,
+                compiled=compiled_states,
+                chunk=state_chunk,
+                ckpt=ckpt,
+                resume_state=resume_state,
             )
         merged = merge_cell_metrics(metrics, self.total_budget)
         cell_summaries = [
@@ -871,6 +1447,9 @@ def run_sharded(
     smoothing: float = 0.5,
     engine_backend: "str | list | tuple | None" = None,
     processes: "int | None" = None,
+    runtime: str = "resident",
+    shared_states: "bool | None" = None,
+    carry_every: "int | None" = None,
     timeout_seconds: "float | None" = None,
     max_retries: int = 2,
     tracer: "Tracer | None" = None,
@@ -878,6 +1457,9 @@ def run_sharded(
     monitors: bool = False,
     compiled_states: bool = True,
     state_chunk: int = 32,
+    checkpoint: "str | Path | None" = None,
+    checkpoint_every: "int | None" = None,
+    resume: bool = False,
     **controller_params: object,
 ) -> ShardedResult:
     """One-call sharded run: partition, coordinate, execute, merge.
@@ -899,6 +1481,9 @@ def run_sharded(
         smoothing=smoothing,
         engine_backend=engine_backend,
         processes=processes,
+        runtime=runtime,
+        shared_states=shared_states,
+        carry_every=carry_every,
         timeout_seconds=timeout_seconds,
         max_retries=max_retries,
         tracer=tracer,
@@ -907,5 +1492,10 @@ def run_sharded(
         **controller_params,
     )
     return sharded.run(
-        horizon, compiled_states=compiled_states, state_chunk=state_chunk
+        horizon,
+        compiled_states=compiled_states,
+        state_chunk=state_chunk,
+        checkpoint=checkpoint,
+        checkpoint_every=checkpoint_every,
+        resume=resume,
     )

@@ -241,3 +241,193 @@ class TestShardedRun:
             sharding.ShardedController(
                 metro_scenario(), 2, engine_backend=["numpy"] * 3
             )
+
+
+class TestResidentRuntime:
+    """The resident-worker pooled runtime (PR 9).
+
+    Contract: resident pooled execution is bit-identical to the
+    sequential path -- through worker death (salvage replay), fault
+    plans, checkpoint/resume, and with shared-memory state shipping on
+    or off.
+    """
+
+    def fault_plan(self):
+        from repro.sim.faults import (
+            FaultPlan,
+            PriceFeedDropouts,
+            ScriptedIncident,
+            ServerOutages,
+        )
+
+        return FaultPlan(
+            faults=(ServerOutages(), PriceFeedDropouts(mtbf_slots=3.0)),
+            schedule=[
+                ScriptedIncident(at=2, duration=3, kind="price_freeze"),
+                ScriptedIncident(
+                    at=1, duration=2, kind="server_down", targets=(0,)
+                ),
+            ],
+        )
+
+    def test_legacy_and_resident_match_sequential(self) -> None:
+        scenario = metro_scenario()
+        plan = sharding.partition_cells(
+            scenario.network, 2, rng=np.random.default_rng(3)
+        )
+        sequential = sharding.run_sharded(
+            scenario, horizon=4, cells=plan, epoch=2
+        )
+        resident = sharding.run_sharded(
+            metro_scenario(), horizon=4, cells=plan, epoch=2,
+            processes=2, runtime="resident",
+        )
+        legacy = sharding.run_sharded(
+            metro_scenario(), horizon=4, cells=plan, epoch=2,
+            processes=2, runtime="legacy",
+        )
+        assert_identical(sequential.merged, resident.merged)
+        assert_identical(sequential.merged, legacy.merged)
+
+    def test_shared_states_off_matches(self) -> None:
+        scenario = metro_scenario()
+        plan = sharding.partition_cells(
+            scenario.network, 2, rng=np.random.default_rng(3)
+        )
+        with_shm = sharding.run_sharded(
+            scenario, horizon=4, cells=plan, epoch=2,
+            processes=2, shared_states=True,
+        )
+        without = sharding.run_sharded(
+            metro_scenario(), horizon=4, cells=plan, epoch=2,
+            processes=2, shared_states=False,
+        )
+        assert_identical(with_shm.merged, without.merged)
+
+    def test_invalid_runtime_rejected(self) -> None:
+        with pytest.raises(ConfigurationError, match="runtime"):
+            sharding.ShardedController(metro_scenario(), 2, runtime="warp")
+
+    def test_one_cell_fault_plan_matches_unsharded(self) -> None:
+        baseline = repro.api.run(
+            scenario=metro_scenario(fault_plan=self.fault_plan()), horizon=6
+        )
+        sharded = sharding.run_sharded(
+            metro_scenario(fault_plan=self.fault_plan()),
+            horizon=6, cells=1, epoch=3,
+        )
+        assert_identical(baseline, sharded.merged)
+        # The plan actually fired: a fault-free run differs.
+        plain = repro.api.run(scenario=metro_scenario(), horizon=6)
+        assert not np.array_equal(plain.price, baseline.price)
+
+    def test_sequential_path_keeps_carry_resident(self, monkeypatch) -> None:
+        # Satellite 1: without checkpoints the sequential path never
+        # serializes per-cell carry state between epochs.
+        from repro.sim import shard_runtime
+
+        calls = {"carry": 0}
+        original = shard_runtime.CellRuntime.carry
+
+        def counting(self):
+            calls["carry"] += 1
+            return original(self)
+
+        monkeypatch.setattr(shard_runtime.CellRuntime, "carry", counting)
+        sharding.run_sharded(metro_scenario(), horizon=6, cells=2, epoch=2)
+        assert calls["carry"] == 0
+
+    def salvage_case(
+        self, *, carry_every=None, fault_plan=None, kill=(1, 0), cells=2
+    ):
+        scenario = metro_scenario(fault_plan=fault_plan)
+        plan = sharding.partition_cells(
+            scenario.network, cells, rng=np.random.default_rng(3)
+        )
+        undisturbed = sharding.run_sharded(
+            scenario, horizon=6, cells=plan, epoch=2,
+            processes=2, carry_every=carry_every,
+        )
+        ctrl = sharding.ShardedController(
+            metro_scenario(fault_plan=fault_plan), plan,
+            processes=2, epoch=2, carry_every=carry_every,
+        )
+        ctrl._chaos_kill = kill
+        salvaged = ctrl.run(6)
+        assert ctrl._chaos_fired
+        assert_identical(undisturbed.merged, salvaged.merged)
+        np.testing.assert_array_equal(undisturbed.budgets, salvaged.budgets)
+
+    def test_worker_death_salvage_bit_identical(self) -> None:
+        self.salvage_case()
+
+    def test_salvage_from_periodic_carry(self) -> None:
+        self.salvage_case(carry_every=1, kill=(2, 1))
+
+    def test_salvage_under_fault_plan(self) -> None:
+        # Fault plans shard only at one cell; the single resident
+        # worker is still killed mid-run and rebuilt by replay, with
+        # the plan's stochastic draws restored exactly.
+        self.salvage_case(fault_plan=self.fault_plan(), cells=1)
+
+    def test_checkpoint_resume_cross_runtime(self, tmp_path) -> None:
+        from repro.sim.sharded import _HaltRequested
+
+        scenario = metro_scenario()
+        plan = sharding.partition_cells(
+            scenario.network, 2, rng=np.random.default_rng(3)
+        )
+        baseline = sharding.run_sharded(
+            scenario, horizon=8, cells=plan, epoch=2
+        )
+        path = tmp_path / "shard.ckpt"
+        # Sequential writer, halted after the slot-4 snapshot ...
+        ctrl = sharding.ShardedController(metro_scenario(), plan, epoch=2)
+        ctrl._halt_after_slots = 4
+        with pytest.raises(_HaltRequested):
+            ctrl.run(8, checkpoint=path)
+        # ... resumed by resident pooled workers.
+        resumed = sharding.run_sharded(
+            metro_scenario(), horizon=8, cells=plan, epoch=2,
+            processes=2, checkpoint=path, resume=True,
+        )
+        assert_identical(baseline.merged, resumed.merged)
+        np.testing.assert_array_equal(baseline.budgets, resumed.budgets)
+
+        # And the reverse: resident writer, sequential reader.
+        path2 = tmp_path / "shard2.ckpt"
+        ctrl = sharding.ShardedController(
+            metro_scenario(), plan, epoch=2, processes=2
+        )
+        ctrl._halt_after_slots = 4
+        with pytest.raises(_HaltRequested):
+            ctrl.run(8, checkpoint=path2)
+        resumed = sharding.run_sharded(
+            metro_scenario(), horizon=8, cells=plan, epoch=2,
+            checkpoint=path2, resume=True,
+        )
+        assert_identical(baseline.merged, resumed.merged)
+
+    def test_checkpoint_config_mismatch_rejected(self, tmp_path) -> None:
+        from repro.exceptions import CheckpointError
+
+        plan = sharding.partition_cells(
+            metro_scenario().network, 2, rng=np.random.default_rng(3)
+        )
+        path = tmp_path / "shard.ckpt"
+        sharding.run_sharded(
+            metro_scenario(), horizon=4, cells=plan, epoch=2, checkpoint=path
+        )
+        with pytest.raises(CheckpointError, match="different sharded run"):
+            sharding.run_sharded(
+                metro_scenario(seed=10), horizon=4, cells=plan, epoch=2,
+                checkpoint=path, resume=True,
+            )
+
+    def test_legacy_checkpoint_rejected(self, tmp_path) -> None:
+        with pytest.raises(ConfigurationError, match="legacy"):
+            sharding.run_sharded(
+                metro_scenario(), horizon=4, cells=2, epoch=2,
+                processes=2, runtime="legacy",
+                checkpoint=tmp_path / "x.ckpt",
+            )

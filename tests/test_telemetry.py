@@ -438,3 +438,75 @@ class TestProfileReport:
         rows = histogram_summaries(reg, "repro_t_seconds")
         assert rows[0]["labels"]["phase"] == "hot"
         assert rows[0]["p95"] >= rows[0]["p50"] > 0.0
+
+
+class TestSnapshotDelta:
+    """Incremental flushes for resident workers (PR 9)."""
+
+    def test_counter_delta_ships_increments_only(self) -> None:
+        worker = MetricsRegistry()
+        c = worker.counter("repro_n_total")
+        c.inc(2.0, cell=0)
+        first = worker.snapshot_delta()
+        assert first["counters"]["repro_n"]["series"] == {(("cell", "0"),): 2.0}
+        c.inc(3.0, cell=0)
+        second = worker.snapshot_delta()
+        assert second["counters"]["repro_n"]["series"] == {(("cell", "0"),): 3.0}
+
+    def test_quiet_flush_returns_none(self) -> None:
+        worker = MetricsRegistry()
+        worker.counter("repro_n_total").inc(1.0)
+        assert worker.snapshot_delta() is not None
+        assert worker.snapshot_delta() is None
+        gen = worker.flush_generation
+        assert worker.snapshot_delta() is None
+        assert worker.flush_generation == gen + 1
+
+    def test_first_flush_ships_prebound_families(self) -> None:
+        # A sink pre-binds its crash counter at attach time; the first
+        # delta must carry the (empty) family so a parent registry
+        # exposes the same family set as a sequential run's.
+        worker = MetricsRegistry()
+        worker.counter("repro_crashes_total", "crashes")
+        worker.gauge("repro_q", "queue")
+        worker.histogram("repro_t_seconds", buckets=(1.0,))
+        delta = worker.snapshot_delta()
+        assert "repro_crashes" in delta["counters"]
+        assert "repro_q" in delta["gauges"]
+        assert "repro_t_seconds" in delta["histograms"]
+        parent = MetricsRegistry()
+        parent.merge_snapshot(delta, generation=1)
+        assert parent.get("repro_crashes_total") is not None
+
+    def test_deltas_merge_like_snapshots(self) -> None:
+        worker = MetricsRegistry()
+        parent = MetricsRegistry()
+        mirror = MetricsRegistry()  # merged from full snapshots
+        c = worker.counter("repro_n_total")
+        h = worker.histogram("repro_t_seconds", buckets=(1.0,))
+        g = worker.gauge("repro_q")
+        for epoch in range(3):
+            c.inc(1.0, cell=0)
+            h.observe(0.5 * epoch)
+            g.set(float(epoch))
+            parent.merge_snapshot(worker.snapshot_delta(), generation=epoch + 1)
+        mirror.merge_snapshot(worker.snapshot(), generation=3)
+        assert (
+            parent.counter("repro_n_total").value(cell=0)
+            == mirror.counter("repro_n_total").value(cell=0)
+            == 3.0
+        )
+        assert (
+            parent.histogram("repro_t_seconds").stats()
+            == mirror.histogram("repro_t_seconds").stats()
+        )
+        assert parent.gauge("repro_q").value() == 2.0
+
+    def test_gauge_delta_ships_on_restamp_even_if_value_same(self) -> None:
+        worker = MetricsRegistry()
+        g = worker.gauge("repro_q")
+        g.set(1.0)
+        worker.snapshot_delta()
+        g.set(1.0)  # same value, new stamp
+        delta = worker.snapshot_delta()
+        assert delta is not None and "repro_q" in delta["gauges"]
