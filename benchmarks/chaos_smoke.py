@@ -13,6 +13,11 @@ injected solver failures on a fixed fraction of slots:
    and resumes from the snapshot in a fresh controller/scenario
    reproduces the uninterrupted run's latency/cost/backlog trajectories
    and final virtual queue exactly (no tolerance).
+3. **Chaos at scale**: a 4-cell resident-runtime run under a fault plan
+   whose base-station outage spans every cell, with the same solver
+   chaos rate *plus* an injected hung worker, is detected by the
+   heartbeat watchdog, salvaged by replay, and ends bit-identical to
+   the undisturbed sharded run.
 
 Run directly: ``python benchmarks/chaos_smoke.py``.
 """
@@ -38,6 +43,7 @@ from repro.sim.faults import (  # noqa: E402
     FronthaulDegradation,
     MarkovOutages,
     PriceFeedDropouts,
+    ScriptedIncident,
     ServerOutages,
 )
 
@@ -182,11 +188,78 @@ def check_resume_equality() -> list[str]:
     ]
 
 
+def make_metro_scenario() -> repro.Scenario:
+    """A 4-cell-able metro topology under a cell-spanning fault plan."""
+    return repro.make_paper_scenario(
+        seed=SEED,
+        config=repro.ScenarioConfig(num_devices=20),
+        num_base_stations=4,
+        num_macro_stations=4,
+        wireless_fronthaul_fraction=1.0,
+        num_clusters=4,
+        servers_per_cluster=2,
+        fault_plan=FaultPlan(
+            faults=(
+                BaseStationOutages(mtbf_slots=60.0, mttr_slots=2.0),
+                PriceFeedDropouts(mtbf_slots=25.0, mttr_slots=3.0),
+            ),
+            schedule=[
+                # One scripted outage covering every base station, so
+                # the incident projects into all four cells at once.
+                ScriptedIncident(
+                    at=4, duration=3, kind="bs_down", targets=(0, 1, 2, 3)
+                )
+            ],
+        ),
+    )
+
+
+def check_sharded_chaos() -> list[str]:
+    from repro import sharding
+
+    resilience = ResiliencePolicy(
+        chaos=SolverChaos(failure_rate=CHAOS_RATE, seed=11)
+    )
+    cells = sharding.partition_cells(
+        make_metro_scenario().network, 4, rng=np.random.default_rng(3)
+    )
+    undisturbed = sharding.run_sharded(
+        make_metro_scenario(),
+        horizon=HORIZON,
+        cells=cells,
+        epoch=12,
+        resilience=resilience,
+    )
+    ctrl = sharding.ShardedController(
+        make_metro_scenario(),
+        cells,
+        processes=2,
+        epoch=12,
+        timeout_seconds=5.0,
+        resilience=resilience,
+    )
+    ctrl._chaos_hang = (1, 0)
+    salvaged = ctrl.run(HORIZON)
+    assert ctrl._chaos_fired, "hang chaos never fired"
+    for name in ("latency", "cost", "theta", "backlog", "price"):
+        assert np.array_equal(
+            getattr(undisturbed.merged, name), getattr(salvaged.merged, name)
+        ), f"{name} diverged after hang salvage"
+    assert np.array_equal(undisturbed.budgets, salvaged.budgets)
+    return [
+        f"sharded chaos: {cells.num_cells} cells x resident runtime, "
+        f"cell-spanning BS outage, {CHAOS_RATE:.0%} solver chaos; hung "
+        "worker detected by the heartbeat watchdog and salvaged "
+        "bit-identical"
+    ]
+
+
 def main() -> int:
     lines = ["chaos smoke (seed %d, horizon %d, chaos %.0f%%)"
              % (SEED, HORIZON, CHAOS_RATE * 100)]
     lines += check_never_abort()
     lines += check_resume_equality()
+    lines += check_sharded_chaos()
     emit("chaos_smoke", "\n".join(lines))
     return 0
 

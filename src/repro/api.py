@@ -39,7 +39,7 @@ Quickstart::
 from __future__ import annotations
 
 import difflib
-from dataclasses import asdict, dataclass, field
+from dataclasses import asdict, dataclass, field, is_dataclass
 
 from repro.analysis.equilibrium import estimate_equilibrium_backlog
 from repro.baselines.fixed_frequency import FixedFrequencyController
@@ -83,7 +83,9 @@ _DEFAULT_Z = {"dpp": 3, "bdma": 3, "mcba": 1, "ropt": 1, "greedy": 1, "fixed": 1
 
 #: Extra construction knobs each controller family accepts via
 #: ``**params`` (beyond :func:`make_controller`'s named keywords).
-_DPP_KNOBS = frozenset({"warm_start", "carry_over", "freq_carry_over", "resilience"})
+_DPP_KNOBS = frozenset(
+    {"warm_start", "carry_over", "freq_carry_over", "resilience", "overload"}
+)
 _FAMILY_KNOBS: "dict[str, frozenset[str]]" = {
     "dpp": _DPP_KNOBS,
     "bdma": _DPP_KNOBS,
@@ -419,7 +421,12 @@ class RunConfig:
             "checkpoint": asdict(self.checkpoint),
             "obs": asdict(self.obs),
             "cells": asdict(self.cells) if self.cells else None,
-            "controller_params": dict(self.controller_params),
+            "controller_params": {
+                # Policy knobs (resilience, overload, ...) are frozen
+                # dataclasses; expand them so the manifest stays JSON.
+                key: asdict(value) if is_dataclass(value) else value
+                for key, value in self.controller_params
+            },
         }
         if out["cells"] and out["cells"]["backends"] is not None:
             out["cells"]["backends"] = list(out["cells"]["backends"])

@@ -41,6 +41,7 @@ from repro.analysis.equilibrium import estimate_equilibrium_backlog
 from repro.analysis.text_plots import line_chart
 from repro.api import CONTROLLER_NAMES, make_controller
 from repro.baselines.lower_bounds import p2a_lower_bound
+from repro.core.overload import OverloadPolicy
 from repro.core.theory import check_bdma_guarantee, check_cgba_guarantee
 from repro.experiments import RUNNERS, generate_report
 from repro.io import save_result, summary_to_json
@@ -94,6 +95,12 @@ def _run_config_from(args: argparse.Namespace) -> repro.RunConfig:
     params: dict[str, object] = {}
     if args.solver == "fixed":
         params["fraction"] = args.fraction
+    if getattr(args, "overload_high", None) is not None:
+        params["overload"] = OverloadPolicy(
+            high_watermark=args.overload_high,
+            low_watermark=args.overload_low,
+            shed_fraction=args.overload_shed,
+        )
     return repro.RunConfig(
         controller=args.solver,
         seed=args.seed,
@@ -129,6 +136,12 @@ def _build_controller(
     extras: dict[str, object] = {}
     if args.solver == "fixed":
         extras["fraction"] = args.fraction
+    if getattr(args, "overload_high", None) is not None:
+        extras["overload"] = OverloadPolicy(
+            high_watermark=args.overload_high,
+            low_watermark=args.overload_low,
+            shed_fraction=args.overload_shed,
+        )
     return make_controller(
         args.solver,
         scenario,
@@ -240,6 +253,17 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
                     f"partial trace written to {args.trace}", file=sys.stderr
                 )
                 print(f"manifest written to {manifest_path}", file=sys.stderr)
+                if registry is not None:
+                    # The live registry holds everything scraped so far;
+                    # persist a final snapshot next to the salvaged
+                    # trace so post-mortems keep the telemetry too.
+                    metrics_path = f"{args.trace}.metrics"
+                    with open(metrics_path, "w", encoding="utf-8") as fh:
+                        fh.write(registry.render_openmetrics())
+                    print(
+                        f"metrics snapshot written to {metrics_path}",
+                        file=sys.stderr,
+                    )
 
     try:
         if sharded:
@@ -536,6 +560,19 @@ def build_parser() -> argparse.ArgumentParser:
     sim.add_argument("--coordinator", choices=("proportional", "static"),
                      default="proportional",
                      help="budget re-split policy across cells")
+    sim.add_argument("--overload-high", type=float, default=None,
+                     metavar="BACKLOG",
+                     help="enable overload protection: enter admission "
+                          "control when the virtual-queue backlog reaches "
+                          "this watermark")
+    sim.add_argument("--overload-low", type=float, default=None,
+                     metavar="BACKLOG",
+                     help="recover from overload below this backlog "
+                          "(default: half of --overload-high)")
+    sim.add_argument("--overload-shed", type=float, default=0.25,
+                     metavar="FRACTION",
+                     help="fraction of active tasks shed per overloaded "
+                          "slot, heaviest first")
     sim.add_argument("--metrics-port", type=int, default=None, metavar="PORT",
                      help="serve live OpenMetrics at "
                           "http://127.0.0.1:PORT/metrics for the duration "

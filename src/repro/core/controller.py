@@ -23,6 +23,7 @@ from repro.core.bdma import (
     drive_p2b,
 )
 from repro.core.budget import BudgetSchedule, as_schedule
+from repro.core.overload import OverloadPolicy, shed_tasks
 from repro.core.resilience import (
     ResiliencePolicy,
     fallback_decision,
@@ -74,6 +75,9 @@ class SlotRecord:
             chain.
         quarantined: Devices excluded this slot because their strategy
             set was genuinely empty (served with zero demand).
+        shed: Devices whose tasks were shed this slot by the overload
+            policy's admission control (served with zero demand; see
+            :class:`~repro.core.overload.OverloadPolicy`).
     """
 
     t: int
@@ -89,6 +93,7 @@ class SlotRecord:
     engine_stats: EngineStats | None = None
     fallback: str = "primary"
     quarantined: tuple[int, ...] = ()
+    shed: tuple[int, ...] = ()
 
     def decision(self) -> Decision:
         """Bundle the slot's choices as a :class:`Decision`."""
@@ -124,6 +129,8 @@ class SlotRecord:
             out["fallback"] = self.fallback
         if self.quarantined:
             out["quarantined"] = list(self.quarantined)
+        if self.shed:
+            out["shed"] = list(self.shed)
         if include_arrays:
             out["bs_of"] = self.assignment.bs_of.tolist()
             out["server_of"] = self.assignment.server_of.tolist()
@@ -232,6 +239,15 @@ class DPPController(OnlineController):
             devices are quarantined with explicit accounting, and the
             per-slot watchdog (deadline + iteration cap) bounds solve
             time.  Healthy slots are bit-identical either way.
+        overload: Optional :class:`~repro.core.overload.OverloadPolicy`.
+            When the virtual-queue backlog crosses the policy's high
+            watermark the controller sheds a deterministic fraction of
+            the heaviest tasks per slot (admission control: shed
+            devices are served with zero demand, listed on the
+            :class:`SlotRecord`, and counted in
+            ``repro_shed_tasks_total``) until the backlog drains below
+            the low watermark.  ``None`` (default) never sheds --
+            below the high watermark the two are bit-identical.
         engine_backend: Array-kernel backend (``"numpy"``/``"jit"``)
             for the per-slot solvers' hot loops; resolved once at
             construction via :func:`repro.kernels.get_kernels`.
@@ -255,6 +271,7 @@ class DPPController(OnlineController):
         freq_carry_over: bool = False,
         tracer: "Tracer | None" = None,
         resilience: ResiliencePolicy | None = None,
+        overload: OverloadPolicy | None = None,
         engine_backend: str | None = None,
     ) -> None:
         if v <= 0.0:
@@ -272,6 +289,11 @@ class DPPController(OnlineController):
         self.freq_carry_over = bool(freq_carry_over)
         self.tracer = as_tracer(tracer)
         self.resilience = resilience
+        self.overload = overload
+        # Hysteresis flag: whether the previous slot left the
+        # controller in overload (crosses slots, so it rides
+        # state_dict for checkpoint/resume and sharded salvage).
+        self._overloaded = False
         # Resolve once so an unavailable jit provider warns here, at
         # construction, rather than on every slot.  Under an active
         # telemetry context the resolved backend gains per-call
@@ -378,6 +400,30 @@ class DPPController(OnlineController):
                 else:
                     space = self.strategy_space(state)
                 backlog_before = self.queue.backlog
+                shed: tuple[int, ...] = ()
+                if self.overload is not None:
+                    self._overloaded = self.overload.engaged(
+                        self._overloaded, backlog_before
+                    )
+                    if tracer.enabled:
+                        tracer.gauge(
+                            "overload.state", 1.0 if self._overloaded else 0.0
+                        )
+                    if self._overloaded:
+                        # Admission control: zero the heaviest devices'
+                        # demand.  Coverage is untouched, so the
+                        # strategy space built above stays valid;
+                        # quarantined devices already carry zero demand
+                        # and sort last, so they are never re-shed.
+                        to_shed = self.overload.select(effective.cycles)
+                        if to_shed.size:
+                            effective = shed_tasks(effective, to_shed)
+                            shed = tuple(int(i) for i in to_shed)
+                            if tracer.enabled:
+                                tracer.event(
+                                    "shed",
+                                    {"t": state.t, "devices": list(shed)},
+                                )
                 if (
                     self.carry_over
                     and self._previous is not None
@@ -490,6 +536,7 @@ class DPPController(OnlineController):
             engine_stats=result.engine_stats,
             fallback=fallback_tier,
             quarantined=tuple(int(i) for i in quarantined),
+            shed=shed,
         )
 
     def reset(self) -> None:
@@ -500,6 +547,7 @@ class DPPController(OnlineController):
         self._previous_freqs = None
         self._last_assignment = None
         self._last_frequencies = None
+        self._overloaded = False
 
     def state_dict(self) -> dict:
         """Serializable controller state (for checkpoint/resume).
@@ -528,6 +576,7 @@ class DPPController(OnlineController):
             "previous_freqs": _freqs(self._previous_freqs),
             "last_assignment": _assignment(self._last_assignment),
             "last_frequencies": _freqs(self._last_frequencies),
+            "overload_active": bool(self._overloaded),
         }
 
     def load_state_dict(self, state: dict) -> None:
@@ -550,5 +599,6 @@ class DPPController(OnlineController):
         self._previous_freqs = _freqs(state.get("previous_freqs"))
         self._last_assignment = _assignment(state.get("last_assignment"))
         self._last_frequencies = _freqs(state.get("last_frequencies"))
+        self._overloaded = bool(state.get("overload_active", False))
         self._space = None
         self._space_reused = False

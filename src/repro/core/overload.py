@@ -1,0 +1,123 @@
+"""Overload protection: virtual-queue watermarks and task shedding.
+
+The DPP controller's virtual queue ``Q(t)`` integrates the budget
+overshoot ``C_t - Cbar``; when the arrival rate is scaled past what the
+budget can serve, the fault-free analysis no longer applies and ``Q``
+grows without bound -- taking per-slot solve pressure and the latency
+penalty with it.  Collaborative-MEC formulations treat shedding load on
+an overloaded server as a first-class control action; this module is
+that action for our controller.
+
+:class:`OverloadPolicy` is a watermark pair with hysteresis on the
+virtual-queue backlog: the controller *enters* overload when the
+backlog reaches ``high_watermark``, sheds a deterministic fraction of
+the heaviest tasks each slot while overloaded (admission control --
+shed devices are served with zero demand, exactly the quarantine
+mechanics), and *exits* once the backlog drains below
+``low_watermark``.  Shedding is deterministic -- largest cycle demand
+first, ties broken by device index via a stable sort -- so overloaded
+runs remain bit-reproducible and checkpoint/resume exact (the single
+bit of cross-slot state, the hysteresis flag, rides the controller's
+``state_dict``).
+
+Every shed is accounted three ways: the slot's
+:class:`~repro.core.controller.SlotRecord` lists the shed devices, a
+``shed`` event goes to the obs bus, and the telemetry layer maintains
+the ``repro_shed_tasks_total`` counter plus the ``repro_overload_state``
+gauge.  :class:`~repro.obs.monitors.OverloadMonitor` watches the same
+events and raises the health alert.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.state import SlotState
+from repro.exceptions import ConfigurationError
+from repro.types import FloatArray, IntArray
+
+__all__ = ["OverloadPolicy", "shed_tasks"]
+
+
+@dataclass(frozen=True)
+class OverloadPolicy:
+    """Virtual-queue watermarks driving admission control.
+
+    Attributes:
+        high_watermark: Backlog at which the controller enters overload
+            and starts shedding (must be positive).
+        low_watermark: Backlog below which an overloaded controller
+            recovers; defaults to half the high watermark.  The gap is
+            the hysteresis band -- a controller hovering at one
+            watermark does not flap between modes.
+        shed_fraction: Fraction of the slot's active devices (rounded
+            up) shed per overloaded slot, heaviest cycle demand first.
+    """
+
+    high_watermark: float
+    low_watermark: "float | None" = None
+    shed_fraction: float = 0.25
+
+    def __post_init__(self) -> None:
+        if self.high_watermark <= 0.0:
+            raise ConfigurationError(
+                f"high_watermark must be positive, got {self.high_watermark}"
+            )
+        if self.low_watermark is None:
+            object.__setattr__(
+                self, "low_watermark", 0.5 * float(self.high_watermark)
+            )
+        if not 0.0 <= self.low_watermark < self.high_watermark:
+            raise ConfigurationError(
+                f"low_watermark must lie in [0, high_watermark); got "
+                f"low={self.low_watermark}, high={self.high_watermark}"
+            )
+        if not 0.0 < self.shed_fraction <= 1.0:
+            raise ConfigurationError(
+                f"shed_fraction must lie in (0, 1], got {self.shed_fraction}"
+            )
+
+    def engaged(self, active: bool, backlog: float) -> bool:
+        """Advance the hysteresis: the new overload flag given the
+        previous one and the slot's pre-decision backlog ``Q(t)``."""
+        if active:
+            return backlog > self.low_watermark
+        return backlog >= self.high_watermark
+
+    def select(self, cycles: FloatArray) -> IntArray:
+        """The devices to shed this slot, deterministically.
+
+        Picks ``ceil(shed_fraction * active)`` of the devices with
+        positive demand, largest cycle demand first; equal demands
+        resolve by device index (stable sort), never by an unspecified
+        tie order.  Returns sorted device indices.
+        """
+        demand = np.asarray(cycles, dtype=np.float64)
+        candidates = np.flatnonzero(demand > 0.0)
+        if candidates.size == 0:
+            return candidates
+        count = int(math.ceil(self.shed_fraction * candidates.size))
+        order = np.argsort(-demand[candidates], kind="stable")
+        return np.sort(candidates[order[:count]])
+
+
+def shed_tasks(state: SlotState, devices: IntArray) -> SlotState:
+    """Serve *devices* with zero demand this slot (admission control).
+
+    Zero cycles and bits contribute zero latency and zero resource
+    shares (the same inert-placeholder algebra
+    :func:`~repro.core.resilience.quarantine_state` relies on), while
+    coverage is untouched -- shed devices keep their links, so the
+    strategy space computed before the shed remains valid.
+    """
+    if len(devices) == 0:
+        return state
+    cycles = state.cycles.copy()
+    bits = state.bits.copy()
+    cycles[devices] = 0.0
+    bits[devices] = 0.0
+    return dataclasses.replace(state, cycles=cycles, bits=bits)

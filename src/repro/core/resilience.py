@@ -10,7 +10,7 @@ never-abort slot loop:
 * :class:`ResiliencePolicy` -- the knobs: per-slot wall-clock deadline,
   best-response iteration cap, partial-result acceptance, the fallback
   chain, quarantine, and an optional :class:`SolverChaos` injector.
-* :func:`quarantine_infeasible` -- identifies devices whose strategy set
+* :func:`quarantine_state` -- identifies devices whose strategy set
   is genuinely empty under the slot's coverage/availability and rewrites
   the state so the rest of the fleet can still be served: quarantined
   devices get zero demand (they contribute zero latency, zero shares)
@@ -23,6 +23,13 @@ never-abort slot loop:
 All randomness in the fallback path is either avoided (greedy runs in
 deterministic ascending order) or drawn from the controller's own rng,
 so degraded runs stay reproducible.
+
+Overload is the one failure mode handled elsewhere: when the *offered
+load* (not a solver or a fault) is the problem, the controller's
+:class:`~repro.core.overload.OverloadPolicy` sheds tasks with the same
+zero-demand placeholder algebra :func:`quarantine_state` establishes
+here -- shed devices keep their links but contribute zero latency and
+zero shares for the slot.
 """
 
 from __future__ import annotations

@@ -38,6 +38,7 @@ from repro.obs.monitors import (
     Monitor,
     MonitorStatus,
     MonitorSuite,
+    OverloadMonitor,
     QueueStabilityMonitor,
     ResilienceMonitor,
     default_monitors,
@@ -88,6 +89,7 @@ __all__ = [
     "GuaranteeMonitor",
     "AnomalyMonitor",
     "ResilienceMonitor",
+    "OverloadMonitor",
     "default_monitors",
     # trace analytics
     "Trace",

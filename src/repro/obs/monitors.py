@@ -24,6 +24,9 @@ and raises structured :class:`Alert`\\ s when a *domain* signal goes bad
 * :class:`ResilienceMonitor` -- degraded-mode activity (faults,
   fallbacks, quarantines, checkpoints, replication retries) from the
   ``resilience.*`` counters and events.
+* :class:`OverloadMonitor` -- overload-protection activity (the
+  ``shed`` events and ``overload.state`` gauge raised by the
+  controller's admission control).
 
 Monitors are grouped in a :class:`MonitorSuite`, itself a tracer sink:
 ``suite.attach(probe)`` subscribes it to the bus.  Every alert is
@@ -54,6 +57,7 @@ __all__ = [
     "GuaranteeMonitor",
     "AnomalyMonitor",
     "ResilienceMonitor",
+    "OverloadMonitor",
     "default_monitors",
 ]
 
@@ -784,6 +788,57 @@ class ResilienceMonitor(Monitor):
         return ", ".join(parts)
 
 
+class OverloadMonitor(Monitor):
+    """Watches the overload-protection layer (admission control).
+
+    Consumes the ``shed`` events and the ``overload.state`` gauge that
+    :class:`~repro.core.controller.DPPController` emits when an
+    :class:`~repro.core.overload.OverloadPolicy` is active.  Raises a
+    single warning at the first shed (the moment the arrival rate
+    outran the budget), then keeps counting: the end-of-run detail
+    reports how many slots shed load and how many tasks were dropped in
+    total.  A run that never sheds stays ``ok`` with "no overload
+    activity".
+    """
+
+    name = "overload"
+
+    def __init__(self) -> None:
+        super().__init__()
+        self.shed_slots = 0
+        self.shed_tasks = 0
+        self.overloaded_slots = 0
+        self.first_shed_t: "int | None" = None
+
+    def observe(self, event: dict) -> None:
+        kind = event["kind"]
+        if kind == "gauge" and event["name"] == "overload.state":
+            if float(event["value"]) > 0.0:
+                self.overloaded_slots += 1
+        elif kind == "event" and event["name"] == "shed":
+            data = event["data"]
+            devices = data.get("devices", ())
+            self.shed_slots += 1
+            self.shed_tasks += len(devices)
+            if self.first_shed_t is None:
+                self.first_shed_t = data.get("t")
+                self.alert(
+                    "warning",
+                    f"overload shedding engaged: dropped {len(devices)} "
+                    "task(s) this slot (arrival rate outran the budget)",
+                    t=self.first_shed_t,
+                    devices=len(devices),
+                )
+
+    def detail(self) -> str:
+        if not self.overloaded_slots and not self.shed_slots:
+            return "no overload activity"
+        return (
+            f"overloaded {self.overloaded_slots} slot(s), shed "
+            f"{self.shed_tasks} task(s) across {self.shed_slots} slot(s)"
+        )
+
+
 def default_monitors(
     *,
     budget: float | None = None,
@@ -793,15 +848,16 @@ def default_monitors(
 ) -> list[Monitor]:
     """The standard monitor set for a DPP run.
 
-    Always includes queue-stability, feasibility, anomaly, and
-    resilience monitors; adds the budget monitor when *budget* is known
-    and the guarantee monitor when a *network* is supplied.
+    Always includes queue-stability, feasibility, anomaly, resilience,
+    and overload monitors; adds the budget monitor when *budget* is
+    known and the guarantee monitor when a *network* is supplied.
     """
     monitors: list[Monitor] = [
         QueueStabilityMonitor(),
         FeasibilityMonitor(),
         AnomalyMonitor(),
         ResilienceMonitor(),
+        OverloadMonitor(),
     ]
     if budget is not None:
         monitors.append(BudgetDriftMonitor(budget))

@@ -735,6 +735,7 @@ class TelemetrySink:
     event ``alert``            ``repro_alerts_total{monitor=,severity=}``
     event ``shard.epoch``      ``repro_shard_completed_slots``
     event ``crash``            ``repro_crashes_total``
+    event ``shed``             ``repro_shed_tasks_total``
     =========================  ============================================
 
     Args:
@@ -775,6 +776,10 @@ class TelemetrySink:
         )
         self._crashes = registry.counter(
             "repro_crashes_total", "Simulation crash events"
+        ).labels(**self.labels)
+        self._shed = registry.counter(
+            "repro_shed_tasks_total",
+            "Tasks shed by overload admission control",
         ).labels(**self.labels)
         # Hot-path caches: bus name -> bound series.
         self._bound_counters: dict = {}
@@ -842,6 +847,10 @@ class TelemetrySink:
                 ).set(event["data"].get("completed", 0), **self.labels)
             elif name == "crash":
                 self._crashes.inc()
+            elif name == "shed":
+                self._shed.inc(
+                    float(len(event["data"].get("devices", ())))
+                )
 
     def close(self) -> None:  # registry outlives the sink
         pass

@@ -30,6 +30,7 @@ online controller can answer.  All components expose
 from __future__ import annotations
 
 import abc
+import copy
 import dataclasses
 from dataclasses import dataclass
 from typing import Iterable, Iterator, Sequence
@@ -242,6 +243,28 @@ class StateFault(abc.ABC):
 
     def reset(self) -> None:
         """Forget all chain/staleness state (between independent runs)."""
+
+    def subset(
+        self,
+        device_map: Sequence[int],
+        bs_map: Sequence[int],
+        server_map: Sequence[int],
+    ) -> "StateFault":
+        """Project this fault onto a cell's sub-topology.
+
+        Mirrors ``TaskGenerator.subset``: the maps are the cell's
+        global indices in local order (``map[i_local] == i_global``,
+        from :class:`~repro.network.partition.CellIndexMaps`).  The
+        stochastic faults all size their chains lazily from the first
+        state they see, so the base projection is a fresh, reset copy
+        -- each cell then runs an *independent* chain from its own
+        child fault stream.  Faults carrying global index structure
+        must override this and remap.
+        """
+        del device_map, bs_map, server_map
+        out = copy.deepcopy(self)
+        out.reset()
+        return out
 
     def state_dict(self) -> dict:
         """Serializable internal state (for checkpoint/resume)."""
@@ -569,6 +592,28 @@ class ScriptedIncident:
     def active(self, t: int) -> bool:
         return self.at <= t < self.at + self.duration
 
+    def subset(
+        self, bs_map: Sequence[int], server_map: Sequence[int]
+    ) -> "ScriptedIncident | None":
+        """The incident as seen from one cell, or ``None`` if it does
+        not touch the cell.
+
+        ``server_down`` targets are remapped through *server_map* and
+        ``bs_down`` / ``fronthaul_degraded`` through *bs_map*
+        (``map[i_local] == i_global``); a ``price_freeze`` has no
+        targets and lands in every cell.  An incident whose remapped
+        target set is empty is dropped -- the fleet-wide incident
+        simply never reaches that cell.
+        """
+        if self.kind == "price_freeze":
+            return self
+        source = server_map if self.kind == "server_down" else bs_map
+        local = {int(g): i for i, g in enumerate(source)}
+        targets = tuple(local[t] for t in self.targets if t in local)
+        if not targets:
+            return None
+        return dataclasses.replace(self, targets=targets)
+
 
 class ChaosSchedule:
     """An ordered collection of :class:`ScriptedIncident` objects."""
@@ -584,6 +629,15 @@ class ChaosSchedule:
 
     def active(self, t: int) -> list[ScriptedIncident]:
         return [incident for incident in self.incidents if incident.active(t)]
+
+    def subset(
+        self, bs_map: Sequence[int], server_map: Sequence[int]
+    ) -> "ChaosSchedule":
+        """The schedule restricted to one cell (incident order kept)."""
+        projected = (
+            incident.subset(bs_map, server_map) for incident in self.incidents
+        )
+        return ChaosSchedule(i for i in projected if i is not None)
 
 
 class FaultPlan:
@@ -624,6 +678,33 @@ class FaultPlan:
         return bool(self.faults) or bool(
             self.schedule is not None and self.schedule.incidents
         )
+
+    def subset(
+        self,
+        device_map: Sequence[int],
+        bs_map: Sequence[int],
+        server_map: Sequence[int],
+    ) -> "FaultPlan":
+        """Project the plan onto a cell's sub-topology.
+
+        Stochastic components are projected through
+        :meth:`StateFault.subset` (fresh chains, sized by the cell's
+        states, driven by the cell's own child fault stream) and
+        scripted incidents through
+        :meth:`ScriptedIncident.subset` (targets remapped to local
+        indices, incidents missing the cell dropped).  The projected
+        plan may be empty (falsy) -- a cell untouched by every
+        incident of an incidents-only plan runs fault-free.
+        """
+        faults = tuple(
+            fault.subset(device_map, bs_map, server_map) for fault in self.faults
+        )
+        schedule = (
+            None
+            if self.schedule is None
+            else self.schedule.subset(bs_map, server_map)
+        )
+        return FaultPlan(faults, schedule=schedule)
 
     def reset(self) -> None:
         """Forget all component state (between independent runs)."""

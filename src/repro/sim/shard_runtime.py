@@ -23,7 +23,10 @@ This module keeps the state resident instead:
   monitor alerts).  Carry state crosses the pipe only on ``pull``
   (checkpoint/salvage) and ``load``/``replay`` (resume/rebuild).
 * :class:`ResidentWorker` -- the parent-side handle: spawn, command
-  round-trips with deadline, kill/respawn for the salvage path.
+  round-trips with a heartbeat-aware silence deadline (the hung-worker
+  watchdog: workers ping between cells, so a stuck worker -- not just
+  a dead one -- blows the deadline and is killed), kill/respawn for
+  the salvage path.
 * :class:`SharedStatePlanner` -- the parent-side epoch pipeline: it
   owns each cell's live state stream, compiles epoch ``e + 1``'s slot
   states into double-buffered
@@ -44,6 +47,7 @@ from __future__ import annotations
 
 import logging
 import multiprocessing as mp
+import time
 
 import numpy as np
 
@@ -76,7 +80,19 @@ def _mp_context():
 
 
 class WorkerFailure(RuntimeError):
-    """A resident worker died, timed out, or reported a command error."""
+    """A resident worker died, timed out, or reported a command error.
+
+    Args:
+        hung: The failure was a heartbeat-silence timeout -- the worker
+            process is (probably) still alive but stuck, as opposed to
+            dead or erroring.  The parent's salvage path is identical
+            either way (kill, respawn, replay); the flag only feeds
+            the ``shard.worker_hung`` observability trail.
+    """
+
+    def __init__(self, message: str, *, hung: bool = False) -> None:
+        super().__init__(message)
+        self.hung = bool(hung)
 
 
 class CellRuntime:
@@ -227,10 +243,19 @@ class CellRuntime:
 # -- the worker process ----------------------------------------------------
 
 
+#: How long the ``hang`` chaos seam sleeps (seconds).  Far beyond any
+#: test's watchdog deadline; the parent kills the worker long before
+#: the sleep completes.
+_CHAOS_HANG_SECONDS = 600.0
+
+
 class _WorkerRuntime:
     """Everything one resident worker owns for its pinned cells."""
 
     def __init__(self, payload: dict) -> None:
+        #: Installed by ``_worker_main`` (which owns the pipe): called
+        #: between cells so the parent's watchdog sees progress.
+        self.heartbeat = None
         self.cells: "list[int]" = list(payload["cells"])
         self.trace_phases: bool = payload["trace_phases"]
         telemetry: bool = payload["telemetry"]
@@ -277,12 +302,21 @@ class _WorkerRuntime:
                 price=float(price[j]),
             )
 
+    def _beat(self) -> None:
+        if self.heartbeat is not None:
+            self.heartbeat()
+
     def run_epoch(self, data: dict) -> dict:
+        if data.get("hang"):
+            # Chaos seam: go silent *before* any heartbeat, exactly
+            # like a worker stuck in an infinite loop mid-epoch.
+            time.sleep(_CHAOS_HANG_SECONDS)
         start, count = data["start"], data["count"]
         buffer = data.get("buffer")
         budgets = data["budgets"]
         cells_out = {}
         for c in self.cells:
+            self._beat()
             runtime = self.runtimes[c]
             states = (
                 self._block_states(c, buffer, start, count)
@@ -318,6 +352,7 @@ class _WorkerRuntime:
         because every input (budgets, streams) is the recorded one.
         """
         for start, count, budgets in data["epochs"]:
+            self._beat()
             for c in self.cells:
                 self.runtimes[c].run_epoch(start, count, budgets[c])
         if self.registry is not None:
@@ -367,6 +402,17 @@ def _worker_main(conn, payload: dict) -> None:
         except Exception:
             pass
         return
+
+    def heartbeat() -> None:
+        # Progress pings between cells: the parent's recv() swallows
+        # them and resets its silence timer, so a slow-but-alive epoch
+        # never trips the watchdog while a hung worker does.
+        try:
+            conn.send(("hb", None))
+        except Exception:
+            pass  # parent gone; the command loop will notice
+
+    runtime.heartbeat = heartbeat
     try:
         while True:
             try:
@@ -449,12 +495,27 @@ class ResidentWorker:
             ) from exc
 
     def recv(self, timeout: "float | None" = None):
+        """Wait for the next reply, heartbeat-aware.
+
+        *timeout* is a **silence** deadline, not a total-reply one:
+        workers send ``("hb", None)`` pings as they progress through
+        their cells, every ping restarts the timer, and only a worker
+        silent for a full *timeout* raises -- with ``hung=True``, since
+        a worker that stopped talking without closing the pipe is
+        stuck, not dead (a dead worker's closed pipe raises EOF
+        immediately instead).
+        """
         try:
-            if timeout is not None and not self.conn.poll(timeout):
-                raise WorkerFailure(
-                    f"worker {self.index}: no reply within {timeout}s"
-                )
-            status, payload = self.conn.recv()
+            while True:
+                if timeout is not None and not self.conn.poll(timeout):
+                    raise WorkerFailure(
+                        f"worker {self.index}: watchdog: no heartbeat or "
+                        f"reply within {timeout}s",
+                        hung=True,
+                    )
+                status, payload = self.conn.recv()
+                if status != "hb":
+                    break
         except WorkerFailure:
             raise
         except (EOFError, OSError, ConnectionError) as exc:

@@ -120,6 +120,36 @@ _METRIC_KEYS = ("latency", "cost", "theta", "backlog", "solve_seconds", "price")
 _STATUS_RANK = {"ok": 0, "warning": 1, "critical": 2}
 
 
+def _check_shardable(scenario: Scenario) -> None:
+    """One structured capability check for multi-cell sharding.
+
+    Collects *every* unsupported feature of the scenario and raises a
+    single :class:`ConfigurationError` naming each offending feature
+    and the flag combination that would work -- the did-you-mean style
+    of ``make_controller`` -- instead of failing one bare check at a
+    time.
+    """
+    problems: list[str] = []
+    generator = scenario.generator
+    if type(generator.mobility) is not StaticMobility:
+        problems.append(
+            f"mobility={type(generator.mobility).__name__} -- sharded runs "
+            "require static mobility (devices must stay in their cell); "
+            "drop the mobility model or run unsharded (cells=1)"
+        )
+    if not hasattr(generator.tasks, "subset"):
+        problems.append(
+            f"tasks={type(generator.tasks).__name__} -- the task generator "
+            "has no subset() projection, so devices cannot be split across "
+            "cells; implement subset() or run unsharded (cells=1)"
+        )
+    if problems:
+        raise ConfigurationError(
+            "this scenario cannot be sharded across multiple cells: "
+            + "; ".join(problems)
+        )
+
+
 def shard_scenarios(scenario: Scenario, plan: CellPlan) -> list[Scenario]:
     """Carve one scenario into an independent scenario per cell.
 
@@ -128,29 +158,24 @@ def shard_scenarios(scenario: Scenario, plan: CellPlan) -> list[Scenario]:
     makes the one-cell sharded run bit-identical to the unsharded
     pipeline.  Multi-cell plans give each cell its own sub-topology
     (:func:`~repro.network.partition.extract_subnetwork`), a sliced
-    task generator, deep-copied channel/price models, a child seed bank
-    (independent streams per cell), and a fair share of the budget.
+    task generator, deep-copied channel/price/fronthaul/outage models,
+    a child seed bank (independent streams per cell), a fair share of
+    the budget, and -- when the scenario carries one -- the
+    :class:`~repro.sim.faults.FaultPlan` projected onto the cell
+    (:meth:`~repro.sim.faults.FaultPlan.subset`: independent per-cell
+    chains from the cell's own fault stream, scripted incidents split
+    by target with local indices).
 
     Raises:
         ConfigurationError: A *multi-cell* plan was requested for a
             scenario using features the sharded engine cannot split
-            (mobility, a fronthaul/outage model, a fault plan, or an
-            unsliceable task generator).
+            (mobility, an unsliceable task generator); the message
+            names every offending feature and the working alternative.
     """
     if plan.num_cells == 1:
         return [scenario]
+    _check_shardable(scenario)
     generator = scenario.generator
-    if type(generator.mobility) is not StaticMobility:
-        raise ConfigurationError(
-            "sharded runs require static mobility (devices must stay in "
-            "their cell)"
-        )
-    if generator.fronthaul is not None or generator.faults is not None:
-        raise ConfigurationError(
-            "sharded runs do not support fronthaul or outage models yet"
-        )
-    if scenario.fault_plan:
-        raise ConfigurationError("sharded runs do not support fault plans yet")
     total_devices = scenario.network.num_devices
     out = []
     for cell in plan.cells:
@@ -162,6 +187,15 @@ def shard_scenarios(scenario: Scenario, plan: CellPlan) -> list[Scenario]:
             copy.deepcopy(generator.channel),
             copy.deepcopy(generator.prices),
             price_scale=generator.price_scale,
+            fronthaul=copy.deepcopy(generator.fronthaul),
+            faults=copy.deepcopy(generator.faults),
+        )
+        fault_plan = (
+            scenario.fault_plan.subset(
+                maps.devices, maps.base_stations, maps.servers
+            )
+            if scenario.fault_plan
+            else None
         )
         out.append(
             Scenario(
@@ -169,6 +203,7 @@ def shard_scenarios(scenario: Scenario, plan: CellPlan) -> list[Scenario]:
                 generator=cell_generator,
                 seeds=scenario.seeds.child(f"cell{cell.index}"),
                 budget=scenario.budget * cell.num_devices / total_devices,
+                fault_plan=fault_plan,
             )
         )
     return out
@@ -318,12 +353,24 @@ def _run_epoch_job(job: dict) -> dict:
         )
     generator = scenario.generator
     rng = scenario.state_rng()
+    # The fault-plan cursor (plan state + plan rng) rides the job carry
+    # exactly like the generator state, so a retried job -- and every
+    # epoch after the first -- replays the plan bit-identically.
+    plan = scenario.fault_plan if scenario.fault_plan else None
+    plan_rng = None
+    if plan is not None:
+        plan_rng = scenario.fault_rng()
     if job["carry"] is None:
         generator.reset()
+        if plan is not None:
+            plan.reset()
     else:
         controller.load_state_dict(job["carry"]["controller"])
         generator.load_state_dict(job["carry"]["generator"])
         rng.bit_generator.state = job["carry"]["state_rng"]
+        if plan is not None:
+            plan.load_state_dict(job["carry"]["plan"])
+            plan_rng.bit_generator.state = job["carry"]["plan_rng"]
     # The budget reference for this epoch (load_state_dict does not
     # touch the schedule, so this holds after a carry restore too).
     controller.budget_schedule = ConstantBudget(job["budget"])
@@ -334,15 +381,21 @@ def _run_epoch_job(job: dict) -> dict:
         )
     else:
         segment = generator.states(job["count"], rng, start=job["start"])
+    if plan is not None:
+        segment = plan.stream(segment, scenario.network, plan_rng, probe)
     part = run_simulation(controller, segment, tracer=probe)
+    carry = {
+        "controller": controller.state_dict(),
+        "generator": generator.state_dict(),
+        "state_rng": rng.bit_generator.state,
+    }
+    if plan is not None:
+        carry["plan"] = plan.state_dict()
+        carry["plan_rng"] = plan_rng.bit_generator.state
     result = {
         "cell": cell,
         "metrics": {k: getattr(part, k).tolist() for k in _METRIC_KEYS},
-        "carry": {
-            "controller": controller.state_dict(),
-            "generator": generator.state_dict(),
-            "state_rng": rng.bit_generator.state,
-        },
+        "carry": carry,
         "phase_state": (
             probe.phases.state_dict()
             if probe is not None and ctx["trace_phases"]
@@ -409,7 +462,13 @@ class ShardedController:
             pull; a checkpoint write always pulls.
         timeout_seconds: Per-epoch reply deadline on the pooled paths;
             a blown deadline burns one retry and rebuilds the worker
-            (resident) or the pool (legacy).
+            (resident) or the pool (legacy).  On the resident runtime
+            this is a heartbeat *silence* deadline: workers heartbeat
+            as they progress through their cells, each heartbeat
+            resets the timer, and a worker silent past the deadline --
+            hung, not just dead -- is killed and salvaged through the
+            replay path (``shard.worker_hung`` event,
+            ``resilience.worker_hangs`` counter).
         max_retries: Extra attempts per epoch, per cell (legacy) or per
             worker (resident), after the first failure.
         tracer: Parent observability tracer; per-cell probes are merged
@@ -504,9 +563,12 @@ class ShardedController:
         self.monitors = bool(monitors)
         self._health: "HealthReport | None" = None
         # Test seams (chaos/resilience suites set these post-construction):
-        # kill worker w right after dispatching epoch e; halt the run
-        # right after the first checkpoint write at/after a slot count.
+        # kill worker w right after dispatching epoch e; make worker w
+        # hang (sleep in its command loop) on epoch e so only the
+        # watchdog can catch it; halt the run right after the first
+        # checkpoint write at/after a slot count.
         self._chaos_kill: "tuple[int, int] | None" = None
+        self._chaos_hang: "tuple[int, int] | None" = None
         self._chaos_fired = False
         self._halt_after_slots: "int | None" = None
         self.controller_params = dict(controller_params)
@@ -823,8 +885,21 @@ class ShardedController:
                     }
 
                 for worker in workers:
+                    data = epoch_data(worker)
+                    if (
+                        self._chaos_hang is not None
+                        and not self._chaos_fired
+                        and self._chaos_hang[0] == e
+                        and worker is workers[self._chaos_hang[1] % len(workers)]
+                    ):
+                        # Chaos seam: this worker sleeps through the
+                        # epoch instead of answering; only the
+                        # heartbeat watchdog can catch it.  Fired once,
+                        # so the salvage re-dispatch runs clean.
+                        self._chaos_fired = True
+                        data = dict(data, hang=True)
                     try:
-                        worker.send("epoch", epoch_data(worker))
+                        worker.send("epoch", data)
                     except WorkerFailure as exc:
                         rebuild(worker, exc, e, epoch_data)
                 # Pipelining: compile the next epoch's states into the
@@ -956,8 +1031,22 @@ class ShardedController:
             self.max_retries + 1,
             exc,
         )
+        hung = bool(getattr(exc, "hung", False))
         if self.tracer.enabled:
             self.tracer.counter("resilience.shard_retries", 1)
+            if hung:
+                # The watchdog (heartbeat silence past the per-epoch
+                # deadline) caught a live-but-stuck worker; distinguish
+                # it from a plain death in traces and telemetry.
+                self.tracer.counter("resilience.worker_hangs", 1)
+                self.tracer.event(
+                    "shard.worker_hung",
+                    {
+                        "worker": worker.index,
+                        "cells": worker.cells,
+                        "deadline_seconds": self.timeout_seconds,
+                    },
+                )
             self.tracer.event(
                 "shard.retry",
                 {

@@ -306,6 +306,25 @@ class TestCrashSalvage:
         assert main(self.ARGS) == 130
         assert list(tmp_path.iterdir()) == []
 
+    def test_salvage_persists_a_metrics_snapshot(
+        self, monkeypatch, capsys, tmp_path
+    ) -> None:
+        # With telemetry on, the salvage path must also write the final
+        # OpenMetrics snapshot next to the trace for post-mortems.
+        from repro.obs import parse_openmetrics
+
+        self._die_after(monkeypatch, KeyboardInterrupt, 2)
+        trace = tmp_path / "run.jsonl"
+        code = main(
+            self.ARGS + ["--trace", str(trace), "--metrics-port", "0"]
+        )
+        captured = capsys.readouterr()
+        assert code == 130
+        metrics = tmp_path / "run.jsonl.metrics"
+        assert f"metrics snapshot written to {metrics}" in captured.err
+        families = parse_openmetrics(metrics.read_text())
+        assert "repro_slots" in families
+
     def test_healthy_run_stamps_completed(self, capsys, tmp_path) -> None:
         trace = tmp_path / "run.jsonl"
         assert main(self.ARGS + ["--trace", str(trace)]) == 0

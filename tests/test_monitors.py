@@ -415,7 +415,8 @@ class TestEndToEnd:
     def test_default_monitors_composition(self) -> None:
         bare = default_monitors()
         assert {m.name for m in bare} == {
-            "queue_stability", "feasibility", "anomaly", "resilience"
+            "queue_stability", "feasibility", "anomaly", "resilience",
+            "overload",
         }
         network = repro.make_paper_scenario(
             seed=3, config=self.CONFIG
@@ -423,5 +424,5 @@ class TestEndToEnd:
         full = default_monitors(budget=1.0, network=network)
         assert {m.name for m in full} == {
             "queue_stability", "feasibility", "anomaly", "resilience",
-            "budget", "guarantee"
+            "overload", "budget", "guarantee"
         }

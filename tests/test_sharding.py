@@ -188,6 +188,106 @@ class TestShardScenarios:
         with pytest.raises(ConfigurationError, match="static mobility"):
             sharding.shard_scenarios(scenario, plan)
 
+    def test_capability_check_names_feature_and_fallback(self) -> None:
+        # The structured check names the offending feature and the
+        # working flag combination, not just "unsupported".
+        scenario = metro_scenario(mobility=RandomWaypointMobility(6000.0))
+        plan = sharding.partition_cells(
+            scenario.network, 2, rng=np.random.default_rng(3)
+        )
+        with pytest.raises(ConfigurationError) as excinfo:
+            sharding.shard_scenarios(scenario, plan)
+        message = str(excinfo.value)
+        assert "cannot be sharded" in message
+        assert "RandomWaypointMobility" in message
+        assert "cells=1" in message
+
+
+class TestFaultPlanSharding:
+    """Projecting a global :class:`FaultPlan` onto cell subnetworks."""
+
+    def test_incident_targets_remap_to_local_indices(self) -> None:
+        from repro.sim.faults import ScriptedIncident
+
+        incident = ScriptedIncident(
+            at=1, duration=2, kind="bs_down", targets=(1, 3)
+        )
+        # A cell owning global base stations 1 and 2: global 1 becomes
+        # local 0, global 3 lies outside and is dropped.
+        local = incident.subset((1, 2), ())
+        assert local.targets == (0,)
+        assert local.at == 1 and local.duration == 2
+
+    def test_incident_outside_cell_is_dropped(self) -> None:
+        from repro.sim.faults import ScriptedIncident
+
+        incident = ScriptedIncident(
+            at=0, duration=1, kind="server_down", targets=(3,)
+        )
+        assert incident.subset((), (0, 1)) is None
+
+    def test_price_freeze_kept_in_every_cell(self) -> None:
+        from repro.sim.faults import ScriptedIncident
+
+        incident = ScriptedIncident(at=2, duration=3, kind="price_freeze")
+        assert incident.subset((), ()) is incident
+
+    def test_plan_subset_projects_faults_and_schedule(self) -> None:
+        from repro.sim.faults import (
+            BaseStationOutages,
+            FaultPlan,
+            PriceFeedDropouts,
+            ScriptedIncident,
+        )
+
+        plan = FaultPlan(
+            faults=(BaseStationOutages(), PriceFeedDropouts()),
+            schedule=[
+                ScriptedIncident(at=0, duration=2, kind="price_freeze"),
+                ScriptedIncident(
+                    at=1, duration=1, kind="bs_down", targets=(0, 1)
+                ),
+                ScriptedIncident(
+                    at=2, duration=1, kind="bs_down", targets=(3,)
+                ),
+            ],
+        )
+        local = plan.subset((0, 1, 2), (0, 1), (0,))
+        assert len(local.faults) == len(plan.faults)
+        # price_freeze survives, bs_down (0,1) remaps, bs_down (3,)
+        # lies outside the cell and is dropped.
+        kinds = [i.kind for i in local.schedule.incidents]
+        assert kinds == ["price_freeze", "bs_down"]
+        assert local.schedule.incidents[1].targets == (0, 1)
+
+    def test_shards_carry_projected_plans(self) -> None:
+        from repro.sim.faults import (
+            BaseStationOutages,
+            FaultPlan,
+            ScriptedIncident,
+        )
+
+        scenario = metro_scenario(
+            fault_plan=FaultPlan(
+                faults=(BaseStationOutages(),),
+                schedule=[
+                    ScriptedIncident(
+                        at=1, duration=2, kind="bs_down", targets=(0, 1, 2, 3)
+                    )
+                ],
+            )
+        )
+        plan = sharding.partition_cells(
+            scenario.network, 2, rng=np.random.default_rng(3)
+        )
+        shards = sharding.shard_scenarios(scenario, plan)
+        for shard, cell in zip(shards, plan.cells):
+            assert shard.fault_plan is not None
+            incident = shard.fault_plan.schedule.incidents[0]
+            # The global outage spans every base station, so each cell
+            # sees exactly its own stations, renumbered locally.
+            assert incident.targets == tuple(range(len(cell.base_stations)))
+
 
 class TestShardedRun:
     def test_one_cell_bit_identical_to_unsharded(self) -> None:
@@ -338,7 +438,13 @@ class TestResidentRuntime:
         assert calls["carry"] == 0
 
     def salvage_case(
-        self, *, carry_every=None, fault_plan=None, kill=(1, 0), cells=2
+        self,
+        *,
+        carry_every=None,
+        fault_plan=None,
+        kill=(1, 0),
+        hang=None,
+        cells=2,
     ):
         scenario = metro_scenario(fault_plan=fault_plan)
         plan = sharding.partition_cells(
@@ -348,11 +454,15 @@ class TestResidentRuntime:
             scenario, horizon=6, cells=plan, epoch=2,
             processes=2, carry_every=carry_every,
         )
+        extra = {"timeout_seconds": 2.0} if hang is not None else {}
         ctrl = sharding.ShardedController(
             metro_scenario(fault_plan=fault_plan), plan,
-            processes=2, epoch=2, carry_every=carry_every,
+            processes=2, epoch=2, carry_every=carry_every, **extra,
         )
-        ctrl._chaos_kill = kill
+        if hang is not None:
+            ctrl._chaos_hang = hang
+        else:
+            ctrl._chaos_kill = kill
         salvaged = ctrl.run(6)
         assert ctrl._chaos_fired
         assert_identical(undisturbed.merged, salvaged.merged)
@@ -365,10 +475,118 @@ class TestResidentRuntime:
         self.salvage_case(carry_every=1, kill=(2, 1))
 
     def test_salvage_under_fault_plan(self) -> None:
-        # Fault plans shard only at one cell; the single resident
-        # worker is still killed mid-run and rebuilt by replay, with
-        # the plan's stochastic draws restored exactly.
+        # The single resident worker is killed mid-run and rebuilt by
+        # replay, with the plan's stochastic draws restored exactly.
         self.salvage_case(fault_plan=self.fault_plan(), cells=1)
+
+    def test_salvage_under_multi_cell_fault_plan(self) -> None:
+        self.salvage_case(fault_plan=self.fault_plan(), cells=2)
+
+    def test_salvage_kill_during_first_epoch(self) -> None:
+        # Death before any carry exists: the rebuilt worker replays
+        # from the initial state.
+        self.salvage_case(kill=(0, 0))
+
+    def test_salvage_kill_during_final_epoch(self) -> None:
+        self.salvage_case(kill=(2, 0))
+
+    def test_hung_worker_watchdog_salvage(self) -> None:
+        # The worker stays alive but stops responding; the heartbeat
+        # watchdog detects the silence within the epoch deadline, kills
+        # it, and the replayed rebuild stays bit-identical.
+        self.salvage_case(hang=(1, 0))
+
+    def test_hung_worker_salvage_under_fault_plan(self) -> None:
+        self.salvage_case(hang=(1, 0), fault_plan=self.fault_plan())
+
+    def test_hang_salvage_then_checkpoint_resume(self, tmp_path) -> None:
+        # Satellite: hang + kill + salvage, halted at the slot-4
+        # snapshot, then resumed from the ShardCheckpoint -- the full
+        # escalation ladder ends bit-identical.
+        from repro.sim.sharded import _HaltRequested
+
+        scenario = metro_scenario()
+        plan = sharding.partition_cells(
+            scenario.network, 2, rng=np.random.default_rng(3)
+        )
+        baseline = sharding.run_sharded(
+            scenario, horizon=8, cells=plan, epoch=2
+        )
+        path = tmp_path / "shard.ckpt"
+        ctrl = sharding.ShardedController(
+            metro_scenario(), plan, epoch=2, processes=2,
+            timeout_seconds=2.0,
+        )
+        ctrl._chaos_hang = (1, 0)
+        ctrl._halt_after_slots = 4
+        with pytest.raises(_HaltRequested):
+            ctrl.run(8, checkpoint=path)
+        assert ctrl._chaos_fired
+        resumed = sharding.run_sharded(
+            metro_scenario(), horizon=8, cells=plan, epoch=2,
+            processes=2, checkpoint=path, resume=True,
+        )
+        assert_identical(baseline.merged, resumed.merged)
+        np.testing.assert_array_equal(baseline.budgets, resumed.budgets)
+
+    def spanning_fault_plan(self):
+        from repro.sim.faults import (
+            BaseStationOutages,
+            FaultPlan,
+            PriceFeedDropouts,
+            ScriptedIncident,
+        )
+
+        return FaultPlan(
+            faults=(BaseStationOutages(), PriceFeedDropouts(mtbf_slots=3.0)),
+            schedule=[
+                ScriptedIncident(at=2, duration=3, kind="price_freeze"),
+                # One outage spanning every base station, so the
+                # incident lands in both cells of the 2-cell split.
+                ScriptedIncident(
+                    at=1, duration=2, kind="bs_down", targets=(0, 1, 2, 3)
+                ),
+            ],
+        )
+
+    def test_one_cell_bs_outage_plan_matches_unsharded(self) -> None:
+        baseline = repro.api.run(
+            scenario=metro_scenario(fault_plan=self.spanning_fault_plan()),
+            horizon=6,
+        )
+        sharded = sharding.run_sharded(
+            metro_scenario(fault_plan=self.spanning_fault_plan()),
+            horizon=6, cells=1, epoch=3,
+        )
+        assert_identical(baseline, sharded.merged)
+
+    def test_multi_cell_fault_plan_all_runtimes(self) -> None:
+        scenario = metro_scenario(fault_plan=self.spanning_fault_plan())
+        plan = sharding.partition_cells(
+            scenario.network, 2, rng=np.random.default_rng(3)
+        )
+        sequential = sharding.run_sharded(
+            scenario, horizon=6, cells=plan, epoch=2
+        )
+        resident = sharding.run_sharded(
+            metro_scenario(fault_plan=self.spanning_fault_plan()),
+            horizon=6, cells=plan, epoch=2, processes=2,
+            runtime="resident",
+        )
+        legacy = sharding.run_sharded(
+            metro_scenario(fault_plan=self.spanning_fault_plan()),
+            horizon=6, cells=plan, epoch=2, processes=2,
+            runtime="legacy",
+        )
+        assert_identical(sequential.merged, resident.merged)
+        assert_identical(sequential.merged, legacy.merged)
+        # The plan actually disturbed the run.
+        plain = sharding.run_sharded(
+            metro_scenario(), horizon=6, cells=plan, epoch=2
+        )
+        assert not np.array_equal(
+            plain.merged.price, sequential.merged.price
+        )
 
     def test_checkpoint_resume_cross_runtime(self, tmp_path) -> None:
         from repro.sim.sharded import _HaltRequested
